@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every table/figure bench writes its regenerated rows to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture
+(the pytest-benchmark timing table is printed to the terminal regardless).
+
+Scaling: benches honour ``REPRO_BENCH_SCALE`` (default 0.25),
+``REPRO_BENCH_RUNS_SCALE`` (default 0.25) and ``REPRO_BENCH_CIRCUITS``
+(comma-separated names; default 10-circuit subset).  Set
+``REPRO_BENCH_SCALE=1 REPRO_BENCH_RUNS_SCALE=1`` for the paper's full
+protocol (hours of pure-Python compute).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated table and echo it (visible with pytest -s)."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,121 @@
+"""Extension benches — the paper's Sec. 5 future-work items, measured.
+
+Not part of the paper's tables; these quantify the implemented extensions
+so EXPERIMENTS.md can report them:
+
+* clustering front ends: flat PROP vs PROP-CL (one clustering level, the
+  paper's Sec. 5 proposal) vs ML-PROP (full multilevel V-cycle);
+* k-way: recursive bisection vs recursive + pairwise refinement;
+* timing-driven: critical-net protection, timing-aware vs oblivious.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.core import PropPartitioner, TwoPhasePropPartitioner
+from repro.hypergraph import make_benchmark
+from repro.kway import recursive_bisection, refine_kway_result
+from repro.multilevel import MultilevelPartitioner
+from repro.multirun import run_many
+from repro.timing import (
+    critical_net_weights,
+    synthetic_critical_nets,
+    timing_report,
+)
+
+RUNS = 4
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return make_benchmark("s9234", scale=0.25)
+
+
+def test_clustering_frontends(circuit, results_dir, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    flat = run_many(PropPartitioner(), circuit, runs=RUNS)
+    two_phase = run_many(TwoPhasePropPartitioner(), circuit, runs=RUNS)
+    multilevel = run_many(MultilevelPartitioner(), circuit, runs=RUNS)
+    write_result(
+        results_dir,
+        "ext_clustering_frontends",
+        (
+            f"flat PROP best={flat.best_cut:.0f} "
+            f"({flat.seconds_per_run:.2f}s/run)  "
+            f"PROP-CL best={two_phase.best_cut:.0f} "
+            f"({two_phase.seconds_per_run:.2f}s/run)  "
+            f"ML-PROP best={multilevel.best_cut:.0f} "
+            f"({multilevel.seconds_per_run:.2f}s/run)"
+        ),
+    )
+    # Sec. 5's conjecture: a clustering phase should help (or at least not
+    # hurt) — both front ends must be within a whisker of flat PROP.
+    assert two_phase.best_cut <= flat.best_cut * 1.15
+    assert multilevel.best_cut <= flat.best_cut * 1.15
+
+
+def test_kway_refinement_value(circuit, results_dir, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    base = recursive_bisection(circuit, 4, seed=0)
+    refined, report = refine_kway_result(circuit, base, seed=0)
+    write_result(
+        results_dir,
+        "ext_kway_refinement",
+        (
+            f"k=4 recursive cut={base.cut:.0f}  after pairwise "
+            f"refinement={refined.cut:.0f} "
+            f"({report.pair_improvements} improving pair passes)"
+        ),
+    )
+    assert refined.cut <= base.cut
+
+
+def test_direct_vs_recursive_kway(results_dir, benchmark):
+    """Direct k-way FM vs recursive PROP bisection (+ refinement) at k=4.
+
+    Uses a smaller instance — the reference direct implementation scans
+    all free nodes per move.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.kway import KWayFMPartitioner, kway_cut, pairwise_refine
+
+    small = make_benchmark("t6", scale=0.15)
+    direct = min(
+        KWayFMPartitioner(4).partition(small, seed=s).cut for s in range(3)
+    )
+    recursive = recursive_bisection(small, 4, seed=0)
+    refined_assignment, _ = pairwise_refine(
+        small, recursive.assignment, 4, seed=0
+    )
+    refined = kway_cut(small, refined_assignment)
+    write_result(
+        results_dir,
+        "ext_direct_kway",
+        (
+            f"k=4 on t6@0.15: direct KFM best={direct:.0f}  "
+            f"recursive+refine={refined:.0f}"
+        ),
+    )
+    # same quality regime; neither approach should collapse
+    assert direct <= refined * 1.5
+    assert refined <= direct * 1.5
+
+
+def test_timing_driven_protection(circuit, results_dir, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    critical = synthetic_critical_nets(circuit, fraction=0.1, seed=1)
+    weighted = critical_net_weights(circuit, critical, critical_weight=10.0)
+    oblivious = run_many(PropPartitioner(), circuit, runs=RUNS)
+    aware = run_many(PropPartitioner(), weighted, runs=RUNS)
+    rep_obl = timing_report(weighted, oblivious.best.sides, critical)
+    rep_aware = timing_report(weighted, aware.best.sides, critical)
+    write_result(
+        results_dir,
+        "ext_timing",
+        (
+            f"critical nets cut: oblivious "
+            f"{rep_obl.critical_cut}/{rep_obl.critical_total}  "
+            f"aware {rep_aware.critical_cut}/{rep_aware.critical_total}"
+        ),
+    )
+    assert rep_aware.critical_cut <= rep_obl.critical_cut

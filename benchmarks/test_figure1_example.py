@@ -1,0 +1,63 @@
+"""Figure 1 — the paper's worked example, regenerated and timed.
+
+Asserts every printed value of Fig. 1(a)/(b)/(c) exactly and benchmarks the
+three gain computations (FM Eqn. 1, LA-3 vectors, PROP Eqns. 3/4) on the
+example netlist.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import (
+    EXPECTED_FM_GAINS,
+    EXPECTED_LA3_VECTORS,
+    EXPECTED_PROP_GAINS,
+    best_move_ranking,
+    build_figure1,
+    figure1_fm_gains,
+    figure1_la3_vectors,
+    figure1_prop_gains,
+)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return build_figure1()
+
+
+def _format(circuit) -> str:
+    fm = figure1_fm_gains(circuit)
+    la = figure1_la3_vectors(circuit)
+    prop = figure1_prop_gains(circuit)
+    lines = [
+        "Figure 1 — FM gain / LA-3 gain vector / PROP gain per node",
+        f"{'node':>5s} {'FM':>5s} {'LA-3':>12s} {'PROP':>9s}",
+    ]
+    for label in sorted(fm):
+        vec = ",".join(f"{x:g}" for x in la[label])
+        lines.append(
+            f"{label:>5d} {fm[label]:>5.0f} {('(' + vec + ')'):>12s} "
+            f"{prop[label]:>9.4f}"
+        )
+    lines.append(f"PROP move ranking (best first): {best_move_ranking(circuit)}")
+    return "\n".join(lines)
+
+
+def test_figure1_fm_gains_exact(circuit, benchmark):
+    gains = benchmark(figure1_fm_gains, circuit)
+    assert gains == EXPECTED_FM_GAINS
+
+
+def test_figure1_la3_vectors_exact(circuit, benchmark):
+    vectors = benchmark(figure1_la3_vectors, circuit)
+    for label, expected in EXPECTED_LA3_VECTORS.items():
+        assert vectors[label] == expected
+
+
+def test_figure1_prop_gains_exact(circuit, benchmark, results_dir):
+    gains = benchmark(figure1_prop_gains, circuit)
+    for label, expected in EXPECTED_PROP_GAINS.items():
+        assert gains[label] == pytest.approx(expected, abs=1e-9)
+    # the paper's punchline: PROP alone ranks 3 > 2 > 1
+    assert best_move_ranking(circuit)[:3] == [3, 2, 1]
+    write_result(results_dir, "figure1", _format(circuit))

@@ -1,0 +1,99 @@
+"""Sec. 3.5 / Sec. 4 — complexity shapes.
+
+The paper derives Θ(m log n) per PROP pass (m = pins) and Θ(nd) for
+FM-bucket, and reports PROP ≈ 4.6x FM-bucket per run.  This bench sweeps
+instance size and checks the growth is near-linear in m (log factors and
+constant noise absorbed by a generous exponent window), plus benchmarks a
+single mid-size run of each method.
+"""
+
+
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.baselines import FMPartitioner
+from repro.core import PropPartitioner
+from repro.hypergraph import hierarchical_circuit
+
+SIZES = (300, 600, 1200, 2400)
+
+
+def _time_once(partitioner, graph) -> float:
+    start = time.perf_counter()
+    partitioner.partition(graph, seed=0)
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for n in SIZES:
+        graph = hierarchical_circuit(n, round(n * 1.05), round(n * 3.8), seed=1)
+        prop_t = _time_once(PropPartitioner(), graph)
+        fm_t = _time_once(FMPartitioner("bucket"), graph)
+        rows.append((n, graph.num_pins, prop_t, fm_t))
+    return rows
+
+
+def test_scaling_sweep(sweep, results_dir, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        "Scaling sweep — seconds per full run vs instance size",
+        f"{'n':>6s} {'pins':>7s} {'PROP s':>9s} {'FM s':>9s} {'ratio':>7s}",
+    ]
+    for n, m, prop_t, fm_t in sweep:
+        lines.append(
+            f"{n:>6d} {m:>7d} {prop_t:>9.3f} {fm_t:>9.3f} "
+            f"{prop_t / fm_t:>7.1f}"
+        )
+    write_result(results_dir, "scaling", "\n".join(lines))
+
+
+def test_prop_growth_near_linear_in_pins(sweep, benchmark):
+    """Fitted exponent of time vs m must stay below quadratic.
+
+    Θ(m log n) plus a mildly size-dependent pass count lands around
+    1.4-1.8 empirically; we reject >= 2.0, which would indicate an
+    accidental O(m²) inner loop.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.analysis import fit_power_law
+
+    fit = fit_power_law([m for _, m, _, _ in sweep],
+                        [t for _, _, t, _ in sweep])
+    assert fit.exponent < 2.0, (
+        f"PROP time grows as m^{fit.exponent:.2f} (R²={fit.r_squared:.2f})"
+    )
+
+
+def test_fm_growth_near_linear_in_pins(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.analysis import fit_power_law
+
+    fit = fit_power_law([m for _, m, _, _ in sweep],
+                        [t for _, _, _, t in sweep])
+    assert fit.exponent < 1.8, (
+        f"FM time grows as m^{fit.exponent:.2f} (R²={fit.r_squared:.2f})"
+    )
+
+
+def test_prop_fm_ratio_stays_bounded(sweep, benchmark):
+    """The PROP/FM per-run ratio must not blow up with size (both are
+    near-linear; the paper's ratio is a constant 4.6)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ratios = [prop_t / fm_t for _, _, prop_t, fm_t in sweep]
+    assert max(ratios) < 40.0
+    assert max(ratios) / min(ratios) < 6.0
+
+
+def test_single_run_benchmarks(benchmark):
+    """pytest-benchmark timing for one mid-size PROP run."""
+    graph = hierarchical_circuit(800, 840, 3040, seed=2)
+    result = benchmark.pedantic(
+        lambda: PropPartitioner().partition(graph, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.cut > 0

@@ -1,0 +1,44 @@
+"""Table 1 — benchmark circuit characteristics.
+
+Regenerates the full 16-circuit suite at scale 1.0, asserts the exact
+node/net/pin counts of the paper, and benchmarks suite generation.
+"""
+
+from conftest import write_result
+from repro.experiments import table1_rows
+from repro.hypergraph import (
+    BENCHMARK_NAMES,
+    TABLE1_CHARACTERISTICS,
+    make_benchmark,
+)
+
+
+def _format(rows) -> str:
+    lines = [
+        "Table 1 — benchmark circuit characteristics (scale 1.0)",
+        f"{'circuit':<12s}{'#nodes':>8s}{'#nets':>8s}{'#pins':>8s}   paper",
+    ]
+    for name in BENCHMARK_NAMES:
+        row = rows[name]
+        paper = TABLE1_CHARACTERISTICS[name]
+        match = "exact" if tuple(row.values()) == paper else "MISMATCH"
+        lines.append(
+            f"{name:<12s}{row['nodes']:>8d}{row['nets']:>8d}"
+            f"{row['pins']:>8d}   {match}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_exact_counts(results_dir, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = table1_rows(scale=1.0)
+    for name in BENCHMARK_NAMES:
+        assert tuple(rows[name].values()) == TABLE1_CHARACTERISTICS[name], name
+    write_result(results_dir, "table1", _format(rows))
+
+
+def test_generation_speed(benchmark):
+    """Generating the largest circuit (industry2: 12637 nodes, 48404 pins)
+    must stay cheap — it runs inside every full-scale experiment."""
+    graph = benchmark(make_benchmark, "industry2")
+    assert graph.num_pins == TABLE1_CHARACTERISTICS["industry2"][2]

@@ -1,0 +1,78 @@
+"""Table 2 — cutset comparison under the 50-50% balance criterion.
+
+Regenerates the paper's main table: FM with 100/40/20 runs, LA-2, LA-3
+(20 runs each), WINDOW, and PROP (20 runs), best cut per circuit, totals,
+and PROP's improvement percentages.  Runs/scale are reduced by default
+(see conftest); the *shape* assertions are the paper's qualitative claims
+that survive down-scaling:
+
+* more FM runs never hurt (FM100 <= FM40 <= FM20 on totals);
+* PROP's total is competitive with every iterative method's total
+  (at full scale the paper reports PROP strictly winning by 16-30%).
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import run_table2
+from repro.experiments.paper_data import (
+    PAPER_TABLE2_IMPROVEMENTS,
+    PAPER_TABLE2_TOTALS,
+)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2()
+
+
+def test_regenerate_table2(table2, results_dir, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = table2.format_text()
+    paper = ", ".join(
+        f"{alg}: {PAPER_TABLE2_TOTALS[alg]}" for alg in table2.algorithms
+    )
+    imps = ", ".join(
+        f"{a}: +{v}" for a, v in PAPER_TABLE2_IMPROVEMENTS.items()
+    )
+    text += (
+        f"\npaper totals (full scale): {paper}"
+        f"\npaper PROP improvements: {imps}"
+    )
+    write_result(results_dir, "table2", text)
+
+
+def test_more_fm_runs_never_hurt(table2, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    totals = table2.totals()
+    assert totals["FM100"] <= totals["FM40"] <= totals["FM20"]
+
+
+def test_prop_competitive_with_fm20(table2, benchmark):
+    """At full scale the paper reports PROP 30% ahead of FM20; at bench
+    scale the instances are easier, so we assert PROP is at least not
+    worse on totals (it typically wins on the larger circuits)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    totals = table2.totals()
+    assert totals["PROP"] <= totals["FM20"] * 1.02
+
+
+def test_prop_competitive_with_la(table2, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    totals = table2.totals()
+    assert totals["PROP"] <= totals["LA-2"] * 1.05
+    assert totals["PROP"] <= totals["LA-3"] * 1.05
+
+
+def test_every_cut_is_balanced(table2, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.hypergraph import make_benchmark
+    from repro.experiments import bench_scale_from_env
+    from repro.partition import balance_ratio
+
+    scale, _, _ = bench_scale_from_env()
+    for circuit, row in table2.rows.items():
+        graph = make_benchmark(circuit, scale=scale)
+        for alg, outcome in row.items():
+            ratio = balance_ratio(graph, outcome.best.sides)
+            assert ratio <= 0.5 + 2.0 / graph.num_nodes, (circuit, alg)

@@ -1,0 +1,81 @@
+"""Table 3 — cutset comparison under the 45-55% balance criterion.
+
+PROP (20 runs) against the clustering-based methods: MELO, PARABOLI-style
+and EIG1 (each deterministic, 1 run).  At full scale the paper reports
+PROP ahead by 19.9% / 15.0% / 57.1% respectively; the scale-robust shape
+asserted here is that PROP beats EIG1 decisively and is no worse than the
+other two in total.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import run_table3
+from repro.experiments.paper_data import (
+    PAPER_TABLE3_IMPROVEMENTS,
+    PAPER_TABLE3_TOTALS,
+)
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3()
+
+
+def test_regenerate_table3(table3, results_dir, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = table3.format_text()
+    paper = ", ".join(
+        f"{alg}: {PAPER_TABLE3_TOTALS[alg]}" for alg in table3.algorithms
+    )
+    imps = ", ".join(
+        f"{a}: +{v}" for a, v in PAPER_TABLE3_IMPROVEMENTS.items()
+    )
+    text += (
+        f"\npaper totals (full scale): {paper}"
+        f"\npaper PROP improvements: {imps}"
+    )
+    write_result(results_dir, "table3", text)
+
+
+def test_prop_beats_eig1_decisively(table3, benchmark):
+    """The paper's widest margin (57%); it survives any scale."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    totals = table3.totals()
+    assert totals["PROP"] < totals["EIG1"] * 0.75
+
+
+def test_prop_no_worse_than_melo(table3, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    totals = table3.totals()
+    assert totals["PROP"] <= totals["MELO"] * 1.05
+
+
+def test_prop_no_worse_than_paraboli(table3, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    totals = table3.totals()
+    assert totals["PROP"] <= totals["PARABOLI"] * 1.05
+
+
+def test_per_circuit_prop_wins_majority_vs_eig1(table3, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    wins = sum(
+        1
+        for c in table3.rows
+        if table3.cut(c, "PROP") < table3.cut(c, "EIG1")
+    )
+    assert wins > len(table3.rows) / 2
+
+
+def test_balance_4555_respected(table3, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.experiments import bench_scale_from_env
+    from repro.hypergraph import make_benchmark
+    from repro.partition import balance_ratio
+
+    scale, _, _ = bench_scale_from_env()
+    for circuit, row in table3.rows.items():
+        graph = make_benchmark(circuit, scale=scale)
+        for alg, outcome in row.items():
+            ratio = balance_ratio(graph, outcome.best.sides)
+            assert ratio <= 0.55 + 1e-9, (circuit, alg, ratio)

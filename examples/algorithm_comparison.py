@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare every partitioner in the library on one circuit.
+
+Reproduces the paper's Sec. 4 protocol in miniature: iterative methods get
+multiple random-restart runs (best kept), the deterministic clustering
+methods run once.  Prints a Table-2/3-style row set with per-run timing.
+
+Run:  python examples/algorithm_comparison.py [circuit] [scale]
+e.g.  python examples/algorithm_comparison.py s9234 0.25
+"""
+
+import sys
+
+from repro import (
+    BalanceConstraint,
+    Eig1Partitioner,
+    FMPartitioner,
+    KLPartitioner,
+    LAPartitioner,
+    MeloPartitioner,
+    MultilevelPartitioner,
+    ParaboliPartitioner,
+    PropPartitioner,
+    RandomPartitioner,
+    TwoPhasePropPartitioner,
+    WindowPartitioner,
+    compute_stats,
+    make_benchmark,
+    run_many,
+)
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "p2"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    graph = make_benchmark(circuit, scale=scale)
+    stats = compute_stats(graph)
+    print(f"circuit {circuit!r} @ scale {scale}: {stats.n} nodes, "
+          f"{stats.e} nets, {stats.m} pins")
+
+    balance = BalanceConstraint.forty_five_fifty_five(graph)
+    print(balance.describe(), "\n")
+
+    # (partitioner, number of runs) — iterative methods restart, the
+    # global/deterministic ones do not benefit from restarts.
+    lineup = [
+        (RandomPartitioner(), 1),
+        (FMPartitioner("bucket"), 10),
+        (FMPartitioner("tree"), 10),
+        (LAPartitioner(2), 5),
+        (LAPartitioner(3), 5),
+        (KLPartitioner(), 5),
+        (Eig1Partitioner(), 1),
+        (MeloPartitioner(), 1),
+        (ParaboliPartitioner(), 1),
+        (WindowPartitioner(), 1),
+        (PropPartitioner(), 5),
+        (TwoPhasePropPartitioner(), 3),
+        (MultilevelPartitioner(), 3),
+    ]
+
+    print(f"{'algorithm':<12s}{'runs':>5s}{'best':>8s}{'mean':>8s}"
+          f"{'s/run':>8s}")
+    print("-" * 41)
+    rows = []
+    for partitioner, runs in lineup:
+        outcome = run_many(partitioner, graph, runs=runs, balance=balance)
+        rows.append(outcome)
+        print(f"{outcome.algorithm:<12s}{runs:>5d}{outcome.best_cut:>8.0f}"
+              f"{outcome.mean_cut:>8.1f}{outcome.seconds_per_run:>8.3f}")
+
+    best = min(rows, key=lambda r: r.best_cut)
+    print(f"\nwinner: {best.algorithm} with cut {best.best_cut:.0f}")
+
+if __name__ == "__main__":
+    main()

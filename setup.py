@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so the package can be
+installed editable (``pip install -e .``) in offline environments that lack
+the ``wheel`` package needed for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""PROP — probability-based VLSI circuit partitioning.
+
+A complete, from-scratch reproduction of
+
+    Shantanu Dutt and Wenyong Deng,
+    "A Probability-Based Approach to VLSI Circuit Partitioning",
+    Proc. 33rd Design Automation Conference (DAC), 1996.
+
+Top-level surface (the most common entry points)::
+
+    from repro import (
+        Hypergraph, PropPartitioner, PropConfig, BalanceConstraint,
+        FMPartitioner, LAPartitioner, run_many,
+    )
+
+Subpackages:
+
+* ``repro.hypergraph``   — netlist data structure, I/O, circuit generators
+* ``repro.datastructures`` — AVL tree, FM gain buckets, pass journal
+* ``repro.partition``    — partition state, balance, metrics
+* ``repro.core``         — PROP itself (the paper's contribution)
+* ``repro.baselines``    — FM, LA, KL, EIG1, MELO, WINDOW, PARABOLI
+* ``repro.multirun``     — best-of-N run protocol
+* ``repro.kway``         — recursive k-way partitioning
+* ``repro.timing``       — timing-driven net weighting
+* ``repro.fpga``         — multi-FPGA partitioning flow
+* ``repro.experiments``  — regeneration of the paper's tables and Figure 1
+"""
+
+from .baselines import (
+    AnnealingPartitioner,
+    Eig1Partitioner,
+    FMPartitioner,
+    KLPartitioner,
+    LAPartitioner,
+    MeloPartitioner,
+    ParaboliPartitioner,
+    RandomPartitioner,
+    WindowPartitioner,
+)
+from .core import (
+    PAPER_CONFIG,
+    PropConfig,
+    PropPartitioner,
+    TwoPhasePropPartitioner,
+    prop_bisect,
+)
+from .hypergraph import (
+    Hypergraph,
+    HypergraphBuilder,
+    HypergraphError,
+    benchmark_suite,
+    compute_stats,
+    make_benchmark,
+)
+from .multilevel import MultilevelPartitioner
+from .multirun import MultiRunResult, run_many
+from .partition import (
+    BalanceConstraint,
+    BipartitionResult,
+    Partition,
+    cut_cost,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # netlists
+    "Hypergraph",
+    "HypergraphBuilder",
+    "HypergraphError",
+    "make_benchmark",
+    "benchmark_suite",
+    "compute_stats",
+    # partition substrate
+    "Partition",
+    "BalanceConstraint",
+    "BipartitionResult",
+    "cut_cost",
+    # PROP
+    "PropPartitioner",
+    "TwoPhasePropPartitioner",
+    "PropConfig",
+    "PAPER_CONFIG",
+    "prop_bisect",
+    # baselines
+    "FMPartitioner",
+    "LAPartitioner",
+    "KLPartitioner",
+    "Eig1Partitioner",
+    "MeloPartitioner",
+    "WindowPartitioner",
+    "ParaboliPartitioner",
+    "RandomPartitioner",
+    "AnnealingPartitioner",
+    "MultilevelPartitioner",
+    # harness
+    "run_many",
+    "MultiRunResult",
+]

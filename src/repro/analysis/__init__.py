@@ -1,0 +1,42 @@
+"""Run-population analysis: distributions, convergence, comparisons."""
+
+from .comparison import (
+    HeadToHead,
+    comparison_matrix,
+    format_head_to_head,
+    head_to_head,
+)
+from .scaling import PowerLawFit, fit_power_law
+from .prediction import (
+    MoveSample,
+    PredictionReport,
+    analyze_prediction,
+    collect_move_samples,
+    gain_prediction_report,
+)
+from .distribution import (
+    CutDistribution,
+    ascii_histogram,
+    convergence_trace,
+    cut_distribution,
+    runs_to_reach,
+)
+
+__all__ = [
+    "CutDistribution",
+    "cut_distribution",
+    "convergence_trace",
+    "runs_to_reach",
+    "ascii_histogram",
+    "head_to_head",
+    "comparison_matrix",
+    "format_head_to_head",
+    "HeadToHead",
+    "collect_move_samples",
+    "analyze_prediction",
+    "gain_prediction_report",
+    "MoveSample",
+    "PredictionReport",
+    "fit_power_law",
+    "PowerLawFit",
+]

@@ -1,0 +1,117 @@
+"""Statistical head-to-head comparison of partitioners.
+
+The paper compares total cuts across 16 circuits; with a synthetic suite
+and scaled runs it is worth asking whether a measured difference is
+signal.  This module provides paired-comparison machinery:
+
+* :func:`head_to_head` — wins/losses/ties over paired per-circuit cuts,
+  with a sign-test p-value (and Wilcoxon signed-rank where applicable);
+* :func:`comparison_matrix` — all-pairs summary over a results table such
+  as :class:`repro.experiments.tables.ComparisonTable` totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class HeadToHead:
+    """Paired comparison of algorithm A vs algorithm B."""
+
+    wins: int          # circuits where A cut < B cut
+    losses: int        # circuits where A cut > B cut
+    ties: int
+    mean_improvement_percent: float  # paper metric, averaged over pairs
+    sign_test_p: float               # P(this win/loss split | no difference)
+    wilcoxon_p: Optional[float]      # None when undefined (all ties / tiny n)
+
+    @property
+    def decisive(self) -> bool:
+        """True when the sign test rejects 'no difference' at 5%."""
+        return self.sign_test_p < 0.05
+
+
+def head_to_head(
+    cuts_a: Sequence[float], cuts_b: Sequence[float]
+) -> HeadToHead:
+    """Compare paired per-circuit cuts of two algorithms (A vs B)."""
+    if len(cuts_a) != len(cuts_b):
+        raise ValueError(
+            f"paired comparison needs equal lengths, got "
+            f"{len(cuts_a)} vs {len(cuts_b)}"
+        )
+    if not cuts_a:
+        raise ValueError("no pairs to compare")
+
+    wins = sum(1 for a, b in zip(cuts_a, cuts_b) if a < b)
+    losses = sum(1 for a, b in zip(cuts_a, cuts_b) if a > b)
+    ties = len(cuts_a) - wins - losses
+
+    improvements = []
+    for a, b in zip(cuts_a, cuts_b):
+        larger = max(a, b)
+        improvements.append(0.0 if larger == 0 else (b - a) / larger * 100.0)
+    mean_improvement = sum(improvements) / len(improvements)
+
+    decisive_pairs = wins + losses
+    if decisive_pairs == 0:
+        sign_p = 1.0
+    else:
+        sign_p = stats.binomtest(
+            wins, decisive_pairs, 0.5, alternative="two-sided"
+        ).pvalue
+
+    wilcoxon_p: Optional[float] = None
+    diffs = [a - b for a, b in zip(cuts_a, cuts_b) if a != b]
+    if len(diffs) >= 5:
+        try:
+            wilcoxon_p = float(stats.wilcoxon(diffs).pvalue)
+        except ValueError:  # pragma: no cover - degenerate inputs
+            wilcoxon_p = None
+
+    return HeadToHead(
+        wins=wins,
+        losses=losses,
+        ties=ties,
+        mean_improvement_percent=mean_improvement,
+        sign_test_p=float(sign_p),
+        wilcoxon_p=wilcoxon_p,
+    )
+
+
+def comparison_matrix(
+    cuts_by_algorithm: Mapping[str, Sequence[float]],
+) -> Dict[str, Dict[str, HeadToHead]]:
+    """All-pairs head-to-head over a {algorithm: per-circuit cuts} table."""
+    algorithms = list(cuts_by_algorithm)
+    lengths = {len(cuts_by_algorithm[a]) for a in algorithms}
+    if len(lengths) > 1:
+        raise ValueError("all algorithms need the same circuit list")
+    out: Dict[str, Dict[str, HeadToHead]] = {}
+    for a in algorithms:
+        out[a] = {}
+        for b in algorithms:
+            if a != b:
+                out[a][b] = head_to_head(
+                    cuts_by_algorithm[a], cuts_by_algorithm[b]
+                )
+    return out
+
+
+def format_head_to_head(name_a: str, name_b: str, result: HeadToHead) -> str:
+    """One-line human-readable rendering."""
+    wilcoxon = (
+        f", wilcoxon p={result.wilcoxon_p:.3f}"
+        if result.wilcoxon_p is not None
+        else ""
+    )
+    return (
+        f"{name_a} vs {name_b}: {result.wins}W/{result.losses}L/"
+        f"{result.ties}T, mean improvement "
+        f"{result.mean_improvement_percent:+.1f}%, sign p="
+        f"{result.sign_test_p:.3f}{wilcoxon}"
+    )

@@ -1,0 +1,114 @@
+"""Gain-prediction quality: does PROP's probabilistic gain predict value?
+
+The paper's thesis is that the probabilistic gain is a better *predictor*
+of a move's ultimate worth than the deterministic immediate gain.  This
+module measures that directly: instrument a PROP run, collect
+(selection gain, realized immediate gain) pairs per move, and report how
+selection gains relate to what the moves actually delivered — including
+the fraction of selected moves whose immediate gain was negative but that
+PROP chose anyway for their future value (Sec. 3's "the immediate gain of
+that move might be small or even negative").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from scipy import stats
+
+from ..core import PropConfig
+from ..core.engine import run_prop
+from ..hypergraph import Hypergraph
+from ..partition import BalanceConstraint, random_balanced_sides
+
+
+@dataclass(frozen=True)
+class MoveSample:
+    """One observed move."""
+
+    pass_index: int
+    node: int
+    selection_gain: float    # probabilistic gain at selection time
+    immediate_gain: float    # realized cut delta
+
+
+@dataclass
+class PredictionReport:
+    """Summary of gain-prediction quality over one PROP run."""
+
+    samples: List[MoveSample]
+    spearman_rho: Optional[float]   # rank correlation, first-pass moves
+    negative_immediate_fraction: float
+    mean_selection_gain: float
+    mean_immediate_gain: float
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.samples)
+
+
+def collect_move_samples(
+    graph: Hypergraph,
+    balance: Optional[BalanceConstraint] = None,
+    config: Optional[PropConfig] = None,
+    seed: int = 0,
+) -> List[MoveSample]:
+    """Run PROP once, capturing every tentative move."""
+    if balance is None:
+        balance = BalanceConstraint.fifty_fifty(graph)
+    samples: List[MoveSample] = []
+
+    def observer(pass_index, node, selection_gain, immediate_gain):
+        samples.append(
+            MoveSample(pass_index, node, selection_gain, immediate_gain)
+        )
+
+    run_prop(
+        graph,
+        random_balanced_sides(graph, seed),
+        balance,
+        config=config,
+        seed=seed,
+        observer=observer,
+    )
+    return samples
+
+
+def analyze_prediction(
+    samples: Sequence[MoveSample],
+) -> PredictionReport:
+    """Summarize a sample set (see module docstring)."""
+    if not samples:
+        raise ValueError("no move samples")
+    first_pass = [s for s in samples if s.pass_index == 0]
+    rho: Optional[float] = None
+    if len(first_pass) >= 8:
+        sel = [s.selection_gain for s in first_pass]
+        imm = [s.immediate_gain for s in first_pass]
+        if len(set(sel)) > 1 and len(set(imm)) > 1:
+            rho = float(stats.spearmanr(sel, imm).statistic)
+    negative = sum(1 for s in samples if s.immediate_gain < 0)
+    return PredictionReport(
+        samples=list(samples),
+        spearman_rho=rho,
+        negative_immediate_fraction=negative / len(samples),
+        mean_selection_gain=(
+            sum(s.selection_gain for s in samples) / len(samples)
+        ),
+        mean_immediate_gain=(
+            sum(s.immediate_gain for s in samples) / len(samples)
+        ),
+    )
+
+
+def gain_prediction_report(
+    graph: Hypergraph,
+    balance: Optional[BalanceConstraint] = None,
+    config: Optional[PropConfig] = None,
+    seed: int = 0,
+) -> PredictionReport:
+    """Convenience: run + analyze in one call."""
+    return analyze_prediction(
+        collect_move_samples(graph, balance=balance, config=config, seed=seed)
+    )

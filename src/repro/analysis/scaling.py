@@ -1,0 +1,65 @@
+"""Empirical complexity fitting.
+
+The paper's Sec. 3.5 derives Θ(m log n) per PROP pass; the scaling bench
+verifies the *measured* growth.  This module holds the fitting utilities:
+a log-log least-squares power-law fit with goodness-of-fit, so benches
+and users can state "time grows as m^1.2 (R² = 0.99)" instead of eyeballs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ≈ coefficient * x^exponent`` fitted in log-log space."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Value of the fitted law at ``x`` (x must be positive)."""
+        if x <= 0:
+            raise ValueError("power law defined for x > 0")
+        return self.coefficient * x ** self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``y = c * x^a`` on positive data.
+
+    Requires at least two distinct x values; all xs and ys must be
+    positive (they are sizes and times).
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ValueError("need at least 2 points")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit needs positive data")
+
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        raise ValueError("need at least two distinct x values")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    exponent = sxy / sxx
+    intercept = mean_y - exponent * mean_x
+
+    ss_tot = sum((y - mean_y) ** 2 for y in ly)
+    ss_res = sum(
+        (y - (exponent * x + intercept)) ** 2 for x, y in zip(lx, ly)
+    )
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=exponent,
+        coefficient=math.exp(intercept),
+        r_squared=r_squared,
+    )

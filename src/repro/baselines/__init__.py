@@ -1,0 +1,50 @@
+"""Every baseline the DAC-96 paper compares PROP against.
+
+Iterative-improvement family:
+
+* :class:`FMPartitioner` — Fidducia–Mattheyses (bucket and tree variants)
+* :class:`LAPartitioner` — Krishnamurthy lookahead LA-k
+* :class:`KLPartitioner` — Kernighan–Lin pair swaps (historical)
+
+Clustering / global family:
+
+* :class:`Eig1Partitioner` — spectral Fiedler bisection (EIG1)
+* :class:`MeloPartitioner` — multi-eigenvector linear ordering (MELO-style)
+* :class:`WindowPartitioner` — ordering/clustering + FM (WINDOW-style)
+* :class:`ParaboliPartitioner` — quadratic-placement bisection (PARABOLI-style)
+
+Plus :class:`RandomPartitioner`, the sanity floor.
+"""
+
+from .annealing import AnnealingPartitioner
+from .fm import FMPartitioner, run_fm
+from .kl import KLPartitioner
+from .la import LAPartitioner, gain_vector, run_la
+from .paraboli import (
+    ParaboliPartitioner,
+    pseudo_peripheral_pair,
+    quadratic_placement,
+)
+from .random_baseline import RandomPartitioner
+from .sk import SKPartitioner
+from .spectral import Eig1Partitioner, MeloPartitioner
+from .window import WindowPartitioner, attraction_ordering
+
+__all__ = [
+    "FMPartitioner",
+    "run_fm",
+    "LAPartitioner",
+    "run_la",
+    "gain_vector",
+    "KLPartitioner",
+    "SKPartitioner",
+    "Eig1Partitioner",
+    "MeloPartitioner",
+    "WindowPartitioner",
+    "attraction_ordering",
+    "ParaboliPartitioner",
+    "quadratic_placement",
+    "pseudo_peripheral_pair",
+    "RandomPartitioner",
+    "AnnealingPartitioner",
+]

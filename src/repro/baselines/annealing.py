@@ -1,0 +1,115 @@
+"""Simulated-annealing min-cut bisection.
+
+The third approach class the paper's introduction lists (citation [12],
+Sechen's TimberWolf book).  Not part of the paper's tables — included so
+the library covers every family the paper situates PROP against, and as a
+quality yardstick in the examples: SA with a generous schedule approaches
+iterative-improvement quality but costs far more moves.
+
+Standard Metropolis scheme over single-node moves:
+
+* proposal: move a uniformly random *movable* node (one whose move keeps
+  the balance constraint);
+* acceptance: always if the cut does not increase, else with probability
+  ``exp(-delta / T)``;
+* geometric cooling ``T <- alpha * T`` every ``moves_per_temperature``
+  proposals, from ``t_initial`` down to ``t_final``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Optional, Sequence
+
+from ..hypergraph import Hypergraph
+from ..partition import (
+    BalanceConstraint,
+    BipartitionResult,
+    Partition,
+    random_balanced_sides,
+)
+
+
+class AnnealingPartitioner:
+    """Metropolis simulated annealing over single-node moves."""
+
+    def __init__(
+        self,
+        t_initial: float = 4.0,
+        t_final: float = 0.05,
+        alpha: float = 0.9,
+        moves_per_temperature: Optional[int] = None,
+    ) -> None:
+        if t_initial <= t_final or t_final <= 0:
+            raise ValueError(
+                f"need t_initial > t_final > 0, got ({t_initial}, {t_final})"
+            )
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if moves_per_temperature is not None and moves_per_temperature < 1:
+            raise ValueError("moves_per_temperature must be >= 1")
+        self.t_initial = t_initial
+        self.t_final = t_final
+        self.alpha = alpha
+        self.moves_per_temperature = moves_per_temperature
+
+    name = "SA"
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        balance: Optional[BalanceConstraint] = None,
+        initial_sides: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> BipartitionResult:
+        """Bisect ``graph`` by simulated annealing from a (seeded) random start."""
+        if balance is None:
+            balance = BalanceConstraint.fifty_fifty(graph)
+        if initial_sides is None:
+            initial_sides = random_balanced_sides(graph, seed)
+        rng = random.Random(seed)
+        start = time.perf_counter()
+
+        partition = Partition(graph, initial_sides)
+        moves_per_t = self.moves_per_temperature
+        if moves_per_t is None:
+            moves_per_t = max(16, 4 * graph.num_nodes)
+
+        best_sides = partition.sides
+        best_cut = partition.cut_cost
+        temperature = self.t_initial
+        temperatures = 0
+        accepted_total = 0
+        while temperature > self.t_final:
+            accepted = 0
+            for _ in range(moves_per_t):
+                node = rng.randrange(graph.num_nodes)
+                weight = graph.node_weight(node)
+                if not balance.move_allowed(
+                    partition.side_weights, partition.side(node), weight
+                ):
+                    continue
+                delta = -partition.immediate_gain(node)  # cut increase
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    partition.move(node)
+                    accepted += 1
+                    if partition.cut_cost < best_cut:
+                        best_cut = partition.cut_cost
+                        best_sides = partition.sides
+            accepted_total += accepted
+            temperatures += 1
+            temperature *= self.alpha
+
+        result = BipartitionResult(
+            sides=best_sides,
+            cut=best_cut,
+            algorithm="SA",
+            seed=seed,
+            passes=temperatures,
+            runtime_seconds=time.perf_counter() - start,
+            stats={"accepted_moves": float(accepted_total)},
+        )
+        result.verify(graph)
+        return result

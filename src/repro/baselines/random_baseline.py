@@ -1,0 +1,43 @@
+"""Random balanced bisection — the sanity floor every method must beat."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from ..hypergraph import Hypergraph
+from ..partition import (
+    BalanceConstraint,
+    BipartitionResult,
+    cut_cost,
+    random_balanced_sides,
+)
+
+
+class RandomPartitioner:
+    """Returns a seeded random balanced bisection (no improvement at all)."""
+
+    name = "RANDOM"
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        balance: Optional[BalanceConstraint] = None,  # noqa: ARG002 - random split is always ~balanced
+        initial_sides: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> BipartitionResult:
+        """Return the seeded random balanced bisection (no improvement)."""
+        start = time.perf_counter()
+        sides = (
+            list(initial_sides)
+            if initial_sides is not None
+            else random_balanced_sides(graph, seed)
+        )
+        return BipartitionResult(
+            sides=sides,
+            cut=cut_cost(graph, sides),
+            algorithm="RANDOM",
+            seed=seed,
+            passes=0,
+            runtime_seconds=time.perf_counter() - start,
+        )

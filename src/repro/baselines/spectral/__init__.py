@@ -1,0 +1,19 @@
+"""Spectral partitioning baselines (EIG1, MELO) and their Laplacian substrate."""
+
+from .eig1 import Eig1Partitioner
+from .laplacian import (
+    DENSE_THRESHOLD,
+    fiedler_vector,
+    laplacian_matrix,
+    smallest_eigenvectors,
+)
+from .melo import MeloPartitioner
+
+__all__ = [
+    "Eig1Partitioner",
+    "MeloPartitioner",
+    "laplacian_matrix",
+    "fiedler_vector",
+    "smallest_eigenvectors",
+    "DENSE_THRESHOLD",
+]

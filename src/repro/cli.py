@@ -1,0 +1,349 @@
+"""Command-line driver: ``prop-partition`` (or ``python -m repro``).
+
+Examples
+--------
+Partition a netlist file with PROP, 20 runs, 45-55 balance::
+
+    prop-partition mydesign.hgr --algorithm prop --runs 20 --balance 45-55
+
+Generate a synthetic Table-1 benchmark and compare algorithms::
+
+    prop-partition --generate struct --scale 0.2 --algorithm fm la-2 prop
+
+Write the best partition to JSON::
+
+    prop-partition mydesign.hgr -a prop -o result.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from .baselines import (
+    Eig1Partitioner,
+    FMPartitioner,
+    KLPartitioner,
+    LAPartitioner,
+    MeloPartitioner,
+    ParaboliPartitioner,
+    RandomPartitioner,
+    WindowPartitioner,
+)
+from .core import PropPartitioner
+from .hypergraph import BENCHMARK_NAMES, Hypergraph, compute_stats, make_benchmark
+from .hypergraph import io_ as netlist_io
+from .multirun import run_many
+from .partition import BalanceConstraint, balance_ratio
+
+
+def _make_partitioner(name: str):
+    key = name.lower()
+    if key == "prop":
+        return PropPartitioner()
+    if key in ("fm", "fm-bucket"):
+        return FMPartitioner("bucket")
+    if key == "fm-tree":
+        return FMPartitioner("tree")
+    if key.startswith("la-"):
+        return LAPartitioner(int(key.split("-", 1)[1]))
+    if key == "kl":
+        return KLPartitioner()
+    if key == "eig1":
+        return Eig1Partitioner()
+    if key == "melo":
+        return MeloPartitioner()
+    if key == "window":
+        return WindowPartitioner()
+    if key == "paraboli":
+        return ParaboliPartitioner()
+    if key == "random":
+        return RandomPartitioner()
+    if key in ("ml", "ml-prop", "multilevel"):
+        from .multilevel import MultilevelPartitioner
+
+        return MultilevelPartitioner()
+    if key in ("prop-cl", "two-phase"):
+        from .core import TwoPhasePropPartitioner
+
+        return TwoPhasePropPartitioner()
+    if key == "sa":
+        from .baselines import AnnealingPartitioner
+
+        return AnnealingPartitioner()
+    raise argparse.ArgumentTypeError(f"unknown algorithm {name!r}")
+
+
+def _make_balance(graph: Hypergraph, spec: str) -> BalanceConstraint:
+    if spec == "50-50":
+        return BalanceConstraint.fifty_fifty(graph)
+    if spec == "45-55":
+        return BalanceConstraint.forty_five_fifty_five(graph)
+    try:
+        lo_str, hi_str = spec.split("-")
+        return BalanceConstraint.from_fractions(
+            graph, float(lo_str) / 100.0, float(hi_str) / 100.0
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad balance spec {spec!r} (want e.g. '50-50' or '45-55')"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the prop-partition argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="prop-partition",
+        description=(
+            "2-way min-cut circuit partitioning with PROP (DAC 1996) "
+            "and its baselines"
+        ),
+    )
+    parser.add_argument(
+        "netlist",
+        nargs="?",
+        help="netlist file (.hgr / .net / .json); omit with --generate",
+    )
+    parser.add_argument(
+        "--generate",
+        metavar="NAME",
+        choices=BENCHMARK_NAMES,
+        help=f"generate a synthetic Table-1 circuit ({', '.join(BENCHMARK_NAMES)})",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="down-scale factor for --generate (default 1.0)",
+    )
+    parser.add_argument(
+        "-a",
+        "--algorithm",
+        nargs="+",
+        default=["prop"],
+        help=(
+            "one or more of: prop, prop-cl, ml-prop, fm, fm-tree, la-K, "
+            "kl, sa, eig1, melo, window, paraboli, random (default: prop)"
+        ),
+    )
+    parser.add_argument(
+        "--balance",
+        default="50-50",
+        help="balance criterion, e.g. 50-50 or 45-55 (default 50-50)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=1, help="runs per algorithm (best kept)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "-o", "--output", help="write the best partition as JSON to this path"
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--kway",
+        type=int,
+        metavar="K",
+        help="k-way partition (recursive bisection + pairwise refinement) "
+        "instead of 2-way",
+    )
+    mode.add_argument(
+        "--place",
+        action="store_true",
+        help="min-cut placement on the unit square; reports HPWL",
+    )
+    mode.add_argument(
+        "--fpga",
+        type=int,
+        metavar="N",
+        help="map onto N identical FPGAs (see --fpga-capacity/--fpga-io)",
+    )
+    mode.add_argument(
+        "--verify",
+        metavar="RESULT.json",
+        help="validate a previously saved 2-way partition against the "
+        "netlist and --balance",
+    )
+    parser.add_argument(
+        "--fpga-capacity",
+        type=float,
+        default=None,
+        help="per-device logic capacity (default: total/N x 1.15)",
+    )
+    parser.add_argument(
+        "--fpga-io",
+        type=int,
+        default=400,
+        help="per-device I/O pin budget (default 400)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.generate:
+        graph = make_benchmark(args.generate, scale=args.scale)
+        source = f"generated:{args.generate}@{args.scale}"
+    elif args.netlist:
+        graph = netlist_io.read(args.netlist)
+        source = args.netlist
+    else:
+        parser.error("provide a netlist file or --generate NAME")
+        return 2  # unreachable; parser.error raises
+
+    stats = compute_stats(graph)
+    print(
+        f"{source}: {stats.n} nodes, {stats.e} nets, {stats.m} pins "
+        f"(p={stats.p:.2f}, q={stats.q:.2f})"
+    )
+
+    if args.kway is not None:
+        return _run_kway_mode(graph, args)
+    if args.place:
+        return _run_place_mode(graph, args)
+    if args.fpga is not None:
+        return _run_fpga_mode(graph, args)
+    if args.verify is not None:
+        return _run_verify_mode(graph, args)
+
+    balance = _make_balance(graph, args.balance)
+    print(balance.describe())
+
+    best_overall = None
+    for name in args.algorithm:
+        partitioner = _make_partitioner(name)
+        outcome = run_many(
+            partitioner, graph, runs=args.runs, balance=balance,
+            base_seed=args.seed, circuit_name=source,
+        )
+        best = outcome.best
+        assert best is not None
+        ratio = balance_ratio(graph, best.sides)
+        print(
+            f"{outcome.algorithm:>10s}: best cut {best.cut:g} over "
+            f"{args.runs} run(s), mean {outcome.mean_cut:.1f}, "
+            f"balance {ratio:.3f}, {outcome.total_seconds:.2f}s total"
+        )
+        if best_overall is None or best.cut < best_overall.cut:
+            best_overall = best
+
+    if args.output and best_overall is not None:
+        payload: Dict[str, object] = {
+            "source": source,
+            "algorithm": best_overall.algorithm,
+            "cut": best_overall.cut,
+            "seed": best_overall.seed,
+            "sides": best_overall.sides,
+        }
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _mode_partitioner(args):
+    """First algorithm named on the command line drives the k-way/place/
+    FPGA modes (they take a single 2-way engine)."""
+    return _make_partitioner(args.algorithm[0])
+
+
+def _run_kway_mode(graph: Hypergraph, args) -> int:
+    from .kway import pairwise_refine, recursive_bisection
+
+    partitioner = _mode_partitioner(args)
+    result = recursive_bisection(
+        graph,
+        args.kway,
+        partitioner=partitioner,
+        seed=args.seed,
+        runs_per_split=max(1, args.runs),
+    )
+    assignment, report = pairwise_refine(
+        graph, result.assignment, args.kway,
+        partitioner=partitioner, seed=args.seed,
+    )
+    weights = [0.0] * args.kway
+    for v, part in enumerate(assignment):
+        weights[part] += graph.node_weight(v)
+    print(f"k={args.kway} via {getattr(partitioner, 'name', '?')}: "
+          f"cut {report.initial_cut:g} -> {report.final_cut:g} "
+          f"after {report.pair_improvements} pair improvements")
+    print("part weights: " + "/".join(f"{w:g}" for w in weights))
+    if args.output:
+        _write_json(args.output, {
+            "mode": "kway", "k": args.kway, "cut": report.final_cut,
+            "assignment": assignment,
+        })
+    return 0
+
+
+def _run_place_mode(graph: Hypergraph, args) -> int:
+    from .placement import mincut_placement, random_placement
+
+    placement = mincut_placement(
+        graph, partitioner=_mode_partitioner(args), seed=args.seed
+    )
+    baseline = random_placement(graph, seed=args.seed)
+    hpwl = placement.hpwl()
+    print(f"min-cut placement HPWL {hpwl:.2f} "
+          f"({hpwl / max(baseline.hpwl(), 1e-12):.1%} of random)")
+    if args.output:
+        _write_json(args.output, {
+            "mode": "place", "hpwl": hpwl,
+            "x": placement.x, "y": placement.y,
+        })
+    return 0
+
+
+def _run_fpga_mode(graph: Hypergraph, args) -> int:
+    from .fpga import FpgaDevice, partition_onto_fpgas
+
+    n = args.fpga
+    capacity = args.fpga_capacity
+    if capacity is None:
+        capacity = graph.total_node_weight / n * 1.15
+    devices = [FpgaDevice(capacity=capacity, io_limit=args.fpga_io)] * n
+    plan = partition_onto_fpgas(
+        graph, devices, partitioner=_mode_partitioner(args), seed=args.seed
+    )
+    for d in range(n):
+        print(f"FPGA{d}: logic {plan.utilization[d]:g}/{capacity:g}  "
+              f"I/O {plan.io_counts[d]}/{args.fpga_io}")
+    print(f"inter-FPGA nets: {plan.cut:g}  feasible: {plan.feasible}")
+    if args.output:
+        _write_json(args.output, {
+            "mode": "fpga", "devices": n, "cut": plan.cut,
+            "feasible": plan.feasible, "assignment": plan.assignment,
+        })
+    return 0
+
+
+def _run_verify_mode(graph: Hypergraph, args) -> int:
+    from .partition import check_partition
+
+    with open(args.verify) as fh:
+        payload = json.load(fh)
+    sides = payload.get("sides")
+    if sides is None:
+        print(f"{args.verify}: no 'sides' field (is this a 2-way result?)")
+        return 2
+    balance = _make_balance(graph, args.balance)
+    report = check_partition(
+        graph, sides, balance=balance, expected_cut=payload.get("cut")
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _write_json(path: str, payload: Dict[str, object]) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""PROP — the paper's primary contribution (probabilistic-gain partitioning)."""
+
+from .config import PAPER_CONFIG, PropConfig
+from .engine import run_prop
+from .gains import ProbabilisticGainEngine
+from .probability import (
+    LinearProbabilityMap,
+    SigmoidProbabilityMap,
+    make_probability_fn,
+)
+from .prop import PropPartitioner, prop_bisect
+from .two_phase import TwoPhasePropPartitioner
+
+__all__ = [
+    "PropConfig",
+    "PAPER_CONFIG",
+    "PropPartitioner",
+    "TwoPhasePropPartitioner",
+    "prop_bisect",
+    "run_prop",
+    "ProbabilisticGainEngine",
+    "LinearProbabilityMap",
+    "SigmoidProbabilityMap",
+    "make_probability_fn",
+]

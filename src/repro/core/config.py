@@ -1,0 +1,140 @@
+"""PROP configuration (paper Secs. 3.2–3.4 and the Sec. 4 defaults).
+
+The default values are exactly the ones the paper reports using for both
+balance regimes: "single moves, AVL tree data structure, pinit = 0.95,
+pmax = 0.95, pmin = 0.4, the linear probability function, gup = 1, and
+glo = −1" — plus 2 gain↔probability refinement iterations (Sec. 3) and the
+"few, say, five" top-node updates after each move (Sec. 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+
+#: Bootstrap-probability methods (paper Sec. 3, the "chicken-and-egg" start).
+INIT_METHODS = ("pinit", "deterministic")
+
+#: Probability functions f: gain -> [pmin, pmax] (Sec. 3.2 suggests linear;
+#: sigmoid is provided for the ablation benches).
+PROBABILITY_FUNCTIONS = ("linear", "sigmoid")
+
+#: In-pass neighbor-update strategies (Sec. 3.4):
+#: "recompute" — recompute each affected neighbor's full gain from current
+#: probabilities; "cached" — the paper's Eqn. 5/6 scheme: keep per-(node,
+#: net) gain contributions and adjust only the contributions of the nets
+#: the moved node touches.  Same staleness model (bounded by the top-k
+#: refresh), different constants.
+UPDATE_STRATEGIES = ("recompute", "cached")
+
+
+@dataclass(frozen=True)
+class PropConfig:
+    """All knobs of the PROP partitioner.
+
+    Attributes
+    ----------
+    pinit:
+        Initial node-move probability used by the "blind" bootstrap
+        (Sec. 3, first method).
+    pmax / pmin:
+        Probability clamp: node probabilities always lie in
+        ``[pmin, pmax]``; the paper requires ``pmin > 0`` (footnote 3) so
+        that no move is deemed impossible.
+    gup / glo:
+        Gain thresholds (Sec. 3.2): gains >= ``gup`` map to ``pmax``,
+        gains < ``glo`` map to ``pmin``.
+    probability_function:
+        ``"linear"`` (paper) or ``"sigmoid"`` (ablation).
+    init_method:
+        ``"pinit"`` — all nodes start at ``pinit``; ``"deterministic"`` —
+        probabilities bootstrapped from FM deterministic gains (Sec. 3,
+        second method).
+    refinement_iterations:
+        Number of gain↔probability refinement cycles before moving
+        (the paper uses 2).
+    top_update_count:
+        How many top-ranked nodes per side get a full gain recomputation
+        after every move (the paper uses ~5).
+    update_neighbor_probabilities:
+        Whether a neighbor's probability is re-derived from its fresh gain
+        during in-pass updates (Sec. 3.4 implies yes; switchable for the
+        ablation bench).
+    update_strategy:
+        ``"recompute"`` or ``"cached"`` — see :data:`UPDATE_STRATEGIES`.
+    max_passes:
+        Safety cap on improvement passes; the loop normally exits when a
+        pass yields ``Gmax <= 0`` (empirically 2–4 passes).
+    min_pass_gain:
+        A pass must improve the cut by more than this to continue
+        (guards against infinite loops with tiny float net costs).
+    """
+
+    pinit: float = 0.95
+    pmax: float = 0.95
+    pmin: float = 0.4
+    gup: float = 1.0
+    glo: float = -1.0
+    probability_function: str = "linear"
+    init_method: str = "pinit"
+    refinement_iterations: int = 2
+    top_update_count: int = 5
+    update_neighbor_probabilities: bool = True
+    update_strategy: str = "recompute"
+    max_passes: int = 100
+    min_pass_gain: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pmin <= self.pmax <= 1.0:
+            raise ValueError(
+                f"need 0 < pmin <= pmax <= 1, got pmin={self.pmin} pmax={self.pmax}"
+            )
+        if not 0.0 < self.pinit <= 1.0:
+            raise ValueError(f"pinit must be in (0, 1], got {self.pinit}")
+        if not self.glo < self.gup:
+            raise ValueError(f"need glo < gup, got glo={self.glo} gup={self.gup}")
+        if self.probability_function not in PROBABILITY_FUNCTIONS:
+            raise ValueError(
+                f"unknown probability_function {self.probability_function!r}; "
+                f"choose from {PROBABILITY_FUNCTIONS}"
+            )
+        if self.init_method not in INIT_METHODS:
+            raise ValueError(
+                f"unknown init_method {self.init_method!r}; "
+                f"choose from {INIT_METHODS}"
+            )
+        if self.update_strategy not in UPDATE_STRATEGIES:
+            raise ValueError(
+                f"unknown update_strategy {self.update_strategy!r}; "
+                f"choose from {UPDATE_STRATEGIES}"
+            )
+        if self.refinement_iterations < 0:
+            raise ValueError("refinement_iterations must be >= 0")
+        if self.top_update_count < 0:
+            raise ValueError("top_update_count must be >= 0")
+        if self.max_passes < 1:
+            raise ValueError("max_passes must be >= 1")
+
+    def with_overrides(self, **kwargs: Any) -> "PropConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, Any]:
+        """Flat dict of all parameters (for result metadata / logs)."""
+        return {
+            "pinit": self.pinit,
+            "pmax": self.pmax,
+            "pmin": self.pmin,
+            "gup": self.gup,
+            "glo": self.glo,
+            "probability_function": self.probability_function,
+            "init_method": self.init_method,
+            "refinement_iterations": self.refinement_iterations,
+            "top_update_count": self.top_update_count,
+            "update_strategy": self.update_strategy,
+        }
+
+
+#: The paper's published parameterization (Sec. 4) — also the default.
+PAPER_CONFIG = PropConfig()

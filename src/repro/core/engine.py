@@ -1,0 +1,307 @@
+"""The PROP pass engine — paper Fig. 2, Secs. 3.2–3.4.
+
+One :func:`run_prop` call executes the full algorithm:
+
+1. start from a given (random or clustered) balanced bisection;
+2. per pass: bootstrap node probabilities (``pinit`` or deterministic FM
+   gains), refine gains ↔ probabilities for ``refinement_iterations``
+   cycles, then move-and-lock best-gain nodes under the balance constraint,
+   updating neighbors and the top-ranked nodes after every move
+   (Sec. 3.4), journaling immediate gains;
+3. keep the maximum-prefix-gain prefix of the pass, roll back the rest;
+4. repeat until a pass yields ``Gmax <= 0``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..datastructures import PassJournal, TreeGainContainer
+from ..hypergraph import Hypergraph
+from ..partition import BalanceConstraint, BipartitionResult, Partition
+from .config import PropConfig
+from .gains import ProbabilisticGainEngine
+from .probability import make_probability_fn
+
+#: Optional per-move observer: (pass_index, node, selection_gain,
+#: immediate_gain).  ``selection_gain`` is the probabilistic gain the node
+#: was chosen by; ``immediate_gain`` is the realized cut delta.  Used by
+#: the gain-prediction diagnostics in :mod:`repro.analysis.prediction`.
+MoveObserver = Callable[[int, int, float, float], None]
+
+
+def run_prop(
+    graph: Hypergraph,
+    initial_sides: Sequence[int],
+    balance: BalanceConstraint,
+    config: Optional[PropConfig] = None,
+    seed: Optional[int] = None,
+    observer: Optional[MoveObserver] = None,
+) -> BipartitionResult:
+    """Run PROP from an explicit initial partition.
+
+    ``seed`` is recorded in the result for bookkeeping only — PROP itself
+    is deterministic given the initial partition.
+    """
+    if config is None:
+        config = PropConfig()
+    start = time.perf_counter()
+
+    partition = Partition(graph, initial_sides)
+    engine = ProbabilisticGainEngine(partition)
+    prob_fn = make_probability_fn(config)
+
+    passes = 0
+    total_moves = 0
+    pass_cuts = []
+    while passes < config.max_passes:
+        journal = _run_pass(
+            partition, engine, balance, config, prob_fn,
+            observer=observer, pass_index=passes,
+        )
+        passes += 1
+        total_moves += len(journal)
+        p, gmax = journal.best_prefix()
+        # Undo the tentative moves beyond the best prefix (last first).
+        partition.unlock_all()
+        for record in reversed(journal.rolled_back_moves()):
+            partition.move(record.node)
+        pass_cuts.append(partition.cut_cost)
+        if gmax <= config.min_pass_gain or p == 0:
+            break
+
+    elapsed = time.perf_counter() - start
+    return BipartitionResult(
+        sides=partition.sides,
+        cut=partition.cut_cost,
+        algorithm="PROP",
+        seed=seed,
+        passes=passes,
+        runtime_seconds=elapsed,
+        stats={"tentative_moves": float(total_moves)},
+        pass_cuts=pass_cuts,
+    )
+
+
+def _bootstrap_probabilities(
+    engine: ProbabilisticGainEngine,
+    config: PropConfig,
+    prob_fn,
+) -> None:
+    """Fig. 2 step 3: the initial probability estimate.
+
+    Either every node starts at ``pinit`` ("blind" method), or
+    probabilities are derived from the deterministic FM gains (Eqn. 1).
+    """
+    if config.init_method == "pinit":
+        engine.fill(config.pinit)
+        return
+    partition = engine.partition
+    for v in range(partition.graph.num_nodes):
+        if not partition.is_locked(v):
+            engine.set_probability(v, prob_fn(partition.immediate_gain(v)))
+
+
+def _refine(
+    engine: ProbabilisticGainEngine,
+    config: PropConfig,
+    prob_fn,
+) -> List[float]:
+    """Fig. 2 step 4: iterate gain ↔ probability refinement.
+
+    Returns the final gains (after the last refinement cycle, gains are
+    recomputed once more so they reflect the final probabilities).
+    """
+    partition = engine.partition
+    gains = engine.all_gains()
+    for _ in range(config.refinement_iterations):
+        for v, g in enumerate(gains):
+            if not partition.is_locked(v):
+                engine.set_probability(v, prob_fn(g))
+        gains = engine.all_gains()
+    return gains
+
+
+def _pick_move(
+    containers: Tuple[TreeGainContainer, TreeGainContainer],
+    partition: Partition,
+    balance: BalanceConstraint,
+) -> Optional[int]:
+    """Fig. 2 step 6: best-gain node whose move keeps balance.
+
+    The overall best-gain node is preferred; if moving it would violate
+    balance, the best node of the *other* side is chosen instead (the FM
+    rule the paper inherits).  Returns None when no move is possible.
+    """
+    candidates = []
+    for side in (0, 1):
+        if containers[side]:
+            node, gain = containers[side].peek_best()
+            candidates.append((gain, side, node))
+    candidates.sort(reverse=True)
+    weights = partition.side_weights
+    for _, side, node in candidates:
+        if balance.move_allowed(weights, side, partition.graph.node_weight(node)):
+            return node
+    return None
+
+
+def _run_pass(
+    partition: Partition,
+    engine: ProbabilisticGainEngine,
+    balance: BalanceConstraint,
+    config: PropConfig,
+    prob_fn,
+    observer: Optional[MoveObserver] = None,
+    pass_index: int = 0,
+) -> PassJournal:
+    """One tentative-move pass (Fig. 2 steps 3–8); locks are left set."""
+    graph = partition.graph
+
+    _bootstrap_probabilities(engine, config, prob_fn)
+    gains = _refine(engine, config, prob_fn)
+
+    cached = config.update_strategy == "cached"
+    contribs = engine.all_contributions() if cached else None
+
+    containers = (TreeGainContainer(), TreeGainContainer())
+    for v in range(graph.num_nodes):
+        if not partition.is_locked(v):
+            containers[partition.side(v)].insert(v, gains[v])
+
+    journal = PassJournal()
+    while True:
+        node = _pick_move(containers, partition, balance)
+        if node is None:
+            break
+        from_side = partition.side(node)
+        selection_gain = containers[from_side].remove(node)
+        immediate = partition.move_and_lock(node)
+        engine.on_lock(node)
+        journal.record(node, from_side, immediate)
+        if observer is not None:
+            observer(pass_index, node, selection_gain, immediate)
+
+        if cached:
+            _update_neighbors_cached(
+                node, partition, engine, containers, config, prob_fn, contribs
+            )
+            _update_top_ranked_cached(
+                partition, engine, containers, config, prob_fn, contribs
+            )
+        else:
+            _update_neighbors(
+                node, partition, engine, containers, config, prob_fn
+            )
+            _update_top_ranked(partition, engine, containers, config, prob_fn)
+    return journal
+
+
+def _update_neighbors(
+    moved: int,
+    partition: Partition,
+    engine: ProbabilisticGainEngine,
+    containers: Tuple[TreeGainContainer, TreeGainContainer],
+    config: PropConfig,
+    prob_fn,
+) -> None:
+    """Sec. 3.4: refresh gain (and probability) of each free neighbor."""
+    graph = partition.graph
+    seen = {moved}
+    for net_id in graph.node_nets(moved):
+        for nbr in graph.net(net_id):
+            if nbr in seen or partition.is_locked(nbr):
+                seen.add(nbr)
+                continue
+            seen.add(nbr)
+            gain = engine.node_gain(nbr)
+            if config.update_neighbor_probabilities:
+                engine.set_probability(nbr, prob_fn(gain))
+            container = containers[partition.side(nbr)]
+            if container.gain_of(nbr) != gain:
+                container.update(nbr, gain)
+
+
+def _update_neighbors_cached(
+    moved: int,
+    partition: Partition,
+    engine: ProbabilisticGainEngine,
+    containers: Tuple[TreeGainContainer, TreeGainContainer],
+    config: PropConfig,
+    prob_fn,
+    contribs,
+) -> None:
+    """Sec. 3.4, Eqn. 5/6 flavour: only the contributions of the moved
+    node's nets are recomputed; each neighbor's total gain is adjusted by
+    the contribution delta.  Staleness from second-order probability
+    changes is repaired by the top-k step, exactly as in the recompute
+    strategy."""
+    graph = partition.graph
+    deltas = {}
+    for net_id in graph.node_nets(moved):
+        for nbr, new_c in engine.net_pin_contributions(net_id).items():
+            entry = contribs[nbr]
+            old_c = entry.get(net_id, 0.0)
+            if new_c != old_c:
+                entry[net_id] = new_c
+                deltas[nbr] = deltas.get(nbr, 0.0) + (new_c - old_c)
+            else:
+                deltas.setdefault(nbr, 0.0)
+    for nbr, delta in deltas.items():
+        container = containers[partition.side(nbr)]
+        gain = container.gain_of(nbr) + delta
+        if config.update_neighbor_probabilities:
+            engine.set_probability(nbr, prob_fn(gain))
+        if delta:
+            container.update(nbr, gain)
+
+
+def _update_top_ranked_cached(
+    partition: Partition,
+    engine: ProbabilisticGainEngine,
+    containers: Tuple[TreeGainContainer, TreeGainContainer],
+    config: PropConfig,
+    prob_fn,
+    contribs,
+) -> None:
+    """Top-k refresh for the cached strategy: full recompute of the node's
+    contributions (keeping its cache coherent) plus probability update."""
+    k = config.top_update_count
+    if k <= 0:
+        return
+    for side in (0, 1):
+        for node, stale in containers[side].top(k):
+            entry = engine.contributions_for(node)
+            gain = sum(entry.values())
+            contribs[node] = entry
+            if config.update_neighbor_probabilities:
+                engine.set_probability(node, prob_fn(gain))
+            if gain != stale:
+                containers[side].update(node, gain)
+
+
+def _update_top_ranked(
+    partition: Partition,
+    engine: ProbabilisticGainEngine,
+    containers: Tuple[TreeGainContainer, TreeGainContainer],
+    config: PropConfig,
+    prob_fn,
+) -> None:
+    """Sec. 3.4: re-evaluate the top-ranked nodes of each side.
+
+    Needed because a top node may be a neighbor-of-a-neighbor of the moved
+    node, whose probability just changed; the paper argues refreshing the
+    top few contenders is all that is necessary.
+    """
+    k = config.top_update_count
+    if k <= 0:
+        return
+    for side in (0, 1):
+        for node, stale in containers[side].top(k):
+            gain = engine.node_gain(node)
+            if gain == stale:
+                continue  # unchanged: skip the O(log n) reinsertion
+            if config.update_neighbor_probabilities:
+                engine.set_probability(node, prob_fn(gain))
+            containers[side].update(node, gain)

@@ -1,0 +1,331 @@
+"""Probabilistic node gains — paper Sec. 3.1, Eqns. (2)–(6).
+
+Every node ``u`` carries a probability ``p(u)`` of actually being moved in
+the current pass; locked nodes have ``p = 0``.  With that convention the
+paper's four gain equations collapse into a single rule (derivation in
+DESIGN.md, decision 1).  For a *free* node ``u`` on side ``s`` and a net
+``nt`` with cost ``c``:
+
+* ``A = (nt ∩ side s) − {u}``, ``B = nt ∩ other side``
+* ``prodA = Π p(x), x ∈ A`` and ``prodB = Π p(y), y ∈ B``
+  (empty products are 1; any locked member forces the product to 0)
+* if ``B`` is non-empty (net in the cutset):  ``g = c · (prodA − prodB)``
+  — Eqn. (3), and its locked specializations Eqns. (5)/(6);
+* if ``B`` is empty (net internal to ``s``):  ``g = c · (prodA − 1)``
+  — Eqn. (4), ``−c·(1 − p(n^{1→2}|u))``.
+
+``prodA`` is the probability that every other same-side pin leaves (the net
+gets pulled out of the cut — or stays out, for an internal net, when ``u``
+leaves); ``prodB`` is the probability the *other* side would have emptied
+on its own, an option that moving ``u`` forecloses (the negative term of
+Eqn. (2)).
+
+The total gain of ``u`` is the sum over its nets: ``g(u) = Σ g_nt(u)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..partition import Partition
+
+
+class ProbabilisticGainEngine:
+    """Computes probabilistic gains over a :class:`Partition`.
+
+    The engine owns the probability vector ``p`` (indexed by node).  Locked
+    nodes must have ``p = 0`` — :meth:`set_probability` and
+    :meth:`on_lock` maintain this; gains read locks straight from the
+    partition, so the two views can never drift apart.
+    """
+
+    __slots__ = ("partition", "p")
+
+    def __init__(
+        self,
+        partition: Partition,
+        probabilities: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.partition = partition
+        n = partition.graph.num_nodes
+        if probabilities is None:
+            self.p: List[float] = [0.0] * n
+        else:
+            if len(probabilities) != n:
+                raise ValueError(
+                    f"probabilities has length {len(probabilities)}, expected {n}"
+                )
+            self.p = [float(x) for x in probabilities]
+        for v in range(n):
+            if partition.is_locked(v):
+                self.p[v] = 0.0
+
+    # ------------------------------------------------------------------
+    # Probability maintenance
+    # ------------------------------------------------------------------
+    def set_probability(self, node: int, value: float) -> None:
+        """Set ``p(node)``; rejects non-zero values for locked nodes."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"probability {value} outside [0, 1]")
+        if value and self.partition.is_locked(node):
+            raise ValueError(f"node {node} is locked; its probability must be 0")
+        self.p[node] = value
+
+    def fill(self, value: float) -> None:
+        """Set every *free* node's probability to ``value``."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"probability {value} outside [0, 1]")
+        part = self.partition
+        for v in range(len(self.p)):
+            self.p[v] = 0.0 if part.is_locked(v) else value
+
+    def on_lock(self, node: int) -> None:
+        """Record that ``node`` was just locked (its p drops to 0)."""
+        self.p[node] = 0.0
+
+    # ------------------------------------------------------------------
+    # Net-level probabilities (the p(n^{1→2}) quantities of Sec. 3.1)
+    # ------------------------------------------------------------------
+    def net_clearing_probability(
+        self, net_id: int, side: int, exclude: Optional[int] = None
+    ) -> float:
+        """Probability that all pins of ``net_id`` on ``side`` move away.
+
+        This is the paper's ``p(n^{1→2})`` (for side = 1 in its notation):
+        the product of the probabilities of the side's pins, which is 0 as
+        soon as any of them is locked there.  ``exclude`` omits one free
+        node from the product (conditioning on that node's own move, the
+        ``| u`` in Eqns. (3)/(5)).
+        """
+        part = self.partition
+        if part.net_locked_in(net_id, side):
+            # A locked pin can never leave; the locked node also has p = 0,
+            # but short-circuiting avoids a useless multiply loop.
+            return 0.0
+        prod = 1.0
+        p = self.p
+        for v in part.graph.net(net_id):
+            if v != exclude and part.side(v) == side:
+                prod *= p[v]
+                if prod == 0.0:
+                    return 0.0
+        return prod
+
+    # ------------------------------------------------------------------
+    # Gains
+    # ------------------------------------------------------------------
+    def net_gain(self, node: int, net_id: int) -> float:
+        """Gain contributed to ``node`` by one of its nets (Eqns. 3–6).
+
+        Single pass over the net's pins (both side products at once).
+        """
+        part = self.partition
+        graph = part.graph
+        p = self.p
+        side_of = part.side
+        s = side_of(node)
+        prod_a = 1.0
+        prod_b = 1.0
+        has_other = False
+        for v in graph.net(net_id):
+            if v == node:
+                continue
+            if side_of(v) == s:
+                prod_a *= p[v]
+            else:
+                has_other = True
+                prod_b *= p[v]
+        cost = graph.net_cost(net_id)
+        if has_other:
+            return cost * (prod_a - prod_b)
+        return cost * (prod_a - 1.0)
+
+    def net_pin_contributions(self, net_id: int) -> Dict[int, float]:
+        """Gain contribution of ``net_id`` to each of its *free* pins.
+
+        One O(q) scan computes both side products; each pin's conditional
+        product divides its own probability back out (exact, since free
+        probabilities are >= pmin > 0 and locked pins contribute the 0
+        factor independently).  This is the cached-update strategy's inner
+        primitive — the realization of the paper's Eqns. (5)/(6) update.
+        """
+        part = self.partition
+        graph = part.graph
+        p = self.p
+        side_of = part.side
+        prod = [1.0, 1.0]
+        counts = [0, 0]
+        pins = graph.net(net_id)
+        for v in pins:
+            s = side_of(v)
+            prod[s] *= p[v]
+            counts[s] += 1
+        cost = graph.net_cost(net_id)
+        out: Dict[int, float] = {}
+        for v in pins:
+            if part.is_locked(v):
+                continue
+            s = side_of(v)
+            pv = p[v]
+            prod_mine = prod[s]
+            if pv > 0.0:
+                prod_a = prod_mine / pv
+            else:  # pragma: no cover - free pins have p >= pmin > 0
+                prod_a = self.net_clearing_probability(net_id, s, exclude=v)
+            if counts[1 - s] > 0:
+                out[v] = cost * (prod_a - prod[1 - s])
+            else:
+                out[v] = cost * (prod_a - 1.0)
+        return out
+
+    def contributions_for(self, node: int) -> Dict[int, float]:
+        """Per-net gain contributions of one free node: {net_id: g_net}."""
+        return {
+            net_id: self.net_gain(node, net_id)
+            for net_id in self.partition.graph.node_nets(node)
+        }
+
+    def all_contributions(self) -> List[Dict[int, float]]:
+        """Per-net contributions for every free node, in O(m).
+
+        The cached-update strategy (Sec. 3.4, Eqns. 5/6) keeps these as its
+        working state; locked nodes get empty dicts.  Uses the same shared
+        per-net product trick as :meth:`all_gains`.
+        """
+        part = self.partition
+        graph = part.graph
+        p = self.p
+
+        prod0 = [1.0] * graph.num_nets
+        prod1 = [1.0] * graph.num_nets
+        for net_id, pins in enumerate(graph.nets):
+            a = b = 1.0
+            for v in pins:
+                if part.side(v) == 0:
+                    a *= p[v]
+                else:
+                    b *= p[v]
+            prod0[net_id], prod1[net_id] = a, b
+
+        contribs: List[Dict[int, float]] = [dict() for _ in range(graph.num_nodes)]
+        for node in range(graph.num_nodes):
+            if part.is_locked(node):
+                continue
+            s = part.side(node)
+            pu = p[node]
+            entry = contribs[node]
+            for net_id in graph.node_nets(node):
+                cost = graph.net_cost(net_id)
+                if s == 0:
+                    prod_mine, prod_other = prod0[net_id], prod1[net_id]
+                    other_count = part.count(net_id, 1)
+                else:
+                    prod_mine, prod_other = prod1[net_id], prod0[net_id]
+                    other_count = part.count(net_id, 0)
+                if pu > 0.0 and prod_mine > 0.0:
+                    prod_a = prod_mine / pu
+                else:
+                    prod_a = self.net_clearing_probability(
+                        net_id, s, exclude=node
+                    )
+                if other_count > 0:
+                    entry[net_id] = cost * (prod_a - prod_other)
+                else:
+                    entry[net_id] = cost * (prod_a - 1.0)
+        return contribs
+
+    def node_gain(self, node: int) -> float:
+        """Total probabilistic gain ``g(u) = Σ_nets g_nt(u)``.
+
+        Hot path of the in-pass updates (called for every neighbor of every
+        moved node), so both side products of each net are accumulated in a
+        single pass over the net's pins instead of via two
+        :meth:`net_clearing_probability` calls.
+        """
+        part = self.partition
+        graph = part.graph
+        p = self.p
+        side_of = part.side
+        s = side_of(node)
+        total = 0.0
+        for net_id in graph.node_nets(node):
+            prod_a = 1.0
+            prod_b = 1.0
+            has_other = False
+            for v in graph.net(net_id):
+                if v == node:
+                    continue
+                pv = p[v]
+                if side_of(v) == s:
+                    prod_a *= pv
+                else:
+                    has_other = True
+                    prod_b *= pv
+            cost = graph.net_cost(net_id)
+            if has_other:
+                total += cost * (prod_a - prod_b)
+            else:
+                total += cost * (prod_a - 1.0)
+        return total
+
+    def all_gains(self) -> List[float]:
+        """Gains of every free node (locked nodes get 0), in O(m).
+
+        Used by the refinement iterations, where recomputing shared net
+        products once per net (instead of once per pin) matters.  The
+        per-node conditioning ``| u`` divides ``u`` back out of its side's
+        product, which is exact because probabilities are >= pmin > 0 for
+        all free nodes during refinement.
+        """
+        part = self.partition
+        graph = part.graph
+        p = self.p
+        num_nets = graph.num_nets
+
+        # Per-net, per-side clearing probabilities (no exclusions).
+        prod0 = [1.0] * num_nets
+        prod1 = [1.0] * num_nets
+        for net_id, pins in enumerate(graph.nets):
+            if part.net_locked_in(net_id, 0):
+                prod0[net_id] = 0.0
+            if part.net_locked_in(net_id, 1):
+                prod1[net_id] = 0.0
+            a = prod0[net_id]
+            b = prod1[net_id]
+            if a or b:
+                for v in pins:
+                    if part.side(v) == 0:
+                        a *= p[v]
+                    else:
+                        b *= p[v]
+                prod0[net_id], prod1[net_id] = a, b
+
+        gains = [0.0] * graph.num_nodes
+        for node in range(graph.num_nodes):
+            if part.is_locked(node):
+                continue
+            s = part.side(node)
+            pu = p[node]
+            total = 0.0
+            for net_id in graph.node_nets(node):
+                cost = graph.net_cost(net_id)
+                if s == 0:
+                    prod_mine, prod_other = prod0[net_id], prod1[net_id]
+                    other_count = part.count(net_id, 1)
+                else:
+                    prod_mine, prod_other = prod1[net_id], prod0[net_id]
+                    other_count = part.count(net_id, 0)
+                if pu > 0.0 and prod_mine > 0.0:
+                    prod_a = prod_mine / pu
+                else:
+                    # pu == 0 cannot happen for a free node during
+                    # refinement, but recompute exactly if it does.
+                    prod_a = self.net_clearing_probability(
+                        net_id, s, exclude=node
+                    )
+                if other_count > 0:
+                    total += cost * (prod_a - prod_other)
+                else:
+                    total += cost * (prod_a - 1.0)
+            gains[node] = total
+        return gains

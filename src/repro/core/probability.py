@@ -1,0 +1,95 @@
+"""Gain → probability maps (paper Sec. 3.2).
+
+A probability function is any monotonically increasing ``f(gain)`` clamped
+to ``[pmin, pmax]`` with thresholds ``glo``/``gup``: gains at or above
+``gup`` saturate at ``pmax`` ("nodes with high gains are going to be
+ultimately moved no matter what"), gains at or below ``glo`` saturate at
+``pmin``.  The paper uses the linear interpolation; a sigmoid variant is
+included for the ablation study.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from .config import PropConfig
+
+ProbabilityFn = Callable[[float], float]
+
+
+class LinearProbabilityMap:
+    """``p = pmin + (pmax - pmin) * (g - glo) / (gup - glo)``, clamped.
+
+    This is "the linear probability function" of paper Sec. 4, but it is
+    also used standalone by the Figure-1 reproduction with the figure's own
+    parameters (pmin=0, pmax=1, slope 0.3 — see
+    :mod:`repro.experiments.figure1`).
+    """
+
+    __slots__ = ("pmin", "pmax", "glo", "gup", "_slope")
+
+    def __init__(self, pmin: float, pmax: float, glo: float, gup: float) -> None:
+        if not 0.0 <= pmin <= pmax <= 1.0:
+            raise ValueError(f"need 0 <= pmin <= pmax <= 1: ({pmin}, {pmax})")
+        if not glo < gup:
+            raise ValueError(f"need glo < gup: ({glo}, {gup})")
+        self.pmin = pmin
+        self.pmax = pmax
+        self.glo = glo
+        self.gup = gup
+        self._slope = (pmax - pmin) / (gup - glo)
+
+    def __call__(self, gain: float) -> float:
+        if gain >= self.gup:
+            return self.pmax
+        if gain <= self.glo:
+            return self.pmin
+        return self.pmin + self._slope * (gain - self.glo)
+
+
+class SigmoidProbabilityMap:
+    """Logistic alternative: smooth transition centred between glo and gup.
+
+    Matches the clamp semantics (exactly pmax above gup, exactly pmin below
+    glo) so it is a drop-in replacement in ablations.
+    """
+
+    __slots__ = ("pmin", "pmax", "glo", "gup", "_mid", "_scale")
+
+    def __init__(self, pmin: float, pmax: float, glo: float, gup: float) -> None:
+        if not 0.0 <= pmin <= pmax <= 1.0:
+            raise ValueError(f"need 0 <= pmin <= pmax <= 1: ({pmin}, {pmax})")
+        if not glo < gup:
+            raise ValueError(f"need glo < gup: ({glo}, {gup})")
+        self.pmin = pmin
+        self.pmax = pmax
+        self.glo = glo
+        self.gup = gup
+        self._mid = (glo + gup) / 2.0
+        # scale so the logistic is ~saturated (±4 sigmoid units) at the
+        # thresholds
+        self._scale = 8.0 / (gup - glo)
+
+    def __call__(self, gain: float) -> float:
+        if gain >= self.gup:
+            return self.pmax
+        if gain <= self.glo:
+            return self.pmin
+        t = 1.0 / (1.0 + math.exp(-self._scale * (gain - self._mid)))
+        return self.pmin + (self.pmax - self.pmin) * t
+
+
+def make_probability_fn(config: PropConfig) -> ProbabilityFn:
+    """Build the probability function selected by ``config``."""
+    if config.probability_function == "linear":
+        return LinearProbabilityMap(
+            config.pmin, config.pmax, config.glo, config.gup
+        )
+    if config.probability_function == "sigmoid":
+        return SigmoidProbabilityMap(
+            config.pmin, config.pmax, config.glo, config.gup
+        )
+    raise ValueError(  # pragma: no cover - config validates already
+        f"unknown probability function {config.probability_function!r}"
+    )

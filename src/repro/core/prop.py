@@ -1,0 +1,82 @@
+"""Public facade for the PROP partitioner.
+
+Quick use::
+
+    from repro import PropPartitioner
+    from repro.hypergraph import make_benchmark
+
+    graph = make_benchmark("struct", scale=0.2)
+    result = PropPartitioner().partition(graph, seed=42)
+    print(result.cut, result.passes)
+
+All the heavy lifting is in :mod:`repro.core.engine`; this class adds the
+ergonomic defaults (50-50 balance, seeded random initial partition) and a
+uniform constructor shared with the baseline partitioners, so the multi-run
+harness can treat every algorithm identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..hypergraph import Hypergraph
+from ..partition import (
+    BalanceConstraint,
+    BipartitionResult,
+    Partition,
+    random_balanced_sides,
+)
+from .config import PropConfig
+from .engine import run_prop
+
+
+class PropPartitioner:
+    """The probability-based iterative-improvement partitioner (PROP)."""
+
+    name = "PROP"
+
+    def __init__(self, config: Optional[PropConfig] = None) -> None:
+        self.config = config if config is not None else PropConfig()
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        balance: Optional[BalanceConstraint] = None,
+        initial_sides: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> BipartitionResult:
+        """Partition ``graph`` into two balanced subsets minimizing the cut.
+
+        Parameters
+        ----------
+        graph:
+            The netlist.
+        balance:
+            Balance constraint; defaults to the paper's 50-50% criterion
+            (exact bisection with one-node slack).
+        initial_sides:
+            Explicit starting partition; defaults to a random balanced
+            bisection drawn from ``seed``.
+        seed:
+            Seed for the random initial partition (ignored when
+            ``initial_sides`` is given, except for bookkeeping).
+        """
+        if balance is None:
+            balance = BalanceConstraint.fifty_fifty(graph)
+        if initial_sides is None:
+            initial_sides = random_balanced_sides(graph, seed)
+        result = run_prop(
+            graph, initial_sides, balance, config=self.config, seed=seed
+        )
+        result.verify(graph)
+        return result
+
+
+def prop_bisect(
+    graph: Hypergraph,
+    seed: Optional[int] = None,
+    balance: Optional[BalanceConstraint] = None,
+    config: Optional[PropConfig] = None,
+) -> BipartitionResult:
+    """Function-style convenience wrapper around :class:`PropPartitioner`."""
+    return PropPartitioner(config).partition(graph, balance=balance, seed=seed)

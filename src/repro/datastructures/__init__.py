@@ -1,0 +1,20 @@
+"""Core data structures: AVL tree, FM gain buckets, pass journal."""
+
+from .avl import AVLTree
+from .bucket_list import BucketList
+from .gain_container import (
+    BucketGainContainer,
+    GainContainer,
+    TreeGainContainer,
+)
+from .prefix import MoveRecord, PassJournal
+
+__all__ = [
+    "AVLTree",
+    "BucketList",
+    "GainContainer",
+    "TreeGainContainer",
+    "BucketGainContainer",
+    "PassJournal",
+    "MoveRecord",
+]

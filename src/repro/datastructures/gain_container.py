@@ -1,0 +1,156 @@
+"""Uniform interface over the two gain containers used by the partitioners.
+
+The iterative partitioners (FM, LA, PROP) need, per side of the partition, a
+collection of free nodes ordered by gain, supporting best-node queries and
+gain updates.  Two realizations exist:
+
+* :class:`BucketGainContainer` — FM's O(1) bucket array; integer gains only
+  (unit net costs).
+* :class:`TreeGainContainer` — AVL tree keyed by ``(gain, node)``; works for
+  float gains (PROP), weighted-net integer gains (FM-tree) and
+  lexicographic gain vectors (LA).
+
+Ties are broken deterministically: the tree container prefers the higher
+node id among equal gains, the bucket container is LIFO within a bucket.
+Determinism matters because every experiment is seeded end-to-end.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterator, List, Tuple
+
+from .avl import AVLTree
+from .bucket_list import BucketList
+
+
+class GainContainer(ABC):
+    """Ordered collection of (node, gain) pairs with updates."""
+
+    @abstractmethod
+    def insert(self, node: int, gain: Any) -> None:
+        """Add ``node`` with ``gain`` (node must be absent)."""
+
+    @abstractmethod
+    def remove(self, node: int) -> Any:
+        """Remove ``node``; returns its gain (KeyError if absent)."""
+
+    @abstractmethod
+    def update(self, node: int, gain: Any) -> None:
+        """Change the gain of ``node`` (must be present)."""
+
+    @abstractmethod
+    def gain_of(self, node: int) -> Any:
+        """Current gain of ``node`` (KeyError if absent)."""
+
+    @abstractmethod
+    def peek_best(self) -> Tuple[int, Any]:
+        """(node, gain) with the best gain (KeyError when empty)."""
+
+    @abstractmethod
+    def iter_descending(self) -> Iterator[Tuple[int, Any]]:
+        """(node, gain) pairs from best to worst gain."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __contains__(self, node: int) -> bool: ...
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def top(self, k: int) -> List[Tuple[int, Any]]:
+        """The best ``k`` (node, gain) pairs (fewer if the container is small).
+
+        Used for the paper's Sec. 3.4 "update the gains of a few, say five,
+        of the top ranked nodes in each subset" step.
+        """
+        out: List[Tuple[int, Any]] = []
+        for item in self.iter_descending():
+            out.append(item)
+            if len(out) >= k:
+                break
+        return out
+
+
+class TreeGainContainer(GainContainer):
+    """AVL-tree gain container; the paper's choice for PROP (Sec. 3.5)."""
+
+    def __init__(self) -> None:
+        self._tree = AVLTree()
+        self._gains: Dict[int, Any] = {}
+
+    def insert(self, node: int, gain: Any) -> None:
+        if node in self._gains:
+            raise KeyError(f"node {node} already present")
+        self._tree.insert((gain, node))
+        self._gains[node] = gain
+
+    def remove(self, node: int) -> Any:
+        try:
+            gain = self._gains.pop(node)
+        except KeyError:
+            raise KeyError(f"node {node} not present") from None
+        self._tree.remove((gain, node))
+        return gain
+
+    def update(self, node: int, gain: Any) -> None:
+        old = self.remove(node)
+        try:
+            self.insert(node, gain)
+        except Exception:  # pragma: no cover - defensive reinsertion
+            self.insert(node, old)
+            raise
+
+    def gain_of(self, node: int) -> Any:
+        return self._gains[node]
+
+    def peek_best(self) -> Tuple[int, Any]:
+        (gain, node), _ = self._tree.max_item()
+        return node, gain
+
+    def iter_descending(self) -> Iterator[Tuple[int, Any]]:
+        for (gain, node), _ in self._tree.iter_descending():
+            yield node, gain
+
+    def __len__(self) -> int:
+        return len(self._gains)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._gains
+
+
+class BucketGainContainer(GainContainer):
+    """FM bucket-array gain container; integer gains in a bounded range."""
+
+    def __init__(self, capacity: int, max_gain: int) -> None:
+        self._buckets = BucketList(capacity, max_gain)
+
+    def insert(self, node: int, gain: int) -> None:
+        self._buckets.insert(node, gain)
+
+    def remove(self, node: int) -> int:
+        return self._buckets.remove(node)
+
+    def update(self, node: int, gain: int) -> None:
+        self._buckets.update(node, gain)
+
+    def adjust(self, node: int, delta: int) -> None:
+        """Shift gain by ``delta`` — FM's natural ±1 update."""
+        self._buckets.adjust(node, delta)
+
+    def gain_of(self, node: int) -> int:
+        return self._buckets.gain_of(node)
+
+    def peek_best(self) -> Tuple[int, int]:
+        return self._buckets.peek_best()
+
+    def iter_descending(self) -> Iterator[Tuple[int, int]]:
+        return self._buckets.iter_descending()
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._buckets

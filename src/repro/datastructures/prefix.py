@@ -1,0 +1,81 @@
+"""Pass journal: recorded moves, prefix gains, and rollback point.
+
+Every FM-family pass (FM, LA, PROP — paper Fig. 2, steps 7/9/10) tentatively
+moves *all* movable nodes, recording the immediate cut gain of each move;
+afterwards only the prefix of moves achieving the maximum prefix-sum gain
+``Gmax`` is kept, the rest are rolled back.  This module holds that journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """One tentative move inside a pass."""
+
+    node: int
+    from_side: int
+    immediate_gain: float
+
+
+class PassJournal:
+    """Accumulates tentative moves and finds the best rollback prefix."""
+
+    def __init__(self) -> None:
+        self._moves: List[MoveRecord] = []
+
+    def record(self, node: int, from_side: int, immediate_gain: float) -> None:
+        """Record one tentative move and its immediate cut gain."""
+        self._moves.append(MoveRecord(node, from_side, immediate_gain))
+
+    @property
+    def moves(self) -> Sequence[MoveRecord]:
+        return self._moves
+
+    def __len__(self) -> int:
+        return len(self._moves)
+
+    def prefix_sums(self) -> List[float]:
+        """``S_k = sum of the first k immediate gains`` for k = 1..len."""
+        sums: List[float] = []
+        running = 0.0
+        for mv in self._moves:
+            running += mv.immediate_gain
+            sums.append(running)
+        return sums
+
+    def best_prefix(self) -> Tuple[int, float]:
+        """``(p, Gmax)``: the number of moves to keep and their total gain.
+
+        ``p`` is the smallest prefix length achieving the maximum prefix sum
+        (keeping fewer moves on ties preserves more freedom for later
+        passes).  When every prefix sum is <= 0, returns ``(0, Gmax)`` with
+        ``Gmax`` the (non-positive) best sum, or ``(0, 0.0)`` for an empty
+        journal — the caller stops when ``Gmax <= 0`` (Fig. 2 step 2).
+        """
+        best_p = 0
+        best_sum = float("-inf")
+        running = 0.0
+        for k, mv in enumerate(self._moves, start=1):
+            running += mv.immediate_gain
+            if running > best_sum + 1e-12:
+                best_sum = running
+                best_p = k
+        if not self._moves:
+            return 0, 0.0
+        if best_sum <= 0:
+            return 0, best_sum
+        return best_p, best_sum
+
+    def kept_moves(self) -> List[MoveRecord]:
+        """The moves inside the best prefix (the ones actually made)."""
+        p, _ = self.best_prefix()
+        return self._moves[:p]
+
+    def rolled_back_moves(self) -> List[MoveRecord]:
+        """The moves beyond the best prefix (to be undone, last first)."""
+        p, _ = self.best_prefix()
+        return self._moves[p:]

@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` — regenerate every table and figure."""
+
+import sys
+
+from .report import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

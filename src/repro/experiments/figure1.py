@@ -1,0 +1,207 @@
+"""The paper's Figure 1 worked example, reconstructed exactly.
+
+Figure 1 compares FM, LA-3 and PROP gains on an 11-node fragment of V1:
+
+* nodes 1, 2, 3 each sit alone on two cut nets (FM gain 2);
+* node 1 additionally shares cut net ``n9`` with nodes 4–7,
+  node 2 shares ``n10`` with nodes 8, 9, and node 3 shares ``n11`` with
+  nodes 10, 11;
+* nodes 10 and 11 each also sit alone on one cut net (``n5`` / ``n8``,
+  FM gain 1); nodes 4–9 each have one internal net (``n12``–``n17``)
+  to a hidden V1 partner "of probability 0.5" (FM gain −1).
+
+Reconstruction choices (verified against every number the paper prints):
+
+* every cut net carries **three** V2 anchor pins — enough that LA-3's
+  negative terms fall beyond lookahead level 3, matching the printed
+  vectors (2,0,0)/(2,0,1)/(2,0,1); the anchors are *locked* so their move
+  probability is 0, matching the figure's convention that the
+  ``p(n^{2→1})`` terms are equal (and vanish) for all cut nets;
+* the figure's iteration-1 probability map is
+  ``p = clip(0.5 + 0.3·g, 0, 1)`` (g=2 → 1, 1 → 0.8, −1 → 0.2, 0 → 0.5);
+* hidden internal partners are assigned probability 0.5 directly, as the
+  figure stipulates.
+
+Expected values (paper Fig. 1(c)): g(1) = 2.0016, g(2) = 2.04,
+g(3) = 2.64, g(10) = g(11) = 1.8, g(8) = g(9) = −0.3,
+g(4..7) = −0.492 (printed as −0.49).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..baselines.la import gain_vector
+from ..core.gains import ProbabilisticGainEngine
+from ..core.probability import LinearProbabilityMap
+from ..hypergraph import Hypergraph, HypergraphBuilder
+from ..partition import Partition
+
+#: Paper labels of the visible V1 nodes.
+VISIBLE_NODES = tuple(range(1, 12))
+
+#: The figure's iteration-1 probability map: clip(0.5 + 0.3 g, 0, 1).
+FIGURE1_PROBABILITY_MAP = LinearProbabilityMap(
+    pmin=0.0, pmax=1.0, glo=-5.0 / 3.0, gup=5.0 / 3.0
+)
+
+#: Exact values printed in Fig. 1(c) (node 4..7 shown rounded as −0.49).
+EXPECTED_PROP_GAINS: Dict[int, float] = {
+    1: 2.0016,
+    2: 2.04,
+    3: 2.64,
+    4: -0.492,
+    5: -0.492,
+    6: -0.492,
+    7: -0.492,
+    8: -0.3,
+    9: -0.3,
+    10: 1.8,
+    11: 1.8,
+}
+
+#: FM gains of Fig. 1(a).
+EXPECTED_FM_GAINS: Dict[int, float] = {
+    1: 2, 2: 2, 3: 2, 4: -1, 5: -1, 6: -1, 7: -1, 8: -1, 9: -1, 10: 1, 11: 1,
+}
+
+#: LA-3 gain vectors printed for nodes 1, 2, 3 in Fig. 1(a).
+EXPECTED_LA3_VECTORS: Dict[int, Tuple[float, float, float]] = {
+    1: (2, 0, 0),
+    2: (2, 0, 1),
+    3: (2, 0, 1),
+}
+
+#: Iteration-1 (deterministic-gain-derived) probabilities of Fig. 1(b).
+EXPECTED_INITIAL_PROBABILITIES: Dict[int, float] = {
+    1: 1.0, 2: 1.0, 3: 1.0, 4: 0.2, 5: 0.2, 6: 0.2, 7: 0.2,
+    8: 0.2, 9: 0.2, 10: 0.8, 11: 0.8,
+}
+
+_ANCHORS_PER_CUT_NET = 3
+_HIDDEN_PROBABILITY = 0.5
+
+
+@dataclass
+class Figure1Circuit:
+    """The reconstructed Figure-1 netlist with its bookkeeping maps."""
+
+    graph: Hypergraph
+    node_index: Dict[int, int]        # paper label -> node id
+    hidden_partners: List[int]        # hidden V1 nodes (one per node 4..9)
+    anchors: List[int]                # locked V2 nodes
+    sides: List[int]                  # 0 = V1, 1 = V2
+    net_index: Dict[str, int]         # paper net name -> net id
+
+    def make_partition(self) -> Partition:
+        """Partition with the V2 anchors locked (the figure's convention)."""
+        partition = Partition(self.graph, self.sides)
+        for v in self.anchors:
+            partition.lock(v)
+        return partition
+
+
+def build_figure1() -> Figure1Circuit:
+    """Construct the Figure-1 circuit (see module docstring)."""
+    b = HypergraphBuilder()
+    node_index = {label: b.add_node(name=f"v{label}") for label in VISIBLE_NODES}
+    hidden = [b.add_node(name=f"h{label}") for label in range(4, 10)]
+    anchors: List[int] = []
+    net_index: Dict[str, int] = {}
+
+    def cut_net(name: str, members: List[int]) -> None:
+        pins = list(members)
+        for i in range(_ANCHORS_PER_CUT_NET):
+            a = b.add_node(name=f"{name}_anchor{i}")
+            anchors.append(a)
+            pins.append(a)
+        net_index[name] = b.add_net(pins, name=name)
+
+    # Cut nets n1..n8: each a single visible V1 node against anchors.
+    sole_pins = {
+        "n1": 1, "n2": 1, "n3": 2, "n4": 2,
+        "n5": 10, "n6": 3, "n7": 3, "n8": 11,
+    }
+    for name in ("n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8"):
+        cut_net(name, [node_index[sole_pins[name]]])
+    # Cut nets n9, n10, n11: the lookahead-relevant shared nets.
+    cut_net("n9", [node_index[v] for v in (1, 4, 5, 6, 7)])
+    cut_net("n10", [node_index[v] for v in (2, 8, 9)])
+    cut_net("n11", [node_index[v] for v in (3, 10, 11)])
+    # Internal nets n12..n17: nodes 4..9 with one hidden partner each.
+    for offset, label in enumerate(range(4, 10)):
+        net_index[f"n{12 + offset}"] = b.add_net(
+            [node_index[label], hidden[offset]], name=f"n{12 + offset}"
+        )
+
+    graph = b.build()
+    sides = [0] * graph.num_nodes
+    for a in anchors:
+        sides[a] = 1
+    return Figure1Circuit(
+        graph=graph,
+        node_index=node_index,
+        hidden_partners=hidden,
+        anchors=anchors,
+        sides=sides,
+        net_index=net_index,
+    )
+
+
+def figure1_fm_gains(circuit: Figure1Circuit) -> Dict[int, float]:
+    """Deterministic FM gains (Eqn. 1) of the visible nodes — Fig. 1(a)."""
+    partition = circuit.make_partition()
+    return {
+        label: partition.immediate_gain(circuit.node_index[label])
+        for label in VISIBLE_NODES
+    }
+
+
+def figure1_la3_vectors(
+    circuit: Figure1Circuit,
+) -> Dict[int, Tuple[float, ...]]:
+    """LA-3 gain vectors of the visible nodes — Fig. 1(a)."""
+    partition = circuit.make_partition()
+    return {
+        label: gain_vector(partition, circuit.node_index[label], 3)
+        for label in VISIBLE_NODES
+    }
+
+
+def figure1_initial_probabilities(circuit: Figure1Circuit) -> Dict[int, float]:
+    """Iteration-1 probabilities from deterministic gains — Fig. 1(b)."""
+    gains = figure1_fm_gains(circuit)
+    return {
+        label: FIGURE1_PROBABILITY_MAP(g) for label, g in gains.items()
+    }
+
+
+def figure1_prop_gains(circuit: Figure1Circuit) -> Dict[int, float]:
+    """Iteration-2 probabilistic gains — Fig. 1(c).
+
+    Probabilities: visible nodes from their deterministic gains through the
+    figure's map, hidden partners at 0.5, anchors locked (p = 0); then one
+    application of Eqns. (3)/(4).
+    """
+    partition = circuit.make_partition()
+    engine = ProbabilisticGainEngine(partition)
+    for label, p in figure1_initial_probabilities(circuit).items():
+        engine.set_probability(circuit.node_index[label], p)
+    for h in circuit.hidden_partners:
+        engine.set_probability(h, _HIDDEN_PROBABILITY)
+    return {
+        label: engine.node_gain(circuit.node_index[label])
+        for label in VISIBLE_NODES
+    }
+
+
+def best_move_ranking(circuit: Figure1Circuit) -> List[int]:
+    """Visible nodes ranked by PROP gain, best first.
+
+    The paper's punchline: node 3 ranks strictly first, node 2 second,
+    node 1 third — the ordering FM cannot see at all and LA-3 sees only
+    partially.
+    """
+    gains = figure1_prop_gains(circuit)
+    return sorted(VISIBLE_NODES, key=lambda v: gains[v], reverse=True)

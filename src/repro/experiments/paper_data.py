@@ -1,0 +1,88 @@
+"""The numbers published in the paper's tables, transcribed for comparison.
+
+EXPERIMENTS.md and the shape-checking benches compare our measured results
+against these.  ``None`` marks entries the paper leaves blank.  All cutset
+values are net counts (unit costs).
+
+Sources: Dutt & Deng, DAC 1996 — Table 2 (50-50% balance), Table 3 (45-55%
+balance), Table 4 (CPU seconds, totals row).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Table 2 — 50-50% balance.  circuit -> {algorithm: best cut}.
+PAPER_TABLE2: Dict[str, Dict[str, Optional[int]]] = {
+    "balu":      {"FM100": 32,  "FM40": 32,  "FM20": 32,  "LA-2": 31,  "LA-3": 31,  "WINDOW": None, "PROP": 32},
+    "bm1":       {"FM100": 55,  "FM40": 57,  "FM20": 65,  "LA-2": 58,  "LA-3": 55,  "WINDOW": 70,   "PROP": 54},
+    "p1":        {"FM100": 57,  "FM40": 57,  "FM20": 59,  "LA-2": 59,  "LA-3": 55,  "WINDOW": 60,   "PROP": 59},
+    "p2":        {"FM100": 236, "FM40": 238, "FM20": 245, "LA-2": 215, "LA-3": 183, "WINDOW": 258,  "PROP": 154},
+    "s13207":    {"FM100": 92,  "FM40": 101, "FM20": 101, "LA-2": 81,  "LA-3": 89,  "WINDOW": None, "PROP": 83},
+    "s15850":    {"FM100": 112, "FM40": 120, "FM20": 120, "LA-2": 122, "LA-3": 75,  "WINDOW": None, "PROP": 73},
+    "s9234":     {"FM100": 53,  "FM40": 59,  "FM20": 59,  "LA-2": 57,  "LA-3": 58,  "WINDOW": None, "PROP": 55},
+    "struct":    {"FM100": 45,  "FM40": 47,  "FM20": 52,  "LA-2": 45,  "LA-3": 45,  "WINDOW": None, "PROP": 38},
+    "19ks":      {"FM100": 142, "FM40": 150, "FM20": 150, "LA-2": 141, "LA-3": 153, "WINDOW": 136,  "PROP": 120},
+    "biomed":    {"FM100": 83,  "FM40": 83,  "FM20": 83,  "LA-2": 122, "LA-3": 91,  "WINDOW": 164,  "PROP": 88},
+    "industry2": {"FM100": 428, "FM40": 501, "FM20": 501, "LA-2": 492, "LA-3": 378, "WINDOW": 392,  "PROP": 254},
+    "t2":        {"FM100": 115, "FM40": 115, "FM20": 115, "LA-2": 124, "LA-3": 105, "WINDOW": 105,  "PROP": 91},
+    "t3":        {"FM100": 72,  "FM40": 72,  "FM20": 72,  "LA-2": 78,  "LA-3": 90,  "WINDOW": 67,   "PROP": 58},
+    "t4":        {"FM100": 86,  "FM40": 88,  "FM20": 97,  "LA-2": 94,  "LA-3": 88,  "WINDOW": 61,   "PROP": 58},
+    "t5":        {"FM100": 97,  "FM40": 97,  "FM20": 149, "LA-2": 109, "LA-3": 96,  "WINDOW": 101,  "PROP": 82},
+    "t6":        {"FM100": 71,  "FM40": 71,  "FM20": 71,  "LA-2": 70,  "LA-3": 63,  "WINDOW": 70,   "PROP": 81},
+}
+
+#: Table 2 totals row and PROP's headline improvement percentages.
+PAPER_TABLE2_TOTALS = {
+    "FM100": 1776, "FM40": 1888, "FM20": 1971,
+    "LA-2": 1898, "LA-3": 1655, "WINDOW": 1484, "PROP": 1380,
+}
+PAPER_TABLE2_IMPROVEMENTS = {
+    "FM100": 22.3, "FM40": 26.9, "FM20": 30.0,
+    "LA-2": 27.3, "LA-3": 16.6, "WINDOW": 25.9,
+}
+
+#: Table 3 — 45-55% balance.  circuit -> {algorithm: best cut}.
+PAPER_TABLE3: Dict[str, Dict[str, Optional[int]]] = {
+    "balu":      {"MELO": 28,  "PARABOLI": 41,  "EIG1": 110, "PROP": 27},
+    "bm1":       {"MELO": 48,  "PARABOLI": None, "EIG1": 75,  "PROP": 50},
+    "p1":        {"MELO": 64,  "PARABOLI": 53,  "EIG1": 75,  "PROP": 47},
+    "p2":        {"MELO": 169, "PARABOLI": 146, "EIG1": 254, "PROP": 143},
+    "s13207":    {"MELO": 104, "PARABOLI": 91,  "EIG1": 110, "PROP": 75},
+    "s15850":    {"MELO": 52,  "PARABOLI": 91,  "EIG1": 125, "PROP": 65},
+    "s9234":     {"MELO": 79,  "PARABOLI": 74,  "EIG1": 166, "PROP": 41},
+    "struct":    {"MELO": 38,  "PARABOLI": 40,  "EIG1": 49,  "PROP": 33},
+    "19ks":      {"MELO": 119, "PARABOLI": None, "EIG1": 179, "PROP": 105},
+    "biomed":    {"MELO": 115, "PARABOLI": 135, "EIG1": 286, "PROP": 83},
+    "industry2": {"MELO": 319, "PARABOLI": 193, "EIG1": 525, "PROP": 220},
+    "t2":        {"MELO": 106, "PARABOLI": None, "EIG1": 196, "PROP": 90},
+    "t3":        {"MELO": 60,  "PARABOLI": None, "EIG1": 85,  "PROP": 59},
+    "t4":        {"MELO": 61,  "PARABOLI": None, "EIG1": 207, "PROP": 52},
+    "t5":        {"MELO": 102, "PARABOLI": None, "EIG1": 167, "PROP": 79},
+    "t6":        {"MELO": 90,  "PARABOLI": None, "EIG1": 295, "PROP": 76},
+}
+
+PAPER_TABLE3_TOTALS = {"MELO": 1554, "PARABOLI": 864, "EIG1": 2904, "PROP": 1245}
+PAPER_TABLE3_IMPROVEMENTS = {"MELO": 19.9, "PARABOLI": 15.0, "EIG1": 57.1}
+
+#: Table 4 — total CPU seconds over all circuits × all runs (paper's last
+#: row; PROP's "all circuits" figure).  Used only for *ratio* shapes.
+PAPER_TABLE4_TOTALS = {
+    "FM-bucket x100": 2555.0,
+    "FM-tree x100": 7501.0,
+    "LA-2 x40": 2361.2,
+    "LA-3 x20": 5331.0,
+    "PROP x20": 2383.0,
+    "MELO": 5177.0,          # all circuits
+    "EIG1": 1408.0,          # 9 circuits
+    "PARABOLI": 7567.0,      # 9 circuits
+}
+
+#: Headline relative-speed claims of Sec. 4 (for the scaling bench).
+PAPER_SPEED_CLAIMS = {
+    "prop_vs_fm_bucket_per_run": 4.6,   # "PROP is about 4.6 times slower than FM per run"
+    "prop_vs_fm_tree_total": 3.15,      # "3.15 times faster than FM100-tree"
+    "prop_vs_paraboli": 3.9,
+    "prop_vs_la3": 2.2,
+    "prop_vs_melo": 2.2,
+}

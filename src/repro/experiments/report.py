@@ -1,0 +1,146 @@
+"""One-shot report generation: every table and figure in a single run.
+
+``python -m repro.experiments [outdir]`` regenerates Figure 1 and
+Tables 1–4 with the current bench-scale settings and writes one text file
+per experiment plus a combined ``report.txt`` — the programmatic twin of
+the pytest benchmark harness, convenient for quick shape checks without
+pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from ..hypergraph import BENCHMARK_NAMES, TABLE1_CHARACTERISTICS
+from .figure1 import (
+    best_move_ranking,
+    build_figure1,
+    figure1_fm_gains,
+    figure1_la3_vectors,
+    figure1_prop_gains,
+)
+from .paper_data import (
+    PAPER_TABLE2_TOTALS,
+    PAPER_TABLE3_TOTALS,
+    PAPER_TABLE4_TOTALS,
+)
+from .tables import (
+    bench_scale_from_env,
+    format_table4_times,
+    run_table2,
+    run_table3,
+    run_table4,
+    table1_rows,
+)
+
+
+def figure1_report() -> str:
+    """Figure 1 as text: per-node FM gain, LA-3 vector, PROP gain."""
+    circuit = build_figure1()
+    fm = figure1_fm_gains(circuit)
+    la = figure1_la3_vectors(circuit)
+    prop = figure1_prop_gains(circuit)
+    lines = [
+        "Figure 1 — worked example (exact reproduction)",
+        f"{'node':>5s} {'FM':>5s} {'LA-3':>12s} {'PROP':>9s}",
+    ]
+    for label in sorted(fm):
+        vec = ",".join(f"{x:g}" for x in la[label])
+        lines.append(
+            f"{label:>5d} {fm[label]:>5.0f} {('(' + vec + ')'):>12s} "
+            f"{prop[label]:>9.4f}"
+        )
+    lines.append(f"PROP ranking (best first): {best_move_ranking(circuit)}")
+    return "\n".join(lines)
+
+
+def table1_report() -> str:
+    """Table 1 as text with exactness check against the paper."""
+    rows = table1_rows(scale=1.0)
+    lines = [
+        "Table 1 — benchmark characteristics (scale 1.0)",
+        f"{'circuit':<12s}{'nodes':>8s}{'nets':>8s}{'pins':>8s}   vs paper",
+    ]
+    for name in BENCHMARK_NAMES:
+        row = rows[name]
+        exact = tuple(row.values()) == TABLE1_CHARACTERISTICS[name]
+        lines.append(
+            f"{name:<12s}{row['nodes']:>8d}{row['nets']:>8d}"
+            f"{row['pins']:>8d}   {'exact' if exact else 'MISMATCH'}"
+        )
+    return "\n".join(lines)
+
+
+def table2_report() -> str:
+    """Table 2 regenerated at bench scale, plus the paper's totals."""
+    table = run_table2()
+    paper = ", ".join(f"{a}: {v}" for a, v in PAPER_TABLE2_TOTALS.items())
+    return table.format_text() + f"\npaper totals (full scale): {paper}"
+
+
+def table3_report() -> str:
+    """Table 3 regenerated at bench scale, plus the paper's totals."""
+    table = run_table3()
+    paper = ", ".join(f"{a}: {v}" for a, v in PAPER_TABLE3_TOTALS.items())
+    return table.format_text() + f"\npaper totals (full scale): {paper}"
+
+
+def table4_report() -> str:
+    """Table 4 timings regenerated at bench scale, plus the paper's totals."""
+    table = run_table4()
+    paper = ", ".join(f"{a}: {v}" for a, v in PAPER_TABLE4_TOTALS.items())
+    return format_table4_times(table) + f"\npaper total seconds: {paper}"
+
+
+#: Experiment name -> report builder; order matches the paper.
+REPORT_SECTIONS: Dict[str, Callable[[], str]] = {
+    "figure1": figure1_report,
+    "table1": table1_report,
+    "table2": table2_report,
+    "table3": table3_report,
+    "table4": table4_report,
+}
+
+
+def generate_full_report(outdir: Path) -> List[Path]:
+    """Run every experiment; write per-section files + combined report.
+
+    Returns the list of written paths (sections first, combined last).
+    """
+    outdir.mkdir(parents=True, exist_ok=True)
+    scale, runs_scale, names = bench_scale_from_env()
+    header = (
+        f"PROP reproduction report — scale={scale} runs_scale={runs_scale} "
+        f"circuits={','.join(names)}"
+    )
+    written: List[Path] = []
+    combined = [header]
+    for name, builder in REPORT_SECTIONS.items():
+        started = time.perf_counter()
+        text = builder()
+        elapsed = time.perf_counter() - started
+        section = f"{text}\n[{name} regenerated in {elapsed:.1f}s]"
+        path = outdir / f"{name}.txt"
+        path.write_text(section + "\n")
+        written.append(path)
+        combined.append(section)
+    combined_path = outdir / "report.txt"
+    combined_path.write_text("\n\n".join(combined) + "\n")
+    written.append(combined_path)
+    return written
+
+
+def main(argv: List[str]) -> int:
+    """Entry point of ``python -m repro.experiments [outdir]``."""
+    outdir = Path(argv[0]) if argv else Path("report_out")
+    print(f"regenerating all experiments into {outdir}/ ...")
+    for path in generate_full_report(outdir):
+        print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

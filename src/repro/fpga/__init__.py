@@ -1,0 +1,15 @@
+"""Multi-FPGA partitioning flow (paper Sec. 5 future work)."""
+
+from .multi_fpga import (
+    FpgaDevice,
+    FpgaPlan,
+    device_io_counts,
+    partition_onto_fpgas,
+)
+
+__all__ = [
+    "FpgaDevice",
+    "FpgaPlan",
+    "partition_onto_fpgas",
+    "device_io_counts",
+]

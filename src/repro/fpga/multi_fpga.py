@@ -1,0 +1,215 @@
+"""Multi-FPGA partitioning (paper Sec. 5 future work; Sec. 1 motivation).
+
+Partitioning a large circuit across k FPGA devices adds two hard resource
+constraints on top of k-way balance:
+
+* **capacity** — each device holds at most ``capacity`` node weight;
+* **I/O pins** — each device exposes at most ``io_limit`` external pins,
+  where a device consumes one I/O for every *distinct net* that has pins
+  both inside and outside it.
+
+The flow here: recursive PROP bisection to k parts, then a greedy repair
+loop that relocates boundary nodes out of violating devices.  Repair
+failures are reported honestly in :class:`FpgaPlan` — infeasible device
+profiles exist and a production flow would re-partition with more devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..hypergraph import Hypergraph
+from ..kway import kway_cut, recursive_bisection
+from ..multirun.runner import Partitioner
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """One device profile: logic capacity and I/O pin budget."""
+
+    capacity: float
+    io_limit: int
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {self.capacity}")
+        if self.io_limit < 0:
+            raise ValueError(f"io_limit must be >= 0, got {self.io_limit}")
+
+
+@dataclass
+class FpgaPlan:
+    """Result of mapping a netlist onto k devices."""
+
+    assignment: List[int]
+    devices: Sequence[FpgaDevice]
+    utilization: List[float]
+    io_counts: List[int]
+    cut: float
+
+    @property
+    def feasible(self) -> bool:
+        return not self.capacity_violations() and not self.io_violations()
+
+    def capacity_violations(self) -> List[int]:
+        """Devices whose logic capacity is exceeded."""
+        return [
+            d
+            for d, (used, dev) in enumerate(zip(self.utilization, self.devices))
+            if used > dev.capacity + 1e-9
+        ]
+
+    def io_violations(self) -> List[int]:
+        """Devices whose I/O budget is exceeded."""
+        return [
+            d
+            for d, (ios, dev) in enumerate(zip(self.io_counts, self.devices))
+            if ios > dev.io_limit
+        ]
+
+
+def device_io_counts(
+    graph: Hypergraph, assignment: Sequence[int], k: int
+) -> List[int]:
+    """External-net count per device (one I/O pin per crossing net)."""
+    ios = [0] * k
+    for pins in graph.nets:
+        parts = {assignment[v] for v in pins}
+        if len(parts) > 1:
+            for part in parts:
+                ios[part] += 1
+    return ios
+
+
+def partition_onto_fpgas(
+    graph: Hypergraph,
+    devices: Sequence[FpgaDevice],
+    partitioner: Optional[Partitioner] = None,
+    seed: int = 0,
+    repair_rounds: int = 3,
+) -> FpgaPlan:
+    """Map ``graph`` onto the given devices.
+
+    All devices are assumed identical in capacity ordering terms (the
+    common homogeneous-board case); heterogeneous capacity is honoured by
+    the repair phase.
+    """
+    k = len(devices)
+    if k < 2:
+        raise ValueError("need at least 2 devices")
+    total = graph.total_node_weight
+    if total > sum(d.capacity for d in devices):
+        raise ValueError(
+            f"total node weight {total} exceeds aggregate capacity"
+        )
+
+    kway = recursive_bisection(graph, k, partitioner=partitioner, seed=seed)
+    assignment = list(kway.assignment)
+
+    for _ in range(repair_rounds):
+        if not _repair_round(graph, assignment, devices):
+            break
+
+    utilization = [0.0] * k
+    for v, part in enumerate(assignment):
+        utilization[part] += graph.node_weight(v)
+    return FpgaPlan(
+        assignment=assignment,
+        devices=list(devices),
+        utilization=utilization,
+        io_counts=device_io_counts(graph, assignment, k),
+        cut=kway_cut(graph, assignment),
+    )
+
+
+def _repair_round(
+    graph: Hypergraph,
+    assignment: List[int],
+    devices: Sequence[FpgaDevice],
+) -> bool:
+    """One greedy repair sweep; returns True if anything moved.
+
+    Over-capacity or over-I/O devices shed their least-connected boundary
+    nodes to the neighbor device with the most slack.
+    """
+    k = len(devices)
+    utilization = [0.0] * k
+    for v, part in enumerate(assignment):
+        utilization[part] += graph.node_weight(v)
+    ios = device_io_counts(graph, assignment, k)
+
+    violating = [
+        d
+        for d in range(k)
+        if utilization[d] > devices[d].capacity + 1e-9
+        or ios[d] > devices[d].io_limit
+    ]
+    if not violating:
+        return False
+
+    moved = False
+    for dev in violating:
+        boundary = _boundary_nodes(graph, assignment, dev)
+        # Least internally-connected first: cheapest to evict.
+        boundary.sort(key=lambda v: _internal_pins(graph, assignment, v))
+        budget = max(1, len(boundary) // 4)
+        for v in boundary[:budget]:
+            target = _best_target(graph, assignment, v, utilization, devices)
+            if target is None:
+                continue
+            utilization[assignment[v]] -= graph.node_weight(v)
+            utilization[target] += graph.node_weight(v)
+            assignment[v] = target
+            moved = True
+    return moved
+
+
+def _boundary_nodes(
+    graph: Hypergraph, assignment: Sequence[int], device: int
+) -> List[int]:
+    out = []
+    for v in range(graph.num_nodes):
+        if assignment[v] != device:
+            continue
+        for net_id in graph.node_nets(v):
+            if any(assignment[u] != device for u in graph.net(net_id)):
+                out.append(v)
+                break
+    return out
+
+
+def _internal_pins(
+    graph: Hypergraph, assignment: Sequence[int], node: int
+) -> int:
+    dev = assignment[node]
+    return sum(
+        1
+        for net_id in graph.node_nets(node)
+        for u in graph.net(net_id)
+        if u != node and assignment[u] == dev
+    )
+
+
+def _best_target(
+    graph: Hypergraph,
+    assignment: Sequence[int],
+    node: int,
+    utilization: Sequence[float],
+    devices: Sequence[FpgaDevice],
+) -> Optional[int]:
+    """Neighbor device with the most capacity slack that can take ``node``."""
+    weight = graph.node_weight(node)
+    neighbor_devs = set()
+    for net_id in graph.node_nets(node):
+        for u in graph.net(net_id):
+            if assignment[u] != assignment[node]:
+                neighbor_devs.add(assignment[u])
+    best = None
+    best_slack = 0.0
+    for dev in neighbor_devs:
+        slack = devices[dev].capacity - utilization[dev] - weight
+        if slack >= 0 and (best is None or slack > best_slack):
+            best = dev
+            best_slack = slack
+    return best

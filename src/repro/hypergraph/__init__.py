@@ -1,0 +1,76 @@
+"""Hypergraph (circuit netlist) substrate.
+
+Public surface:
+
+* :class:`Hypergraph`, :class:`HypergraphBuilder`, :exc:`HypergraphError`
+* statistics (:func:`compute_stats`, :class:`HypergraphStats`)
+* netlist I/O (:mod:`repro.hypergraph.io_`)
+* synthetic circuit generators (:mod:`repro.hypergraph.generators`)
+* transforms (:func:`contract`, :func:`induced_subhypergraph`)
+"""
+
+from .builder import HypergraphBuilder
+from .generators import (
+    BENCHMARK_NAMES,
+    TABLE1_CHARACTERISTICS,
+    benchmark_suite,
+    hierarchical_circuit,
+    make_benchmark,
+    planted_bisection,
+    random_hypergraph,
+)
+from .hypergraph import Hypergraph, HypergraphError, clique_edges
+from .stats import HypergraphStats, compute_stats, exact_average_neighbors
+from .topologies import (
+    butterfly_circuit,
+    mesh_circuit,
+    ring_circuit,
+    star_circuit,
+    torus_circuit,
+    tree_circuit,
+)
+from .validate import (
+    LintReport,
+    connected_components,
+    is_connected,
+    lint,
+)
+from .transforms import (
+    Contraction,
+    SubHypergraph,
+    contract,
+    induced_subhypergraph,
+    remove_large_nets,
+)
+
+__all__ = [
+    "Hypergraph",
+    "HypergraphBuilder",
+    "HypergraphError",
+    "HypergraphStats",
+    "compute_stats",
+    "exact_average_neighbors",
+    "clique_edges",
+    "contract",
+    "Contraction",
+    "induced_subhypergraph",
+    "SubHypergraph",
+    "remove_large_nets",
+    "random_hypergraph",
+    "planted_bisection",
+    "hierarchical_circuit",
+    "make_benchmark",
+    "benchmark_suite",
+    "BENCHMARK_NAMES",
+    "TABLE1_CHARACTERISTICS",
+    "connected_components",
+    "is_connected",
+    "lint",
+    "LintReport",
+    "mesh_circuit",
+    "torus_circuit",
+    "ring_circuit",
+    "tree_circuit",
+    "star_circuit",
+    "butterfly_circuit",
+]

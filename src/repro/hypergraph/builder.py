@@ -1,0 +1,150 @@
+"""Incremental construction of :class:`~repro.hypergraph.hypergraph.Hypergraph`.
+
+Netlist readers and circuit generators accumulate nets one at a time; the
+builder validates as it goes and produces an immutable hypergraph at the end.
+It also supports name-based construction (add nodes/nets by string name), the
+natural interface when parsing textual netlist formats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .hypergraph import Hypergraph, HypergraphError
+
+
+class HypergraphBuilder:
+    """Accumulates nodes and nets, then builds an immutable hypergraph.
+
+    Example
+    -------
+    >>> b = HypergraphBuilder()
+    >>> a, c, d = b.add_node("a"), b.add_node("c"), b.add_node("d")
+    >>> _ = b.add_net([a, c], name="n1")
+    >>> _ = b.add_net([c, d], cost=2.0)
+    >>> hg = b.build()
+    >>> hg.num_nodes, hg.num_nets, hg.num_pins
+    (3, 2, 4)
+    """
+
+    def __init__(self) -> None:
+        self._nets: List[List[int]] = []
+        self._net_costs: List[float] = []
+        self._net_names: List[Optional[str]] = []
+        self._node_weights: List[float] = []
+        self._node_names: List[Optional[str]] = []
+        self._name_to_node: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_weights)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._nets)
+
+    def add_node(self, name: Optional[str] = None, weight: float = 1.0) -> int:
+        """Add one node; returns its index."""
+        if weight < 0:
+            raise HypergraphError(f"node weight {weight} is negative")
+        if name is not None:
+            if name in self._name_to_node:
+                raise HypergraphError(f"duplicate node name {name!r}")
+            self._name_to_node[name] = self.num_nodes
+        node = self.num_nodes
+        self._node_weights.append(float(weight))
+        self._node_names.append(name)
+        return node
+
+    def add_nodes(self, count: int, weight: float = 1.0) -> range:
+        """Add ``count`` anonymous nodes; returns their index range."""
+        if count < 0:
+            raise HypergraphError(f"cannot add {count} nodes")
+        start = self.num_nodes
+        for _ in range(count):
+            self.add_node(weight=weight)
+        return range(start, start + count)
+
+    def node_by_name(self, name: str) -> int:
+        """Index of a previously added named node (KeyError if unknown)."""
+        return self._name_to_node[name]
+
+    def get_or_add_node(self, name: str, weight: float = 1.0) -> int:
+        """Return the node with ``name``, creating it if necessary."""
+        existing = self._name_to_node.get(name)
+        if existing is not None:
+            return existing
+        return self.add_node(name=name, weight=weight)
+
+    # ------------------------------------------------------------------
+    # Nets
+    # ------------------------------------------------------------------
+    def add_net(
+        self,
+        pins: Iterable[int],
+        cost: float = 1.0,
+        name: Optional[str] = None,
+    ) -> int:
+        """Add one net over existing node indices; returns the net index."""
+        pin_list = list(pins)
+        if not pin_list:
+            raise HypergraphError("net has no pins")
+        seen = set()
+        for node in pin_list:
+            if node < 0 or node >= self.num_nodes:
+                raise HypergraphError(
+                    f"net pin {node} out of range (have {self.num_nodes} nodes)"
+                )
+            if node in seen:
+                raise HypergraphError(f"net has duplicate pin {node}")
+            seen.add(node)
+        if cost < 0:
+            raise HypergraphError(f"net cost {cost} is negative")
+        net_id = len(self._nets)
+        self._nets.append(pin_list)
+        self._net_costs.append(float(cost))
+        self._net_names.append(name)
+        return net_id
+
+    def add_net_by_names(
+        self,
+        pin_names: Iterable[str],
+        cost: float = 1.0,
+        name: Optional[str] = None,
+    ) -> int:
+        """Add a net given node *names*, creating unknown nodes on the fly."""
+        pins = [self.get_or_add_node(pn) for pn in pin_names]
+        return self.add_net(pins, cost=cost, name=name)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> Hypergraph:
+        """Produce the immutable hypergraph."""
+        node_names: Optional[Sequence[str]]
+        if any(n is not None for n in self._node_names):
+            node_names = [
+                n if n is not None else f"node{i}"
+                for i, n in enumerate(self._node_names)
+            ]
+        else:
+            node_names = None
+        net_names: Optional[Sequence[str]]
+        if any(n is not None for n in self._net_names):
+            net_names = [
+                n if n is not None else f"net{i}"
+                for i, n in enumerate(self._net_names)
+            ]
+        else:
+            net_names = None
+        return Hypergraph(
+            self._nets,
+            num_nodes=self.num_nodes,
+            net_costs=self._net_costs,
+            node_weights=self._node_weights,
+            node_names=node_names,
+            net_names=net_names,
+        )

@@ -1,0 +1,275 @@
+"""Synthetic circuit generators.
+
+The DAC-96 paper evaluates on 16 ACM/SIGDA benchmark netlists (Table 1).
+Those netlists are not redistributable / not available offline, so this module
+provides deterministic, seeded generators that produce *circuit-like*
+hypergraphs, including :func:`benchmark_suite`, which reproduces the **exact
+node / net / pin counts of paper Table 1** with a hierarchically clustered
+(Rent-style) topology.  See DESIGN.md, "Substitutions" for the rationale: the
+partitioners under study are topology heuristics, and relative behaviour is
+driven by clustered structure plus hypergraph statistics, both of which are
+matched here.
+
+Generators:
+
+* :func:`random_hypergraph` — unstructured control case (no clusters; all
+  partitioners should do roughly equally badly).
+* :func:`planted_bisection` — two planted halves with a known small set of
+  crossing nets; used heavily in tests because the optimum is known by
+  construction.
+* :func:`hierarchical_circuit` — the main circuit model: recursive clusters,
+  mostly-local nets with a Rent-like locality distribution and a 2-3 pin
+  dominated net-size distribution with a long tail (clock/reset-like nets).
+* :func:`benchmark_suite` / :func:`make_benchmark` — the Table-1 instances.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .hypergraph import Hypergraph
+
+# ---------------------------------------------------------------------------
+# Paper Table 1: benchmark circuit characteristics (exact values).
+# ---------------------------------------------------------------------------
+TABLE1_CHARACTERISTICS: Dict[str, Tuple[int, int, int]] = {
+    # name: (num_nodes, num_nets, num_pins)
+    "balu": (801, 735, 2697),
+    "bm1": (882, 903, 2910),
+    "p1": (833, 902, 2908),
+    "p2": (3014, 3029, 11219),
+    "s13207": (8772, 8651, 20606),
+    "s15850": (10470, 10383, 24712),
+    "s9234": (5866, 5844, 14065),
+    "struct": (1952, 1920, 5471),
+    "19ks": (2844, 3282, 10547),
+    "biomed": (6514, 5742, 21040),
+    "industry2": (12637, 13419, 48404),
+    "t2": (1663, 1720, 6134),
+    "t3": (1607, 1618, 5807),
+    "t4": (1515, 1658, 5975),
+    "t5": (2595, 2750, 10076),
+    "t6": (1752, 1541, 6638),
+}
+
+#: Circuit order used throughout the paper's tables.
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(TABLE1_CHARACTERISTICS)
+
+
+def random_hypergraph(
+    num_nodes: int,
+    num_nets: int,
+    avg_net_size: float = 3.5,
+    seed: int = 0,
+) -> Hypergraph:
+    """Fully random hypergraph (no planted structure).
+
+    Net sizes are 2 plus a geometric tail with mean ``avg_net_size``; pins
+    are sampled uniformly from all nodes.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    if avg_net_size < 2:
+        raise ValueError("avg_net_size must be >= 2")
+    rng = random.Random(seed)
+    geo_p = 1.0 / (avg_net_size - 1.0)
+    nets: List[List[int]] = []
+    for _ in range(num_nets):
+        size = 2
+        while rng.random() > geo_p and size < num_nodes:
+            size += 1
+        nets.append(rng.sample(range(num_nodes), size))
+    return Hypergraph(nets, num_nodes=num_nodes)
+
+
+def planted_bisection(
+    nodes_per_side: int,
+    nets_per_side: int,
+    crossing_nets: int,
+    net_size: int = 3,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> Tuple[Hypergraph, List[int], int]:
+    """Two dense halves joined by exactly ``crossing_nets`` crossing nets.
+
+    Returns ``(hypergraph, planted_sides, crossing_nets)`` where
+    ``planted_sides[v]`` is 0/1.  Any balanced bisection along the planted
+    split cuts exactly ``crossing_nets`` nets, which upper-bounds the optimum
+    — tests use this as a quality oracle for the partitioners.
+
+    When ``shuffle`` is true, node indices are randomly permuted so the
+    planted structure is not encoded in index order.
+    """
+    if nodes_per_side < net_size:
+        raise ValueError("nodes_per_side must be >= net_size")
+    rng = random.Random(seed)
+    n = 2 * nodes_per_side
+    perm = list(range(n))
+    if shuffle:
+        rng.shuffle(perm)
+
+    side_nodes = (
+        [perm[v] for v in range(nodes_per_side)],
+        [perm[v] for v in range(nodes_per_side, n)],
+    )
+    nets: List[List[int]] = []
+    for side in (0, 1):
+        pool = side_nodes[side]
+        for _ in range(nets_per_side):
+            nets.append(rng.sample(pool, net_size))
+    for _ in range(crossing_nets):
+        a = rng.choice(side_nodes[0])
+        b = rng.choice(side_nodes[1])
+        while b == a:  # pragma: no cover - distinct pools, can't collide
+            b = rng.choice(side_nodes[1])
+        nets.append([a, b])
+
+    sides = [0] * n
+    for v in side_nodes[1]:
+        sides[v] = 1
+    return Hypergraph(nets, num_nodes=n), sides, crossing_nets
+
+
+def _net_sizes(
+    num_nets: int,
+    num_pins: int,
+    max_size: int,
+    rng: random.Random,
+) -> List[int]:
+    """Net sizes summing exactly to ``num_pins``, all >= 2 (or 1 if forced).
+
+    Circuit-like distribution: dominated by 2-3 pin nets, with a small
+    number of high-fanout (clock/reset-like) nets receiving chunks of the
+    surplus pins.
+    """
+    if num_nets <= 0:
+        raise ValueError("num_nets must be positive")
+    base = 2 if num_pins >= 2 * num_nets else 1
+    sizes = [base] * num_nets
+    surplus = num_pins - base * num_nets
+    if surplus < 0:
+        raise ValueError(
+            f"num_pins={num_pins} too small for {num_nets} nets"
+        )
+    while surplus > 0:
+        i = rng.randrange(num_nets)
+        if rng.random() < 0.015:
+            # grow a high-fanout net
+            chunk = min(surplus, rng.randint(4, 30), max_size - sizes[i])
+        else:
+            chunk = min(surplus, 1 if sizes[i] < 6 else 0)
+        if chunk <= 0:
+            continue
+        sizes[i] += chunk
+        surplus -= chunk
+    return sizes
+
+
+def hierarchical_circuit(
+    num_nodes: int,
+    num_nets: int,
+    num_pins: int,
+    seed: int = 0,
+    locality: float = 0.62,
+    leaf_size: int = 12,
+) -> Hypergraph:
+    """Rent-style hierarchically clustered circuit.
+
+    Node indices are (conceptually) arranged on a line and recursively
+    bisected into a cluster tree with leaves of ~``leaf_size`` nodes.  Each
+    net picks a tree level — deep (local) levels with probability
+    ``locality`` per descent step, so most nets are confined to small
+    clusters and few span the whole chip — then samples its pins from a
+    uniformly-chosen cluster at that level.  Finally node indices are
+    permuted so the hierarchy is not visible in index order.
+
+    The exact ``num_pins`` total is honoured (this is what lets
+    :func:`benchmark_suite` match paper Table 1 to the pin).
+    """
+    if num_nodes < 4:
+        raise ValueError("need at least 4 nodes")
+    if not 0.0 < locality < 1.0:
+        raise ValueError("locality must be in (0, 1)")
+    rng = random.Random(seed)
+
+    # Depth of the cluster tree.
+    levels = 0
+    span = num_nodes
+    while span > leaf_size:
+        span = (span + 1) // 2
+        levels += 1
+
+    sizes = _net_sizes(num_nets, num_pins, max_size=num_nodes, rng=rng)
+
+    perm = list(range(num_nodes))
+    rng.shuffle(perm)
+
+    nets: List[List[int]] = []
+    for size in sizes:
+        # Descend the cluster tree: at each step, with prob. `locality`
+        # go one level deeper into a random child half.
+        lo, hi = 0, num_nodes
+        for _ in range(levels):
+            width = hi - lo
+            if width <= max(size, leaf_size):
+                break
+            if rng.random() > locality:
+                break
+            mid = lo + width // 2
+            if rng.random() < 0.5:
+                hi = mid
+            else:
+                lo = mid
+        width = hi - lo
+        if size > width:
+            # a huge net: fall back to a window large enough to host it
+            lo = rng.randrange(0, num_nodes - size + 1)
+            hi = lo + size
+            width = size
+        pins = rng.sample(range(lo, hi), size)
+        nets.append([perm[v] for v in pins])
+    return Hypergraph(nets, num_nodes=num_nodes)
+
+
+def make_benchmark(
+    name: str,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+) -> Hypergraph:
+    """Generate one synthetic stand-in for a Table-1 benchmark circuit.
+
+    With ``scale == 1`` the instance matches the paper's node/net/pin counts
+    exactly.  ``scale < 1`` shrinks all three counts proportionally (keeping
+    the same statistics) — used by the benchmark harness to keep pure-Python
+    runtimes manageable (see DESIGN.md, decision 6).
+
+    The seed defaults to a stable hash of the circuit name, so every call
+    with the same (name, scale) yields the identical netlist.
+    """
+    try:
+        n, e, m = TABLE1_CHARACTERISTICS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(TABLE1_CHARACTERISTICS)}"
+        ) from None
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    if scale != 1.0:
+        n = max(64, round(n * scale))
+        e = max(48, round(e * scale))
+        m = max(2 * e + e // 2, round(m * scale))
+    if seed is None:
+        # Stable across processes (unlike hash()).
+        seed = sum((i + 1) * ord(c) for i, c in enumerate(name)) * 7919
+    return hierarchical_circuit(n, e, m, seed=seed)
+
+
+def benchmark_suite(
+    scale: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, Hypergraph]:
+    """The full Table-1 suite (or a named subset) as a name → netlist dict."""
+    if names is None:
+        names = BENCHMARK_NAMES
+    return {name: make_benchmark(name, scale=scale) for name in names}

@@ -1,0 +1,230 @@
+"""Netlist readers and writers.
+
+Three formats are supported:
+
+* **hMETIS ``.hgr``** — the de-facto standard exchange format for hypergraph
+  partitioning benchmarks: a header line ``<#nets> <#nodes> [fmt]`` followed
+  by one line per net listing 1-based node indices; ``fmt`` 1 adds a leading
+  net weight per line, 10 adds node-weight lines after the nets, 11 both.
+* **SIGDA-style ``.net``** — a simple line-oriented subset of the ACM/SIGDA
+  netlist format family: ``NET <name> <node> <node> ...`` plus optional
+  ``NODE <name> [weight]`` declarations and ``#`` comments.  (The original
+  1980s formats have many dialects; this reader/writer pair is loss-free for
+  everything this package produces.)
+* **JSON** — a verbose but fully general round-trip format carrying costs,
+  weights and names.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .builder import HypergraphBuilder
+from .hypergraph import Hypergraph, HypergraphError
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# hMETIS .hgr
+# ---------------------------------------------------------------------------
+def write_hgr(graph: Hypergraph, path: PathLike) -> None:
+    """Write ``graph`` in hMETIS ``.hgr`` format.
+
+    The fmt code is chosen automatically: net weights are emitted only when
+    they are non-unit, likewise node weights.
+    """
+    has_net_w = not graph.has_unit_net_costs
+    has_node_w = any(w != 1.0 for w in graph.node_weights)
+    fmt = (1 if has_net_w else 0) + (10 if has_node_w else 0)
+    lines: List[str] = []
+    header = f"{graph.num_nets} {graph.num_nodes}"
+    if fmt:
+        header += f" {fmt}"
+    lines.append(header)
+    for net_id, pins in enumerate(graph.nets):
+        parts: List[str] = []
+        if has_net_w:
+            parts.append(_fmt_weight(graph.net_cost(net_id)))
+        parts.extend(str(v + 1) for v in pins)
+        lines.append(" ".join(parts))
+    if has_node_w:
+        for v in range(graph.num_nodes):
+            lines.append(_fmt_weight(graph.node_weight(v)))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def _fmt_weight(w: float) -> str:
+    return str(int(w)) if float(w).is_integer() else repr(w)
+
+
+def read_hgr(path: PathLike) -> Hypergraph:
+    """Read an hMETIS ``.hgr`` file."""
+    raw_lines = Path(path).read_text().splitlines()
+    lines = [ln.strip() for ln in raw_lines]
+    lines = [ln for ln in lines if ln and not ln.startswith("%")]
+    if not lines:
+        raise HypergraphError(f"{path}: empty hgr file")
+    header = lines[0].split()
+    if len(header) not in (2, 3):
+        raise HypergraphError(f"{path}: bad header {lines[0]!r}")
+    num_nets, num_nodes = int(header[0]), int(header[1])
+    fmt = int(header[2]) if len(header) == 3 else 0
+    if fmt not in (0, 1, 10, 11):
+        raise HypergraphError(f"{path}: unsupported fmt {fmt}")
+    has_net_w = fmt in (1, 11)
+    has_node_w = fmt in (10, 11)
+
+    expected = num_nets + (num_nodes if has_node_w else 0)
+    body = lines[1:]
+    if len(body) != expected:
+        raise HypergraphError(
+            f"{path}: expected {expected} data lines, found {len(body)}"
+        )
+
+    nets: List[List[int]] = []
+    net_costs: List[float] = []
+    for ln in body[:num_nets]:
+        fields = ln.split()
+        if has_net_w:
+            net_costs.append(float(fields[0]))
+            fields = fields[1:]
+        pins = [int(f) - 1 for f in fields]
+        if any(p < 0 or p >= num_nodes for p in pins):
+            raise HypergraphError(f"{path}: pin out of range in line {ln!r}")
+        nets.append(pins)
+
+    node_weights: Optional[List[float]] = None
+    if has_node_w:
+        node_weights = [float(ln.split()[0]) for ln in body[num_nets:]]
+
+    return Hypergraph(
+        nets,
+        num_nodes=num_nodes,
+        net_costs=net_costs if has_net_w else None,
+        node_weights=node_weights,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SIGDA-style .net
+# ---------------------------------------------------------------------------
+def write_netlist(graph: Hypergraph, path: PathLike) -> None:
+    """Write ``graph`` in the SIGDA-style ``NET``/``NODE`` line format."""
+    node_names = graph.node_names or tuple(
+        f"c{v}" for v in range(graph.num_nodes)
+    )
+    net_names = graph.net_names or tuple(
+        f"n{i}" for i in range(graph.num_nets)
+    )
+    lines = [f"# nodes={graph.num_nodes} nets={graph.num_nets} pins={graph.num_pins}"]
+    for v in range(graph.num_nodes):
+        w = graph.node_weight(v)
+        if w != 1.0:
+            lines.append(f"NODE {node_names[v]} {_fmt_weight(w)}")
+        else:
+            lines.append(f"NODE {node_names[v]}")
+    for i, pins in enumerate(graph.nets):
+        cost = graph.net_cost(i)
+        cost_part = f" COST {_fmt_weight(cost)}" if cost != 1.0 else ""
+        pin_part = " ".join(node_names[v] for v in pins)
+        lines.append(f"NET {net_names[i]}{cost_part} {pin_part}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_netlist(path: PathLike) -> Hypergraph:
+    """Read the SIGDA-style ``NET``/``NODE`` line format."""
+    builder = HypergraphBuilder()
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword = fields[0].upper()
+        if keyword == "NODE":
+            if len(fields) not in (2, 3):
+                raise HypergraphError(f"{path}:{lineno}: bad NODE line")
+            weight = float(fields[2]) if len(fields) == 3 else 1.0
+            builder.add_node(name=fields[1], weight=weight)
+        elif keyword == "NET":
+            if len(fields) < 3:
+                raise HypergraphError(f"{path}:{lineno}: bad NET line")
+            name = fields[1]
+            rest = fields[2:]
+            cost = 1.0
+            if rest[0].upper() == "COST":
+                if len(rest) < 3:
+                    raise HypergraphError(f"{path}:{lineno}: bad COST clause")
+                cost = float(rest[1])
+                rest = rest[2:]
+            builder.add_net_by_names(rest, cost=cost, name=name)
+        else:
+            raise HypergraphError(
+                f"{path}:{lineno}: unknown keyword {fields[0]!r}"
+            )
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+def write_json(graph: Hypergraph, path: PathLike) -> None:
+    """Write a loss-free JSON representation."""
+    payload = {
+        "num_nodes": graph.num_nodes,
+        "nets": [list(pins) for pins in graph.nets],
+        "net_costs": list(graph.net_costs),
+        "node_weights": list(graph.node_weights),
+        "node_names": list(graph.node_names) if graph.node_names else None,
+        "net_names": list(graph.net_names) if graph.net_names else None,
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def read_json(path: PathLike) -> Hypergraph:
+    """Read the JSON representation written by :func:`write_json`."""
+    payload = json.loads(Path(path).read_text())
+    try:
+        return Hypergraph(
+            payload["nets"],
+            num_nodes=payload["num_nodes"],
+            net_costs=payload.get("net_costs"),
+            node_weights=payload.get("node_weights"),
+            node_names=payload.get("node_names"),
+            net_names=payload.get("net_names"),
+        )
+    except KeyError as exc:
+        raise HypergraphError(f"{path}: missing field {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Dispatch by extension
+# ---------------------------------------------------------------------------
+_READERS = {".hgr": read_hgr, ".net": read_netlist, ".json": read_json}
+_WRITERS = {".hgr": write_hgr, ".net": write_netlist, ".json": write_json}
+
+
+def read(path: PathLike) -> Hypergraph:
+    """Read a netlist, dispatching on file extension (.hgr/.net/.json)."""
+    suffix = Path(path).suffix.lower()
+    try:
+        reader = _READERS[suffix]
+    except KeyError:
+        raise HypergraphError(
+            f"unknown netlist extension {suffix!r} (want .hgr/.net/.json)"
+        ) from None
+    return reader(path)
+
+
+def write(graph: Hypergraph, path: PathLike) -> None:
+    """Write a netlist, dispatching on file extension (.hgr/.net/.json)."""
+    suffix = Path(path).suffix.lower()
+    try:
+        writer = _WRITERS[suffix]
+    except KeyError:
+        raise HypergraphError(
+            f"unknown netlist extension {suffix!r} (want .hgr/.net/.json)"
+        ) from None
+    writer(graph, path)

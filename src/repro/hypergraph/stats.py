@@ -1,0 +1,108 @@
+"""Hypergraph statistics in the paper's notation (Sec. 1 and Sec. 3.5).
+
+Symbols:
+
+* ``n``  — number of nodes
+* ``e``  — number of nets (hyperedges)
+* ``m``  — total number of pins, ``m = p*n = q*e``
+* ``p``  — average nets per node (pins per node)
+* ``q``  — average nodes per net (pins per net)
+* ``d``  — average number of neighbors per node, ``d = p * (q - 1)``
+
+These drive the complexity statements reproduced by
+``benchmarks/test_scaling_complexity.py`` (PROP pass is Θ(m log n) for
+constant q).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class HypergraphStats:
+    """Summary statistics for one netlist (one row of paper Table 1)."""
+
+    num_nodes: int
+    num_nets: int
+    num_pins: int
+    avg_pins_per_node: float
+    avg_pins_per_net: float
+    avg_neighbors: float
+    max_pins_per_node: int
+    max_pins_per_net: int
+
+    @property
+    def n(self) -> int:
+        return self.num_nodes
+
+    @property
+    def e(self) -> int:
+        return self.num_nets
+
+    @property
+    def m(self) -> int:
+        return self.num_pins
+
+    @property
+    def p(self) -> float:
+        return self.avg_pins_per_node
+
+    @property
+    def q(self) -> float:
+        return self.avg_pins_per_net
+
+    @property
+    def d(self) -> float:
+        return self.avg_neighbors
+
+    def as_table_row(self) -> Dict[str, int]:
+        """The three columns reported per circuit in paper Table 1."""
+        return {
+            "nodes": self.num_nodes,
+            "nets": self.num_nets,
+            "pins": self.num_pins,
+        }
+
+
+def compute_stats(graph: Hypergraph) -> HypergraphStats:
+    """Compute the Sec. 3.5 statistics of ``graph``."""
+    n = graph.num_nodes
+    e = graph.num_nets
+    m = graph.num_pins
+    p = m / n if n else 0.0
+    q = m / e if e else 0.0
+    # d = p*(q-1) is the paper's *estimate*; we report it for comparability.
+    d = p * (q - 1.0) if e else 0.0
+    max_node_deg = max(
+        (graph.node_degree(v) for v in range(n)), default=0
+    )
+    max_net_size = max((graph.net_size(i) for i in range(e)), default=0)
+    return HypergraphStats(
+        num_nodes=n,
+        num_nets=e,
+        num_pins=m,
+        avg_pins_per_node=p,
+        avg_pins_per_net=q,
+        avg_neighbors=d,
+        max_pins_per_node=max_node_deg,
+        max_pins_per_net=max_net_size,
+    )
+
+
+def exact_average_neighbors(graph: Hypergraph) -> float:
+    """Exact (not estimated) mean number of distinct neighbors per node.
+
+    The paper uses the approximation ``d = p (q - 1)``, which over-counts
+    when a node shares several nets with the same neighbor.  This helper
+    computes the true value; tests use it to check the approximation is
+    within a sane factor on generated circuits.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return 0.0
+    total = sum(len(graph.neighbors(v)) for v in range(n))
+    return total / n

@@ -1,0 +1,128 @@
+"""Structured topology generators: mesh, torus, tree, ring, butterfly.
+
+Complements the statistical generators in
+:mod:`repro.hypergraph.generators` with *known-structure* netlists whose
+optimal bisections are understood analytically:
+
+* a ``w x h`` **mesh** has a minimum bisection of ``min(w, h)`` (cut down
+  the short axis); the **torus** doubles that;
+* a **ring** of n nodes has a minimum balanced bisection of exactly 2;
+* a complete binary **tree** has a minimum bisection of 1 (cut one of the
+  root's child edges — one half is a subtree);
+* a **butterfly** network's bisection is Θ(n / log n).
+
+These make sharp partitioner tests (the planted generators only give
+upper bounds) and are the classic worst/best cases for spectral methods.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .hypergraph import Hypergraph
+
+
+def mesh_circuit(width: int, height: int) -> Hypergraph:
+    """``width x height`` grid; 2-pin nets between 4-neighbors.
+
+    Node ``(x, y)`` has index ``y * width + x``.  Minimum bisection cut is
+    ``min(width, height)`` for even node counts.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("mesh dimensions must be >= 1")
+    nets: List[List[int]] = []
+    for y in range(height):
+        for x in range(width):
+            node = y * width + x
+            if x + 1 < width:
+                nets.append([node, node + 1])
+            if y + 1 < height:
+                nets.append([node, node + width])
+    return Hypergraph(nets, num_nodes=width * height)
+
+
+def torus_circuit(width: int, height: int) -> Hypergraph:
+    """Mesh with wraparound edges in both dimensions.
+
+    Wrap edges are skipped along a dimension of size < 3 (they would
+    duplicate existing mesh edges).
+    """
+    if width < 1 or height < 1:
+        raise ValueError("torus dimensions must be >= 1")
+    nets = [list(net) for net in mesh_circuit(width, height).nets]
+    if width >= 3:
+        for y in range(height):
+            nets.append([y * width + width - 1, y * width])
+    if height >= 3:
+        for x in range(width):
+            nets.append([(height - 1) * width + x, x])
+    return Hypergraph(nets, num_nodes=width * height)
+
+
+def ring_circuit(num_nodes: int) -> Hypergraph:
+    """Cycle of 2-pin nets; optimal balanced bisection cuts exactly 2."""
+    if num_nodes < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    nets = [[v, (v + 1) % num_nodes] for v in range(num_nodes)]
+    return Hypergraph(nets, num_nodes=num_nodes)
+
+
+def tree_circuit(levels: int, fanout: int = 2) -> Hypergraph:
+    """Complete ``fanout``-ary tree with ``levels`` levels of edges.
+
+    Node 0 is the root; a node ``v`` has children ``v*fanout + 1 ..
+    v*fanout + fanout`` (binary-heap layout generalized).  Total nodes:
+    ``(fanout^(levels+1) - 1) / (fanout - 1)``.
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    if fanout < 2:
+        raise ValueError("fanout must be >= 2")
+    num_nodes = (fanout ** (levels + 1) - 1) // (fanout - 1)
+    internal = (fanout ** levels - 1) // (fanout - 1)
+    nets: List[List[int]] = []
+    for v in range(internal):
+        for c in range(fanout):
+            child = v * fanout + 1 + c
+            nets.append([v, child])
+    return Hypergraph(nets, num_nodes=num_nodes)
+
+
+def star_circuit(leaves: int, as_single_net: bool = False) -> Hypergraph:
+    """Hub node 0 connected to ``leaves`` leaf nodes.
+
+    ``as_single_net=True`` models a high-fanout net (one hyperedge over
+    everything — can only ever contribute 1 to any cut); otherwise each
+    spoke is its own 2-pin net (bisection must cut about half the spokes).
+    The pair demonstrates why net-based (hypergraph) cut models differ
+    fundamentally from graph models — a classic Schweikert–Kernighan
+    point the paper's cost model inherits.
+    """
+    if leaves < 1:
+        raise ValueError("need at least 1 leaf")
+    if as_single_net:
+        nets = [list(range(leaves + 1))]
+    else:
+        nets = [[0, leaf] for leaf in range(1, leaves + 1)]
+    return Hypergraph(nets, num_nodes=leaves + 1)
+
+
+def butterfly_circuit(stages: int) -> Hypergraph:
+    """FFT butterfly network with ``stages`` stages of 2x2 exchanges.
+
+    ``(stages + 1) * 2^stages`` nodes; node ``(s, r)`` (stage, row) has
+    index ``s * 2^stages + r``; each node in stage s connects straight and
+    cross to stage s+1.  Bisection width is Θ(2^stages / stages).
+    """
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    rows = 1 << stages
+    nets: List[List[int]] = []
+    for s in range(stages):
+        for r in range(rows):
+            here = s * rows + r
+            straight = (s + 1) * rows + r
+            cross = (s + 1) * rows + (r ^ (1 << s))
+            nets.append([here, straight])
+            nets.append([here, cross])
+    return Hypergraph(nets, num_nodes=(stages + 1) * rows)

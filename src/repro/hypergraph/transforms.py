@@ -1,0 +1,175 @@
+"""Hypergraph transformations: contraction, projection, subhypergraphs.
+
+These serve the clustering-based baselines (WINDOW contracts clusters, runs
+FM on the contracted netlist, then projects the result back) and the k-way
+recursive flow (which partitions induced subhypergraphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .hypergraph import Hypergraph, HypergraphError
+
+
+@dataclass(frozen=True)
+class Contraction:
+    """Result of contracting clusters of a hypergraph.
+
+    Attributes
+    ----------
+    coarse:
+        The contracted hypergraph.  Coarse node ``i`` represents cluster
+        ``i``; its weight is the summed weight of its members.  Nets whose
+        pins collapse to a single cluster disappear; duplicate coarse nets
+        are merged with summed costs.
+    cluster_of:
+        Fine node → coarse node map.
+    members:
+        Coarse node → list of fine nodes.
+    """
+
+    coarse: Hypergraph
+    cluster_of: Tuple[int, ...]
+    members: Tuple[Tuple[int, ...], ...]
+
+    def project_sides(self, coarse_sides: Sequence[int]) -> List[int]:
+        """Expand a partition of the coarse graph to the fine graph."""
+        if len(coarse_sides) != self.coarse.num_nodes:
+            raise ValueError(
+                f"expected {self.coarse.num_nodes} coarse sides, "
+                f"got {len(coarse_sides)}"
+            )
+        return [coarse_sides[c] for c in self.cluster_of]
+
+
+def contract(graph: Hypergraph, cluster_of: Sequence[int]) -> Contraction:
+    """Contract ``graph`` according to a node → cluster-id assignment.
+
+    Cluster ids must be ``0 .. k-1`` with every id used at least once.
+    """
+    if len(cluster_of) != graph.num_nodes:
+        raise HypergraphError(
+            f"cluster_of has length {len(cluster_of)}, "
+            f"expected {graph.num_nodes}"
+        )
+    if not cluster_of:
+        raise HypergraphError("cannot contract an empty hypergraph")
+    k = max(cluster_of) + 1
+    if min(cluster_of) < 0:
+        raise HypergraphError("negative cluster id")
+    used = set(cluster_of)
+    if len(used) != k:
+        missing = sorted(set(range(k)) - used)
+        raise HypergraphError(f"cluster ids not contiguous; missing {missing}")
+
+    members: List[List[int]] = [[] for _ in range(k)]
+    weights = [0.0] * k
+    for v, c in enumerate(cluster_of):
+        members[c].append(v)
+        weights[c] += graph.node_weight(v)
+
+    # Merge nets that collapse to identical coarse pin sets.
+    merged: Dict[Tuple[int, ...], float] = {}
+    for net_id, pins in enumerate(graph.nets):
+        coarse_pins = tuple(sorted({cluster_of[v] for v in pins}))
+        if len(coarse_pins) < 2:
+            continue
+        merged[coarse_pins] = merged.get(coarse_pins, 0.0) + graph.net_cost(net_id)
+
+    nets = [list(pins) for pins in merged]
+    costs = list(merged.values())
+    coarse = Hypergraph(
+        nets, num_nodes=k, net_costs=costs, node_weights=weights
+    )
+    return Contraction(
+        coarse=coarse,
+        cluster_of=tuple(cluster_of),
+        members=tuple(tuple(m) for m in members),
+    )
+
+
+@dataclass(frozen=True)
+class SubHypergraph:
+    """An induced subhypergraph plus node/net maps back to the parent.
+
+    ``net_to_parent[i]`` is the parent net id that sub-net ``i`` restricts
+    — needed by terminal propagation, which must know which sub-nets are
+    restrictions of *crossing* parent nets.
+    """
+
+    graph: Hypergraph
+    to_parent: Tuple[int, ...]
+    from_parent: Dict[int, int]
+    net_to_parent: Tuple[int, ...] = ()
+
+
+def induced_subhypergraph(
+    graph: Hypergraph,
+    nodes: Sequence[int],
+    keep_dangling: bool = False,
+) -> SubHypergraph:
+    """Subhypergraph induced by ``nodes``.
+
+    Each parent net is restricted to its pins inside ``nodes``; restrictions
+    with fewer than 2 pins are dropped unless ``keep_dangling`` (in which
+    case single-pin restrictions of *crossing* nets are kept — useful for
+    terminal propagation experiments).
+    """
+    node_list = list(dict.fromkeys(nodes))  # preserve order, dedupe
+    if not node_list:
+        raise HypergraphError("cannot induce an empty subhypergraph")
+    for v in node_list:
+        if v < 0 or v >= graph.num_nodes:
+            raise HypergraphError(f"node {v} out of range")
+    from_parent = {v: i for i, v in enumerate(node_list)}
+
+    nets: List[List[int]] = []
+    costs: List[float] = []
+    net_to_parent: List[int] = []
+    for net_id, pins in enumerate(graph.nets):
+        inside = [from_parent[v] for v in pins if v in from_parent]
+        min_pins = 1 if (keep_dangling and len(inside) < len(pins)) else 2
+        if len(inside) >= min_pins and inside:
+            if len(inside) < 2 and min_pins == 2:
+                continue
+            nets.append(inside)
+            costs.append(graph.net_cost(net_id))
+            net_to_parent.append(net_id)
+
+    sub = Hypergraph(
+        nets,
+        num_nodes=len(node_list),
+        net_costs=costs,
+        node_weights=[graph.node_weight(v) for v in node_list],
+    )
+    return SubHypergraph(
+        graph=sub,
+        to_parent=tuple(node_list),
+        from_parent=from_parent,
+        net_to_parent=tuple(net_to_parent),
+    )
+
+
+def remove_large_nets(graph: Hypergraph, max_size: int) -> Hypergraph:
+    """Drop nets with more than ``max_size`` pins.
+
+    Very-high-fanout nets (clock, reset) are commonly filtered before
+    clustering/spectral methods since they connect everything to everything
+    and carry no placement information.
+    """
+    if max_size < 2:
+        raise ValueError("max_size must be >= 2")
+    nets = []
+    costs = []
+    for net_id, pins in enumerate(graph.nets):
+        if len(pins) <= max_size:
+            nets.append(list(pins))
+            costs.append(graph.net_cost(net_id))
+    return Hypergraph(
+        nets,
+        num_nodes=graph.num_nodes,
+        net_costs=costs,
+        node_weights=graph.node_weights,
+    )

@@ -1,0 +1,21 @@
+"""k-way partitioning by recursive 2-way min-cut (paper Secs. 1 and 5)."""
+
+from .direct import KWayFMPartitioner
+from .recursive import KWayResult, kway_cut, recursive_bisection
+from .refine import (
+    RefinementReport,
+    pair_cut_costs,
+    pairwise_refine,
+    refine_kway_result,
+)
+
+__all__ = [
+    "recursive_bisection",
+    "KWayResult",
+    "kway_cut",
+    "pairwise_refine",
+    "refine_kway_result",
+    "RefinementReport",
+    "pair_cut_costs",
+    "KWayFMPartitioner",
+]

@@ -1,0 +1,174 @@
+"""Recursive k-way partitioning on top of 2-way min-cut.
+
+"Each subset is further partitioned into two smaller subsets with a minimum
+cut, and so forth until we have recursively partitioned the circuit into …
+a prespecified number k of subsets" (paper Sec. 1).  k-way partitioning is
+also the first item of the paper's future-work list (Sec. 5) — here it is
+realized generically over any 2-way partitioner (PROP by default).
+
+For k not a power of two, each level splits at a ``k1 : k2`` ratio
+(``k1 = ceil(k/2)``) using an asymmetric balance constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core import PropPartitioner
+from ..hypergraph import Hypergraph, induced_subhypergraph
+from ..multirun.runner import Partitioner
+from ..partition import (
+    AsymmetricBalanceConstraint,
+    BalanceConstraint,
+    random_fraction_sides,
+)
+
+
+@dataclass
+class KWayResult:
+    """A k-way partition of a hypergraph.
+
+    ``cut`` counts (by cost) every net spanning two or more parts — the
+    k-way generalization of the bipartition cutset (paper Sec. 1).
+    """
+
+    assignment: List[int]
+    k: int
+    cut: float
+    part_weights: List[float]
+
+    def part_nodes(self, part: int) -> List[int]:
+        """Node ids assigned to ``part``."""
+        return [v for v, p in enumerate(self.assignment) if p == part]
+
+    def balance_spread(self) -> float:
+        """(max − min) part weight divided by the mean (0 = perfect)."""
+        mean = sum(self.part_weights) / len(self.part_weights)
+        if mean == 0:
+            return 0.0
+        return (max(self.part_weights) - min(self.part_weights)) / mean
+
+
+def kway_cut(graph: Hypergraph, assignment: Sequence[int]) -> float:
+    """Total cost of nets spanning more than one part."""
+    total = 0.0
+    for net_id, pins in enumerate(graph.nets):
+        first = assignment[pins[0]]
+        if any(assignment[v] != first for v in pins[1:]):
+            total += graph.net_cost(net_id)
+    return total
+
+
+def recursive_bisection(
+    graph: Hypergraph,
+    k: int,
+    partitioner: Optional[Partitioner] = None,
+    tolerance: float = 0.05,
+    seed: int = 0,
+    runs_per_split: int = 1,
+) -> KWayResult:
+    """Partition ``graph`` into ``k`` parts by recursive 2-way min-cut.
+
+    Parameters
+    ----------
+    partitioner:
+        Any 2-way partitioner with the common interface; defaults to PROP.
+    tolerance:
+        Per-split weight tolerance as a fraction of the subproblem weight
+        (also the final per-part imbalance driver).
+    runs_per_split:
+        Random restarts per 2-way split (best cut kept).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > graph.num_nodes:
+        raise ValueError(f"k={k} exceeds node count {graph.num_nodes}")
+    if partitioner is None:
+        partitioner = PropPartitioner()
+
+    assignment = [0] * graph.num_nodes
+    _split(
+        graph,
+        list(range(graph.num_nodes)),
+        k,
+        first_part=0,
+        assignment=assignment,
+        partitioner=partitioner,
+        tolerance=tolerance,
+        seed=seed,
+        runs=max(1, runs_per_split),
+    )
+
+    weights = [0.0] * k
+    for v, part in enumerate(assignment):
+        weights[part] += graph.node_weight(v)
+    return KWayResult(
+        assignment=assignment,
+        k=k,
+        cut=kway_cut(graph, assignment),
+        part_weights=weights,
+    )
+
+
+def _split(
+    graph: Hypergraph,
+    nodes: List[int],
+    k: int,
+    first_part: int,
+    assignment: List[int],
+    partitioner: Partitioner,
+    tolerance: float,
+    seed: int,
+    runs: int,
+) -> None:
+    """Assign parts ``first_part .. first_part+k-1`` to ``nodes`` in place."""
+    if k == 1:
+        for v in nodes:
+            assignment[v] = first_part
+        return
+
+    sub = induced_subhypergraph(graph, nodes)
+    k1 = (k + 1) // 2
+    k2 = k - k1
+    fraction = k1 / k
+
+    if k1 == k2:
+        balance = BalanceConstraint.from_fractions(
+            sub.graph, 0.5 - tolerance / 2, 0.5 + tolerance / 2
+        )
+        initial = None  # partitioner default (random balanced)
+    else:
+        balance = AsymmetricBalanceConstraint.from_fraction(
+            sub.graph, fraction, tolerance
+        )
+        initial = random_fraction_sides(sub.graph, fraction, seed)
+
+    best = None
+    for i in range(runs):
+        run_seed = seed + 7919 * i
+        init = initial
+        if init is None:
+            result = partitioner.partition(
+                sub.graph, balance=balance, seed=run_seed
+            )
+        else:
+            if i > 0:
+                init = random_fraction_sides(sub.graph, fraction, run_seed)
+            result = partitioner.partition(
+                sub.graph, balance=balance, initial_sides=init, seed=run_seed
+            )
+        if best is None or result.cut < best.cut:
+            best = result
+    assert best is not None
+
+    side0 = [sub.to_parent[i] for i, s in enumerate(best.sides) if s == 0]
+    side1 = [sub.to_parent[i] for i, s in enumerate(best.sides) if s == 1]
+    _split(
+        graph, side0, k1, first_part, assignment, partitioner,
+        tolerance, seed * 2 + 1, runs,
+    )
+    _split(
+        graph, side1, k2, first_part + k1, assignment, partitioner,
+        tolerance, seed * 2 + 2, runs,
+    )

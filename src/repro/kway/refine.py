@@ -1,0 +1,199 @@
+"""Pairwise k-way refinement.
+
+Recursive bisection (``repro.kway.recursive``) fixes each split forever:
+a node separated from its cluster at the top level can never come back.
+The standard fix — and the natural way to realize the paper's Sec. 5
+"k-way partitioning" with a 2-way engine — is *pairwise refinement*:
+repeatedly pick a pair of parts, extract their union as a sub-hypergraph,
+re-bisect it (PROP by default) starting from the current assignment, and
+keep the result if the k-way cut improves.
+
+Pairs are visited in decreasing order of the cut between them (the pair
+with the most crossing cost has the most to gain); rounds repeat until a
+full sweep yields no improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import PropPartitioner
+from ..hypergraph import Hypergraph, induced_subhypergraph
+from ..multirun.runner import Partitioner
+from ..partition import BalanceConstraint, cut_cost
+from .recursive import KWayResult, kway_cut
+
+
+def pair_cut_costs(
+    graph: Hypergraph, assignment: Sequence[int]
+) -> Dict[Tuple[int, int], float]:
+    """Cost attributed to each part pair: for every net spanning >= 2
+    parts, its cost is charged to every pair of parts it touches."""
+    pairs: Dict[Tuple[int, int], float] = {}
+    for net_id, pins in enumerate(graph.nets):
+        parts = sorted({assignment[v] for v in pins})
+        if len(parts) < 2:
+            continue
+        cost = graph.net_cost(net_id)
+        for i in range(len(parts)):
+            for j in range(i + 1, len(parts)):
+                key = (parts[i], parts[j])
+                pairs[key] = pairs.get(key, 0.0) + cost
+    return pairs
+
+
+@dataclass
+class RefinementReport:
+    """What a refinement run did."""
+
+    initial_cut: float
+    final_cut: float
+    rounds: int
+    pair_attempts: int
+    pair_improvements: int
+
+    @property
+    def improvement(self) -> float:
+        return self.initial_cut - self.final_cut
+
+
+def pairwise_refine(
+    graph: Hypergraph,
+    assignment: Sequence[int],
+    k: int,
+    partitioner: Optional[Partitioner] = None,
+    max_rounds: int = 3,
+    balance_tolerance: float = 0.1,
+    seed: int = 0,
+) -> Tuple[List[int], RefinementReport]:
+    """Refine a k-way assignment by re-bisecting part pairs.
+
+    Returns the (possibly improved) assignment and a report.  The input
+    assignment is not mutated.  Per-pair balance keeps each part's weight
+    within ``balance_tolerance`` of its current share, so overall k-way
+    balance cannot degrade beyond that.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    if partitioner is None:
+        partitioner = PropPartitioner()
+
+    assignment = list(assignment)
+    if len(assignment) != graph.num_nodes:
+        raise ValueError("assignment length mismatch")
+    if assignment and max(assignment) >= k:
+        raise ValueError("assignment references part >= k")
+
+    initial_cut = kway_cut(graph, assignment)
+    current_cut = initial_cut
+    attempts = 0
+    improvements = 0
+    rounds_done = 0
+
+    for round_idx in range(max_rounds):
+        rounds_done += 1
+        improved_this_round = False
+        pair_costs = pair_cut_costs(graph, assignment)
+        ordered_pairs = sorted(
+            pair_costs, key=lambda p: pair_costs[p], reverse=True
+        )
+        for pair_idx, (a, b) in enumerate(ordered_pairs):
+            attempts += 1
+            new_assignment, new_cut = _try_pair(
+                graph,
+                assignment,
+                a,
+                b,
+                partitioner,
+                balance_tolerance,
+                seed + 101 * round_idx + pair_idx,
+            )
+            if new_cut < current_cut - 1e-9:
+                assignment = new_assignment
+                current_cut = new_cut
+                improvements += 1
+                improved_this_round = True
+        if not improved_this_round:
+            break
+
+    report = RefinementReport(
+        initial_cut=initial_cut,
+        final_cut=current_cut,
+        rounds=rounds_done,
+        pair_attempts=attempts,
+        pair_improvements=improvements,
+    )
+    return assignment, report
+
+
+def _try_pair(
+    graph: Hypergraph,
+    assignment: List[int],
+    a: int,
+    b: int,
+    partitioner: Partitioner,
+    tolerance: float,
+    seed: int,
+) -> Tuple[List[int], float]:
+    """Re-bisect parts (a, b); returns (candidate assignment, its cut)."""
+    nodes = [v for v, part in enumerate(assignment) if part in (a, b)]
+    if len(nodes) < 2:
+        return assignment, kway_cut(graph, assignment)
+    sub = induced_subhypergraph(graph, nodes, keep_dangling=True)
+
+    # Anchor the pair balance at an even split of the pair's weight —
+    # anchoring at the *current* split would let a part drain by one
+    # slack per refinement attempt (a ratchet across rounds).
+    total = sum(graph.node_weight(v) for v in nodes)
+    slack = max(
+        tolerance * total / 2.0,
+        max(graph.node_weight(v) for v in nodes),
+    )
+    balance = BalanceConstraint(
+        lo=max(0.0, total / 2.0 - slack),
+        hi=min(total, total / 2.0 + slack),
+        total=total,
+    )
+
+    initial_sides = [
+        0 if assignment[parent] == a else 1 for parent in sub.to_parent
+    ]
+    result = partitioner.partition(
+        sub.graph, balance=balance, initial_sides=initial_sides, seed=seed
+    )
+
+    candidate = list(assignment)
+    for local, parent in enumerate(sub.to_parent):
+        candidate[parent] = a if result.sides[local] == 0 else b
+    return candidate, kway_cut(graph, candidate)
+
+
+def refine_kway_result(
+    graph: Hypergraph,
+    result: KWayResult,
+    partitioner: Optional[Partitioner] = None,
+    max_rounds: int = 3,
+    seed: int = 0,
+) -> Tuple[KWayResult, RefinementReport]:
+    """Convenience wrapper: refine a :class:`KWayResult` in place-style."""
+    assignment, report = pairwise_refine(
+        graph,
+        result.assignment,
+        result.k,
+        partitioner=partitioner,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    weights = [0.0] * result.k
+    for v, part in enumerate(assignment):
+        weights[part] += graph.node_weight(v)
+    refined = KWayResult(
+        assignment=assignment,
+        k=result.k,
+        cut=kway_cut(graph, assignment),
+        part_weights=weights,
+    )
+    return refined, report

@@ -1,0 +1,17 @@
+"""Multilevel (V-cycle) partitioning: heavy-edge coarsening + refinement."""
+
+from .coarsen import (
+    coarsen_once,
+    coarsen_to,
+    connectivity_weights,
+    heavy_edge_matching,
+)
+from .vcycle import MultilevelPartitioner
+
+__all__ = [
+    "MultilevelPartitioner",
+    "coarsen_once",
+    "coarsen_to",
+    "heavy_edge_matching",
+    "connectivity_weights",
+]

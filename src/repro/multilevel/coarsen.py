@@ -1,0 +1,141 @@
+"""Hypergraph coarsening by heavy-edge matching.
+
+The multilevel paradigm (popularized by hMETIS shortly after the DAC-96
+paper) coarsens the netlist through a hierarchy of contractions, partitions
+the small coarsest graph, then uncoarsens with refinement at every level.
+This module provides the coarsening half:
+
+* :func:`connectivity_weights` — pairwise node affinity from shared nets
+  (clique weighting, ``c/(q-1)`` per shared net);
+* :func:`heavy_edge_matching` — greedy maximal matching preferring the
+  heaviest affinity, with node-weight balance guards;
+* :func:`coarsen_once` / :func:`coarsen_to` — one level / a full hierarchy
+  of :class:`~repro.hypergraph.transforms.Contraction` records.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..hypergraph import Hypergraph, contract
+from ..hypergraph.transforms import Contraction
+
+#: Nets larger than this carry almost no matching signal and cost q^2 to
+#: expand; they are skipped during affinity computation (standard practice).
+DEFAULT_MAX_NET_SIZE = 40
+
+
+def connectivity_weights(
+    graph: Hypergraph, max_net_size: int = DEFAULT_MAX_NET_SIZE
+) -> List[Dict[int, float]]:
+    """Per-node affinity maps: ``weights[u][v] = Σ c(net)/(|net|-1)``."""
+    weights: List[Dict[int, float]] = [dict() for _ in range(graph.num_nodes)]
+    for net_id, pins in enumerate(graph.nets):
+        q = len(pins)
+        if q < 2 or q > max_net_size:
+            continue
+        w = graph.net_cost(net_id) / (q - 1)
+        for i in range(q):
+            u = pins[i]
+            for j in range(i + 1, q):
+                v = pins[j]
+                weights[u][v] = weights[u].get(v, 0.0) + w
+                weights[v][u] = weights[v].get(u, 0.0) + w
+    return weights
+
+
+def heavy_edge_matching(
+    graph: Hypergraph,
+    seed: int = 0,
+    max_cluster_weight: Optional[float] = None,
+    max_net_size: int = DEFAULT_MAX_NET_SIZE,
+) -> List[int]:
+    """Cluster assignment from a greedy heavy-edge matching.
+
+    Nodes are visited in seeded random order; each unmatched node pairs
+    with its heaviest-affinity unmatched neighbor whose combined weight
+    stays below ``max_cluster_weight`` (default: 4x the average node
+    weight — prevents snowballing super-nodes).  Unmatchable nodes become
+    singleton clusters.  Returns contiguous cluster ids.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return []
+    if max_cluster_weight is None:
+        max_cluster_weight = 4.0 * graph.total_node_weight / max(n, 1)
+
+    affinity = connectivity_weights(graph, max_net_size=max_net_size)
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+
+    match: List[int] = [-1] * n
+    for u in order:
+        if match[u] != -1:
+            continue
+        best_v = -1
+        best_w = 0.0
+        wu = graph.node_weight(u)
+        for v, w in affinity[u].items():
+            if match[v] != -1 or v == u:
+                continue
+            if wu + graph.node_weight(v) > max_cluster_weight:
+                continue
+            if w > best_w or (w == best_w and v > best_v):
+                best_w = w
+                best_v = v
+        if best_v >= 0:
+            match[u] = best_v
+            match[best_v] = u
+        else:
+            match[u] = u  # singleton
+
+    cluster_of = [-1] * n
+    next_id = 0
+    for u in range(n):
+        if cluster_of[u] != -1:
+            continue
+        cluster_of[u] = next_id
+        if match[u] != u:
+            cluster_of[match[u]] = next_id
+        next_id += 1
+    return cluster_of
+
+
+def coarsen_once(
+    graph: Hypergraph, seed: int = 0, max_net_size: int = DEFAULT_MAX_NET_SIZE
+) -> Contraction:
+    """One level of heavy-edge coarsening."""
+    cluster_of = heavy_edge_matching(graph, seed=seed, max_net_size=max_net_size)
+    return contract(graph, cluster_of)
+
+
+def coarsen_to(
+    graph: Hypergraph,
+    target_nodes: int = 80,
+    max_levels: int = 20,
+    min_reduction: float = 0.9,
+    seed: int = 0,
+) -> List[Contraction]:
+    """Coarsening hierarchy, finest first.
+
+    Stops when the coarse graph has at most ``target_nodes`` nodes, when a
+    level shrinks the graph by less than ``1 - min_reduction`` (matching
+    has stalled — typical once structure is exhausted), or after
+    ``max_levels`` levels.  May return an empty list for already-small
+    inputs.
+    """
+    if target_nodes < 2:
+        raise ValueError("target_nodes must be >= 2")
+    levels: List[Contraction] = []
+    current = graph
+    for level in range(max_levels):
+        if current.num_nodes <= target_nodes:
+            break
+        contraction = coarsen_once(current, seed=seed + level)
+        if contraction.coarse.num_nodes >= current.num_nodes * min_reduction:
+            break  # stalled
+        levels.append(contraction)
+        current = contraction.coarse
+    return levels

@@ -1,0 +1,5 @@
+"""Multi-start run protocol (best-of-N with sequential seeds)."""
+
+from .runner import PAPER_RUN_COUNTS, MultiRunResult, Partitioner, run_many
+
+__all__ = ["run_many", "MultiRunResult", "Partitioner", "PAPER_RUN_COUNTS"]

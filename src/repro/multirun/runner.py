@@ -1,0 +1,117 @@
+"""Multi-start harness — the paper's Sec. 4 evaluation protocol.
+
+Every table entry of the paper is "best cut over N runs from random initial
+partitions": FM20/FM40/FM100, LA-2 with 20 or 40 runs, LA-3 with 20, PROP
+with 20.  :func:`run_many` reproduces that protocol for any partitioner
+object exposing ``partition(graph, balance=..., seed=...)`` and a ``name``.
+
+Seeds are ``base_seed, base_seed+1, ...`` so any individual run can be
+replayed in isolation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+from ..hypergraph import Hypergraph
+from ..partition import BalanceConstraint, BipartitionResult
+
+
+class Partitioner(Protocol):
+    """Anything the harness can drive (PROP, every baseline, ...)."""
+
+    name: str
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        balance: Optional[BalanceConstraint] = None,
+        initial_sides: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> BipartitionResult:
+        """Produce one bipartition of ``graph`` (see concrete classes)."""
+        ...
+
+
+@dataclass
+class MultiRunResult:
+    """Aggregate of N runs of one algorithm on one circuit."""
+
+    algorithm: str
+    circuit: str
+    runs: int
+    cuts: List[float] = field(default_factory=list)
+    best: Optional[BipartitionResult] = None
+    total_seconds: float = 0.0
+
+    @property
+    def best_cut(self) -> float:
+        if self.best is None:
+            raise ValueError("no runs recorded")
+        return self.best.cut
+
+    @property
+    def mean_cut(self) -> float:
+        if not self.cuts:
+            raise ValueError("no runs recorded")
+        return sum(self.cuts) / len(self.cuts)
+
+    @property
+    def worst_cut(self) -> float:
+        if not self.cuts:
+            raise ValueError("no runs recorded")
+        return max(self.cuts)
+
+    @property
+    def seconds_per_run(self) -> float:
+        if not self.cuts:
+            raise ValueError("no runs recorded")
+        return self.total_seconds / len(self.cuts)
+
+
+def run_many(
+    partitioner: Partitioner,
+    graph: Hypergraph,
+    runs: int,
+    balance: Optional[BalanceConstraint] = None,
+    base_seed: int = 0,
+    circuit_name: str = "",
+) -> MultiRunResult:
+    """Run ``partitioner`` ``runs`` times with seeds base_seed..base_seed+runs-1.
+
+    Deterministic algorithms (EIG1, MELO, PARABOLI) should be called with
+    ``runs=1``; extra runs would only repeat the identical answer.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    result = MultiRunResult(
+        algorithm=getattr(partitioner, "name", type(partitioner).__name__),
+        circuit=circuit_name,
+        runs=runs,
+    )
+    start = time.perf_counter()
+    for i in range(runs):
+        one = partitioner.partition(graph, balance=balance, seed=base_seed + i)
+        result.cuts.append(one.cut)
+        if result.best is None or one.cut < result.best.cut:
+            result.best = one
+    result.total_seconds = time.perf_counter() - start
+    return result
+
+
+#: Run counts used by the paper's tables, keyed by the table row label.
+PAPER_RUN_COUNTS = {
+    "FM100": 100,
+    "FM40": 40,
+    "FM20": 20,
+    "LA-2": 20,
+    "LA-2x40": 40,
+    "LA-3": 20,
+    "PROP": 20,
+    "WINDOW": 1,  # WINDOW runs FM20 internally
+    "EIG1": 1,
+    "MELO": 1,
+    "PARABOLI": 1,
+}

@@ -1,0 +1,46 @@
+"""Bipartition state, balance constraints, initial partitions, metrics."""
+
+from .balance import (
+    AsymmetricBalanceConstraint,
+    BalanceConstraint,
+    split_sizes,
+)
+from .checker import PartitionCheck, check_partition
+from .initial import (
+    best_split_of_ordering,
+    random_balanced_sides,
+    random_fraction_sides,
+    random_weight_balanced_sides,
+    sides_from_order_prefix,
+)
+from .metrics import (
+    BipartitionResult,
+    balance_ratio,
+    cut_cost,
+    cut_nets,
+    improvement_percent,
+    ratio_cut,
+    side_weights,
+)
+from .partition import Partition
+
+__all__ = [
+    "Partition",
+    "BalanceConstraint",
+    "AsymmetricBalanceConstraint",
+    "split_sizes",
+    "random_balanced_sides",
+    "random_fraction_sides",
+    "random_weight_balanced_sides",
+    "sides_from_order_prefix",
+    "best_split_of_ordering",
+    "cut_cost",
+    "cut_nets",
+    "ratio_cut",
+    "side_weights",
+    "balance_ratio",
+    "improvement_percent",
+    "BipartitionResult",
+    "check_partition",
+    "PartitionCheck",
+]

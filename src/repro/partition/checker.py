@@ -1,0 +1,93 @@
+"""Stand-alone partition validation.
+
+``check_partition`` audits any node→side assignment against a netlist and
+a balance constraint, returning a structured report instead of raising —
+the tool a downstream flow runs on partitions loaded from disk (the CLI's
+``--verify`` mode uses it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..hypergraph import Hypergraph
+from .balance import BalanceConstraint
+from .metrics import balance_ratio, cut_cost, cut_nets, side_weights
+
+
+@dataclass
+class PartitionCheck:
+    """Outcome of validating a partition."""
+
+    ok: bool
+    cut: float = 0.0
+    num_cut_nets: int = 0
+    side_weights: List[float] = field(default_factory=list)
+    balance_ratio: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line status plus one line per error."""
+        status = "OK" if self.ok else "INVALID"
+        lines = [
+            f"partition {status}: cut {self.cut:g} "
+            f"({self.num_cut_nets} nets), side weights "
+            f"{'/'.join(f'{w:g}' for w in self.side_weights)}, "
+            f"heavier side {self.balance_ratio:.3f}"
+        ]
+        lines.extend(f"  error: {e}" for e in self.errors)
+        return "\n".join(lines)
+
+
+def check_partition(
+    graph: Hypergraph,
+    sides: Sequence[int],
+    balance: Optional[BalanceConstraint] = None,
+    expected_cut: Optional[float] = None,
+) -> PartitionCheck:
+    """Validate ``sides`` against ``graph`` (and optionally a balance).
+
+    Checks: assignment length, side values in {0, 1}, both sides
+    non-empty, balance satisfaction (when given), and the recorded cut
+    (when given).  Never raises for bad partitions — malformed *inputs*
+    (length mismatch) are the only errors reported without metrics.
+    """
+    errors: List[str] = []
+    if len(sides) != graph.num_nodes:
+        return PartitionCheck(
+            ok=False,
+            errors=[
+                f"assignment length {len(sides)} != {graph.num_nodes} nodes"
+            ],
+        )
+    bad_values = sorted({s for s in sides if s not in (0, 1)})
+    if bad_values:
+        return PartitionCheck(
+            ok=False,
+            errors=[f"non-binary side values: {bad_values}"],
+        )
+
+    weights = side_weights(graph, sides)
+    cut = cut_cost(graph, sides)
+    report = PartitionCheck(
+        ok=True,
+        cut=cut,
+        num_cut_nets=len(cut_nets(graph, sides)),
+        side_weights=weights,
+        balance_ratio=balance_ratio(graph, sides),
+    )
+    if weights[0] == 0 or weights[1] == 0:
+        errors.append("one side is empty")
+    if balance is not None and not balance.is_satisfied(weights):
+        errors.append(
+            f"balance violated: weights {weights[0]:g}/{weights[1]:g} "
+            f"outside [{balance.lo:g}, {balance.hi:g}]"
+        )
+    if expected_cut is not None and abs(cut - expected_cut) > 1e-6:
+        errors.append(
+            f"recorded cut {expected_cut:g} != actual {cut:g}"
+        )
+    report.errors = errors
+    report.ok = not errors
+    return report

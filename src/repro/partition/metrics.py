@@ -1,0 +1,124 @@
+"""Partition quality metrics and the common result record.
+
+Every partitioner in this package returns a :class:`BipartitionResult`; the
+multi-run harness and the table benches consume only this type, so all
+algorithms are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..hypergraph import Hypergraph
+
+
+def cut_cost(graph: Hypergraph, sides: Sequence[int]) -> float:
+    """Cutset cost of an explicit side assignment (paper Sec. 1)."""
+    if len(sides) != graph.num_nodes:
+        raise ValueError(
+            f"sides has length {len(sides)}, expected {graph.num_nodes}"
+        )
+    total = 0.0
+    for net_id, pins in enumerate(graph.nets):
+        first = sides[pins[0]]
+        if any(sides[v] != first for v in pins[1:]):
+            total += graph.net_cost(net_id)
+    return total
+
+
+def cut_nets(graph: Hypergraph, sides: Sequence[int]) -> List[int]:
+    """Ids of nets crossing the partition."""
+    out = []
+    for net_id, pins in enumerate(graph.nets):
+        first = sides[pins[0]]
+        if any(sides[v] != first for v in pins[1:]):
+            out.append(net_id)
+    return out
+
+
+def side_weights(graph: Hypergraph, sides: Sequence[int]) -> List[float]:
+    """Total node weight per side."""
+    weights = [0.0, 0.0]
+    for v, s in enumerate(sides):
+        weights[s] += graph.node_weight(v)
+    return weights
+
+
+def balance_ratio(graph: Hypergraph, sides: Sequence[int]) -> float:
+    """Fraction of total weight on the heavier side (0.5 = perfect)."""
+    w = side_weights(graph, sides)
+    total = w[0] + w[1]
+    if total == 0:
+        return 0.5
+    return max(w) / total
+
+
+def ratio_cut(graph: Hypergraph, sides: Sequence[int]) -> float:
+    """Ratio-cut objective ``cut(A,B) / (w(A) * w(B))`` [Wei & Cheng].
+
+    The objective EIG1 and the WINDOW framework were originally designed
+    for (paper refs [7], [1], [13]); it trades cut size against balance
+    without a hard constraint.  Returns ``inf`` when either side is empty
+    (an empty side is never a meaningful ratio-cut solution).
+    """
+    w = side_weights(graph, sides)
+    if w[0] <= 0 or w[1] <= 0:
+        return float("inf")
+    return cut_cost(graph, sides) / (w[0] * w[1])
+
+
+def improvement_percent(ours: float, theirs: float) -> float:
+    """The paper's improvement metric: (difference / larger cutset) × 100.
+
+    Positive when ``ours`` is smaller (we win); Sec. 4: "percentage
+    improvements are calculated as (cutset improvement/larger cut set)x100".
+    """
+    larger = max(ours, theirs)
+    if larger == 0:
+        return 0.0
+    return (theirs - ours) / larger * 100.0
+
+
+@dataclass
+class BipartitionResult:
+    """Outcome of one partitioning run.
+
+    Attributes
+    ----------
+    sides:
+        Node → side assignment.
+    cut:
+        Cutset cost of ``sides``.
+    algorithm:
+        Human-readable algorithm tag ("PROP", "FM-bucket", "LA-3", ...).
+    seed:
+        Seed of the initial partition / run, when applicable.
+    passes:
+        Number of improvement passes executed (iterative methods).
+    runtime_seconds:
+        Wall-clock time of the run when measured by the caller.
+    stats:
+        Free-form per-algorithm diagnostics (moves made, eigensolve
+        iterations, ...).
+    pass_cuts:
+        Cut cost after each accepted pass (iterative methods only) — the
+        within-run convergence trace; empirically 2–4 entries (Sec. 2).
+    """
+
+    sides: List[int]
+    cut: float
+    algorithm: str = ""
+    seed: Optional[int] = None
+    passes: int = 0
+    runtime_seconds: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
+    pass_cuts: List[float] = field(default_factory=list)
+
+    def verify(self, graph: Hypergraph) -> None:
+        """Assert that the recorded cut matches a from-scratch recount."""
+        actual = cut_cost(graph, self.sides)
+        if abs(actual - self.cut) > 1e-6:
+            raise AssertionError(
+                f"{self.algorithm}: recorded cut {self.cut} != actual {actual}"
+            )

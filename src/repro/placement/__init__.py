@@ -1,0 +1,10 @@
+"""Min-cut placement — the paper's Sec. 1 motivating application."""
+
+from .mincut import (
+    Placement,
+    Region,
+    mincut_placement,
+    random_placement,
+)
+
+__all__ = ["mincut_placement", "random_placement", "Placement", "Region"]

@@ -1,0 +1,17 @@
+"""Timing-driven (non-uniform net cost) partitioning support."""
+
+from .weights import (
+    TimingReport,
+    critical_net_weights,
+    slack_based_weights,
+    synthetic_critical_nets,
+    timing_report,
+)
+
+__all__ = [
+    "critical_net_weights",
+    "slack_based_weights",
+    "synthetic_critical_nets",
+    "timing_report",
+    "TimingReport",
+]

@@ -1,0 +1,101 @@
+"""Tests for statistical head-to-head comparison."""
+
+import pytest
+
+from repro.analysis import (
+    comparison_matrix,
+    format_head_to_head,
+    head_to_head,
+)
+
+
+class TestHeadToHead:
+    def test_clear_winner(self):
+        a = [10, 20, 30, 40, 50, 60, 70, 80]
+        b = [15, 25, 35, 45, 55, 65, 75, 85]
+        result = head_to_head(a, b)
+        assert result.wins == 8
+        assert result.losses == 0
+        assert result.ties == 0
+        assert result.mean_improvement_percent > 0
+        assert result.sign_test_p < 0.05
+        assert result.decisive
+
+    def test_all_ties(self):
+        result = head_to_head([5, 5], [5, 5])
+        assert result.ties == 2
+        assert result.sign_test_p == 1.0
+        assert not result.decisive
+        assert result.mean_improvement_percent == 0.0
+
+    def test_mixed_not_decisive(self):
+        result = head_to_head([10, 20, 30], [12, 18, 30])
+        assert result.wins == 1
+        assert result.losses == 1
+        assert result.ties == 1
+        assert not result.decisive
+
+    def test_improvement_uses_paper_metric(self):
+        # single pair: (92-83)/92 * 100 = 9.78
+        result = head_to_head([83], [92])
+        assert result.mean_improvement_percent == pytest.approx(9.78, abs=0.01)
+
+    def test_wilcoxon_reported_with_enough_pairs(self):
+        a = [10, 20, 30, 40, 50, 60]
+        b = [11, 22, 33, 44, 55, 66]
+        result = head_to_head(a, b)
+        assert result.wilcoxon_p is not None
+        assert 0 <= result.wilcoxon_p <= 1
+
+    def test_wilcoxon_skipped_for_few_pairs(self):
+        assert head_to_head([1, 2], [2, 3]).wilcoxon_p is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            head_to_head([1], [1, 2])
+        with pytest.raises(ValueError):
+            head_to_head([], [])
+
+    def test_symmetry(self):
+        a = [10, 20, 30, 45]
+        b = [12, 18, 33, 40]
+        ab = head_to_head(a, b)
+        ba = head_to_head(b, a)
+        assert ab.wins == ba.losses
+        assert ab.sign_test_p == pytest.approx(ba.sign_test_p)
+        assert ab.mean_improvement_percent == pytest.approx(
+            -ba.mean_improvement_percent
+        )
+
+
+class TestComparisonMatrix:
+    def test_all_pairs(self):
+        table = {"A": [1, 2, 3], "B": [2, 3, 4], "C": [1, 1, 1]}
+        matrix = comparison_matrix(table)
+        assert set(matrix) == {"A", "B", "C"}
+        assert set(matrix["A"]) == {"B", "C"}
+        assert matrix["A"]["B"].wins == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            comparison_matrix({"A": [1], "B": [1, 2]})
+
+
+class TestFormatting:
+    def test_one_liner(self):
+        result = head_to_head([10, 20, 30, 40, 50, 60], [12, 25, 33, 44, 52, 61])
+        text = format_head_to_head("PROP", "FM", result)
+        assert text.startswith("PROP vs FM: 6W/0L/0T")
+        assert "sign p=" in text
+
+    def test_integration_with_paper_table(self):
+        """PROP's published Table-3 EIG1 comparison is decisively in
+        PROP's favor by the sign test."""
+        from repro.experiments import PAPER_TABLE3
+
+        prop = [row["PROP"] for row in PAPER_TABLE3.values()]
+        eig1 = [row["EIG1"] for row in PAPER_TABLE3.values()]
+        result = head_to_head(prop, eig1)
+        assert result.wins == 16
+        assert result.decisive
+        assert result.mean_improvement_percent > 40

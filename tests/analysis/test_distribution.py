@@ -1,0 +1,120 @@
+"""Tests for run-distribution analysis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ascii_histogram,
+    convergence_trace,
+    cut_distribution,
+    runs_to_reach,
+)
+
+
+class TestCutDistribution:
+    def test_basic(self):
+        d = cut_distribution([10, 20, 30, 40])
+        assert d.count == 4
+        assert d.best == 10
+        assert d.worst == 40
+        assert d.mean == 25
+        assert d.median == 25
+
+    def test_odd_median(self):
+        assert cut_distribution([1, 5, 9]).median == 5
+
+    def test_single(self):
+        d = cut_distribution([7])
+        assert d.best == d.worst == d.mean == d.median == 7
+        assert d.stddev == 0.0
+        assert d.spread == 0.0
+
+    def test_spread(self):
+        assert cut_distribution([10, 15]).spread == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cut_distribution([])
+
+    @given(st.lists(st.floats(1, 1e6), min_size=1, max_size=50))
+    def test_invariants(self, cuts):
+        d = cut_distribution(cuts)
+        eps = 1e-9 * d.worst  # float summation can drift by ~1 ulp
+        assert d.best <= d.median <= d.worst
+        assert d.best - eps <= d.mean <= d.worst + eps
+        assert d.stddev >= 0
+
+
+class TestConvergenceTrace:
+    def test_monotone_nonincreasing(self):
+        trace = convergence_trace([30, 25, 40, 20, 22])
+        assert trace == [30, 25, 25, 20, 20]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            convergence_trace([])
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=60))
+    def test_properties(self, cuts):
+        trace = convergence_trace(cuts)
+        assert len(trace) == len(cuts)
+        assert trace[-1] == min(cuts)
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+
+
+class TestRunsToReach:
+    def test_found(self):
+        assert runs_to_reach([30, 25, 20, 20], target=25) == 2
+
+    def test_immediately(self):
+        assert runs_to_reach([10, 50], target=15) == 1
+
+    def test_never(self):
+        assert runs_to_reach([30, 25], target=5) == 0
+
+
+class TestAsciiHistogram:
+    def test_renders(self):
+        text = ascii_histogram([1, 1, 2, 3, 3, 3, 9], bins=4)
+        assert "#" in text
+        assert len(text.splitlines()) == 4
+
+    def test_all_equal(self):
+        text = ascii_histogram([5, 5, 5])
+        assert "all equal" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])
+        with pytest.raises(ValueError):
+            ascii_histogram([1, 2], bins=0)
+
+    def test_counts_sum(self):
+        cuts = list(range(32))
+        text = ascii_histogram(cuts, bins=8)
+        total = sum(
+            int(line.rsplit(" ", 1)[-1])
+            for line in text.splitlines()
+            if line.rstrip()[-1].isdigit()
+        )
+        assert total == 32
+
+
+class TestIntegrationWithRunner:
+    def test_fm_variance_vs_prop(self, medium_circuit):
+        """The paper's distributional claim: PROP's runs concentrate near
+        its best more than FM's do."""
+        from repro.baselines import FMPartitioner
+        from repro.core import PropPartitioner
+        from repro.multirun import run_many
+
+        fm = run_many(FMPartitioner("bucket"), medium_circuit, runs=8)
+        prop = run_many(PropPartitioner(), medium_circuit, runs=8)
+        fm_d = cut_distribution(fm.cuts)
+        prop_d = cut_distribution(prop.cuts)
+        # PROP's mean should sit closer to its best than FM's (allow slack:
+        # a single 200-node circuit is a small sample)
+        prop_gap = prop_d.mean / prop_d.best
+        fm_gap = fm_d.mean / fm_d.best
+        assert prop_gap <= fm_gap * 1.3

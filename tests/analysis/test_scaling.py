@@ -1,0 +1,59 @@
+"""Tests for the power-law fitting utility."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fit_power_law
+
+
+class TestFitPowerLaw:
+    def test_exact_linear(self):
+        fit = fit_power_law([1, 2, 4, 8], [3, 6, 12, 24])
+        assert fit.exponent == pytest.approx(1.0)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_quadratic(self):
+        xs = [1, 2, 3, 4, 5]
+        fit = fit_power_law(xs, [2 * x * x for x in xs])
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coefficient == pytest.approx(2.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [1, 4, 16])
+        assert fit.predict(8) == pytest.approx(64.0, rel=1e-6)
+        with pytest.raises(ValueError):
+            fit.predict(0)
+
+    def test_noisy_fit_reasonable(self):
+        xs = [100, 200, 400, 800]
+        ys = [1.05, 1.9, 4.2, 7.8]  # ~linear with noise
+        fit = fit_power_law(xs, ys)
+        assert 0.8 < fit.exponent < 1.2
+        assert fit.r_squared > 0.97
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, -2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([3, 3], [1, 2])  # no x spread
+
+    @given(
+        exponent=st.floats(0.2, 3.0),
+        coefficient=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=40)
+    def test_recovers_planted_law(self, exponent, coefficient):
+        xs = [10.0, 30.0, 100.0, 300.0]
+        ys = [coefficient * x ** exponent for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(exponent, rel=1e-6)
+        assert fit.coefficient == pytest.approx(coefficient, rel=1e-5)
+        assert fit.r_squared == pytest.approx(1.0)

@@ -1,0 +1,63 @@
+"""Tests for the simulated-annealing baseline."""
+
+import pytest
+
+from repro.baselines import AnnealingPartitioner
+from repro.partition import balance_ratio, cut_cost, random_balanced_sides
+
+
+class TestValidation:
+    def test_temperature_order(self):
+        with pytest.raises(ValueError):
+            AnnealingPartitioner(t_initial=1.0, t_final=2.0)
+        with pytest.raises(ValueError):
+            AnnealingPartitioner(t_initial=1.0, t_final=0.0)
+
+    def test_alpha_range(self):
+        with pytest.raises(ValueError):
+            AnnealingPartitioner(alpha=1.0)
+        with pytest.raises(ValueError):
+            AnnealingPartitioner(alpha=0.0)
+
+    def test_moves_per_temperature(self):
+        with pytest.raises(ValueError):
+            AnnealingPartitioner(moves_per_temperature=0)
+
+
+class TestQuality:
+    def test_improves_random_partition(self, medium_circuit):
+        initial = random_balanced_sides(medium_circuit, 3)
+        before = cut_cost(medium_circuit, initial)
+        result = AnnealingPartitioner().partition(
+            medium_circuit, initial_sides=initial, seed=0
+        )
+        assert result.cut < before
+        result.verify(medium_circuit)
+
+    def test_finds_planted_region(self, planted):
+        graph, _, crossing = planted
+        result = AnnealingPartitioner().partition(graph, seed=1)
+        # SA with the default budget should get within a small factor
+        assert result.cut <= crossing * 4 + 8
+
+    def test_balance_respected(self, medium_circuit):
+        result = AnnealingPartitioner().partition(medium_circuit, seed=2)
+        assert balance_ratio(medium_circuit, result.sides) <= 0.5 + (
+            2.0 / medium_circuit.num_nodes
+        )
+
+    def test_deterministic_given_seed(self, medium_circuit):
+        a = AnnealingPartitioner().partition(medium_circuit, seed=5)
+        b = AnnealingPartitioner().partition(medium_circuit, seed=5)
+        assert a.sides == b.sides
+
+    def test_best_seen_reported_not_final(self, medium_circuit):
+        """SA reports the best cut seen, which is never worse than the
+        (possibly uphill-perturbed) final state."""
+        result = AnnealingPartitioner().partition(medium_circuit, seed=7)
+        assert result.cut == cut_cost(medium_circuit, result.sides)
+
+    def test_stats_recorded(self, medium_circuit):
+        result = AnnealingPartitioner().partition(medium_circuit, seed=0)
+        assert result.stats["accepted_moves"] > 0
+        assert result.passes > 1  # temperature steps

@@ -1,0 +1,66 @@
+"""Edge cases shared across the baseline partitioners."""
+
+import pytest
+
+from repro.baselines import (
+    AnnealingPartitioner,
+    Eig1Partitioner,
+    FMPartitioner,
+    KLPartitioner,
+    LAPartitioner,
+    MeloPartitioner,
+    ParaboliPartitioner,
+    SKPartitioner,
+    WindowPartitioner,
+)
+from repro.hypergraph import Hypergraph, star_circuit
+
+ALL_BASELINES = [
+    ("FM-bucket", lambda: FMPartitioner("bucket")),
+    ("FM-tree", lambda: FMPartitioner("tree")),
+    ("LA-2", lambda: LAPartitioner(2)),
+    ("KL", KLPartitioner),
+    ("SK", SKPartitioner),
+    ("SA", AnnealingPartitioner),
+    ("EIG1", Eig1Partitioner),
+    ("MELO", MeloPartitioner),
+    ("WINDOW", WindowPartitioner),
+    ("PARABOLI", ParaboliPartitioner),
+]
+
+IDS = [name for name, _ in ALL_BASELINES]
+
+
+@pytest.fixture
+def small_graph():
+    """12 nodes, two obvious clusters."""
+    nets = (
+        [[a, b] for a in range(6) for b in range(a + 1, 6) if b - a <= 2]
+        + [[a, b] for a in range(6, 12) for b in range(a + 1, 12) if b - a <= 2]
+        + [[0, 6]]
+    )
+    return Hypergraph(nets, num_nodes=12)
+
+
+class TestSmallGraphs:
+    @pytest.mark.parametrize("name,make", ALL_BASELINES, ids=IDS)
+    def test_small_two_cluster_graph(self, small_graph, name, make):
+        result = make().partition(small_graph, seed=0)
+        result.verify(small_graph)
+        # the single bridge net is the obvious optimum
+        assert result.cut <= 3.0, name
+
+    @pytest.mark.parametrize("name,make", ALL_BASELINES, ids=IDS)
+    def test_star_single_net(self, name, make):
+        """A single hyperedge can contribute at most 1 to any cut."""
+        graph = star_circuit(9, as_single_net=True)
+        result = make().partition(graph, seed=0)
+        assert result.cut <= 1.0, name
+
+    @pytest.mark.parametrize("name,make", ALL_BASELINES, ids=IDS)
+    def test_isolated_nodes_tolerated(self, name, make):
+        graph = Hypergraph([[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5]],
+                           num_nodes=10)
+        result = make().partition(graph, seed=1)
+        result.verify(graph)
+        assert len(result.sides) == 10

@@ -1,0 +1,55 @@
+"""Tests for the Kernighan–Lin pair-swap baseline."""
+
+import pytest
+
+from repro.baselines import KLPartitioner
+from repro.partition import balance_ratio, cut_cost, random_balanced_sides
+
+
+class TestKL:
+    def test_improves_random_partition(self, medium_circuit):
+        initial = random_balanced_sides(medium_circuit, 3)
+        before = cut_cost(medium_circuit, initial)
+        result = KLPartitioner().partition(
+            medium_circuit, initial_sides=initial
+        )
+        assert result.cut < before
+        result.verify(medium_circuit)
+
+    def test_finds_planted_optimum(self, planted):
+        graph, _, crossing = planted
+        best = min(
+            KLPartitioner().partition(graph, seed=s).cut for s in range(4)
+        )
+        assert best <= crossing + 3
+
+    def test_swaps_preserve_balance_exactly(self, medium_circuit):
+        initial = random_balanced_sides(medium_circuit, 1)
+        result = KLPartitioner().partition(
+            medium_circuit, initial_sides=initial
+        )
+        assert sum(result.sides) == sum(initial)
+
+    def test_deterministic(self, medium_circuit):
+        a = KLPartitioner().partition(medium_circuit, seed=2)
+        b = KLPartitioner().partition(medium_circuit, seed=2)
+        assert a.sides == b.sides
+
+    def test_candidate_limit_validated(self):
+        with pytest.raises(ValueError):
+            KLPartitioner(candidate_limit=0)
+
+    def test_never_worsens(self):
+        from repro.hypergraph import hierarchical_circuit
+
+        for seed in range(4):
+            graph = hierarchical_circuit(60, 66, 230, seed=seed)
+            initial = random_balanced_sides(graph, seed)
+            result = KLPartitioner().partition(graph, initial_sides=initial)
+            assert result.cut <= cut_cost(graph, initial)
+
+    def test_balance_ratio_stays_half(self, medium_circuit):
+        result = KLPartitioner().partition(medium_circuit, seed=0)
+        assert balance_ratio(medium_circuit, result.sides) == pytest.approx(
+            0.5, abs=0.01
+        )

@@ -1,0 +1,89 @@
+"""Tests for the PARABOLI-style quadratic-placement partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ParaboliPartitioner,
+    pseudo_peripheral_pair,
+    quadratic_placement,
+)
+from repro.hypergraph import Hypergraph, planted_bisection
+from repro.partition import balance_ratio, cut_cost, random_balanced_sides
+
+
+def _chain(n=10):
+    return Hypergraph([[i, i + 1] for i in range(n - 1)], num_nodes=n)
+
+
+class TestPeripheralPair:
+    def test_chain_endpoints(self):
+        a, b = pseudo_peripheral_pair(_chain(10))
+        assert {a, b} == {0, 9}
+
+    def test_distinct(self, medium_circuit):
+        a, b = pseudo_peripheral_pair(medium_circuit)
+        assert a != b
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            pseudo_peripheral_pair(Hypergraph([[0]], num_nodes=1))
+
+
+class TestQuadraticPlacement:
+    def test_chain_is_linear_ramp(self):
+        """Harmonic extension on a path = linear interpolation."""
+        x = quadratic_placement(_chain(5), [0], [4])
+        np.testing.assert_allclose(x, [0, 0.25, 0.5, 0.75, 1.0], atol=1e-6)
+
+    def test_anchor_values_fixed(self, medium_circuit):
+        x = quadratic_placement(medium_circuit, [0, 1], [2, 3])
+        assert x[0] == 0.0 and x[1] == 0.0
+        assert x[2] == 1.0 and x[3] == 1.0
+
+    def test_interior_within_hull(self, medium_circuit):
+        x = quadratic_placement(medium_circuit, [0], [1])
+        assert x.min() >= -1e-6
+        assert x.max() <= 1.0 + 1e-6
+
+    def test_conflicting_anchor_rejected(self, medium_circuit):
+        with pytest.raises(ValueError, match="both sides"):
+            quadratic_placement(medium_circuit, [0], [0])
+
+    def test_needs_interior(self):
+        with pytest.raises(ValueError):
+            quadratic_placement(Hypergraph([[0, 1]]), [0], [1])
+
+
+class TestParaboliPartitioner:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParaboliPartitioner(iterations=0)
+        with pytest.raises(ValueError):
+            ParaboliPartitioner(anchor_fraction=0.9)
+
+    def test_finds_planted_cut(self):
+        graph, _, crossing = planted_bisection(40, 110, 3, seed=5)
+        result = ParaboliPartitioner().partition(graph)
+        assert result.cut <= crossing + 4
+        result.verify(graph)
+
+    def test_balance(self, medium_circuit):
+        result = ParaboliPartitioner().partition(medium_circuit)
+        assert balance_ratio(medium_circuit, result.sides) <= 0.55 + 1e-9
+
+    def test_beats_random(self, medium_circuit):
+        random_cut = cut_cost(
+            medium_circuit, random_balanced_sides(medium_circuit, 0)
+        )
+        result = ParaboliPartitioner().partition(medium_circuit)
+        assert result.cut < random_cut
+
+    def test_deterministic(self, medium_circuit):
+        a = ParaboliPartitioner().partition(medium_circuit)
+        b = ParaboliPartitioner().partition(medium_circuit)
+        assert a.sides == b.sides
+
+    def test_passes_equals_iterations(self, medium_circuit):
+        result = ParaboliPartitioner(iterations=2).partition(medium_circuit)
+        assert result.passes == 2

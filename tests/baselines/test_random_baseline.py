@@ -1,0 +1,34 @@
+"""Tests for the random-partition sanity floor."""
+
+from repro.baselines import (
+    FMPartitioner,
+    LAPartitioner,
+    RandomPartitioner,
+)
+from repro.core import PropPartitioner
+
+
+class TestRandomPartitioner:
+    def test_balanced(self, medium_circuit):
+        result = RandomPartitioner().partition(medium_circuit, seed=0)
+        n1 = sum(result.sides)
+        assert n1 == medium_circuit.num_nodes // 2
+        result.verify(medium_circuit)
+
+    def test_deterministic(self, medium_circuit):
+        a = RandomPartitioner().partition(medium_circuit, seed=3)
+        b = RandomPartitioner().partition(medium_circuit, seed=3)
+        assert a.sides == b.sides
+
+    def test_everyone_beats_random(self, medium_circuit):
+        """The sanity check of the whole repo: every real algorithm beats
+        a random bisection on a clustered circuit."""
+        floor = RandomPartitioner().partition(medium_circuit, seed=0).cut
+        for algo in (
+            FMPartitioner("bucket"),
+            LAPartitioner(2),
+            PropPartitioner(),
+        ):
+            assert algo.partition(medium_circuit, seed=0).cut < floor * 0.7, (
+                f"{algo.name} failed to clearly beat random"
+            )

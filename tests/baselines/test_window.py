@@ -1,0 +1,85 @@
+"""Tests for the WINDOW-style clustering partitioner."""
+
+import pytest
+
+from repro.baselines import WindowPartitioner, attraction_ordering
+from repro.hypergraph import Hypergraph, planted_bisection
+from repro.partition import balance_ratio, cut_cost, random_balanced_sides
+
+
+class TestAttractionOrdering:
+    def test_is_permutation(self, medium_circuit):
+        order = attraction_ordering(medium_circuit)
+        assert sorted(order) == list(range(medium_circuit.num_nodes))
+
+    def test_starts_with_max_degree(self, medium_circuit):
+        order = attraction_ordering(medium_circuit)
+        max_degree = max(
+            medium_circuit.node_degree(v)
+            for v in range(medium_circuit.num_nodes)
+        )
+        assert medium_circuit.node_degree(order[0]) == max_degree
+
+    def test_explicit_start(self, medium_circuit):
+        order = attraction_ordering(medium_circuit, start=17)
+        assert order[0] == 17
+
+    def test_neighbors_come_early(self):
+        """In a chain, the ordering must crawl along the chain, never jump."""
+        chain = Hypergraph([[i, i + 1] for i in range(9)], num_nodes=10)
+        order = attraction_ordering(chain, start=0)
+        # from a chain end, attraction ordering is exactly the chain
+        assert order == list(range(10))
+
+    def test_empty_graph(self):
+        assert attraction_ordering(Hypergraph([], num_nodes=0)) == []
+
+    def test_deterministic(self, medium_circuit):
+        assert attraction_ordering(medium_circuit) == attraction_ordering(
+            medium_circuit
+        )
+
+
+class TestWindowPartitioner:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowPartitioner(cluster_size=0)
+        with pytest.raises(ValueError):
+            WindowPartitioner(coarse_runs=0)
+        with pytest.raises(ValueError):
+            WindowPartitioner(refine_runs=0)
+
+    def test_quality_on_planted(self, planted):
+        graph, _, crossing = planted
+        result = WindowPartitioner(refine_runs=5).partition(graph, seed=0)
+        assert result.cut <= crossing + 3
+        result.verify(graph)
+
+    def test_beats_random(self, medium_circuit):
+        random_cut = cut_cost(
+            medium_circuit, random_balanced_sides(medium_circuit, 0)
+        )
+        result = WindowPartitioner(refine_runs=5).partition(
+            medium_circuit, seed=0
+        )
+        assert result.cut < random_cut * 0.6
+
+    def test_balance(self, medium_circuit):
+        result = WindowPartitioner(refine_runs=3).partition(
+            medium_circuit, seed=1
+        )
+        assert balance_ratio(medium_circuit, result.sides) <= 0.5 + (
+            2.0 / medium_circuit.num_nodes
+        )
+
+    def test_records_coarse_stats(self, medium_circuit):
+        result = WindowPartitioner(
+            cluster_size=10, refine_runs=2
+        ).partition(medium_circuit, seed=0)
+        expected_clusters = -(-medium_circuit.num_nodes // 10)  # ceil
+        assert result.stats["coarse_nodes"] == float(expected_clusters)
+
+    def test_deterministic_given_seed(self, medium_circuit):
+        a = WindowPartitioner(refine_runs=2).partition(medium_circuit, seed=4)
+        b = WindowPartitioner(refine_runs=2).partition(medium_circuit, seed=4)
+        assert a.sides == b.sides

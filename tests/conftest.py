@@ -1,0 +1,54 @@
+"""Shared fixtures: small canonical netlists used across the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    hierarchical_circuit,
+    planted_bisection,
+)
+
+
+@pytest.fixture
+def tiny_graph() -> Hypergraph:
+    """6 nodes, 5 nets — small enough to reason about by hand.
+
+    Nets: {0,1}, {1,2}, {3,4}, {4,5}, {2,3,5}.
+    The split {0,1,2} / {3,4,5} cuts only the last net.
+    """
+    return Hypergraph([[0, 1], [1, 2], [3, 4], [4, 5], [2, 3, 5]])
+
+
+@pytest.fixture
+def tiny_sides() -> list:
+    return [0, 0, 0, 1, 1, 1]
+
+
+@pytest.fixture
+def planted():
+    """Planted bisection with known crossing count (quality oracle)."""
+    graph, sides, crossing = planted_bisection(
+        nodes_per_side=40, nets_per_side=100, crossing_nets=6, seed=11
+    )
+    return graph, sides, crossing
+
+
+@pytest.fixture
+def medium_circuit() -> Hypergraph:
+    """A ~200-node clustered circuit for integration tests."""
+    return hierarchical_circuit(200, 210, 760, seed=5)
+
+
+def random_small_hypergraph(seed: int, max_nodes: int = 12) -> Hypergraph:
+    """Deterministic random small netlist (used by handwritten sweeps)."""
+    rng = random.Random(seed)
+    n = rng.randint(4, max_nodes)
+    nets = []
+    for _ in range(rng.randint(3, 2 * n)):
+        size = rng.randint(2, min(4, n))
+        nets.append(rng.sample(range(n), size))
+    return Hypergraph(nets, num_nodes=n)

@@ -1,0 +1,109 @@
+"""Edge-case tests for the PROP engine not covered elsewhere."""
+
+import pytest
+
+from repro.core import PropConfig, PropPartitioner, run_prop
+from repro.hypergraph import Hypergraph, hierarchical_circuit, star_circuit
+from repro.partition import BalanceConstraint, cut_cost
+
+
+class TestDegenerateInputs:
+    def test_graph_with_isolated_nodes(self):
+        """Isolated nodes carry zero gain everywhere but still count for
+        balance; PROP must place them without blowing up."""
+        graph = Hypergraph([[0, 1], [1, 2], [2, 3]], num_nodes=10)
+        result = PropPartitioner().partition(graph, seed=0)
+        result.verify(graph)
+        assert abs(result.sides.count(0) - 5) <= 1
+
+    def test_single_net_star(self):
+        """One hyperedge over everything: any balanced split cuts it; the
+        cut must be exactly 1, never more."""
+        graph = star_circuit(11, as_single_net=True)
+        result = PropPartitioner().partition(graph, seed=0)
+        assert result.cut == 1.0
+
+    def test_two_nodes_exact_bisection(self):
+        """Under exact bisection the single net is unavoidably cut.  (The
+        default 50-50 criterion has ±1-node slack, which on a 2-node graph
+        legitimately permits collapsing to one side for cut 0.)"""
+        graph = Hypergraph([[0, 1]])
+        balance = BalanceConstraint.from_fractions(graph, 0.5, 0.5)
+        result = PropPartitioner().partition(graph, balance=balance, seed=0)
+        assert result.cut == 1.0
+        assert sorted(result.sides) == [0, 1]
+
+    def test_two_nodes_default_slack_collapses(self):
+        graph = Hypergraph([[0, 1]])
+        result = PropPartitioner().partition(graph, seed=0)
+        assert result.cut == 0.0  # slack of one node makes this feasible
+
+    def test_all_single_pin_nets(self):
+        graph = Hypergraph([[0], [1], [2], [3]])
+        result = PropPartitioner().partition(graph, seed=0)
+        assert result.cut == 0.0
+
+    def test_zero_cost_nets_ignored_in_objective(self):
+        graph = Hypergraph(
+            [[0, 1], [2, 3], [0, 2], [1, 3]],
+            net_costs=[1.0, 1.0, 0.0, 0.0],
+        )
+        result = PropPartitioner().partition(graph, seed=0)
+        # the two free nets make {0,1} vs {2,3} a zero-cost bisection
+        assert result.cut == 0.0
+
+
+class TestConfigEdges:
+    def test_min_pass_gain_stops_marginal_improvement(self, medium_circuit):
+        """An absurdly high min_pass_gain ends the run after one pass."""
+        cfg = PropConfig(min_pass_gain=1e9)
+        result = PropPartitioner(cfg).partition(medium_circuit, seed=0)
+        assert result.passes == 1
+
+    def test_tight_custom_balance(self, medium_circuit):
+        balance = BalanceConstraint.from_fractions(
+            medium_circuit, 0.49, 0.51
+        )
+        result = PropPartitioner().partition(
+            medium_circuit, balance=balance, seed=0
+        )
+        n1 = sum(result.sides)
+        n = medium_circuit.num_nodes
+        assert 0.49 * n - 1 <= n1 <= 0.51 * n + 1
+
+    def test_pmax_one_allowed(self, medium_circuit):
+        """Footnote 3: pmax = 1 'is not unreasonable'."""
+        cfg = PropConfig(pmax=1.0, pinit=1.0)
+        result = PropPartitioner(cfg).partition(medium_circuit, seed=0)
+        result.verify(medium_circuit)
+
+    def test_extreme_thresholds(self, medium_circuit):
+        cfg = PropConfig(gup=10.0, glo=-10.0)
+        result = PropPartitioner(cfg).partition(medium_circuit, seed=0)
+        result.verify(medium_circuit)
+
+
+class TestRunPropDirect:
+    def test_initial_sides_validated_by_partition(self, medium_circuit):
+        balance = BalanceConstraint.fifty_fifty(medium_circuit)
+        with pytest.raises(ValueError):
+            run_prop(medium_circuit, [0, 1], balance)  # wrong length
+
+    def test_custom_seed_recorded(self, medium_circuit):
+        balance = BalanceConstraint.fifty_fifty(medium_circuit)
+        from repro.partition import random_balanced_sides
+
+        result = run_prop(
+            medium_circuit,
+            random_balanced_sides(medium_circuit, 3),
+            balance,
+            seed=1234,
+        )
+        assert result.seed == 1234
+
+    def test_prop_on_fully_disconnected(self):
+        """No nets at all: any balanced assignment is optimal (cut 0)."""
+        graph = Hypergraph([], num_nodes=8)
+        result = PropPartitioner().partition(graph, seed=0)
+        assert result.cut == 0.0
+        assert result.sides.count(0) == 4

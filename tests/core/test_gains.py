@@ -1,0 +1,216 @@
+"""Tests for the probabilistic gain engine (paper Eqns. 2–6).
+
+The unified rule (DESIGN.md decision 1) must reproduce each of the paper's
+equations, including every locked-net specialization, and the O(m)
+``all_gains`` must agree with per-node recomputation bit for bit.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gains import ProbabilisticGainEngine
+from repro.hypergraph import Hypergraph, hierarchical_circuit
+from repro.partition import Partition, random_balanced_sides
+
+
+def make_engine(nets, sides, probabilities, net_costs=None, locked=()):
+    graph = Hypergraph(nets, num_nodes=len(sides), net_costs=net_costs)
+    partition = Partition(graph, sides)
+    for v in locked:
+        partition.lock(v)
+    engine = ProbabilisticGainEngine(partition)
+    for v, p in enumerate(probabilities):
+        if not partition.is_locked(v):
+            engine.set_probability(v, p)
+    return engine
+
+
+class TestEquation3_NetInCut:
+    def test_basic(self):
+        """u=0 with partner 1 (p=0.6) on side 0; nodes 2,3 (p=0.5, 0.7) on
+        side 1.  g = prodA - prodB = 0.6 - 0.35."""
+        engine = make_engine(
+            nets=[[0, 1, 2, 3]],
+            sides=[0, 0, 1, 1],
+            probabilities=[0.9, 0.6, 0.5, 0.7],
+        )
+        assert engine.net_gain(0, 0) == pytest.approx(0.6 - 0.35)
+
+    def test_sole_pin_prodA_is_one(self):
+        """u is the only pin on its side: moving it removes the net for
+        sure -> prodA = 1 (empty product)."""
+        engine = make_engine(
+            nets=[[0, 1, 2]],
+            sides=[0, 1, 1],
+            probabilities=[0.9, 0.5, 0.5],
+        )
+        assert engine.net_gain(0, 0) == pytest.approx(1.0 - 0.25)
+
+    def test_cost_scales(self):
+        engine = make_engine(
+            nets=[[0, 1]],
+            sides=[0, 1],
+            probabilities=[0.9, 0.4],
+            net_costs=[3.0],
+        )
+        assert engine.net_gain(0, 0) == pytest.approx(3.0 * (1.0 - 0.4))
+
+
+class TestEquation4_InternalNet:
+    def test_basic(self):
+        """Internal net {0,1,2}: g = -c(1 - p(1)p(2))."""
+        engine = make_engine(
+            nets=[[0, 1, 2]],
+            sides=[0, 0, 0],
+            probabilities=[0.9, 0.5, 0.4],
+        )
+        assert engine.net_gain(0, 0) == pytest.approx(-(1 - 0.2))
+
+    def test_two_pin_internal(self):
+        engine = make_engine(
+            nets=[[0, 1]],
+            sides=[0, 0],
+            probabilities=[0.9, 0.7],
+        )
+        assert engine.net_gain(0, 0) == pytest.approx(-(1 - 0.7))
+
+    def test_internal_net_locked_partner_forces_minus_c(self):
+        """A locked same-side partner can never follow: g = -c exactly."""
+        engine = make_engine(
+            nets=[[0, 1]],
+            sides=[0, 0],
+            probabilities=[0.9, 0.7],
+            locked=[1],
+        )
+        assert engine.net_gain(0, 0) == pytest.approx(-1.0)
+
+
+class TestEquation5and6_LockedNets:
+    def test_eqn5_net_locked_other_side(self):
+        """Net locked in V2: p(n^{2->1}) = 0, so g = +c * prodA."""
+        engine = make_engine(
+            nets=[[0, 1, 2]],
+            sides=[0, 0, 1],
+            probabilities=[0.9, 0.6, 0.0],
+            locked=[2],
+        )
+        assert engine.net_gain(0, 0) == pytest.approx(0.6)
+
+    def test_eqn6_net_locked_own_side(self):
+        """u free on a side where the net is locked: the positive term dies,
+        leaving g = -c * p(n^{1->2}) (the Eqn. 6 mirror)."""
+        engine = make_engine(
+            nets=[[0, 1, 2, 3]],
+            sides=[0, 0, 1, 1],
+            probabilities=[0.9, 0.0, 0.5, 0.8],
+            locked=[1],
+        )
+        # u = 0: locked partner on side 0 -> prodA = 0; prodB = 0.4
+        assert engine.net_gain(0, 0) == pytest.approx(-0.4)
+
+    def test_net_locked_both_sides_contributes_nothing(self):
+        """A net locked in the cutset can never change: gain 0."""
+        engine = make_engine(
+            nets=[[0, 1, 2]],
+            sides=[0, 0, 1],
+            probabilities=[0.9, 0.0, 0.0],
+            locked=[1, 2],
+        )
+        assert engine.net_gain(0, 0) == pytest.approx(0.0)
+
+
+class TestNodeGain:
+    def test_sums_over_nets(self):
+        engine = make_engine(
+            nets=[[0, 1], [0, 2]],
+            sides=[0, 1, 0],
+            probabilities=[0.9, 0.5, 0.6],
+        )
+        expected = (1.0 - 0.5) + (-(1 - 0.6))
+        assert engine.node_gain(0) == pytest.approx(expected)
+
+    def test_clearing_probability_exclude(self):
+        engine = make_engine(
+            nets=[[0, 1, 2]],
+            sides=[0, 0, 0],
+            probabilities=[0.5, 0.6, 0.7],
+        )
+        assert engine.net_clearing_probability(0, 0) == pytest.approx(0.21)
+        assert engine.net_clearing_probability(0, 0, exclude=0) == (
+            pytest.approx(0.42)
+        )
+        assert engine.net_clearing_probability(0, 1) == pytest.approx(1.0)
+
+
+class TestProbabilityMaintenance:
+    def test_set_probability_validates_range(self, tiny_graph, tiny_sides):
+        engine = ProbabilisticGainEngine(Partition(tiny_graph, tiny_sides))
+        with pytest.raises(ValueError):
+            engine.set_probability(0, 1.5)
+        with pytest.raises(ValueError):
+            engine.set_probability(0, -0.1)
+
+    def test_locked_node_must_stay_zero(self, tiny_graph, tiny_sides):
+        partition = Partition(tiny_graph, tiny_sides)
+        partition.lock(0)
+        engine = ProbabilisticGainEngine(partition)
+        with pytest.raises(ValueError, match="locked"):
+            engine.set_probability(0, 0.5)
+        engine.set_probability(0, 0.0)  # zero is fine
+
+    def test_fill_skips_locked(self, tiny_graph, tiny_sides):
+        partition = Partition(tiny_graph, tiny_sides)
+        partition.lock(3)
+        engine = ProbabilisticGainEngine(partition)
+        engine.fill(0.8)
+        assert engine.p[3] == 0.0
+        assert engine.p[0] == 0.8
+
+    def test_initial_probabilities_vector(self, tiny_graph, tiny_sides):
+        engine = ProbabilisticGainEngine(
+            Partition(tiny_graph, tiny_sides), probabilities=[0.5] * 6
+        )
+        assert engine.p == [0.5] * 6
+
+    def test_initial_vector_length_checked(self, tiny_graph, tiny_sides):
+        with pytest.raises(ValueError):
+            ProbabilisticGainEngine(
+                Partition(tiny_graph, tiny_sides), probabilities=[0.5]
+            )
+
+    def test_on_lock_zeroes(self, tiny_graph, tiny_sides):
+        partition = Partition(tiny_graph, tiny_sides)
+        engine = ProbabilisticGainEngine(partition)
+        engine.fill(0.9)
+        partition.move_and_lock(2)
+        engine.on_lock(2)
+        assert engine.p[2] == 0.0
+
+
+class TestAllGainsConsistency:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_all_gains_matches_per_node(self, seed):
+        """The O(m) bulk computation equals per-node recomputation, with
+        random probabilities and a random set of locked nodes."""
+        rng = random.Random(seed)
+        graph = hierarchical_circuit(60, 66, 240, seed=seed % 6)
+        partition = Partition(graph, random_balanced_sides(graph, seed))
+        for v in rng.sample(range(graph.num_nodes), 8):
+            if not partition.is_locked(v):
+                partition.move_and_lock(v)
+        engine = ProbabilisticGainEngine(partition)
+        for v in range(graph.num_nodes):
+            if not partition.is_locked(v):
+                engine.set_probability(v, rng.uniform(0.4, 0.95))
+        bulk = engine.all_gains()
+        for v in range(graph.num_nodes):
+            if partition.is_locked(v):
+                assert bulk[v] == 0.0
+            else:
+                assert bulk[v] == pytest.approx(
+                    engine.node_gain(v), rel=1e-9, abs=1e-12
+                )

@@ -1,0 +1,103 @@
+"""Cross-cutting pass-semantics tests for the iterative engines.
+
+These validate properties of the shared FM-family pass structure that the
+paper relies on implicitly: monotone improvement across passes, clean lock
+release, and rollback integrity.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FMPartitioner, LAPartitioner
+from repro.core import PropPartitioner
+from repro.hypergraph import hierarchical_circuit
+from repro.partition import cut_cost, random_balanced_sides
+
+ENGINES = [
+    PropPartitioner,
+    lambda: FMPartitioner("bucket"),
+    lambda: FMPartitioner("tree"),
+    lambda: LAPartitioner(2),
+]
+
+
+@pytest.fixture(params=range(len(ENGINES)), ids=["PROP", "FM-b", "FM-t", "LA-2"])
+def engine(request):
+    return ENGINES[request.param]()
+
+
+class TestPassCuts:
+    def test_trace_recorded(self, medium_circuit, engine):
+        result = engine.partition(medium_circuit, seed=1)
+        assert len(result.pass_cuts) == result.passes
+        assert result.pass_cuts[-1] == pytest.approx(result.cut)
+
+    def test_strictly_decreasing_until_last(self, medium_circuit, engine):
+        result = engine.partition(medium_circuit, seed=2)
+        if not result.pass_cuts:
+            pytest.skip("no trace")
+        trace = result.pass_cuts
+        # every pass except possibly the terminating one improves the cut
+        for before, after in zip(trace, trace[1:-1] or []):
+            assert after < before
+
+    def test_final_cut_is_minimum_of_trace(self, medium_circuit, engine):
+        result = engine.partition(medium_circuit, seed=3)
+        if not result.pass_cuts:
+            pytest.skip("no trace")
+        assert result.cut == pytest.approx(min(result.pass_cuts))
+
+
+class TestRollbackIntegrity:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_prop_result_state_is_consistent(self, seed):
+        """After a full PROP run the recorded sides/cut must agree with an
+        independent recount — catching any rollback bookkeeping bug."""
+        graph = hierarchical_circuit(90, 98, 350, seed=seed % 4)
+        result = PropPartitioner().partition(graph, seed=seed)
+        assert cut_cost(graph, result.sides) == pytest.approx(result.cut)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_fm_result_state_is_consistent(self, seed):
+        graph = hierarchical_circuit(90, 98, 350, seed=seed % 4)
+        result = FMPartitioner("bucket").partition(graph, seed=seed)
+        assert cut_cost(graph, result.sides) == pytest.approx(result.cut)
+
+    def test_rerun_from_result_is_stable(self, medium_circuit):
+        """A converged partition must be (near-)stable under another run:
+        the first pass from it yields Gmax <= 0 or a small improvement."""
+        for engine in (PropPartitioner(), FMPartitioner("bucket")):
+            first = engine.partition(medium_circuit, seed=5)
+            second = engine.partition(
+                medium_circuit, initial_sides=first.sides
+            )
+            assert second.cut <= first.cut
+
+
+class TestCrossEngineSanity:
+    def test_all_engines_agree_on_easy_instance(self):
+        """On a well-separated planted instance every engine lands on the
+        same optimum — a strong mutual-consistency check."""
+        from repro.hypergraph import planted_bisection
+
+        graph, _, crossing = planted_bisection(35, 90, 3, seed=4)
+        cuts = set()
+        for make in ENGINES:
+            engine = make()
+            best = min(
+                engine.partition(graph, seed=s).cut for s in range(3)
+            )
+            cuts.add(best)
+        assert cuts == {float(crossing)}
+
+    def test_initial_cut_upper_bounds_all_engines(self, medium_circuit):
+        initial = random_balanced_sides(medium_circuit, 9)
+        start_cut = cut_cost(medium_circuit, initial)
+        for make in ENGINES:
+            result = make().partition(
+                medium_circuit, initial_sides=initial
+            )
+            assert result.cut <= start_cut

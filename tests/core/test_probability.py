@@ -1,0 +1,81 @@
+"""Tests for the gain → probability maps (paper Sec. 3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import PropConfig, make_probability_fn
+from repro.core.probability import LinearProbabilityMap, SigmoidProbabilityMap
+
+
+class TestLinearMap:
+    def test_paper_parameters(self):
+        """With Sec. 4 params: g >= 1 -> 0.95, g <= -1 -> 0.4, 0 -> midpoint."""
+        f = LinearProbabilityMap(pmin=0.4, pmax=0.95, glo=-1.0, gup=1.0)
+        assert f(1.0) == 0.95
+        assert f(5.0) == 0.95
+        assert f(-1.0) == 0.4
+        assert f(-9.0) == 0.4
+        assert f(0.0) == pytest.approx(0.675)
+
+    def test_figure1_map(self):
+        """The Figure-1 map p = clip(0.5 + 0.3 g, 0, 1)."""
+        f = LinearProbabilityMap(pmin=0.0, pmax=1.0, glo=-5 / 3, gup=5 / 3)
+        assert f(2.0) == 1.0
+        assert f(1.0) == pytest.approx(0.8)
+        assert f(-1.0) == pytest.approx(0.2)
+        assert f(0.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearProbabilityMap(0.9, 0.5, -1, 1)
+        with pytest.raises(ValueError):
+            LinearProbabilityMap(0.1, 0.9, 1, 1)
+        with pytest.raises(ValueError):
+            LinearProbabilityMap(-0.1, 0.9, -1, 1)
+
+    @given(st.floats(-100, 100))
+    def test_bounded_and_monotone(self, g):
+        f = LinearProbabilityMap(0.4, 0.95, -1, 1)
+        assert 0.4 <= f(g) <= 0.95
+        assert f(g) <= f(g + 0.5) + 1e-12
+
+
+class TestSigmoidMap:
+    def test_saturation_at_thresholds(self):
+        f = SigmoidProbabilityMap(0.4, 0.95, -1.0, 1.0)
+        assert f(1.0) == 0.95
+        assert f(-1.0) == 0.4
+        assert f(3.0) == 0.95
+
+    def test_midpoint(self):
+        f = SigmoidProbabilityMap(0.4, 0.95, -1.0, 1.0)
+        assert f(0.0) == pytest.approx((0.4 + 0.95) / 2, abs=0.01)
+
+    @given(st.floats(-50, 50))
+    def test_bounded_and_monotone(self, g):
+        f = SigmoidProbabilityMap(0.4, 0.95, -1.0, 1.0)
+        assert 0.4 <= f(g) <= 0.95
+        assert f(g) <= f(g + 0.5) + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SigmoidProbabilityMap(0.9, 0.5, -1, 1)
+        with pytest.raises(ValueError):
+            SigmoidProbabilityMap(0.1, 0.9, 2, 1)
+
+
+class TestFactory:
+    def test_linear_selected(self):
+        f = make_probability_fn(PropConfig(probability_function="linear"))
+        assert isinstance(f, LinearProbabilityMap)
+
+    def test_sigmoid_selected(self):
+        f = make_probability_fn(PropConfig(probability_function="sigmoid"))
+        assert isinstance(f, SigmoidProbabilityMap)
+
+    def test_config_params_threaded(self):
+        cfg = PropConfig(pmin=0.5, pmax=0.9, glo=-2.0, gup=2.0)
+        f = make_probability_fn(cfg)
+        assert f(-5.0) == 0.5
+        assert f(5.0) == 0.9

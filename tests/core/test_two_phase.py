@@ -1,0 +1,72 @@
+"""Tests for the clustering + PROP two-phase flow (paper Sec. 5)."""
+
+import pytest
+
+from repro.core import PropConfig, TwoPhasePropPartitioner
+from repro.hypergraph import hierarchical_circuit
+from repro.multirun import run_many
+from repro.partition import balance_ratio, cut_cost, random_balanced_sides
+
+
+class TestValidation:
+    def test_cluster_size(self):
+        with pytest.raises(ValueError):
+            TwoPhasePropPartitioner(cluster_size=0)
+
+    def test_coarse_runs(self):
+        with pytest.raises(ValueError):
+            TwoPhasePropPartitioner(coarse_runs=0)
+
+    def test_name(self):
+        assert TwoPhasePropPartitioner().name == "PROP-CL"
+
+
+class TestQuality:
+    def test_beats_random(self, medium_circuit):
+        floor = cut_cost(
+            medium_circuit, random_balanced_sides(medium_circuit, 0)
+        )
+        result = TwoPhasePropPartitioner().partition(medium_circuit, seed=0)
+        assert result.cut < floor * 0.6
+        result.verify(medium_circuit)
+
+    def test_finds_planted_optimum(self, planted):
+        graph, _, crossing = planted
+        result = TwoPhasePropPartitioner().partition(graph, seed=0)
+        assert result.cut <= crossing + 2
+
+    def test_balance_respected(self, medium_circuit):
+        result = TwoPhasePropPartitioner().partition(medium_circuit, seed=1)
+        assert balance_ratio(medium_circuit, result.sides) <= 0.5 + (
+            2.0 / medium_circuit.num_nodes
+        )
+
+    def test_competitive_with_plain_prop(self):
+        """Sec. 5's claim: the clustering phase should help, and at minimum
+        must not hurt much.  Compared per-seed over a few seeds."""
+        from repro.core import PropPartitioner
+
+        graph = hierarchical_circuit(400, 420, 1520, seed=9)
+        plain = run_many(PropPartitioner(), graph, runs=3).best_cut
+        two_phase = run_many(TwoPhasePropPartitioner(), graph, runs=3).best_cut
+        assert two_phase <= plain * 1.15
+
+    def test_explicit_initial_sides_skip_clustering(self, medium_circuit):
+        initial = random_balanced_sides(medium_circuit, 4)
+        result = TwoPhasePropPartitioner().partition(
+            medium_circuit, initial_sides=initial
+        )
+        assert result.cut <= cut_cost(medium_circuit, initial)
+        assert result.algorithm == "PROP-CL"
+
+    def test_deterministic_given_seed(self, medium_circuit):
+        a = TwoPhasePropPartitioner().partition(medium_circuit, seed=6)
+        b = TwoPhasePropPartitioner().partition(medium_circuit, seed=6)
+        assert a.sides == b.sides
+
+    def test_custom_config_threaded(self, medium_circuit):
+        cfg = PropConfig(refinement_iterations=1)
+        result = TwoPhasePropPartitioner(config=cfg).partition(
+            medium_circuit, seed=0
+        )
+        result.verify(medium_circuit)

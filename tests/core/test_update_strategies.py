@@ -1,0 +1,118 @@
+"""Tests for the two Sec. 3.4 update strategies (recompute vs cached)."""
+
+import pytest
+
+from repro.core import PropConfig, PropPartitioner
+from repro.core.gains import ProbabilisticGainEngine
+from repro.hypergraph import hierarchical_circuit
+from repro.multirun import run_many
+from repro.partition import Partition, cut_cost, random_balanced_sides
+
+
+class TestConfig:
+    def test_strategies_accepted(self):
+        PropConfig(update_strategy="recompute")
+        PropConfig(update_strategy="cached")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="update_strategy"):
+            PropConfig(update_strategy="psychic")
+
+    def test_describe_includes_strategy(self):
+        assert PropConfig().describe()["update_strategy"] == "recompute"
+
+
+class TestContributionPrimitives:
+    @pytest.fixture
+    def engine(self):
+        graph = hierarchical_circuit(60, 66, 240, seed=3)
+        partition = Partition(graph, random_balanced_sides(graph, 1))
+        engine = ProbabilisticGainEngine(partition)
+        engine.fill(0.7)
+        return engine
+
+    def test_net_pin_contributions_match_net_gain(self, engine):
+        graph = engine.partition.graph
+        for net_id in range(graph.num_nets):
+            per_pin = engine.net_pin_contributions(net_id)
+            for pin, contribution in per_pin.items():
+                assert contribution == pytest.approx(
+                    engine.net_gain(pin, net_id), abs=1e-12
+                )
+
+    def test_contributions_sum_to_node_gain(self, engine):
+        graph = engine.partition.graph
+        for node in range(graph.num_nodes):
+            entry = engine.contributions_for(node)
+            assert sum(entry.values()) == pytest.approx(
+                engine.node_gain(node), abs=1e-12
+            )
+
+    def test_all_contributions_matches_per_node(self, engine):
+        graph = engine.partition.graph
+        bulk = engine.all_contributions()
+        for node in range(graph.num_nodes):
+            expected = engine.contributions_for(node)
+            assert set(bulk[node]) == set(expected)
+            for net_id, c in expected.items():
+                assert bulk[node][net_id] == pytest.approx(c, abs=1e-12)
+
+    def test_locked_pins_excluded(self, engine):
+        partition = engine.partition
+        graph = partition.graph
+        node = 0
+        partition.move_and_lock(node)
+        engine.on_lock(node)
+        for net_id in graph.node_nets(node):
+            assert node not in engine.net_pin_contributions(net_id)
+        assert engine.all_contributions()[node] == {}
+
+
+class TestCachedStrategyEndToEnd:
+    @pytest.fixture
+    def circuit(self):
+        return hierarchical_circuit(250, 265, 960, seed=7)
+
+    def test_valid_results(self, circuit):
+        result = PropPartitioner(
+            PropConfig(update_strategy="cached")
+        ).partition(circuit, seed=0)
+        result.verify(circuit)
+        assert cut_cost(circuit, result.sides) == result.cut
+
+    def test_quality_parity_with_recompute(self, circuit):
+        """The strategies differ only in which second-order staleness
+        survives until the top-k repair; best-of-N quality must land in
+        the same band."""
+        rec = run_many(
+            PropPartitioner(PropConfig(update_strategy="recompute")),
+            circuit, runs=4,
+        )
+        cac = run_many(
+            PropPartitioner(PropConfig(update_strategy="cached")),
+            circuit, runs=4,
+        )
+        assert cac.best_cut <= rec.best_cut * 1.2
+        assert rec.best_cut <= cac.best_cut * 1.2
+
+    def test_deterministic(self, circuit):
+        cfg = PropConfig(update_strategy="cached")
+        a = PropPartitioner(cfg).partition(circuit, seed=3)
+        b = PropPartitioner(cfg).partition(circuit, seed=3)
+        assert a.sides == b.sides
+
+    def test_improves_initial(self, circuit):
+        initial = random_balanced_sides(circuit, 2)
+        result = PropPartitioner(
+            PropConfig(update_strategy="cached")
+        ).partition(circuit, initial_sides=initial)
+        assert result.cut < cut_cost(circuit, initial) * 0.7
+
+    def test_weighted_nets(self, circuit):
+        weighted = circuit.with_net_costs(
+            [1.0 + (i % 3) for i in range(circuit.num_nets)]
+        )
+        result = PropPartitioner(
+            PropConfig(update_strategy="cached")
+        ).partition(weighted, seed=1)
+        result.verify(weighted)

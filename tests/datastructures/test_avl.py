@@ -1,0 +1,130 @@
+"""Unit + property tests for the AVL tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import AVLTree
+
+
+class TestBasics:
+    def test_empty(self):
+        t = AVLTree()
+        assert len(t) == 0
+        assert not t
+        assert 5 not in t
+        with pytest.raises(KeyError):
+            t.max_item()
+        with pytest.raises(KeyError):
+            t.min_item()
+        with pytest.raises(KeyError):
+            t.remove(5)
+
+    def test_insert_find(self):
+        t = AVLTree()
+        t.insert(3, "a")
+        t.insert(1, "b")
+        t.insert(2, "c")
+        assert t.find(1) == "b"
+        assert t.find(99, default="missing") == "missing"
+        assert 2 in t
+        assert len(t) == 3
+
+    def test_duplicate_insert_rejected(self):
+        t = AVLTree()
+        t.insert(1)
+        with pytest.raises(KeyError, match="duplicate"):
+            t.insert(1)
+
+    def test_max_min(self):
+        t = AVLTree()
+        for k in [5, 1, 9, 3]:
+            t.insert(k, k * 10)
+        assert t.max_item() == (9, 90)
+        assert t.min_item() == (1, 10)
+
+    def test_remove_returns_value(self):
+        t = AVLTree()
+        t.insert(1, "x")
+        assert t.remove(1) == "x"
+        assert len(t) == 0
+
+    def test_remove_node_with_two_children(self):
+        t = AVLTree()
+        for k in [5, 2, 8, 1, 3, 7, 9]:
+            t.insert(k)
+        t.remove(5)  # root with two children
+        assert sorted(k for k, _ in t.iter_ascending()) == [1, 2, 3, 7, 8, 9]
+        t.check_invariants()
+
+    def test_iter_orders(self):
+        t = AVLTree()
+        for k in [4, 2, 6, 1, 3]:
+            t.insert(k)
+        assert [k for k, _ in t.iter_ascending()] == [1, 2, 3, 4, 6]
+        assert [k for k, _ in t.iter_descending()] == [6, 4, 3, 2, 1]
+
+    def test_tuple_keys(self):
+        """Gain containers use (gain, node) tuples — must order correctly."""
+        t = AVLTree()
+        t.insert((1.5, 3))
+        t.insert((1.5, 7))
+        t.insert((-2.0, 1))
+        assert t.max_item()[0] == (1.5, 7)
+        assert t.min_item()[0] == (-2.0, 1)
+
+    def test_sequential_inserts_stay_balanced(self):
+        """Ascending inserts are the classic worst case for plain BSTs."""
+        t = AVLTree()
+        for k in range(1000):
+            t.insert(k)
+        t.check_invariants()
+        # height must be O(log n): AVL bound is 1.44 log2(n+2)
+        assert t._root.height <= 15
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-1000, 1000), unique=True))
+    def test_matches_sorted_reference(self, keys):
+        t = AVLTree()
+        for k in keys:
+            t.insert(k)
+        t.check_invariants()
+        assert [k for k, _ in t.iter_ascending()] == sorted(keys)
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=1),
+        st.lists(st.integers(0, 50)),
+    )
+    @settings(max_examples=60)
+    def test_insert_remove_interleaved(self, inserts, removes):
+        """Arbitrary insert/remove sequences track a reference set."""
+        t = AVLTree()
+        reference = set()
+        for k in inserts:
+            if k not in reference:
+                t.insert(k)
+                reference.add(k)
+        for k in removes:
+            if k in reference:
+                assert t.remove(k) is None  # default value
+                reference.remove(k)
+            else:
+                with pytest.raises(KeyError):
+                    t.remove(k)
+        t.check_invariants()
+        assert len(t) == len(reference)
+        assert [k for k, _ in t.iter_ascending()] == sorted(reference)
+        if reference:
+            assert t.max_item()[0] == max(reference)
+            assert t.min_item()[0] == min(reference)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                    unique=True, min_size=1))
+    @settings(max_examples=40)
+    def test_float_keys(self, keys):
+        t = AVLTree()
+        for k in keys:
+            t.insert(k)
+        t.check_invariants()
+        assert t.max_item()[0] == max(keys)

@@ -1,0 +1,129 @@
+"""Unit + property tests for the FM gain bucket structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import BucketList
+
+
+class TestBasics:
+    def test_construction_validated(self):
+        with pytest.raises(ValueError):
+            BucketList(0, 5)
+        with pytest.raises(ValueError):
+            BucketList(5, -1)
+
+    def test_empty(self):
+        b = BucketList(4, 3)
+        assert len(b) == 0
+        assert not b
+        assert 0 not in b
+        with pytest.raises(KeyError):
+            b.peek_best()
+        with pytest.raises(KeyError):
+            b.remove(0)
+        with pytest.raises(KeyError):
+            b.gain_of(0)
+
+    def test_insert_peek(self):
+        b = BucketList(4, 3)
+        b.insert(0, 1)
+        b.insert(1, -2)
+        b.insert(2, 3)
+        assert b.peek_best() == (2, 3)
+        assert b.gain_of(1) == -2
+        assert len(b) == 3
+
+    def test_lifo_within_bucket(self):
+        b = BucketList(4, 3)
+        b.insert(0, 2)
+        b.insert(1, 2)
+        assert b.peek_best() == (1, 2)  # most recent first
+
+    def test_gain_out_of_range(self):
+        b = BucketList(4, 3)
+        with pytest.raises(ValueError, match="bucket range"):
+            b.insert(0, 4)
+
+    def test_node_out_of_range(self):
+        b = BucketList(4, 3)
+        with pytest.raises(KeyError):
+            b.insert(9, 0)
+
+    def test_double_insert_rejected(self):
+        b = BucketList(4, 3)
+        b.insert(0, 1)
+        with pytest.raises(KeyError, match="already"):
+            b.insert(0, 2)
+
+    def test_remove_updates_best(self):
+        b = BucketList(4, 3)
+        b.insert(0, 3)
+        b.insert(1, 1)
+        assert b.remove(0) == 3
+        assert b.peek_best() == (1, 1)
+        b.check_invariants()
+
+    def test_remove_middle_of_chain(self):
+        b = BucketList(5, 3)
+        for v in (0, 1, 2):
+            b.insert(v, 2)
+        b.remove(1)
+        b.check_invariants()
+        assert sorted(v for v, _ in b.iter_descending()) == [0, 2]
+
+    def test_update_moves_bucket(self):
+        b = BucketList(4, 3)
+        b.insert(0, 0)
+        b.update(0, 3)
+        assert b.peek_best() == (0, 3)
+        b.check_invariants()
+
+    def test_adjust(self):
+        b = BucketList(4, 3)
+        b.insert(0, 1)
+        b.adjust(0, -2)
+        assert b.gain_of(0) == -1
+        b.adjust(0, 0)  # no-op
+        assert b.gain_of(0) == -1
+
+    def test_iter_descending_order(self):
+        b = BucketList(6, 3)
+        gains = {0: 2, 1: -1, 2: 3, 3: 0, 4: 3}
+        for v, g in gains.items():
+            b.insert(v, g)
+        seq = [g for _, g in b.iter_descending()]
+        assert seq == sorted(seq, reverse=True)
+        assert len(seq) == 5
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 19), st.integers(-6, 6)), min_size=1
+        ),
+        st.lists(st.integers(0, 19)),
+    )
+    @settings(max_examples=60)
+    def test_matches_dict_reference(self, inserts, removes):
+        """Arbitrary insert/update/remove traffic tracks a reference dict."""
+        b = BucketList(20, 6)
+        reference = {}
+        for node, gain in inserts:
+            if node in reference:
+                b.update(node, gain)
+            else:
+                b.insert(node, gain)
+            reference[node] = gain
+        for node in removes:
+            if node in reference:
+                assert b.remove(node) == reference.pop(node)
+        b.check_invariants()
+        assert len(b) == len(reference)
+        if reference:
+            node, gain = b.peek_best()
+            assert gain == max(reference.values())
+            assert reference[node] == gain
+        listed = dict(b.iter_descending())
+        assert listed == reference

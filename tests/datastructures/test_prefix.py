@@ -1,0 +1,101 @@
+"""Tests for the pass journal / prefix-sum rollback machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import PassJournal
+
+
+def brute_force_best_prefix(gains):
+    """Reference: smallest p maximizing the prefix sum (0 if all <= 0)."""
+    best_p, best_sum = 0, float("-inf")
+    running = 0.0
+    for k, g in enumerate(gains, start=1):
+        running += g
+        if running > best_sum + 1e-12:
+            best_sum, best_p = running, k
+    if not gains:
+        return 0, 0.0
+    if best_sum <= 0:
+        return 0, best_sum
+    return best_p, best_sum
+
+
+class TestBasics:
+    def test_empty(self):
+        j = PassJournal()
+        assert len(j) == 0
+        assert j.best_prefix() == (0, 0.0)
+        assert j.kept_moves() == []
+        assert j.rolled_back_moves() == []
+
+    def test_all_positive(self):
+        j = PassJournal()
+        for node, g in enumerate([2, 1, 3]):
+            j.record(node, 0, g)
+        assert j.best_prefix() == (3, 6.0)
+        assert len(j.kept_moves()) == 3
+
+    def test_peak_in_middle(self):
+        j = PassJournal()
+        for node, g in enumerate([2, 3, -1, -4]):
+            j.record(node, 0, g)
+        p, gmax = j.best_prefix()
+        assert (p, gmax) == (2, 5.0)
+        assert [m.node for m in j.kept_moves()] == [0, 1]
+        assert [m.node for m in j.rolled_back_moves()] == [2, 3]
+
+    def test_all_negative_returns_zero_prefix(self):
+        j = PassJournal()
+        for node, g in enumerate([-1, -2]):
+            j.record(node, 0, g)
+        p, gmax = j.best_prefix()
+        assert p == 0
+        assert gmax <= 0
+
+    def test_ties_prefer_shorter_prefix(self):
+        # prefix sums: 3, 2, 3 -> keep 1 move, not 3
+        j = PassJournal()
+        for node, g in enumerate([3, -1, 1]):
+            j.record(node, 0, g)
+        assert j.best_prefix() == (1, 3.0)
+
+    def test_prefix_sums(self):
+        j = PassJournal()
+        for node, g in enumerate([1, -2, 4]):
+            j.record(node, 0, g)
+        assert j.prefix_sums() == [1.0, -1.0, 3.0]
+
+    def test_records_metadata(self):
+        j = PassJournal()
+        j.record(7, 1, -2.5)
+        mv = j.moves[0]
+        assert (mv.node, mv.from_side, mv.immediate_gain) == (7, 1, -2.5)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-5, 5)))
+    @settings(max_examples=80)
+    def test_matches_brute_force(self, gains):
+        j = PassJournal()
+        for node, g in enumerate(gains):
+            j.record(node, node % 2, float(g))
+        assert j.best_prefix() == brute_force_best_prefix(gains)
+
+    @given(st.lists(st.integers(-5, 5)))
+    def test_kept_plus_rolled_back_is_everything(self, gains):
+        j = PassJournal()
+        for node, g in enumerate(gains):
+            j.record(node, 0, float(g))
+        assert len(j.kept_moves()) + len(j.rolled_back_moves()) == len(gains)
+
+    @given(st.lists(st.integers(-5, 5), min_size=1))
+    def test_gmax_is_max_prefix_sum_when_positive(self, gains):
+        j = PassJournal()
+        for node, g in enumerate(gains):
+            j.record(node, 0, float(g))
+        p, gmax = j.best_prefix()
+        sums = j.prefix_sums()
+        if max(sums) > 0:
+            assert gmax == max(sums)
+            assert sums[p - 1] == gmax

@@ -1,0 +1,100 @@
+"""Exact reproduction of the paper's Figure 1 worked example.
+
+These are the strongest correctness tests in the repo: every number the
+paper prints for the example — FM gains, LA-3 gain vectors, iteration-1
+probabilities and iteration-2 probabilistic gains — must come out of our
+engines exactly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPECTED_FM_GAINS,
+    EXPECTED_INITIAL_PROBABILITIES,
+    EXPECTED_LA3_VECTORS,
+    EXPECTED_PROP_GAINS,
+    best_move_ranking,
+    build_figure1,
+    figure1_fm_gains,
+    figure1_initial_probabilities,
+    figure1_la3_vectors,
+    figure1_prop_gains,
+)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return build_figure1()
+
+
+class TestConstruction:
+    def test_sides(self, circuit):
+        assert all(circuit.sides[v] == 1 for v in circuit.anchors)
+        assert all(
+            circuit.sides[circuit.node_index[l]] == 0 for l in range(1, 12)
+        )
+
+    def test_eleven_cut_nets(self, circuit):
+        partition = circuit.make_partition()
+        assert len(partition.cut_nets()) == 11
+
+    def test_internal_nets_n12_to_n17(self, circuit):
+        partition = circuit.make_partition()
+        for i in range(12, 18):
+            assert not partition.net_is_cut(circuit.net_index[f"n{i}"])
+
+
+class TestFigure1a:
+    def test_fm_gains_exact(self, circuit):
+        """Fig. 1(a): FM gains 2,2,2 / 1,1 / -1 x6."""
+        assert figure1_fm_gains(circuit) == EXPECTED_FM_GAINS
+
+    def test_la3_vectors_exact(self, circuit):
+        """Fig. 1(a): gain(1)=(2,0,0), gain(2)=gain(3)=(2,0,1)."""
+        vectors = figure1_la3_vectors(circuit)
+        for label, expected in EXPECTED_LA3_VECTORS.items():
+            assert vectors[label] == expected
+
+    def test_la3_cannot_separate_2_and_3(self, circuit):
+        """The paper's point: LA-3 ties nodes 2 and 3 even though node 3 is
+        clearly better (increasing lookahead does not help)."""
+        vectors = figure1_la3_vectors(circuit)
+        assert vectors[2] == vectors[3]
+
+    def test_fm_cannot_separate_1_2_3(self, circuit):
+        gains = figure1_fm_gains(circuit)
+        assert gains[1] == gains[2] == gains[3]
+
+
+class TestFigure1b:
+    def test_initial_probabilities_exact(self, circuit):
+        """Fig. 1(b): p = 1 / 0.8 / 0.2 from deterministic gains."""
+        probs = figure1_initial_probabilities(circuit)
+        for label, expected in EXPECTED_INITIAL_PROBABILITIES.items():
+            assert probs[label] == pytest.approx(expected)
+
+
+class TestFigure1c:
+    def test_prop_gains_exact(self, circuit):
+        """Fig. 1(c): g(1)=2.0016, g(2)=2.04, g(3)=2.64, g(10)=g(11)=1.8,
+        g(8)=g(9)=-0.3, g(4..7)=-0.492."""
+        gains = figure1_prop_gains(circuit)
+        for label, expected in EXPECTED_PROP_GAINS.items():
+            assert gains[label] == pytest.approx(expected, abs=1e-9), (
+                f"node {label}: got {gains[label]}, paper says {expected}"
+            )
+
+    def test_prop_separates_all_three(self, circuit):
+        """PROP's punchline ordering: node 3 > node 2 > node 1."""
+        ranking = best_move_ranking(circuit)
+        assert ranking[:3] == [3, 2, 1]
+
+    def test_nodes_10_11_rank_next(self, circuit):
+        assert set(best_move_ranking(circuit)[3:5]) == {10, 11}
+
+    def test_gain_ordering_matches_paper_narrative(self, circuit):
+        """Moving 10/11 later is worth more than moving 8/9 later (three
+        nets vs one net) — visible as g(10) > g(8)."""
+        gains = figure1_prop_gains(circuit)
+        assert gains[10] > gains[8]
+        assert gains[8] > gains[4]

@@ -1,0 +1,54 @@
+"""Tests for the one-shot report generator."""
+
+import pytest
+
+from repro.experiments import REPORT_SECTIONS, generate_full_report
+from repro.experiments.report import figure1_report, table1_report
+
+
+class TestSectionBuilders:
+    def test_figure1_report_content(self):
+        text = figure1_report()
+        assert "2.6400" in text       # g(3) = 2.64
+        assert "ranking" in text
+        assert "[3, 2, 1" in text
+
+    def test_table1_report_all_exact(self):
+        text = table1_report()
+        assert "MISMATCH" not in text
+        assert text.count("exact") == 16
+
+    def test_sections_registered(self):
+        assert list(REPORT_SECTIONS) == [
+            "figure1", "table1", "table2", "table3", "table4",
+        ]
+
+
+class TestFullReport:
+    def test_generate_writes_all_sections(self, tmp_path, monkeypatch):
+        # keep this fast: tiny circuits, single runs
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        monkeypatch.setenv("REPRO_BENCH_RUNS_SCALE", "0.02")
+        monkeypatch.setenv("REPRO_BENCH_CIRCUITS", "t6")
+        written = generate_full_report(tmp_path / "out")
+        names = [p.name for p in written]
+        assert names == [
+            "figure1.txt", "table1.txt", "table2.txt", "table3.txt",
+            "table4.txt", "report.txt",
+        ]
+        combined = (tmp_path / "out" / "report.txt").read_text()
+        assert "Figure 1" in combined
+        assert "Table 2" in combined
+        assert "scale=0.05" in combined
+        for p in written:
+            assert p.read_text().strip()
+
+    def test_main_entry(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.report import main
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        monkeypatch.setenv("REPRO_BENCH_RUNS_SCALE", "0.02")
+        monkeypatch.setenv("REPRO_BENCH_CIRCUITS", "t6")
+        assert main([str(tmp_path / "rep")]) == 0
+        out = capsys.readouterr().out
+        assert "report.txt" in out

@@ -1,0 +1,80 @@
+"""Tests for the PropConfig sweep machinery."""
+
+import pytest
+
+from repro.core import PropConfig
+from repro.experiments import sweep_prop_config
+from repro.hypergraph import hierarchical_circuit
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return hierarchical_circuit(90, 98, 350, seed=1)
+
+
+class TestSweep:
+    def test_cartesian_grid(self, circuit):
+        result = sweep_prop_config(
+            circuit,
+            {"refinement_iterations": [0, 2], "pinit": [0.8, 0.95]},
+            runs=2,
+            circuit_name="test",
+        )
+        assert len(result.points) == 4
+        combos = {p.overrides for p in result.points}
+        assert (("refinement_iterations", 0), ("pinit", 0.8)) in combos
+
+    def test_point_metrics_populated(self, circuit):
+        result = sweep_prop_config(
+            circuit, {"top_update_count": [5]}, runs=2
+        )
+        point = result.points[0]
+        assert point.best_cut <= point.mean_cut
+        assert point.seconds_per_run > 0
+        assert point.override_dict() == {"top_update_count": 5}
+
+    def test_best_point(self, circuit):
+        result = sweep_prop_config(
+            circuit, {"refinement_iterations": [0, 2]}, runs=2
+        )
+        best = result.best_point()
+        assert best.best_cut == min(p.best_cut for p in result.points)
+
+    def test_invalid_values_fail_fast(self, circuit):
+        with pytest.raises(ValueError):
+            sweep_prop_config(circuit, {"pmin": [0.0]}, runs=1)
+
+    def test_unknown_field_fails_fast(self, circuit):
+        with pytest.raises(TypeError):
+            sweep_prop_config(circuit, {"nonsense_knob": [1]}, runs=1)
+
+    def test_empty_grid_rejected(self, circuit):
+        with pytest.raises(ValueError):
+            sweep_prop_config(circuit, {}, runs=1)
+
+    def test_runs_validated(self, circuit):
+        with pytest.raises(ValueError):
+            sweep_prop_config(circuit, {"pinit": [0.9]}, runs=0)
+
+    def test_base_config_respected(self, circuit):
+        base = PropConfig(refinement_iterations=1)
+        result = sweep_prop_config(
+            circuit, {"pinit": [0.9]}, base_config=base, runs=1
+        )
+        assert result.points  # ran without error under the base config
+
+    def test_format_text(self, circuit):
+        result = sweep_prop_config(
+            circuit, {"refinement_iterations": [0, 2]}, runs=1,
+            circuit_name="c90",
+        )
+        text = result.format_text()
+        assert "c90" in text
+        assert "refinement_iterations" in text
+        assert "best" in text
+
+    def test_empty_result_errors(self):
+        from repro.experiments import SweepResult
+
+        with pytest.raises(ValueError):
+            SweepResult(circuit="x", runs_per_point=1).best_point()

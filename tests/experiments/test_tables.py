@@ -1,0 +1,95 @@
+"""Tests for the table-regeneration harness (tiny scales for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    ComparisonTable,
+    format_table4_times,
+    run_table2,
+    run_table3,
+    run_table4,
+    table1_rows,
+)
+from repro.hypergraph import TABLE1_CHARACTERISTICS
+
+
+TINY = dict(scale=0.06, runs_scale=0.05, names=("balu", "t6"))
+
+
+class TestTable1:
+    def test_full_scale_matches_paper(self):
+        rows = table1_rows(scale=1.0, names=["balu", "struct"])
+        assert rows["balu"]["nodes"] == TABLE1_CHARACTERISTICS["balu"][0]
+        assert rows["struct"]["pins"] == TABLE1_CHARACTERISTICS["struct"][2]
+
+    def test_scaled(self):
+        rows = table1_rows(scale=0.1, names=["t2"])
+        assert rows["t2"]["nodes"] < TABLE1_CHARACTERISTICS["t2"][0]
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2(**TINY)
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3(**TINY)
+
+
+class TestTable2:
+    def test_structure(self, table2):
+        assert isinstance(table2, ComparisonTable)
+        assert set(table2.rows) == {"balu", "t6"}
+        assert table2.algorithms == [
+            "FM100", "FM40", "FM20", "LA-2", "LA-3", "WINDOW", "PROP",
+        ]
+
+    def test_totals_sum_rows(self, table2):
+        totals = table2.totals()
+        for alg in table2.algorithms:
+            assert totals[alg] == pytest.approx(
+                sum(table2.rows[c][alg].best_cut for c in table2.rows)
+            )
+
+    def test_improvements_exclude_reference(self, table2):
+        imps = table2.improvements()
+        assert "PROP" not in imps
+        assert set(imps) == set(table2.algorithms) - {"PROP"}
+
+    def test_more_fm_runs_never_hurt(self, table2):
+        totals = table2.totals()
+        assert totals["FM100"] <= totals["FM40"] <= totals["FM20"]
+
+    def test_format_text(self, table2):
+        text = table2.format_text()
+        assert "TOTAL" in text
+        assert "balu" in text
+        assert "PROP" in text
+
+
+class TestTable3:
+    def test_structure(self, table3):
+        assert table3.algorithms == ["MELO", "PARABOLI", "EIG1", "PROP"]
+        assert table3.reference == "PROP"
+
+    def test_all_cells_populated(self, table3):
+        for circuit in table3.rows:
+            for alg in table3.algorithms:
+                assert table3.rows[circuit][alg].best_cut >= 0
+
+    def test_cut_accessor(self, table3):
+        assert table3.cut("balu", "PROP") == (
+            table3.rows["balu"]["PROP"].best_cut
+        )
+
+
+class TestTable4:
+    def test_timing_payload(self):
+        table = run_table4(scale=0.06, names=("t6",), runs_per_algorithm=1)
+        assert set(table.rows) == {"t6"}
+        for alg in table.algorithms:
+            assert table.rows["t6"][alg].seconds_per_run > 0
+        text = format_table4_times(table)
+        assert "TOTAL/run" in text
+        assert "FM-bucket" in text

@@ -1,0 +1,84 @@
+"""Tests for the multi-FPGA partitioning flow."""
+
+import pytest
+
+from repro.fpga import FpgaDevice, device_io_counts, partition_onto_fpgas
+from repro.hypergraph import hierarchical_circuit
+
+
+@pytest.fixture
+def circuit():
+    return hierarchical_circuit(160, 170, 620, seed=4)
+
+
+class TestFpgaDevice:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FpgaDevice(capacity=0, io_limit=10)
+        with pytest.raises(ValueError):
+            FpgaDevice(capacity=10, io_limit=-1)
+
+
+class TestDeviceIoCounts:
+    def test_tiny(self, tiny_graph):
+        # parts {0,1,2} vs {3,4,5}: net {2,3,5} crosses -> 1 io each
+        ios = device_io_counts(tiny_graph, [0, 0, 0, 1, 1, 1], 2)
+        assert ios == [1, 1]
+
+    def test_three_way(self, tiny_graph):
+        ios = device_io_counts(tiny_graph, [0, 0, 1, 1, 2, 2], 3)
+        # net {1,2} spans 0,1; net {3,4} spans 1,2; net {4,5} inside 2?
+        # nodes 4,5 both part 2 -> internal; net {2,3,5} spans 1,1,2 -> {1,2}
+        assert ios == [1, 3, 2]
+
+
+class TestPartitionOntoFpgas:
+    def test_generous_devices_feasible(self, circuit):
+        devices = [FpgaDevice(capacity=60, io_limit=10_000)] * 4
+        plan = partition_onto_fpgas(circuit, devices, seed=0)
+        assert plan.feasible
+        assert sum(plan.utilization) == circuit.total_node_weight
+        assert plan.cut > 0
+
+    def test_capacity_exceeded_detected(self, circuit):
+        """Aggregate capacity barely above demand with hard per-device
+        limits: repair may or may not fully succeed but the report must be
+        truthful either way."""
+        devices = [FpgaDevice(capacity=41, io_limit=10_000)] * 4
+        plan = partition_onto_fpgas(circuit, devices, seed=0)
+        for d in range(4):
+            if plan.utilization[d] > 41:
+                assert d in plan.capacity_violations()
+            else:
+                assert d not in plan.capacity_violations()
+
+    def test_io_violations_reported(self, circuit):
+        devices = [FpgaDevice(capacity=200, io_limit=1)] * 4
+        plan = partition_onto_fpgas(circuit, devices, seed=0)
+        # one I/O per device is absurd; the plan must admit infeasibility
+        assert not plan.feasible
+        assert plan.io_violations()
+
+    def test_aggregate_capacity_checked(self, circuit):
+        devices = [FpgaDevice(capacity=10, io_limit=100)] * 2
+        with pytest.raises(ValueError, match="aggregate"):
+            partition_onto_fpgas(circuit, devices)
+
+    def test_needs_two_devices(self, circuit):
+        with pytest.raises(ValueError, match="at least 2"):
+            partition_onto_fpgas(
+                circuit, [FpgaDevice(capacity=1000, io_limit=100)]
+            )
+
+    def test_io_counts_match_recount(self, circuit):
+        devices = [FpgaDevice(capacity=60, io_limit=10_000)] * 4
+        plan = partition_onto_fpgas(circuit, devices, seed=1)
+        assert plan.io_counts == device_io_counts(
+            circuit, plan.assignment, 4
+        )
+
+    def test_all_nodes_assigned(self, circuit):
+        devices = [FpgaDevice(capacity=90, io_limit=10_000)] * 2
+        plan = partition_onto_fpgas(circuit, devices, seed=2)
+        assert len(plan.assignment) == circuit.num_nodes
+        assert set(plan.assignment) <= {0, 1}

@@ -1,0 +1,115 @@
+"""Unit tests for HypergraphBuilder."""
+
+import pytest
+
+from repro.hypergraph import HypergraphBuilder, HypergraphError
+
+
+class TestNodes:
+    def test_add_node_returns_indices(self):
+        b = HypergraphBuilder()
+        assert b.add_node() == 0
+        assert b.add_node() == 1
+        assert b.num_nodes == 2
+
+    def test_add_nodes_range(self):
+        b = HypergraphBuilder()
+        b.add_node()
+        assert list(b.add_nodes(3)) == [1, 2, 3]
+
+    def test_add_nodes_negative_count(self):
+        with pytest.raises(HypergraphError):
+            HypergraphBuilder().add_nodes(-1)
+
+    def test_named_node_lookup(self):
+        b = HypergraphBuilder()
+        idx = b.add_node(name="alu")
+        assert b.node_by_name("alu") == idx
+
+    def test_duplicate_name_rejected(self):
+        b = HypergraphBuilder()
+        b.add_node(name="x")
+        with pytest.raises(HypergraphError, match="duplicate"):
+            b.add_node(name="x")
+
+    def test_get_or_add_node(self):
+        b = HypergraphBuilder()
+        first = b.get_or_add_node("x")
+        assert b.get_or_add_node("x") == first
+        assert b.num_nodes == 1
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(HypergraphError, match="negative"):
+            HypergraphBuilder().add_node(weight=-1.0)
+
+
+class TestNets:
+    def test_add_net(self):
+        b = HypergraphBuilder()
+        b.add_nodes(3)
+        assert b.add_net([0, 1]) == 0
+        assert b.add_net([1, 2], cost=2.0) == 1
+        hg = b.build()
+        assert hg.net(0) == (0, 1)
+        assert hg.net_cost(1) == 2.0
+
+    def test_net_pin_out_of_range(self):
+        b = HypergraphBuilder()
+        b.add_nodes(2)
+        with pytest.raises(HypergraphError, match="out of range"):
+            b.add_net([0, 5])
+
+    def test_empty_net_rejected(self):
+        b = HypergraphBuilder()
+        b.add_nodes(2)
+        with pytest.raises(HypergraphError, match="no pins"):
+            b.add_net([])
+
+    def test_duplicate_pin_rejected(self):
+        b = HypergraphBuilder()
+        b.add_nodes(2)
+        with pytest.raises(HypergraphError, match="duplicate"):
+            b.add_net([0, 0])
+
+    def test_negative_cost_rejected(self):
+        b = HypergraphBuilder()
+        b.add_nodes(2)
+        with pytest.raises(HypergraphError, match="negative"):
+            b.add_net([0, 1], cost=-2.0)
+
+    def test_add_net_by_names_creates_nodes(self):
+        b = HypergraphBuilder()
+        b.add_net_by_names(["a", "b"])
+        b.add_net_by_names(["b", "c"])
+        hg = b.build()
+        assert hg.num_nodes == 3
+        assert hg.num_nets == 2
+        assert hg.node_names is not None
+        assert "a" in hg.node_names
+
+
+class TestBuild:
+    def test_docstring_example(self):
+        b = HypergraphBuilder()
+        a, c, d = b.add_node("a"), b.add_node("c"), b.add_node("d")
+        b.add_net([a, c], name="n1")
+        b.add_net([c, d], cost=2.0)
+        hg = b.build()
+        assert (hg.num_nodes, hg.num_nets, hg.num_pins) == (3, 2, 4)
+        assert hg.net_names == ("n1", "net1")
+
+    def test_anonymous_build_has_no_names(self):
+        b = HypergraphBuilder()
+        b.add_nodes(2)
+        b.add_net([0, 1])
+        hg = b.build()
+        assert hg.node_names is None
+        assert hg.net_names is None
+
+    def test_weights_preserved(self):
+        b = HypergraphBuilder()
+        b.add_node(weight=3.0)
+        b.add_node(weight=1.5)
+        b.add_net([0, 1])
+        hg = b.build()
+        assert hg.node_weights == (3.0, 1.5)

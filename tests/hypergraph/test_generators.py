@@ -1,0 +1,154 @@
+"""Unit tests for the synthetic circuit generators."""
+
+import pytest
+
+from repro.hypergraph import (
+    BENCHMARK_NAMES,
+    TABLE1_CHARACTERISTICS,
+    benchmark_suite,
+    compute_stats,
+    hierarchical_circuit,
+    make_benchmark,
+    planted_bisection,
+    random_hypergraph,
+)
+from repro.partition import cut_cost
+
+
+class TestRandomHypergraph:
+    def test_counts(self):
+        hg = random_hypergraph(50, 80, seed=1)
+        assert hg.num_nodes == 50
+        assert hg.num_nets == 80
+
+    def test_deterministic(self):
+        assert random_hypergraph(30, 40, seed=7) == random_hypergraph(
+            30, 40, seed=7
+        )
+
+    def test_different_seeds_differ(self):
+        assert random_hypergraph(30, 40, seed=1) != random_hypergraph(
+            30, 40, seed=2
+        )
+
+    def test_min_nodes(self):
+        with pytest.raises(ValueError):
+            random_hypergraph(1, 5)
+
+    def test_avg_net_size_validated(self):
+        with pytest.raises(ValueError):
+            random_hypergraph(10, 5, avg_net_size=1.5)
+
+    def test_mean_net_size_near_target(self):
+        hg = random_hypergraph(200, 600, avg_net_size=3.5, seed=3)
+        s = compute_stats(hg)
+        assert 2.5 < s.q < 4.5
+
+
+class TestPlantedBisection:
+    def test_planted_cut_is_exact(self):
+        graph, sides, crossing = planted_bisection(30, 80, 4, seed=9)
+        assert cut_cost(graph, sides) == crossing == 4
+
+    def test_balanced(self):
+        graph, sides, _ = planted_bisection(25, 60, 3, seed=2)
+        assert sum(sides) == 25
+
+    def test_shuffle_disabled_keeps_identity_layout(self):
+        graph, sides, _ = planted_bisection(10, 20, 2, seed=0, shuffle=False)
+        assert sides == [0] * 10 + [1] * 10
+
+    def test_too_small_side_rejected(self):
+        with pytest.raises(ValueError):
+            planted_bisection(2, 5, 1, net_size=3)
+
+    def test_crossing_nets_are_two_pin(self):
+        graph, sides, crossing = planted_bisection(20, 30, 5, seed=4)
+        crossing_found = 0
+        for pins in graph.nets:
+            pin_sides = {sides[v] for v in pins}
+            if len(pin_sides) == 2:
+                crossing_found += 1
+                assert len(pins) == 2
+        assert crossing_found == crossing
+
+
+class TestHierarchicalCircuit:
+    def test_exact_counts(self):
+        hg = hierarchical_circuit(500, 520, 1900, seed=1)
+        assert hg.num_nodes == 500
+        assert hg.num_nets == 520
+        assert hg.num_pins == 1900
+
+    def test_deterministic(self):
+        assert hierarchical_circuit(100, 110, 400, seed=5) == (
+            hierarchical_circuit(100, 110, 400, seed=5)
+        )
+
+    def test_locality_validated(self):
+        with pytest.raises(ValueError):
+            hierarchical_circuit(100, 110, 400, locality=1.5)
+
+    def test_min_nodes_validated(self):
+        with pytest.raises(ValueError):
+            hierarchical_circuit(2, 5, 12)
+
+    def test_pins_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchical_circuit(100, 110, 50)
+
+    def test_net_sizes_dominated_by_small_nets(self):
+        hg = hierarchical_circuit(800, 830, 3000, seed=2)
+        hist = hg.degree_histogram()
+        small = sum(c for size, c in hist.items() if size <= 4)
+        assert small / hg.num_nets > 0.8
+
+    def test_clustered_structure_beats_random(self):
+        """The planted hierarchy must make min-cuts far below random cuts,
+        otherwise the generator would not be circuit-like at all."""
+        from repro.baselines import FMPartitioner
+        from repro.partition import random_balanced_sides
+
+        hg = hierarchical_circuit(240, 250, 900, seed=8)
+        random_cut = cut_cost(hg, random_balanced_sides(hg, 0))
+        best = min(
+            FMPartitioner("bucket").partition(hg, seed=s).cut for s in range(5)
+        )
+        assert best < random_cut * 0.55
+
+
+class TestBenchmarkSuite:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_table1_exact_counts(self, name):
+        """Every Table-1 circuit matches the paper to the pin."""
+        stats = compute_stats(make_benchmark(name))
+        n, e, m = TABLE1_CHARACTERISTICS[name]
+        assert stats.num_nodes == n
+        assert stats.num_nets == e
+        assert stats.num_pins == m
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            make_benchmark("nonexistent")
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            make_benchmark("balu", scale=0.0)
+        with pytest.raises(ValueError):
+            make_benchmark("balu", scale=1.5)
+
+    def test_scaled_instance_proportional(self):
+        full = TABLE1_CHARACTERISTICS["p2"]
+        scaled = compute_stats(make_benchmark("p2", scale=0.25))
+        assert scaled.num_nodes == pytest.approx(full[0] * 0.25, rel=0.02)
+        assert scaled.num_nets == pytest.approx(full[1] * 0.25, rel=0.02)
+
+    def test_deterministic_across_calls(self):
+        assert make_benchmark("t5", scale=0.2) == make_benchmark("t5", scale=0.2)
+
+    def test_suite_subset(self):
+        suite = benchmark_suite(scale=0.1, names=["balu", "t6"])
+        assert set(suite) == {"balu", "t6"}
+
+    def test_full_suite_has_16_circuits(self):
+        assert len(BENCHMARK_NAMES) == 16

@@ -1,0 +1,83 @@
+"""Property tests: netlist I/O round-trips for arbitrary hypergraphs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph import io_ as nio
+
+
+@st.composite
+def hypergraphs(draw):
+    """Small random hypergraphs with optional weights and costs."""
+    num_nodes = draw(st.integers(2, 12))
+    num_nets = draw(st.integers(1, 10))
+    nets = []
+    for _ in range(num_nets):
+        size = draw(st.integers(1, min(4, num_nodes)))
+        pins = draw(
+            st.lists(
+                st.integers(0, num_nodes - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        nets.append(pins)
+    weighted = draw(st.booleans())
+    costs = None
+    weights = None
+    if weighted:
+        costs = draw(
+            st.lists(
+                st.integers(1, 9).map(float),
+                min_size=num_nets,
+                max_size=num_nets,
+            )
+        )
+        weights = draw(
+            st.lists(
+                st.integers(1, 5).map(float),
+                min_size=num_nodes,
+                max_size=num_nodes,
+            )
+        )
+    return Hypergraph(
+        nets, num_nodes=num_nodes, net_costs=costs, node_weights=weights
+    )
+
+
+class TestRoundTripProperties:
+    @given(graph=hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_hgr(self, graph, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "g.hgr"
+        nio.write_hgr(graph, path)
+        assert nio.read_hgr(path) == graph
+
+    @given(graph=hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_netlist(self, graph, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "g.net"
+        nio.write_netlist(graph, path)
+        assert nio.read_netlist(path) == graph
+
+    @given(graph=hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_json(self, graph, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "g.json"
+        nio.write_json(graph, path)
+        assert nio.read_json(path) == graph
+
+    @given(graph=hypergraphs())
+    @settings(max_examples=20, deadline=None)
+    def test_cross_format_consistency(self, graph, tmp_path_factory):
+        """All three formats reconstruct the identical object."""
+        tmp = tmp_path_factory.mktemp("io")
+        results = []
+        for ext in (".hgr", ".net", ".json"):
+            path = tmp / f"g{ext}"
+            nio.write(graph, path)
+            results.append(nio.read(path))
+        assert results[0] == results[1] == results[2] == graph

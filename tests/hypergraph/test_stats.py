@@ -1,0 +1,62 @@
+"""Unit tests for hypergraph statistics (paper Sec. 3.5 symbols)."""
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    compute_stats,
+    exact_average_neighbors,
+    hierarchical_circuit,
+)
+
+
+class TestComputeStats:
+    def test_tiny(self, tiny_graph):
+        s = compute_stats(tiny_graph)
+        assert s.n == 6
+        assert s.e == 5
+        assert s.m == 11
+        assert s.p == pytest.approx(11 / 6)
+        assert s.q == pytest.approx(11 / 5)
+        assert s.d == pytest.approx((11 / 6) * (11 / 5 - 1))
+        assert s.max_pins_per_net == 3
+        assert s.max_pins_per_node == 2
+
+    def test_m_equals_pn_and_qe(self, medium_circuit):
+        s = compute_stats(medium_circuit)
+        assert s.p * s.n == pytest.approx(s.m)
+        assert s.q * s.e == pytest.approx(s.m)
+
+    def test_as_table_row(self, tiny_graph):
+        assert compute_stats(tiny_graph).as_table_row() == {
+            "nodes": 6,
+            "nets": 5,
+            "pins": 11,
+        }
+
+    def test_empty_graph(self):
+        s = compute_stats(Hypergraph([], num_nodes=4))
+        assert s.m == 0
+        assert s.p == 0.0
+        assert s.q == 0.0
+        assert s.d == 0.0
+
+
+class TestExactNeighbors:
+    def test_tiny(self, tiny_graph):
+        # neighbor counts: 0:1, 1:2, 2:3, 3:3, 4:2, 5:3 -> mean 14/6
+        assert exact_average_neighbors(tiny_graph) == pytest.approx(14 / 6)
+
+    def test_empty(self):
+        assert exact_average_neighbors(Hypergraph([], num_nodes=0)) == 0.0
+
+    def test_paper_estimate_same_order_on_circuits(self):
+        """d = p(q-1) is an amortized estimate; it deviates from the exact
+        mean neighbor count in both directions (shared nets reduce it,
+        net-size variance inflates it) but must stay the same order of
+        magnitude on circuit-like instances for the Sec. 3.5 complexity
+        arguments to apply."""
+        graph = hierarchical_circuit(300, 320, 1150, seed=3)
+        s = compute_stats(graph)
+        exact = exact_average_neighbors(graph)
+        assert s.d * 0.3 <= exact <= s.d * 3.0

@@ -1,0 +1,139 @@
+"""Tests for the structured topology generators — with analytic optima."""
+
+import pytest
+
+from repro.core import PropPartitioner
+from repro.hypergraph import (
+    butterfly_circuit,
+    mesh_circuit,
+    ring_circuit,
+    star_circuit,
+    torus_circuit,
+    tree_circuit,
+)
+from repro.multirun import run_many
+from repro.partition import BalanceConstraint, cut_cost
+
+
+class TestMesh:
+    def test_counts(self):
+        mesh = mesh_circuit(4, 3)
+        assert mesh.num_nodes == 12
+        # edges: 3*3 horizontal + 4*2 vertical = 17
+        assert mesh.num_nets == 17
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mesh_circuit(0, 3)
+
+    def test_single_row(self):
+        chain = mesh_circuit(5, 1)
+        assert chain.num_nets == 4
+
+    def test_optimal_bisection_is_short_axis(self):
+        """An 8x4 mesh bisects with cut 4 (vertical cut down the middle)."""
+        mesh = mesh_circuit(8, 4)
+        best = run_many(PropPartitioner(), mesh, runs=5).best_cut
+        assert best == 4.0
+
+    def test_known_split_cut(self):
+        mesh = mesh_circuit(6, 4)
+        sides = [0 if (v % 6) < 3 else 1 for v in range(24)]
+        assert cut_cost(mesh, sides) == 4.0
+
+
+class TestTorus:
+    def test_wrap_edges_added(self):
+        assert torus_circuit(4, 4).num_nets == mesh_circuit(4, 4).num_nets + 8
+
+    def test_small_dims_no_duplicate_wraps(self):
+        # width 2: no horizontal wrap (would duplicate)
+        torus = torus_circuit(2, 4)
+        assert torus.num_nets == mesh_circuit(2, 4).num_nets + 2
+
+    def test_bisection_doubles_mesh(self):
+        torus = torus_circuit(8, 4)
+        best = run_many(PropPartitioner(), torus, runs=6).best_cut
+        assert best == 8.0  # two vertical cuts of height 4
+
+
+class TestRing:
+    def test_counts(self):
+        ring = ring_circuit(10)
+        assert ring.num_nodes == 10
+        assert ring.num_nets == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_circuit(2)
+
+    def test_optimal_bisection_is_two(self):
+        ring = ring_circuit(40)
+        best = run_many(PropPartitioner(), ring, runs=5).best_cut
+        assert best == 2.0
+
+
+class TestTree:
+    def test_counts_binary(self):
+        tree = tree_circuit(3)  # 15 nodes, 14 edges
+        assert tree.num_nodes == 15
+        assert tree.num_nets == 14
+
+    def test_counts_ternary(self):
+        tree = tree_circuit(2, fanout=3)  # 1 + 3 + 9 = 13 nodes
+        assert tree.num_nodes == 13
+        assert tree.num_nets == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tree_circuit(0)
+        with pytest.raises(ValueError):
+            tree_circuit(2, fanout=1)
+
+    def test_near_optimal_bisection(self):
+        """A 63-node binary tree bisects with a very small cut (cutting
+        near the root isolates a subtree of ~half the nodes)."""
+        tree = tree_circuit(5)
+        balance = BalanceConstraint.from_fractions(tree, 0.45, 0.55)
+        best = run_many(
+            PropPartitioner(), tree, runs=5, balance=balance
+        ).best_cut
+        assert best <= 3.0
+
+
+class TestStar:
+    def test_spokes_model(self):
+        star = star_circuit(8)
+        assert star.num_nets == 8
+        # any balanced bisection cuts at least ~half the spokes
+        sides = [0] * 5 + [1] * 4
+        assert cut_cost(star, sides) >= 4.0
+
+    def test_single_net_model(self):
+        """The same topology as ONE hyperedge can only contribute 1 to any
+        cut — the hypergraph-vs-clique modelling point."""
+        star = star_circuit(8, as_single_net=True)
+        assert star.num_nets == 1
+        sides = [0] * 5 + [1] * 4
+        assert cut_cost(star, sides) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            star_circuit(0)
+
+
+class TestButterfly:
+    def test_counts(self):
+        bf = butterfly_circuit(3)  # 4 stages x 8 rows
+        assert bf.num_nodes == 32
+        assert bf.num_nets == 3 * 8 * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            butterfly_circuit(0)
+
+    def test_partitionable(self):
+        bf = butterfly_circuit(3)
+        result = PropPartitioner().partition(bf, seed=0)
+        result.verify(bf)
+        assert result.cut < bf.num_nets / 2

@@ -1,0 +1,123 @@
+"""Unit tests for contraction, induced subhypergraphs, net filtering."""
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    HypergraphError,
+    contract,
+    induced_subhypergraph,
+    remove_large_nets,
+)
+from repro.partition import cut_cost
+
+
+class TestContract:
+    def test_basic(self, tiny_graph):
+        # clusters: {0,1,2} and {3,4,5}; only the 3-pin net crosses
+        c = contract(tiny_graph, [0, 0, 0, 1, 1, 1])
+        assert c.coarse.num_nodes == 2
+        assert c.coarse.num_nets == 1
+        assert c.coarse.net(0) == (0, 1)
+
+    def test_weights_summed(self, tiny_graph):
+        c = contract(tiny_graph, [0, 0, 0, 1, 1, 1])
+        assert c.coarse.node_weights == (3.0, 3.0)
+
+    def test_merged_nets_accumulate_cost(self):
+        hg = Hypergraph([[0, 2], [1, 3], [0, 1]])
+        c = contract(hg, [0, 0, 1, 1])
+        # nets {0,2} and {1,3} both become coarse net {0,1}: cost 2
+        assert c.coarse.num_nets == 1
+        assert c.coarse.net_cost(0) == 2.0
+
+    def test_internal_nets_dropped(self):
+        hg = Hypergraph([[0, 1], [2, 3]])
+        c = contract(hg, [0, 0, 1, 1])
+        assert c.coarse.num_nets == 0
+
+    def test_cut_preserved_under_projection(self, medium_circuit):
+        """Cut of a coarse partition equals cut of its projection."""
+        k = 10
+        cluster_of = [v % k for v in range(medium_circuit.num_nodes)]
+        c = contract(medium_circuit, cluster_of)
+        coarse_sides = [i % 2 for i in range(k)]
+        fine_sides = c.project_sides(coarse_sides)
+        assert cut_cost(c.coarse, coarse_sides) == pytest.approx(
+            cut_cost(medium_circuit, fine_sides)
+        )
+
+    def test_members_inverse_of_cluster_of(self, tiny_graph):
+        c = contract(tiny_graph, [0, 1, 0, 1, 0, 1])
+        for cluster, members in enumerate(c.members):
+            for v in members:
+                assert c.cluster_of[v] == cluster
+
+    def test_length_mismatch(self, tiny_graph):
+        with pytest.raises(HypergraphError, match="length"):
+            contract(tiny_graph, [0, 1])
+
+    def test_non_contiguous_ids(self, tiny_graph):
+        with pytest.raises(HypergraphError, match="contiguous"):
+            contract(tiny_graph, [0, 0, 0, 2, 2, 2])
+
+    def test_negative_ids(self, tiny_graph):
+        with pytest.raises(HypergraphError, match="negative"):
+            contract(tiny_graph, [0, 0, 0, -1, 1, 1])
+
+    def test_project_sides_length_check(self, tiny_graph):
+        c = contract(tiny_graph, [0, 0, 0, 1, 1, 1])
+        with pytest.raises(ValueError, match="coarse sides"):
+            c.project_sides([0])
+
+
+class TestInducedSubhypergraph:
+    def test_basic(self, tiny_graph):
+        sub = induced_subhypergraph(tiny_graph, [0, 1, 2])
+        assert sub.graph.num_nodes == 3
+        # nets {0,1} and {1,2} survive; {2,3,5} restricts to 1 pin -> dropped
+        assert sub.graph.num_nets == 2
+
+    def test_maps_are_consistent(self, tiny_graph):
+        sub = induced_subhypergraph(tiny_graph, [3, 4, 5])
+        for local, parent in enumerate(sub.to_parent):
+            assert sub.from_parent[parent] == local
+
+    def test_keep_dangling(self, tiny_graph):
+        sub = induced_subhypergraph(tiny_graph, [0, 1, 2], keep_dangling=True)
+        # crossing net {2,3,5} keeps its 1-pin restriction
+        assert sub.graph.num_nets == 3
+
+    def test_weights_carried(self):
+        hg = Hypergraph([[0, 1], [1, 2]], node_weights=[1.0, 2.0, 3.0])
+        sub = induced_subhypergraph(hg, [1, 2])
+        assert sub.graph.node_weights == (2.0, 3.0)
+
+    def test_empty_rejected(self, tiny_graph):
+        with pytest.raises(HypergraphError, match="empty"):
+            induced_subhypergraph(tiny_graph, [])
+
+    def test_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(HypergraphError, match="out of range"):
+            induced_subhypergraph(tiny_graph, [0, 99])
+
+    def test_duplicates_deduped(self, tiny_graph):
+        sub = induced_subhypergraph(tiny_graph, [0, 0, 1])
+        assert sub.graph.num_nodes == 2
+
+
+class TestRemoveLargeNets:
+    def test_filters(self, tiny_graph):
+        filtered = remove_large_nets(tiny_graph, 2)
+        assert filtered.num_nets == 4
+        assert all(filtered.net_size(i) <= 2 for i in range(4))
+
+    def test_noop_when_all_small(self, tiny_graph):
+        assert remove_large_nets(tiny_graph, 10).num_nets == 5
+
+    def test_min_size_validated(self, tiny_graph):
+        with pytest.raises(ValueError):
+            remove_large_nets(tiny_graph, 1)
+
+    def test_node_count_preserved(self, tiny_graph):
+        assert remove_large_nets(tiny_graph, 2).num_nodes == 6

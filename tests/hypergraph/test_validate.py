@@ -1,0 +1,99 @@
+"""Tests for netlist linting and connectivity analysis."""
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    connected_components,
+    hierarchical_circuit,
+    is_connected,
+    lint,
+    mesh_circuit,
+    ring_circuit,
+)
+
+
+class TestConnectivity:
+    def test_connected_chain(self):
+        chain = Hypergraph([[0, 1], [1, 2], [2, 3]])
+        assert is_connected(chain)
+        assert connected_components(chain) == [[0, 1, 2, 3]]
+
+    def test_two_components(self):
+        hg = Hypergraph([[0, 1], [2, 3], [3, 4]], num_nodes=5)
+        comps = connected_components(hg)
+        assert len(comps) == 2
+        assert comps[0] == [2, 3, 4]  # larger first
+        assert comps[1] == [0, 1]
+        assert not is_connected(hg)
+
+    def test_isolated_nodes_are_singletons(self):
+        hg = Hypergraph([[0, 1]], num_nodes=4)
+        comps = connected_components(hg)
+        assert [0, 1] in comps
+        assert [2] in comps and [3] in comps
+
+    def test_hyperedge_connects_all_pins(self):
+        hg = Hypergraph([[0, 1, 2, 3, 4]])
+        assert is_connected(hg)
+
+    def test_empty_and_single(self):
+        assert is_connected(Hypergraph([], num_nodes=0))
+        assert is_connected(Hypergraph([], num_nodes=1))
+
+    def test_generated_circuits_mostly_connected(self):
+        graph = hierarchical_circuit(200, 215, 780, seed=2)
+        comps = connected_components(graph)
+        assert len(comps[0]) > graph.num_nodes * 0.9
+
+
+class TestLint:
+    def test_clean_mesh(self):
+        report = lint(mesh_circuit(6, 6))
+        assert report.clean
+        assert "clean" in report.summary()
+
+    def test_disconnected_flagged(self):
+        hg = Hypergraph([[0, 1], [2, 3]], num_nodes=4)
+        report = lint(hg)
+        assert report.num_components == 2
+        assert not report.clean
+        assert "disconnected" in report.summary()
+
+    def test_isolated_nodes(self):
+        hg = Hypergraph([[0, 1]], num_nodes=3)
+        report = lint(hg)
+        assert report.isolated_nodes == [2]
+
+    def test_single_pin_nets(self):
+        hg = Hypergraph([[0], [0, 1]])
+        report = lint(hg)
+        assert report.single_pin_nets == [0]
+
+    def test_duplicate_nets(self):
+        hg = Hypergraph([[0, 1], [1, 0], [1, 2]])
+        report = lint(hg)
+        assert report.duplicate_net_groups == [[0, 1]]
+
+    def test_huge_nets(self):
+        hg = Hypergraph([list(range(30)), [0, 1]], num_nodes=30)
+        report = lint(hg, huge_net_fraction=0.5)
+        assert report.huge_nets == [0]
+
+    def test_zero_cost_nets(self):
+        hg = Hypergraph([[0, 1], [1, 2]], net_costs=[0.0, 1.0])
+        report = lint(hg)
+        assert report.zero_cost_nets == [0]
+        # zero-cost alone doesn't make a netlist dirty
+        assert lint(ring_circuit(6)).clean
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            lint(mesh_circuit(3, 3), huge_net_fraction=0.0)
+
+    def test_summary_mentions_findings(self):
+        hg = Hypergraph([[0], [0, 1], [1, 0]], num_nodes=3)
+        text = lint(hg).summary()
+        assert "single-pin" in text
+        assert "duplicate" in text
+        assert "isolated" in text

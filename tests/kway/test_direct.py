@@ -1,0 +1,126 @@
+"""Tests for the direct k-way FM partitioner."""
+
+import pytest
+
+from repro.hypergraph import hierarchical_circuit, planted_bisection
+from repro.kway import (
+    KWayFMPartitioner,
+    kway_cut,
+    pairwise_refine,
+    recursive_bisection,
+)
+
+
+@pytest.fixture
+def circuit():
+    return hierarchical_circuit(180, 195, 700, seed=9)
+
+
+class TestValidation:
+    def test_params(self):
+        with pytest.raises(ValueError):
+            KWayFMPartitioner(k=1)
+        with pytest.raises(ValueError):
+            KWayFMPartitioner(k=3, balance_tolerance=0.0)
+        with pytest.raises(ValueError):
+            KWayFMPartitioner(k=3, max_passes=0)
+
+    def test_k_exceeds_nodes(self):
+        from repro.hypergraph import Hypergraph
+
+        tiny = Hypergraph([[0, 1]], num_nodes=2)
+        with pytest.raises(ValueError, match="exceeds"):
+            KWayFMPartitioner(k=5).partition(tiny)
+
+    def test_name(self):
+        assert KWayFMPartitioner(4).name == "KFM-4"
+
+
+class TestQuality:
+    def test_improves_round_robin(self, circuit):
+        """Round-robin assignment is terrible; one direct k-FM run must
+        recover most of the cut."""
+        bad = [v % 4 for v in range(circuit.num_nodes)]
+        bad_cut = kway_cut(circuit, bad)
+        result = KWayFMPartitioner(4).partition(
+            circuit, initial_assignment=bad
+        )
+        assert result.cut < bad_cut * 0.8
+        assert result.cut == kway_cut(circuit, result.assignment)
+
+    def test_k2_matches_planted(self):
+        graph, _, crossing = planted_bisection(40, 100, 4, seed=3)
+        best = min(
+            KWayFMPartitioner(2).partition(graph, seed=s).cut
+            for s in range(3)
+        )
+        assert best <= crossing + 3
+
+    def test_competitive_with_recursive(self, circuit):
+        """Direct k-FM must land in the same quality band as recursive
+        bisection + pairwise refinement at k=4."""
+        direct = min(
+            KWayFMPartitioner(4).partition(circuit, seed=s).cut
+            for s in range(3)
+        )
+        recursive = recursive_bisection(circuit, 4, seed=0)
+        refined, _ = pairwise_refine(
+            circuit, recursive.assignment, 4, seed=0
+        )
+        refined_cut = kway_cut(circuit, refined)
+        assert direct <= refined_cut * 1.35
+
+    def test_balance(self, circuit):
+        result = KWayFMPartitioner(4, balance_tolerance=0.15).partition(
+            circuit, seed=0
+        )
+        mean = circuit.num_nodes / 4
+        for w in result.part_weights:
+            assert mean * 0.7 <= w <= mean * 1.3
+
+    def test_all_parts_used(self, circuit):
+        result = KWayFMPartitioner(5).partition(circuit, seed=1)
+        assert set(result.assignment) == set(range(5))
+
+    def test_deterministic(self, circuit):
+        a = KWayFMPartitioner(3).partition(circuit, seed=2)
+        b = KWayFMPartitioner(3).partition(circuit, seed=2)
+        assert a.assignment == b.assignment
+
+    def test_never_worsens_initial(self, circuit):
+        for seed in range(3):
+            initial = KWayFMPartitioner(4)._random_assignment(circuit, seed)
+            before = kway_cut(circuit, initial)
+            result = KWayFMPartitioner(4).partition(
+                circuit, initial_assignment=initial
+            )
+            assert result.cut <= before
+
+
+class TestStateInternals:
+    def test_move_gain_matches_recount(self, circuit):
+        from repro.kway.direct import _KWayState
+
+        state = _KWayState(
+            circuit, [v % 3 for v in range(circuit.num_nodes)], 3
+        )
+        for node in range(0, circuit.num_nodes, 13):
+            for target in range(3):
+                if target == state.assignment[node]:
+                    continue
+                predicted = state.move_gain(node, target)
+                before = kway_cut(circuit, state.assignment)
+                trial = list(state.assignment)
+                trial[node] = target
+                after = kway_cut(circuit, trial)
+                assert predicted == pytest.approx(before - after)
+
+    def test_incremental_cut_tracking(self, circuit):
+        from repro.kway.direct import _KWayState
+
+        state = _KWayState(
+            circuit, [v % 3 for v in range(circuit.num_nodes)], 3
+        )
+        state.move(0, (state.assignment[0] + 1) % 3)
+        state.move(7, (state.assignment[7] + 2) % 3)
+        assert state.cut == pytest.approx(kway_cut(circuit, state.assignment))

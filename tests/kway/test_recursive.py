@@ -1,0 +1,73 @@
+"""Tests for recursive k-way partitioning."""
+
+import pytest
+
+from repro.baselines import FMPartitioner
+from repro.hypergraph import hierarchical_circuit
+from repro.kway import kway_cut, recursive_bisection
+
+
+class TestKWayCut:
+    def test_counts_spanning_nets(self, tiny_graph):
+        # parts: {0,1} {2,3} {4,5}: nets {1,2}, {3,4}, {2,3,5} span
+        assert kway_cut(tiny_graph, [0, 0, 1, 1, 2, 2]) == 3.0
+
+    def test_single_part_zero(self, tiny_graph):
+        assert kway_cut(tiny_graph, [0] * 6) == 0.0
+
+
+class TestRecursiveBisection:
+    def test_k_equals_2_matches_bipartition(self, medium_circuit):
+        result = recursive_bisection(medium_circuit, 2, seed=0)
+        assert result.k == 2
+        assert set(result.assignment) == {0, 1}
+        assert result.cut == kway_cut(medium_circuit, result.assignment)
+
+    def test_k4_parts_and_balance(self, medium_circuit):
+        result = recursive_bisection(medium_circuit, 4, seed=0)
+        assert set(result.assignment) == {0, 1, 2, 3}
+        assert result.balance_spread() < 0.5
+        n = medium_circuit.num_nodes
+        for w in result.part_weights:
+            assert n / 4 * 0.6 <= w <= n / 4 * 1.4
+
+    def test_k3_non_power_of_two(self, medium_circuit):
+        result = recursive_bisection(medium_circuit, 3, seed=1)
+        assert set(result.assignment) == {0, 1, 2}
+        assert result.balance_spread() < 0.6
+
+    def test_k1_trivial(self, medium_circuit):
+        result = recursive_bisection(medium_circuit, 1, seed=0)
+        assert result.cut == 0.0
+        assert set(result.assignment) == {0}
+
+    def test_k_validated(self, medium_circuit):
+        with pytest.raises(ValueError):
+            recursive_bisection(medium_circuit, 0)
+        with pytest.raises(ValueError):
+            recursive_bisection(medium_circuit, medium_circuit.num_nodes + 1)
+
+    def test_custom_partitioner(self, medium_circuit):
+        result = recursive_bisection(
+            medium_circuit, 4, partitioner=FMPartitioner("bucket"), seed=0
+        )
+        assert set(result.assignment) == {0, 1, 2, 3}
+
+    def test_more_parts_cut_more_nets(self, medium_circuit):
+        """Monotonicity sanity: k=8 cut >= k=2 cut on the same circuit."""
+        c2 = recursive_bisection(medium_circuit, 2, seed=0).cut
+        c8 = recursive_bisection(medium_circuit, 8, seed=0).cut
+        assert c8 >= c2
+
+    def test_runs_per_split_improves_or_ties(self):
+        graph = hierarchical_circuit(120, 130, 470, seed=2)
+        single = recursive_bisection(graph, 4, seed=3, runs_per_split=1)
+        multi = recursive_bisection(graph, 4, seed=3, runs_per_split=3)
+        assert multi.cut <= single.cut * 1.2  # usually better, never awful
+
+    def test_part_nodes_partition_everything(self, medium_circuit):
+        result = recursive_bisection(medium_circuit, 4, seed=0)
+        seen = []
+        for part in range(4):
+            seen.extend(result.part_nodes(part))
+        assert sorted(seen) == list(range(medium_circuit.num_nodes))

@@ -1,0 +1,109 @@
+"""Tests for pairwise k-way refinement."""
+
+import pytest
+
+from repro.baselines import FMPartitioner
+from repro.hypergraph import hierarchical_circuit
+from repro.kway import (
+    kway_cut,
+    pair_cut_costs,
+    pairwise_refine,
+    recursive_bisection,
+    refine_kway_result,
+)
+
+
+@pytest.fixture
+def circuit():
+    return hierarchical_circuit(240, 255, 920, seed=8)
+
+
+class TestPairCutCosts:
+    def test_tiny(self, tiny_graph):
+        costs = pair_cut_costs(tiny_graph, [0, 0, 1, 1, 2, 2])
+        # nets: {1,2} spans (0,1); {3,4} spans (1,2); {2,3,5} spans (1,2)
+        assert costs == {(0, 1): 1.0, (1, 2): 2.0}
+
+    def test_uncut_graph(self, tiny_graph):
+        assert pair_cut_costs(tiny_graph, [0] * 6) == {}
+
+    def test_three_part_net_charged_to_all_pairs(self):
+        from repro.hypergraph import Hypergraph
+
+        hg = Hypergraph([[0, 1, 2]])
+        costs = pair_cut_costs(hg, [0, 1, 2])
+        assert costs == {(0, 1): 1.0, (0, 2): 1.0, (1, 2): 1.0}
+
+
+class TestPairwiseRefine:
+    def test_never_worsens(self, circuit):
+        base = recursive_bisection(circuit, 4, seed=0)
+        refined, report = pairwise_refine(
+            circuit, base.assignment, 4, seed=1
+        )
+        assert report.final_cut <= report.initial_cut
+        assert kway_cut(circuit, refined) == report.final_cut
+
+    def test_improves_bad_assignment(self, circuit):
+        """A round-robin assignment is terrible; refinement must recover a
+        large fraction of the gap to recursive bisection."""
+        bad = [v % 4 for v in range(circuit.num_nodes)]
+        bad_cut = kway_cut(circuit, bad)
+        refined, report = pairwise_refine(circuit, bad, 4, seed=0)
+        assert report.final_cut < bad_cut * 0.8
+        assert report.pair_improvements > 0
+
+    def test_input_not_mutated(self, circuit):
+        base = recursive_bisection(circuit, 3, seed=0)
+        snapshot = list(base.assignment)
+        pairwise_refine(circuit, base.assignment, 3, seed=0)
+        assert base.assignment == snapshot
+
+    def test_part_count_preserved(self, circuit):
+        base = recursive_bisection(circuit, 4, seed=0)
+        refined, _ = pairwise_refine(circuit, base.assignment, 4, seed=0)
+        assert set(refined) <= set(range(4))
+
+    def test_balance_does_not_collapse(self, circuit):
+        base = recursive_bisection(circuit, 4, seed=0)
+        refined, _ = pairwise_refine(
+            circuit, base.assignment, 4, balance_tolerance=0.1, seed=0
+        )
+        weights = [refined.count(part) for part in range(4)]
+        mean = sum(weights) / 4
+        assert min(weights) > mean * 0.5
+
+    def test_validation(self, circuit):
+        with pytest.raises(ValueError):
+            pairwise_refine(circuit, [0] * circuit.num_nodes, 1)
+        with pytest.raises(ValueError):
+            pairwise_refine(circuit, [0, 1], 2)  # wrong length
+        with pytest.raises(ValueError):
+            pairwise_refine(circuit, [5] * circuit.num_nodes, 2)
+        with pytest.raises(ValueError):
+            pairwise_refine(
+                circuit, [0] * circuit.num_nodes, 2, max_rounds=0
+            )
+
+    def test_fm_as_engine(self, circuit):
+        base = recursive_bisection(
+            circuit, 4, partitioner=FMPartitioner("bucket"), seed=0
+        )
+        refined, report = pairwise_refine(
+            circuit, base.assignment, 4,
+            partitioner=FMPartitioner("bucket"), seed=0,
+        )
+        assert report.final_cut <= report.initial_cut
+
+
+class TestRefineKWayResult:
+    def test_wrapper(self, circuit):
+        base = recursive_bisection(circuit, 4, seed=0)
+        refined, report = refine_kway_result(circuit, base, seed=1)
+        assert refined.k == 4
+        assert refined.cut <= base.cut
+        assert refined.cut == report.final_cut
+        assert sum(refined.part_weights) == pytest.approx(
+            circuit.total_node_weight
+        )
+        assert report.improvement >= 0

@@ -1,0 +1,120 @@
+"""Tests for heavy-edge matching and the coarsening hierarchy."""
+
+import pytest
+
+from repro.hypergraph import Hypergraph, hierarchical_circuit
+from repro.multilevel import (
+    coarsen_once,
+    coarsen_to,
+    connectivity_weights,
+    heavy_edge_matching,
+)
+
+
+@pytest.fixture
+def circuit():
+    return hierarchical_circuit(300, 320, 1150, seed=4)
+
+
+class TestConnectivityWeights:
+    def test_two_pin_net(self):
+        hg = Hypergraph([[0, 1]])
+        w = connectivity_weights(hg)
+        assert w[0] == {1: 1.0}
+        assert w[1] == {0: 1.0}
+
+    def test_shared_nets_accumulate(self):
+        hg = Hypergraph([[0, 1], [0, 1, 2]])
+        w = connectivity_weights(hg)
+        assert w[0][1] == pytest.approx(1.0 + 0.5)
+
+    def test_symmetry(self, circuit):
+        w = connectivity_weights(circuit)
+        for u in range(0, circuit.num_nodes, 17):
+            for v, weight in w[u].items():
+                assert w[v][u] == pytest.approx(weight)
+
+    def test_large_nets_skipped(self):
+        hg = Hypergraph([list(range(50))])
+        w = connectivity_weights(hg, max_net_size=40)
+        assert all(not entry for entry in w)
+
+
+class TestHeavyEdgeMatching:
+    def test_contiguous_cluster_ids(self, circuit):
+        cluster_of = heavy_edge_matching(circuit, seed=1)
+        k = max(cluster_of) + 1
+        assert set(cluster_of) == set(range(k))
+
+    def test_clusters_of_at_most_two(self, circuit):
+        cluster_of = heavy_edge_matching(circuit, seed=1)
+        sizes = {}
+        for c in cluster_of:
+            sizes[c] = sizes.get(c, 0) + 1
+        assert max(sizes.values()) <= 2
+
+    def test_matched_pairs_are_connected(self, circuit):
+        cluster_of = heavy_edge_matching(circuit, seed=2)
+        members = {}
+        for v, c in enumerate(cluster_of):
+            members.setdefault(c, []).append(v)
+        affinity = connectivity_weights(circuit)
+        for pair in members.values():
+            if len(pair) == 2:
+                u, v = pair
+                assert v in affinity[u], "matched pair shares no net"
+
+    def test_weight_guard(self):
+        hg = Hypergraph([[0, 1]], node_weights=[10.0, 10.0])
+        cluster_of = heavy_edge_matching(hg, max_cluster_weight=15.0)
+        assert cluster_of[0] != cluster_of[1]
+
+    def test_deterministic(self, circuit):
+        assert heavy_edge_matching(circuit, seed=5) == heavy_edge_matching(
+            circuit, seed=5
+        )
+
+    def test_empty_graph(self):
+        assert heavy_edge_matching(Hypergraph([], num_nodes=0)) == []
+
+
+class TestCoarsenHierarchy:
+    def test_single_level_shrinks(self, circuit):
+        contraction = coarsen_once(circuit, seed=1)
+        assert contraction.coarse.num_nodes < circuit.num_nodes
+        assert contraction.coarse.num_nodes >= circuit.num_nodes // 2
+
+    def test_weight_conserved_through_levels(self, circuit):
+        levels = coarsen_to(circuit, target_nodes=60, seed=1)
+        assert levels, "expected at least one level"
+        for contraction in levels:
+            assert contraction.coarse.total_node_weight == pytest.approx(
+                circuit.total_node_weight
+            )
+
+    def test_reaches_target_or_stalls(self, circuit):
+        levels = coarsen_to(circuit, target_nodes=60, seed=1)
+        coarsest = levels[-1].coarse
+        # either at/below target, or the last level stalled near it
+        assert coarsest.num_nodes <= max(60, circuit.num_nodes * 0.9)
+
+    def test_small_input_no_levels(self):
+        hg = Hypergraph([[0, 1]], num_nodes=10)
+        assert coarsen_to(hg, target_nodes=80) == []
+
+    def test_target_validated(self, circuit):
+        with pytest.raises(ValueError):
+            coarsen_to(circuit, target_nodes=1)
+
+    def test_projection_chain_preserves_cut(self, circuit):
+        """A cut computed on any level equals the cut of its projection
+        all the way down — the invariant multilevel methods rest on."""
+        from repro.partition import cut_cost, random_balanced_sides
+
+        levels = coarsen_to(circuit, target_nodes=60, seed=1)
+        coarsest = levels[-1].coarse
+        sides = random_balanced_sides(coarsest, 3)
+        coarse_cut = cut_cost(coarsest, sides)
+        for contraction in reversed(levels):
+            sides = contraction.project_sides(sides)
+        assert cut_cost(circuit, sides) == pytest.approx(coarse_cut)

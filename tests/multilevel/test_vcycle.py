@@ -1,0 +1,106 @@
+"""Tests for the multilevel V-cycle partitioner."""
+
+import pytest
+
+from repro.baselines import FMPartitioner
+from repro.core import PropPartitioner
+from repro.hypergraph import hierarchical_circuit
+from repro.multilevel import MultilevelPartitioner
+from repro.multirun import run_many
+from repro.partition import (
+    BalanceConstraint,
+    balance_ratio,
+    cut_cost,
+    random_balanced_sides,
+)
+
+
+@pytest.fixture
+def circuit():
+    return hierarchical_circuit(420, 445, 1610, seed=6)
+
+
+class TestValidation:
+    def test_params(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(coarsest_nodes=1)
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(coarsest_runs=0)
+
+    def test_name(self):
+        assert MultilevelPartitioner().name == "ML-PROP"
+
+
+class TestQuality:
+    def test_beats_random(self, circuit):
+        floor = cut_cost(circuit, random_balanced_sides(circuit, 0))
+        result = MultilevelPartitioner().partition(circuit, seed=0)
+        assert result.cut < floor * 0.5
+        result.verify(circuit)
+
+    def test_finds_planted_optimum(self, planted):
+        graph, _, crossing = planted
+        result = MultilevelPartitioner().partition(graph, seed=0)
+        assert result.cut <= crossing + 2
+
+    def test_competitive_with_flat_prop(self, circuit):
+        """The V-cycle must match or beat flat PROP at equal restarts —
+        the whole argument for multilevel."""
+        flat = run_many(PropPartitioner(), circuit, runs=3).best_cut
+        ml = run_many(MultilevelPartitioner(), circuit, runs=3).best_cut
+        assert ml <= flat * 1.1
+
+    def test_balance_respected(self, circuit):
+        result = MultilevelPartitioner().partition(circuit, seed=1)
+        assert balance_ratio(circuit, result.sides) <= 0.5 + (
+            2.0 / circuit.num_nodes
+        )
+
+    def test_4555_balance(self, circuit):
+        balance = BalanceConstraint.forty_five_fifty_five(circuit)
+        result = MultilevelPartitioner().partition(
+            circuit, balance=balance, seed=1
+        )
+        assert balance_ratio(circuit, result.sides) <= 0.55 + 1e-9
+
+    def test_stats_recorded(self, circuit):
+        result = MultilevelPartitioner().partition(circuit, seed=0)
+        assert result.stats["levels"] >= 1
+        assert result.stats["coarsest_nodes"] <= 100
+
+    def test_deterministic(self, circuit):
+        a = MultilevelPartitioner().partition(circuit, seed=4)
+        b = MultilevelPartitioner().partition(circuit, seed=4)
+        assert a.sides == b.sides
+
+    def test_fm_refiner(self, circuit):
+        # FM-tree: contracted levels merge nets into non-unit costs, which
+        # the bucket variant correctly refuses.
+        result = MultilevelPartitioner(
+            refiner=FMPartitioner("tree")
+        ).partition(circuit, seed=0)
+        result.verify(circuit)
+
+    def test_fm_bucket_refiner_rejected_by_weighted_levels(self, circuit):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="unit net costs"):
+            MultilevelPartitioner(
+                refiner=FMPartitioner("bucket")
+            ).partition(circuit, seed=0)
+
+    def test_initial_sides_bypass(self, circuit):
+        initial = random_balanced_sides(circuit, 7)
+        result = MultilevelPartitioner().partition(
+            circuit, initial_sides=initial
+        )
+        assert result.cut <= cut_cost(circuit, initial)
+        assert result.algorithm == "ML-PROP"
+
+    def test_small_graph_no_hierarchy(self):
+        small = hierarchical_circuit(50, 55, 200, seed=1)
+        result = MultilevelPartitioner(coarsest_nodes=80).partition(
+            small, seed=0
+        )
+        result.verify(small)
+        assert result.stats["levels"] == 0

@@ -1,0 +1,77 @@
+"""Tests for the multi-start protocol."""
+
+import pytest
+
+from repro.baselines import FMPartitioner
+from repro.core import PropPartitioner
+from repro.multirun import PAPER_RUN_COUNTS, run_many
+
+
+class TestRunMany:
+    def test_best_of_n_never_worse_than_single(self, medium_circuit):
+        single = FMPartitioner("bucket").partition(medium_circuit, seed=0)
+        multi = run_many(FMPartitioner("bucket"), medium_circuit, runs=5)
+        assert multi.best_cut <= single.cut
+
+    def test_cuts_recorded_per_run(self, medium_circuit):
+        outcome = run_many(FMPartitioner("bucket"), medium_circuit, runs=4)
+        assert len(outcome.cuts) == 4
+        assert outcome.best_cut == min(outcome.cuts)
+        assert outcome.worst_cut == max(outcome.cuts)
+        assert outcome.mean_cut == pytest.approx(sum(outcome.cuts) / 4)
+
+    def test_sequential_seeds_replayable(self, medium_circuit):
+        outcome = run_many(
+            PropPartitioner(), medium_circuit, runs=3, base_seed=100
+        )
+        # replay the winning run in isolation
+        replay = PropPartitioner().partition(
+            medium_circuit, seed=outcome.best.seed
+        )
+        assert replay.cut == outcome.best_cut
+
+    def test_runs_validated(self, medium_circuit):
+        with pytest.raises(ValueError):
+            run_many(FMPartitioner("bucket"), medium_circuit, runs=0)
+
+    def test_timing_captured(self, medium_circuit):
+        outcome = run_many(FMPartitioner("bucket"), medium_circuit, runs=2)
+        assert outcome.total_seconds > 0
+        assert outcome.seconds_per_run == pytest.approx(
+            outcome.total_seconds / 2
+        )
+
+    def test_empty_result_properties_raise(self):
+        from repro.multirun import MultiRunResult
+
+        empty = MultiRunResult(algorithm="X", circuit="c", runs=0)
+        with pytest.raises(ValueError):
+            empty.best_cut
+        with pytest.raises(ValueError):
+            empty.mean_cut
+        with pytest.raises(ValueError):
+            empty.worst_cut
+        with pytest.raises(ValueError):
+            empty.seconds_per_run
+
+    def test_circuit_name_recorded(self, medium_circuit):
+        outcome = run_many(
+            FMPartitioner("bucket"),
+            medium_circuit,
+            runs=1,
+            circuit_name="medium",
+        )
+        assert outcome.circuit == "medium"
+        assert outcome.algorithm == "FM-bucket"
+
+
+class TestPaperProtocol:
+    def test_run_counts_match_section4(self):
+        """FM20/40/100, LA-2 (20 or 40), LA-3 (20), PROP (20)."""
+        assert PAPER_RUN_COUNTS["FM100"] == 100
+        assert PAPER_RUN_COUNTS["FM40"] == 40
+        assert PAPER_RUN_COUNTS["FM20"] == 20
+        assert PAPER_RUN_COUNTS["LA-2"] == 20
+        assert PAPER_RUN_COUNTS["LA-2x40"] == 40
+        assert PAPER_RUN_COUNTS["LA-3"] == 20
+        assert PAPER_RUN_COUNTS["PROP"] == 20

@@ -1,0 +1,63 @@
+"""Additional multirun harness tests: balance threading, determinism."""
+
+import pytest
+
+from repro.baselines import FMPartitioner, RandomPartitioner
+from repro.core import PropPartitioner
+from repro.multirun import run_many
+from repro.partition import BalanceConstraint, balance_ratio
+
+
+class TestBalanceThreading:
+    def test_balance_reaches_every_run(self, medium_circuit):
+        balance = BalanceConstraint.from_fractions(medium_circuit, 0.4, 0.6)
+        outcome = run_many(
+            FMPartitioner("bucket"), medium_circuit, runs=4, balance=balance
+        )
+        assert outcome.best is not None
+        # the winning run (and by construction all runs) obeyed the bounds
+        assert balance_ratio(medium_circuit, outcome.best.sides) <= 0.6 + 1e-9
+
+    def test_default_balance_when_none(self, medium_circuit):
+        outcome = run_many(PropPartitioner(), medium_circuit, runs=2)
+        assert balance_ratio(medium_circuit, outcome.best.sides) <= 0.5 + (
+            2.0 / medium_circuit.num_nodes
+        )
+
+
+class TestDeterminismAcrossHarness:
+    def test_same_base_seed_same_outcome(self, medium_circuit):
+        a = run_many(PropPartitioner(), medium_circuit, runs=3, base_seed=5)
+        b = run_many(PropPartitioner(), medium_circuit, runs=3, base_seed=5)
+        assert a.cuts == b.cuts
+        assert a.best.sides == b.best.sides
+
+    def test_different_base_seed_different_runs(self, medium_circuit):
+        a = run_many(
+            RandomPartitioner(), medium_circuit, runs=3, base_seed=0
+        )
+        b = run_many(
+            RandomPartitioner(), medium_circuit, runs=3, base_seed=100
+        )
+        assert a.cuts != b.cuts
+
+    def test_best_is_argmin_of_cuts(self, medium_circuit):
+        outcome = run_many(
+            FMPartitioner("bucket"), medium_circuit, runs=5, base_seed=2
+        )
+        assert outcome.best_cut == min(outcome.cuts)
+        # and the recorded winner actually reproduces that cut
+        replay = FMPartitioner("bucket").partition(
+            medium_circuit, seed=outcome.best.seed
+        )
+        assert replay.cut == outcome.best_cut
+
+
+class TestDeterministicAlgorithmsInHarness:
+    def test_extra_runs_of_deterministic_method_are_constant(
+        self, medium_circuit
+    ):
+        from repro.baselines import Eig1Partitioner
+
+        outcome = run_many(Eig1Partitioner(), medium_circuit, runs=3)
+        assert len(set(outcome.cuts)) == 1

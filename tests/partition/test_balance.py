@@ -1,0 +1,115 @@
+"""Tests for balance constraints (paper Sec. 1 and Sec. 4 regimes)."""
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.partition import (
+    AsymmetricBalanceConstraint,
+    BalanceConstraint,
+    split_sizes,
+)
+
+
+def _graph(n=10):
+    return Hypergraph([[i, i + 1] for i in range(n - 1)], num_nodes=n)
+
+
+class TestBalanceConstraint:
+    def test_from_fractions(self):
+        b = BalanceConstraint.from_fractions(_graph(10), 0.45, 0.55)
+        assert b.lo == pytest.approx(4.5)
+        assert b.hi == pytest.approx(5.5)
+
+    def test_fraction_validation(self):
+        g = _graph()
+        with pytest.raises(ValueError):
+            BalanceConstraint.from_fractions(g, 0.6, 0.4)  # r1 > r2
+        with pytest.raises(ValueError):
+            BalanceConstraint.from_fractions(g, 0.0, 0.5)  # r1 = 0
+        with pytest.raises(ValueError):
+            BalanceConstraint.from_fractions(g, 0.6, 0.7)  # excludes 0.5
+
+    def test_fifty_fifty_allows_one_node_slack(self):
+        b = BalanceConstraint.fifty_fifty(_graph(10))
+        assert b.is_satisfied([5, 5])
+        assert b.is_satisfied([6, 4])
+        assert not b.is_satisfied([7, 3])
+
+    def test_forty_five_fifty_five(self):
+        b = BalanceConstraint.forty_five_fifty_five(_graph(100))
+        assert b.is_satisfied([55, 45])
+        assert not b.is_satisfied([56, 44])
+
+    def test_move_allowed_directional(self):
+        b = BalanceConstraint.from_fractions(_graph(10), 0.4, 0.6)
+        # 6/4: moving from side 0 (toward balance) OK
+        assert b.move_allowed([6, 4], 0, 1.0)
+        # 6/4: moving from side 1 would give 7/3 -> blocked
+        assert not b.move_allowed([6, 4], 1, 1.0)
+
+    def test_move_allowed_repairs_imbalance(self):
+        """Starting outside bounds, moves toward balance are permitted."""
+        b = BalanceConstraint.from_fractions(_graph(10), 0.45, 0.55)
+        assert b.move_allowed([8, 2], 0, 1.0)
+        assert not b.move_allowed([8, 2], 1, 1.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BalanceConstraint(lo=5.0, hi=4.0, total=10.0)
+        with pytest.raises(ValueError, match="feasible"):
+            BalanceConstraint(lo=6.0, hi=7.0, total=10.0)
+
+    def test_weighted_slack(self):
+        g = Hypergraph([[0, 1], [1, 2], [2, 3]],
+                       node_weights=[5.0, 1.0, 1.0, 5.0])
+        b = BalanceConstraint.fifty_fifty(g)
+        # slack equals the max node weight so a heavy node can cross,
+        # clamped to the [0, total] range
+        assert b.lo == pytest.approx(1.0)
+        assert b.hi == pytest.approx(11.0)
+
+    def test_describe(self):
+        text = BalanceConstraint.forty_five_fifty_five(_graph(100)).describe()
+        assert "0.450" in text and "0.550" in text
+
+
+class TestAsymmetricBalance:
+    def test_from_fraction(self):
+        b = AsymmetricBalanceConstraint.from_fraction(_graph(90), 2 / 3, 0.05)
+        assert b.lo0 < 60 < b.hi0
+
+    def test_is_satisfied_checks_side0_only(self):
+        b = AsymmetricBalanceConstraint(lo0=10, hi0=20, total=100)
+        assert b.is_satisfied([15, 85])
+        assert not b.is_satisfied([25, 75])
+
+    def test_move_allowed(self):
+        b = AsymmetricBalanceConstraint(lo0=10, hi0=20, total=100)
+        assert b.move_allowed([20, 80], 0, 1.0)      # side0 19 in range
+        assert not b.move_allowed([20, 80], 1, 1.0)  # side0 21 too big
+        assert not b.move_allowed([10, 90], 0, 1.0)  # side0 9 too small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsymmetricBalanceConstraint(lo0=-1, hi0=5, total=10)
+        with pytest.raises(ValueError):
+            AsymmetricBalanceConstraint(lo0=6, hi0=5, total=10)
+        with pytest.raises(ValueError):
+            AsymmetricBalanceConstraint(lo0=2, hi0=50, total=10)
+        with pytest.raises(ValueError):
+            AsymmetricBalanceConstraint.from_fraction(_graph(), 1.5, 0.1)
+
+    def test_describe(self):
+        b = AsymmetricBalanceConstraint(lo0=10, hi0=20, total=100)
+        assert "side-0" in b.describe()
+
+
+class TestSplitSizes:
+    def test_even(self):
+        assert split_sizes(10) == (5, 5)
+
+    def test_odd(self):
+        assert split_sizes(11) == (6, 5)
+
+    def test_zero(self):
+        assert split_sizes(0) == (0, 0)

@@ -1,0 +1,102 @@
+"""Tests for the stand-alone partition checker."""
+
+import pytest
+
+from repro.partition import BalanceConstraint, check_partition
+
+
+class TestCheckPartition:
+    def test_valid(self, tiny_graph, tiny_sides):
+        report = check_partition(tiny_graph, tiny_sides)
+        assert report.ok
+        assert report.cut == 1.0
+        assert report.num_cut_nets == 1
+        assert report.side_weights == [3.0, 3.0]
+        assert report.balance_ratio == 0.5
+        assert "OK" in report.summary()
+
+    def test_length_mismatch(self, tiny_graph):
+        report = check_partition(tiny_graph, [0, 1])
+        assert not report.ok
+        assert "length" in report.errors[0]
+
+    def test_non_binary_values(self, tiny_graph):
+        report = check_partition(tiny_graph, [0, 0, 0, 1, 1, 2])
+        assert not report.ok
+        assert "non-binary" in report.errors[0]
+
+    def test_empty_side(self, tiny_graph):
+        report = check_partition(tiny_graph, [0] * 6)
+        assert not report.ok
+        assert any("empty" in e for e in report.errors)
+
+    def test_balance_violation(self, tiny_graph):
+        balance = BalanceConstraint.from_fractions(tiny_graph, 0.45, 0.55)
+        report = check_partition(
+            tiny_graph, [0, 0, 0, 0, 1, 1], balance=balance
+        )
+        assert not report.ok
+        assert any("balance" in e for e in report.errors)
+        assert "INVALID" in report.summary()
+
+    def test_expected_cut_match(self, tiny_graph, tiny_sides):
+        assert check_partition(
+            tiny_graph, tiny_sides, expected_cut=1.0
+        ).ok
+
+    def test_expected_cut_mismatch(self, tiny_graph, tiny_sides):
+        report = check_partition(tiny_graph, tiny_sides, expected_cut=5.0)
+        assert not report.ok
+        assert any("recorded cut" in e for e in report.errors)
+
+    def test_multiple_errors_accumulate(self, tiny_graph):
+        balance = BalanceConstraint.from_fractions(tiny_graph, 0.45, 0.55)
+        report = check_partition(
+            tiny_graph, [0, 0, 0, 0, 0, 1], balance=balance, expected_cut=9.0
+        )
+        assert len(report.errors) == 2
+
+
+class TestCliVerify:
+    def test_verify_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.hypergraph import hierarchical_circuit
+        from repro.hypergraph import io_ as nio
+
+        graph = hierarchical_circuit(60, 66, 240, seed=1)
+        netlist = tmp_path / "c.hgr"
+        nio.write_hgr(graph, netlist)
+        result = tmp_path / "r.json"
+        assert main([str(netlist), "-a", "fm", "-o", str(result)]) == 0
+        assert main([str(netlist), "--verify", str(result)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_detects_tampering(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.hypergraph import hierarchical_circuit
+        from repro.hypergraph import io_ as nio
+
+        graph = hierarchical_circuit(60, 66, 240, seed=1)
+        netlist = tmp_path / "c.hgr"
+        nio.write_hgr(graph, netlist)
+        result = tmp_path / "r.json"
+        main([str(netlist), "-a", "fm", "-o", str(result)])
+        payload = json.loads(result.read_text())
+        payload["cut"] = 0  # lie about the cut
+        result.write_text(json.dumps(payload))
+        assert main([str(netlist), "--verify", str(result)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_verify_missing_sides(self, tmp_path):
+        from repro.cli import main
+        from repro.hypergraph import hierarchical_circuit
+        from repro.hypergraph import io_ as nio
+
+        graph = hierarchical_circuit(60, 66, 240, seed=1)
+        netlist = tmp_path / "c.hgr"
+        nio.write_hgr(graph, netlist)
+        bogus = tmp_path / "b.json"
+        bogus.write_text('{"mode": "kway"}')
+        assert main([str(netlist), "--verify", str(bogus)]) == 2

@@ -1,0 +1,127 @@
+"""Tests for initial partitions and ordering splits."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph, hierarchical_circuit
+from repro.partition import (
+    BalanceConstraint,
+    best_split_of_ordering,
+    cut_cost,
+    random_balanced_sides,
+    random_fraction_sides,
+    random_weight_balanced_sides,
+    sides_from_order_prefix,
+)
+
+
+class TestRandomBalanced:
+    def test_exact_bisection(self, medium_circuit):
+        sides = random_balanced_sides(medium_circuit, seed=1)
+        n = medium_circuit.num_nodes
+        assert sum(sides) == n // 2
+
+    def test_seed_determinism(self, medium_circuit):
+        assert random_balanced_sides(medium_circuit, 5) == (
+            random_balanced_sides(medium_circuit, 5)
+        )
+        assert random_balanced_sides(medium_circuit, 5) != (
+            random_balanced_sides(medium_circuit, 6)
+        )
+
+    def test_accepts_rng_instance(self, medium_circuit):
+        rng = random.Random(3)
+        sides = random_balanced_sides(medium_circuit, rng)
+        assert len(sides) == medium_circuit.num_nodes
+
+
+class TestRandomWeightBalanced:
+    def test_weighted(self):
+        hg = Hypergraph(
+            [[0, 1]], num_nodes=4, node_weights=[10.0, 1.0, 1.0, 1.0]
+        )
+        sides = random_weight_balanced_sides(hg, seed=0)
+        w = [0.0, 0.0]
+        for v, s in enumerate(sides):
+            w[s] += hg.node_weight(v)
+        # heavy node alone on one side, the three light ones on the other
+        assert sorted(w) == [3.0, 10.0]
+
+
+class TestRandomFraction:
+    def test_fraction(self, medium_circuit):
+        sides = random_fraction_sides(medium_circuit, 0.25, seed=1)
+        count0 = sides.count(0)
+        assert count0 == round(medium_circuit.num_nodes * 0.25)
+
+    def test_validation(self, medium_circuit):
+        with pytest.raises(ValueError):
+            random_fraction_sides(medium_circuit, 0.0)
+        with pytest.raises(ValueError):
+            random_fraction_sides(medium_circuit, 1.0)
+
+    def test_extremes_clamped(self):
+        hg = Hypergraph([[0, 1]], num_nodes=2)
+        sides = random_fraction_sides(hg, 0.01, seed=0)
+        assert sides.count(0) == 1  # at least one node per side
+
+
+class TestOrderPrefix:
+    def test_basic(self, tiny_graph):
+        sides = sides_from_order_prefix(tiny_graph, [5, 4, 3, 2, 1, 0], 2)
+        assert sides == [1, 1, 1, 1, 0, 0]
+
+    def test_length_check(self, tiny_graph):
+        with pytest.raises(ValueError):
+            sides_from_order_prefix(tiny_graph, [0, 1], 1)
+
+
+class TestBestSplit:
+    def brute_force(self, graph, order, balance):
+        best = None
+        for k in range(1, graph.num_nodes):
+            sides = sides_from_order_prefix(graph, order, k)
+            w = [0.0, 0.0]
+            for v, s in enumerate(sides):
+                w[s] += graph.node_weight(v)
+            if not balance.is_satisfied(w):
+                continue
+            cut = cut_cost(graph, sides)
+            if best is None or cut < best:
+                best = cut
+        return best
+
+    def test_finds_obvious_split(self, tiny_graph):
+        balance = BalanceConstraint.from_fractions(tiny_graph, 0.5, 0.5)
+        sides, cut = best_split_of_ordering(
+            tiny_graph, [0, 1, 2, 3, 4, 5], balance
+        )
+        assert cut == 1.0
+        assert sides == [0, 0, 0, 1, 1, 1]
+
+    def test_rejects_non_permutation(self, tiny_graph):
+        balance = BalanceConstraint.fifty_fifty(tiny_graph)
+        with pytest.raises(ValueError, match="permutation"):
+            best_split_of_ordering(tiny_graph, [0, 0, 1, 2, 3, 4], balance)
+
+    def test_infeasible_balance_raises(self):
+        hg = Hypergraph([[0, 1]], num_nodes=2,
+                        node_weights=[10.0, 1.0])
+        balance = BalanceConstraint(lo=5.0, hi=6.0, total=11.0)
+        with pytest.raises(ValueError, match="balanced split"):
+            best_split_of_ordering(hg, [0, 1], balance)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, seed):
+        graph = hierarchical_circuit(40, 44, 160, seed=seed % 5)
+        rng = random.Random(seed)
+        order = list(range(graph.num_nodes))
+        rng.shuffle(order)
+        balance = BalanceConstraint.from_fractions(graph, 0.4, 0.6)
+        sides, cut = best_split_of_ordering(graph, order, balance)
+        assert cut == pytest.approx(cut_cost(graph, sides))
+        assert cut == pytest.approx(self.brute_force(graph, order, balance))

@@ -1,0 +1,81 @@
+"""Tests for cut metrics and the shared result record."""
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.partition import (
+    BipartitionResult,
+    balance_ratio,
+    cut_cost,
+    cut_nets,
+    improvement_percent,
+    side_weights,
+)
+
+
+class TestCutCost:
+    def test_tiny(self, tiny_graph, tiny_sides):
+        assert cut_cost(tiny_graph, tiny_sides) == 1.0
+
+    def test_all_one_side_is_zero(self, tiny_graph):
+        assert cut_cost(tiny_graph, [0] * 6) == 0.0
+
+    def test_weighted(self):
+        hg = Hypergraph([[0, 1], [0, 1]], net_costs=[2.0, 3.0])
+        assert cut_cost(hg, [0, 1]) == 5.0
+
+    def test_length_check(self, tiny_graph):
+        with pytest.raises(ValueError):
+            cut_cost(tiny_graph, [0, 1])
+
+    def test_cut_nets_ids(self, tiny_graph, tiny_sides):
+        assert cut_nets(tiny_graph, tiny_sides) == [4]
+
+    def test_single_pin_net_never_cut(self):
+        hg = Hypergraph([[0], [0, 1]])
+        assert cut_cost(hg, [0, 1]) == 1.0
+
+
+class TestSideWeights:
+    def test_unit(self, tiny_graph, tiny_sides):
+        assert side_weights(tiny_graph, tiny_sides) == [3.0, 3.0]
+
+    def test_balance_ratio(self, tiny_graph):
+        assert balance_ratio(tiny_graph, [0, 0, 0, 0, 1, 1]) == pytest.approx(
+            4 / 6
+        )
+        assert balance_ratio(tiny_graph, [0, 0, 0, 1, 1, 1]) == 0.5
+
+
+class TestImprovementPercent:
+    def test_paper_metric(self):
+        """Sec. 4: (cutset improvement / larger cutset) x 100."""
+        assert improvement_percent(83, 92) == pytest.approx(9.78, abs=0.01)
+
+    def test_negative_when_we_lose(self):
+        # paper t6 row: PROP 81 vs LA-2 70 -> -13.6%
+        assert improvement_percent(81, 70) == pytest.approx(-13.58, abs=0.01)
+
+    def test_symmetry(self):
+        assert improvement_percent(50, 100) == -improvement_percent(100, 50)
+
+    def test_zero_cuts(self):
+        assert improvement_percent(0, 0) == 0.0
+
+    def test_bounded_by_100(self):
+        assert improvement_percent(0, 10) == 100.0
+
+
+class TestBipartitionResult:
+    def test_verify_ok(self, tiny_graph, tiny_sides):
+        r = BipartitionResult(sides=list(tiny_sides), cut=1.0, algorithm="X")
+        r.verify(tiny_graph)
+
+    def test_verify_catches_lies(self, tiny_graph, tiny_sides):
+        r = BipartitionResult(sides=list(tiny_sides), cut=99.0, algorithm="X")
+        with pytest.raises(AssertionError, match="recorded cut"):
+            r.verify(tiny_graph)
+
+    def test_stats_default(self):
+        r = BipartitionResult(sides=[0, 1], cut=0.0)
+        assert r.stats == {}

@@ -1,0 +1,162 @@
+"""Unit + property tests for the mutable Partition state."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph, hierarchical_circuit
+from repro.partition import Partition, cut_cost, random_balanced_sides
+
+
+class TestConstruction:
+    def test_counts_and_cut(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        assert p.cut_cost == 1.0
+        assert p.count(4, 0) == 1  # net {2,3,5}: node 2 on side 0
+        assert p.count(4, 1) == 2
+        assert p.side_sizes() == (3, 3)
+        p.check_invariants()
+
+    def test_wrong_length_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="length"):
+            Partition(tiny_graph, [0, 1])
+
+    def test_bad_side_value_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="expected 0 or 1"):
+            Partition(tiny_graph, [0, 0, 0, 1, 1, 2])
+
+    def test_weighted_side_weights(self):
+        hg = Hypergraph([[0, 1]], node_weights=[2.0, 5.0])
+        p = Partition(hg, [0, 1])
+        assert p.side_weights == (2.0, 5.0)
+
+    def test_sides_returns_copy(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        sides = p.sides
+        sides[0] = 1
+        assert p.side(0) == 0
+
+
+class TestMoves:
+    def test_move_updates_cut(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        # moving node 2 to side 1: net {1,2} becomes cut, net {2,3,5} uncut
+        gain = p.move(2)
+        assert gain == 0.0
+        assert p.cut_cost == 1.0
+        p.check_invariants()
+
+    def test_immediate_gain_matches_realized(self, medium_circuit):
+        p = Partition(medium_circuit, random_balanced_sides(medium_circuit, 1))
+        rng = random.Random(0)
+        for _ in range(50):
+            v = rng.randrange(medium_circuit.num_nodes)
+            expected = p.immediate_gain(v)
+            before = p.cut_cost
+            realized = p.move(v)
+            assert realized == pytest.approx(expected)
+            assert p.cut_cost == pytest.approx(before - realized)
+        p.check_invariants()
+
+    def test_move_then_move_back_restores(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        before_cut = p.cut_cost
+        p.move(3)
+        p.move(3)
+        assert p.cut_cost == before_cut
+        assert p.sides == tiny_sides
+
+    def test_undo_moves(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        p.move(0)
+        p.move(4)
+        p.undo_moves([4, 0])
+        assert p.sides == tiny_sides
+        p.check_invariants()
+
+    def test_weighted_cut(self):
+        hg = Hypergraph([[0, 1], [1, 2]], net_costs=[3.0, 0.5])
+        p = Partition(hg, [0, 1, 1])
+        assert p.cut_cost == 3.0
+        p.move(1)
+        assert p.cut_cost == 0.5
+
+
+class TestLocks:
+    def test_lock_prevents_move(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        p.lock(2)
+        with pytest.raises(ValueError, match="locked"):
+            p.move(2)
+
+    def test_double_lock_rejected(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        p.lock(2)
+        with pytest.raises(ValueError, match="already locked"):
+            p.lock(2)
+
+    def test_locked_counts(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        p.lock(2)
+        assert p.net_locked_in(4, 0)       # net {2,3,5}, node 2 on side 0
+        assert not p.net_locked_in(4, 1)
+        assert p.free_count(4, 0) == 0
+        assert p.free_count(4, 1) == 2
+        p.check_invariants()
+
+    def test_move_and_lock(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        p.move_and_lock(5)
+        assert p.is_locked(5)
+        assert p.num_locked == 1
+        p.check_invariants()
+
+    def test_unlock_all(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        p.lock(1)
+        p.lock(4)
+        p.unlock_all()
+        assert p.num_locked == 0
+        assert not p.is_locked(1)
+        p.check_invariants()
+
+
+class TestQueries:
+    def test_cut_nets(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        assert p.cut_nets() == [4]
+
+    def test_net_is_cut(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        assert p.net_is_cut(4)
+        assert not p.net_is_cut(0)
+
+    def test_nodes_on_side(self, tiny_graph, tiny_sides):
+        p = Partition(tiny_graph, tiny_sides)
+        assert p.nodes_on_side(0) == [0, 1, 2]
+        assert p.nodes_on_side(1) == [3, 4, 5]
+
+
+class TestProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        moves=st.lists(st.integers(0, 79), max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_state_matches_recompute(self, seed, moves):
+        """Any move/lock sequence keeps incremental state consistent."""
+        graph = hierarchical_circuit(80, 90, 330, seed=seed % 7)
+        p = Partition(graph, random_balanced_sides(graph, seed))
+        locked = set()
+        for i, v in enumerate(moves):
+            if v in locked:
+                continue
+            if i % 3 == 2:
+                p.move_and_lock(v)
+                locked.add(v)
+            else:
+                p.move(v)
+        p.check_invariants()
+        assert p.cut_cost == pytest.approx(cut_cost(graph, p.sides))

@@ -1,0 +1,76 @@
+"""Tests for the ratio-cut objective and the ratio split mode."""
+
+import pytest
+
+from repro.baselines import Eig1Partitioner
+from repro.hypergraph import Hypergraph, planted_bisection
+from repro.partition import (
+    BalanceConstraint,
+    best_split_of_ordering,
+    cut_cost,
+    ratio_cut,
+)
+
+
+class TestRatioCutMetric:
+    def test_basic(self, tiny_graph, tiny_sides):
+        # cut 1, sides 3/3 -> 1/9
+        assert ratio_cut(tiny_graph, tiny_sides) == pytest.approx(1 / 9)
+
+    def test_prefers_balanced_equal_cut(self, tiny_graph):
+        balanced = [0, 0, 0, 1, 1, 1]
+        skewed = [0, 0, 0, 0, 1, 1]  # cut 2 (nets {3,4} and {2,3,5})
+        assert ratio_cut(tiny_graph, balanced) < ratio_cut(tiny_graph, skewed)
+
+    def test_empty_side_is_infinite(self, tiny_graph):
+        assert ratio_cut(tiny_graph, [0] * 6) == float("inf")
+
+    def test_weighted_nodes(self):
+        hg = Hypergraph([[0, 1]], node_weights=[2.0, 3.0])
+        assert ratio_cut(hg, [0, 1]) == pytest.approx(1.0 / 6.0)
+
+
+class TestRatioSplitObjective:
+    def test_unknown_objective_rejected(self, tiny_graph):
+        balance = BalanceConstraint.fifty_fifty(tiny_graph)
+        with pytest.raises(ValueError, match="objective"):
+            best_split_of_ordering(
+                tiny_graph, list(range(6)), balance, objective="area"
+            )
+
+    def test_ratio_mode_returns_cut_score(self, tiny_graph):
+        balance = BalanceConstraint.from_fractions(tiny_graph, 0.3, 0.7)
+        sides, score = best_split_of_ordering(
+            tiny_graph, list(range(6)), balance, objective="ratio"
+        )
+        assert score == cut_cost(tiny_graph, sides)
+
+    def test_ratio_mode_picks_balanced_among_equal_cuts(self):
+        """A chain has many equal-cut splits; ratio mode must take the
+        most balanced one while cut mode takes the first feasible."""
+        chain = Hypergraph([[i, i + 1] for i in range(7)], num_nodes=8)
+        balance = BalanceConstraint.from_fractions(chain, 0.25, 0.75)
+        order = list(range(8))
+        ratio_sides, _ = best_split_of_ordering(
+            chain, order, balance, objective="ratio"
+        )
+        assert ratio_sides.count(0) == 4  # perfectly balanced split
+
+
+class TestEig1Objective:
+    def test_objective_validated(self):
+        with pytest.raises(ValueError):
+            Eig1Partitioner(objective="area")
+
+    def test_ratio_mode_runs(self):
+        graph, _, crossing = planted_bisection(30, 80, 3, seed=2)
+        result = Eig1Partitioner(objective="ratio").partition(graph)
+        result.verify(graph)
+        assert result.cut <= crossing + 3
+
+    def test_modes_agree_on_planted(self):
+        graph, _, _ = planted_bisection(30, 80, 2, seed=5)
+        cut_mode = Eig1Partitioner(objective="cut").partition(graph)
+        ratio_mode = Eig1Partitioner(objective="ratio").partition(graph)
+        # both must find the planted valley on an easy instance
+        assert cut_mode.cut == ratio_mode.cut

@@ -1,0 +1,162 @@
+"""Tests for the recursive min-cut placer."""
+
+import pytest
+
+from repro.baselines import FMPartitioner, RandomPartitioner
+from repro.hypergraph import Hypergraph, hierarchical_circuit
+from repro.placement import (
+    Placement,
+    Region,
+    mincut_placement,
+    random_placement,
+)
+
+
+@pytest.fixture
+def circuit():
+    return hierarchical_circuit(120, 130, 470, seed=2)
+
+
+class TestRegion:
+    def test_vertical_split(self):
+        left, right = Region(0, 0, 1, 1).split(vertical=True)
+        assert left.x1 == right.x0 == 0.5
+        assert left.height == right.height == 1.0
+
+    def test_horizontal_split(self):
+        bottom, top = Region(0, 0, 1, 1).split(vertical=False)
+        assert bottom.y1 == top.y0 == 0.5
+
+    def test_dimensions(self):
+        r = Region(0.25, 0.0, 1.0, 0.5)
+        assert r.width == 0.75
+        assert r.height == 0.5
+
+
+class TestHpwl:
+    def test_two_pin_net(self):
+        graph = Hypergraph([[0, 1]])
+        p = Placement(graph, x=[0.0, 0.5], y=[0.0, 0.25])
+        assert p.hpwl() == pytest.approx(0.75)
+        assert p.net_hpwl(0) == pytest.approx(0.75)
+
+    def test_single_pin_net_free(self):
+        graph = Hypergraph([[0]])
+        p = Placement(graph, x=[0.3], y=[0.3])
+        assert p.hpwl() == 0.0
+
+    def test_net_cost_scales(self):
+        graph = Hypergraph([[0, 1]], net_costs=[4.0])
+        p = Placement(graph, x=[0.0, 1.0], y=[0.0, 0.0])
+        assert p.hpwl() == pytest.approx(4.0)
+
+    def test_bounding_box_of_multi_pin_net(self):
+        graph = Hypergraph([[0, 1, 2]])
+        p = Placement(graph, x=[0.0, 0.5, 1.0], y=[0.0, 0.9, 0.1])
+        assert p.net_hpwl(0) == pytest.approx(1.0 + 0.9)
+
+
+class TestMincutPlacement:
+    def test_all_nodes_in_unit_square(self, circuit):
+        placement = mincut_placement(circuit, seed=1)
+        placement.check_in_bounds()
+
+    def test_validation(self, circuit):
+        with pytest.raises(ValueError):
+            mincut_placement(circuit, leaf_cells=0)
+        with pytest.raises(ValueError):
+            mincut_placement(circuit, balance_tolerance=0.0)
+
+    def test_beats_random_placement(self):
+        """The whole point of min-cut placement: connected nodes end up
+        near each other, so HPWL drops well below random.  Uses a larger
+        circuit where the cluster hierarchy is deep enough to matter."""
+        circuit = hierarchical_circuit(360, 380, 1380, seed=3)
+        placed = mincut_placement(circuit, seed=1)
+        rand = random_placement(circuit, seed=1)
+        assert placed.hpwl() < rand.hpwl() * 0.65
+
+    def test_better_partitioner_shorter_wires(self, circuit):
+        """Placement quality inherits partitioner quality: a random
+        'partitioner' inside the same flow gives much longer wires."""
+        good = mincut_placement(circuit, seed=1)
+        bad = mincut_placement(
+            circuit, partitioner=RandomPartitioner(), seed=1
+        )
+        assert good.hpwl() < bad.hpwl()
+
+    def test_fm_as_inner_engine(self, circuit):
+        placement = mincut_placement(
+            circuit, partitioner=FMPartitioner("bucket"), seed=1
+        )
+        placement.check_in_bounds()
+
+    def test_deterministic(self, circuit):
+        a = mincut_placement(circuit, seed=4)
+        b = mincut_placement(circuit, seed=4)
+        assert a.x == b.x and a.y == b.y
+
+    def test_nodes_spread_not_stacked(self, circuit):
+        """Leaf spreading must not pile every node on one point."""
+        placement = mincut_placement(circuit, seed=1)
+        positions = set(zip(placement.x, placement.y))
+        assert len(positions) > circuit.num_nodes * 0.5
+
+    def test_tiny_graph(self):
+        graph = Hypergraph([[0, 1], [1, 2]], num_nodes=3)
+        placement = mincut_placement(graph, leaf_cells=4)
+        placement.check_in_bounds()
+
+    def test_disconnected_pocket_handled(self):
+        """Nodes with no internal nets still get placed."""
+        graph = Hypergraph([[0, 1]], num_nodes=40)
+        placement = mincut_placement(graph, seed=0)
+        placement.check_in_bounds()
+
+
+class TestTerminalPropagation:
+    def test_in_bounds(self, circuit):
+        placement = mincut_placement(
+            circuit, seed=1, terminal_propagation=True
+        )
+        placement.check_in_bounds()
+
+    def test_improves_wirelength(self):
+        """Dunlop–Kernighan terminal propagation must beat the blind
+        recursive placer on a clustered circuit."""
+        circuit = hierarchical_circuit(360, 380, 1380, seed=3)
+        plain = mincut_placement(circuit, seed=1)
+        aware = mincut_placement(
+            circuit, seed=1, terminal_propagation=True
+        )
+        assert aware.hpwl() < plain.hpwl()
+
+    def test_deterministic(self, circuit):
+        a = mincut_placement(circuit, seed=2, terminal_propagation=True)
+        b = mincut_placement(circuit, seed=2, terminal_propagation=True)
+        assert a.x == b.x and a.y == b.y
+
+    def test_fm_tree_engine(self, circuit):
+        # anchored subproblems have weighted nodes; FM-tree handles them
+        placement = mincut_placement(
+            circuit,
+            partitioner=FMPartitioner("tree"),
+            seed=1,
+            terminal_propagation=True,
+        )
+        placement.check_in_bounds()
+
+    def test_disconnected_pocket(self):
+        graph = Hypergraph([[0, 1]], num_nodes=40)
+        placement = mincut_placement(
+            graph, seed=0, terminal_propagation=True
+        )
+        placement.check_in_bounds()
+
+
+class TestRandomPlacement:
+    def test_in_bounds_and_deterministic(self, circuit):
+        a = random_placement(circuit, seed=9)
+        b = random_placement(circuit, seed=9)
+        a.check_in_bounds()
+        assert a.x == b.x

@@ -1,0 +1,55 @@
+"""Public API surface checks."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        graph = repro.make_benchmark("struct", scale=0.1)
+        result = repro.PropPartitioner().partition(graph, seed=42)
+        assert result.cut >= 0
+        assert len(result.sides) == graph.num_nodes
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.core
+        import repro.datastructures
+        import repro.experiments
+        import repro.fpga
+        import repro.hypergraph
+        import repro.kway
+        import repro.multirun
+        import repro.partition
+        import repro.timing  # noqa: F401
+
+    def test_partitioners_share_interface(self):
+        """Every partitioner accepts (graph, balance=, initial_sides=, seed=)."""
+        graph = repro.make_benchmark("t6", scale=0.05)
+        balance = repro.BalanceConstraint.forty_five_fifty_five(graph)
+        for cls in (
+            repro.PropPartitioner,
+            repro.KLPartitioner,
+            repro.Eig1Partitioner,
+            repro.MeloPartitioner,
+            repro.WindowPartitioner,
+            repro.ParaboliPartitioner,
+            repro.RandomPartitioner,
+        ):
+            result = cls().partition(graph, balance=balance, seed=0)
+            result.verify(graph)
+        for container in ("bucket", "tree"):
+            repro.FMPartitioner(container).partition(
+                graph, balance=balance, seed=0
+            ).verify(graph)
+        for k in (1, 2, 3):
+            repro.LAPartitioner(k).partition(
+                graph, balance=balance, seed=0
+            ).verify(graph)

@@ -1,0 +1,107 @@
+"""Edge-case tests for the CLI beyond the happy paths in test_cli.py."""
+
+import pytest
+
+from repro.cli import _make_balance, _make_partitioner, main
+from repro.hypergraph import hierarchical_circuit
+from repro.hypergraph import io_ as nio
+
+
+@pytest.fixture
+def netlist_file(tmp_path):
+    graph = hierarchical_circuit(70, 76, 270, seed=2)
+    path = tmp_path / "c.hgr"
+    nio.write_hgr(graph, path)
+    return path
+
+
+class TestPartitionerFactory:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("prop", "PROP"),
+            ("PROP", "PROP"),          # case-insensitive
+            ("fm", "FM-bucket"),
+            ("fm-bucket", "FM-bucket"),
+            ("fm-tree", "FM-tree"),
+            ("la-4", "LA-4"),
+            ("kl", "KL"),
+            ("sa", "SA"),
+            ("eig1", "EIG1"),
+            ("melo", "MELO"),
+            ("window", "WINDOW"),
+            ("paraboli", "PARABOLI"),
+            ("random", "RANDOM"),
+            ("ml-prop", "ML-PROP"),
+            ("multilevel", "ML-PROP"),
+            ("prop-cl", "PROP-CL"),
+            ("two-phase", "PROP-CL"),
+        ],
+    )
+    def test_names_resolve(self, name, expected):
+        assert _make_partitioner(name).name == expected
+
+    def test_unknown_name(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _make_partitioner("quantum-annealer")
+
+
+class TestBalanceParsing:
+    def test_named_specs(self, netlist_file):
+        graph = nio.read(netlist_file)
+        b5050 = _make_balance(graph, "50-50")
+        b4555 = _make_balance(graph, "45-55")
+        assert b5050.hi - b5050.lo <= 2.5
+        assert b4555.lo == pytest.approx(0.45 * graph.num_nodes)
+
+    def test_custom_spec(self, netlist_file):
+        graph = nio.read(netlist_file)
+        b = _make_balance(graph, "40-60")
+        assert b.lo == pytest.approx(0.4 * graph.num_nodes)
+
+    def test_bad_spec(self, netlist_file):
+        import argparse
+
+        graph = nio.read(netlist_file)
+        with pytest.raises(argparse.ArgumentTypeError):
+            _make_balance(graph, "almost-even")
+
+    def test_bad_spec_via_main(self, netlist_file):
+        with pytest.raises(Exception):
+            main([str(netlist_file), "--balance", "huh"])
+
+
+class TestFpgaOptions:
+    def test_explicit_capacity(self, netlist_file, capsys):
+        assert main(
+            [str(netlist_file), "--fpga", "2", "-a", "fm",
+             "--fpga-capacity", "60", "--fpga-io", "999"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "logic" in out and "/60" in out
+
+    def test_infeasible_reported_not_crashed(self, netlist_file, capsys):
+        assert main(
+            [str(netlist_file), "--fpga", "2", "-a", "fm", "--fpga-io", "1"]
+        ) == 0
+        assert "feasible: False" in capsys.readouterr().out
+
+
+class TestGenerateOptions:
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--generate", "not-a-circuit"])
+
+    def test_scale_flows_through(self, capsys):
+        assert main(["--generate", "balu", "--scale", "0.1", "-a", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "80 nodes" in out  # 801 * 0.1 -> 80
+
+    def test_netlist_and_generate_generate_wins(self, netlist_file, capsys):
+        assert main(
+            [str(netlist_file), "--generate", "t6", "--scale", "0.05",
+             "-a", "random"]
+        ) == 0
+        assert "generated:t6" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Documentation quality gates.
+
+The deliverable requires doc comments on every public item; these tests
+enforce it mechanically: every module, public class and public function
+in ``repro`` must carry a docstring, and the repo-level documents must
+exist and mention their required content.
+"""
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(repro.__file__).parent.parent.parent
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(meth):
+                    continue
+                if meth.__doc__ and meth.__doc__.strip():
+                    continue
+                # overriding an already-documented base method is fine
+                inherited = any(
+                    getattr(getattr(base, meth_name, None), "__doc__", None)
+                    for base in obj.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, (
+        f"{module.__name__}: missing docstrings on {undocumented}"
+    )
+
+
+class TestRepoDocuments:
+    def test_required_documents_exist(self):
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (REPO_ROOT / doc).is_file(), doc
+
+    def test_design_md_covers_contract(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        # the substitution table and the experiment index are mandatory
+        assert "Substitutions" in text
+        assert "Experiment index" in text
+        for artifact in ("Table 1", "Table 2", "Table 3", "Table 4",
+                         "Figure 1"):
+            assert artifact in text, artifact
+
+    def test_experiments_md_covers_every_artifact(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        for artifact in ("Figure 1", "Table 1", "Table 2", "Table 3",
+                         "Table 4"):
+            assert artifact in text, artifact
+        assert "paper" in text.lower() and "measured" in text.lower()
+
+    def test_readme_quickstart_present(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "pip install -e ." in text
+        assert "PropPartitioner" in text

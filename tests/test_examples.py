@@ -1,0 +1,47 @@
+"""Sanity checks on the example scripts.
+
+Full example runs take tens of seconds each; the test suite verifies that
+every example compiles, has a main() entry, and documents itself — and
+executes the two fastest ones end-to-end.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3, "deliverable requires >= 3 examples"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_is_documented(path):
+    source = path.read_text()
+    assert source.lstrip().startswith(("#!", '"""')), "missing docstring"
+    assert "def main" in source
+    assert '__name__ == "__main__"' in source
+
+
+@pytest.mark.parametrize("name", ["netlist_io_tour.py", "quickstart.py"])
+def test_fast_examples_run(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()

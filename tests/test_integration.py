@@ -1,0 +1,97 @@
+"""End-to-end integration scenarios chaining multiple subsystems.
+
+Each test is a realistic user workflow touching several packages; unit
+tests elsewhere cover the parts, these cover the seams.
+"""
+
+import pytest
+
+from repro import (
+    BalanceConstraint,
+    FMPartitioner,
+    PropPartitioner,
+    make_benchmark,
+    run_many,
+)
+from repro.fpga import FpgaDevice, partition_onto_fpgas
+from repro.hypergraph import io_ as netlist_io
+from repro.hypergraph import lint, remove_large_nets
+from repro.kway import recursive_bisection, refine_kway_result
+from repro.partition import check_partition
+from repro.placement import mincut_placement
+from repro.timing import critical_net_weights, timing_report
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return make_benchmark("t3", scale=0.2)
+
+
+class TestFullFlows:
+    def test_load_lint_partition_verify(self, circuit, tmp_path):
+        """Disk in -> lint -> partition -> validate -> disk out."""
+        path = tmp_path / "design.hgr"
+        netlist_io.write(circuit, path)
+        loaded = netlist_io.read(path)
+        assert loaded == circuit
+
+        report = lint(loaded)
+        assert report.num_components >= 1
+
+        balance = BalanceConstraint.forty_five_fifty_five(loaded)
+        outcome = run_many(PropPartitioner(), loaded, runs=3, balance=balance)
+        check = check_partition(
+            loaded, outcome.best.sides, balance=balance,
+            expected_cut=outcome.best_cut,
+        )
+        assert check.ok, check.summary()
+
+    def test_clean_then_partition(self, circuit):
+        """Huge-net filtering before partitioning: the cut on the filtered
+        netlist lower-bounds the unfiltered cut of the same sides."""
+        filtered = remove_large_nets(circuit, max_size=12)
+        assert filtered.num_nets <= circuit.num_nets
+        result = PropPartitioner().partition(filtered, seed=0)
+        from repro.partition import cut_cost
+
+        full_cut = cut_cost(circuit, result.sides)
+        assert result.cut <= full_cut
+
+    def test_timing_to_fpga_flow(self, circuit):
+        """Weight critical nets, then map the weighted design onto FPGAs;
+        crossing count and reports stay consistent."""
+        from repro.timing import synthetic_critical_nets
+
+        critical = synthetic_critical_nets(circuit, 0.1, seed=1)
+        weighted = critical_net_weights(circuit, critical, 8.0)
+        devices = [
+            FpgaDevice(capacity=circuit.num_nodes * 0.3, io_limit=10_000)
+        ] * 4
+        plan = partition_onto_fpgas(weighted, devices, seed=0)
+        assert len(plan.assignment) == circuit.num_nodes
+        report = timing_report(weighted, [
+            0 if part < 2 else 1 for part in plan.assignment
+        ], critical)
+        assert report.critical_total == len(critical)
+
+    def test_kway_to_placement_consistency(self, circuit):
+        """k-way assignment and a placement derived independently both
+        come from the same min-cut machinery and must agree on scale:
+        parts correspond to spatial clusters with bounded wirelength."""
+        kway = recursive_bisection(circuit, 4, seed=0)
+        refined, _ = refine_kway_result(circuit, kway, seed=0)
+        placement = mincut_placement(circuit, seed=0)
+        placement.check_in_bounds()
+        assert refined.cut <= kway.cut
+
+    def test_fm_and_prop_agree_on_verified_outputs(self, circuit, tmp_path):
+        """Cross-algorithm: both engines' outputs pass the same checker
+        under the same balance."""
+        balance = BalanceConstraint.fifty_fifty(circuit)
+        for engine in (FMPartitioner("bucket"), PropPartitioner()):
+            result = engine.partition(circuit, balance=balance, seed=1)
+            check = check_partition(
+                circuit, result.sides, balance=balance,
+                expected_cut=result.cut,
+            )
+            assert check.ok, f"{engine.name}: {check.summary()}"

@@ -1,0 +1,102 @@
+"""Tests for timing-driven net weighting."""
+
+import pytest
+
+from repro.baselines import FMPartitioner
+from repro.core import PropPartitioner
+from repro.hypergraph import hierarchical_circuit
+from repro.timing import (
+    critical_net_weights,
+    slack_based_weights,
+    synthetic_critical_nets,
+    timing_report,
+)
+
+
+@pytest.fixture
+def circuit():
+    return hierarchical_circuit(140, 150, 540, seed=6)
+
+
+class TestWeighting:
+    def test_critical_net_weights(self, circuit):
+        weighted = critical_net_weights(circuit, [0, 5], critical_weight=7.0)
+        assert weighted.net_cost(0) == 7.0
+        assert weighted.net_cost(5) == 7.0
+        assert weighted.net_cost(1) == 1.0
+        assert weighted.nets == circuit.nets
+
+    def test_critical_validation(self, circuit):
+        with pytest.raises(ValueError):
+            critical_net_weights(circuit, [0], critical_weight=0.0)
+        with pytest.raises(ValueError):
+            critical_net_weights(circuit, [99999])
+
+    def test_slack_based(self, circuit):
+        slacks = [1.0] * circuit.num_nets
+        slacks[3] = -2.0
+        weighted = slack_based_weights(circuit, slacks, alpha=2.0)
+        assert weighted.net_cost(3) == pytest.approx(5.0)
+        assert weighted.net_cost(0) == 1.0
+
+    def test_slack_validation(self, circuit):
+        with pytest.raises(ValueError):
+            slack_based_weights(circuit, [0.0])
+        with pytest.raises(ValueError):
+            slack_based_weights(circuit, [0.0] * circuit.num_nets, alpha=-1)
+
+    def test_synthetic_critical_nets(self, circuit):
+        crit = synthetic_critical_nets(circuit, fraction=0.1, seed=1)
+        assert len(crit) == round(circuit.num_nets * 0.1)
+        assert crit == sorted(set(crit))
+        assert synthetic_critical_nets(circuit, 0.1, seed=1) == crit
+
+    def test_synthetic_fraction_validated(self, circuit):
+        with pytest.raises(ValueError):
+            synthetic_critical_nets(circuit, 0.0)
+
+
+class TestTimingReport:
+    def test_report_fields(self, circuit):
+        crit = synthetic_critical_nets(circuit, 0.1, seed=2)
+        weighted = critical_net_weights(circuit, crit, 10.0)
+        result = PropPartitioner().partition(weighted, seed=0)
+        report = timing_report(weighted, result.sides, crit)
+        assert report.weighted_cut == pytest.approx(result.cut)
+        assert 0 <= report.critical_cut <= report.critical_total
+        assert report.critical_total == len(crit)
+        assert 0.0 <= report.critical_cut_fraction <= 1.0
+
+    def test_infers_critical_from_costs(self, circuit):
+        weighted = critical_net_weights(circuit, [0, 1], 5.0)
+        report = timing_report(weighted, [0] * circuit.num_nodes)
+        assert report.critical_total == 2
+        assert report.critical_cut == 0
+
+    def test_weighting_protects_critical_nets(self, circuit):
+        """The paper's motivation: up-weighted nets get cut less often.
+        Compare critical cut fraction with and without weighting, best of
+        a few seeds."""
+        crit = synthetic_critical_nets(circuit, 0.15, seed=3)
+        weighted = critical_net_weights(circuit, crit, 10.0)
+
+        def critical_cut(graph, seeds):
+            best = None
+            for s in seeds:
+                r = PropPartitioner().partition(graph, seed=s)
+                rep = timing_report(weighted, r.sides, crit)
+                if best is None or rep.critical_cut < best:
+                    best = rep.critical_cut
+            return best
+
+        unaware = critical_cut(circuit, range(3))
+        aware = critical_cut(weighted, range(3))
+        assert aware <= unaware
+
+    def test_fm_tree_on_weighted(self, circuit):
+        """FM must fall back to the tree container for weighted nets and
+        still optimize the weighted objective (paper Sec. 4)."""
+        crit = synthetic_critical_nets(circuit, 0.1, seed=4)
+        weighted = critical_net_weights(circuit, crit, 10.0)
+        result = FMPartitioner("tree").partition(weighted, seed=0)
+        result.verify(weighted)
