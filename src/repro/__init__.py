@@ -21,6 +21,7 @@ Subpackages:
 * ``repro.core``         — PROP itself (the paper's contribution)
 * ``repro.baselines``    — FM, LA, KL, EIG1, MELO, WINDOW, PARABOLI
 * ``repro.multirun``     — best-of-N run protocol
+* ``repro.engine``       — parallel work-unit execution engine + result cache
 * ``repro.kway``         — recursive k-way partitioning
 * ``repro.timing``       — timing-driven net weighting
 * ``repro.fpga``         — multi-FPGA partitioning flow
@@ -62,7 +63,11 @@ from .partition import (
     cut_cost,
 )
 
-__version__ = "1.0.0"
+#: Participates in every engine cache key: bumping it invalidates the
+#: on-disk result cache (see repro.engine.cache).
+__version__ = "1.1.0"
+
+from .engine import Engine, EngineConfig, WorkUnit  # noqa: E402 - engine cache keys need __version__ defined first
 
 __all__ = [
     "__version__",
@@ -98,4 +103,8 @@ __all__ = [
     # harness
     "run_many",
     "MultiRunResult",
+    # execution engine
+    "Engine",
+    "EngineConfig",
+    "WorkUnit",
 ]

@@ -122,6 +122,8 @@ class ParaboliPartitioner:
         self.anchor_fraction = anchor_fraction
 
     name = "PARABOLI"
+    #: Seed-independent: the multirun harness clamps extra runs to one.
+    deterministic = True
 
     def partition(
         self,

@@ -35,6 +35,8 @@ class Eig1Partitioner:
     """
 
     name = "EIG1"
+    #: Seed-independent: the multirun harness clamps extra runs to one.
+    deterministic = True
 
     def __init__(self, objective: str = "cut") -> None:
         if objective not in ("cut", "ratio"):

@@ -64,6 +64,8 @@ class MeloPartitioner:
         self.num_eigenvectors = num_eigenvectors
 
     name = "MELO"
+    #: Seed-independent: the multirun harness clamps extra runs to one.
+    deterministic = True
 
     def partition(
         self,

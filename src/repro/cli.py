@@ -13,6 +13,14 @@ Generate a synthetic Table-1 benchmark and compare algorithms::
 Write the best partition to JSON::
 
     prop-partition mydesign.hgr -a prop -o result.json
+
+Fan 40 runs across 4 worker processes with result caching::
+
+    prop-partition mydesign.hgr -a prop --runs 40 --workers 4
+
+Benchmark the engine itself (``bench`` subcommand)::
+
+    python -m repro bench --workers 2 --runs 4
 """
 
 from __future__ import annotations
@@ -137,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs", type=int, default=1, help="runs per algorithm (best kept)"
     )
     parser.add_argument("--seed", type=int, default=0, help="base seed")
+    _add_engine_flags(parser)
     parser.add_argument(
         "-o", "--output", help="write the best partition as JSON to this path"
     )
@@ -180,8 +189,64 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _nonneg_int(text: str) -> int:
+    """argparse type for ``--workers``: a non-negative integer."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+_nonneg_int.__name__ = "int"  # argparse's "invalid ... value" message
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution-engine knobs shared by the partition and bench modes."""
+    group = parser.add_argument_group("execution engine")
+    group.add_argument(
+        "--workers",
+        type=_nonneg_int,
+        default=None,
+        metavar="N",
+        help="fan runs across N worker processes (0/1 = in-process; "
+        "default: sequential, or REPRO_ENGINE_WORKERS when set)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (default .repro_cache/, "
+        "or REPRO_ENGINE_CACHE when set)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+
+
+def _engine_from_args(args) -> Optional["object"]:
+    """Build an Engine when any engine flag was used, else None
+    (None keeps the plain sequential code path for tiny runs)."""
+    if args.workers is None and args.cache_dir is None and not args.no_cache:
+        return None
+    from .engine import Engine, EngineConfig
+
+    return Engine(
+        EngineConfig(
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        return _run_bench_mode(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -212,24 +277,27 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     balance = _make_balance(graph, args.balance)
     print(balance.describe())
+    engine = _engine_from_args(args)
 
     best_overall = None
     for name in args.algorithm:
         partitioner = _make_partitioner(name)
         outcome = run_many(
             partitioner, graph, runs=args.runs, balance=balance,
-            base_seed=args.seed, circuit_name=source,
+            base_seed=args.seed, circuit_name=source, engine=engine,
         )
         best = outcome.best
         assert best is not None
         ratio = balance_ratio(graph, best.sides)
         print(
             f"{outcome.algorithm:>10s}: best cut {best.cut:g} over "
-            f"{args.runs} run(s), mean {outcome.mean_cut:.1f}, "
+            f"{len(outcome.cuts)} run(s), mean {outcome.mean_cut:.1f}, "
             f"balance {ratio:.3f}, {outcome.total_seconds:.2f}s total"
         )
         if best_overall is None or best.cut < best_overall.cut:
             best_overall = best
+    if engine is not None:
+        print(_engine_summary(engine))
 
     if args.output and best_overall is not None:
         payload: Dict[str, object] = {
@@ -337,6 +405,116 @@ def _run_verify_mode(graph: Hypergraph, args) -> int:
     )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _engine_summary(engine) -> str:
+    """One-line engine accounting for CLI output."""
+    stats = engine.stats
+    workers = engine.config.resolved_workers()
+    cache = "off" if engine.cache is None else str(engine.cache.root)
+    return (
+        f"engine: {workers} worker(s), cache {cache} — "
+        f"{stats.executed} executed ({stats.pool_executed} in pool), "
+        f"{stats.cache_hits} cache hit(s)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# bench subcommand
+# ---------------------------------------------------------------------------
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prop-partition bench",
+        description="exercise the execution engine on a synthetic "
+        "circuit × algorithm × seed grid and report throughput",
+    )
+    parser.add_argument(
+        "--circuits",
+        default="t6",
+        help=f"comma-separated Table-1 circuit names (default t6; "
+        f"choices: {', '.join(BENCHMARK_NAMES)})",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.06,
+        help="circuit down-scale factor (default 0.06: quick smoke)",
+    )
+    parser.add_argument(
+        "-a", "--algorithm", nargs="+", default=["fm", "prop"],
+        help="algorithms to bench (default: fm prop)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=4,
+        help="runs per (circuit, algorithm) cell (default 4)",
+    )
+    parser.add_argument("--balance", default="50-50", help="balance criterion")
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    _add_engine_flags(parser)
+    return parser
+
+
+def _run_bench_mode(argv: List[str]) -> int:
+    """``prop-partition bench`` — grid fan-out through the engine."""
+    import time
+
+    from .engine import Engine, EngineConfig, WorkUnit, seed_stream
+    from .multirun import effective_runs
+
+    parser = _build_bench_parser()
+    args = parser.parse_args(argv)
+    names = [n.strip() for n in args.circuits.split(",") if n.strip()]
+    for name in names:
+        if name not in BENCHMARK_NAMES:
+            parser.error(f"unknown circuit {name!r}")
+
+    engine = Engine(
+        EngineConfig(
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+    )
+    circuits = {n: make_benchmark(n, scale=args.scale) for n in names}
+
+    units: List[WorkUnit] = []
+    cells: List[Dict[str, object]] = []
+    for circuit_name, graph in circuits.items():
+        balance = _make_balance(graph, args.balance)
+        for algo_name in args.algorithm:
+            partitioner = _make_partitioner(algo_name)
+            runs = effective_runs(partitioner, args.runs)
+            cells.append({"circuit": circuit_name, "partitioner": partitioner,
+                          "runs": runs})
+            for seed in seed_stream(args.seed, runs):
+                units.append(
+                    WorkUnit(graph=graph, partitioner=partitioner, seed=seed,
+                             balance=balance, tag=circuit_name)
+                )
+
+    start = time.perf_counter()
+    outcomes = engine.run(units)
+    elapsed = time.perf_counter() - start
+
+    cursor = 0
+    for cell in cells:
+        runs = cell["runs"]
+        group = outcomes[cursor:cursor + runs]
+        cursor += runs
+        cuts = [u.result.cut for u in group]
+        compute = sum(u.seconds for u in group)
+        tag = getattr(cell["partitioner"], "name", "?")
+        print(
+            f"{cell['circuit']:>8s} {tag:>10s}: best {min(cuts):g} "
+            f"mean {sum(cuts) / len(cuts):.1f} over {runs} run(s), "
+            f"{compute:.2f}s compute"
+        )
+    total_compute = sum(u.seconds for u in outcomes)
+    speedup = total_compute / elapsed if elapsed > 0 else 1.0
+    print(
+        f"{len(units)} unit(s) in {elapsed:.2f}s wall "
+        f"({total_compute:.2f}s compute, {speedup:.1f}x)"
+    )
+    print(_engine_summary(engine))
+    return 0
 
 
 def _write_json(path: str, payload: Dict[str, object]) -> None:

@@ -1,0 +1,73 @@
+"""``repro.engine`` — parallel experiment-execution engine.
+
+The paper's evaluation protocol (Sec. 4: best cut over N runs from random
+initial partitions, for every circuit × algorithm pair) is embarrassingly
+parallel: each run is an independent, independently-seeded
+:class:`WorkUnit`.  This package schedules those units onto a process
+pool, memoizes finished runs in a content-addressed on-disk cache, and
+degrades gracefully to in-process execution when a pool is unavailable —
+while guaranteeing bit-identical results to the sequential harness.
+
+Quick start::
+
+    from repro.engine import Engine, EngineConfig, WorkUnit
+
+    engine = Engine(EngineConfig(workers=4))
+    units = [WorkUnit(graph, PropPartitioner(), seed=s) for s in range(20)]
+    best = min(engine.run(units), key=lambda r: r.result.cut)
+
+Higher layers rarely touch units directly: ``run_many(..., engine=engine)``
+(or ``parallel=True``), ``run_table2(..., engine=engine)`` and
+``sweep_prop_config(..., engine=engine)`` fan their grids through an
+engine for you.  See ``docs/engine.md`` for architecture, cache layout,
+and determinism guarantees.
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
+from .engine import (
+    WORKERS_ENV,
+    Engine,
+    EngineConfig,
+    EngineStats,
+    ProgressEvent,
+    UnitResult,
+    default_workers,
+)
+from .units import (
+    WorkUnit,
+    balance_fingerprint,
+    hypergraph_fingerprint,
+    partitioner_fingerprint,
+    seed_stream,
+    unit_key,
+)
+from .workers import WorkerOutcome, execute_unit
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "EngineStats",
+    "ProgressEvent",
+    "UnitResult",
+    "WorkUnit",
+    "WorkerOutcome",
+    "execute_unit",
+    "seed_stream",
+    "unit_key",
+    "hypergraph_fingerprint",
+    "partitioner_fingerprint",
+    "balance_fingerprint",
+    "ResultCache",
+    "CacheStats",
+    "default_cache_dir",
+    "default_workers",
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "WORKERS_ENV",
+]

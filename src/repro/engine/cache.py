@@ -1,0 +1,189 @@
+"""Content-addressed on-disk result cache.
+
+Layout: one JSON record per completed work unit under
+
+    <cache_dir>/<key[:2]>/<key>.json
+
+where ``key`` is :func:`repro.engine.units.unit_key` — a sha256 over the
+code version and the unit's four inputs (hypergraph, partitioner config,
+balance, seed).  Because the version participates in the key, bumping
+``repro.__version__`` invalidates every existing record without any
+explicit cleanup; stale records are simply never addressed again (use
+:meth:`ResultCache.clear` to reclaim the disk space).
+
+Records are written atomically (tmp file + rename) so a crashed or
+interrupted run can never leave a half-written record that would poison
+later reads; unreadable records are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from ..partition import BipartitionResult
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_ENGINE_CACHE"
+
+#: Default cache directory (relative to the working directory; gitignored).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Record format version, bumped if the JSON layout itself ever changes.
+RECORD_FORMAT = 1
+
+
+def default_cache_dir() -> str:
+    """The cache directory honoring the ``REPRO_ENGINE_CACHE`` override."""
+    return os.environ.get(CACHE_DIR_ENV, "").strip() or DEFAULT_CACHE_DIR
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. between measurement windows)."""
+        self.hits = self.misses = self.writes = self.errors = 0
+
+
+@dataclass
+class ResultCache:
+    """JSON result store addressed by work-unit content keys.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on first write.
+    version:
+        Code version mixed into every key by the caller (kept here only
+        for record metadata / debugging — the key already encodes it).
+    """
+
+    root: Union[str, Path] = field(default_factory=default_cache_dir)
+    version: str = ""
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if not self.version:
+            from .. import __version__
+
+            self.version = __version__
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """On-disk location of the record for ``key``."""
+        return Path(self.root) / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[BipartitionResult]:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        Corrupt or unreadable records count as misses and are deleted so
+        they cannot shadow a future write.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                record = json.load(fh)
+            result = BipartitionResult(
+                sides=list(record["sides"]),
+                cut=float(record["cut"]),
+                algorithm=record.get("algorithm", ""),
+                seed=record.get("seed"),
+                passes=int(record.get("passes", 0)),
+                runtime_seconds=float(record.get("runtime_seconds", 0.0)),
+                stats=dict(record.get("stats", {})),
+                pass_cuts=list(record.get("pass_cuts", [])),
+            )
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            self.stats.errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: BipartitionResult) -> None:
+        """Atomically persist ``result`` under ``key`` (best effort:
+        an unwritable cache directory disables persistence, not the run)."""
+        path = self.path_for(key)
+        record = {
+            "format": RECORD_FORMAT,
+            "version": self.version,
+            "key": key,
+            "algorithm": result.algorithm,
+            "seed": result.seed,
+            "cut": result.cut,
+            "sides": list(result.sides),
+            "passes": result.passes,
+            "runtime_seconds": result.runtime_seconds,
+            "stats": result.stats,
+            "pass_cuts": list(result.pass_cuts),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=str(path.parent)
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(record, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.stats.errors += 1
+            return
+        self.stats.writes += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def clear(self) -> int:
+        """Delete every record; returns the number of files removed."""
+        removed = 0
+        root = Path(self.root)
+        if not root.is_dir():
+            return 0
+        for shard in root.iterdir():
+            if not shard.is_dir():
+                continue
+            for record in shard.glob("*.json"):
+                try:
+                    record.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,313 @@
+"""The execution engine: scheduler + cache + fault handling.
+
+:class:`Engine` turns a batch of :class:`~repro.engine.units.WorkUnit`
+into :class:`UnitResult` records, in input order, using
+
+* a ``ProcessPoolExecutor`` sized by :class:`EngineConfig` (env override
+  ``REPRO_ENGINE_WORKERS``; ``0``/``1`` means in-process execution),
+* the content-addressed :class:`~repro.engine.cache.ResultCache` (keys
+  include ``repro.__version__``, so version bumps invalidate),
+* per-unit timeout and retry, degrading gracefully to in-process
+  execution whenever the pool cannot be created or breaks mid-run.
+
+Determinism: every unit carries its own seed and results are folded back
+by input index, so a batch produces bit-identical cuts whether it runs
+sequentially, on 4 workers, or half-and-half after a pool failure.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..partition import BipartitionResult
+from .cache import ResultCache, default_cache_dir
+from .units import WorkUnit, unit_key
+from .workers import execute_unit
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_ENGINE_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_ENGINE_WORKERS``, else ``os.cpu_count()``."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV}={raw!r} is not an integer"
+            ) from None
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All engine knobs.
+
+    Attributes
+    ----------
+    workers:
+        Process-pool size; ``None`` defers to ``REPRO_ENGINE_WORKERS``
+        (default ``os.cpu_count()``).  ``0`` or ``1`` executes in-process.
+    cache_dir:
+        Result-cache directory; ``None`` defers to ``REPRO_ENGINE_CACHE``
+        (default ``.repro_cache/``).
+    use_cache:
+        Master switch for the result cache.
+    timeout:
+        Per-unit wall-clock budget in seconds for pool execution; a unit
+        exceeding it is retried and ultimately re-run in-process.
+        ``None`` disables the budget.
+    retries:
+        Extra pool attempts for a unit that timed out or whose pool
+        broke, before degrading to in-process execution.
+    version:
+        Code version mixed into cache keys; defaults to
+        ``repro.__version__``.  Exposed for tests and cache migration.
+    progress:
+        Default progress callback (see :class:`ProgressEvent`); the
+        per-call argument of :meth:`Engine.run` takes precedence.
+    """
+
+    workers: Optional[int] = None
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    timeout: Optional[float] = None
+    retries: int = 1
+    version: Optional[str] = None
+    progress: Optional[Callable[["ProgressEvent"], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def resolved_workers(self) -> int:
+        """The effective pool size after env defaults."""
+        return default_workers() if self.workers is None else self.workers
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """One executed (or cache-served) work unit."""
+
+    unit: WorkUnit
+    index: int
+    result: BipartitionResult
+    seconds: float
+    cached: bool = False
+    source: str = "inline"  # "pool" | "inline" | "cache"
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Fired after every unit completes (in completion order)."""
+
+    done: int
+    total: int
+    latest: UnitResult
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated over an engine's lifetime."""
+
+    executed: int = 0
+    pool_executed: int = 0
+    cache_hits: int = 0
+    timeouts: int = 0
+    pool_failures: int = 0
+    inline_fallbacks: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. between measurement windows)."""
+        self.executed = self.pool_executed = self.cache_hits = 0
+        self.timeouts = self.pool_failures = self.inline_fallbacks = 0
+
+
+class Engine:
+    """Parallel work-unit executor with result cache and fault handling.
+
+    Usage::
+
+        engine = Engine(EngineConfig(workers=4))
+        results = engine.run(units)           # List[UnitResult], unit order
+
+    The engine is stateless between :meth:`run` calls apart from
+    :attr:`stats` and the on-disk cache; pools are created per call and
+    torn down afterwards, so an Engine can be kept around for the whole
+    life of a program (or a test session) without leaking processes.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.stats = EngineStats()
+        if self.config.version is not None:
+            self._version = self.config.version
+        else:
+            from .. import __version__
+
+            self._version = __version__
+        self.cache: Optional[ResultCache] = None
+        if self.config.use_cache:
+            root = self.config.cache_dir or default_cache_dir()
+            self.cache = ResultCache(root=root, version=self._version)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> List[UnitResult]:
+        """Execute every unit; results come back in input order.
+
+        Cache hits are served first (and never scheduled); misses go to
+        the process pool when more than one worker is configured, else
+        they run in-process.  Pool faults (creation failure, broken pool,
+        per-unit timeout after retries) degrade to in-process execution —
+        the batch always completes with exactly one result per unit.
+        """
+        units = list(units)
+        total = len(units)
+        callback = progress or self.config.progress
+        done = 0
+
+        def emit(unit_result: UnitResult) -> None:
+            nonlocal done
+            done += 1
+            if callback is not None:
+                callback(ProgressEvent(done=done, total=total, latest=unit_result))
+
+        results: List[Optional[UnitResult]] = [None] * total
+        keys: List[Optional[str]] = [None] * total
+        pending: List[int] = []
+        for i, unit in enumerate(units):
+            if self.cache is not None:
+                keys[i] = unit_key(unit, self._version)
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    self.stats.cache_hits += 1
+                    results[i] = UnitResult(
+                        unit=unit,
+                        index=i,
+                        result=hit,
+                        seconds=hit.runtime_seconds,
+                        cached=True,
+                        source="cache",
+                    )
+                    emit(results[i])
+                    continue
+            pending.append(i)
+
+        for i, outcome_result, seconds, source in self._execute(units, pending):
+            self.stats.executed += 1
+            if source == "pool":
+                self.stats.pool_executed += 1
+            if self.cache is not None and keys[i] is not None:
+                self.cache.put(keys[i], outcome_result)
+            results[i] = UnitResult(
+                unit=units[i],
+                index=i,
+                result=outcome_result,
+                seconds=seconds,
+                cached=False,
+                source=source,
+            )
+            emit(results[i])
+
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _execute(
+        self, units: Sequence[WorkUnit], pending: List[int]
+    ) -> Iterator[Tuple[int, BipartitionResult, float, str]]:
+        """Yield ``(index, result, seconds, source)`` for every pending unit."""
+        if not pending:
+            return
+        workers = self.config.resolved_workers()
+        if workers > 1 and len(pending) > 1:
+            remaining = pending
+            for _ in range(1 + self.config.retries):
+                if not remaining:
+                    break
+                executed, remaining = self._pool_round(units, remaining, workers)
+                for item in executed:
+                    yield item
+            if not remaining:
+                return
+            self.stats.inline_fallbacks += len(remaining)
+            pending = remaining
+        for i in pending:
+            outcome = execute_unit(i, units[i])
+            yield i, outcome.result, outcome.seconds, "inline"
+
+    def _pool_round(
+        self, units: Sequence[WorkUnit], pending: List[int], workers: int
+    ) -> Tuple[List[Tuple[int, BipartitionResult, float, str]], List[int]]:
+        """One process-pool attempt over ``pending``.
+
+        Returns (completed items, indices needing another attempt).  A
+        pool that cannot even be created returns everything as needing
+        another attempt — the caller's retry loop ends with in-process
+        execution, so no unit is ever dropped.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        completed: List[Tuple[int, BipartitionResult, float, str]] = []
+        failed: List[int] = []
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        except (OSError, ValueError, ImportError):
+            self.stats.pool_failures += 1
+            return completed, list(pending)
+        broken = False
+        timed_out = False
+        try:
+            try:
+                futures = {
+                    i: pool.submit(execute_unit, i, units[i]) for i in pending
+                }
+            except BrokenProcessPool:
+                self.stats.pool_failures += 1
+                return completed, list(pending)
+            for i, future in futures.items():
+                if broken:
+                    future.cancel()
+                    failed.append(i)
+                    continue
+                try:
+                    outcome = future.result(timeout=self.config.timeout)
+                except FutureTimeoutError:
+                    self.stats.timeouts += 1
+                    timed_out = True
+                    future.cancel()
+                    failed.append(i)
+                except BrokenProcessPool:
+                    self.stats.pool_failures += 1
+                    broken = True
+                    failed.append(i)
+                else:
+                    completed.append(
+                        (i, outcome.result, outcome.seconds, "pool")
+                    )
+        finally:
+            # A broken pool or a still-running timed-out unit must not
+            # block shutdown; leave those processes to die on their own.
+            wait = not (broken or timed_out)
+            try:
+                pool.shutdown(wait=wait, cancel_futures=True)
+            except TypeError:  # pragma: no cover - Python < 3.9
+                pool.shutdown(wait=wait)
+        return completed, failed

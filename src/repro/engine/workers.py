@@ -1,0 +1,40 @@
+"""Process-pool worker entry points.
+
+``ProcessPoolExecutor`` pickles the callable and its arguments into the
+worker, so the function must live at module level (lambdas and closures
+don't pickle).  The payload is the :class:`~repro.engine.units.WorkUnit`
+itself plus its batch index; everything a run needs travels inside the
+unit, which is what keeps workers stateless and results order-independent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..partition import BipartitionResult
+from .units import WorkUnit
+
+
+@dataclass(frozen=True)
+class WorkerOutcome:
+    """What a worker sends back: the run plus bookkeeping."""
+
+    index: int
+    result: BipartitionResult
+    seconds: float
+
+
+def execute_unit(index: int, unit: WorkUnit) -> WorkerOutcome:
+    """Run one work unit to completion (in a worker or in-process).
+
+    The run is timed here, next to the actual compute, so recorded
+    per-run seconds exclude scheduling/pickling overhead.
+    """
+    start = time.perf_counter()
+    result = unit.partitioner.partition(
+        unit.graph, balance=unit.balance, seed=unit.seed
+    )
+    return WorkerOutcome(
+        index=index, result=result, seconds=time.perf_counter() - start
+    )

@@ -16,8 +16,12 @@ statistics; relative algorithm behaviour is preserved (see DESIGN.md).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import Engine
 
 from ..baselines import (
     Eig1Partitioner,
@@ -60,6 +64,20 @@ def bench_scale_from_env() -> Tuple[float, float, Tuple[str, ...]]:
 
 def _scaled_runs(paper_runs: int, runs_scale: float) -> int:
     return max(1, round(paper_runs * runs_scale))
+
+
+def engine_from_env() -> Optional["Engine"]:
+    """An engine when ``REPRO_ENGINE_WORKERS`` is set, else ``None``.
+
+    This is what lets ``REPRO_ENGINE_WORKERS=8 pytest benchmarks/`` fan
+    the table regenerations across workers without touching any call
+    site; unset, the runners keep the plain sequential path.
+    """
+    if not os.environ.get("REPRO_ENGINE_WORKERS", "").strip():
+        return None
+    from ..engine import Engine
+
+    return Engine()
 
 
 @dataclass
@@ -138,12 +156,18 @@ def _run_comparison(
     balance_factory: Callable[[Hypergraph], BalanceConstraint],
     reference: str,
     base_seed: int = 0,
+    engine: Optional["Engine"] = None,
 ) -> ComparisonTable:
     table = ComparisonTable(
         title=title,
         algorithms=[label for label, _, _ in algorithms],
         reference=reference,
     )
+    if engine is not None:
+        _run_comparison_engine(
+            table, algorithms, circuits, balance_factory, base_seed, engine
+        )
+        return table
     for circuit_name, graph in circuits.items():
         balance = balance_factory(graph)
         for label, partitioner, runs in algorithms:
@@ -157,6 +181,77 @@ def _run_comparison(
             )
             table.add_as(circuit_name, label, result)
     return table
+
+
+def _run_comparison_engine(
+    table: ComparisonTable,
+    algorithms: Sequence[Tuple[str, Partitioner, int]],
+    circuits: Dict[str, Hypergraph],
+    balance_factory: Callable[[Hypergraph], BalanceConstraint],
+    base_seed: int,
+    engine: "Engine",
+) -> None:
+    """Fan the whole (circuit × algorithm × seed) grid through one engine
+    batch, then fold the unit results back into per-cell MultiRunResults.
+
+    One batch (rather than one ``engine.run`` per cell) keeps every
+    worker busy across cell boundaries: a slow PROP cell no longer
+    serializes behind a fleet of fast FM runs.  Folding is by (circuit,
+    label) in seed order, so the table is bit-identical to the
+    sequential path.
+    """
+    from ..engine import WorkUnit, seed_stream
+    from ..multirun import effective_runs
+
+    units = []
+    cells: List[Tuple[str, str, Partitioner, Hypergraph,
+                      BalanceConstraint, int]] = []
+    for circuit_name, graph in circuits.items():
+        balance = balance_factory(graph)
+        for label, partitioner, runs in algorithms:
+            runs = effective_runs(partitioner, runs)
+            cells.append(
+                (circuit_name, label, partitioner, graph, balance, runs)
+            )
+            for seed in seed_stream(base_seed, runs):
+                units.append(
+                    WorkUnit(
+                        graph=graph,
+                        partitioner=partitioner,
+                        seed=seed,
+                        balance=balance,
+                        tag=f"{circuit_name}/{label}",
+                    )
+                )
+
+    start = time.perf_counter()
+    outcomes = engine.run(units)
+    batch_seconds = time.perf_counter() - start
+
+    cursor = 0
+    for circuit_name, label, partitioner, graph, balance, runs in cells:
+        cell = outcomes[cursor:cursor + runs]
+        cursor += runs
+        result = MultiRunResult(
+            algorithm=getattr(partitioner, "name", type(partitioner).__name__),
+            circuit=circuit_name,
+            runs=runs,
+            partitioner=partitioner,
+            graph=graph,
+            balance=balance,
+        )
+        for unit_result in cell:
+            result.seeds.append(unit_result.unit.seed)
+            result.cuts.append(unit_result.result.cut)
+            result.run_seconds.append(unit_result.seconds)
+            if result.best is None or unit_result.result.cut < result.best.cut:
+                result.best = unit_result.result
+        # Attribute the batch wall clock proportionally to compute time,
+        # so per-cell totals still sum to the observed wall clock.
+        cell_compute = sum(u.seconds for u in cell)
+        total_compute = sum(u.seconds for u in outcomes) or 1.0
+        result.total_seconds = batch_seconds * (cell_compute / total_compute)
+        table.add_as(circuit_name, label, result)
 
 
 # ---------------------------------------------------------------------------
@@ -183,12 +278,20 @@ def run_table2(
     runs_scale: Optional[float] = None,
     names: Optional[Sequence[str]] = None,
     base_seed: int = 0,
+    engine: Optional["Engine"] = None,
 ) -> ComparisonTable:
-    """Regenerate Table 2 (50-50%% cutsets) at the given or env-configured scale."""
+    """Regenerate Table 2 (50-50%% cutsets) at the given or env-configured scale.
+
+    With ``engine`` given, the whole (circuit × algorithm × seed) grid is
+    fanned through it — parallel across workers, memoized by its cache —
+    with a bit-identical table either way.
+    """
     env_scale, env_runs, env_names = bench_scale_from_env()
     scale = env_scale if scale is None else scale
     runs_scale = env_runs if runs_scale is None else runs_scale
     names = env_names if names is None else names
+    if engine is None:
+        engine = engine_from_env()
 
     circuits = {n: make_benchmark(n, scale=scale) for n in names}
     algorithms: List[Tuple[str, Partitioner, int]] = [
@@ -207,6 +310,7 @@ def run_table2(
         BalanceConstraint.fifty_fifty,
         reference="PROP",
         base_seed=base_seed,
+        engine=engine,
     )
 
 
@@ -218,12 +322,15 @@ def run_table3(
     runs_scale: Optional[float] = None,
     names: Optional[Sequence[str]] = None,
     base_seed: int = 0,
+    engine: Optional["Engine"] = None,
 ) -> ComparisonTable:
     """Regenerate Table 3 (45-55%% cutsets) at the given or env-configured scale."""
     env_scale, env_runs, env_names = bench_scale_from_env()
     scale = env_scale if scale is None else scale
     runs_scale = env_runs if runs_scale is None else runs_scale
     names = env_names if names is None else names
+    if engine is None:
+        engine = engine_from_env()
 
     circuits = {n: make_benchmark(n, scale=scale) for n in names}
     algorithms: List[Tuple[str, Partitioner, int]] = [
@@ -239,6 +346,7 @@ def run_table3(
         BalanceConstraint.forty_five_fifty_five,
         reference="PROP",
         base_seed=base_seed,
+        engine=engine,
     )
 
 
@@ -250,12 +358,15 @@ def run_table4(
     names: Optional[Sequence[str]] = None,
     runs_per_algorithm: int = 3,
     base_seed: int = 0,
+    engine: Optional["Engine"] = None,
 ) -> ComparisonTable:
     """Per-run timing comparison (cuts are recorded too, but the payload is
     ``.rows[circuit][alg].seconds_per_run``)."""
     env_scale, _, env_names = bench_scale_from_env()
     scale = env_scale if scale is None else scale
     names = env_names if names is None else names
+    if engine is None:
+        engine = engine_from_env()
 
     circuits = {n: make_benchmark(n, scale=scale) for n in names}
     algorithms: List[Tuple[str, Partitioner, int]] = [
@@ -276,6 +387,7 @@ def run_table4(
         BalanceConstraint.forty_five_fifty_five,
         reference="PROP",
         base_seed=base_seed,
+        engine=engine,
     )
 
 

@@ -1,5 +1,17 @@
 """Multi-start run protocol (best-of-N with sequential seeds)."""
 
-from .runner import PAPER_RUN_COUNTS, MultiRunResult, Partitioner, run_many
+from .runner import (
+    PAPER_RUN_COUNTS,
+    MultiRunResult,
+    Partitioner,
+    effective_runs,
+    run_many,
+)
 
-__all__ = ["run_many", "MultiRunResult", "Partitioner", "PAPER_RUN_COUNTS"]
+__all__ = [
+    "run_many",
+    "MultiRunResult",
+    "Partitioner",
+    "PAPER_RUN_COUNTS",
+    "effective_runs",
+]

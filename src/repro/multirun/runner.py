@@ -6,17 +6,26 @@ with 20.  :func:`run_many` reproduces that protocol for any partitioner
 object exposing ``partition(graph, balance=..., seed=...)`` and a ``name``.
 
 Seeds are ``base_seed, base_seed+1, ...`` so any individual run can be
-replayed in isolation.
+replayed in isolation (:meth:`MultiRunResult.replay`).  The runs are
+independent, so ``run_many(..., parallel=True)`` — or passing an explicit
+:class:`repro.engine.Engine` — fans them across a process pool with
+bit-identical results (see ``docs/engine.md``); the sequential loop
+remains the default code path, which is the right choice for tiny runs
+where pool startup would dominate.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
 
 from ..hypergraph import Hypergraph
 from ..partition import BalanceConstraint, BipartitionResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses us)
+    from ..engine import Engine
 
 
 class Partitioner(Protocol):
@@ -37,7 +46,16 @@ class Partitioner(Protocol):
 
 @dataclass
 class MultiRunResult:
-    """Aggregate of N runs of one algorithm on one circuit."""
+    """Aggregate of N runs of one algorithm on one circuit.
+
+    ``seeds[i]``, ``cuts[i]`` and ``run_seconds[i]`` describe run ``i``;
+    ``total_seconds`` is the harness wall clock for the whole batch
+    (including scheduling overhead), while ``run_seconds`` times only the
+    partitioning calls themselves — so ``seconds_per_run`` is no longer
+    skewed by harness overhead.  The source ``partitioner``/``graph``/
+    ``balance`` are retained (when known) so :meth:`replay` can re-run a
+    single seed for debugging or cache-key verification.
+    """
 
     algorithm: str
     circuit: str
@@ -45,6 +63,15 @@ class MultiRunResult:
     cuts: List[float] = field(default_factory=list)
     best: Optional[BipartitionResult] = None
     total_seconds: float = 0.0
+    seeds: List[int] = field(default_factory=list)
+    run_seconds: List[float] = field(default_factory=list)
+    partitioner: Optional[Partitioner] = field(
+        default=None, repr=False, compare=False
+    )
+    graph: Optional[Hypergraph] = field(default=None, repr=False, compare=False)
+    balance: Optional[BalanceConstraint] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def best_cut(self) -> float:
@@ -66,9 +93,57 @@ class MultiRunResult:
 
     @property
     def seconds_per_run(self) -> float:
+        """Mean seconds of one partitioning run.
+
+        Prefers the per-run timings (pure partitioner compute); falls
+        back to ``total_seconds / N`` for results built before per-run
+        timing existed (e.g. deserialized records).
+        """
         if not self.cuts:
             raise ValueError("no runs recorded")
+        if self.run_seconds:
+            return sum(self.run_seconds) / len(self.run_seconds)
         return self.total_seconds / len(self.cuts)
+
+    def replay(self, i: int) -> BipartitionResult:
+        """Re-run run ``i`` (same seed, graph, balance) in isolation.
+
+        The deterministic per-seed contract of every partitioner makes
+        this reproduce ``cuts[i]`` exactly — the debugging workflow for
+        "which run produced this outlier?", and the ground truth the
+        engine's cache keys rely on.
+        """
+        if not self.seeds:
+            raise ValueError("no seeds recorded (result predates seed tracking)")
+        if not 0 <= i < len(self.seeds):
+            raise IndexError(f"run index {i} out of range 0..{len(self.seeds) - 1}")
+        if self.partitioner is None or self.graph is None:
+            raise ValueError("source partitioner/graph not retained; cannot replay")
+        return self.partitioner.partition(
+            self.graph, balance=self.balance, seed=self.seeds[i]
+        )
+
+
+def effective_runs(partitioner: Partitioner, runs: int) -> int:
+    """Clamp ``runs`` to 1 for deterministic partitioners (with a warning).
+
+    EIG1, MELO and PARABOLI advertise ``deterministic = True``: they
+    ignore the seed, so extra runs would only repeat the identical
+    answer.  Callers that pass ``runs > 1`` anyway get one run and a
+    ``UserWarning`` instead of silently wasted compute.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if runs > 1 and getattr(partitioner, "deterministic", False):
+        name = getattr(partitioner, "name", type(partitioner).__name__)
+        warnings.warn(
+            f"{name} is deterministic: {runs} requested runs would produce "
+            f"identical results; running once",
+            UserWarning,
+            stacklevel=3,
+        )
+        return 1
+    return runs
 
 
 def run_many(
@@ -78,27 +153,75 @@ def run_many(
     balance: Optional[BalanceConstraint] = None,
     base_seed: int = 0,
     circuit_name: str = "",
+    parallel: bool = False,
+    engine: Optional["Engine"] = None,
 ) -> MultiRunResult:
     """Run ``partitioner`` ``runs`` times with seeds base_seed..base_seed+runs-1.
 
-    Deterministic algorithms (EIG1, MELO, PARABOLI) should be called with
-    ``runs=1``; extra runs would only repeat the identical answer.
+    ``parallel=True`` fans the runs across a process pool via an
+    ephemeral :class:`repro.engine.Engine` (caching disabled — pass an
+    explicit ``engine`` to control workers, cache and fault handling).
+    Either way the cuts are bit-identical to the sequential path: the
+    same seed stream is used and results are folded in seed order.
+
+    Deterministic partitioners (``deterministic = True``: EIG1, MELO,
+    PARABOLI) are short-circuited to a single run with a warning when
+    ``runs > 1``.
     """
-    if runs < 1:
-        raise ValueError(f"runs must be >= 1, got {runs}")
+    runs = effective_runs(partitioner, runs)
     result = MultiRunResult(
         algorithm=getattr(partitioner, "name", type(partitioner).__name__),
         circuit=circuit_name,
         runs=runs,
+        partitioner=partitioner,
+        graph=graph,
+        balance=balance,
     )
+
+    if engine is None and parallel:
+        from ..engine import Engine, EngineConfig
+
+        engine = Engine(EngineConfig(use_cache=False))
+
     start = time.perf_counter()
-    for i in range(runs):
-        one = partitioner.partition(graph, balance=balance, seed=base_seed + i)
-        result.cuts.append(one.cut)
-        if result.best is None or one.cut < result.best.cut:
-            result.best = one
+    if engine is not None:
+        from ..engine import WorkUnit, seed_stream
+
+        units = [
+            WorkUnit(
+                graph=graph,
+                partitioner=partitioner,
+                seed=seed,
+                balance=balance,
+                tag=circuit_name,
+            )
+            for seed in seed_stream(base_seed, runs)
+        ]
+        for unit_result in engine.run(units):
+            _record(result, unit_result.unit.seed, unit_result.result,
+                    unit_result.seconds)
+    else:
+        for i in range(runs):
+            seed = base_seed + i
+            run_start = time.perf_counter()
+            one = partitioner.partition(graph, balance=balance, seed=seed)
+            _record(result, seed, one, time.perf_counter() - run_start)
     result.total_seconds = time.perf_counter() - start
     return result
+
+
+def _record(
+    result: MultiRunResult,
+    seed: int,
+    one: BipartitionResult,
+    seconds: float,
+) -> None:
+    """Fold one run into the aggregate (keeps best-of-N invariants)."""
+    result.seeds.append(seed)
+    result.cuts.append(one.cut)
+    result.run_seconds.append(seconds)
+    if result.best is None or one.cut < result.best.cut:
+        result.best = one
 
 
 #: Run counts used by the paper's tables, keyed by the table row label.

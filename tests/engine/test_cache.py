@@ -1,0 +1,118 @@
+"""Result-cache behaviour: hit, miss, invalidation, corruption."""
+
+import json
+
+import pytest
+
+from repro.baselines import FMPartitioner
+from repro.core import PropConfig, PropPartitioner
+from repro.engine import Engine, EngineConfig, ResultCache, WorkUnit
+from repro.partition import BipartitionResult
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache", version="1.0.0")
+
+
+def _result(cut=3.0):
+    return BipartitionResult(
+        sides=[0, 0, 0, 1, 1, 1], cut=cut, algorithm="FM-bucket", seed=7,
+        passes=2, runtime_seconds=0.01, stats={"moves": 5.0},
+        pass_cuts=[5.0, 3.0],
+    )
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, cache):
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        cache.put(key, _result())
+        got = cache.get(key)
+        assert got is not None
+        assert got.cut == 3.0
+        assert got.sides == [0, 0, 0, 1, 1, 1]
+        assert got.seed == 7
+        assert got.passes == 2
+        assert got.stats == {"moves": 5.0}
+        assert got.pass_cuts == [5.0, 3.0]
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+
+    def test_sharded_layout(self, cache):
+        key = "cd" + "1" * 62
+        cache.put(key, _result())
+        assert cache.path_for(key).exists()
+        assert cache.path_for(key).parent.name == "cd"
+        assert key in cache
+
+    def test_corrupt_record_is_miss_and_removed(self, cache):
+        key = "ef" + "2" * 62
+        cache.put(key, _result())
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+        assert cache.stats.errors == 1
+
+    def test_record_missing_fields_is_miss(self, cache):
+        key = "0a" + "3" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"cut": 1.0}))  # no "sides"
+        assert cache.get(key) is None
+
+    def test_clear_removes_all_records(self, cache):
+        for i in range(3):
+            cache.put(f"{i:02d}" + "4" * 62, _result())
+        assert cache.clear() == 3
+        assert cache.get("00" + "4" * 62) is None
+
+
+class TestEngineCacheIntegration:
+    """Hit/miss/invalidation through the engine (the acceptance cases)."""
+
+    def _engine(self, tmp_path, version="1.0.0"):
+        # workers=0: in-process execution, so counters are exact.
+        return Engine(EngineConfig(
+            workers=0, cache_dir=str(tmp_path / "cache"), version=version,
+        ))
+
+    def test_second_run_is_all_hits(self, tmp_path, tiny_graph):
+        engine = self._engine(tmp_path)
+        units = [WorkUnit(tiny_graph, FMPartitioner("bucket"), seed=s)
+                 for s in range(3)]
+        first = engine.run(units)
+        assert engine.stats.executed == 3
+        second = engine.run(units)
+        assert engine.stats.executed == 3  # nothing new ran
+        assert engine.stats.cache_hits == 3
+        assert [u.result.cut for u in first] == [u.result.cut for u in second]
+        assert all(u.cached and u.source == "cache" for u in second)
+
+    def test_version_bump_invalidates(self, tmp_path, tiny_graph):
+        units = [WorkUnit(tiny_graph, FMPartitioner("bucket"), seed=0)]
+        old = self._engine(tmp_path, version="1.0.0")
+        old.run(units)
+        bumped = self._engine(tmp_path, version="1.0.1")
+        bumped.run(units)
+        assert bumped.stats.cache_hits == 0
+        assert bumped.stats.executed == 1
+
+    def test_config_change_invalidates(self, tmp_path, tiny_graph):
+        engine = self._engine(tmp_path)
+        engine.run([WorkUnit(tiny_graph, PropPartitioner(), seed=0)])
+        engine.run([WorkUnit(
+            tiny_graph, PropPartitioner(PropConfig(pinit=0.8)), seed=0,
+        )])
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.executed == 2
+
+    def test_use_cache_false_disables(self, tmp_path, tiny_graph):
+        engine = Engine(EngineConfig(workers=0, use_cache=False))
+        assert engine.cache is None
+        units = [WorkUnit(tiny_graph, FMPartitioner("bucket"), seed=0)]
+        engine.run(units)
+        engine.run(units)
+        assert engine.stats.executed == 2
+        assert engine.stats.cache_hits == 0

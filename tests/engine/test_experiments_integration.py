@@ -1,0 +1,98 @@
+"""Engine-backed experiment layers: tables and sweeps.
+
+Covers the acceptance criterion that a warm cache makes the second
+``run_table2`` invocation dramatically cheaper — asserted with the
+engine's run counters, not wall clock, to keep CI stable.
+"""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.experiments import run_table2, run_table3, sweep_prop_config
+from repro.hypergraph import hierarchical_circuit
+
+TINY = dict(scale=0.06, runs_scale=0.05, names=("balu", "t6"))
+
+
+def _inline_engine(tmp_path=None, **kwargs):
+    """workers=0 keeps execution in-process so run counters are exact."""
+    if tmp_path is not None:
+        kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    else:
+        kwargs.setdefault("use_cache", False)
+    return Engine(EngineConfig(workers=0, **kwargs))
+
+
+class TestTablesThroughEngine:
+    def test_table2_engine_matches_sequential(self, tmp_path):
+        sequential = run_table2(**TINY)
+        engine = _inline_engine(tmp_path)
+        parallel = run_table2(**TINY, engine=engine)
+        assert parallel.totals() == sequential.totals()
+        for circuit in sequential.rows:
+            for alg in sequential.algorithms:
+                assert (parallel.rows[circuit][alg].cuts
+                        == sequential.rows[circuit][alg].cuts)
+                assert (parallel.rows[circuit][alg].seeds
+                        == sequential.rows[circuit][alg].seeds)
+
+    def test_warm_cache_run_counter_speedup(self, tmp_path):
+        """Acceptance: warm cache => >= 5x fewer executions (here: zero)."""
+        engine = _inline_engine(tmp_path)
+        cold = run_table2(**TINY, engine=engine)
+        cold_executed = engine.stats.executed
+        assert cold_executed > 0
+
+        warm = run_table2(**TINY, engine=engine)
+        warm_executed = engine.stats.executed - cold_executed
+        assert engine.stats.cache_hits == cold_executed
+        assert warm_executed * 5 <= cold_executed
+        assert warm_executed == 0
+        assert warm.totals() == cold.totals()
+
+    def test_table3_deterministic_methods_single_run(self, tmp_path):
+        engine = _inline_engine(tmp_path)
+        table = run_table3(**TINY, engine=engine)
+        for circuit in table.rows:
+            for alg in ("MELO", "PARABOLI", "EIG1"):
+                assert len(table.rows[circuit][alg].cuts) == 1
+
+    def test_cell_timings_populated(self):
+        engine = _inline_engine()
+        table = run_table2(**TINY, engine=engine)
+        for circuit in table.rows:
+            for alg in table.algorithms:
+                cell = table.rows[circuit][alg]
+                assert len(cell.run_seconds) == len(cell.cuts)
+                assert cell.seconds_per_run > 0
+
+
+class TestSweepThroughEngine:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return hierarchical_circuit(90, 98, 350, seed=1)
+
+    def test_engine_sweep_matches_sequential(self, circuit):
+        grid = {"refinement_iterations": [0, 2]}
+        sequential = sweep_prop_config(circuit, grid, runs=2, base_seed=3)
+        swept = sweep_prop_config(
+            circuit, grid, runs=2, base_seed=3, engine=_inline_engine()
+        )
+        assert [p.overrides for p in swept.points] == (
+            [p.overrides for p in sequential.points]
+        )
+        assert [p.best_cut for p in swept.points] == (
+            [p.best_cut for p in sequential.points]
+        )
+        assert [p.mean_cut for p in swept.points] == (
+            [p.mean_cut for p in sequential.points]
+        )
+
+    def test_sweep_points_cached_across_sweeps(self, circuit, tmp_path):
+        engine = _inline_engine(tmp_path)
+        grid = {"pinit": [0.8, 0.95]}
+        sweep_prop_config(circuit, grid, runs=2, engine=engine)
+        first = engine.stats.executed
+        sweep_prop_config(circuit, grid, runs=2, engine=engine)
+        assert engine.stats.executed == first  # fully memoized
+        assert engine.stats.cache_hits == first

@@ -1,0 +1,103 @@
+"""Work-unit fingerprints and seed streams — the cache-key foundations."""
+
+import pytest
+
+from repro import __version__
+from repro.baselines import FMPartitioner
+from repro.core import PropConfig, PropPartitioner
+from repro.engine import (
+    WorkUnit,
+    balance_fingerprint,
+    hypergraph_fingerprint,
+    partitioner_fingerprint,
+    seed_stream,
+    unit_key,
+)
+from repro.hypergraph import Hypergraph
+from repro.partition import BalanceConstraint
+
+
+class TestSeedStream:
+    def test_matches_sequential_harness_convention(self):
+        assert seed_stream(5, 4) == [5, 6, 7, 8]
+
+    def test_empty(self):
+        assert seed_stream(0, 0) == []
+
+    def test_negative_runs_rejected(self):
+        with pytest.raises(ValueError):
+            seed_stream(0, -1)
+
+
+class TestHypergraphFingerprint:
+    def test_value_based_not_identity_based(self):
+        a = Hypergraph([[0, 1], [1, 2]])
+        b = Hypergraph([[0, 1], [1, 2]])
+        assert a is not b
+        assert hypergraph_fingerprint(a) == hypergraph_fingerprint(b)
+
+    def test_net_change_changes_fingerprint(self):
+        a = Hypergraph([[0, 1], [1, 2]])
+        b = Hypergraph([[0, 1], [0, 2]])
+        assert hypergraph_fingerprint(a) != hypergraph_fingerprint(b)
+
+    def test_costs_and_weights_participate(self):
+        base = Hypergraph([[0, 1], [1, 2]])
+        costly = Hypergraph([[0, 1], [1, 2]], net_costs=[2.0, 1.0])
+        heavy = Hypergraph([[0, 1], [1, 2]], node_weights=[2.0, 1.0, 1.0])
+        prints = {
+            hypergraph_fingerprint(g) for g in (base, costly, heavy)
+        }
+        assert len(prints) == 3
+
+
+class TestPartitionerFingerprint:
+    def test_same_config_same_fingerprint(self):
+        assert partitioner_fingerprint(PropPartitioner()) == (
+            partitioner_fingerprint(PropPartitioner())
+        )
+
+    def test_config_field_changes_fingerprint(self):
+        default = PropPartitioner()
+        tuned = PropPartitioner(PropConfig(pinit=0.8))
+        assert partitioner_fingerprint(default) != partitioner_fingerprint(tuned)
+
+    def test_container_choice_changes_fingerprint(self):
+        assert partitioner_fingerprint(FMPartitioner("bucket")) != (
+            partitioner_fingerprint(FMPartitioner("tree"))
+        )
+
+    def test_different_classes_differ(self):
+        assert partitioner_fingerprint(PropPartitioner()) != (
+            partitioner_fingerprint(FMPartitioner("bucket"))
+        )
+
+
+class TestUnitKey:
+    def test_all_inputs_participate(self, tiny_graph):
+        balance = BalanceConstraint.fifty_fifty(tiny_graph)
+        base = WorkUnit(tiny_graph, FMPartitioner("bucket"), seed=0,
+                        balance=balance)
+        variants = [
+            WorkUnit(tiny_graph, FMPartitioner("bucket"), seed=1,
+                     balance=balance),
+            WorkUnit(tiny_graph, FMPartitioner("tree"), seed=0,
+                     balance=balance),
+            WorkUnit(tiny_graph, FMPartitioner("bucket"), seed=0,
+                     balance=None),
+        ]
+        keys = {unit_key(u, __version__) for u in [base] + variants}
+        assert len(keys) == 4
+
+    def test_version_participates(self, tiny_graph):
+        unit = WorkUnit(tiny_graph, FMPartitioner("bucket"), seed=0)
+        assert unit_key(unit, "1.0.0") != unit_key(unit, "9.9.9")
+        assert unit.cache_key("1.0.0") == unit_key(unit, "1.0.0")
+
+    def test_tag_does_not_participate(self, tiny_graph):
+        a = WorkUnit(tiny_graph, FMPartitioner("bucket"), seed=0, tag="x")
+        b = WorkUnit(tiny_graph, FMPartitioner("bucket"), seed=0, tag="y")
+        assert unit_key(a, __version__) == unit_key(b, __version__)
+
+    def test_balance_fingerprint_none(self):
+        assert balance_fingerprint(None) == "none"

@@ -40,6 +40,37 @@ class TestEnvParsing:
         assert names == DEFAULT_BENCH_CIRCUITS
 
 
+class TestEngineFromEnv:
+    def test_unset_means_sequential(self, monkeypatch):
+        from repro.experiments.tables import engine_from_env
+
+        monkeypatch.delenv("REPRO_ENGINE_WORKERS", raising=False)
+        assert engine_from_env() is None
+
+    def test_set_builds_engine(self, monkeypatch, tmp_path):
+        from repro.experiments.tables import engine_from_env
+
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "0")
+        monkeypatch.setenv("REPRO_ENGINE_CACHE", str(tmp_path / "cache"))
+        engine = engine_from_env()
+        assert engine is not None
+        assert engine.config.resolved_workers() == 0
+
+    def test_env_engine_matches_sequential_table(self, monkeypatch, tmp_path):
+        from repro.experiments.tables import run_table2
+
+        kwargs = dict(scale=0.06, runs_scale=0.05, names=("t6",))
+        monkeypatch.delenv("REPRO_ENGINE_WORKERS", raising=False)
+        sequential = run_table2(**kwargs)
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "0")
+        monkeypatch.setenv("REPRO_ENGINE_CACHE", str(tmp_path / "cache"))
+        enveloped = run_table2(**kwargs)
+        assert set(sequential.rows) == set(enveloped.rows)
+        for circuit, row in sequential.rows.items():
+            for label, cell in row.items():
+                assert enveloped.rows[circuit][label].best_cut == cell.best_cut
+
+
 class TestScaledRuns:
     def test_paper_counts_at_quarter_scale(self):
         assert _scaled_runs(100, 0.25) == 25

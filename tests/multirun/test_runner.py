@@ -37,9 +37,39 @@ class TestRunMany:
     def test_timing_captured(self, medium_circuit):
         outcome = run_many(FMPartitioner("bucket"), medium_circuit, runs=2)
         assert outcome.total_seconds > 0
+        assert len(outcome.run_seconds) == 2
+        assert all(s > 0 for s in outcome.run_seconds)
+        # per-run seconds time only the partitioning calls, so they sum
+        # to at most the harness wall clock (no overhead skew).
+        assert sum(outcome.run_seconds) <= outcome.total_seconds
         assert outcome.seconds_per_run == pytest.approx(
-            outcome.total_seconds / 2
+            sum(outcome.run_seconds) / 2
         )
+
+    def test_seeds_recorded_per_run(self, medium_circuit):
+        outcome = run_many(
+            FMPartitioner("bucket"), medium_circuit, runs=3, base_seed=20
+        )
+        assert outcome.seeds == [20, 21, 22]
+
+    def test_replay_reproduces_individual_runs(self, medium_circuit):
+        outcome = run_many(
+            FMPartitioner("bucket"), medium_circuit, runs=3, base_seed=9
+        )
+        for i in range(3):
+            assert outcome.replay(i).cut == outcome.cuts[i]
+
+    def test_replay_bad_index(self, medium_circuit):
+        outcome = run_many(FMPartitioner("bucket"), medium_circuit, runs=2)
+        with pytest.raises(IndexError):
+            outcome.replay(5)
+
+    def test_replay_requires_source_refs(self):
+        from repro.multirun import MultiRunResult
+
+        bare = MultiRunResult(algorithm="X", circuit="c", runs=1)
+        with pytest.raises(ValueError):
+            bare.replay(0)
 
     def test_empty_result_properties_raise(self):
         from repro.multirun import MultiRunResult

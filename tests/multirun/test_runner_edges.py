@@ -54,10 +54,30 @@ class TestDeterminismAcrossHarness:
 
 
 class TestDeterministicAlgorithmsInHarness:
-    def test_extra_runs_of_deterministic_method_are_constant(
-        self, medium_circuit
-    ):
+    def test_extra_runs_short_circuit_with_warning(self, medium_circuit):
         from repro.baselines import Eig1Partitioner
 
-        outcome = run_many(Eig1Partitioner(), medium_circuit, runs=3)
-        assert len(set(outcome.cuts)) == 1
+        with pytest.warns(UserWarning, match="deterministic"):
+            outcome = run_many(Eig1Partitioner(), medium_circuit, runs=3)
+        # one run, not three silent repeats of the identical answer
+        assert len(outcome.cuts) == 1
+        assert outcome.runs == 1
+
+    def test_all_deterministic_baselines_advertise_it(self):
+        from repro.baselines import (
+            Eig1Partitioner,
+            MeloPartitioner,
+            ParaboliPartitioner,
+        )
+
+        for cls in (Eig1Partitioner, MeloPartitioner, ParaboliPartitioner):
+            assert cls.deterministic is True
+
+    def test_single_run_emits_no_warning(self, medium_circuit, recwarn):
+        from repro.baselines import Eig1Partitioner
+
+        outcome = run_many(Eig1Partitioner(), medium_circuit, runs=1)
+        assert len(outcome.cuts) == 1
+        assert not [
+            w for w in recwarn if "deterministic" in str(w.message)
+        ]

@@ -5,7 +5,7 @@ import repro
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -22,6 +22,7 @@ class TestPublicApi:
         import repro.baselines
         import repro.core
         import repro.datastructures
+        import repro.engine
         import repro.experiments
         import repro.fpga
         import repro.hypergraph

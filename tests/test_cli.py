@@ -104,6 +104,22 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([str(netlist_file), "--kway", "3", "--place"])
 
+    def test_workers_flag_partition(self, netlist_file, tmp_path, capsys):
+        assert main([
+            str(netlist_file), "-a", "fm", "--runs", "3", "--workers", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine: 0 worker(s)" in out
+        assert "3 executed" in out
+
+    def test_no_cache_flag(self, netlist_file, capsys):
+        assert main([
+            str(netlist_file), "-a", "fm", "--runs", "2", "--workers", "0",
+            "--no-cache",
+        ]) == 0
+        assert "cache off" in capsys.readouterr().out
+
     def test_every_algorithm_runs(self, capsys):
         algos = ["prop", "prop-cl", "ml-prop", "fm", "fm-tree", "la-2",
                  "la-3", "kl", "sa", "eig1", "melo", "window", "paraboli",
@@ -112,3 +128,40 @@ class TestCli:
         out = capsys.readouterr().out
         for tag in ("PROP", "EIG1", "MELO", "WINDOW", "PARABOLI", "KL"):
             assert tag in out
+
+
+class TestBenchSubcommand:
+    @pytest.mark.slow
+    def test_bench_smoke_multiprocess(self, tmp_path, capsys, monkeypatch):
+        """The documented smoke invocation, pool and all."""
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--workers", "2", "--runs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "FM-bucket" in out
+        assert "PROP" in out
+        assert "engine: 2 worker(s)" in out
+        assert (tmp_path / ".repro_cache").is_dir()
+
+    def test_bench_inline_no_cache(self, capsys):
+        assert main([
+            "bench", "--workers", "0", "--runs", "2", "--no-cache",
+            "-a", "fm",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 unit(s)" in out
+        assert "cache off" in out
+
+    def test_bench_warm_cache_hits(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        args = ["bench", "--workers", "0", "--runs", "3", "-a", "fm"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "3 executed" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "3 cache hit(s)" in second
+        assert "0 executed" in second
+
+    def test_bench_unknown_circuit_errors(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--circuits", "nonsense"])
