@@ -22,12 +22,15 @@ Subpackages:
 * ``repro.baselines``    — FM, LA, KL, EIG1, MELO, WINDOW, PARABOLI
 * ``repro.multirun``     — best-of-N run protocol
 * ``repro.engine``       — parallel work-unit execution engine + result cache
+* ``repro.audit``        — runtime invariant auditing + differential oracles
+* ``repro.testing``      — shared hypothesis strategies and seeded instances
 * ``repro.kway``         — recursive k-way partitioning
 * ``repro.timing``       — timing-driven net weighting
 * ``repro.fpga``         — multi-FPGA partitioning flow
 * ``repro.experiments``  — regeneration of the paper's tables and Figure 1
 """
 
+from .audit import AuditConfig, InvariantViolation
 from .baselines import (
     AnnealingPartitioner,
     Eig1Partitioner,
@@ -65,7 +68,7 @@ from .partition import (
 
 #: Participates in every engine cache key: bumping it invalidates the
 #: on-disk result cache (see repro.engine.cache).
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .engine import Engine, EngineConfig, WorkUnit  # noqa: E402 - engine cache keys need __version__ defined first
 
@@ -107,4 +110,7 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "WorkUnit",
+    # invariant auditing
+    "AuditConfig",
+    "InvariantViolation",
 ]

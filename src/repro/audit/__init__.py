@@ -1,0 +1,43 @@
+"""Invariant auditing: runtime cross-checks for the incremental engines.
+
+PROP's whole claim rests on incremental bookkeeping being exactly right —
+probabilistic gain updates (paper Eqns. 2–6), lock discipline, cut
+maintenance and prefix-sum rollback must agree with their brute-force
+definitions on *every* move.  This package pins them down:
+
+* :class:`AuditConfig` — opt-in knobs (check every Nth move, which
+  invariant families to check); ``AuditConfig.from_env()`` reads the
+  ``REPRO_AUDIT`` environment variable so any entry point (CLI, engine
+  workers, tests) can be audited without code changes.
+* :class:`InvariantViolation` — the structured error a failed check
+  raises: invariant name, move index, node, expected/actual, and the
+  run's repro seed.
+* :class:`PassAuditor` — the runtime auditor the FM/LA/PROP pass loops
+  call after every (Nth) move and after every rollback.
+* :mod:`repro.audit.reference` — independent brute-force transcriptions
+  of every quantity the incremental code tracks (the oracles).
+* :mod:`repro.audit.differential` — reference implementations of whole
+  FM/LA passes plus trajectory-equality harnesses over seeded grids.
+
+Quick use::
+
+    from repro.audit import AuditConfig
+    from repro.core import PropPartitioner
+
+    result = PropPartitioner().partition(graph, seed=3, audit=AuditConfig())
+
+or, for any existing flow, ``REPRO_AUDIT=1 prop-partition ...``.
+"""
+
+from .config import AUDIT_ENV, AUDIT_EVERY_ENV, AuditConfig, resolve_audit
+from .auditor import PassAuditor
+from .violations import InvariantViolation
+
+__all__ = [
+    "AUDIT_ENV",
+    "AUDIT_EVERY_ENV",
+    "AuditConfig",
+    "InvariantViolation",
+    "PassAuditor",
+    "resolve_audit",
+]

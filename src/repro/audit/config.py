@@ -1,0 +1,137 @@
+"""Audit configuration and environment-variable resolution.
+
+Auditing is opt-in and strictly read-only: an audited run makes exactly
+the same moves (and returns bit-identical cuts) as an unaudited one, it
+just cross-checks the incremental state against brute-force recomputation
+along the way.  The cost is roughly O(n·m) per audited move, so
+``every`` exists to sample every Nth move on larger instances.
+
+Environment contract (``REPRO_AUDIT``):
+
+* unset, empty, or ``0`` — auditing off (the default);
+* ``1`` / ``true`` / ``yes`` / ``on`` — audit every move;
+* an integer N > 1 — audit every Nth move;
+* ``REPRO_AUDIT_EVERY=N`` — overrides the sampling stride.
+
+Because worker processes inherit the environment, ``REPRO_AUDIT=1``
+audits engine-parallel runs too.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+#: Master switch environment variable.
+AUDIT_ENV = "REPRO_AUDIT"
+
+#: Optional stride override (audit every Nth move).
+AUDIT_EVERY_ENV = "REPRO_AUDIT_EVERY"
+
+_TRUTHY = ("1", "true", "yes", "on")
+_FALSY = ("", "0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """All knobs of the runtime invariant auditor.
+
+    Attributes
+    ----------
+    every:
+        Audit every Nth tentative move (1 = every move).  Structural
+        checks at pass start and the rollback check at pass end always
+        run regardless of the stride.
+    check_structure:
+        Cross-check pin counts, locked-pin counts, side weights, the
+        tracked cut cost, and the running journal cut against
+        from-scratch recomputation.
+    check_gains:
+        Cross-check gain bookkeeping: FM container gains vs Eqn. (1),
+        LA vectors vs the Krishnamurthy rules, PROP incremental gains
+        vs a direct Eqn. 2–6 transcription.
+    check_probabilities:
+        PROP only — verify lock discipline (locked ⇒ p = 0) and that
+        every probability lies in [0, 1].
+    check_balance:
+        Verify a pass that started inside the balance window never
+        leaves it.
+    check_rollback:
+        At pass end, independently recompute the maximum-gain prefix
+        and replay it from the pre-pass snapshot, comparing sides and
+        cut with the post-rollback state.
+    tolerance:
+        Absolute tolerance for float comparisons (gains and cuts are
+        sums of net costs; incremental and reference code multiply in
+        the same order, so drift is tiny).
+    max_gain_nodes:
+        Cap on the number of nodes whose gains are swept per audited
+        move (0 = no cap).  The sweep is the dominant cost; capping it
+        keeps full-audit runs tractable on large instances while still
+        sampling every move.
+    """
+
+    every: int = 1
+    check_structure: bool = True
+    check_gains: bool = True
+    check_probabilities: bool = True
+    check_balance: bool = True
+    check_rollback: bool = True
+    tolerance: float = 1e-6
+    max_gain_nodes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
+        if self.max_gain_nodes < 0:
+            raise ValueError(
+                f"max_gain_nodes must be >= 0, got {self.max_gain_nodes}"
+            )
+
+    def with_overrides(self, **kwargs: Any) -> "AuditConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def from_env(cls, environ: Optional[dict] = None) -> Optional["AuditConfig"]:
+        """The audit config requested by ``REPRO_AUDIT``, or ``None``.
+
+        Raises ``ValueError`` for unparseable values — a typo'd audit
+        request silently running unaudited would defeat the point.
+        """
+        env = os.environ if environ is None else environ
+        raw = str(env.get(AUDIT_ENV, "")).strip().lower()
+        if raw in _FALSY:
+            return None
+        if raw in _TRUTHY:
+            every = 1
+        else:
+            try:
+                every = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{AUDIT_ENV}={raw!r} is not 0/1/true/false or an integer stride"
+                ) from None
+            if every < 1:
+                return None
+        stride = str(env.get(AUDIT_EVERY_ENV, "")).strip()
+        if stride:
+            try:
+                every = max(1, int(stride))
+            except ValueError:
+                raise ValueError(
+                    f"{AUDIT_EVERY_ENV}={stride!r} is not an integer"
+                ) from None
+        return cls(every=every)
+
+
+def resolve_audit(
+    audit: Optional[AuditConfig], environ: Optional[dict] = None
+) -> Optional[AuditConfig]:
+    """An explicit config wins; ``None`` falls back to the environment."""
+    if audit is not None:
+        return audit
+    return AuditConfig.from_env(environ)

@@ -1,0 +1,428 @@
+"""Differential oracles: incremental vs. reference whole-run trajectories.
+
+The runtime auditor (:mod:`repro.audit.auditor`) checks invariants *inside*
+one run.  This module attacks the same bookkeeping from the outside: it
+re-implements the FM and LA algorithms with zero incremental state — every
+gain recomputed from scratch before every move, selection and rollback
+done over plain lists — and asserts that the real engines produce
+**identical trajectories** (same moves in the same order, same per-move
+gains, same kept prefixes, same final cuts) over seeded generator grids.
+
+Two engines that share tie-breaking rules must agree move for move:
+
+* ``run_fm(container="tree")``  vs  :func:`reference_fm_run`
+* ``run_la(k)``                 vs  :func:`reference_la_run`
+* PROP ``update_strategy="recompute"`` vs ``"cached"`` with in-pass
+  probability re-derivation off (two independent incremental
+  realizations of the same function; see
+  :func:`differential_prop_strategies` for why the paper-default
+  probability updates are excluded)
+* any audited run vs its unaudited twin (auditing is read-only)
+
+FM-bucket is excluded from move-level comparison: its LIFO bucket ties
+differ from the tree container's highest-node-id rule by design.
+
+Engines are imported lazily inside functions — this module sits below
+:mod:`repro.core`/`repro.baselines` in the import graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..hypergraph import Hypergraph
+from . import reference
+
+#: One tentative move: (pass index, node, immediate cut gain).
+TrajectoryMove = Tuple[int, int, float]
+
+
+@dataclass
+class Trajectory:
+    """Everything observable about one run, move by move."""
+
+    algorithm: str
+    moves: List[TrajectoryMove] = field(default_factory=list)
+    kept: List[int] = field(default_factory=list)  # kept prefix per pass
+    pass_cuts: List[float] = field(default_factory=list)
+    final_sides: List[int] = field(default_factory=list)
+    final_cut: float = 0.0
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """First point where two trajectories diverge."""
+
+    kind: str  # "move" | "kept" | "pass-cuts" | "sides" | "cut" | "length"
+    index: int
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return (
+            f"trajectory mismatch [{self.kind}] at {self.index}: "
+            f"{self.left!r} != {self.right!r}"
+        )
+
+
+def compare_trajectories(
+    a: Trajectory, b: Trajectory, tolerance: float = 1e-6
+) -> Optional[Mismatch]:
+    """The first divergence between two trajectories, or ``None``."""
+    for i, (ma, mb) in enumerate(zip(a.moves, b.moves)):
+        if ma[:2] != mb[:2] or abs(ma[2] - mb[2]) > tolerance:
+            return Mismatch("move", i, ma, mb)
+    if len(a.moves) != len(b.moves):
+        return Mismatch("length", min(len(a.moves), len(b.moves)),
+                        len(a.moves), len(b.moves))
+    if a.kept != b.kept:
+        return Mismatch("kept", 0, a.kept, b.kept)
+    for i, (ca, cb) in enumerate(zip(a.pass_cuts, b.pass_cuts)):
+        if abs(ca - cb) > tolerance:
+            return Mismatch("pass-cuts", i, ca, cb)
+    if a.final_sides != b.final_sides:
+        diff = [i for i, (sa, sb) in
+                enumerate(zip(a.final_sides, b.final_sides)) if sa != sb]
+        return Mismatch("sides", diff[0] if diff else -1,
+                        len(a.final_sides), len(b.final_sides))
+    if abs(a.final_cut - b.final_cut) > tolerance:
+        return Mismatch("cut", 0, a.final_cut, b.final_cut)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Reference runs (no incremental state whatsoever)
+# ---------------------------------------------------------------------------
+def _reference_pick(
+    graph: Hypergraph,
+    sides: List[int],
+    locked: List[bool],
+    weights: List[float],
+    balance,
+    gain_of,
+) -> Optional[int]:
+    """Selection rule shared by the tree-container engines.
+
+    Per side, the best free node is the one maximizing ``(gain, node)``;
+    across sides, candidates are tried in descending ``(gain, side,
+    node)`` order and the first whose move keeps balance wins.
+    """
+    candidates = []
+    for side in (0, 1):
+        best = None
+        for v in range(graph.num_nodes):
+            if locked[v] or sides[v] != side:
+                continue
+            key = (gain_of(v), v)
+            if best is None or key > best:
+                best = key
+        if best is not None:
+            candidates.append((best[0], side, best[1]))
+    candidates.sort(reverse=True)
+    for _, side, node in candidates:
+        if balance.move_allowed(weights, side, graph.node_weight(node)):
+            return node
+    return None
+
+
+def _reference_run(
+    graph: Hypergraph,
+    initial_sides: Sequence[int],
+    balance,
+    gain_key_fn,
+    algorithm: str,
+    max_passes: int,
+    min_pass_gain: float = 1e-9,
+) -> Trajectory:
+    """Generic from-scratch pass loop for deterministic-gain engines.
+
+    ``gain_key_fn(sides, locked, node)`` returns the selection key of a
+    free node (a float for FM, a vector for LA); its first element (or
+    itself) is *not* assumed to be the immediate gain — realized gains
+    come from :func:`reference.replay_moves` semantics, i.e. from-scratch
+    cut deltas.
+    """
+    traj = Trajectory(algorithm=algorithm)
+    sides = list(initial_sides)
+    passes = 0
+    while passes < max_passes:
+        locked = [False] * graph.num_nodes
+        weights = list(reference.side_weights(graph, sides))
+        pass_nodes: List[int] = []
+        pass_gains: List[float] = []
+        state = list(sides)
+        cut = reference.cut_cost(graph, state)
+        while True:
+            node = _reference_pick(
+                graph, state, locked, weights, balance,
+                lambda v: gain_key_fn(state, locked, v),
+            )
+            if node is None:
+                break
+            s = state[node]
+            state[node] = 1 - s
+            locked[node] = True
+            w = graph.node_weight(node)
+            weights[s] -= w
+            weights[1 - s] += w
+            new_cut = reference.cut_cost(graph, state)
+            pass_nodes.append(node)
+            pass_gains.append(cut - new_cut)
+            cut = new_cut
+        p, gmax = reference.best_prefix(pass_gains)
+        passes += 1
+        for i, node in enumerate(pass_nodes):
+            traj.moves.append((passes - 1, node, pass_gains[i]))
+        traj.kept.append(p)
+        sides, kept_cut, _ = reference.replay_moves(
+            graph, sides, pass_nodes[:p]
+        )
+        traj.pass_cuts.append(kept_cut)
+        if gmax <= min_pass_gain or p == 0:
+            break
+    traj.final_sides = sides
+    traj.final_cut = reference.cut_cost(graph, sides)
+    return traj
+
+
+def reference_fm_run(
+    graph: Hypergraph,
+    initial_sides: Sequence[int],
+    balance,
+    max_passes: int = 100,
+) -> Trajectory:
+    """Brute-force FM (tree tie-breaking): gains from Eqn. (1) every move."""
+    return _reference_run(
+        graph,
+        initial_sides,
+        balance,
+        lambda sides, locked, v: reference.immediate_gain(graph, sides, v),
+        algorithm="FM-reference",
+        max_passes=max_passes,
+    )
+
+
+def reference_la_run(
+    graph: Hypergraph,
+    initial_sides: Sequence[int],
+    balance,
+    k: int = 2,
+    max_passes: int = 100,
+) -> Trajectory:
+    """Brute-force LA-k: every vector recomputed before every move."""
+    return _reference_run(
+        graph,
+        initial_sides,
+        balance,
+        lambda sides, locked, v: reference.la_gain_vector(
+            graph, sides, locked, v, k
+        ),
+        algorithm=f"LA-{k}-reference",
+        max_passes=max_passes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Incremental-engine trajectory capture
+# ---------------------------------------------------------------------------
+def _capture(run_fn, graph, initial_sides, balance, algorithm, **kwargs):
+    moves: List[TrajectoryMove] = []
+
+    def observer(pass_index, node, selection_gain, immediate):
+        moves.append((pass_index, int(node), float(immediate)))
+
+    result = run_fn(
+        graph, initial_sides, balance, observer=observer, **kwargs
+    )
+    traj = Trajectory(algorithm=algorithm, moves=moves)
+    traj.pass_cuts = list(result.pass_cuts)
+    traj.final_sides = list(result.sides)
+    traj.final_cut = result.cut
+    traj.kept = _kept_from_moves(graph, initial_sides, moves)
+    # A terminal pass in which no move was balance-allowed produces no
+    # observer calls but still counts as a pass (kept prefix 0).
+    while len(traj.kept) < len(traj.pass_cuts):
+        traj.kept.append(0)
+    return traj
+
+
+def _kept_from_moves(
+    graph: Hypergraph,
+    initial_sides: Sequence[int],
+    moves: Sequence[TrajectoryMove],
+) -> List[int]:
+    """Per-pass kept-prefix lengths implied by the recorded gains."""
+    kept: List[int] = []
+    num_passes = (max(m[0] for m in moves) + 1) if moves else 0
+    for pi in range(num_passes):
+        gains = [m[2] for m in moves if m[0] == pi]
+        p, _ = reference.best_prefix(gains)
+        kept.append(p)
+    return kept
+
+
+def fm_trajectory(
+    graph: Hypergraph,
+    initial_sides: Sequence[int],
+    balance,
+    max_passes: int = 100,
+) -> Trajectory:
+    """Trajectory of the incremental FM-tree engine."""
+    from ..baselines.fm import run_fm
+
+    return _capture(
+        run_fm, graph, initial_sides, balance, "FM-tree",
+        container="tree", max_passes=max_passes,
+    )
+
+
+def la_trajectory(
+    graph: Hypergraph,
+    initial_sides: Sequence[int],
+    balance,
+    k: int = 2,
+    max_passes: int = 100,
+) -> Trajectory:
+    """Trajectory of the incremental LA-k engine."""
+    from ..baselines.la import run_la
+
+    return _capture(
+        run_la, graph, initial_sides, balance, f"LA-{k}",
+        k=k, max_passes=max_passes,
+    )
+
+
+def prop_trajectory(
+    graph: Hypergraph,
+    initial_sides: Sequence[int],
+    balance,
+    config=None,
+) -> Trajectory:
+    """Trajectory of PROP under a given config."""
+    from ..core.engine import run_prop
+
+    return _capture(
+        run_prop, graph, initial_sides, balance,
+        "PROP", config=config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Seeded grids
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of one incremental-vs-reference comparison."""
+
+    label: str
+    seed: int
+    num_nodes: int
+    num_moves: int
+    mismatch: Optional[Mismatch]
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatch is None
+
+
+def differential_fm(graph, initial_sides, balance, seed=0) -> DifferentialReport:
+    """FM-tree incremental vs. brute-force reference, one instance."""
+    inc = fm_trajectory(graph, initial_sides, balance)
+    ref = reference_fm_run(graph, initial_sides, balance)
+    return DifferentialReport(
+        label="fm-tree", seed=seed, num_nodes=graph.num_nodes,
+        num_moves=len(inc.moves), mismatch=compare_trajectories(inc, ref),
+    )
+
+
+def differential_la(graph, initial_sides, balance, k=2, seed=0) -> DifferentialReport:
+    """LA-k incremental vs. brute-force reference, one instance."""
+    inc = la_trajectory(graph, initial_sides, balance, k=k)
+    ref = reference_la_run(graph, initial_sides, balance, k=k)
+    return DifferentialReport(
+        label=f"la-{k}", seed=seed, num_nodes=graph.num_nodes,
+        num_moves=len(inc.moves), mismatch=compare_trajectories(inc, ref),
+    )
+
+
+def differential_prop_strategies(
+    graph, initial_sides, balance, seed=0
+) -> DifferentialReport:
+    """PROP "recompute" vs. "cached" update strategies, one instance.
+
+    With in-pass probability re-derivation disabled the two strategies
+    are independent realizations of the same function — probabilities
+    only change via locking, so the cached Eqn. 5/6 contribution deltas
+    must reproduce the recomputed gains exactly, and the trajectories
+    must be identical; a drift means one of the delta rules is wrong.
+
+    (Under ``update_neighbor_probabilities=True`` — the paper default —
+    the strategies legitimately diverge: each feeds the probability
+    function its own flavour of gain staleness, so a neighbor's new
+    probability, and hence the subsequent trajectory, differs by design.
+    That regime is covered by the runtime auditor instead, which checks
+    each strategy against the Eqn. 2–6 oracle under its *own*
+    probabilities.)
+    """
+    from ..core.config import PropConfig
+
+    a = prop_trajectory(
+        graph, initial_sides, balance,
+        config=PropConfig(
+            update_strategy="recompute",
+            update_neighbor_probabilities=False,
+        ),
+    )
+    b = prop_trajectory(
+        graph, initial_sides, balance,
+        config=PropConfig(
+            update_strategy="cached",
+            update_neighbor_probabilities=False,
+        ),
+    )
+    return DifferentialReport(
+        label="prop-recompute-vs-cached", seed=seed,
+        num_nodes=graph.num_nodes, num_moves=len(a.moves),
+        mismatch=compare_trajectories(a, b),
+    )
+
+
+def run_differential_grid(
+    seeds: Sequence[int],
+    *,
+    max_nodes: int = 14,
+    balance_spec: str = "50-50",
+    checks: Sequence[str] = ("fm", "la2", "la3", "prop"),
+) -> List[DifferentialReport]:
+    """Run every requested differential over a seeded instance grid.
+
+    Instances come from :func:`repro.testing.random_instance` with a
+    seeded random balanced start, so any failure reproduces from
+    ``(seed, max_nodes)`` alone.
+    """
+    from ..partition import BalanceConstraint, random_balanced_sides
+    from ..testing import random_instance
+
+    reports: List[DifferentialReport] = []
+    for seed in seeds:
+        graph = random_instance(seed, max_nodes=max_nodes)
+        sides = random_balanced_sides(graph, seed)
+        if balance_spec == "50-50":
+            balance = BalanceConstraint.fifty_fifty(graph)
+        else:
+            lo, hi = balance_spec.split("-")
+            balance = BalanceConstraint.from_fractions(
+                graph, float(lo) / 100.0, float(hi) / 100.0
+            )
+        if "fm" in checks:
+            reports.append(differential_fm(graph, sides, balance, seed=seed))
+        if "la2" in checks:
+            reports.append(differential_la(graph, sides, balance, k=2, seed=seed))
+        if "la3" in checks:
+            reports.append(differential_la(graph, sides, balance, k=3, seed=seed))
+        if "prop" in checks:
+            reports.append(
+                differential_prop_strategies(graph, sides, balance, seed=seed)
+            )
+    return reports

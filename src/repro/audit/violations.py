@@ -1,0 +1,97 @@
+"""The structured error raised when an audited invariant breaks.
+
+An :class:`InvariantViolation` pins down *where* the incremental state
+diverged from its brute-force definition: which invariant, at which move
+of which pass, for which node, with the expected and actual values and
+the seed that reproduces the run.  It subclasses ``AssertionError`` so
+generic "treat bookkeeping drift as a test failure" handling applies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class InvariantViolation(AssertionError):
+    """Incremental state disagreed with its from-scratch recomputation.
+
+    Attributes
+    ----------
+    invariant:
+        Short name of the broken invariant (``"cut-cost"``,
+        ``"fm-gain"``, ``"prop-gain"``, ``"lock-probability"``,
+        ``"rollback-prefix"``, ...).
+    expected:
+        The brute-force (reference) value.
+    actual:
+        The value the incremental code tracked.
+    algorithm / seed:
+        Identity of the audited run; ``seed`` replays it exactly
+        (every partitioner here is deterministic given its seed).
+    pass_index / move_index:
+        Position inside the run: ``move_index`` counts tentative moves
+        within the pass (0-based), ``None`` for pass-level checks.
+    node:
+        The node whose state diverged, when the check is per-node.
+    detail:
+        Free-form context (net id, container side, ...).
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        expected: Any,
+        actual: Any,
+        *,
+        algorithm: str = "",
+        seed: Optional[int] = None,
+        pass_index: Optional[int] = None,
+        move_index: Optional[int] = None,
+        node: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        self.invariant = invariant
+        self.expected = expected
+        self.actual = actual
+        self.algorithm = algorithm
+        self.seed = seed
+        self.pass_index = pass_index
+        self.move_index = move_index
+        self.node = node
+        self.detail = detail
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        where = []
+        if self.algorithm:
+            where.append(self.algorithm)
+        if self.pass_index is not None:
+            where.append(f"pass {self.pass_index}")
+        if self.move_index is not None:
+            where.append(f"move {self.move_index}")
+        if self.node is not None:
+            where.append(f"node {self.node}")
+        location = ", ".join(where) or "unknown location"
+        msg = (
+            f"invariant {self.invariant!r} violated ({location}): "
+            f"expected {self.expected!r}, got {self.actual!r}"
+        )
+        if self.detail:
+            msg += f" [{self.detail}]"
+        if self.seed is not None:
+            msg += f" — repro seed {self.seed}"
+        return msg
+
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering (for logs and regression fixtures)."""
+        return {
+            "invariant": self.invariant,
+            "expected": repr(self.expected),
+            "actual": repr(self.actual),
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "pass_index": self.pass_index,
+            "move_index": self.move_index,
+            "node": self.node,
+            "detail": self.detail,
+        }

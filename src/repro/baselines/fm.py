@@ -17,8 +17,9 @@ FM delta rules touch only pins of *critical* nets, keeping updates O(pins).
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
+from ..audit import AuditConfig, PassAuditor, resolve_audit
 from ..datastructures import (
     BucketGainContainer,
     PassJournal,
@@ -33,6 +34,11 @@ from ..partition import (
 )
 
 Container = Union[BucketGainContainer, TreeGainContainer]
+
+#: Optional per-move observer mirroring :data:`repro.core.engine.MoveObserver`:
+#: (pass_index, node, selection_gain, immediate_gain).  Used by the
+#: differential harness in :mod:`repro.audit.differential`.
+MoveObserver = Callable[[int, int, float, float], None]
 
 #: Safety cap; FM empirically converges in 2–4 passes (paper Sec. 2).
 DEFAULT_MAX_PASSES = 100
@@ -160,9 +166,14 @@ def _run_pass(
     partition: Partition,
     balance: BalanceConstraint,
     containers: Tuple[Container, Container],
+    observer: Optional[MoveObserver] = None,
+    pass_index: int = 0,
+    auditor: Optional[PassAuditor] = None,
 ) -> PassJournal:
     """One tentative-move FM pass; locks are left set."""
     graph = partition.graph
+    if auditor is not None:
+        auditor.start_pass(partition)
     for v in range(graph.num_nodes):
         gain = partition.immediate_gain(v)
         if isinstance(containers[0], BucketGainContainer):
@@ -175,11 +186,17 @@ def _run_pass(
         if node is None:
             break
         from_side = partition.side(node)
-        containers[from_side].remove(node)
+        selection_gain = containers[from_side].remove(node)
         immediate = _move_with_gain_updates(
             node, from_side, partition, containers
         )
         journal.record(node, from_side, immediate)
+        if observer is not None:
+            observer(pass_index, node, selection_gain, immediate)
+        if auditor is not None and auditor.after_move(
+            partition, node, immediate
+        ):
+            auditor.check_fm_gains(partition, containers)
     return journal
 
 
@@ -190,16 +207,35 @@ def run_fm(
     container: str = "bucket",
     max_passes: int = DEFAULT_MAX_PASSES,
     seed: Optional[int] = None,
+    observer: Optional[MoveObserver] = None,
+    audit: Optional[AuditConfig] = None,
 ) -> BipartitionResult:
-    """Run FM from an explicit initial partition."""
+    """Run FM from an explicit initial partition.
+
+    ``audit`` attaches a read-only invariant auditor (see
+    :mod:`repro.audit`); ``None`` defers to ``REPRO_AUDIT``.  FM's
+    delta-rule updates keep every container gain exact, so the audited
+    invariant is full equality with Eqn. (1) for every free node.
+    """
     start = time.perf_counter()
     partition = Partition(graph, initial_sides)
+    audit = resolve_audit(audit)
+    auditor = (
+        PassAuditor(
+            graph, balance, audit, algorithm=f"FM-{container}", seed=seed
+        )
+        if audit is not None
+        else None
+    )
     passes = 0
     total_moves = 0
     pass_cuts = []
     while passes < max_passes:
         containers = _make_containers(graph, container)
-        journal = _run_pass(partition, balance, containers)
+        journal = _run_pass(
+            partition, balance, containers,
+            observer=observer, pass_index=passes, auditor=auditor,
+        )
         passes += 1
         total_moves += len(journal)
         p, gmax = journal.best_prefix()
@@ -207,9 +243,14 @@ def run_fm(
         for record in reversed(journal.rolled_back_moves()):
             partition.move(record.node)
         pass_cuts.append(partition.cut_cost)
+        if auditor is not None:
+            auditor.after_rollback(partition, journal)
         if gmax <= 1e-9 or p == 0:
             break
     elapsed = time.perf_counter() - start
+    stats = {"tentative_moves": float(total_moves)}
+    if auditor is not None:
+        stats.update(auditor.summary())
     return BipartitionResult(
         sides=partition.sides,
         cut=partition.cut_cost,
@@ -217,13 +258,16 @@ def run_fm(
         seed=seed,
         passes=passes,
         runtime_seconds=elapsed,
-        stats={"tentative_moves": float(total_moves)},
+        stats=stats,
         pass_cuts=pass_cuts,
     )
 
 
 class FMPartitioner:
     """Fidducia–Mattheyses partitioner (bucket or tree gain container)."""
+
+    #: FM accepts a per-call ``audit`` config (see :mod:`repro.audit`).
+    supports_audit = True
 
     def __init__(
         self, container: str = "bucket", max_passes: int = DEFAULT_MAX_PASSES
@@ -243,6 +287,7 @@ class FMPartitioner:
         balance: Optional[BalanceConstraint] = None,
         initial_sides: Optional[Sequence[int]] = None,
         seed: Optional[int] = None,
+        audit: Optional[AuditConfig] = None,
     ) -> BipartitionResult:
         """Bisect ``graph`` with FM (50-50 balance and seeded random start by default)."""
         if balance is None:
@@ -256,6 +301,7 @@ class FMPartitioner:
             container=self.container,
             max_passes=self.max_passes,
             seed=seed,
+            audit=audit,
         )
         result.verify(graph)
         return result

@@ -23,8 +23,9 @@ cutsets, are unchanged.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
+from ..audit import AuditConfig, PassAuditor, resolve_audit
 from ..datastructures import PassJournal, TreeGainContainer
 from ..hypergraph import Hypergraph
 from ..partition import (
@@ -37,6 +38,11 @@ from ..partition import (
 DEFAULT_MAX_PASSES = 100
 
 GainVector = Tuple[float, ...]
+
+#: Optional per-move observer (pass_index, node, selection_vector,
+#: immediate_gain) — the LA analogue of :data:`repro.core.engine.MoveObserver`
+#: (the selection key is the gain vector rather than a scalar).
+MoveObserver = Callable[[int, int, GainVector, float], None]
 
 
 def gain_vector(partition: Partition, node: int, k: int) -> GainVector:
@@ -90,8 +96,13 @@ def _run_pass(
     partition: Partition,
     balance: BalanceConstraint,
     k: int,
+    observer: Optional[MoveObserver] = None,
+    pass_index: int = 0,
+    auditor: Optional[PassAuditor] = None,
 ) -> PassJournal:
     graph = partition.graph
+    if auditor is not None:
+        auditor.start_pass(partition)
     containers = (TreeGainContainer(), TreeGainContainer())
     for v in range(graph.num_nodes):
         containers[partition.side(v)].insert(v, gain_vector(partition, v, k))
@@ -102,9 +113,11 @@ def _run_pass(
         if node is None:
             break
         from_side = partition.side(node)
-        containers[from_side].remove(node)
+        selection_vector = containers[from_side].remove(node)
         immediate = partition.move_and_lock(node)
         journal.record(node, from_side, immediate)
+        if observer is not None:
+            observer(pass_index, node, selection_vector, immediate)
 
         # Refresh the vectors of all free neighbors.
         seen = {node}
@@ -117,6 +130,10 @@ def _run_pass(
                 containers[partition.side(nbr)].update(
                     nbr, gain_vector(partition, nbr, k)
                 )
+        if auditor is not None and auditor.after_move(
+            partition, node, immediate
+        ):
+            auditor.check_la_vectors(partition, containers, k)
     return journal
 
 
@@ -127,17 +144,35 @@ def run_la(
     k: int = 2,
     max_passes: int = DEFAULT_MAX_PASSES,
     seed: Optional[int] = None,
+    observer: Optional[MoveObserver] = None,
+    audit: Optional[AuditConfig] = None,
 ) -> BipartitionResult:
-    """Run LA-k from an explicit initial partition."""
+    """Run LA-k from an explicit initial partition.
+
+    ``audit`` attaches a read-only invariant auditor (see
+    :mod:`repro.audit`); ``None`` defers to ``REPRO_AUDIT``.  Only nodes
+    sharing a net with the moved node can see their vectors change, and
+    LA refreshes exactly those — so the audited invariant is full
+    equality of every stored vector with the Krishnamurthy definition.
+    """
     if k < 1:
         raise ValueError(f"lookahead k must be >= 1, got {k}")
     start = time.perf_counter()
     partition = Partition(graph, initial_sides)
+    audit = resolve_audit(audit)
+    auditor = (
+        PassAuditor(graph, balance, audit, algorithm=f"LA-{k}", seed=seed)
+        if audit is not None
+        else None
+    )
     passes = 0
     total_moves = 0
     pass_cuts = []
     while passes < max_passes:
-        journal = _run_pass(partition, balance, k)
+        journal = _run_pass(
+            partition, balance, k,
+            observer=observer, pass_index=passes, auditor=auditor,
+        )
         passes += 1
         total_moves += len(journal)
         p, gmax = journal.best_prefix()
@@ -145,9 +180,14 @@ def run_la(
         for record in reversed(journal.rolled_back_moves()):
             partition.move(record.node)
         pass_cuts.append(partition.cut_cost)
+        if auditor is not None:
+            auditor.after_rollback(partition, journal)
         if gmax <= 1e-9 or p == 0:
             break
     elapsed = time.perf_counter() - start
+    stats = {"tentative_moves": float(total_moves)}
+    if auditor is not None:
+        stats.update(auditor.summary())
     return BipartitionResult(
         sides=partition.sides,
         cut=partition.cut_cost,
@@ -155,13 +195,16 @@ def run_la(
         seed=seed,
         passes=passes,
         runtime_seconds=elapsed,
-        stats={"tentative_moves": float(total_moves)},
+        stats=stats,
         pass_cuts=pass_cuts,
     )
 
 
 class LAPartitioner:
     """Lookahead partitioner LA-k (k = 2 and 3 in the paper's tables)."""
+
+    #: LA accepts a per-call ``audit`` config (see :mod:`repro.audit`).
+    supports_audit = True
 
     def __init__(self, k: int = 2, max_passes: int = DEFAULT_MAX_PASSES) -> None:
         if k < 1:
@@ -179,6 +222,7 @@ class LAPartitioner:
         balance: Optional[BalanceConstraint] = None,
         initial_sides: Optional[Sequence[int]] = None,
         seed: Optional[int] = None,
+        audit: Optional[AuditConfig] = None,
     ) -> BipartitionResult:
         """Bisect ``graph`` with LA-k (50-50 balance and seeded random start by default)."""
         if balance is None:
@@ -192,6 +236,7 @@ class LAPartitioner:
             k=self.k,
             max_passes=self.max_passes,
             seed=seed,
+            audit=audit,
         )
         result.verify(graph)
         return result

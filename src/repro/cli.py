@@ -200,6 +200,26 @@ def _nonneg_int(text: str) -> int:
 _nonneg_int.__name__ = "int"  # argparse's "invalid ... value" message
 
 
+def _pos_int(text: str) -> int:
+    """argparse type for ``--audit``: a positive integer."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+_pos_int.__name__ = "int"
+
+
+def _audit_from_args(args):
+    """AuditConfig for ``--audit N`` (None when the flag is absent)."""
+    if args.audit is None:
+        return None
+    from .audit import AuditConfig
+
+    return AuditConfig(every=args.audit)
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """Execution-engine knobs shared by the partition and bench modes."""
     group = parser.add_argument_group("execution engine")
@@ -222,6 +242,17 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache",
+    )
+    group.add_argument(
+        "--audit",
+        nargs="?",
+        const=1,
+        default=None,
+        type=_pos_int,
+        metavar="N",
+        help="cross-check invariants against brute force every N moves "
+        "(bare flag: every move; also REPRO_AUDIT=N). Results are "
+        "unchanged; a violation aborts with a reproducible report",
     )
 
 
@@ -278,6 +309,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     balance = _make_balance(graph, args.balance)
     print(balance.describe())
     engine = _engine_from_args(args)
+    audit = _audit_from_args(args)
+    if audit is not None:
+        print(f"auditing invariants every {audit.every} move(s)")
 
     best_overall = None
     for name in args.algorithm:
@@ -285,6 +319,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         outcome = run_many(
             partitioner, graph, runs=args.runs, balance=balance,
             base_seed=args.seed, circuit_name=source, engine=engine,
+            audit=audit,
         )
         best = outcome.best
         assert best is not None
@@ -473,6 +508,7 @@ def _run_bench_mode(argv: List[str]) -> int:
             use_cache=not args.no_cache,
         )
     )
+    audit = _audit_from_args(args)
     circuits = {n: make_benchmark(n, scale=args.scale) for n in names}
 
     units: List[WorkUnit] = []
@@ -487,7 +523,7 @@ def _run_bench_mode(argv: List[str]) -> int:
             for seed in seed_stream(args.seed, runs):
                 units.append(
                     WorkUnit(graph=graph, partitioner=partitioner, seed=seed,
-                             balance=balance, tag=circuit_name)
+                             balance=balance, tag=circuit_name, audit=audit)
                 )
 
     start = time.perf_counter()

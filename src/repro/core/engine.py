@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..audit import AuditConfig, PassAuditor, resolve_audit
 from ..datastructures import PassJournal, TreeGainContainer
 from ..hypergraph import Hypergraph
 from ..partition import BalanceConstraint, BipartitionResult, Partition
@@ -38,11 +39,17 @@ def run_prop(
     config: Optional[PropConfig] = None,
     seed: Optional[int] = None,
     observer: Optional[MoveObserver] = None,
+    audit: Optional[AuditConfig] = None,
 ) -> BipartitionResult:
     """Run PROP from an explicit initial partition.
 
     ``seed`` is recorded in the result for bookkeeping only — PROP itself
     is deterministic given the initial partition.
+
+    ``audit`` attaches a read-only :class:`~repro.audit.PassAuditor` that
+    cross-checks cut/count/lock/gain/rollback bookkeeping against brute
+    force after every (Nth) move; ``None`` defers to the ``REPRO_AUDIT``
+    environment variable.  Audited runs make identical moves.
     """
     if config is None:
         config = PropConfig()
@@ -51,6 +58,12 @@ def run_prop(
     partition = Partition(graph, initial_sides)
     engine = ProbabilisticGainEngine(partition)
     prob_fn = make_probability_fn(config)
+    audit = resolve_audit(audit)
+    auditor = (
+        PassAuditor(graph, balance, audit, algorithm="PROP", seed=seed)
+        if audit is not None
+        else None
+    )
 
     passes = 0
     total_moves = 0
@@ -58,7 +71,7 @@ def run_prop(
     while passes < config.max_passes:
         journal = _run_pass(
             partition, engine, balance, config, prob_fn,
-            observer=observer, pass_index=passes,
+            observer=observer, pass_index=passes, auditor=auditor,
         )
         passes += 1
         total_moves += len(journal)
@@ -68,10 +81,15 @@ def run_prop(
         for record in reversed(journal.rolled_back_moves()):
             partition.move(record.node)
         pass_cuts.append(partition.cut_cost)
+        if auditor is not None:
+            auditor.after_rollback(partition, journal)
         if gmax <= config.min_pass_gain or p == 0:
             break
 
     elapsed = time.perf_counter() - start
+    stats = {"tentative_moves": float(total_moves)}
+    if auditor is not None:
+        stats.update(auditor.summary())
     return BipartitionResult(
         sides=partition.sides,
         cut=partition.cut_cost,
@@ -79,7 +97,7 @@ def run_prop(
         seed=seed,
         passes=passes,
         runtime_seconds=elapsed,
-        stats={"tentative_moves": float(total_moves)},
+        stats=stats,
         pass_cuts=pass_cuts,
     )
 
@@ -155,9 +173,12 @@ def _run_pass(
     prob_fn,
     observer: Optional[MoveObserver] = None,
     pass_index: int = 0,
+    auditor: Optional[PassAuditor] = None,
 ) -> PassJournal:
     """One tentative-move pass (Fig. 2 steps 3–8); locks are left set."""
     graph = partition.graph
+    if auditor is not None:
+        auditor.start_pass(partition)
 
     _bootstrap_probabilities(engine, config, prob_fn)
     gains = _refine(engine, config, prob_fn)
@@ -182,6 +203,11 @@ def _run_pass(
         journal.record(node, from_side, immediate)
         if observer is not None:
             observer(pass_index, node, selection_gain, immediate)
+        if auditor is not None and auditor.after_move(
+            partition, node, immediate
+        ):
+            auditor.check_containers(partition, containers)
+            auditor.check_prop_gains(partition, engine)
 
         if cached:
             _update_neighbors_cached(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..audit import AuditConfig
 from ..hypergraph import Hypergraph
 from ..partition import (
     BalanceConstraint,
@@ -35,6 +36,9 @@ class PropPartitioner:
 
     name = "PROP"
 
+    #: PROP accepts a per-call ``audit`` config (see :mod:`repro.audit`).
+    supports_audit = True
+
     def __init__(self, config: Optional[PropConfig] = None) -> None:
         self.config = config if config is not None else PropConfig()
 
@@ -44,6 +48,7 @@ class PropPartitioner:
         balance: Optional[BalanceConstraint] = None,
         initial_sides: Optional[Sequence[int]] = None,
         seed: Optional[int] = None,
+        audit: Optional[AuditConfig] = None,
     ) -> BipartitionResult:
         """Partition ``graph`` into two balanced subsets minimizing the cut.
 
@@ -60,13 +65,17 @@ class PropPartitioner:
         seed:
             Seed for the random initial partition (ignored when
             ``initial_sides`` is given, except for bookkeeping).
+        audit:
+            Invariant-audit configuration (see :mod:`repro.audit`);
+            ``None`` defers to the ``REPRO_AUDIT`` environment variable.
         """
         if balance is None:
             balance = BalanceConstraint.fifty_fifty(graph)
         if initial_sides is None:
             initial_sides = random_balanced_sides(graph, seed)
         result = run_prop(
-            graph, initial_sides, balance, config=self.config, seed=seed
+            graph, initial_sides, balance, config=self.config, seed=seed,
+            audit=audit,
         )
         result.verify(graph)
         return result

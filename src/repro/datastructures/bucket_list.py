@@ -119,7 +119,12 @@ class BucketList:
         return g
 
     def update(self, node: int, new_gain: int) -> None:
-        """Move ``node`` to the bucket for ``new_gain``."""
+        """Move ``node`` to the bucket for ``new_gain``.
+
+        Atomic on failure: the range check runs before the node is
+        unlinked, so a ValueError leaves the structure unchanged.
+        """
+        self._bucket(new_gain)
         self.remove(node)
         self.insert(node, new_gain)
 

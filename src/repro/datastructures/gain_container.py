@@ -67,6 +67,8 @@ class GainContainer(ABC):
         of the top ranked nodes in each subset" step.
         """
         out: List[Tuple[int, Any]] = []
+        if k <= 0:
+            return out
         for item in self.iter_descending():
             out.append(item)
             if len(out) >= k:

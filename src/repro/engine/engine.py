@@ -194,6 +194,17 @@ class Engine:
             if self.cache is not None:
                 keys[i] = unit_key(unit, self._version)
                 hit = self.cache.get(keys[i])
+                # Audit does not change results, so audited and unaudited
+                # runs share a cache key — but a unit *requesting* an audit
+                # wants the invariants actually checked, so an unaudited
+                # record is not good enough and the unit re-executes
+                # (overwriting the record with an audited one).
+                if (
+                    hit is not None
+                    and unit.audit is not None
+                    and not hit.stats.get("audited")
+                ):
+                    hit = None
                 if hit is not None:
                     self.stats.cache_hits += 1
                     results[i] = UnitResult(

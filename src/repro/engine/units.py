@@ -25,6 +25,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
+from ..audit import AuditConfig
 from ..hypergraph import Hypergraph
 from ..multirun import Partitioner
 from ..partition import BalanceConstraint
@@ -62,6 +63,12 @@ class WorkUnit:
     tag:
         Free-form grouping key for the caller (e.g. ``"balu/FM100"``);
         the engine reports it back but never interprets it.
+    audit:
+        Optional invariant-audit configuration (see :mod:`repro.audit`).
+        Auditing is observational — audited runs produce bit-identical
+        results — so it deliberately does **not** participate in the
+        cache key; whether a stored record was audited is recorded in
+        ``result.stats["audited"]`` and checked at cache-serve time.
     """
 
     graph: Hypergraph
@@ -69,6 +76,7 @@ class WorkUnit:
     seed: int
     balance: Optional[BalanceConstraint] = None
     tag: str = ""
+    audit: Optional[AuditConfig] = None
 
     def cache_key(self, version: str) -> str:
         """Content-addressed identity of this unit under code ``version``."""

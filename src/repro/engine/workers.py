@@ -32,8 +32,13 @@ def execute_unit(index: int, unit: WorkUnit) -> WorkerOutcome:
     per-run seconds exclude scheduling/pickling overhead.
     """
     start = time.perf_counter()
+    kwargs = {}
+    if unit.audit is not None and getattr(
+        unit.partitioner, "supports_audit", False
+    ):
+        kwargs["audit"] = unit.audit
     result = unit.partitioner.partition(
-        unit.graph, balance=unit.balance, seed=unit.seed
+        unit.graph, balance=unit.balance, seed=unit.seed, **kwargs
     )
     return WorkerOutcome(
         index=index, result=result, seconds=time.perf_counter() - start

@@ -25,6 +25,7 @@ from ..hypergraph import Hypergraph
 from ..partition import BalanceConstraint, BipartitionResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses us)
+    from ..audit import AuditConfig
     from ..engine import Engine
 
 
@@ -155,6 +156,7 @@ def run_many(
     circuit_name: str = "",
     parallel: bool = False,
     engine: Optional["Engine"] = None,
+    audit: Optional["AuditConfig"] = None,
 ) -> MultiRunResult:
     """Run ``partitioner`` ``runs`` times with seeds base_seed..base_seed+runs-1.
 
@@ -164,11 +166,24 @@ def run_many(
     Either way the cuts are bit-identical to the sequential path: the
     same seed stream is used and results are folded in seed order.
 
+    ``audit`` attaches the invariant auditor of :mod:`repro.audit` to
+    every run (partitioners without audit support get a warning and run
+    unaudited).  Auditing never changes cuts; a violated invariant
+    raises :class:`repro.audit.InvariantViolation` out of the batch.
+
     Deterministic partitioners (``deterministic = True``: EIG1, MELO,
     PARABOLI) are short-circuited to a single run with a warning when
     ``runs > 1``.
     """
     runs = effective_runs(partitioner, runs)
+    if audit is not None and not getattr(partitioner, "supports_audit", False):
+        name = getattr(partitioner, "name", type(partitioner).__name__)
+        warnings.warn(
+            f"{name} does not support invariant auditing; running unaudited",
+            UserWarning,
+            stacklevel=2,
+        )
+        audit = None
     result = MultiRunResult(
         algorithm=getattr(partitioner, "name", type(partitioner).__name__),
         circuit=circuit_name,
@@ -194,6 +209,7 @@ def run_many(
                 seed=seed,
                 balance=balance,
                 tag=circuit_name,
+                audit=audit,
             )
             for seed in seed_stream(base_seed, runs)
         ]
@@ -201,10 +217,13 @@ def run_many(
             _record(result, unit_result.unit.seed, unit_result.result,
                     unit_result.seconds)
     else:
+        kwargs = {} if audit is None else {"audit": audit}
         for i in range(runs):
             seed = base_seed + i
             run_start = time.perf_counter()
-            one = partitioner.partition(graph, balance=balance, seed=seed)
+            one = partitioner.partition(
+                graph, balance=balance, seed=seed, **kwargs
+            )
             _record(result, seed, one, time.perf_counter() - run_start)
     result.total_seconds = time.perf_counter() - start
     return result

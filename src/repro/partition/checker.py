@@ -67,6 +67,9 @@ def check_partition(
             ok=False,
             errors=[f"non-binary side values: {bad_values}"],
         )
+    # json round-trips may deliver 0.0/1.0; the values compared equal to
+    # 0/1 above, but list indexing below needs true ints.
+    sides = [int(s) for s in sides]
 
     weights = side_weights(graph, sides)
     cut = cut_cost(graph, sides)

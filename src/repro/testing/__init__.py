@@ -1,0 +1,30 @@
+"""Shared test infrastructure: seeded instances + hypothesis strategies.
+
+Two layers with different dependency footprints:
+
+* :mod:`repro.testing.instances` — deterministic, stdlib-only instance
+  generators (:func:`random_instance`, :func:`weighted_instance`,
+  :func:`instance_grid`) and the :func:`circuit_fingerprint` used by the
+  golden corpus.  Safe to import from library code (the audit package's
+  differential grids do).
+* :mod:`repro.testing.strategies` — hypothesis composites for
+  property-based tests.  Import the submodule explicitly (``from
+  repro.testing import strategies``); it requires the ``hypothesis``
+  package, which is a test-time dependency only.
+"""
+
+from .instances import (
+    GRID_SEEDS,
+    circuit_fingerprint,
+    instance_grid,
+    random_instance,
+    weighted_instance,
+)
+
+__all__ = [
+    "GRID_SEEDS",
+    "circuit_fingerprint",
+    "instance_grid",
+    "random_instance",
+    "weighted_instance",
+]

@@ -1,0 +1,129 @@
+"""The golden corpus: pinned ``(circuit, algorithm, seed) -> cut`` triples.
+
+A corpus entry records the exact cut an algorithm produced on a named,
+fingerprinted circuit under a fixed seed.  Every partitioner in this repo
+is deterministic given its seed, so entries are stable across runs and
+machines — an entry that stops matching is a behavioral regression (or an
+intentional change, in which case the corpus is regenerated in the same
+commit; see ``docs/audit.md``).
+
+The corpus lives at ``tests/golden_corpus.json`` and is verified by
+``tests/test_golden.py``.  Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m repro.testing.golden tests/golden_corpus.json
+
+Each circuit carries its content fingerprint so a drifting *generator*
+(which would silently re-pin every cut) is caught separately from a
+drifting *algorithm*.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..hypergraph import Hypergraph, hierarchical_circuit, make_benchmark
+from .instances import circuit_fingerprint, random_instance
+
+#: Corpus circuits: name -> buildable spec (kind + kwargs).  Small enough
+#: that the whole corpus replays in a few seconds inside tier-1.
+CIRCUITS: Dict[str, Dict[str, Any]] = {
+    "hier150": {
+        "kind": "hierarchical",
+        "num_nodes": 150, "num_nets": 160, "num_pins": 580, "seed": 13,
+    },
+    "t6@0.05": {"kind": "benchmark", "name": "t6", "scale": 0.05},
+    "rand101": {"kind": "random_instance", "seed": 101, "max_nodes": 12},
+}
+
+#: Every partitioner the CLI can name, one corpus row per circuit.
+ALGORITHMS: List[str] = [
+    "prop", "prop-cl", "ml-prop",
+    "fm", "fm-tree", "la-2", "la-3",
+    "kl", "sa", "window",
+    "eig1", "melo", "paraboli", "random",
+]
+
+#: Seed used for every corpus run (deterministic algorithms ignore it).
+CORPUS_SEED = 42
+
+
+def build_circuit(spec: Dict[str, Any]) -> Hypergraph:
+    """Materialize a corpus circuit from its spec."""
+    kind = spec["kind"]
+    if kind == "hierarchical":
+        return hierarchical_circuit(
+            spec["num_nodes"], spec["num_nets"], spec["num_pins"],
+            seed=spec["seed"],
+        )
+    if kind == "benchmark":
+        return make_benchmark(spec["name"], scale=spec["scale"])
+    if kind == "random_instance":
+        return random_instance(spec["seed"], max_nodes=spec["max_nodes"])
+    raise ValueError(f"unknown circuit kind {kind!r}")
+
+
+def generate_corpus() -> Dict[str, Any]:
+    """Run every (circuit, algorithm) cell and collect the corpus dict."""
+    from ..cli import _make_partitioner
+
+    circuits = {}
+    entries = []
+    for circuit_name, spec in CIRCUITS.items():
+        graph = build_circuit(spec)
+        circuits[circuit_name] = dict(
+            spec, fingerprint=circuit_fingerprint(graph),
+            num_nodes=graph.num_nodes, num_nets=graph.num_nets,
+        )
+        for algo in ALGORITHMS:
+            partitioner = _make_partitioner(algo)
+            try:
+                result = partitioner.partition(graph, seed=CORPUS_SEED)
+            except ValueError:
+                # Some algorithms reject tiny/degenerate circuits (e.g.
+                # the spectral ordering may admit no balanced split);
+                # such cells simply have no corpus row.
+                continue
+            result.verify(graph)
+            entries.append(
+                {
+                    "circuit": circuit_name,
+                    "algorithm": algo,
+                    "seed": CORPUS_SEED,
+                    "cut": result.cut,
+                }
+            )
+    return {"seed": CORPUS_SEED, "circuits": circuits, "entries": entries}
+
+
+def save_corpus(path: str, corpus: Dict[str, Any]) -> None:
+    """Write a corpus dict as stable, diff-friendly JSON."""
+    with open(path, "w") as fh:
+        json.dump(corpus, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_corpus(path: str) -> Dict[str, Any]:
+    """Read a corpus previously written by :func:`save_corpus`."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main(argv: List[str]) -> int:
+    """Regenerate a corpus file: ``python -m repro.testing.golden PATH``."""
+    if len(argv) != 1:
+        print("usage: python -m repro.testing.golden CORPUS.json")
+        return 2
+    corpus = generate_corpus()
+    save_corpus(argv[0], corpus)
+    print(
+        f"wrote {argv[0]}: {len(corpus['circuits'])} circuit(s), "
+        f"{len(corpus['entries'])} entries"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

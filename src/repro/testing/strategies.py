@@ -1,0 +1,209 @@
+"""Hypothesis strategies for partitioning objects.
+
+The property-based tests across the suite all need the same raw material
+— random hypergraphs, partitions of them, weight/cost profiles, move
+sequences — and each used to roll its own.  These composites are the
+shared vocabulary; import them as::
+
+    from repro.testing import strategies as st_repro
+
+    @given(st_repro.hypergraphs())
+    def test_something(graph): ...
+
+Design rules:
+
+* every strategy shrinks toward the smallest legible counterexample
+  (few nodes, few nets, unit weights);
+* generated objects always satisfy the library's own invariants (no
+  empty nets, weights strictly positive) — strategies produce *valid*
+  inputs, the tests probe behaviour on them;
+* strategies that depend on a graph (``sides_for``, ``move_sequences``)
+  take the graph as an argument so they compose under ``flatmap``.
+
+Requires the ``hypothesis`` package (a test-time dependency only; the
+rest of :mod:`repro.testing` works without it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from hypothesis import strategies as st
+
+from ..hypergraph import Hypergraph
+
+__all__ = [
+    "hypergraphs",
+    "graphs_with_sides",
+    "sides_for",
+    "balanced_sides_for",
+    "weight_profiles",
+    "cost_profiles",
+    "probability_vectors",
+    "move_sequences",
+    "gain_values",
+]
+
+
+#: Gains as they occur in containers: exact small integers (FM/bucket)
+#: and representative floats (tree containers under weighted nets).
+def gain_values(integral: bool = False) -> st.SearchStrategy[float]:
+    """Container gain keys; ``integral=True`` restricts to bucket range."""
+    ints = st.integers(min_value=-20, max_value=20).map(float)
+    if integral:
+        return ints
+    floats = st.floats(
+        min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+    )
+    return ints | floats
+
+
+def weight_profiles(
+    n: int, max_weight: int = 5, allow_float: bool = True
+) -> st.SearchStrategy[List[float]]:
+    """Node-weight vectors: unit, integer, or (optionally) fractional.
+
+    Weights are strictly positive, matching the hypergraph invariant;
+    shrinks toward all-unit (the seed suite's default regime).
+    """
+    unit = st.just([1.0] * n)
+    ints = st.lists(
+        st.integers(min_value=1, max_value=max_weight).map(float),
+        min_size=n, max_size=n,
+    )
+    choices = unit | ints
+    if allow_float:
+        floats = st.lists(
+            st.floats(min_value=0.5, max_value=float(max_weight)),
+            min_size=n, max_size=n,
+        )
+        choices = choices | floats
+    return choices
+
+
+def cost_profiles(
+    e: int, max_cost: int = 4, allow_float: bool = False
+) -> st.SearchStrategy[List[float]]:
+    """Net-cost vectors; default integral (FM-bucket compatible)."""
+    unit = st.just([1.0] * e)
+    ints = st.lists(
+        st.integers(min_value=1, max_value=max_cost).map(float),
+        min_size=e, max_size=e,
+    )
+    choices = unit | ints
+    if allow_float:
+        floats = st.lists(
+            st.floats(min_value=0.25, max_value=float(max_cost)),
+            min_size=e, max_size=e,
+        )
+        choices = choices | floats
+    return choices
+
+
+@st.composite
+def hypergraphs(
+    draw,
+    min_nodes: int = 2,
+    max_nodes: int = 12,
+    max_nets: Optional[int] = None,
+    max_net_size: int = 5,
+    allow_single_pin: bool = True,
+    weighted: bool = False,
+    costed: bool = False,
+) -> Hypergraph:
+    """Random valid hypergraphs (every node exists; nets never empty).
+
+    ``weighted``/``costed`` add node weights / net costs drawn from
+    :func:`weight_profiles` / :func:`cost_profiles`; otherwise both stay
+    at the unit defaults so the graph is FM-bucket compatible.
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    if max_nets is None:
+        max_nets = 2 * n
+    min_pins = 1 if allow_single_pin else min(2, n)
+    net = st.lists(
+        st.integers(min_value=0, max_value=n - 1),
+        min_size=min_pins,
+        max_size=min(max_net_size, n),
+        unique=True,
+    )
+    nets = draw(st.lists(net, min_size=1, max_size=max_nets))
+    weights = draw(weight_profiles(n)) if weighted else None
+    costs = draw(cost_profiles(len(nets))) if costed else None
+    return Hypergraph(
+        nets, num_nodes=n, net_costs=costs, node_weights=weights
+    )
+
+
+def sides_for(graph: Hypergraph) -> st.SearchStrategy[List[int]]:
+    """Arbitrary 0/1 side assignments for ``graph`` (any balance)."""
+    return st.lists(
+        st.integers(min_value=0, max_value=1),
+        min_size=graph.num_nodes,
+        max_size=graph.num_nodes,
+    )
+
+
+@st.composite
+def balanced_sides_for(draw, graph: Hypergraph) -> List[int]:
+    """Node-count-balanced assignments (⌈n/2⌉ on a random side).
+
+    Balanced by cardinality, not weight — pair with unweighted graphs
+    (or test the weight-balance machinery deliberately).
+    """
+    n = graph.num_nodes
+    order = draw(st.permutations(range(n)))
+    flip = draw(st.booleans())
+    sides = [0] * n
+    for i in order[: n // 2]:
+        sides[i] = 1
+    if flip:
+        sides = [1 - s for s in sides]
+    return sides
+
+
+@st.composite
+def graphs_with_sides(
+    draw,
+    min_nodes: int = 2,
+    max_nodes: int = 12,
+    balanced: bool = False,
+    **graph_kwargs,
+):
+    """``(graph, sides)`` pairs — the common fixture for partition tests."""
+    graph = draw(
+        hypergraphs(min_nodes=min_nodes, max_nodes=max_nodes, **graph_kwargs)
+    )
+    if balanced:
+        sides = draw(balanced_sides_for(graph))
+    else:
+        sides = draw(sides_for(graph))
+    return graph, sides
+
+
+def probability_vectors(
+    n: int, pmin: float = 0.0, pmax: float = 1.0
+) -> st.SearchStrategy[List[float]]:
+    """Per-node probability vectors within ``[pmin, pmax]`` (Eqn. 2 domain)."""
+    return st.lists(
+        st.floats(min_value=pmin, max_value=pmax,
+                  allow_nan=False, allow_infinity=False),
+        min_size=n, max_size=n,
+    )
+
+
+def move_sequences(
+    graph: Hypergraph, max_moves: Optional[int] = None
+) -> st.SearchStrategy[List[int]]:
+    """Distinct node sequences — tentative move-and-lock orders.
+
+    Every pass engine moves a node at most once per pass, so a move
+    sequence is a prefix of a permutation of the node ids.
+    """
+    n = graph.num_nodes
+    cap = n if max_moves is None else min(max_moves, n)
+    return st.permutations(range(n)).flatmap(
+        lambda perm: st.integers(min_value=0, max_value=cap).map(
+            lambda k: list(perm[:k])
+        )
+    )

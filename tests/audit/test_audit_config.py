@@ -1,0 +1,79 @@
+"""AuditConfig validation and REPRO_AUDIT environment resolution."""
+
+import pytest
+
+from repro.audit import AUDIT_ENV, AUDIT_EVERY_ENV, AuditConfig, resolve_audit
+
+
+class TestAuditConfig:
+    def test_defaults_check_everything_every_move(self):
+        cfg = AuditConfig()
+        assert cfg.every == 1
+        assert cfg.check_structure and cfg.check_gains
+        assert cfg.check_probabilities and cfg.check_balance
+        assert cfg.check_rollback
+        assert cfg.max_gain_nodes == 0
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_every_must_be_positive(self, bad):
+        with pytest.raises(ValueError):
+            AuditConfig(every=bad)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            AuditConfig(tolerance=-1e-9)
+
+    def test_with_overrides_revalidates(self):
+        cfg = AuditConfig().with_overrides(every=7)
+        assert cfg.every == 7
+        with pytest.raises(ValueError):
+            cfg.with_overrides(every=0)
+
+
+class TestFromEnv:
+    @pytest.mark.parametrize("raw", ["", "0", "false", "no", "off"])
+    def test_falsy_means_off(self, raw):
+        assert AuditConfig.from_env({AUDIT_ENV: raw}) is None
+
+    def test_unset_means_off(self):
+        assert AuditConfig.from_env({}) is None
+
+    @pytest.mark.parametrize("raw", ["1", "true", "yes", "on", "TRUE", " On "])
+    def test_truthy_means_every_move(self, raw):
+        cfg = AuditConfig.from_env({AUDIT_ENV: raw})
+        assert cfg is not None and cfg.every == 1
+
+    def test_integer_sets_stride(self):
+        cfg = AuditConfig.from_env({AUDIT_ENV: "25"})
+        assert cfg is not None and cfg.every == 25
+
+    def test_stride_override(self):
+        cfg = AuditConfig.from_env({AUDIT_ENV: "1", AUDIT_EVERY_ENV: "10"})
+        assert cfg is not None and cfg.every == 10
+
+    def test_garbage_raises_not_silently_disables(self):
+        with pytest.raises(ValueError):
+            AuditConfig.from_env({AUDIT_ENV: "bananas"})
+        with pytest.raises(ValueError):
+            AuditConfig.from_env({AUDIT_ENV: "1", AUDIT_EVERY_ENV: "x"})
+
+
+class TestResolveAudit:
+    def test_explicit_config_wins_over_env(self):
+        explicit = AuditConfig(every=3)
+        resolved = resolve_audit(explicit, {AUDIT_ENV: "7"})
+        assert resolved is explicit
+
+    def test_none_falls_back_to_env(self):
+        resolved = resolve_audit(None, {AUDIT_ENV: "4"})
+        assert resolved is not None and resolved.every == 4
+
+    def test_none_and_no_env_stays_off(self):
+        assert resolve_audit(None, {}) is None
+
+    def test_env_integration_via_os_environ(self, monkeypatch):
+        monkeypatch.setenv(AUDIT_ENV, "9")
+        resolved = resolve_audit(None)
+        assert resolved is not None and resolved.every == 9
+        monkeypatch.delenv(AUDIT_ENV)
+        assert resolve_audit(None) is None

@@ -1,0 +1,148 @@
+"""Mutation canaries: deliberately broken engines must be caught.
+
+A zero-violation audit is only evidence if the auditor can actually
+detect breakage.  Each test here monkeypatches one incremental shortcut
+to be subtly wrong — the kind of bug the audit subsystem exists for —
+and asserts the auditor raises :class:`InvariantViolation` naming the
+right invariant.  If a refactor ever silences one of these canaries, the
+auditor lost its teeth for that whole invariant family.
+"""
+
+import pytest
+
+from repro import AuditConfig, FMPartitioner, LAPartitioner, PropPartitioner
+from repro.audit import InvariantViolation
+from repro.core.gains import ProbabilisticGainEngine
+from repro.datastructures import PassJournal
+from repro.hypergraph import make_benchmark
+from repro.partition import Partition
+
+pytestmark = pytest.mark.audit
+
+
+@pytest.fixture
+def graph():
+    return make_benchmark("t6", scale=0.05)
+
+
+def _expect_violation(partitioner, graph, *invariants, audit=None):
+    with pytest.raises(InvariantViolation) as err:
+        partitioner.partition(
+            graph, seed=9, audit=audit or AuditConfig()
+        )
+    assert err.value.invariant in invariants, err.value
+    # The violation must carry enough context to replay the run.
+    assert err.value.seed == 9
+    assert "repro seed 9" in str(err.value)
+    return err.value
+
+
+def test_fm_broken_delta_rule_is_caught(monkeypatch, graph):
+    """Dropping positive FM gain deltas leaves stale container gains."""
+    import repro.baselines.fm as fm
+
+    original = fm._apply_delta
+
+    def lossy(containers, partition, node, delta):
+        if delta > 0:
+            return  # "forgot" the critical-net +cost rule
+        original(containers, partition, node, delta)
+
+    monkeypatch.setattr(fm, "_apply_delta", lossy)
+    _expect_violation(FMPartitioner("tree"), graph, "fm-gain")
+
+
+def test_la_wrong_vector_is_caught(monkeypatch, graph):
+    """An off-by-cost lookahead level must fail the vector check."""
+    import repro.baselines.la as la
+
+    original = la.gain_vector
+    calls = {"n": 0}
+
+    def skewed(partition, node, k):
+        vec = original(partition, node, k)
+        calls["n"] += 1
+        if calls["n"] > graph.num_nodes:  # corrupt only in-pass refreshes
+            return (vec[0] + 1.0,) + vec[1:]
+        return vec
+
+    monkeypatch.setattr(la, "gain_vector", skewed)
+    _expect_violation(LAPartitioner(2), graph, "la-gain-vector")
+
+
+def test_prop_missing_lock_discipline_is_caught(monkeypatch, graph):
+    """on_lock must zero the moved node's probability; skipping it is an
+    audited probability violation (and would poison every later gain)."""
+    monkeypatch.setattr(
+        ProbabilisticGainEngine, "on_lock", lambda self, node: None
+    )
+    violation = _expect_violation(
+        PropPartitioner(), graph, "lock-probability"
+    )
+    assert violation.node is not None
+
+
+def test_prop_wrong_incremental_gain_is_caught(monkeypatch, graph):
+    """A biased incremental gain must disagree with the Eqn. 2–6 oracle."""
+    original = ProbabilisticGainEngine.node_gain
+
+    def biased(self, node):
+        return original(self, node) + 0.125
+
+    monkeypatch.setattr(ProbabilisticGainEngine, "node_gain", biased)
+    _expect_violation(PropPartitioner(), graph, "prop-gain")
+
+
+def test_corrupted_cut_bookkeeping_is_caught(monkeypatch, graph):
+    """Drifting the tracked cut must fail the structure cross-check."""
+    original = Partition.move
+
+    def leaky(self, node):
+        gain = original(self, node)
+        self._cut_cost -= 0.5  # double-counts half a net somewhere
+        return gain
+
+    monkeypatch.setattr(Partition, "move", leaky)
+    _expect_violation(
+        FMPartitioner("tree"), graph, "cut-cost", "journal-cut"
+    )
+
+
+def test_broken_best_prefix_is_caught(monkeypatch, graph):
+    """Rolling back to the wrong prefix must fail the rollback check.
+
+    The auditor recomputes the max-prefix decision from independently
+    replayed gains, so it catches a broken ``best_prefix`` even though
+    the engine trusts that same method for its rollback.
+    """
+    original = PassJournal.best_prefix
+
+    def off_by_one(self):
+        p, gmax = original(self)
+        return (p - 1 if p > 0 else len(self.moves) and 1), gmax
+
+    monkeypatch.setattr(PassJournal, "best_prefix", off_by_one)
+    _expect_violation(FMPartitioner("tree"), graph, "rollback-prefix")
+
+
+def test_unlocked_rollback_node_is_caught(monkeypatch, graph):
+    """Replaying one move too few leaves state diverged from the replay."""
+    original = PassJournal.rolled_back_moves
+
+    def short(self):
+        rolled = original(self)
+        return rolled[:-1] if len(rolled) > 1 else rolled
+
+    monkeypatch.setattr(PassJournal, "rolled_back_moves", short)
+    _expect_violation(
+        FMPartitioner("tree"), graph, "rollback-state", "rollback-cut"
+    )
+
+
+def test_canaries_do_not_fire_unbroken(graph):
+    """Control: the same graph/seed passes clean without the mutations."""
+    for partitioner in (
+        FMPartitioner("tree"), LAPartitioner(2), PropPartitioner()
+    ):
+        result = partitioner.partition(graph, seed=9, audit=AuditConfig())
+        assert result.stats["audited"] == 1.0

@@ -1,8 +1,10 @@
-"""Shared fixtures: small canonical netlists used across the test suite."""
+"""Shared fixtures: small canonical netlists used across the test suite.
+
+Random-instance generation lives in :mod:`repro.testing` (shared with the
+audit differential grids); this file only binds pytest fixtures to it.
+"""
 
 from __future__ import annotations
-
-import random
 
 import pytest
 
@@ -11,6 +13,7 @@ from repro.hypergraph import (
     hierarchical_circuit,
     planted_bisection,
 )
+from repro.testing import random_instance
 
 
 @pytest.fixture
@@ -44,11 +47,9 @@ def medium_circuit() -> Hypergraph:
 
 
 def random_small_hypergraph(seed: int, max_nodes: int = 12) -> Hypergraph:
-    """Deterministic random small netlist (used by handwritten sweeps)."""
-    rng = random.Random(seed)
-    n = rng.randint(4, max_nodes)
-    nets = []
-    for _ in range(rng.randint(3, 2 * n)):
-        size = rng.randint(2, min(4, n))
-        nets.append(rng.sample(range(n), size))
-    return Hypergraph(nets, num_nodes=n)
+    """Deterministic random small netlist (used by handwritten sweeps).
+
+    Alias of :func:`repro.testing.random_instance`, kept so older tests
+    importing it from conftest keep working.
+    """
+    return random_instance(seed, max_nodes=max_nodes)

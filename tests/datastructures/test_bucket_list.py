@@ -46,6 +46,19 @@ class TestBasics:
         with pytest.raises(ValueError, match="bucket range"):
             b.insert(0, 4)
 
+    def test_update_out_of_range_keeps_node(self):
+        # Regression: update() used to remove the node before the range
+        # check, so a failed update/adjust silently dropped it.
+        b = BucketList(4, 3)
+        b.insert(0, 3)
+        with pytest.raises(ValueError, match="bucket range"):
+            b.update(0, 4)
+        assert b.gain_of(0) == 3
+        with pytest.raises(ValueError, match="bucket range"):
+            b.adjust(0, 1)
+        assert b.gain_of(0) == 3
+        b.check_invariants()
+
     def test_node_out_of_range(self):
         b = BucketList(4, 3)
         with pytest.raises(KeyError):

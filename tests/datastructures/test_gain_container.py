@@ -59,6 +59,12 @@ class TestCommonInterface:
         assert all(g == 7 for _, g in top2)
         assert len(container.top(99)) == 4
 
+    def test_top_zero_is_empty(self, container):
+        # Regression: top(0) used to return one item (the break fired
+        # only after the first append).
+        container.insert(1, 5)
+        assert container.top(0) == []
+
     def test_iter_descending_sorted(self, container):
         for node, gain in [(0, 3), (1, -2), (2, 8), (3, 0)]:
             container.insert(node, gain)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.hypergraph import Hypergraph
 from repro.partition import BalanceConstraint, check_partition
 
 
@@ -55,6 +56,62 @@ class TestCheckPartition:
             tiny_graph, [0, 0, 0, 0, 0, 1], balance=balance, expected_cut=9.0
         )
         assert len(report.errors) == 2
+
+
+class TestCheckerEdgeCases:
+    """Degenerate but legal inputs the checker must not choke on."""
+
+    def test_single_node_sides(self):
+        graph = Hypergraph([(0, 1)], num_nodes=2)
+        report = check_partition(graph, [0, 1], expected_cut=1.0)
+        assert report.ok
+        assert report.side_weights == [1.0, 1.0]
+
+    def test_no_nets_at_all(self):
+        graph = Hypergraph([], num_nodes=4)
+        report = check_partition(graph, [0, 0, 1, 1], expected_cut=0.0)
+        assert report.ok
+        assert report.cut == 0.0 and report.num_cut_nets == 0
+
+    def test_single_pin_nets_never_cut(self):
+        graph = Hypergraph([(0,), (1,), (0, 1)], num_nodes=2)
+        report = check_partition(graph, [0, 1])
+        assert report.ok
+        assert report.cut == 1.0 and report.num_cut_nets == 1
+
+    def test_zero_weight_side_reads_as_empty(self):
+        # A side populated only by zero-weight nodes has weight 0: the
+        # checker reports it as empty (balance is defined on weight, and
+        # every paper experiment uses weight >= 1).
+        graph = Hypergraph(
+            [(0, 1), (1, 2)], num_nodes=3, node_weights=[0.0, 1.0, 1.0]
+        )
+        report = check_partition(graph, [0, 1, 1])
+        assert not report.ok
+        assert any("empty" in e for e in report.errors)
+        # ...but a zero-weight node riding along a weighted side is fine.
+        assert check_partition(graph, [0, 0, 1]).ok
+
+    def test_balance_exactly_at_bounds_is_satisfied(self):
+        # Side weights 2/3 with bounds exactly [2, 3]: at +/- epsilon the
+        # constraint holds (is_satisfied allows 1e-9 float slop).
+        graph = Hypergraph([(0, 1, 2)], num_nodes=5)
+        balance = BalanceConstraint(lo=2.0, hi=3.0, total=5.0)
+        report = check_partition(graph, [0, 0, 1, 1, 1], balance=balance)
+        assert report.ok, report.errors
+
+    def test_balance_one_unit_outside_bounds_fails(self):
+        graph = Hypergraph([(0, 1, 2)], num_nodes=5)
+        balance = BalanceConstraint(lo=2.0, hi=3.0, total=5.0)
+        report = check_partition(graph, [0, 1, 1, 1, 1], balance=balance)
+        assert not report.ok
+        assert any("outside [2, 3]" in e for e in report.errors)
+
+    def test_float_sides_equal_to_ints_accepted(self):
+        # json round-trips may deliver 0.0/1.0; values equal to 0/1 pass.
+        graph = Hypergraph([(0, 1)], num_nodes=2)
+        report = check_partition(graph, [0.0, 1.0])
+        assert report.ok and report.cut == 1.0
 
 
 class TestCliVerify:

@@ -5,7 +5,7 @@ import repro
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -19,6 +19,7 @@ class TestPublicApi:
         assert len(result.sides) == graph.num_nodes
 
     def test_subpackages_importable(self):
+        import repro.audit
         import repro.baselines
         import repro.core
         import repro.datastructures
@@ -29,6 +30,7 @@ class TestPublicApi:
         import repro.kway
         import repro.multirun
         import repro.partition
+        import repro.testing
         import repro.timing  # noqa: F401
 
     def test_partitioners_share_interface(self):

@@ -8,14 +8,22 @@ catch.  (Quality-band tests elsewhere would miss a subtle change that
 keeps results "good but different".)
 """
 
+import os
+
 import pytest
 
 from repro.baselines import FMPartitioner, LAPartitioner
+from repro.cli import _make_partitioner
 from repro.core import PropPartitioner
 from repro.hypergraph import hierarchical_circuit, make_benchmark
 from repro.partition import cut_cost, random_balanced_sides
+from repro.testing import circuit_fingerprint
+from repro.testing.golden import build_circuit, load_corpus
 
 GOLDEN_GRAPH = dict(num_nodes=150, num_nets=160, num_pins=580, seed=13)
+
+CORPUS_PATH = os.path.join(os.path.dirname(__file__), "golden_corpus.json")
+CORPUS = load_corpus(CORPUS_PATH)
 
 
 @pytest.fixture(scope="module")
@@ -70,3 +78,47 @@ class TestGoldenCuts:
     def test_prop_benchmark_circuit(self):
         circuit = make_benchmark("t6", scale=0.1)
         assert _golden_cut(PropPartitioner(), circuit) == 56.0
+
+
+# ---------------------------------------------------------------------------
+# Corpus-driven goldens: every algorithm x every corpus circuit.
+# Regenerate after an intentional algorithm change with
+#   PYTHONPATH=src python -m repro.testing.golden tests/golden_corpus.json
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def corpus_circuits():
+    """Each corpus circuit built once, fingerprint-checked on the way in."""
+    built = {}
+    for name, spec in CORPUS["circuits"].items():
+        graph = build_circuit(spec)
+        assert circuit_fingerprint(graph) == spec["fingerprint"], (
+            f"circuit generator for {name!r} drifted: the corpus "
+            f"fingerprint no longer matches (regenerate deliberately)"
+        )
+        built[name] = graph
+    return built
+
+
+class TestGoldenCorpus:
+    """Replays ``tests/golden_corpus.json`` — one entry per algorithm."""
+
+    def test_corpus_covers_every_cli_algorithm(self):
+        from repro.testing.golden import ALGORITHMS
+
+        pinned = {e["algorithm"] for e in CORPUS["entries"]}
+        assert pinned == set(ALGORITHMS)
+
+    @pytest.mark.parametrize(
+        "entry",
+        CORPUS["entries"],
+        ids=[f"{e['circuit']}-{e['algorithm']}" for e in CORPUS["entries"]],
+    )
+    def test_corpus_entry(self, corpus_circuits, entry):
+        graph = corpus_circuits[entry["circuit"]]
+        partitioner = _make_partitioner(entry["algorithm"])
+        result = partitioner.partition(graph, seed=entry["seed"])
+        result.verify(graph)
+        assert result.cut == entry["cut"], (
+            f"{entry['algorithm']} on {entry['circuit']} (seed "
+            f"{entry['seed']}): cut {result.cut:g} != pinned {entry['cut']:g}"
+        )
