@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke: SIGTERM a journalled sweep, resume, check cuts.
+
+End-to-end proof of the robustness contract that in-process tests cannot
+give: a *real* process, killed by a *real* signal mid-batch, must leave
+a journal from which ``--resume`` completes the sweep with
+
+* bit-identical final cuts, and
+* zero recomputation of journalled units.
+
+Two modes:
+
+``--child``
+    Runs a journalled Engine batch (12 sleepy units, 2 pool workers)
+    and exits 130 when interrupted, 0 when it ran to completion.
+
+parent (default)
+    Spawns the child, waits until the journal holds a few completed
+    units, sends SIGTERM, then resumes the same run in-process and
+    checks the two properties above.  Exits 0 on success, 1 on failure.
+
+Used by the ``chaos`` CI job (see .github/workflows/tests.yml) and the
+subprocess test in tests/engine/test_kill_resume.py.
+"""
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import Engine, EngineConfig, WorkUnit, journal_path  # noqa: E402
+from repro.hypergraph import make_benchmark  # noqa: E402
+from repro.testing import SleepyPartitioner  # noqa: E402
+
+RUN_ID = "smoke"
+UNITS = 12
+DELAY = 0.4
+
+
+def build_units():
+    graph = make_benchmark("t6", scale=0.05)
+    return [
+        WorkUnit(graph, SleepyPartitioner(DELAY), seed=s)
+        for s in range(UNITS)
+    ]
+
+
+def child(cache_dir: str) -> int:
+    engine = Engine(EngineConfig(
+        workers=2, use_cache=False, cache_dir=cache_dir,
+    ))
+    engine.run(build_units(), run_id=RUN_ID)
+    return 130 if engine.interrupted else 0
+
+
+def journalled_units(path: Path) -> int:
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return 0
+    count = 0
+    for line in lines:
+        try:
+            if json.loads(line).get("type") == "unit":
+                count += 1
+        except ValueError:
+            pass  # torn line
+    return count
+
+
+def parent(cache_dir: str) -> int:
+    path = journal_path(Path(cache_dir), RUN_ID)
+    proc = subprocess.Popen(
+        [sys.executable, __file__, "--child", "--cache-dir", cache_dir],
+    )
+    deadline = time.monotonic() + 60.0
+    while journalled_units(path) < 3:
+        if proc.poll() is not None:
+            print(f"FAIL: child exited early (rc {proc.returncode}) "
+                  f"with {journalled_units(path)} unit(s) journalled")
+            return 1
+        if time.monotonic() > deadline:
+            proc.kill()
+            print("FAIL: journal never reached 3 units within 60 s")
+            return 1
+        time.sleep(0.05)
+
+    proc.send_signal(signal.SIGTERM)
+    rc = proc.wait(timeout=60)
+    seen = journalled_units(path)
+    print(f"child exited rc={rc} with {seen} unit(s) journalled")
+    if rc not in (0, 130):
+        print(f"FAIL: unexpected child exit code {rc}")
+        return 1
+    if rc == 0:
+        print("note: child finished before the kill landed; "
+              "resume still must serve every unit")
+
+    engine = Engine(EngineConfig(
+        workers=0, use_cache=False, cache_dir=cache_dir,
+    ))
+    results = engine.run(build_units(), run_id=RUN_ID, resume=True)
+
+    failures = []
+    cuts = [r.result.cut for r in results]
+    expected = [float(s) for s in range(UNITS)]
+    if cuts != expected:
+        failures.append(f"cuts mismatch: {cuts} != {expected}")
+    if engine.stats.journal_hits < seen:
+        failures.append(
+            f"resume recomputed journalled units: {engine.stats.journal_hits}"
+            f" hit(s) < {seen} journalled"
+        )
+    if engine.stats.executed != UNITS - engine.stats.journal_hits:
+        failures.append(
+            f"executed {engine.stats.executed} != "
+            f"{UNITS} - {engine.stats.journal_hits} journal hits"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: resumed {engine.stats.journal_hits} unit(s) from the journal, "
+        f"executed {engine.stats.executed}, final cuts bit-identical"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--child", action="store_true",
+                        help="run the killable batch (internal)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="journal root (default: fresh temp dir)")
+    args = parser.parse_args(argv)
+    if args.child:
+        if not args.cache_dir:
+            parser.error("--child requires --cache-dir")
+        return child(args.cache_dir)
+    if args.cache_dir:
+        return parent(args.cache_dir)
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        return parent(tmp)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

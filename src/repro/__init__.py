@@ -22,6 +22,7 @@ Subpackages:
 * ``repro.baselines``    — FM, LA, KL, EIG1, MELO, WINDOW, PARABOLI
 * ``repro.multirun``     — best-of-N run protocol
 * ``repro.engine``       — parallel work-unit execution engine + result cache
+* ``repro.faults``       — seeded deterministic fault injection (chaos testing)
 * ``repro.audit``        — runtime invariant auditing + differential oracles
 * ``repro.testing``      — shared hypothesis strategies and seeded instances
 * ``repro.kway``         — recursive k-way partitioning
@@ -68,9 +69,10 @@ from .partition import (
 
 #: Participates in every engine cache key: bumping it invalidates the
 #: on-disk result cache (see repro.engine.cache).
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .engine import Engine, EngineConfig, WorkUnit  # noqa: E402 - engine cache keys need __version__ defined first
+from .faults import FaultPlan, FaultSpec, injected_faults  # noqa: E402
 
 __all__ = [
     "__version__",
@@ -110,6 +112,10 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "WorkUnit",
+    # fault injection
+    "FaultPlan",
+    "FaultSpec",
+    "injected_faults",
     # invariant auditing
     "AuditConfig",
     "InvariantViolation",

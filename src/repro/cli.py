@@ -21,13 +21,21 @@ Fan 40 runs across 4 worker processes with result caching::
 Benchmark the engine itself (``bench`` subcommand)::
 
     python -m repro bench --workers 2 --runs 4
+
+Resume an interrupted sweep, verify or clear the result cache::
+
+    prop-partition mydesign.hgr -a prop --runs 100 --workers 8 --resume myrun
+    python -m repro cache verify
+    python -m repro cache clear
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Dict, List, Optional
 
 from .baselines import (
@@ -211,6 +219,17 @@ def _pos_int(text: str) -> int:
 _pos_int.__name__ = "int"
 
 
+def _pos_float(text: str) -> float:
+    """argparse type for ``--timeout``: a positive float."""
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+_pos_float.__name__ = "float"
+
+
 def _audit_from_args(args):
     """AuditConfig for ``--audit N`` (None when the flag is absent)."""
     if args.audit is None:
@@ -244,6 +263,34 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="disable the on-disk result cache",
     )
     group.add_argument(
+        "--timeout",
+        type=_pos_float,
+        default=None,
+        metavar="S",
+        help="per-unit wall-clock budget in seconds (measured from "
+        "submission; hung units are retried, then run in-process)",
+    )
+    group.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="journal the batch under <cache-dir>/runs/ID.jsonl so an "
+        "interrupted run can be resumed (default: auto-generated)",
+    )
+    group.add_argument(
+        "--resume",
+        default=None,
+        metavar="ID",
+        help="resume run ID: serve units already journalled under that "
+        "id without recomputing them, execute only the remainder",
+    )
+    group.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="collect per-unit failures instead of aborting the batch "
+        "(failed runs are reported and excluded from best/mean)",
+    )
+    group.add_argument(
         "--audit",
         nargs="?",
         const=1,
@@ -259,7 +306,15 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
 def _engine_from_args(args) -> Optional["object"]:
     """Build an Engine when any engine flag was used, else None
     (None keeps the plain sequential code path for tiny runs)."""
-    if args.workers is None and args.cache_dir is None and not args.no_cache:
+    if (
+        args.workers is None
+        and args.cache_dir is None
+        and not args.no_cache
+        and args.timeout is None
+        and args.run_id is None
+        and args.resume is None
+        and not args.keep_going
+    ):
         return None
     from .engine import Engine, EngineConfig
 
@@ -268,8 +323,24 @@ def _engine_from_args(args) -> Optional["object"]:
             workers=args.workers,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
+            timeout=args.timeout,
+            on_error="collect" if args.keep_going else "raise",
         )
     )
+
+
+def _run_id_from_args(args) -> "tuple[Optional[str], bool]":
+    """Resolve ``(run_id, resume)`` for a journalled engine batch.
+
+    ``--resume ID`` wins (and implies journalling under the same id);
+    otherwise ``--run-id``, otherwise a generated timestamp-pid id so
+    every engine-backed CLI run is resumable after a crash.
+    """
+    if args.resume is not None:
+        return args.resume, True
+    if args.run_id is not None:
+        return args.run_id, False
+    return f"{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}", False
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -278,6 +349,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "bench":
         return _run_bench_mode(argv[1:])
+    if argv and argv[0] == "cache":
+        return _run_cache_mode(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -312,17 +385,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     audit = _audit_from_args(args)
     if audit is not None:
         print(f"auditing invariants every {audit.every} move(s)")
+    run_id, resume = (None, False)
+    if engine is not None:
+        run_id, resume = _run_id_from_args(args)
+        verb = "resuming" if resume else "journalling"
+        print(f"{verb} run {run_id} (resume with --resume {run_id})")
 
     best_overall = None
+    interrupted = False
     for name in args.algorithm:
+        if interrupted:
+            break
         partitioner = _make_partitioner(name)
         outcome = run_many(
             partitioner, graph, runs=args.runs, balance=balance,
             base_seed=args.seed, circuit_name=source, engine=engine,
-            audit=audit,
+            audit=audit, run_id=run_id, resume=resume,
         )
+        interrupted = interrupted or outcome.interrupted
+        for failed in outcome.errors:
+            error = failed.error
+            print(
+                f"{outcome.algorithm:>10s}: run seed {failed.unit.seed} "
+                f"FAILED after {error.attempts} attempt(s): "
+                f"{error.exc_type}: {error.message}"
+            )
         best = outcome.best
-        assert best is not None
+        if best is None:
+            print(f"{outcome.algorithm:>10s}: no completed runs")
+            continue
         ratio = balance_ratio(graph, best.sides)
         print(
             f"{outcome.algorithm:>10s}: best cut {best.cut:g} over "
@@ -333,6 +424,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             best_overall = best
     if engine is not None:
         print(_engine_summary(engine))
+    if interrupted:
+        print(
+            f"interrupted — partial results journalled; finish with "
+            f"--resume {run_id}"
+        )
 
     if args.output and best_overall is not None:
         payload: Dict[str, object] = {
@@ -345,7 +441,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.output, "w") as fh:
             json.dump(payload, fh, indent=1)
         print(f"wrote {args.output}")
-    return 0
+    return 130 if interrupted else 0
 
 
 def _mode_partitioner(args):
@@ -447,11 +543,76 @@ def _engine_summary(engine) -> str:
     stats = engine.stats
     workers = engine.config.resolved_workers()
     cache = "off" if engine.cache is None else str(engine.cache.root)
-    return (
+    line = (
         f"engine: {workers} worker(s), cache {cache} — "
         f"{stats.executed} executed ({stats.pool_executed} in pool), "
         f"{stats.cache_hits} cache hit(s)"
     )
+    extras = []
+    if stats.journal_hits:
+        extras.append(f"{stats.journal_hits} resumed")
+    if stats.retried:
+        extras.append(f"{stats.retried} retried")
+    if stats.unit_errors:
+        extras.append(f"{stats.unit_errors} failed")
+    if stats.timeouts:
+        extras.append(f"{stats.timeouts} timed out")
+    if extras:
+        line += ", " + ", ".join(extras)
+    return line
+
+
+# ---------------------------------------------------------------------------
+# cache subcommand
+# ---------------------------------------------------------------------------
+def _build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prop-partition cache",
+        description="inspect and maintain the on-disk result cache",
+    )
+    parser.add_argument(
+        "action",
+        choices=["verify", "clear"],
+        help="verify: integrity-scan every record (removes corrupt ones "
+        "unless --keep); clear: delete every record",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default .repro_cache/, or "
+        "REPRO_ENGINE_CACHE when set)",
+    )
+    parser.add_argument(
+        "--keep",
+        action="store_true",
+        help="verify only: report corrupt records without deleting them",
+    )
+    return parser
+
+
+def _run_cache_mode(argv: List[str]) -> int:
+    """``prop-partition cache verify|clear`` — cache maintenance.
+
+    ``verify`` exits non-zero when corrupt records were found, so CI
+    can use it as an integrity gate.
+    """
+    from .engine import ResultCache, default_cache_dir, list_runs
+
+    parser = _build_cache_parser()
+    args = parser.parse_args(argv)
+    root = args.cache_dir or default_cache_dir()
+    cache = ResultCache(root=root)
+    if args.action == "verify":
+        report = cache.verify(remove=not args.keep)
+        print(f"{root}: {report.summary()}")
+        runs = list_runs(root)
+        if runs:
+            print(f"{len(runs)} run journal(s): {', '.join(runs[-5:])}")
+        return 1 if report.corrupt else 0
+    removed = cache.clear()
+    print(f"{root}: removed {removed} record(s)")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -506,8 +667,11 @@ def _run_bench_mode(argv: List[str]) -> int:
             workers=args.workers,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
+            timeout=args.timeout,
+            on_error="collect" if args.keep_going else "raise",
         )
     )
+    run_id, resume = _run_id_from_args(args)
     audit = _audit_from_args(args)
     circuits = {n: make_benchmark(n, scale=args.scale) for n in names}
 
@@ -527,15 +691,22 @@ def _run_bench_mode(argv: List[str]) -> int:
                 )
 
     start = time.perf_counter()
-    outcomes = engine.run(units)
+    outcomes = engine.run(units, run_id=run_id, resume=resume)
     elapsed = time.perf_counter() - start
+    if engine.interrupted:
+        print(f"interrupted — resume with --resume {run_id}")
+        print(_engine_summary(engine))
+        return 130
 
     cursor = 0
     for cell in cells:
         runs = cell["runs"]
         group = outcomes[cursor:cursor + runs]
         cursor += runs
-        cuts = [u.result.cut for u in group]
+        cuts = [u.result.cut for u in group if u.ok]
+        if not cuts:
+            print(f"{cell['circuit']:>8s}: no completed runs")
+            continue
         compute = sum(u.seconds for u in group)
         tag = getattr(cell["partitioner"], "name", "?")
         print(

@@ -8,6 +8,14 @@ pool, memoizes finished runs in a content-addressed on-disk cache, and
 degrades gracefully to in-process execution when a pool is unavailable —
 while guaranteeing bit-identical results to the sequential harness.
 
+Robustness (see ``docs/robustness.md``): transient failures retry with
+deterministic backoff, permanent ones can be collected per unit instead
+of aborting the batch (``on_error='collect'``), cache records carry
+integrity checksums, journalled runs (``run_id=``) survive crashes and
+signals and resume without recomputing completed units, and the whole
+failure surface is exercised by the seeded fault injector of
+:mod:`repro.faults`.
+
 Quick start::
 
     from repro.engine import Engine, EngineConfig, WorkUnit
@@ -28,17 +36,29 @@ from .cache import (
     DEFAULT_CACHE_DIR,
     CacheStats,
     ResultCache,
+    VerifyReport,
     default_cache_dir,
 )
 from .engine import (
+    ON_ERROR_POLICIES,
     WORKERS_ENV,
     Engine,
     EngineConfig,
     EngineStats,
     ProgressEvent,
+    UnitError,
     UnitResult,
     default_workers,
 )
+from .journal import RunJournal, journal_path, list_runs, validate_run_id
+from .records import (
+    RECORD_FORMAT,
+    checksum_ok,
+    decode_result,
+    encode_result,
+    record_checksum,
+)
+from .signals import SignalGuard
 from .units import (
     WorkUnit,
     balance_fingerprint,
@@ -55,6 +75,8 @@ __all__ = [
     "EngineStats",
     "ProgressEvent",
     "UnitResult",
+    "UnitError",
+    "ON_ERROR_POLICIES",
     "WorkUnit",
     "WorkerOutcome",
     "execute_unit",
@@ -65,8 +87,19 @@ __all__ = [
     "balance_fingerprint",
     "ResultCache",
     "CacheStats",
+    "VerifyReport",
     "default_cache_dir",
     "default_workers",
+    "RunJournal",
+    "journal_path",
+    "list_runs",
+    "validate_run_id",
+    "SignalGuard",
+    "RECORD_FORMAT",
+    "encode_result",
+    "decode_result",
+    "record_checksum",
+    "checksum_ok",
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
     "WORKERS_ENV",

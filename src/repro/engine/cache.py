@@ -11,9 +11,19 @@ balance, seed).  Because the version participates in the key, bumping
 explicit cleanup; stale records are simply never addressed again (use
 :meth:`ResultCache.clear` to reclaim the disk space).
 
-Records are written atomically (tmp file + rename) so a crashed or
-interrupted run can never leave a half-written record that would poison
-later reads; unreadable records are treated as misses and removed.
+Integrity: records are written atomically (tmp file + rename) and carry
+an embedded sha256 over their own canonical JSON (see
+:mod:`repro.engine.records`).  Reads verify the checksum, so a torn
+write, bit rot, truncation or a hostile edit reads as a clean miss —
+the record is deleted and the unit recomputes, never silently serving a
+wrong cut.  ``repro cache verify`` runs the same check over the whole
+store.  The cache is best-effort by contract: no I/O failure (unwritable
+directory, full disk, non-serializable stats) ever aborts the run; it
+is counted in :attr:`CacheStats.errors` and the run continues uncached.
+
+Fault sites for :mod:`repro.faults`: reads and writes consult the
+active injector (``slow_io``, ``unwritable``, ``corrupt``/``truncate``),
+which is how the chaos suite proves the guarantees above actually hold.
 """
 
 from __future__ import annotations
@@ -25,16 +35,21 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
+from ..faults import current_injector
 from ..partition import BipartitionResult
+from .records import (
+    RECORD_FORMAT,
+    checksum_ok,
+    decode_result,
+    encode_result,
+    seal,
+)
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_ENGINE_CACHE"
 
 #: Default cache directory (relative to the working directory; gitignored).
 DEFAULT_CACHE_DIR = ".repro_cache"
-
-#: Record format version, bumped if the JSON layout itself ever changes.
-RECORD_FORMAT = 1
 
 
 def default_cache_dir() -> str:
@@ -54,6 +69,23 @@ class CacheStats:
     def reset(self) -> None:
         """Zero every counter (e.g. between measurement windows)."""
         self.hits = self.misses = self.writes = self.errors = 0
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a whole-store integrity scan (:meth:`ResultCache.verify`)."""
+
+    scanned: int = 0
+    ok: int = 0
+    corrupt: int = 0
+    removed: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable verdict (used by ``repro cache verify``)."""
+        verdict = "all records verified" if self.corrupt == 0 else (
+            f"{self.corrupt} corrupt record(s), {self.removed} removed"
+        )
+        return f"scanned {self.scanned} record(s): {self.ok} ok — {verdict}"
 
 
 @dataclass
@@ -93,23 +125,20 @@ class ResultCache:
     def get(self, key: str) -> Optional[BipartitionResult]:
         """The cached result for ``key``, or ``None`` on a miss.
 
-        Corrupt or unreadable records count as misses and are deleted so
-        they cannot shadow a future write.
+        Corrupt, truncated, checksum-mismatching or otherwise unreadable
+        records count as misses and are deleted so they cannot shadow a
+        future write.
         """
+        injector = current_injector()
+        if injector is not None:
+            injector.on_cache_read(key)
         path = self.path_for(key)
         try:
             with open(path) as fh:
                 record = json.load(fh)
-            result = BipartitionResult(
-                sides=list(record["sides"]),
-                cut=float(record["cut"]),
-                algorithm=record.get("algorithm", ""),
-                seed=record.get("seed"),
-                passes=int(record.get("passes", 0)),
-                runtime_seconds=float(record.get("runtime_seconds", 0.0)),
-                stats=dict(record.get("stats", {})),
-                pass_cuts=list(record.get("pass_cuts", [])),
-            )
+            if not checksum_ok(record):
+                raise ValueError(f"checksum mismatch for record {key}")
+            result = decode_result(record)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
@@ -125,23 +154,26 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: BipartitionResult) -> None:
-        """Atomically persist ``result`` under ``key`` (best effort:
-        an unwritable cache directory disables persistence, not the run)."""
+        """Atomically persist ``result`` under ``key``.
+
+        Best effort by contract: an unwritable cache directory, a full
+        disk or a non-JSON-serializable ``result.stats`` disables
+        persistence for this record — counted in :attr:`CacheStats.errors`
+        — never the run.
+        """
         path = self.path_for(key)
-        record = {
-            "format": RECORD_FORMAT,
-            "version": self.version,
-            "key": key,
-            "algorithm": result.algorithm,
-            "seed": result.seed,
-            "cut": result.cut,
-            "sides": list(result.sides),
-            "passes": result.passes,
-            "runtime_seconds": result.runtime_seconds,
-            "stats": result.stats,
-            "pass_cuts": list(result.pass_cuts),
-        }
         try:
+            # seal() serializes the record to checksum it, so it raises
+            # on non-serializable stats too — keep it inside the guard.
+            record = seal({
+                "format": RECORD_FORMAT,
+                "version": self.version,
+                "key": key,
+                **encode_result(result),
+            })
+            injector = current_injector()
+            if injector is not None:
+                injector.on_cache_write(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 prefix=".tmp-", suffix=".json", dir=str(path.parent)
@@ -156,16 +188,60 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
-        except OSError:
+        except (OSError, TypeError, ValueError):
+            # OSError: unwritable/full disk.  TypeError/ValueError:
+            # json.dump on non-serializable or circular result.stats.
             self.stats.errors += 1
             return
         self.stats.writes += 1
+        if injector is not None:
+            mode = injector.corruption_mode(key)
+            if mode is not None:
+                _damage_record(path, mode)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
+
+    def _record_paths(self):
+        root = Path(self.root)
+        if not root.is_dir():
+            return
+        for shard in sorted(root.iterdir()):
+            if not shard.is_dir() or shard.name == "runs":
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    def verify(self, remove: bool = True) -> VerifyReport:
+        """Integrity-scan every record; optionally delete corrupt ones.
+
+        A record is corrupt when it fails to parse, fails its embedded
+        checksum, or cannot be decoded into a result.  The scan is the
+        same check :meth:`get` applies per key, run store-wide — the
+        backing for the ``repro cache verify`` CLI.
+        """
+        report = VerifyReport()
+        for path in self._record_paths():
+            report.scanned += 1
+            try:
+                with open(path) as fh:
+                    record = json.load(fh)
+                if not checksum_ok(record):
+                    raise ValueError("checksum mismatch")
+                decode_result(record)
+            except (OSError, ValueError, KeyError, TypeError):
+                report.corrupt += 1
+                if remove:
+                    try:
+                        path.unlink()
+                        report.removed += 1
+                    except OSError:
+                        pass
+            else:
+                report.ok += 1
+        return report
 
     def clear(self) -> int:
         """Delete every record; returns the number of files removed."""
@@ -174,7 +250,7 @@ class ResultCache:
         if not root.is_dir():
             return 0
         for shard in root.iterdir():
-            if not shard.is_dir():
+            if not shard.is_dir() or shard.name == "runs":
                 continue
             for record in shard.glob("*.json"):
                 try:
@@ -187,3 +263,23 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+
+def _damage_record(path: Path, mode: str) -> None:
+    """Damage a just-written record in place (fault injection only).
+
+    ``truncate`` keeps the first half of the bytes (a torn write);
+    ``corrupt`` overwrites a slice in the middle (bit rot).  Either way
+    the record must later read as a miss — that is what the chaos suite
+    asserts.
+    """
+    try:
+        data = path.read_bytes()
+        if mode == "truncate":
+            path.write_bytes(data[: len(data) // 2])
+        else:
+            middle = max(1, len(data) // 2)
+            garbled = data[:middle] + b"\x00#corrupt#\x00" + data[middle + 12:]
+            path.write_bytes(garbled)
+    except OSError:  # pragma: no cover - damage is itself best-effort
+        pass

@@ -1,4 +1,4 @@
-"""The execution engine: scheduler + cache + fault handling.
+"""The execution engine: scheduler + cache + journal + fault handling.
 
 :class:`Engine` turns a batch of :class:`~repro.engine.units.WorkUnit`
 into :class:`UnitResult` records, in input order, using
@@ -7,28 +7,56 @@ into :class:`UnitResult` records, in input order, using
   ``REPRO_ENGINE_WORKERS``; ``0``/``1`` means in-process execution),
 * the content-addressed :class:`~repro.engine.cache.ResultCache` (keys
   include ``repro.__version__``, so version bumps invalidate),
-* per-unit timeout and retry, degrading gracefully to in-process
-  execution whenever the pool cannot be created or breaks mid-run.
+* per-unit deadlines measured from submission, retry with deterministic
+  exponential backoff + jitter for transient failures, degrading
+  gracefully to in-process execution whenever the pool cannot be
+  created or breaks mid-run,
+* per-unit error capture (``on_error='collect'``) so one poisoned unit
+  cannot abort a 10k-unit sweep,
+* an optional per-run journal (``run_id=``) enabling ``resume=True`` to
+  skip completed units after a crash or interrupt, and
+* SIGINT/SIGTERM drain handling: first signal finishes in-flight work,
+  flushes the journal and returns partial results
+  (:attr:`Engine.interrupted`); a second signal hard-stops.
 
 Determinism: every unit carries its own seed and results are folded back
 by input index, so a batch produces bit-identical cuts whether it runs
-sequentially, on 4 workers, or half-and-half after a pool failure.
+sequentially, on 4 workers, half-and-half after a pool failure, or
+across an interrupt-and-resume — the invariant the chaos suite
+(``pytest -m chaos``) proves under injected faults.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import TimeoutError as FutureTimeoutError
+import time
+import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from ..faults import current_injector, deterministic_fraction, is_transient
 from ..partition import BipartitionResult
 from .cache import ResultCache, default_cache_dir
+from .journal import RunJournal, journal_path
+from .records import decode_result, encode_result
+from .signals import INERT_GUARD, SignalGuard
 from .units import WorkUnit, unit_key
 from .workers import execute_unit
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_ENGINE_WORKERS"
+
+#: Valid per-unit failure policies.
+ON_ERROR_POLICIES = ("raise", "collect")
 
 
 def default_workers() -> int:
@@ -55,16 +83,36 @@ class EngineConfig:
         (default ``os.cpu_count()``).  ``0`` or ``1`` executes in-process.
     cache_dir:
         Result-cache directory; ``None`` defers to ``REPRO_ENGINE_CACHE``
-        (default ``.repro_cache/``).
+        (default ``.repro_cache/``).  Run journals live under
+        ``<cache_dir>/runs/`` even when the cache itself is disabled.
     use_cache:
         Master switch for the result cache.
     timeout:
-        Per-unit wall-clock budget in seconds for pool execution; a unit
-        exceeding it is retried and ultimately re-run in-process.
-        ``None`` disables the budget.
+        Per-unit wall-clock budget in seconds, measured from submission
+        to the pool (all units of a round share one submission instant,
+        so budgets never compound across units).  A unit exceeding it is
+        retried and ultimately re-run in-process.  ``None`` disables.
     retries:
-        Extra pool attempts for a unit that timed out or whose pool
-        broke, before degrading to in-process execution.
+        Extra pool *rounds* for units whose pool broke or timed out,
+        before degrading to in-process execution.
+    unit_retries:
+        Extra attempts for a unit whose execution raised a *transient*
+        exception (see :func:`repro.faults.is_transient`), with
+        exponential backoff.  Permanent exceptions are never retried.
+    on_error:
+        ``'raise'`` (default): a permanently failing unit raises out of
+        :meth:`Engine.run`, matching pre-fault-hardening behavior.
+        ``'collect'``: the failure is captured on
+        :attr:`UnitResult.error` and the batch continues.
+    backoff_base / backoff_max:
+        Exponential-backoff envelope for transient retries: attempt
+        ``k`` sleeps ``min(backoff_max, backoff_base * 2**k)`` scaled by
+        a deterministic jitter in ``[0.5, 1.0)`` derived from the unit,
+        so parallel and repeated runs back off identically.
+    handle_signals:
+        SIGINT/SIGTERM drain handling during :meth:`Engine.run`.
+        ``None`` (default) enables it exactly when the run is
+        journalled (``run_id=``); ``True``/``False`` force it.
     version:
         Code version mixed into cache keys; defaults to
         ``repro.__version__``.  Exposed for tests and cache migration.
@@ -78,6 +126,11 @@ class EngineConfig:
     use_cache: bool = True
     timeout: Optional[float] = None
     retries: int = 1
+    unit_retries: int = 2
+    on_error: str = "raise"
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    handle_signals: Optional[bool] = None
     version: Optional[str] = None
     progress: Optional[Callable[["ProgressEvent"], None]] = None
 
@@ -86,8 +139,19 @@ class EngineConfig:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.unit_retries < 0:
+            raise ValueError(
+                f"unit_retries must be >= 0, got {self.unit_retries}"
+            )
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, "
+                f"got {self.on_error!r}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff_base/backoff_max must be >= 0")
 
     def resolved_workers(self) -> int:
         """The effective pool size after env defaults."""
@@ -95,15 +159,49 @@ class EngineConfig:
 
 
 @dataclass(frozen=True)
+class UnitError:
+    """A captured per-unit failure (``on_error='collect'``)."""
+
+    exc_type: str
+    message: str
+    transient: bool
+    attempts: int
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, attempts: int
+    ) -> "UnitError":
+        return cls(
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            transient=is_transient(exc),
+            attempts=attempts,
+            traceback="".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class UnitResult:
-    """One executed (or cache-served) work unit."""
+    """One executed (or cache/journal-served, or failed) work unit.
+
+    ``result`` is ``None`` exactly when ``error`` is set — only possible
+    under ``on_error='collect'``; check :attr:`ok` before using it.
+    """
 
     unit: WorkUnit
     index: int
-    result: BipartitionResult
+    result: Optional[BipartitionResult]
     seconds: float
     cached: bool = False
-    source: str = "inline"  # "pool" | "inline" | "cache"
+    source: str = "inline"  # "pool" | "inline" | "cache" | "journal" | "error"
+    error: Optional[UnitError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass(frozen=True)
@@ -122,33 +220,43 @@ class EngineStats:
     executed: int = 0
     pool_executed: int = 0
     cache_hits: int = 0
+    journal_hits: int = 0
     timeouts: int = 0
     pool_failures: int = 0
     inline_fallbacks: int = 0
+    retried: int = 0
+    unit_errors: int = 0
 
     def reset(self) -> None:
         """Zero every counter (e.g. between measurement windows)."""
         self.executed = self.pool_executed = self.cache_hits = 0
-        self.timeouts = self.pool_failures = self.inline_fallbacks = 0
+        self.journal_hits = self.timeouts = self.pool_failures = 0
+        self.inline_fallbacks = self.retried = self.unit_errors = 0
 
 
 class Engine:
-    """Parallel work-unit executor with result cache and fault handling.
+    """Parallel work-unit executor with cache, journal and fault handling.
 
     Usage::
 
         engine = Engine(EngineConfig(workers=4))
         results = engine.run(units)           # List[UnitResult], unit order
 
+        # journalled + resumable
+        engine.run(units, run_id="sweep-7")
+        engine.run(units, run_id="sweep-7", resume=True)  # skips completed
+
     The engine is stateless between :meth:`run` calls apart from
-    :attr:`stats` and the on-disk cache; pools are created per call and
-    torn down afterwards, so an Engine can be kept around for the whole
-    life of a program (or a test session) without leaking processes.
+    :attr:`stats`, :attr:`interrupted` and the on-disk cache/journal;
+    pools are created per call and torn down afterwards, so an Engine
+    can be kept around for the whole life of a program (or a test
+    session) without leaking processes.
     """
 
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
         self.stats = EngineStats()
+        self.interrupted = False
         if self.config.version is not None:
             self._version = self.config.version
         else:
@@ -161,25 +269,57 @@ class Engine:
             self.cache = ResultCache(root=root, version=self._version)
 
     # ------------------------------------------------------------------
+    # Journalling
+    # ------------------------------------------------------------------
+    def journal_root(self) -> Path:
+        """Directory holding run journals (exists even with cache off)."""
+        return Path(self.config.cache_dir or default_cache_dir())
+
+    def open_journal(self, run_id: str) -> RunJournal:
+        """The journal for ``run_id`` under this engine's cache root."""
+        return RunJournal(
+            journal_path(self.journal_root(), run_id),
+            run_id=run_id,
+            version=self._version,
+        )
+
+    # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def run(
         self,
         units: Sequence[WorkUnit],
         progress: Optional[Callable[[ProgressEvent], None]] = None,
+        run_id: Optional[str] = None,
+        resume: bool = False,
     ) -> List[UnitResult]:
         """Execute every unit; results come back in input order.
 
-        Cache hits are served first (and never scheduled); misses go to
-        the process pool when more than one worker is configured, else
-        they run in-process.  Pool faults (creation failure, broken pool,
-        per-unit timeout after retries) degrade to in-process execution —
-        the batch always completes with exactly one result per unit.
+        Journal hits (``resume=True``) and cache hits are served first
+        and never scheduled; misses go to the process pool when more
+        than one worker is configured, else they run in-process.  Pool
+        faults (creation failure, broken pool, per-unit timeout after
+        retries) degrade to in-process execution; transient unit
+        failures retry with deterministic backoff; permanent ones
+        follow ``on_error``.  Absent an interrupt, the batch always
+        completes with exactly one result per unit.  After a drain
+        (first SIGINT/SIGTERM), :attr:`interrupted` is ``True`` and the
+        returned list covers only the completed prefix of work — all of
+        it journalled when ``run_id`` was given, ready for resume.
         """
         units = list(units)
         total = len(units)
         callback = progress or self.config.progress
         done = 0
+        self.interrupted = False
+
+        journal: Optional[RunJournal] = None
+        journal_records: Dict[str, dict] = {}
+        if run_id is not None:
+            journal = self.open_journal(run_id)
+            if resume:
+                journal_records = journal.load()
+            journal.ensure_header(total)
 
         def emit(unit_result: UnitResult) -> None:
             nonlocal done
@@ -187,138 +327,314 @@ class Engine:
             if callback is not None:
                 callback(ProgressEvent(done=done, total=total, latest=unit_result))
 
+        need_keys = self.cache is not None or journal is not None
         results: List[Optional[UnitResult]] = [None] * total
         keys: List[Optional[str]] = [None] * total
         pending: List[int] = []
-        for i, unit in enumerate(units):
-            if self.cache is not None:
-                keys[i] = unit_key(unit, self._version)
-                hit = self.cache.get(keys[i])
-                # Audit does not change results, so audited and unaudited
-                # runs share a cache key — but a unit *requesting* an audit
-                # wants the invariants actually checked, so an unaudited
-                # record is not good enough and the unit re-executes
-                # (overwriting the record with an audited one).
-                if (
-                    hit is not None
-                    and unit.audit is not None
-                    and not hit.stats.get("audited")
+        try:
+            for i, unit in enumerate(units):
+                if need_keys:
+                    keys[i] = unit_key(unit, self._version)
+                served = self._serve_completed(
+                    unit, i, keys[i], journal_records
+                )
+                if served is not None:
+                    results[i] = served
+                    emit(served)
+                    continue
+                pending.append(i)
+
+            handle_signals = self.config.handle_signals
+            if handle_signals is None:
+                handle_signals = journal is not None
+            guard = SignalGuard() if handle_signals else INERT_GUARD
+
+            with guard:
+                for i, outcome_result, seconds, source, error in self._execute(
+                    units, pending, guard
                 ):
-                    hit = None
-                if hit is not None:
-                    self.stats.cache_hits += 1
+                    if error is not None:
+                        self.stats.unit_errors += 1
+                        results[i] = UnitResult(
+                            unit=units[i], index=i, result=None,
+                            seconds=seconds, cached=False, source="error",
+                            error=error,
+                        )
+                        emit(results[i])
+                        continue
+                    self.stats.executed += 1
+                    if source == "pool":
+                        self.stats.pool_executed += 1
+                    if self.cache is not None and keys[i] is not None:
+                        self.cache.put(keys[i], outcome_result)
+                    if journal is not None and keys[i] is not None:
+                        journal.append_unit(
+                            keys[i], units[i], encode_result(outcome_result),
+                            seconds, source,
+                        )
                     results[i] = UnitResult(
-                        unit=unit,
-                        index=i,
-                        result=hit,
-                        seconds=hit.runtime_seconds,
-                        cached=True,
-                        source="cache",
+                        unit=units[i], index=i, result=outcome_result,
+                        seconds=seconds, cached=False, source=source,
                     )
                     emit(results[i])
-                    continue
-            pending.append(i)
-
-        for i, outcome_result, seconds, source in self._execute(units, pending):
-            self.stats.executed += 1
-            if source == "pool":
-                self.stats.pool_executed += 1
-            if self.cache is not None and keys[i] is not None:
-                self.cache.put(keys[i], outcome_result)
-            results[i] = UnitResult(
-                unit=units[i],
-                index=i,
-                result=outcome_result,
-                seconds=seconds,
-                cached=False,
-                source=source,
-            )
-            emit(results[i])
+                if guard.draining:
+                    self.interrupted = True
+        finally:
+            if journal is not None:
+                journal.close()
 
         return [r for r in results if r is not None]
+
+    def _serve_completed(
+        self,
+        unit: WorkUnit,
+        index: int,
+        key: Optional[str],
+        journal_records: Dict[str, dict],
+    ) -> Optional[UnitResult]:
+        """Serve ``unit`` from the resume journal or the cache, if possible.
+
+        Audit does not change results, so audited and unaudited runs
+        share a record — but a unit *requesting* an audit wants the
+        invariants actually checked, so an unaudited record is not good
+        enough and the unit re-executes (overwriting the record with an
+        audited one).
+        """
+        if key is None:
+            return None
+        record = journal_records.get(key)
+        if record is not None:
+            try:
+                hit = decode_result(record)
+            except (ValueError, KeyError, TypeError):
+                hit = None
+            if hit is not None and not (
+                unit.audit is not None and not hit.stats.get("audited")
+            ):
+                self.stats.journal_hits += 1
+                return UnitResult(
+                    unit=unit, index=index, result=hit,
+                    seconds=hit.runtime_seconds, cached=True, source="journal",
+                )
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if (
+                hit is not None
+                and unit.audit is not None
+                and not hit.stats.get("audited")
+            ):
+                hit = None
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return UnitResult(
+                    unit=unit, index=index, result=hit,
+                    seconds=hit.runtime_seconds, cached=True, source="cache",
+                )
+        return None
 
     # ------------------------------------------------------------------
     # Execution strategies
     # ------------------------------------------------------------------
+    #: Items yielded by :meth:`_execute`:
+    #: ``(index, result | None, seconds, source, error | None)``.
+    _Item = Tuple[int, Optional[BipartitionResult], float, str,
+                  Optional[UnitError]]
+
     def _execute(
-        self, units: Sequence[WorkUnit], pending: List[int]
-    ) -> Iterator[Tuple[int, BipartitionResult, float, str]]:
-        """Yield ``(index, result, seconds, source)`` for every pending unit."""
+        self, units: Sequence[WorkUnit], pending: List[int], guard
+    ) -> Iterator["Engine._Item"]:
+        """Yield one item for every pending unit (unless draining)."""
         if not pending:
             return
+        attempts: Dict[int, int] = {}
+        remaining = list(pending)
         workers = self.config.resolved_workers()
-        if workers > 1 and len(pending) > 1:
-            remaining = pending
-            for _ in range(1 + self.config.retries):
-                if not remaining:
+        if workers > 1 and len(remaining) > 1:
+            for round_no in range(1 + self.config.retries):
+                if not remaining or guard.draining:
                     break
-                executed, remaining = self._pool_round(units, remaining, workers)
-                for item in executed:
-                    yield item
-            if not remaining:
+                if round_no > 0:
+                    self._backoff_sleep(round_no - 1, "pool-round")
+                # _pool_round streams completed items as futures finish
+                # (so each is journalled immediately) and returns the
+                # indices needing another attempt plus permanent failures.
+                retry, errors = yield from self._pool_round(
+                    units, remaining, workers, attempts, guard
+                )
+                for i, exc in errors:
+                    yield self._fail(i, exc, attempts)
+                remaining = retry
+            if guard.draining:
                 return
-            self.stats.inline_fallbacks += len(remaining)
-            pending = remaining
-        for i in pending:
-            outcome = execute_unit(i, units[i])
-            yield i, outcome.result, outcome.seconds, "inline"
+            if remaining:
+                self.stats.inline_fallbacks += len(remaining)
+        for i in remaining:
+            if guard.draining:
+                return
+            yield self._run_inline(i, units[i], attempts, guard)
+
+    def _fail(
+        self, index: int, exc: BaseException, attempts: Dict[int, int]
+    ) -> "Engine._Item":
+        """Apply the ``on_error`` policy to a permanently failed unit."""
+        if self.config.on_error == "raise":
+            raise exc
+        error = UnitError.from_exception(exc, attempts.get(index, 1))
+        return (index, None, 0.0, "error", error)
+
+    def _run_inline(
+        self, index: int, unit: WorkUnit, attempts: Dict[int, int], guard
+    ) -> "Engine._Item":
+        """Execute one unit in-process, retrying transient failures."""
+        while True:
+            attempt = attempts.get(index, 0)
+            try:
+                outcome = execute_unit(index, unit, attempt)
+            except Exception as exc:
+                attempts[index] = attempt + 1
+                if (
+                    is_transient(exc)
+                    and attempts[index] <= self.config.unit_retries
+                    and not guard.draining
+                ):
+                    self.stats.retried += 1
+                    self._backoff_sleep(attempt, f"unit-{unit.seed}")
+                    continue
+                return self._fail(index, exc, attempts)
+            return (index, outcome.result, outcome.seconds, "inline", None)
+
+    def _backoff_sleep(self, attempt: int, key: str) -> None:
+        """Deterministic exponential backoff with jitter.
+
+        Attempt ``k`` sleeps ``min(backoff_max, backoff_base * 2**k)``
+        scaled by a jitter in ``[0.5, 1.0)`` derived from ``(key,
+        attempt)`` — reproducible across processes and runs, unlike
+        ``random.random()`` jitter.
+        """
+        base = self.config.backoff_base
+        if base <= 0:
+            return
+        delay = min(self.config.backoff_max, base * (2.0 ** attempt))
+        jitter = deterministic_fraction(f"backoff|{key}|{attempt}")
+        time.sleep(delay * (0.5 + 0.5 * jitter))
 
     def _pool_round(
-        self, units: Sequence[WorkUnit], pending: List[int], workers: int
-    ) -> Tuple[List[Tuple[int, BipartitionResult, float, str]], List[int]]:
+        self,
+        units: Sequence[WorkUnit],
+        pending: List[int],
+        workers: int,
+        attempts: Dict[int, int],
+        guard,
+    ) -> Iterator["Engine._Item"]:
         """One process-pool attempt over ``pending``.
 
-        Returns (completed items, indices needing another attempt).  A
-        pool that cannot even be created returns everything as needing
-        another attempt — the caller's retry loop ends with in-process
-        execution, so no unit is ever dropped.
+        A *generator*: completed items are yielded as their futures
+        finish — not collected until the round ends — so the caller
+        journals each unit the moment it completes (the crash-safety
+        contract of :mod:`repro.engine.journal`).  The return value
+        (via ``yield from``) is ``(indices needing another attempt,
+        permanent failures)``.  A pool that cannot even be created
+        returns everything as needing another attempt — the caller's
+        retry loop ends with in-process execution, so no unit is ever
+        dropped.
+
+        Every unit's deadline is measured from submission: the whole
+        round is submitted at one instant and collected with
+        :func:`concurrent.futures.wait`, so unit N's budget no longer
+        compounds behind units 1..N-1 the way sequential
+        ``future.result(timeout=...)`` calls did.
         """
-        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
         from concurrent.futures.process import BrokenProcessPool
 
-        completed: List[Tuple[int, BipartitionResult, float, str]] = []
-        failed: List[int] = []
+        retry: List[int] = []
+        errors: List[Tuple[int, BaseException]] = []
+        injector = current_injector()
         try:
+            if injector is not None:
+                injector.on_pool_create()
             pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
         except (OSError, ValueError, ImportError):
             self.stats.pool_failures += 1
-            return completed, list(pending)
+            return list(pending), errors
         broken = False
-        timed_out = False
+        abandoned = False  # timed-out/unfinished futures may still run
         try:
             try:
                 futures = {
-                    i: pool.submit(execute_unit, i, units[i]) for i in pending
+                    pool.submit(execute_unit, i, units[i], attempts.get(i, 0)): i
+                    for i in pending
                 }
             except BrokenProcessPool:
                 self.stats.pool_failures += 1
-                return completed, list(pending)
-            for i, future in futures.items():
-                if broken:
-                    future.cancel()
-                    failed.append(i)
+                return list(pending), errors
+            deadline = (
+                None if self.config.timeout is None
+                else time.monotonic() + self.config.timeout
+            )
+            not_done = set(futures)
+            drain_cancelled = False
+            while not_done and not broken:
+                if guard.draining and not drain_cancelled:
+                    # Drain: shed queued futures, keep in-flight ones.
+                    still_running = set()
+                    for future in not_done:
+                        if future.cancel():
+                            retry.append(futures[future])
+                        else:
+                            still_running.add(future)
+                    not_done = still_running
+                    drain_cancelled = True
                     continue
-                try:
-                    outcome = future.result(timeout=self.config.timeout)
-                except FutureTimeoutError:
+                slice_seconds = 0.2  # poll so drain signals are noticed
+                if deadline is not None:
+                    time_left = deadline - time.monotonic()
+                    if time_left <= 0:
+                        break
+                    slice_seconds = min(slice_seconds, time_left)
+                done, not_done = wait(
+                    not_done, timeout=slice_seconds,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    i = futures[future]
+                    if broken:
+                        retry.append(i)
+                        continue
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        self.stats.pool_failures += 1
+                        broken = True
+                        retry.append(i)
+                    except Exception as exc:
+                        attempts[i] = attempts.get(i, 0) + 1
+                        if (
+                            is_transient(exc)
+                            and attempts[i] <= self.config.unit_retries
+                        ):
+                            self.stats.retried += 1
+                            retry.append(i)
+                        else:
+                            errors.append((i, exc))
+                    else:
+                        yield (i, outcome.result, outcome.seconds, "pool", None)
+            # Leftovers: deadline expired (timeout per unit, measured
+            # from submission) or the pool broke under them.
+            for future in not_done:
+                i = futures[future]
+                cancelled = future.cancel()
+                if not broken and not guard.draining:
                     self.stats.timeouts += 1
-                    timed_out = True
-                    future.cancel()
-                    failed.append(i)
-                except BrokenProcessPool:
-                    self.stats.pool_failures += 1
-                    broken = True
-                    failed.append(i)
-                else:
-                    completed.append(
-                        (i, outcome.result, outcome.seconds, "pool")
-                    )
+                if not cancelled:
+                    abandoned = True
+                retry.append(i)
         finally:
-            # A broken pool or a still-running timed-out unit must not
+            # A broken pool or a still-running abandoned unit must not
             # block shutdown; leave those processes to die on their own.
-            wait = not (broken or timed_out)
+            wait_for_workers = not (broken or abandoned)
             try:
-                pool.shutdown(wait=wait, cancel_futures=True)
+                pool.shutdown(wait=wait_for_workers, cancel_futures=True)
             except TypeError:  # pragma: no cover - Python < 3.9
-                pool.shutdown(wait=wait)
-        return completed, failed
+                pool.shutdown(wait=wait_for_workers)
+        return retry, errors

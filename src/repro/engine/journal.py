@@ -1,0 +1,173 @@
+"""Per-batch run journal: crash-safe progress log enabling resume.
+
+One append-only JSONL file per run at
+
+    <cache_dir>/runs/<run_id>.jsonl
+
+First line is a header (run id, code version, unit count); every
+subsequent line is one *completed* work unit — its cache key, seed/tag,
+execution source and the full encoded result, sealed with the same
+embedded sha256 as cache records (:mod:`repro.engine.records`).
+
+Crash safety is append discipline: each unit is written as exactly one
+``write()`` of one newline-terminated line, flushed and fsynced before
+the engine moves on.  A run killed at any instant therefore leaves a
+journal whose lines are all valid except possibly the torn last one,
+which :meth:`RunJournal.load` skips (as it does any line failing its
+checksum).  Resume reads the journal, serves every recorded unit
+without recomputing it, and appends only the newly completed ones — so
+``--resume`` after a SIGTERM, a crash or a power cut recomputes zero
+finished units and yields bit-identical cuts to an uninterrupted run.
+
+The journal is deliberately independent of the result cache: it works
+with caching disabled, and unlike the content-addressed cache it scopes
+completion to *this run*, which is what "skip what this batch already
+did" needs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import IO, Dict, List, Optional
+
+from .records import checksum_ok, seal
+
+#: Subdirectory of the cache root holding run journals.
+RUNS_SUBDIR = "runs"
+
+#: Valid run identifiers: filesystem-safe, no path separators.
+_RUN_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}\Z")  # \Z: '$' allows '\n'
+
+
+def validate_run_id(run_id: str) -> str:
+    """Reject run ids that would escape the runs directory."""
+    if not _RUN_ID_RE.match(run_id):
+        raise ValueError(
+            f"bad run id {run_id!r} (letters, digits, '.', '_', '-' only)"
+        )
+    return run_id
+
+
+def journal_path(cache_root: Path, run_id: str) -> Path:
+    """Journal location for ``run_id`` under ``cache_root``."""
+    return Path(cache_root) / RUNS_SUBDIR / f"{validate_run_id(run_id)}.jsonl"
+
+
+class RunJournal:
+    """Append-only completion log of one engine batch.
+
+    Opened lazily on first append; writes are line-atomic (single
+    ``write`` + flush + fsync).  All I/O errors are swallowed into
+    :attr:`errors` — journalling, like caching, is best-effort and must
+    never abort the batch it protects.
+    """
+
+    def __init__(self, path: Path, run_id: str, version: str = "") -> None:
+        self.path = Path(path)
+        self.run_id = run_id
+        self.version = version
+        self.errors = 0
+        self.appended = 0
+        self._fh: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _write_line(self, record: dict) -> None:
+        try:
+            # seal() serializes the record to checksum it, so it raises
+            # on non-serializable payloads too — keep it inside the guard.
+            line = json.dumps(seal(record)) + "\n"
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(self.path, "a")
+            self._fh.write(line)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except (OSError, TypeError, ValueError):
+            self.errors += 1
+
+    def ensure_header(self, total_units: int) -> None:
+        """Write the header line when starting a fresh journal file."""
+        try:
+            exists = self.path.exists() and self.path.stat().st_size > 0
+        except OSError:
+            exists = False
+        if exists:
+            return
+        self._write_line({
+            "type": "header",
+            "run_id": self.run_id,
+            "version": self.version,
+            "units": total_units,
+        })
+
+    def append_unit(self, key: str, unit, result_record: dict,
+                    seconds: float, source: str) -> None:
+        """Record one completed unit (call only after success)."""
+        self._write_line({
+            "type": "unit",
+            "key": key,
+            "seed": unit.seed,
+            "tag": unit.tag,
+            "seconds": seconds,
+            "source": source,
+            **result_record,
+        })
+        self.appended += 1
+
+    def close(self) -> None:
+        """Release the underlying file handle (appending may reopen it)."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                self.errors += 1
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, dict]:
+        """Completed-unit records by cache key.
+
+        Tolerates a missing file (fresh run), torn trailing lines
+        (killed mid-append) and checksum-failing lines (disk damage) —
+        those units simply recompute.  Later lines win on duplicate
+        keys, matching append order.
+        """
+        records: Dict[str, dict] = {}
+        try:
+            with open(self.path) as fh:
+                lines = fh.readlines()
+        except OSError:
+            return records
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn or garbled line
+            if not isinstance(record, dict) or not checksum_ok(record):
+                continue
+            if record.get("type") == "unit" and isinstance(
+                record.get("key"), str
+            ):
+                records[record["key"]] = record
+        return records
+
+
+def list_runs(cache_root: Path) -> List[str]:
+    """Run ids with a journal under ``cache_root`` (newest last)."""
+    runs_dir = Path(cache_root) / RUNS_SUBDIR
+    if not runs_dir.is_dir():
+        return []
+    paths = sorted(
+        runs_dir.glob("*.jsonl"), key=lambda p: (p.stat().st_mtime, p.name)
+    )
+    return [p.stem for p in paths]

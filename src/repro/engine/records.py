@@ -1,0 +1,89 @@
+"""Shared result-record codec: JSON encoding + integrity checksums.
+
+Both persistence layers — the content-addressed :mod:`cache` and the
+per-run :mod:`journal` — store a :class:`~repro.partition.BipartitionResult`
+as one JSON object.  This module owns that encoding so the two stay
+bit-compatible, and adds the integrity contract: every record embeds a
+``sha256`` over its own canonical JSON (sorted keys, minimal
+separators, ``sha256`` field excluded).  Verification on read turns
+torn writes, bit rot and truncation into clean misses instead of
+silently wrong cuts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from ..partition import BipartitionResult
+
+#: Record layout version; bumped when the JSON schema changes.
+#: 1 = PR 1 layout (no checksum); 2 = embedded sha256 integrity field.
+RECORD_FORMAT = 2
+
+#: Name of the embedded integrity field.
+CHECKSUM_FIELD = "sha256"
+
+
+def encode_result(result: BipartitionResult) -> Dict[str, Any]:
+    """The JSON-ready fields of one partitioning result."""
+    return {
+        "algorithm": result.algorithm,
+        "seed": result.seed,
+        "cut": result.cut,
+        "sides": list(result.sides),
+        "passes": result.passes,
+        "runtime_seconds": result.runtime_seconds,
+        "stats": result.stats,
+        "pass_cuts": list(result.pass_cuts),
+    }
+
+
+def decode_result(record: Dict[str, Any]) -> BipartitionResult:
+    """Rebuild a result from a record (raises on malformed records)."""
+    return BipartitionResult(
+        sides=list(record["sides"]),
+        cut=float(record["cut"]),
+        algorithm=record.get("algorithm", ""),
+        seed=record.get("seed"),
+        passes=int(record.get("passes", 0)),
+        runtime_seconds=float(record.get("runtime_seconds", 0.0)),
+        stats=dict(record.get("stats", {})),
+        pass_cuts=list(record.get("pass_cuts", [])),
+    )
+
+
+def record_checksum(record: Dict[str, Any]) -> str:
+    """sha256 over the record's canonical JSON, ``sha256`` field excluded.
+
+    Canonical form (sorted keys, ``,``/``:`` separators) makes the hash
+    independent of insertion order, so it survives a JSON round-trip:
+    the checksum computed before writing equals the one recomputed from
+    the parsed record.
+    """
+    payload = json.dumps(
+        {k: v for k, v in record.items() if k != CHECKSUM_FIELD},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def seal(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Embed the integrity checksum; returns ``record`` for chaining."""
+    record[CHECKSUM_FIELD] = record_checksum(record)
+    return record
+
+
+def checksum_ok(record: Dict[str, Any]) -> bool:
+    """Whether the embedded checksum matches the record's content.
+
+    Records without a checksum (pre-format-2) fail verification: they
+    cannot prove their integrity, and version-keyed addressing means
+    they are unreachable garbage anyway.
+    """
+    stored = record.get(CHECKSUM_FIELD)
+    if not isinstance(stored, str):
+        return False
+    return stored == record_checksum(record)

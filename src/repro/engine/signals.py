@@ -1,0 +1,93 @@
+"""Graceful-shutdown signal handling for engine batches.
+
+Contract (see ``docs/robustness.md``):
+
+* **First** SIGINT/SIGTERM: the guard flips :attr:`SignalGuard.draining`.
+  The engine stops scheduling new work, lets in-flight pool futures
+  finish, journals everything completed, and returns partial results
+  with :attr:`Engine.interrupted` set — nothing computed is lost, and
+  a journalled run resumes with ``--resume``.
+* **Second** signal: hard stop.  The guard restores the previous
+  handlers and raises :class:`KeyboardInterrupt` out of whatever the
+  engine was doing.
+
+Handlers can only be installed from the main thread of the main
+interpreter; anywhere else the guard degrades to inert (``draining``
+stays ``False``) rather than failing, so library callers on worker
+threads keep the old semantics.  Previous handlers are always restored
+on exit, making the guard safe to nest around user code that installs
+its own.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Dict, Optional
+
+#: Signals that trigger a graceful drain.
+DRAIN_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class _InertGuard:
+    """Placeholder guard when signal handling is off: never draining."""
+
+    draining = False
+    signals_seen = 0
+
+    def __enter__(self) -> "_InertGuard":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+#: Shared inert instance (stateless, safe to reuse).
+INERT_GUARD = _InertGuard()
+
+
+class SignalGuard:
+    """Install drain-then-stop handlers for the duration of a batch."""
+
+    def __init__(self) -> None:
+        self.draining = False
+        self.signals_seen = 0
+        self._previous: Dict[int, object] = {}
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def _handle(self, signum: int, frame: Optional[object]) -> None:
+        self.signals_seen += 1
+        if self.signals_seen == 1:
+            self.draining = True
+            return
+        self._restore()
+        raise KeyboardInterrupt(
+            f"second signal ({signal.Signals(signum).name}): hard stop"
+        )
+
+    def _restore(self) -> None:
+        if not self._installed:
+            return
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        self._previous.clear()
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SignalGuard":
+        if threading.current_thread() is not threading.main_thread():
+            return self  # inert off the main thread
+        try:
+            for signum in DRAIN_SIGNALS:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            self._installed = True
+        except (OSError, ValueError, RuntimeError):
+            self._restore()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()

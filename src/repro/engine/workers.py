@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ..faults import current_injector
 from ..partition import BipartitionResult
 from .units import WorkUnit
 
@@ -25,12 +26,20 @@ class WorkerOutcome:
     seconds: float
 
 
-def execute_unit(index: int, unit: WorkUnit) -> WorkerOutcome:
+def execute_unit(index: int, unit: WorkUnit, attempt: int = 0) -> WorkerOutcome:
     """Run one work unit to completion (in a worker or in-process).
+
+    ``attempt`` is the unit's retry ordinal (0 on first execution); the
+    engine threads it through so the fault injector can arm faults per
+    attempt — a transient fault with ``times=1`` fails attempt 0 and
+    lets attempt 1 succeed, deterministically.
 
     The run is timed here, next to the actual compute, so recorded
     per-run seconds exclude scheduling/pickling overhead.
     """
+    injector = current_injector()
+    if injector is not None:
+        injector.on_unit_start(unit, attempt)
     start = time.perf_counter()
     kwargs = {}
     if unit.audit is not None and getattr(

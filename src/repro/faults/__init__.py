@@ -1,0 +1,65 @@
+"""``repro.faults`` — seeded, deterministic fault injection.
+
+The experiment engine claims graceful degradation: a crashed worker, a
+hung unit, a corrupted cache record or an unwritable cache directory
+must never change a batch's cuts, only its wall clock.  This package
+makes those claims testable.  A :class:`FaultPlan` arms a set of fault
+kinds — worker crash, hang, transient/permanent exception, slow I/O,
+cache-record corruption/truncation, unwritable cache, pool-creation
+failure — and a :class:`FaultInjector` fires them at fixed sites inside
+the engine, the cache and the workers.  Decisions are pure functions of
+*(plan seed, kind, target)*, so the same plan misbehaves identically in
+every process and on every run; the chaos suite exploits that to assert
+**bit-identical results under fault**.
+
+Arming a plan::
+
+    # in-process (tests)
+    from repro.faults import FaultPlan, FaultSpec, injected_faults
+    with injected_faults(FaultPlan(specs=(FaultSpec("transient"),))):
+        engine.run(units)
+
+    # across pool workers (inherited by child processes)
+    REPRO_FAULTS="seed=7,crash:0.3,corrupt:0.25" python -m repro ...
+
+See ``docs/robustness.md`` for the full fault model and grammar.
+"""
+
+from .errors import (
+    PERMANENT_TYPES,
+    TRANSIENT_TYPES,
+    FaultError,
+    PermanentFaultError,
+    TransientFaultError,
+    is_transient,
+)
+from .injector import (
+    CRASH_EXIT_CODE,
+    FaultInjector,
+    current_injector,
+    deterministic_fraction,
+    injected_faults,
+    install,
+    uninstall,
+)
+from .plan import FAULT_KINDS, FAULTS_ENV, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultError",
+    "TransientFaultError",
+    "PermanentFaultError",
+    "is_transient",
+    "TRANSIENT_TYPES",
+    "PERMANENT_TYPES",
+    "install",
+    "uninstall",
+    "injected_faults",
+    "current_injector",
+    "deterministic_fraction",
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "CRASH_EXIT_CODE",
+]

@@ -1,0 +1,49 @@
+"""Failure taxonomy: transient vs permanent.
+
+The engine's retry policy hinges on one question per exception: *could
+the same attempt succeed if repeated?*  Injected faults answer it
+explicitly (:class:`TransientFaultError` / :class:`PermanentFaultError`);
+real-world exceptions are classified by :func:`is_transient` — I/O and
+connectivity hiccups retry, programming errors fail fast.  Retrying a
+``TypeError`` would only burn the backoff budget to reach the same
+deterministic crash.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected fault raised by :mod:`repro.faults`."""
+
+
+class TransientFaultError(FaultError):
+    """An injected failure that goes away on retry (network blip, ...)."""
+
+
+class PermanentFaultError(FaultError):
+    """An injected failure that repeats on every attempt (poisoned unit)."""
+
+
+#: Exception types the engine treats as retryable.  ``OSError`` covers
+#: the I/O family (disk, sockets, interrupted syscalls); ``TimeoutError``
+#: and ``ConnectionError`` are its most common transient subclasses but
+#: are listed for clarity and for Python versions where they diverge.
+TRANSIENT_TYPES = (
+    TransientFaultError,
+    TimeoutError,
+    ConnectionError,
+    InterruptedError,
+    OSError,
+)
+
+#: Exception types never retried even though they subclass a transient
+#: family (``PermanentFaultError`` is a ``RuntimeError``, kept here for
+#: symmetry and future carve-outs).
+PERMANENT_TYPES = (PermanentFaultError,)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` is worth retrying (same inputs, later attempt)."""
+    if isinstance(exc, PERMANENT_TYPES):
+        return False
+    return isinstance(exc, TRANSIENT_TYPES)

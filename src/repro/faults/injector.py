@@ -1,0 +1,195 @@
+"""The injector: turns a :class:`~repro.faults.plan.FaultPlan` into
+actual failures at well-defined sites.
+
+Sites (all no-ops when the kind is unarmed):
+
+* :meth:`FaultInjector.on_unit_start` — called by
+  :func:`repro.engine.workers.execute_unit` before the partitioning
+  call.  ``crash`` and ``hang`` fire only inside pool worker processes
+  (detected via :func:`multiprocessing.parent_process`), so the
+  engine's inline fallback is always fault-free for them and every
+  batch can complete; ``transient``/``permanent`` fire anywhere.
+* :meth:`FaultInjector.on_pool_create` — called by the engine before
+  ``ProcessPoolExecutor(...)``; fires ``pool`` as an ``OSError``.
+* :meth:`FaultInjector.on_cache_read` / :meth:`on_cache_write` —
+  called by :class:`repro.engine.cache.ResultCache`; fire ``slow_io``
+  (sleep) and ``unwritable`` (``OSError``).
+* :meth:`FaultInjector.corruption_mode` — consulted by the cache right
+  after an atomic record write; returns ``"corrupt"``/``"truncate"``
+  when the freshly written bytes should be damaged.
+
+Determinism: whether a fault fires for a target is
+``sha256(plan.seed | kind | target key)`` mapped to ``[0, 1)`` and
+compared against the spec's rate; the attempt number only gates the
+``times`` budget.  A selected target therefore fails on exactly the
+same attempts in every run of the same plan, in every process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from typing import List, Optional
+
+from .errors import PermanentFaultError, TransientFaultError
+from .plan import FAULTS_ENV, FaultPlan
+
+#: Exit status of an injected worker crash (shows up in pool diagnostics).
+CRASH_EXIT_CODE = 23
+
+
+def deterministic_fraction(key: str, seed: int = 0) -> float:
+    """Map ``(seed, key)`` to a stable fraction in ``[0, 1)``.
+
+    Shared by fault-firing decisions and the engine's backoff jitter:
+    both need randomness that is identical across processes and runs.
+    """
+    digest = hashlib.sha256(f"{seed}|{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+class FaultInjector:
+    """Stateless fault decisions plus a per-process firing log.
+
+    ``fired`` records ``"kind@target"`` strings for every fault this
+    process fired — test assertions and post-mortem debugging.  (Pool
+    workers keep their own logs; only same-process fires are visible.)
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.fired: List[str] = []
+        self._pool_attempts = 0
+
+    # ------------------------------------------------------------------
+    # Decision core
+    # ------------------------------------------------------------------
+    def _fires(self, kind: str, key: str, attempt: int = 0) -> bool:
+        spec = self.plan.spec_for(kind)
+        if spec is None or spec.rate <= 0.0:
+            return False
+        if spec.times is not None and attempt >= spec.times:
+            return False
+        if spec.rate < 1.0:
+            frac = deterministic_fraction(f"{kind}|{key}", self.plan.seed)
+            if frac >= spec.rate:
+                return False
+        self.fired.append(f"{kind}@{key}#{attempt}")
+        return True
+
+    @staticmethod
+    def _unit_target(unit) -> str:
+        name = getattr(unit.partitioner, "name", type(unit.partitioner).__name__)
+        return f"{name}|{unit.seed}|{unit.tag}"
+
+    # ------------------------------------------------------------------
+    # Worker site
+    # ------------------------------------------------------------------
+    def on_unit_start(self, unit, attempt: int = 0) -> None:
+        """Crash/hang (pool workers only) or raise an injected exception."""
+        target = self._unit_target(unit)
+        in_pool_worker = multiprocessing.parent_process() is not None
+        if in_pool_worker:
+            if self._fires("crash", target, attempt):
+                os._exit(CRASH_EXIT_CODE)
+            if self._fires("hang", target, attempt):
+                time.sleep(self.plan.hang_seconds)
+        if self._fires("transient", target, attempt):
+            raise TransientFaultError(
+                f"injected transient fault (unit {target}, attempt {attempt})"
+            )
+        if self._fires("permanent", target, attempt):
+            raise PermanentFaultError(
+                f"injected permanent fault (unit {target})"
+            )
+
+    # ------------------------------------------------------------------
+    # Engine site
+    # ------------------------------------------------------------------
+    def on_pool_create(self) -> None:
+        """Fail pool creation (``OSError``) while the attempt budget lasts."""
+        attempt = self._pool_attempts
+        self._pool_attempts += 1
+        if self._fires("pool", "pool", attempt):
+            raise OSError("injected pool-creation failure")
+
+    # ------------------------------------------------------------------
+    # Cache sites
+    # ------------------------------------------------------------------
+    def on_cache_read(self, key: str) -> None:
+        """Delay the read of ``key`` when ``slow_io`` is armed."""
+        if self._fires("slow_io", f"read|{key}"):
+            time.sleep(self.plan.io_delay)
+
+    def on_cache_write(self, key: str) -> None:
+        """Delay (``slow_io``) or fail (``unwritable``) the write of ``key``."""
+        if self._fires("slow_io", f"write|{key}"):
+            time.sleep(self.plan.io_delay)
+        if self._fires("unwritable", key):
+            raise OSError("injected unwritable cache directory")
+
+    def corruption_mode(self, key: str) -> Optional[str]:
+        """How to damage the record just written for ``key`` (or ``None``)."""
+        if self._fires("truncate", key):
+            return "truncate"
+        if self._fires("corrupt", key):
+            return "corrupt"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Active-injector registry
+# ---------------------------------------------------------------------------
+_ACTIVE: Optional[FaultInjector] = None
+_ENV_CACHE: "tuple[str, Optional[FaultInjector]]" = ("", None)
+
+
+def install(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+    """Arm ``plan`` process-wide (``None`` disarms); returns the injector.
+
+    Programmatic installation beats the environment variable but does
+    **not** reach pool workers — set ``REPRO_FAULTS`` for that.
+    """
+    global _ACTIVE
+    _ACTIVE = FaultInjector(plan) if plan is not None else None
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    """Disarm any programmatically installed plan."""
+    install(None)
+
+
+class injected_faults:
+    """Context manager arming ``plan`` for the duration of a block."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.injector: Optional[FaultInjector] = None
+
+    def __enter__(self) -> FaultInjector:
+        self.injector = install(self.plan)
+        assert self.injector is not None
+        return self.injector
+
+    def __exit__(self, *exc_info) -> None:
+        uninstall()
+
+
+def current_injector() -> Optional[FaultInjector]:
+    """The armed injector: programmatic first, else ``REPRO_FAULTS``.
+
+    The environment parse is cached per raw value, so the common
+    fault-free path costs one dict lookup and a string compare.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    raw = os.environ.get(FAULTS_ENV, "").strip()
+    if not raw:
+        return None
+    global _ENV_CACHE
+    if _ENV_CACHE[0] != raw:
+        _ENV_CACHE = (raw, FaultInjector(FaultPlan.parse(raw)))
+    return _ENV_CACHE[1]

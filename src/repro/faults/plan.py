@@ -1,0 +1,181 @@
+"""Fault plans: *which* failures to inject, seeded and declarative.
+
+A :class:`FaultPlan` is a value object naming the fault kinds to arm,
+each with a firing rate and an optional per-target attempt budget
+(``times``).  Plans come from code (tests build them directly) or from
+the ``REPRO_FAULTS`` environment variable, which makes them travel into
+process-pool workers for free::
+
+    REPRO_FAULTS="seed=7,crash:0.3,transient:1:2,corrupt:0.25"
+
+Grammar (comma-separated entries):
+
+* ``kind[:rate[:times]]`` — arm ``kind`` with firing probability
+  ``rate`` (default 1.0) for the first ``times`` attempts per target
+  (default: 1 for the self-healing kinds ``crash``/``hang``/
+  ``transient``/``pool``, unlimited otherwise).
+* ``seed=N`` — the plan seed mixed into every firing decision.
+* ``hang_seconds=S`` — how long an injected hang sleeps (default 30).
+* ``io_delay=S`` — how long ``slow_io`` sleeps per cache access
+  (default 0.05).
+
+Every decision is a pure function of *(plan seed, kind, target key)* —
+see :mod:`repro.faults.injector` — so a plan misbehaves identically
+across runs, worker counts and interpreter restarts.  That determinism
+is what lets the chaos suite assert bit-identical cuts under fault.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Environment variable carrying the active fault plan (parsed lazily;
+#: inherited by pool workers, which is how worker-side faults arm).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Every fault kind the injector knows how to fire.
+FAULT_KINDS = (
+    "crash",       # worker: os._exit — pool sees BrokenProcessPool
+    "hang",        # worker: sleep hang_seconds — pool sees a timeout
+    "transient",   # worker: raise TransientFaultError (retryable)
+    "permanent",   # worker: raise PermanentFaultError (never retried)
+    "slow_io",     # cache: sleep io_delay on read/write
+    "corrupt",     # cache: garble the record bytes after a write
+    "truncate",    # cache: drop the tail of the record after a write
+    "unwritable",  # cache: writes raise OSError (read-only cache dir)
+    "pool",        # engine: ProcessPoolExecutor creation raises OSError
+)
+
+#: Kinds whose attempt budget defaults to 1: they must stop firing so
+#: the engine's retry/fallback machinery can actually recover.
+_SELF_HEALING = {"crash": 1, "hang": 1, "transient": 1, "pool": 1}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault kind.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    rate:
+        Probability in ``[0, 1]`` that a given *target* (work unit,
+        cache key, pool) is selected.  Selection is deterministic per
+        target — a selected unit fails on every run of the same plan.
+    times:
+        Attempt budget: the fault fires only while the target's attempt
+        number is below ``times``.  ``None`` means unlimited.  Defaults
+        to 1 for crash/hang/transient/pool so retries succeed.
+    """
+
+    kind: str
+    rate: float = 1.0
+    times: Optional[int] = field(default=-1)  # -1 sentinel: kind default
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(choose from {', '.join(FAULT_KINDS)})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.times == -1:
+            object.__setattr__(self, "times", _SELF_HEALING.get(self.kind))
+        if self.times is not None and self.times < 0:
+            raise ValueError(f"times must be >= 0, got {self.times}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` plus shared fault parameters."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    hang_seconds: float = 30.0
+    io_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        seen: Dict[str, FaultSpec] = {}
+        for spec in self.specs:
+            if spec.kind in seen:
+                raise ValueError(f"duplicate fault kind {spec.kind!r}")
+            seen[spec.kind] = spec
+        if self.hang_seconds < 0 or self.io_delay < 0:
+            raise ValueError("hang_seconds/io_delay must be >= 0")
+
+    def spec_for(self, kind: str) -> Optional[FaultSpec]:
+        """The armed spec for ``kind``, or ``None`` when not armed."""
+        for spec in self.specs:
+            if spec.kind == kind:
+                return spec
+        return None
+
+    def describe(self) -> str:
+        """The plan in ``REPRO_FAULTS`` grammar (parse/describe round-trips)."""
+        parts = [f"seed={self.seed}"]
+        for spec in self.specs:
+            times = "inf" if spec.times is None else str(spec.times)
+            parts.append(f"{spec.kind}:{spec.rate:g}:{times}")
+        if self.hang_seconds != 30.0:
+            parts.append(f"hang_seconds={self.hang_seconds:g}")
+        if self.io_delay != 0.05:
+            parts.append(f"io_delay={self.io_delay:g}")
+        return ",".join(parts)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from the ``REPRO_FAULTS`` grammar (see module doc)."""
+        specs = []
+        options: Dict[str, float] = {}
+        for raw_entry in text.split(","):
+            entry = raw_entry.strip()
+            if not entry:
+                continue
+            if "=" in entry:
+                name, _, value = entry.partition("=")
+                name = name.strip()
+                if name not in ("seed", "hang_seconds", "io_delay"):
+                    raise ValueError(
+                        f"unknown fault-plan option {name!r} in {entry!r}"
+                    )
+                try:
+                    options[name] = float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"bad value for {name} in {entry!r}"
+                    ) from None
+                continue
+            fields = entry.split(":")
+            if len(fields) > 3:
+                raise ValueError(f"bad fault entry {entry!r}")
+            kind = fields[0].strip()
+            rate = 1.0
+            times: Optional[int] = -1
+            try:
+                if len(fields) >= 2 and fields[1].strip():
+                    rate = float(fields[1])
+                if len(fields) == 3 and fields[2].strip():
+                    raw_times = fields[2].strip()
+                    times = None if raw_times == "inf" else int(raw_times)
+            except ValueError:
+                raise ValueError(f"bad fault entry {entry!r}") from None
+            specs.append(FaultSpec(kind=kind, rate=rate, times=times))
+        return cls(
+            specs=tuple(specs),
+            seed=int(options.get("seed", 0)),
+            hang_seconds=options.get("hang_seconds", 30.0),
+            io_delay=options.get("io_delay", 0.05),
+        )
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan armed via ``REPRO_FAULTS``, or ``None`` when unset."""
+        raw = os.environ.get(FAULTS_ENV, "").strip()
+        return cls.parse(raw) if raw else None

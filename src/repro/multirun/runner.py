@@ -56,6 +56,12 @@ class MultiRunResult:
     skewed by harness overhead.  The source ``partitioner``/``graph``/
     ``balance`` are retained (when known) so :meth:`replay` can re-run a
     single seed for debugging or cache-key verification.
+
+    Under an error-collecting engine (``EngineConfig(on_error='collect')``)
+    failed runs land in ``errors`` (their ``UnitResult`` records, error
+    attached) instead of aborting the batch; ``interrupted`` is set when
+    a signal drained the batch early, in which case ``cuts`` covers only
+    the completed runs (journalled runs resume via ``run_id``/``resume``).
     """
 
     algorithm: str
@@ -66,6 +72,8 @@ class MultiRunResult:
     total_seconds: float = 0.0
     seeds: List[int] = field(default_factory=list)
     run_seconds: List[float] = field(default_factory=list)
+    errors: List[object] = field(default_factory=list)
+    interrupted: bool = False
     partitioner: Optional[Partitioner] = field(
         default=None, repr=False, compare=False
     )
@@ -157,6 +165,8 @@ def run_many(
     parallel: bool = False,
     engine: Optional["Engine"] = None,
     audit: Optional["AuditConfig"] = None,
+    run_id: Optional[str] = None,
+    resume: bool = False,
 ) -> MultiRunResult:
     """Run ``partitioner`` ``runs`` times with seeds base_seed..base_seed+runs-1.
 
@@ -170,6 +180,13 @@ def run_many(
     every run (partitioners without audit support get a warning and run
     unaudited).  Auditing never changes cuts; a violated invariant
     raises :class:`repro.audit.InvariantViolation` out of the batch.
+
+    ``run_id`` journals the batch under ``<cache_dir>/runs/<run_id>.jsonl``
+    (engine path only); ``resume=True`` serves units already recorded in
+    that journal without recomputing them — the crash/interrupt recovery
+    path (see ``docs/robustness.md``).  Runs that failed permanently
+    under an error-collecting engine are folded into ``result.errors``
+    rather than ``cuts``.
 
     Deterministic partitioners (``deterministic = True``: EIG1, MELO,
     PARABOLI) are short-circuited to a single run with a warning when
@@ -213,9 +230,13 @@ def run_many(
             )
             for seed in seed_stream(base_seed, runs)
         ]
-        for unit_result in engine.run(units):
+        for unit_result in engine.run(units, run_id=run_id, resume=resume):
+            if unit_result.error is not None:
+                result.errors.append(unit_result)
+                continue
             _record(result, unit_result.unit.seed, unit_result.result,
                     unit_result.seconds)
+        result.interrupted = engine.interrupted
     else:
         kwargs = {} if audit is None else {"audit": audit}
         for i in range(runs):

@@ -11,6 +11,9 @@ Two layers with different dependency footprints:
   property-based tests.  Import the submodule explicitly (``from
   repro.testing import strategies``); it requires the ``hypothesis``
   package, which is a test-time dependency only.
+* :mod:`repro.testing.partitioners` — picklable stub partitioners
+  (deterministic result, controllable delay) for engine and chaos
+  tests that cross process boundaries.
 """
 
 from .instances import (
@@ -20,6 +23,7 @@ from .instances import (
     random_instance,
     weighted_instance,
 )
+from .partitioners import EchoPartitioner, SleepyPartitioner
 
 __all__ = [
     "GRID_SEEDS",
@@ -27,4 +31,6 @@ __all__ = [
     "instance_grid",
     "random_instance",
     "weighted_instance",
+    "SleepyPartitioner",
+    "EchoPartitioner",
 ]

@@ -1,0 +1,58 @@
+"""Picklable stub partitioners for engine/chaos testing.
+
+Pool workers unpickle the partitioner inside a fresh interpreter, so
+stubs used by multi-process tests must live in an importable module —
+classes defined inside test files only survive fork, not spawn, and are
+invisible to subprocess-based harnesses like ``scripts/chaos_smoke.py``.
+These stubs compute nothing real; their value is a deterministic,
+instantly recognizable result (``cut == seed``) plus a controllable
+wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from ..hypergraph import Hypergraph
+from ..partition import BalanceConstraint, BipartitionResult
+
+
+class SleepyPartitioner:
+    """Sleeps ``delay`` seconds, then returns a deterministic result.
+
+    ``cut == float(seed)`` makes batch results trivially checkable: a
+    resumed or fault-degraded batch must reproduce exactly the seed
+    sequence as its cut list.
+    """
+
+    name = "SLEEPY"
+
+    def __init__(self, delay: float = 0.2) -> None:
+        self.delay = delay
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        balance: Optional[BalanceConstraint] = None,
+        initial_sides: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> BipartitionResult:
+        """Sleep ``delay`` seconds, then return a result with ``cut == seed``."""
+        time.sleep(self.delay)
+        return BipartitionResult(
+            sides=[v % 2 for v in range(graph.num_nodes)],
+            cut=float(seed or 0),
+            algorithm=self.name,
+            seed=seed,
+            runtime_seconds=self.delay,
+        )
+
+
+class EchoPartitioner(SleepyPartitioner):
+    """Zero-delay :class:`SleepyPartitioner` (pure bookkeeping runs)."""
+
+    name = "ECHO"
+
+    def __init__(self) -> None:
+        super().__init__(delay=0.0)

@@ -1,4 +1,4 @@
-"""Result-cache behaviour: hit, miss, invalidation, corruption."""
+"""Result-cache behaviour: hit, miss, invalidation, corruption, integrity."""
 
 import json
 
@@ -6,7 +6,14 @@ import pytest
 
 from repro.baselines import FMPartitioner
 from repro.core import PropConfig, PropPartitioner
-from repro.engine import Engine, EngineConfig, ResultCache, WorkUnit
+from repro.engine import (
+    Engine,
+    EngineConfig,
+    ResultCache,
+    WorkUnit,
+    checksum_ok,
+    record_checksum,
+)
 from repro.partition import BipartitionResult
 
 
@@ -68,6 +75,97 @@ class TestResultCache:
         assert cache.clear() == 3
         assert cache.get("00" + "4" * 62) is None
 
+    def test_non_serializable_stats_is_counted_not_raised(self, cache):
+        """The old guard caught only OSError; json.dump's TypeError on a
+        non-serializable ``result.stats`` escaped and aborted the run."""
+        key = "1b" + "5" * 62
+        bad = BipartitionResult(
+            sides=[0, 1], cut=1.0, algorithm="X", seed=0,
+            stats={"handle": object()},
+        )
+        cache.put(key, bad)  # must not raise
+        assert cache.stats.errors == 1
+        assert cache.stats.writes == 0
+        assert key not in cache
+
+    def test_circular_stats_is_counted_not_raised(self, cache):
+        key = "2c" + "6" * 62
+        loop = {}
+        loop["self"] = loop
+        bad = BipartitionResult(
+            sides=[0, 1], cut=1.0, algorithm="X", seed=0, stats=loop,
+        )
+        cache.put(key, bad)  # json.dump raises ValueError here
+        assert cache.stats.errors == 1
+        assert key not in cache
+
+
+class TestRecordIntegrity:
+    """Embedded-checksum verification on read and store-wide."""
+
+    def _tamper(self, cache, key, cut=999.0):
+        path = cache.path_for(key)
+        record = json.loads(path.read_text())
+        record["cut"] = cut  # valid JSON, wrong content, stale checksum
+        path.write_text(json.dumps(record))
+        return record
+
+    def test_records_are_sealed_on_write(self, cache):
+        key = "3d" + "7" * 62
+        cache.put(key, _result())
+        record = json.loads(cache.path_for(key).read_text())
+        assert checksum_ok(record)
+        assert record["sha256"] == record_checksum(record)
+
+    def test_tampered_record_is_miss_and_removed(self, cache):
+        key = "4e" + "8" * 62
+        cache.put(key, _result())
+        tampered = self._tamper(cache, key)
+        assert not checksum_ok(tampered)
+        assert cache.get(key) is None  # never serves the wrong cut
+        assert not cache.path_for(key).exists()
+        assert cache.stats.errors == 1
+
+    def test_checksum_less_record_is_miss(self, cache):
+        # pre-1.3.0 record shape: no embedded checksum
+        key = "5f" + "9" * 62
+        cache.put(key, _result())
+        path = cache.path_for(key)
+        record = json.loads(path.read_text())
+        del record["sha256"]
+        path.write_text(json.dumps(record))
+        assert cache.get(key) is None
+
+    def test_verify_reports_and_removes(self, cache):
+        keys = [f"{i:02d}" + "a" * 62 for i in range(3)]
+        for key in keys:
+            cache.put(key, _result())
+        self._tamper(cache, keys[1])
+        report = cache.verify()
+        assert (report.scanned, report.ok, report.corrupt, report.removed) \
+            == (3, 2, 1, 1)
+        assert "1 corrupt" in report.summary()
+        assert not cache.path_for(keys[1]).exists()
+        again = cache.verify()
+        assert (again.scanned, again.ok, again.corrupt) == (2, 2, 0)
+        assert "all records verified" in again.summary()
+
+    def test_verify_keep_leaves_corrupt_records(self, cache):
+        key = "6a" + "b" * 62
+        cache.put(key, _result())
+        self._tamper(cache, key)
+        report = cache.verify(remove=False)
+        assert report.corrupt == 1 and report.removed == 0
+        assert cache.path_for(key).exists()
+
+    def test_verify_skips_run_journals(self, cache, tmp_path):
+        cache.put("7b" + "c" * 62, _result())
+        runs = cache.root / "runs"
+        runs.mkdir(parents=True)
+        (runs / "sweep.jsonl").write_text('{"type": "header"}\n')
+        report = cache.verify()
+        assert report.scanned == 1  # the journal was not scanned
+
 
 class TestEngineCacheIntegration:
     """Hit/miss/invalidation through the engine (the acceptance cases)."""
@@ -106,6 +204,28 @@ class TestEngineCacheIntegration:
             tiny_graph, PropPartitioner(PropConfig(pinit=0.8)), seed=0,
         )])
         assert engine.stats.cache_hits == 0
+        assert engine.stats.executed == 2
+
+    def test_unserializable_stats_do_not_abort_the_run(
+        self, tmp_path, tiny_graph
+    ):
+        class OpaqueStats:
+            name = "OPAQUE"
+
+            def partition(self, graph, balance=None, initial_sides=None,
+                          seed=None):
+                return BipartitionResult(
+                    sides=[v % 2 for v in range(graph.num_nodes)],
+                    cut=1.0, algorithm=self.name, seed=seed,
+                    stats={"handle": object()},
+                )
+
+        engine = self._engine(tmp_path)
+        results = engine.run([WorkUnit(tiny_graph, OpaqueStats(), seed=0)])
+        assert len(results) == 1 and results[0].ok
+        assert engine.cache.stats.errors == 1
+        # nothing cached: the unit re-executes next time
+        engine.run([WorkUnit(tiny_graph, OpaqueStats(), seed=0)])
         assert engine.stats.executed == 2
 
     def test_use_cache_false_disables(self, tmp_path, tiny_graph):

@@ -1,7 +1,5 @@
 """Engine scheduling: parity, ordering, fault handling, progress."""
 
-import time
-
 import pytest
 
 from repro.baselines import FMPartitioner
@@ -9,25 +7,8 @@ from repro.core import PropPartitioner
 from repro.engine import Engine, EngineConfig, WorkUnit, seed_stream
 from repro.hypergraph import make_benchmark
 from repro.multirun import run_many
-from repro.partition import BalanceConstraint, BipartitionResult
-
-
-class SleepyPartitioner:
-    """Picklable stub that sleeps, for timeout tests."""
-
-    name = "SLEEPY"
-
-    def __init__(self, delay: float = 0.5) -> None:
-        self.delay = delay
-
-    def partition(self, graph, balance=None, initial_sides=None, seed=None):
-        time.sleep(self.delay)
-        return BipartitionResult(
-            sides=[v % 2 for v in range(graph.num_nodes)],
-            cut=float(seed or 0),
-            algorithm=self.name,
-            seed=seed,
-        )
+from repro.partition import BalanceConstraint
+from repro.testing import SleepyPartitioner
 
 
 def _inline_engine(**kwargs):
@@ -125,6 +106,28 @@ class TestFaultHandling:
         assert engine.stats.timeouts >= 1
         assert engine.stats.inline_fallbacks >= 1
         assert [r.result.cut for r in results] == [0.0, 1.0]
+
+    @pytest.mark.slow
+    def test_deadlines_measured_from_submission(self, tiny_graph):
+        """Budgets must not compound across units queued behind others.
+
+        Four 0.4 s units on two workers against a 0.6 s budget: the
+        first wave finishes in time, the second wave — started ~0.4 s
+        after submission — cannot, so it must time out.  The old
+        sequential ``future.result(timeout=...)`` collection restarted
+        the 0.6 s budget per unit and never timed out here.
+        """
+        engine = Engine(EngineConfig(
+            workers=2, use_cache=False, timeout=0.6, retries=0,
+        ))
+        units = [WorkUnit(tiny_graph, SleepyPartitioner(0.4), seed=s)
+                 for s in range(4)]
+        results = engine.run(units)
+        assert engine.stats.timeouts >= 1
+        assert engine.stats.pool_executed >= 1  # first wave beat the deadline
+        # no unit is lost: stragglers re-ran inline
+        assert [r.result.cut for r in results] == [0.0, 1.0, 2.0, 3.0]
+        assert all(r.ok for r in results)
 
 
 @pytest.mark.slow

@@ -1,0 +1,31 @@
+"""Subprocess kill-and-resume: the chaos smoke run under pytest.
+
+A real process killed by a real SIGTERM mid-batch must leave a journal
+from which resume yields bit-identical cuts with zero recomputation of
+journalled units — the end-to-end form of the drain tests in
+test_signals.py.  The logic lives in scripts/chaos_smoke.py so CI can
+also run it standalone.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SMOKE = REPO_ROOT / "scripts" / "chaos_smoke.py"
+
+
+def test_sigterm_then_resume_is_bit_identical(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(SMOKE), "--cache-dir", str(tmp_path)],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert proc.returncode == 0, (
+        f"chaos smoke failed (rc {proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    assert "final cuts bit-identical" in proc.stdout

@@ -1,0 +1,147 @@
+"""Drain-then-stop signal semantics, in-process and through the engine."""
+
+import signal
+import threading
+
+import pytest
+
+from repro.engine import Engine, EngineConfig, SignalGuard, WorkUnit
+from repro.hypergraph import make_benchmark
+from repro.testing import EchoPartitioner
+
+GRAPH = make_benchmark("t6", scale=0.05)
+
+
+class TestSignalGuard:
+    def test_first_signal_drains_second_hard_stops(self):
+        with SignalGuard() as guard:
+            assert not guard.draining
+            signal.raise_signal(signal.SIGINT)
+            assert guard.draining
+            assert guard.signals_seen == 1
+            with pytest.raises(KeyboardInterrupt, match="hard stop"):
+                signal.raise_signal(signal.SIGINT)
+
+    def test_sigterm_also_drains(self):
+        with SignalGuard() as guard:
+            signal.raise_signal(signal.SIGTERM)
+            assert guard.draining
+
+    def test_previous_handlers_restored(self):
+        before = signal.getsignal(signal.SIGINT)
+        with SignalGuard():
+            assert signal.getsignal(signal.SIGINT) != before
+        assert signal.getsignal(signal.SIGINT) == before
+
+    def test_restored_even_after_hard_stop(self):
+        before = signal.getsignal(signal.SIGINT)
+        with SignalGuard():
+            signal.raise_signal(signal.SIGINT)
+            try:
+                signal.raise_signal(signal.SIGINT)
+            except KeyboardInterrupt:
+                pass
+        assert signal.getsignal(signal.SIGINT) == before
+
+    def test_inert_off_main_thread(self):
+        before = signal.getsignal(signal.SIGINT)
+        seen = {}
+
+        def body():
+            with SignalGuard() as guard:
+                seen["handler"] = signal.getsignal(signal.SIGINT)
+                seen["draining"] = guard.draining
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert seen["handler"] == before  # nothing installed
+        assert seen["draining"] is False
+
+
+class _SignalAtSeed(EchoPartitioner):
+    """Raises SIGINT in-process right before computing ``at_seed``."""
+
+    name = "SIGNAL_AT_SEED"
+
+    def __init__(self, at_seed: int) -> None:
+        super().__init__()
+        self.at_seed = at_seed
+
+    def partition(self, graph, balance=None, initial_sides=None, seed=None):
+        if seed == self.at_seed:
+            signal.raise_signal(signal.SIGINT)
+        return super().partition(graph, balance, initial_sides, seed)
+
+
+class TestEngineDrain:
+    def _units(self, n, partitioner):
+        return [WorkUnit(GRAPH, partitioner, seed=s) for s in range(n)]
+
+    def test_drain_returns_partial_journalled_results(self, tmp_path):
+        """SIGINT mid-batch: completed prefix returned + journalled,
+        then resume finishes the rest with zero recomputation."""
+        config = EngineConfig(
+            workers=0, use_cache=False, cache_dir=str(tmp_path / "cache")
+        )
+        units = self._units(5, _SignalAtSeed(at_seed=2))
+        engine = Engine(config)
+        partial = engine.run(units, run_id="drained")
+        # the signal fires before unit 2's compute; unit 2 itself still
+        # completes (in-flight work is drained, not killed) and then the
+        # engine stops scheduling units 3 and 4.
+        assert engine.interrupted
+        assert [r.result.cut for r in partial] == [0.0, 1.0, 2.0]
+        journal = engine.open_journal("drained")
+        assert len(journal.load()) == 3
+
+        # resume with the same partitioner (same unit keys); seed 2 is
+        # served from the journal, so its signal never re-fires
+        resumed = Engine(config).run(
+            self._units(5, _SignalAtSeed(at_seed=2)),
+            run_id="drained", resume=True,
+        )
+        assert [r.result.cut for r in resumed] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_resume_after_drain_recomputes_zero(self, tmp_path):
+        config = EngineConfig(
+            workers=0, use_cache=False, cache_dir=str(tmp_path / "cache")
+        )
+        Engine(config).run(
+            self._units(5, _SignalAtSeed(at_seed=2)), run_id="d2"
+        )
+        second = Engine(config)
+        second.run(
+            self._units(5, _SignalAtSeed(at_seed=2)), run_id="d2", resume=True
+        )
+        assert second.stats.journal_hits == 3
+        assert second.stats.executed == 2
+        assert not second.interrupted
+
+    def test_unjournalled_run_ignores_signals_by_default(self, tmp_path):
+        """handle_signals=None -> guard only when run_id is given."""
+        config = EngineConfig(
+            workers=0, use_cache=False, cache_dir=str(tmp_path / "cache")
+        )
+        units = self._units(5, _SignalAtSeed(at_seed=2))
+        previous = signal.getsignal(signal.SIGINT)
+        try:
+            signal.signal(signal.SIGINT, lambda *args: None)  # absorb it
+            engine = Engine(config)
+            results = engine.run(units)  # no run_id
+        finally:
+            signal.signal(signal.SIGINT, previous)
+        assert not engine.interrupted
+        assert len(results) == 5  # batch ran to completion
+
+    def test_handle_signals_true_forces_guard_without_journal(self, tmp_path):
+        config = EngineConfig(
+            workers=0, use_cache=False, handle_signals=True,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        engine = Engine(config)
+        partial = engine.run(self._units(5, _SignalAtSeed(at_seed=1)))
+        assert engine.interrupted
+        assert [r.result.cut for r in partial] == [0.0, 1.0]
+        # no run_id: nothing journalled
+        assert not (tmp_path / "cache" / "runs").exists()

@@ -1,0 +1,14 @@
+"""Chaos-suite fixtures: fault plans must never leak across tests."""
+
+import pytest
+
+from repro.faults import uninstall
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults(monkeypatch):
+    """Guarantee every test starts and ends with no armed fault plan."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    uninstall()
+    yield
+    uninstall()

@@ -1,0 +1,110 @@
+"""Cache-integrity faults: corruption, truncation, unwritable dir, slow I/O.
+
+The contract under test: the cache is best-effort — no injected storage
+fault may change results (damaged records read as misses and recompute)
+or abort the run (write failures are counted, not raised).
+"""
+
+import pytest
+
+from repro.baselines import FMPartitioner
+from repro.engine import Engine, EngineConfig, WorkUnit, seed_stream
+from repro.faults import FaultPlan, FaultSpec, injected_faults
+from repro.hypergraph import make_benchmark
+
+pytestmark = pytest.mark.chaos
+
+GRAPH = make_benchmark("t6", scale=0.06)
+
+
+def _units(n=4):
+    return [WorkUnit(GRAPH, FMPartitioner("bucket"), seed=s)
+            for s in seed_stream(3, n)]
+
+
+def _engine(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 0)
+    kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    return Engine(EngineConfig(**kwargs))
+
+
+@pytest.fixture(scope="module")
+def reference_cuts():
+    results = Engine(EngineConfig(workers=0, use_cache=False)).run(_units())
+    return [r.result.cut for r in results]
+
+
+@pytest.mark.parametrize("kind", ["corrupt", "truncate"])
+def test_damaged_records_recompute_bit_identically(
+    tmp_path, reference_cuts, kind
+):
+    writer = _engine(tmp_path)
+    with injected_faults(FaultPlan(specs=(FaultSpec(kind),))):
+        writer.run(_units())
+    assert writer.cache.stats.writes == 4  # written, then damaged in place
+
+    reader = _engine(tmp_path)
+    results = reader.run(_units())
+    assert [r.result.cut for r in results] == reference_cuts
+    # every damaged record read as a miss, was deleted, and recomputed
+    assert reader.stats.cache_hits == 0
+    assert reader.stats.executed == 4
+    assert reader.cache.stats.errors == 4
+
+    # the recompute rewrote clean records: third run is all cache hits
+    third = _engine(tmp_path)
+    results = third.run(_units())
+    assert [r.result.cut for r in results] == reference_cuts
+    assert third.stats.cache_hits == 4
+
+
+def test_partial_corruption_spares_healthy_records(tmp_path, reference_cuts):
+    writer = _engine(tmp_path)
+    with injected_faults(FaultPlan(specs=(FaultSpec("corrupt", rate=0.5),),
+                                   seed=5)):
+        writer.run(_units())
+    reader = _engine(tmp_path)
+    results = reader.run(_units())
+    assert [r.result.cut for r in results] == reference_cuts
+    assert 0 < reader.stats.cache_hits < 4
+    assert reader.stats.cache_hits + reader.stats.executed == 4
+
+
+def test_unwritable_cache_never_aborts_the_run(tmp_path, reference_cuts):
+    engine = _engine(tmp_path)
+    with injected_faults(FaultPlan(specs=(FaultSpec("unwritable"),))):
+        results = engine.run(_units())
+    assert [r.result.cut for r in results] == reference_cuts
+    assert engine.cache.stats.errors == 4
+    assert engine.cache.stats.writes == 0
+    # nothing persisted: a later run recomputes everything
+    again = _engine(tmp_path)
+    again.run(_units())
+    assert again.stats.cache_hits == 0
+    assert again.stats.executed == 4
+
+
+def test_truly_unwritable_directory(tmp_path, reference_cuts):
+    # not injected: cache_dir points at an existing *file*
+    blocker = tmp_path / "blocker"
+    blocker.write_text("in the way")
+    engine = Engine(EngineConfig(workers=0, cache_dir=str(blocker)))
+    results = engine.run(_units())
+    assert [r.result.cut for r in results] == reference_cuts
+    # 4 failed reads (NotADirectoryError) + 4 failed writes
+    assert engine.cache.stats.errors == 8
+    assert engine.cache.stats.writes == 0
+
+
+def test_slow_io_delays_but_preserves_results(tmp_path, reference_cuts):
+    engine = _engine(tmp_path)
+    plan = FaultPlan(specs=(FaultSpec("slow_io"),), io_delay=0.001)
+    with injected_faults(plan) as inj:
+        results = engine.run(_units())
+        assert [r.result.cut for r in results] == reference_cuts
+        hits = _engine(tmp_path)
+        cached = hits.run(_units())
+        assert [r.result.cut for r in cached] == reference_cuts
+        assert hits.stats.cache_hits == 4
+    assert any(f.startswith("slow_io@read|") for f in inj.fired)
+    assert any(f.startswith("slow_io@write|") for f in inj.fired)

@@ -1,0 +1,133 @@
+"""Injected worker faults on the in-process path: retry, policy, parity.
+
+The chaos acceptance invariant: under every seeded fault plan the batch
+completes with cuts bit-identical to a fault-free run (or, for permanent
+failures under ``on_error='collect'``, with exactly the selected units
+failed and everything else bit-identical).
+"""
+
+import pytest
+
+from repro.baselines import FMPartitioner
+from repro.engine import Engine, EngineConfig, WorkUnit, seed_stream
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    PermanentFaultError,
+    TransientFaultError,
+    injected_faults,
+    is_transient,
+)
+from repro.hypergraph import make_benchmark
+
+pytestmark = pytest.mark.chaos
+
+GRAPH = make_benchmark("t6", scale=0.06)
+
+
+def _units(n=5, base_seed=0):
+    return [WorkUnit(GRAPH, FMPartitioner("bucket"), seed=s)
+            for s in seed_stream(base_seed, n)]
+
+
+def _engine(**kwargs):
+    kwargs.setdefault("workers", 0)
+    kwargs.setdefault("use_cache", False)
+    kwargs.setdefault("backoff_base", 0.001)
+    return Engine(EngineConfig(**kwargs))
+
+
+@pytest.fixture(scope="module")
+def reference_cuts():
+    results = Engine(EngineConfig(workers=0, use_cache=False)).run(_units())
+    return [r.result.cut for r in results]
+
+
+class TestTransientFaults:
+    def test_every_unit_retried_results_bit_identical(self, reference_cuts):
+        engine = _engine()
+        with injected_faults(FaultPlan(specs=(FaultSpec("transient"),))):
+            results = engine.run(_units())
+        assert [r.result.cut for r in results] == reference_cuts
+        assert all(r.ok for r in results)
+        assert engine.stats.retried == 5
+        assert engine.stats.unit_errors == 0
+
+    def test_transient_beyond_budget_becomes_error(self):
+        # times=inf: the fault fires on every attempt, exhausting retries.
+        engine = _engine(on_error="collect", unit_retries=1)
+        plan = FaultPlan(specs=(FaultSpec("transient", times=None),))
+        with injected_faults(plan):
+            results = engine.run(_units(2))
+        assert all(not r.ok for r in results)
+        assert all(r.error.transient for r in results)
+        assert all(r.error.attempts == 2 for r in results)  # 1 + 1 retry
+        assert engine.stats.unit_errors == 2
+
+    def test_transient_raises_when_policy_is_raise(self):
+        engine = _engine(unit_retries=0)
+        with injected_faults(FaultPlan(specs=(FaultSpec("transient"),))):
+            with pytest.raises(TransientFaultError):
+                engine.run(_units(2))
+
+    def test_backoff_respects_configured_base(self, reference_cuts):
+        import time
+
+        slow = _engine(backoff_base=0.05)
+        with injected_faults(FaultPlan(specs=(FaultSpec("transient"),))):
+            start = time.perf_counter()
+            slow.run(_units())
+            elapsed = time.perf_counter() - start
+        # 5 retries, each sleeping >= 0.05 * 0.5
+        assert elapsed >= 5 * 0.05 * 0.5
+
+
+class TestPermanentFaults:
+    def test_collect_policy_keeps_batch_alive(self, reference_cuts):
+        engine = _engine(on_error="collect")
+        plan = FaultPlan(specs=(FaultSpec("permanent", rate=0.5),), seed=9)
+        with injected_faults(plan):
+            results = engine.run(_units())
+        assert len(results) == 5
+        failed = [r for r in results if not r.ok]
+        assert 0 < len(failed) < 5  # rate 0.5 over 5 units, seeded
+        for r in results:
+            if r.ok:
+                assert r.result.cut == reference_cuts[r.index]
+            else:
+                assert r.result is None
+                assert r.error.exc_type == "PermanentFaultError"
+                assert not r.error.transient
+                assert "injected permanent fault" in r.error.message
+                assert r.error.traceback  # full traceback captured
+        assert engine.stats.unit_errors == len(failed)
+        assert engine.stats.retried == 0  # permanent: never retried
+
+    def test_same_seed_fails_same_units_every_run(self):
+        plan = FaultPlan(specs=(FaultSpec("permanent", rate=0.5),), seed=9)
+        outcomes = []
+        for _ in range(2):
+            engine = _engine(on_error="collect")
+            with injected_faults(plan):
+                results = engine.run(_units())
+            outcomes.append([r.ok for r in results])
+        assert outcomes[0] == outcomes[1]
+
+    def test_raise_policy_aborts(self):
+        engine = _engine()
+        with injected_faults(FaultPlan(specs=(FaultSpec("permanent"),))):
+            with pytest.raises(PermanentFaultError):
+                engine.run(_units(2))
+
+
+class TestClassification:
+    def test_injected_faults_classify(self):
+        assert is_transient(TransientFaultError("x"))
+        assert not is_transient(PermanentFaultError("x"))
+
+    def test_real_world_exceptions_classify(self):
+        assert is_transient(TimeoutError())
+        assert is_transient(ConnectionResetError())
+        assert is_transient(OSError("disk hiccup"))
+        assert not is_transient(TypeError("bug"))
+        assert not is_transient(ValueError("bug"))

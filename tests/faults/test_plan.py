@@ -1,0 +1,146 @@
+"""FaultPlan grammar, validation, and deterministic firing decisions."""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    current_injector,
+    deterministic_fraction,
+    injected_faults,
+    install,
+    uninstall,
+)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec("corrupt")
+        assert spec.rate == 1.0
+        assert spec.times is None  # unlimited
+
+    def test_self_healing_kinds_default_to_one_attempt(self):
+        for kind in ("crash", "hang", "transient", "pool"):
+            assert FaultSpec(kind).times == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec("crash", rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("crash", rate=-0.1)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("crash", times=-2)
+
+
+class TestFaultPlanParse:
+    def test_parse_kinds_rates_times(self):
+        plan = FaultPlan.parse("seed=7,crash:0.3,transient:1:2,corrupt:0.25")
+        assert plan.seed == 7
+        crash = plan.spec_for("crash")
+        assert crash.rate == 0.3 and crash.times == 1
+        transient = plan.spec_for("transient")
+        assert transient.rate == 1.0 and transient.times == 2
+        corrupt = plan.spec_for("corrupt")
+        assert corrupt.rate == 0.25 and corrupt.times is None
+        assert plan.spec_for("hang") is None
+
+    def test_parse_options(self):
+        plan = FaultPlan.parse("hang:1,hang_seconds=2.5,io_delay=0.01")
+        assert plan.hang_seconds == 2.5
+        assert plan.io_delay == 0.01
+
+    def test_parse_inf_times(self):
+        plan = FaultPlan.parse("transient:0.5:inf")
+        assert plan.spec_for("transient").times is None
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash:lots")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash:1:2:3")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("volume=11")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("meteor:1")
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan.parse("crash:1,crash:0.5")
+
+    def test_describe_round_trips(self):
+        plan = FaultPlan.parse(
+            "seed=3,crash:0.3,corrupt:0.25:inf,hang_seconds=2"
+        )
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_empty_entries_ignored(self):
+        assert FaultPlan.parse("crash:1,, ,") == FaultPlan(
+            specs=(FaultSpec("crash"),)
+        )
+
+
+class TestDeterminism:
+    def test_fraction_is_stable_and_seed_sensitive(self):
+        a = deterministic_fraction("unit-3", seed=0)
+        assert a == deterministic_fraction("unit-3", seed=0)
+        assert 0.0 <= a < 1.0
+        assert a != deterministic_fraction("unit-3", seed=1)
+
+    def test_fires_identically_across_injector_instances(self):
+        plan = FaultPlan.parse("seed=11,transient:0.5:inf")
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        targets = [f"t{i}" for i in range(64)]
+        decisions_a = [first._fires("transient", t) for t in targets]
+        decisions_b = [second._fires("transient", t) for t in targets]
+        assert decisions_a == decisions_b
+        # rate 0.5 over 64 targets: some must fire, some must not
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_times_budget_gates_attempts(self):
+        injector = FaultInjector(FaultPlan(specs=(FaultSpec("transient"),)))
+        assert injector._fires("transient", "t", attempt=0)
+        assert not injector._fires("transient", "t", attempt=1)
+
+    def test_fired_log_records_fires(self):
+        injector = FaultInjector(FaultPlan(specs=(FaultSpec("permanent"),)))
+        injector._fires("permanent", "unit-x")
+        assert injector.fired == ["permanent@unit-x#0"]
+
+
+class TestRegistry:
+    def test_install_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash:1")
+        installed = install(FaultPlan(specs=(FaultSpec("hang"),)))
+        try:
+            assert current_injector() is installed
+        finally:
+            uninstall()
+        env_injector = current_injector()
+        assert env_injector is not None
+        assert env_injector.plan.spec_for("crash") is not None
+
+    def test_no_plan_means_no_injector(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        uninstall()
+        assert current_injector() is None
+
+    def test_context_manager_scopes_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        with injected_faults(FaultPlan(specs=(FaultSpec("corrupt"),))) as inj:
+            assert current_injector() is inj
+        assert current_injector() is None
+
+    def test_env_parse_cached_per_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt:1")
+        uninstall()
+        assert current_injector() is current_injector()
+        monkeypatch.setenv("REPRO_FAULTS", "truncate:1")
+        assert current_injector().plan.spec_for("truncate") is not None

@@ -1,0 +1,102 @@
+"""Pool-level fault injection: worker crashes, hangs, pool-creation failure.
+
+Crash and hang are armed via ``REPRO_FAULTS`` (pool workers inherit the
+environment; a programmatic plan stays in the parent process) and fire
+only inside workers, so the engine's inline fallback is guaranteed
+fault-free and every batch must still complete bit-identically.
+
+Each test uses a distinct ``REPRO_FAULTS`` string: the env parse is
+cached per raw value, and the cached injector carries state (the
+pool-creation attempt counter).
+"""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig, WorkUnit
+from repro.faults import FaultPlan, FaultSpec, injected_faults
+from repro.hypergraph import make_benchmark
+from repro.testing import EchoPartitioner
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
+GRAPH = make_benchmark("t6", scale=0.05)
+
+
+def _units(n):
+    return [WorkUnit(GRAPH, EchoPartitioner(), seed=s) for s in range(n)]
+
+
+def _cuts(results):
+    return [r.result.cut for r in results]
+
+
+class TestWorkerCrash:
+    def test_broken_pool_mid_batch_degrades_and_matches(self, monkeypatch):
+        """Satellite 3: every worker crashes -> BrokenProcessPool on both
+        pool rounds -> the full batch completes inline, bit-identical."""
+        monkeypatch.setenv("REPRO_FAULTS", "crash:1")
+        engine = Engine(EngineConfig(
+            workers=2, use_cache=False, backoff_base=0.001,
+        ))
+        results = engine.run(_units(6))
+        assert _cuts(results) == [float(s) for s in range(6)]
+        assert all(r.ok for r in results)
+        # default retries=1 -> two pool rounds, both broken by the crash
+        assert engine.stats.pool_failures == 2
+        assert engine.stats.inline_fallbacks == 6
+        assert engine.stats.pool_executed == 0
+        assert engine.stats.executed == 6
+
+    def test_partial_crash_rate_still_completes(self, monkeypatch):
+        """rate<1: some workers crash, survivors' results are kept."""
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1,crash:0.5")
+        engine = Engine(EngineConfig(
+            workers=2, use_cache=False, backoff_base=0.001,
+        ))
+        results = engine.run(_units(6))
+        assert _cuts(results) == [float(s) for s in range(6)]
+        assert engine.stats.executed == 6
+
+
+class TestWorkerHang:
+    def test_hung_units_time_out_then_finish_inline(self, monkeypatch):
+        """Deadlines are per submission: three units hung for 3 s against
+        a 1 s budget all time out in one round, then complete inline."""
+        monkeypatch.setenv("REPRO_FAULTS", "hang:1,hang_seconds=3")
+        engine = Engine(EngineConfig(
+            workers=2, use_cache=False, timeout=1.0, retries=0,
+            backoff_base=0.001,
+        ))
+        results = engine.run(_units(3))
+        assert _cuts(results) == [0.0, 1.0, 2.0]
+        assert engine.stats.timeouts == 3
+        assert engine.stats.inline_fallbacks == 3
+        assert engine.stats.executed == 3
+        assert engine.stats.pool_executed == 0
+
+
+class TestPoolCreationFailure:
+    def test_first_creation_fails_second_round_succeeds(self):
+        # 'pool' fires in the parent process, so a programmatic plan works.
+        engine = Engine(EngineConfig(
+            workers=2, use_cache=False, backoff_base=0.001,
+        ))
+        with injected_faults(FaultPlan(specs=(FaultSpec("pool"),))) as inj:
+            results = engine.run(_units(4))
+        assert _cuts(results) == [0.0, 1.0, 2.0, 3.0]
+        assert engine.stats.pool_failures == 1
+        assert engine.stats.pool_executed == 4
+        assert engine.stats.inline_fallbacks == 0
+        assert "pool@pool#0" in inj.fired
+
+    def test_persistent_creation_failure_falls_back_inline(self):
+        engine = Engine(EngineConfig(
+            workers=2, use_cache=False, backoff_base=0.001,
+        ))
+        plan = FaultPlan(specs=(FaultSpec("pool", times=None),))
+        with injected_faults(plan):
+            results = engine.run(_units(4))
+        assert _cuts(results) == [0.0, 1.0, 2.0, 3.0]
+        assert engine.stats.pool_failures == 2  # both rounds
+        assert engine.stats.inline_fallbacks == 4
+        assert engine.stats.pool_executed == 0

@@ -1,0 +1,116 @@
+"""CLI: `cache verify|clear` maintenance and the --run-id/--resume flow."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _partition_args(tmp_path, *extra):
+    return [
+        "--generate", "t6", "--scale", "0.05", "-a", "fm", "--runs", "2",
+        "--workers", "0", "--cache-dir", str(tmp_path / "cache"), *extra,
+    ]
+
+
+def _record_paths(tmp_path):
+    root = tmp_path / "cache"
+    return [
+        p for p in root.rglob("*.json") if p.parent.name != "runs"
+    ] if root.is_dir() else []
+
+
+class TestCacheVerify:
+    def test_empty_store_verifies_clean(self, tmp_path, capsys):
+        rc = main(["cache", "verify", "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scanned 0 record(s)" in out
+
+    def test_corrupt_record_fails_then_second_pass_is_clean(
+        self, tmp_path, capsys
+    ):
+        assert main(_partition_args(tmp_path)) == 0
+        [first, *_] = sorted(_record_paths(tmp_path))
+        record = json.loads(first.read_text())
+        record["cut"] = -1.0  # stale checksum
+        first.write_text(json.dumps(record))
+        capsys.readouterr()
+
+        rc = main(["cache", "verify", "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 1  # CI integrity gate
+        assert "1 corrupt record(s), 1 removed" in capsys.readouterr().out
+        assert not first.exists()
+
+        rc = main(["cache", "verify", "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        assert "all records verified" in capsys.readouterr().out
+
+    def test_keep_flag_reports_without_removing(self, tmp_path, capsys):
+        assert main(_partition_args(tmp_path)) == 0
+        [first, *_] = sorted(_record_paths(tmp_path))
+        first.write_text("{torn")
+        rc = main([
+            "cache", "verify", "--keep",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 1
+        assert "0 removed" in capsys.readouterr().out
+        assert first.exists()
+
+    def test_verify_lists_run_journals(self, tmp_path, capsys):
+        assert main(_partition_args(tmp_path, "--run-id", "myrun")) == 0
+        capsys.readouterr()
+        assert main(
+            ["cache", "verify", "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run journal(s)" in out
+        assert "myrun" in out
+
+
+class TestCacheClear:
+    def test_clear_removes_records_not_journals(self, tmp_path, capsys):
+        assert main(_partition_args(tmp_path, "--run-id", "keepme")) == 0
+        count = len(_record_paths(tmp_path))
+        assert count > 0
+        capsys.readouterr()
+        assert main(
+            ["cache", "clear", "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        assert f"removed {count} record(s)" in capsys.readouterr().out
+        assert _record_paths(tmp_path) == []
+        assert (tmp_path / "cache" / "runs" / "keepme.jsonl").exists()
+
+    def test_unknown_action_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "polish", "--cache-dir", str(tmp_path / "cache")])
+
+
+class TestRunIdResumeFlow:
+    def test_resume_serves_journal_and_matches(self, tmp_path, capsys):
+        assert main(_partition_args(tmp_path, "--run-id", "sweep")) == 0
+        first = capsys.readouterr().out
+        assert "journalling run sweep (resume with --resume sweep)" in first
+
+        # --no-cache isolates the journal: hits must come from it alone
+        assert main(
+            _partition_args(tmp_path, "--no-cache", "--resume", "sweep")
+        ) == 0
+        second = capsys.readouterr().out
+        assert "resuming run sweep" in second
+        assert "2 resumed" in second
+        assert "0 executed" in second
+
+        def best_cut(out):
+            [line] = [ln for ln in out.splitlines() if "best cut" in ln]
+            return line.rsplit(",", 1)[0]  # drop the wall-clock suffix
+
+        assert best_cut(first) == best_cut(second)
+
+    def test_auto_run_id_is_announced(self, tmp_path, capsys):
+        assert main(_partition_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "journalling run " in out
+        assert "resume with --resume" in out
