@@ -24,6 +24,7 @@ Subpackages:
 * ``repro.engine``       — parallel work-unit execution engine + result cache
 * ``repro.faults``       — seeded deterministic fault injection (chaos testing)
 * ``repro.audit``        — runtime invariant auditing + differential oracles
+* ``repro.telemetry``    — zero-overhead-when-off tracing of the pass engines
 * ``repro.testing``      — shared hypothesis strategies and seeded instances
 * ``repro.kway``         — recursive k-way partitioning
 * ``repro.timing``       — timing-driven net weighting
@@ -66,10 +67,17 @@ from .partition import (
     Partition,
     cut_cost,
 )
+from .telemetry import (
+    MemoryRecorder,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+    summarize_path,
+)
 
 #: Participates in every engine cache key: bumping it invalidates the
 #: on-disk result cache (see repro.engine.cache).
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .engine import Engine, EngineConfig, WorkUnit  # noqa: E402 - engine cache keys need __version__ defined first
 from .faults import FaultPlan, FaultSpec, injected_faults  # noqa: E402
@@ -119,4 +127,10 @@ __all__ = [
     # invariant auditing
     "AuditConfig",
     "InvariantViolation",
+    # telemetry
+    "Recorder",
+    "NullRecorder",
+    "MemoryRecorder",
+    "TraceRecorder",
+    "summarize_path",
 ]

@@ -21,6 +21,7 @@ from ..core import PropConfig
 from ..core.engine import run_prop
 from ..hypergraph import Hypergraph
 from ..partition import BalanceConstraint, random_balanced_sides
+from ..telemetry import MemoryRecorder
 
 
 @dataclass(frozen=True)
@@ -54,25 +55,27 @@ def collect_move_samples(
     config: Optional[PropConfig] = None,
     seed: int = 0,
 ) -> List[MoveSample]:
-    """Run PROP once, capturing every tentative move."""
+    """Run PROP once, capturing every tentative move.
+
+    Uses the telemetry event stream (:class:`repro.telemetry.MemoryRecorder`)
+    rather than the legacy per-move observer; the returned samples are
+    identical — recording never changes moves or cuts.
+    """
     if balance is None:
         balance = BalanceConstraint.fifty_fifty(graph)
-    samples: List[MoveSample] = []
-
-    def observer(pass_index, node, selection_gain, immediate_gain):
-        samples.append(
-            MoveSample(pass_index, node, selection_gain, immediate_gain)
-        )
-
+    recorder = MemoryRecorder()
     run_prop(
         graph,
         random_balanced_sides(graph, seed),
         balance,
         config=config,
         seed=seed,
-        observer=observer,
+        recorder=recorder,
     )
-    return samples
+    return [
+        MoveSample(m.pass_index, m.node, m.selection_key, m.immediate_gain)
+        for m in recorder.moves
+    ]
 
 
 def analyze_prediction(

@@ -23,6 +23,7 @@ Invariant families (see :class:`~repro.audit.config.AuditConfig`):
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from ..hypergraph import Hypergraph
@@ -56,6 +57,10 @@ class PassAuditor:
         self.moves_seen = 0
         self.moves_audited = 0
         self.checks_run = 0
+        #: Wall-clock seconds spent inside audit hooks.  The engines
+        #: subtract this from their elapsed time so ``runtime_seconds``
+        #: measures the algorithm, not the auditing riding along.
+        self.seconds = 0.0
         self._pass_index = -1
         self._move_index = 0
         self._pre_pass_sides: List[int] = []
@@ -67,17 +72,21 @@ class PassAuditor:
     # ------------------------------------------------------------------
     def start_pass(self, partition) -> None:
         """Snapshot pre-pass state and verify the starting bookkeeping."""
-        self._pass_index += 1
-        self._move_index = 0
-        self.passes_audited += 1
-        self._pre_pass_sides = partition.sides
-        self._running_cut = partition.cut_cost
-        weights = reference.side_weights(self.graph, self._pre_pass_sides)
-        self._started_balanced = self.balance is not None and bool(
-            self.balance.is_satisfied(weights)
-        )
-        if self.config.check_structure:
-            self._check_structure(partition, node=None)
+        t0 = time.perf_counter()
+        try:
+            self._pass_index += 1
+            self._move_index = 0
+            self.passes_audited += 1
+            self._pre_pass_sides = partition.sides
+            self._running_cut = partition.cut_cost
+            weights = reference.side_weights(self.graph, self._pre_pass_sides)
+            self._started_balanced = self.balance is not None and bool(
+                self.balance.is_satisfied(weights)
+            )
+            if self.config.check_structure:
+                self._check_structure(partition, node=None)
+        finally:
+            self.seconds += time.perf_counter() - t0
 
     def after_move(self, partition, node: int, reported_gain: float) -> bool:
         """Account for one tentative move; deep-check every Nth.
@@ -85,22 +94,33 @@ class PassAuditor:
         Returns True when this move was audited — the engine then calls
         the relevant gain/probability checks with its own containers.
         """
-        self.moves_seen += 1
-        self._move_index += 1
-        self._running_cut -= reported_gain
-        if self._move_index % self.config.every != 0:
-            return False
-        self.moves_audited += 1
-        if self.config.check_structure:
-            self._check_structure(partition, node=node)
-        if self.config.check_balance and self._started_balanced:
-            self._check_balance(partition, node)
-        return True
+        t0 = time.perf_counter()
+        try:
+            self.moves_seen += 1
+            self._move_index += 1
+            self._running_cut -= reported_gain
+            if self._move_index % self.config.every != 0:
+                return False
+            self.moves_audited += 1
+            if self.config.check_structure:
+                self._check_structure(partition, node=node)
+            if self.config.check_balance and self._started_balanced:
+                self._check_balance(partition, node)
+            return True
+        finally:
+            self.seconds += time.perf_counter() - t0
 
     def after_rollback(self, partition, journal) -> None:
         """Verify journal gains, the prefix decision, and the rollback."""
         if not self.config.check_rollback:
             return
+        t0 = time.perf_counter()
+        try:
+            self._after_rollback_checks(partition, journal)
+        finally:
+            self.seconds += time.perf_counter() - t0
+
+    def _after_rollback_checks(self, partition, journal) -> None:
         tol = self.config.tolerance
         moves = list(journal.moves)
         nodes = [record.node for record in moves]
@@ -235,6 +255,13 @@ class PassAuditor:
     # ------------------------------------------------------------------
     def check_containers(self, partition, containers) -> None:
         """Containers hold exactly the free nodes, each on its side."""
+        t0 = time.perf_counter()
+        try:
+            self._check_containers(partition, containers)
+        finally:
+            self.seconds += time.perf_counter() - t0
+
+    def _check_containers(self, partition, containers) -> None:
         if not self.config.check_gains:
             return
         for v in range(self.graph.num_nodes):
@@ -261,9 +288,16 @@ class PassAuditor:
 
     def check_fm_gains(self, partition, containers) -> None:
         """Every free node's container gain equals Eqn. (1) from scratch."""
+        t0 = time.perf_counter()
+        try:
+            self._check_fm_gains(partition, containers)
+        finally:
+            self.seconds += time.perf_counter() - t0
+
+    def _check_fm_gains(self, partition, containers) -> None:
         if not self.config.check_gains:
             return
-        self.check_containers(partition, containers)
+        self._check_containers(partition, containers)
         sides = partition.sides
         tol = self.config.tolerance
         for v in self._gain_sweep_nodes(partition):
@@ -281,9 +315,16 @@ class PassAuditor:
 
     def check_la_vectors(self, partition, containers, k: int) -> None:
         """Every free node's stored LA vector matches the definition."""
+        t0 = time.perf_counter()
+        try:
+            self._check_la_vectors(partition, containers, k)
+        finally:
+            self.seconds += time.perf_counter() - t0
+
+    def _check_la_vectors(self, partition, containers, k: int) -> None:
         if not self.config.check_gains:
             return
-        self.check_containers(partition, containers)
+        self._check_containers(partition, containers)
         sides = partition.sides
         locked = [partition.is_locked(v) for v in range(self.graph.num_nodes)]
         tol = self.config.tolerance
@@ -311,6 +352,13 @@ class PassAuditor:
         ``node_gain`` must equal the brute-force Eqns. (2)–(6) under the
         current probabilities.
         """
+        t0 = time.perf_counter()
+        try:
+            self._check_prop_gains(partition, engine)
+        finally:
+            self.seconds += time.perf_counter() - t0
+
+    def _check_prop_gains(self, partition, engine) -> None:
         if self.config.check_probabilities:
             self._check_probabilities(partition, engine)
         if not self.config.check_gains:
@@ -378,6 +426,7 @@ class PassAuditor:
             "audit_passes": float(self.passes_audited),
             "audit_moves": float(self.moves_audited),
             "audit_checks": float(self.checks_run),
+            "audit_seconds": self.seconds,
         }
 
     def _violation(

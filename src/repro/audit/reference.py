@@ -203,7 +203,11 @@ def best_prefix(gains: Sequence[float]) -> Tuple[int, float]:
     """``(p, Gmax)`` — smallest prefix achieving the maximum prefix sum.
 
     Mirrors the pass-journal contract: ``(0, 0.0)`` for an empty
-    sequence, ``(0, Gmax)`` when no prefix is strictly positive.
+    sequence, ``(0, Gmax)`` when no prefix is strictly positive.  The
+    comparison is exact (no tolerance), in lockstep with
+    :meth:`repro.datastructures.PassJournal.best_prefix` — a tolerance
+    would discard strictly-better later prefixes under fractional
+    (weighted) net costs.
     """
     if not gains:
         return 0, 0.0
@@ -212,7 +216,7 @@ def best_prefix(gains: Sequence[float]) -> Tuple[int, float]:
     running = 0.0
     for i, g in enumerate(gains, start=1):
         running += g
-        if running > best_sum + 1e-12:
+        if running > best_sum:
             best_sum = running
             best_p = i
     if best_sum <= 0:

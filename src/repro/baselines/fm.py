@@ -32,6 +32,7 @@ from ..partition import (
     Partition,
     random_balanced_sides,
 )
+from ..telemetry import PassCounters, Recorder, resolve_recorder
 
 Container = Union[BucketGainContainer, TreeGainContainer]
 
@@ -89,9 +90,13 @@ def _apply_delta(
     partition: Partition,
     node: int,
     delta: float,
+    counters: Optional[PassCounters] = None,
 ) -> None:
     if delta == 0:
         return
+    if counters is not None:
+        counters.neighbor_updates += 1
+        counters.container_updates += 1
     side = partition.side(node)
     container = containers[side]
     if isinstance(container, BucketGainContainer):
@@ -105,6 +110,7 @@ def _move_with_gain_updates(
     from_side: int,
     partition: Partition,
     containers: Tuple[Container, Container],
+    counters: Optional[PassCounters] = None,
 ) -> float:
     """Move ``moved``, lock it, and apply the FM critical-net delta rules.
 
@@ -125,7 +131,7 @@ def _move_with_gain_updates(
             # option of keeping the net uncut by following the move.
             for v in graph.net(net_id):
                 if v != moved and not partition.is_locked(v):
-                    _apply_delta(containers, partition, v, +cost)
+                    _apply_delta(containers, partition, v, +cost, counters)
         elif to_count == 1:
             # The single to_side pin loses its "sole pin" bonus.
             for v in graph.net(net_id):
@@ -134,7 +140,7 @@ def _move_with_gain_updates(
                     and partition.side(v) == to_side
                     and not partition.is_locked(v)
                 ):
-                    _apply_delta(containers, partition, v, -cost)
+                    _apply_delta(containers, partition, v, -cost, counters)
                     break
 
     realized = partition.move(moved)
@@ -146,7 +152,7 @@ def _move_with_gain_updates(
             # Net now entirely on to_side: other pins would newly cut it.
             for v in graph.net(net_id):
                 if v != moved and not partition.is_locked(v):
-                    _apply_delta(containers, partition, v, -cost)
+                    _apply_delta(containers, partition, v, -cost, counters)
         elif from_count == 1:
             # The single remaining from_side pin becomes the sole pin.
             for v in graph.net(net_id):
@@ -155,7 +161,7 @@ def _move_with_gain_updates(
                     and partition.side(v) == from_side
                     and not partition.is_locked(v)
                 ):
-                    _apply_delta(containers, partition, v, +cost)
+                    _apply_delta(containers, partition, v, +cost, counters)
                     break
 
     partition.lock(moved)
@@ -169,16 +175,27 @@ def _run_pass(
     observer: Optional[MoveObserver] = None,
     pass_index: int = 0,
     auditor: Optional[PassAuditor] = None,
+    rec: Optional[Recorder] = None,
+    phase: Optional[dict] = None,
 ) -> PassJournal:
-    """One tentative-move FM pass; locks are left set."""
+    """One tentative-move FM pass; locks are left set.
+
+    ``rec`` must already be resolved (enabled or ``None``); ``phase`` is
+    the run-level phase-seconds accumulator, updated whether or not a
+    recorder is attached.
+    """
     graph = partition.graph
     if auditor is not None:
         auditor.start_pass(partition)
+    counters = PassCounters() if rec is not None else None
+
+    t0 = time.perf_counter()
     for v in range(graph.num_nodes):
         gain = partition.immediate_gain(v)
         if isinstance(containers[0], BucketGainContainer):
             gain = int(gain)
         containers[partition.side(v)].insert(v, gain)
+    t1 = time.perf_counter()
 
     journal = PassJournal()
     while True:
@@ -188,8 +205,14 @@ def _run_pass(
         from_side = partition.side(node)
         selection_gain = containers[from_side].remove(node)
         immediate = _move_with_gain_updates(
-            node, from_side, partition, containers
+            node, from_side, partition, containers, counters
         )
+        if rec is not None:
+            rec.move(
+                pass_index, len(journal), node, from_side,
+                selection_gain, immediate,
+            )
+            counters.moves += 1
         journal.record(node, from_side, immediate)
         if observer is not None:
             observer(pass_index, node, selection_gain, immediate)
@@ -197,6 +220,14 @@ def _run_pass(
             partition, node, immediate
         ):
             auditor.check_fm_gains(partition, containers)
+    t2 = time.perf_counter()
+    if phase is not None:
+        phase["gain_init_seconds"] += t1 - t0
+        phase["move_loop_seconds"] += t2 - t1
+    if rec is not None:
+        rec.span(pass_index, "gain_init", t1 - t0)
+        rec.span(pass_index, "move_loop", t2 - t1)
+        rec.counters(pass_index, counters.as_dict())
     return journal
 
 
@@ -209,58 +240,89 @@ def run_fm(
     seed: Optional[int] = None,
     observer: Optional[MoveObserver] = None,
     audit: Optional[AuditConfig] = None,
+    recorder: Optional[Recorder] = None,
 ) -> BipartitionResult:
     """Run FM from an explicit initial partition.
 
     ``audit`` attaches a read-only invariant auditor (see
     :mod:`repro.audit`); ``None`` defers to ``REPRO_AUDIT``.  FM's
     delta-rule updates keep every container gain exact, so the audited
-    invariant is full equality with Eqn. (1) for every free node.
+    invariant is full equality with Eqn. (1) for every free node.  Time
+    spent in audit hooks is excluded from ``runtime_seconds`` and
+    reported as the ``audit_seconds`` stat.
+
+    ``recorder`` attaches a :class:`repro.telemetry.Recorder` (spans,
+    per-move events, counters); recording never changes moves or cuts.
     """
+    algorithm = f"FM-{container}"
     start = time.perf_counter()
     partition = Partition(graph, initial_sides)
     audit = resolve_audit(audit)
     auditor = (
-        PassAuditor(
-            graph, balance, audit, algorithm=f"FM-{container}", seed=seed
-        )
+        PassAuditor(graph, balance, audit, algorithm=algorithm, seed=seed)
         if audit is not None
         else None
     )
+    rec = resolve_recorder(recorder)
+    phase = {
+        "gain_init_seconds": 0.0,
+        "move_loop_seconds": 0.0,
+        "rollback_seconds": 0.0,
+    }
+    if rec is not None:
+        rec.run_start(algorithm, seed, graph.num_nodes, graph.num_nets)
     passes = 0
     total_moves = 0
     pass_cuts = []
     while passes < max_passes:
+        pass_start = time.perf_counter()
+        if rec is not None:
+            rec.pass_start(passes)
         containers = _make_containers(graph, container)
         journal = _run_pass(
             partition, balance, containers,
             observer=observer, pass_index=passes, auditor=auditor,
+            rec=rec, phase=phase,
         )
-        passes += 1
         total_moves += len(journal)
         p, gmax = journal.best_prefix()
+        rollback_start = time.perf_counter()
         partition.unlock_all()
         for record in reversed(journal.rolled_back_moves()):
             partition.move(record.node)
+        rollback_seconds = time.perf_counter() - rollback_start
+        phase["rollback_seconds"] += rollback_seconds
         pass_cuts.append(partition.cut_cost)
         if auditor is not None:
             auditor.after_rollback(partition, journal)
+        if rec is not None:
+            rec.span(passes, "rollback", rollback_seconds)
+            rec.pass_end(
+                passes, partition.cut_cost, len(journal), p, gmax,
+                time.perf_counter() - pass_start,
+            )
+        passes += 1
         if gmax <= 1e-9 or p == 0:
             break
     elapsed = time.perf_counter() - start
     stats = {"tentative_moves": float(total_moves)}
+    stats.update(phase)
     if auditor is not None:
         stats.update(auditor.summary())
-    return BipartitionResult(
+        elapsed -= auditor.seconds
+    result = BipartitionResult(
         sides=partition.sides,
         cut=partition.cut_cost,
-        algorithm=f"FM-{container}",
+        algorithm=algorithm,
         seed=seed,
         passes=passes,
         runtime_seconds=elapsed,
         stats=stats,
         pass_cuts=pass_cuts,
     )
+    if rec is not None:
+        rec.run_end(algorithm, result.cut, passes, elapsed, stats)
+    return result
 
 
 class FMPartitioner:
@@ -268,6 +330,9 @@ class FMPartitioner:
 
     #: FM accepts a per-call ``audit`` config (see :mod:`repro.audit`).
     supports_audit = True
+
+    #: FM accepts a per-call ``recorder`` (see :mod:`repro.telemetry`).
+    supports_telemetry = True
 
     def __init__(
         self, container: str = "bucket", max_passes: int = DEFAULT_MAX_PASSES
@@ -288,6 +353,7 @@ class FMPartitioner:
         initial_sides: Optional[Sequence[int]] = None,
         seed: Optional[int] = None,
         audit: Optional[AuditConfig] = None,
+        recorder: Optional[Recorder] = None,
     ) -> BipartitionResult:
         """Bisect ``graph`` with FM (50-50 balance and seeded random start by default)."""
         if balance is None:
@@ -302,6 +368,7 @@ class FMPartitioner:
             max_passes=self.max_passes,
             seed=seed,
             audit=audit,
+            recorder=recorder,
         )
         result.verify(graph)
         return result

@@ -34,6 +34,7 @@ from ..partition import (
     Partition,
     random_balanced_sides,
 )
+from ..telemetry import PassCounters, Recorder, resolve_recorder
 
 DEFAULT_MAX_PASSES = 100
 
@@ -99,13 +100,25 @@ def _run_pass(
     observer: Optional[MoveObserver] = None,
     pass_index: int = 0,
     auditor: Optional[PassAuditor] = None,
+    rec: Optional[Recorder] = None,
+    phase: Optional[dict] = None,
 ) -> PassJournal:
+    """One tentative-move LA-k pass; locks are left set.
+
+    ``rec`` must already be resolved (enabled or ``None``); ``phase`` is
+    the run-level phase-seconds accumulator, updated whether or not a
+    recorder is attached.
+    """
     graph = partition.graph
     if auditor is not None:
         auditor.start_pass(partition)
+    counters = PassCounters() if rec is not None else None
+
+    t0 = time.perf_counter()
     containers = (TreeGainContainer(), TreeGainContainer())
     for v in range(graph.num_nodes):
         containers[partition.side(v)].insert(v, gain_vector(partition, v, k))
+    t1 = time.perf_counter()
 
     journal = PassJournal()
     while True:
@@ -115,6 +128,12 @@ def _run_pass(
         from_side = partition.side(node)
         selection_vector = containers[from_side].remove(node)
         immediate = partition.move_and_lock(node)
+        if rec is not None:
+            rec.move(
+                pass_index, len(journal), node, from_side,
+                selection_vector, immediate,
+            )
+            counters.moves += 1
         journal.record(node, from_side, immediate)
         if observer is not None:
             observer(pass_index, node, selection_vector, immediate)
@@ -130,10 +149,21 @@ def _run_pass(
                 containers[partition.side(nbr)].update(
                     nbr, gain_vector(partition, nbr, k)
                 )
+                if counters is not None:
+                    counters.neighbor_updates += 1
+                    counters.container_updates += 1
         if auditor is not None and auditor.after_move(
             partition, node, immediate
         ):
             auditor.check_la_vectors(partition, containers, k)
+    t2 = time.perf_counter()
+    if phase is not None:
+        phase["gain_init_seconds"] += t1 - t0
+        phase["move_loop_seconds"] += t2 - t1
+    if rec is not None:
+        rec.span(pass_index, "gain_init", t1 - t0)
+        rec.span(pass_index, "move_loop", t2 - t1)
+        rec.counters(pass_index, counters.as_dict())
     return journal
 
 
@@ -146,6 +176,7 @@ def run_la(
     seed: Optional[int] = None,
     observer: Optional[MoveObserver] = None,
     audit: Optional[AuditConfig] = None,
+    recorder: Optional[Recorder] = None,
 ) -> BipartitionResult:
     """Run LA-k from an explicit initial partition.
 
@@ -154,50 +185,83 @@ def run_la(
     sharing a net with the moved node can see their vectors change, and
     LA refreshes exactly those — so the audited invariant is full
     equality of every stored vector with the Krishnamurthy definition.
+    Time spent in audit hooks is excluded from ``runtime_seconds`` and
+    reported as the ``audit_seconds`` stat.
+
+    ``recorder`` attaches a :class:`repro.telemetry.Recorder` (spans,
+    per-move events with the gain *vector* as the selection key, and
+    counters); recording never changes moves or cuts.
     """
     if k < 1:
         raise ValueError(f"lookahead k must be >= 1, got {k}")
+    algorithm = f"LA-{k}"
     start = time.perf_counter()
     partition = Partition(graph, initial_sides)
     audit = resolve_audit(audit)
     auditor = (
-        PassAuditor(graph, balance, audit, algorithm=f"LA-{k}", seed=seed)
+        PassAuditor(graph, balance, audit, algorithm=algorithm, seed=seed)
         if audit is not None
         else None
     )
+    rec = resolve_recorder(recorder)
+    phase = {
+        "gain_init_seconds": 0.0,
+        "move_loop_seconds": 0.0,
+        "rollback_seconds": 0.0,
+    }
+    if rec is not None:
+        rec.run_start(algorithm, seed, graph.num_nodes, graph.num_nets)
     passes = 0
     total_moves = 0
     pass_cuts = []
     while passes < max_passes:
+        pass_start = time.perf_counter()
+        if rec is not None:
+            rec.pass_start(passes)
         journal = _run_pass(
             partition, balance, k,
             observer=observer, pass_index=passes, auditor=auditor,
+            rec=rec, phase=phase,
         )
-        passes += 1
         total_moves += len(journal)
         p, gmax = journal.best_prefix()
+        rollback_start = time.perf_counter()
         partition.unlock_all()
         for record in reversed(journal.rolled_back_moves()):
             partition.move(record.node)
+        rollback_seconds = time.perf_counter() - rollback_start
+        phase["rollback_seconds"] += rollback_seconds
         pass_cuts.append(partition.cut_cost)
         if auditor is not None:
             auditor.after_rollback(partition, journal)
+        if rec is not None:
+            rec.span(passes, "rollback", rollback_seconds)
+            rec.pass_end(
+                passes, partition.cut_cost, len(journal), p, gmax,
+                time.perf_counter() - pass_start,
+            )
+        passes += 1
         if gmax <= 1e-9 or p == 0:
             break
     elapsed = time.perf_counter() - start
     stats = {"tentative_moves": float(total_moves)}
+    stats.update(phase)
     if auditor is not None:
         stats.update(auditor.summary())
-    return BipartitionResult(
+        elapsed -= auditor.seconds
+    result = BipartitionResult(
         sides=partition.sides,
         cut=partition.cut_cost,
-        algorithm=f"LA-{k}",
+        algorithm=algorithm,
         seed=seed,
         passes=passes,
         runtime_seconds=elapsed,
         stats=stats,
         pass_cuts=pass_cuts,
     )
+    if rec is not None:
+        rec.run_end(algorithm, result.cut, passes, elapsed, stats)
+    return result
 
 
 class LAPartitioner:
@@ -205,6 +269,9 @@ class LAPartitioner:
 
     #: LA accepts a per-call ``audit`` config (see :mod:`repro.audit`).
     supports_audit = True
+
+    #: LA accepts a per-call ``recorder`` (see :mod:`repro.telemetry`).
+    supports_telemetry = True
 
     def __init__(self, k: int = 2, max_passes: int = DEFAULT_MAX_PASSES) -> None:
         if k < 1:
@@ -223,6 +290,7 @@ class LAPartitioner:
         initial_sides: Optional[Sequence[int]] = None,
         seed: Optional[int] = None,
         audit: Optional[AuditConfig] = None,
+        recorder: Optional[Recorder] = None,
     ) -> BipartitionResult:
         """Bisect ``graph`` with LA-k (50-50 balance and seeded random start by default)."""
         if balance is None:
@@ -237,6 +305,7 @@ class LAPartitioner:
             max_passes=self.max_passes,
             seed=seed,
             audit=audit,
+            recorder=recorder,
         )
         result.verify(graph)
         return result

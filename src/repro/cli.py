@@ -27,6 +27,11 @@ Resume an interrupted sweep, verify or clear the result cache::
     prop-partition mydesign.hgr -a prop --runs 100 --workers 8 --resume myrun
     python -m repro cache verify
     python -m repro cache clear
+
+Record a telemetry trace and summarize it afterwards::
+
+    prop-partition --generate t5 --scale 0.05 -a prop --trace prop.jsonl
+    python -m repro trace summarize prop.jsonl
 """
 
 from __future__ import annotations
@@ -153,6 +158,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs", type=int, default=1, help="runs per algorithm (best kept)"
     )
     parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a JSONL telemetry trace of every run to PATH "
+        "(sequential runs only; summarize with 'trace summarize PATH'). "
+        "Tracing never changes moves or cuts",
+    )
     _add_engine_flags(parser)
     parser.add_argument(
         "-o", "--output", help="write the best partition as JSON to this path"
@@ -351,6 +364,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench_mode(argv[1:])
     if argv and argv[0] == "cache":
         return _run_cache_mode(argv[1:])
+    if argv and argv[0] == "trace":
+        return _run_trace_mode(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -391,6 +406,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         verb = "resuming" if resume else "journalling"
         print(f"{verb} run {run_id} (resume with --resume {run_id})")
 
+    recorder = None
+    if args.trace is not None:
+        from .telemetry import TraceRecorder
+
+        recorder = TraceRecorder(args.trace)
+        print(f"tracing runs to {args.trace}")
+
     best_overall = None
     interrupted = False
     for name in args.algorithm:
@@ -400,7 +422,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         outcome = run_many(
             partitioner, graph, runs=args.runs, balance=balance,
             base_seed=args.seed, circuit_name=source, engine=engine,
-            audit=audit, run_id=run_id, resume=resume,
+            audit=audit, run_id=run_id, resume=resume, recorder=recorder,
         )
         interrupted = interrupted or outcome.interrupted
         for failed in outcome.errors:
@@ -422,6 +444,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if best_overall is None or best.cut < best_overall.cut:
             best_overall = best
+    if recorder is not None:
+        recorder.close()
     if engine is not None:
         print(_engine_summary(engine))
     if interrupted:
@@ -613,6 +637,53 @@ def _run_cache_mode(argv: List[str]) -> int:
     removed = cache.clear()
     print(f"{root}: removed {removed} record(s)")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# trace subcommand
+# ---------------------------------------------------------------------------
+def _build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prop-partition trace",
+        description="summarize telemetry trace files and run journals",
+    )
+    parser.add_argument(
+        "action",
+        choices=["summarize"],
+        help="summarize: per-algorithm phase timing, counter and cut "
+        "digest of one or more trace/journal files",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="JSONL files written by --trace (or engine run journals "
+        "under <cache-dir>/runs/)",
+    )
+    return parser
+
+
+def _run_trace_mode(argv: List[str]) -> int:
+    """``prop-partition trace summarize PATH...`` — trace digests.
+
+    Accepts both telemetry traces (``--trace`` output) and engine run
+    journals; the file dialect is sniffed per path.  Exits non-zero when
+    any path is missing or unrecognizable.
+    """
+    from .telemetry import summarize_path
+
+    parser = _build_trace_parser()
+    args = parser.parse_args(argv)
+    status = 0
+    for i, path in enumerate(args.paths):
+        if i:
+            print()
+        try:
+            print(summarize_path(path).format_text())
+        except (OSError, ValueError) as exc:
+            print(f"{path}: {exc}")
+            status = 1
+    return status
 
 
 # ---------------------------------------------------------------------------

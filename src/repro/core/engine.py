@@ -21,14 +21,17 @@ from ..audit import AuditConfig, PassAuditor, resolve_audit
 from ..datastructures import PassJournal, TreeGainContainer
 from ..hypergraph import Hypergraph
 from ..partition import BalanceConstraint, BipartitionResult, Partition
+from ..telemetry import PassCounters, Recorder, resolve_recorder
 from .config import PropConfig
 from .gains import ProbabilisticGainEngine
 from .probability import make_probability_fn
 
 #: Optional per-move observer: (pass_index, node, selection_gain,
 #: immediate_gain).  ``selection_gain`` is the probabilistic gain the node
-#: was chosen by; ``immediate_gain`` is the realized cut delta.  Used by
-#: the gain-prediction diagnostics in :mod:`repro.analysis.prediction`.
+#: was chosen by; ``immediate_gain`` is the realized cut delta.  Kept for
+#: compatibility (the differential harness uses it); new code should pass
+#: a :class:`repro.telemetry.Recorder`, which sees the same per-move
+#: stream plus spans and counters.
 MoveObserver = Callable[[int, int, float, float], None]
 
 
@@ -40,6 +43,7 @@ def run_prop(
     seed: Optional[int] = None,
     observer: Optional[MoveObserver] = None,
     audit: Optional[AuditConfig] = None,
+    recorder: Optional[Recorder] = None,
 ) -> BipartitionResult:
     """Run PROP from an explicit initial partition.
 
@@ -49,7 +53,14 @@ def run_prop(
     ``audit`` attaches a read-only :class:`~repro.audit.PassAuditor` that
     cross-checks cut/count/lock/gain/rollback bookkeeping against brute
     force after every (Nth) move; ``None`` defers to the ``REPRO_AUDIT``
-    environment variable.  Audited runs make identical moves.
+    environment variable.  Audited runs make identical moves, and the
+    time spent inside audit hooks is excluded from ``runtime_seconds``
+    (reported separately as the ``audit_seconds`` stat).
+
+    ``recorder`` attaches a :class:`repro.telemetry.Recorder` receiving
+    spans, per-move events and counters; recording never changes moves
+    or cuts.  Per-phase timings land in ``stats`` whether or not a
+    recorder is attached.
     """
     if config is None:
         config = PropConfig()
@@ -64,33 +75,58 @@ def run_prop(
         if audit is not None
         else None
     )
+    rec = resolve_recorder(recorder)
+    phase = {
+        "bootstrap_seconds": 0.0,
+        "refine_seconds": 0.0,
+        "gain_init_seconds": 0.0,
+        "move_loop_seconds": 0.0,
+        "rollback_seconds": 0.0,
+    }
+    if rec is not None:
+        rec.run_start("PROP", seed, graph.num_nodes, graph.num_nets)
 
     passes = 0
     total_moves = 0
     pass_cuts = []
     while passes < config.max_passes:
+        pass_start = time.perf_counter()
+        if rec is not None:
+            rec.pass_start(passes)
         journal = _run_pass(
             partition, engine, balance, config, prob_fn,
             observer=observer, pass_index=passes, auditor=auditor,
+            rec=rec, phase=phase,
         )
-        passes += 1
         total_moves += len(journal)
         p, gmax = journal.best_prefix()
         # Undo the tentative moves beyond the best prefix (last first).
+        rollback_start = time.perf_counter()
         partition.unlock_all()
         for record in reversed(journal.rolled_back_moves()):
             partition.move(record.node)
+        rollback_seconds = time.perf_counter() - rollback_start
+        phase["rollback_seconds"] += rollback_seconds
         pass_cuts.append(partition.cut_cost)
         if auditor is not None:
             auditor.after_rollback(partition, journal)
+        if rec is not None:
+            rec.span(passes, "rollback", rollback_seconds)
+            rec.pass_end(
+                passes, partition.cut_cost, len(journal), p, gmax,
+                time.perf_counter() - pass_start,
+            )
+        passes += 1
         if gmax <= config.min_pass_gain or p == 0:
             break
 
     elapsed = time.perf_counter() - start
     stats = {"tentative_moves": float(total_moves)}
+    stats.update(phase)
     if auditor is not None:
         stats.update(auditor.summary())
-    return BipartitionResult(
+        elapsed -= auditor.seconds
+    result = BipartitionResult(
         sides=partition.sides,
         cut=partition.cut_cost,
         algorithm="PROP",
@@ -100,6 +136,9 @@ def run_prop(
         stats=stats,
         pass_cuts=pass_cuts,
     )
+    if rec is not None:
+        rec.run_end("PROP", result.cut, passes, elapsed, stats)
+    return result
 
 
 def _bootstrap_probabilities(
@@ -174,14 +213,26 @@ def _run_pass(
     observer: Optional[MoveObserver] = None,
     pass_index: int = 0,
     auditor: Optional[PassAuditor] = None,
+    rec: Optional[Recorder] = None,
+    phase: Optional[dict] = None,
 ) -> PassJournal:
-    """One tentative-move pass (Fig. 2 steps 3–8); locks are left set."""
+    """One tentative-move pass (Fig. 2 steps 3–8); locks are left set.
+
+    ``rec`` must already be resolved (enabled or ``None``); ``phase`` is
+    the run-level phase-seconds accumulator, updated whether or not a
+    recorder is attached.
+    """
     graph = partition.graph
     if auditor is not None:
         auditor.start_pass(partition)
+    counters = PassCounters() if rec is not None else None
+    writes_before = engine.probability_writes
 
+    t0 = time.perf_counter()
     _bootstrap_probabilities(engine, config, prob_fn)
+    t1 = time.perf_counter()
     gains = _refine(engine, config, prob_fn)
+    t2 = time.perf_counter()
 
     cached = config.update_strategy == "cached"
     contribs = engine.all_contributions() if cached else None
@@ -190,6 +241,7 @@ def _run_pass(
     for v in range(graph.num_nodes):
         if not partition.is_locked(v):
             containers[partition.side(v)].insert(v, gains[v])
+    t3 = time.perf_counter()
 
     journal = PassJournal()
     while True:
@@ -200,6 +252,12 @@ def _run_pass(
         selection_gain = containers[from_side].remove(node)
         immediate = partition.move_and_lock(node)
         engine.on_lock(node)
+        if rec is not None:
+            rec.move(
+                pass_index, len(journal), node, from_side,
+                selection_gain, immediate,
+            )
+            counters.moves += 1
         journal.record(node, from_side, immediate)
         if observer is not None:
             observer(pass_index, node, selection_gain, immediate)
@@ -211,16 +269,36 @@ def _run_pass(
 
         if cached:
             _update_neighbors_cached(
-                node, partition, engine, containers, config, prob_fn, contribs
+                node, partition, engine, containers, config, prob_fn,
+                contribs, counters,
             )
             _update_top_ranked_cached(
-                partition, engine, containers, config, prob_fn, contribs
+                partition, engine, containers, config, prob_fn,
+                contribs, counters,
             )
         else:
             _update_neighbors(
-                node, partition, engine, containers, config, prob_fn
+                node, partition, engine, containers, config, prob_fn,
+                counters,
             )
-            _update_top_ranked(partition, engine, containers, config, prob_fn)
+            _update_top_ranked(
+                partition, engine, containers, config, prob_fn, counters
+            )
+    t4 = time.perf_counter()
+    if phase is not None:
+        phase["bootstrap_seconds"] += t1 - t0
+        phase["refine_seconds"] += t2 - t1
+        phase["gain_init_seconds"] += t3 - t2
+        phase["move_loop_seconds"] += t4 - t3
+    if rec is not None:
+        rec.span(pass_index, "bootstrap", t1 - t0)
+        rec.span(pass_index, "refine", t2 - t1)
+        rec.span(pass_index, "gain_init", t3 - t2)
+        rec.span(pass_index, "move_loop", t4 - t3)
+        counters.probability_refreshes = (
+            engine.probability_writes - writes_before
+        )
+        rec.counters(pass_index, counters.as_dict())
     return journal
 
 
@@ -231,6 +309,7 @@ def _update_neighbors(
     containers: Tuple[TreeGainContainer, TreeGainContainer],
     config: PropConfig,
     prob_fn,
+    counters: Optional[PassCounters] = None,
 ) -> None:
     """Sec. 3.4: refresh gain (and probability) of each free neighbor."""
     graph = partition.graph
@@ -244,9 +323,13 @@ def _update_neighbors(
             gain = engine.node_gain(nbr)
             if config.update_neighbor_probabilities:
                 engine.set_probability(nbr, prob_fn(gain))
+            if counters is not None:
+                counters.neighbor_updates += 1
             container = containers[partition.side(nbr)]
             if container.gain_of(nbr) != gain:
                 container.update(nbr, gain)
+                if counters is not None:
+                    counters.container_updates += 1
 
 
 def _update_neighbors_cached(
@@ -257,6 +340,7 @@ def _update_neighbors_cached(
     config: PropConfig,
     prob_fn,
     contribs,
+    counters: Optional[PassCounters] = None,
 ) -> None:
     """Sec. 3.4, Eqn. 5/6 flavour: only the contributions of the moved
     node's nets are recomputed; each neighbor's total gain is adjusted by
@@ -266,21 +350,29 @@ def _update_neighbors_cached(
     graph = partition.graph
     deltas = {}
     for net_id in graph.node_nets(moved):
+        if counters is not None:
+            counters.cache_net_recomputes += 1
         for nbr, new_c in engine.net_pin_contributions(net_id).items():
             entry = contribs[nbr]
             old_c = entry.get(net_id, 0.0)
             if new_c != old_c:
                 entry[net_id] = new_c
                 deltas[nbr] = deltas.get(nbr, 0.0) + (new_c - old_c)
+                if counters is not None:
+                    counters.cache_entry_deltas += 1
             else:
                 deltas.setdefault(nbr, 0.0)
     for nbr, delta in deltas.items():
+        if counters is not None:
+            counters.neighbor_updates += 1
         container = containers[partition.side(nbr)]
         gain = container.gain_of(nbr) + delta
         if config.update_neighbor_probabilities:
             engine.set_probability(nbr, prob_fn(gain))
         if delta:
             container.update(nbr, gain)
+            if counters is not None:
+                counters.container_updates += 1
 
 
 def _update_top_ranked_cached(
@@ -290,6 +382,7 @@ def _update_top_ranked_cached(
     config: PropConfig,
     prob_fn,
     contribs,
+    counters: Optional[PassCounters] = None,
 ) -> None:
     """Top-k refresh for the cached strategy: full recompute of the node's
     contributions (keeping its cache coherent) plus probability update."""
@@ -301,10 +394,15 @@ def _update_top_ranked_cached(
             entry = engine.contributions_for(node)
             gain = sum(entry.values())
             contribs[node] = entry
+            if counters is not None:
+                counters.topk_updates += 1
+                counters.cache_net_recomputes += len(entry)
             if config.update_neighbor_probabilities:
                 engine.set_probability(node, prob_fn(gain))
             if gain != stale:
                 containers[side].update(node, gain)
+                if counters is not None:
+                    counters.container_updates += 1
 
 
 def _update_top_ranked(
@@ -313,6 +411,7 @@ def _update_top_ranked(
     containers: Tuple[TreeGainContainer, TreeGainContainer],
     config: PropConfig,
     prob_fn,
+    counters: Optional[PassCounters] = None,
 ) -> None:
     """Sec. 3.4: re-evaluate the top-ranked nodes of each side.
 
@@ -325,9 +424,13 @@ def _update_top_ranked(
         return
     for side in (0, 1):
         for node, stale in containers[side].top(k):
+            if counters is not None:
+                counters.topk_updates += 1
             gain = engine.node_gain(node)
             if gain == stale:
                 continue  # unchanged: skip the O(log n) reinsertion
             if config.update_neighbor_probabilities:
                 engine.set_probability(node, prob_fn(gain))
             containers[side].update(node, gain)
+            if counters is not None:
+                counters.container_updates += 1

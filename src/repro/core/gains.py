@@ -37,9 +37,14 @@ class ProbabilisticGainEngine:
     nodes must have ``p = 0`` — :meth:`set_probability` and
     :meth:`on_lock` maintain this; gains read locks straight from the
     partition, so the two views can never drift apart.
+
+    :attr:`probability_writes` counts probability-vector refreshes
+    (``set_probability`` calls, plus one ``fill`` per pass bootstrap);
+    the telemetry layer reports its per-pass delta as the
+    ``probability_refreshes`` counter.
     """
 
-    __slots__ = ("partition", "p")
+    __slots__ = ("partition", "p", "probability_writes")
 
     def __init__(
         self,
@@ -59,6 +64,8 @@ class ProbabilisticGainEngine:
         for v in range(n):
             if partition.is_locked(v):
                 self.p[v] = 0.0
+        #: Running count of probability-vector refreshes (telemetry).
+        self.probability_writes = 0
 
     # ------------------------------------------------------------------
     # Probability maintenance
@@ -70,6 +77,7 @@ class ProbabilisticGainEngine:
         if value and self.partition.is_locked(node):
             raise ValueError(f"node {node} is locked; its probability must be 0")
         self.p[node] = value
+        self.probability_writes += 1
 
     def fill(self, value: float) -> None:
         """Set every *free* node's probability to ``value``."""
@@ -78,6 +86,7 @@ class ProbabilisticGainEngine:
         part = self.partition
         for v in range(len(self.p)):
             self.p[v] = 0.0 if part.is_locked(v) else value
+        self.probability_writes += 1
 
     def on_lock(self, node: int) -> None:
         """Record that ``node`` was just locked (its p drops to 0)."""

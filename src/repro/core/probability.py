@@ -53,9 +53,20 @@ class SigmoidProbabilityMap:
 
     Matches the clamp semantics (exactly pmax above gup, exactly pmin below
     glo) so it is a drop-in replacement in ablations.
+
+    The raw logistic only reaches ``σ(±4) ≈ 0.982 / 0.018`` at the
+    thresholds, so clamping it directly would jump ~1.8% of the
+    ``pmax - pmin`` range at ``glo`` and ``gup``.  We therefore renormalize
+    the logistic so it spans exactly ``[0, 1]`` over ``[glo, gup]``::
+
+        t = (σ(scale·(g − mid)) − σ_lo) / (σ_hi − σ_lo)
+
+    with ``σ_lo = σ(−4)`` and ``σ_hi = σ(+4)``, making the map continuous
+    (and still strictly increasing) across the whole gain axis; the
+    midpoint stays exactly ``(pmin + pmax) / 2``.
     """
 
-    __slots__ = ("pmin", "pmax", "glo", "gup", "_mid", "_scale")
+    __slots__ = ("pmin", "pmax", "glo", "gup", "_mid", "_scale", "_lo", "_span")
 
     def __init__(self, pmin: float, pmax: float, glo: float, gup: float) -> None:
         if not 0.0 <= pmin <= pmax <= 1.0:
@@ -67,16 +78,19 @@ class SigmoidProbabilityMap:
         self.glo = glo
         self.gup = gup
         self._mid = (glo + gup) / 2.0
-        # scale so the logistic is ~saturated (±4 sigmoid units) at the
-        # thresholds
+        # scale so the logistic covers ±4 sigmoid units between the
+        # thresholds; the renormalization below stretches that to [0, 1]
         self._scale = 8.0 / (gup - glo)
+        self._lo = 1.0 / (1.0 + math.exp(4.0))  # σ(−4)
+        self._span = 1.0 / (1.0 + math.exp(-4.0)) - self._lo  # σ(+4) − σ(−4)
 
     def __call__(self, gain: float) -> float:
         if gain >= self.gup:
             return self.pmax
         if gain <= self.glo:
             return self.pmin
-        t = 1.0 / (1.0 + math.exp(-self._scale * (gain - self._mid)))
+        sigma = 1.0 / (1.0 + math.exp(-self._scale * (gain - self._mid)))
+        t = (sigma - self._lo) / self._span
         return self.pmin + (self.pmax - self.pmin) * t
 
 

@@ -27,6 +27,7 @@ from ..partition import (
     Partition,
     random_balanced_sides,
 )
+from ..telemetry import Recorder
 from .config import PropConfig
 from .engine import run_prop
 
@@ -39,6 +40,9 @@ class PropPartitioner:
     #: PROP accepts a per-call ``audit`` config (see :mod:`repro.audit`).
     supports_audit = True
 
+    #: PROP accepts a per-call ``recorder`` (see :mod:`repro.telemetry`).
+    supports_telemetry = True
+
     def __init__(self, config: Optional[PropConfig] = None) -> None:
         self.config = config if config is not None else PropConfig()
 
@@ -49,6 +53,7 @@ class PropPartitioner:
         initial_sides: Optional[Sequence[int]] = None,
         seed: Optional[int] = None,
         audit: Optional[AuditConfig] = None,
+        recorder: Optional[Recorder] = None,
     ) -> BipartitionResult:
         """Partition ``graph`` into two balanced subsets minimizing the cut.
 
@@ -68,6 +73,10 @@ class PropPartitioner:
         audit:
             Invariant-audit configuration (see :mod:`repro.audit`);
             ``None`` defers to the ``REPRO_AUDIT`` environment variable.
+        recorder:
+            Telemetry recorder receiving spans, per-move events and
+            counters (see :mod:`repro.telemetry`); recording never
+            changes moves or cuts.
         """
         if balance is None:
             balance = BalanceConstraint.fifty_fifty(graph)
@@ -75,7 +84,7 @@ class PropPartitioner:
             initial_sides = random_balanced_sides(graph, seed)
         result = run_prop(
             graph, initial_sides, balance, config=self.config, seed=seed,
-            audit=audit,
+            audit=audit, recorder=recorder,
         )
         result.verify(graph)
         return result

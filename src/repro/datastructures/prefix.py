@@ -55,13 +55,21 @@ class PassJournal:
         passes).  When every prefix sum is <= 0, returns ``(0, Gmax)`` with
         ``Gmax`` the (non-positive) best sum, or ``(0, 0.0)`` for an empty
         journal — the caller stops when ``Gmax <= 0`` (Fig. 2 step 2).
+
+        The comparison is exact: a later prefix wins only when its sum is
+        strictly greater.  An earlier revision used an absolute ``1e-12``
+        tolerance, which silently discarded strictly-better later prefixes
+        whose improvement fell below the tolerance — reachable with
+        fractional (weighted) net costs, where prefix sums are not
+        integers.  Ties still resolve to the earliest prefix because equal
+        sums do not replace the incumbent.
         """
         best_p = 0
         best_sum = float("-inf")
         running = 0.0
         for k, mv in enumerate(self._moves, start=1):
             running += mv.immediate_gain
-            if running > best_sum + 1e-12:
+            if running > best_sum:
                 best_sum = running
                 best_p = k
         if not self._moves:

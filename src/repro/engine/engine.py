@@ -206,11 +206,22 @@ class UnitResult:
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """Fired after every unit completes (in completion order)."""
+    """Fired after every unit completes (in completion order).
+
+    The timing fields default to zero for hand-constructed events (tests,
+    replay); :meth:`Engine.run` always fills them in.
+    """
 
     done: int
     total: int
     latest: UnitResult
+    #: Wall-clock seconds since the batch started.
+    elapsed_seconds: float = 0.0
+    #: Completed units per second so far (0 until time has elapsed).
+    throughput: float = 0.0
+    #: Estimated seconds until the batch completes, extrapolating the
+    #: current throughput over the remaining units (0 when unknowable).
+    eta_seconds: float = 0.0
 
 
 @dataclass
@@ -321,11 +332,25 @@ class Engine:
                 journal_records = journal.load()
             journal.ensure_header(total)
 
+        run_started = time.monotonic()
+
         def emit(unit_result: UnitResult) -> None:
             nonlocal done
             done += 1
             if callback is not None:
-                callback(ProgressEvent(done=done, total=total, latest=unit_result))
+                elapsed = time.monotonic() - run_started
+                throughput = done / elapsed if elapsed > 0 else 0.0
+                eta = (total - done) / throughput if throughput > 0 else 0.0
+                callback(
+                    ProgressEvent(
+                        done=done,
+                        total=total,
+                        latest=unit_result,
+                        elapsed_seconds=elapsed,
+                        throughput=throughput,
+                        eta_seconds=eta,
+                    )
+                )
 
         need_keys = self.cache is not None or journal is not None
         results: List[Optional[UnitResult]] = [None] * total

@@ -31,7 +31,7 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import IO, Dict, List, Optional
+from typing import IO, Dict, Iterator, List, Optional
 
 from .records import checksum_ok, seal
 
@@ -140,26 +140,38 @@ class RunJournal:
         keys, matching append order.
         """
         records: Dict[str, dict] = {}
-        try:
-            with open(self.path) as fh:
-                lines = fh.readlines()
-        except OSError:
-            return records
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue  # torn or garbled line
-            if not isinstance(record, dict) or not checksum_ok(record):
-                continue
+        for record in iter_journal_records(self.path):
             if record.get("type") == "unit" and isinstance(
                 record.get("key"), str
             ):
                 records[record["key"]] = record
         return records
+
+
+def iter_journal_records(path) -> Iterator[dict]:
+    """Yield the checksum-valid records of a journal file, in order.
+
+    The single journal-reading primitive, shared by resume
+    (:meth:`RunJournal.load`) and by the trace summarizer
+    (:mod:`repro.telemetry.summary`).  A missing file yields nothing;
+    torn, garbled or checksum-failing lines are skipped silently —
+    exactly the tolerance resume relies on after a crash.
+    """
+    try:
+        with open(path) as fh:
+            lines = fh.readlines()
+    except OSError:
+        return
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn or garbled line
+        if isinstance(record, dict) and checksum_ok(record):
+            yield record
 
 
 def list_runs(cache_root: Path) -> List[str]:

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, 
 from ..core import PropConfig, PropPartitioner
 from ..hypergraph import Hypergraph
 from ..multirun import run_many
+from ..telemetry import collect_phase_seconds
 from ..partition import BalanceConstraint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -24,12 +25,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One configuration point and its measured outcome."""
+    """One configuration point and its measured outcome.
+
+    ``phase_seconds`` sums per-phase pass-engine timings over the point's
+    runs (see :data:`repro.telemetry.PHASE_STAT_KEYS`); empty for results
+    recorded before phase timing existed.
+    """
 
     overrides: Tuple[Tuple[str, Any], ...]
     best_cut: float
     mean_cut: float
     seconds_per_run: float
+    phase_seconds: Tuple[Tuple[str, float], ...] = ()
+
+    def phase_dict(self) -> Dict[str, float]:
+        """The per-phase timings as a plain {phase_stat: seconds} dict."""
+        return dict(self.phase_seconds)
 
     def override_dict(self) -> Dict[str, Any]:
         """The grid point as a plain {field: value} dict."""
@@ -136,6 +147,7 @@ def sweep_prop_config(
                 best_cut=outcome.best_cut,
                 mean_cut=outcome.mean_cut,
                 seconds_per_run=outcome.seconds_per_run,
+                phase_seconds=tuple(sorted(outcome.phase_seconds.items())),
             )
         )
     return result
@@ -172,11 +184,16 @@ def _sweep_with_engine(
     for point, combo in enumerate(combos):
         cell = outcomes[point * runs:(point + 1) * runs]
         cuts = [u.result.cut for u in cell]
+        phases: Dict[str, float] = {}
+        for u in cell:
+            for key, value in collect_phase_seconds(u.result.stats).items():
+                phases[key] = phases.get(key, 0.0) + value
         result.points.append(
             SweepPoint(
                 overrides=tuple(zip(keys, combo)),
                 best_cut=min(cuts),
                 mean_cut=sum(cuts) / len(cuts),
                 seconds_per_run=sum(u.seconds for u in cell) / len(cell),
+                phase_seconds=tuple(sorted(phases.items())),
             )
         )

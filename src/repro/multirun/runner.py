@@ -19,14 +19,16 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence
 
 from ..hypergraph import Hypergraph
 from ..partition import BalanceConstraint, BipartitionResult
+from ..telemetry import collect_phase_seconds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses us)
     from ..audit import AuditConfig
     from ..engine import Engine
+    from ..telemetry import Recorder
 
 
 class Partitioner(Protocol):
@@ -74,6 +76,10 @@ class MultiRunResult:
     run_seconds: List[float] = field(default_factory=list)
     errors: List[object] = field(default_factory=list)
     interrupted: bool = False
+    #: Per-phase seconds summed over all runs (see
+    #: :data:`repro.telemetry.PHASE_STAT_KEYS`); empty for results that
+    #: predate phase timing.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
     partitioner: Optional[Partitioner] = field(
         default=None, repr=False, compare=False
     )
@@ -167,6 +173,7 @@ def run_many(
     audit: Optional["AuditConfig"] = None,
     run_id: Optional[str] = None,
     resume: bool = False,
+    recorder: Optional["Recorder"] = None,
 ) -> MultiRunResult:
     """Run ``partitioner`` ``runs`` times with seeds base_seed..base_seed+runs-1.
 
@@ -191,6 +198,14 @@ def run_many(
     Deterministic partitioners (``deterministic = True``: EIG1, MELO,
     PARABOLI) are short-circuited to a single run with a warning when
     ``runs > 1``.
+
+    ``recorder`` attaches a :class:`repro.telemetry.Recorder` to every
+    run — sequential path only, since recorders are not picklable
+    (engine-path runs persist their phase timings through the result
+    stats instead; a warning is issued and the recorder dropped).
+    Partitioners without telemetry support likewise warn and run
+    unrecorded.  Either way :attr:`MultiRunResult.phase_seconds`
+    aggregates per-phase timings across the batch.
     """
     runs = effective_runs(partitioner, runs)
     if audit is not None and not getattr(partitioner, "supports_audit", False):
@@ -201,6 +216,24 @@ def run_many(
             stacklevel=2,
         )
         audit = None
+    if recorder is not None and (engine is not None or parallel):
+        warnings.warn(
+            "telemetry recorders are not picklable; ignoring recorder for "
+            "engine-path runs (phase timings still aggregate via stats)",
+            UserWarning,
+            stacklevel=2,
+        )
+        recorder = None
+    if recorder is not None and not getattr(
+        partitioner, "supports_telemetry", False
+    ):
+        name = getattr(partitioner, "name", type(partitioner).__name__)
+        warnings.warn(
+            f"{name} does not support telemetry; running unrecorded",
+            UserWarning,
+            stacklevel=2,
+        )
+        recorder = None
     result = MultiRunResult(
         algorithm=getattr(partitioner, "name", type(partitioner).__name__),
         circuit=circuit_name,
@@ -239,6 +272,8 @@ def run_many(
         result.interrupted = engine.interrupted
     else:
         kwargs = {} if audit is None else {"audit": audit}
+        if recorder is not None:
+            kwargs["recorder"] = recorder
         for i in range(runs):
             seed = base_seed + i
             run_start = time.perf_counter()
@@ -260,6 +295,8 @@ def _record(
     result.seeds.append(seed)
     result.cuts.append(one.cut)
     result.run_seconds.append(seconds)
+    for key, value in collect_phase_seconds(one.stats).items():
+        result.phase_seconds[key] = result.phase_seconds.get(key, 0.0) + value
     if result.best is None or one.cut < result.best.cut:
         result.best = one
 

@@ -1,0 +1,346 @@
+"""Recorders: where pass-engine telemetry events go.
+
+The engines accept any object satisfying the :class:`Recorder` protocol.
+Three implementations cover the practical spectrum:
+
+* :class:`NullRecorder` — the default.  ``enabled`` is ``False``, so the
+  engines never construct counters or emit events; the only cost of the
+  telemetry layer is one ``is not None``/``enabled`` check per run.
+* :class:`MemoryRecorder` — accumulates typed events in lists.  The
+  in-process consumer API (used by :mod:`repro.analysis.prediction` and
+  the test suite).
+* :class:`TraceRecorder` — appends one JSON object per event to a JSONL
+  file (schema in ``docs/observability.md``); summarize with
+  :func:`repro.telemetry.summarize_trace` or ``repro trace summarize``.
+
+Recording is strictly observational: a recorded run makes bit-identical
+moves to an unrecorded one (enforced by ``tests/telemetry`` and the CI
+telemetry-overhead smoke job).  Recorders are not picklable and do not
+cross process boundaries — attach them to in-process runs only (the
+engine's pooled workers instead persist phase timings through
+``BipartitionResult.stats`` into cache and journal records).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, TextIO, Union
+
+from .events import MoveEvent, PassEvent, SpanEvent
+
+
+class Recorder:
+    """Protocol (and no-op base) for pass-engine telemetry sinks.
+
+    Engines call these hooks in run order::
+
+        run_start -> (pass_start -> span*/move*/counters -> pass_end)* -> run_end
+
+    Every hook has a no-op default so subclasses override only what they
+    consume.  ``enabled`` gates the expensive instrumentation: engines
+    skip per-move events and counter allocation entirely when it is
+    ``False``.
+    """
+
+    #: When False, engines bypass all event emission for this recorder.
+    enabled: bool = True
+
+    def run_start(
+        self,
+        algorithm: str,
+        seed: Optional[int],
+        num_nodes: int,
+        num_nets: int,
+    ) -> None:
+        """A pass engine is starting one run on an n-node/e-net graph."""
+
+    def pass_start(self, pass_index: int) -> None:
+        """Tentative-move pass ``pass_index`` (0-based) is starting."""
+
+    def span(self, pass_index: int, name: str, seconds: float) -> None:
+        """Phase ``name`` of pass ``pass_index`` took ``seconds``."""
+
+    def move(
+        self,
+        pass_index: int,
+        move_index: int,
+        node: int,
+        from_side: int,
+        selection_key: Any,
+        immediate_gain: float,
+    ) -> None:
+        """One tentative move (selection key vs. realized gain)."""
+
+    def counters(self, pass_index: int, counts: Mapping[str, int]) -> None:
+        """Operation counts accumulated over pass ``pass_index``."""
+
+    def pass_end(
+        self,
+        pass_index: int,
+        cut: float,
+        moves: int,
+        kept: int,
+        gmax: float,
+        seconds: float,
+    ) -> None:
+        """Pass finished: post-rollback cut, kept prefix, pass Gmax."""
+
+    def run_end(
+        self,
+        algorithm: str,
+        cut: float,
+        passes: int,
+        runtime_seconds: float,
+        stats: Mapping[str, float],
+    ) -> None:
+        """The run finished with the given result summary."""
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op by default)."""
+
+
+class NullRecorder(Recorder):
+    """The do-nothing default recorder.
+
+    ``enabled`` is ``False``: engines treat an attached ``NullRecorder``
+    exactly like no recorder at all, which is what makes the
+    zero-overhead-when-off guarantee trivially true (and measurable —
+    see ``scripts/telemetry_smoke.py``).
+    """
+
+    enabled = False
+
+
+#: Shared inert instance — attach when an API requires *some* recorder.
+NULL_RECORDER = NullRecorder()
+
+
+class MemoryRecorder(Recorder):
+    """Accumulates every event in memory, as typed objects.
+
+    Attributes
+    ----------
+    runs:
+        One ``{"algorithm", "seed", "num_nodes", "num_nets"}`` dict per
+        ``run_start``.
+    spans / moves / passes:
+        :class:`SpanEvent` / :class:`MoveEvent` / :class:`PassEvent`
+        lists, in emission order, across all recorded runs.
+    counter_totals:
+        Per-counter sums over every pass of every run.
+    results:
+        One ``{"algorithm", "cut", "passes", "runtime_seconds", "stats"}``
+        dict per ``run_end``.
+    """
+
+    def __init__(self) -> None:
+        self.runs: List[Dict[str, Any]] = []
+        self.spans: List[SpanEvent] = []
+        self.moves: List[MoveEvent] = []
+        self.passes: List[PassEvent] = []
+        self.counter_totals: Dict[str, int] = {}
+        self.results: List[Dict[str, Any]] = []
+
+    def run_start(self, algorithm, seed, num_nodes, num_nets) -> None:
+        """Record the run header."""
+        self.runs.append({
+            "algorithm": algorithm,
+            "seed": seed,
+            "num_nodes": num_nodes,
+            "num_nets": num_nets,
+        })
+
+    def span(self, pass_index, name, seconds) -> None:
+        """Record one completed phase span."""
+        self.spans.append(SpanEvent(pass_index, name, seconds))
+
+    def move(
+        self, pass_index, move_index, node, from_side, selection_key,
+        immediate_gain,
+    ) -> None:
+        """Record one tentative move."""
+        self.moves.append(MoveEvent(
+            pass_index, move_index, node, from_side, selection_key,
+            immediate_gain,
+        ))
+
+    def counters(self, pass_index, counts) -> None:
+        """Fold one pass's counters into the running totals."""
+        for name, value in counts.items():
+            self.counter_totals[name] = (
+                self.counter_totals.get(name, 0) + int(value)
+            )
+
+    def pass_end(self, pass_index, cut, moves, kept, gmax, seconds) -> None:
+        """Record the end-of-pass summary."""
+        self.passes.append(
+            PassEvent(pass_index, cut, moves, kept, gmax, seconds)
+        )
+
+    def run_end(self, algorithm, cut, passes, runtime_seconds, stats) -> None:
+        """Record the run's final summary."""
+        self.results.append({
+            "algorithm": algorithm,
+            "cut": cut,
+            "passes": passes,
+            "runtime_seconds": runtime_seconds,
+            "stats": dict(stats),
+        })
+
+    def pass_cuts(self) -> List[float]:
+        """Post-rollback cut after each recorded pass (trace twin of
+        ``BipartitionResult.pass_cuts``)."""
+        return [p.cut for p in self.passes]
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce a selection key / stat value to a JSON-encodable form."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class TraceRecorder(Recorder):
+    """Writes the event stream as JSONL (one JSON object per line).
+
+    Every line carries ``event`` (the event type) and ``run`` (a 0-based
+    run ordinal, so one trace file can hold a whole multi-run batch).
+    The schema is documented in ``docs/observability.md`` and consumed
+    by :func:`repro.telemetry.summarize_trace`.
+
+    Parameters
+    ----------
+    path_or_file:
+        Target path (opened lazily, truncated on first write) or an
+        already-open text file object (not closed by :meth:`close`).
+    """
+
+    def __init__(self, path_or_file: Union[str, TextIO]) -> None:
+        self._path: Optional[str] = None
+        self._fh: Optional[TextIO] = None
+        self._owns_fh = True
+        if hasattr(path_or_file, "write"):
+            self._fh = path_or_file  # type: ignore[assignment]
+            self._owns_fh = False
+        else:
+            self._path = str(path_or_file)
+        self._run = -1
+
+    @property
+    def path(self) -> Optional[str]:
+        """Target file path (``None`` when wrapping an open file)."""
+        return self._path
+
+    def _emit(self, payload: Dict[str, Any]) -> None:
+        if self._fh is None:
+            assert self._path is not None
+            self._fh = open(self._path, "w")
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+
+    def run_start(self, algorithm, seed, num_nodes, num_nets) -> None:
+        """Open a new run section in the trace."""
+        self._run += 1
+        self._emit({
+            "event": "run_start",
+            "run": self._run,
+            "algorithm": algorithm,
+            "seed": seed,
+            "nodes": num_nodes,
+            "nets": num_nets,
+        })
+
+    def pass_start(self, pass_index) -> None:
+        """Mark the start of a pass."""
+        self._emit({
+            "event": "pass_start", "run": self._run, "pass": pass_index,
+        })
+
+    def span(self, pass_index, name, seconds) -> None:
+        """Write one completed phase span."""
+        self._emit({
+            "event": "span",
+            "run": self._run,
+            "pass": pass_index,
+            "name": name,
+            "seconds": seconds,
+        })
+
+    def move(
+        self, pass_index, move_index, node, from_side, selection_key,
+        immediate_gain,
+    ) -> None:
+        """Write one tentative-move event."""
+        self._emit({
+            "event": "move",
+            "run": self._run,
+            "pass": pass_index,
+            "index": move_index,
+            "node": node,
+            "side": from_side,
+            "selection": _jsonable(selection_key),
+            "immediate": immediate_gain,
+        })
+
+    def counters(self, pass_index, counts) -> None:
+        """Write the pass's operation counters."""
+        self._emit({
+            "event": "counters",
+            "run": self._run,
+            "pass": pass_index,
+            "counts": {k: int(v) for k, v in counts.items()},
+        })
+
+    def pass_end(self, pass_index, cut, moves, kept, gmax, seconds) -> None:
+        """Write the end-of-pass summary."""
+        self._emit({
+            "event": "pass_end",
+            "run": self._run,
+            "pass": pass_index,
+            "cut": cut,
+            "moves": moves,
+            "kept": kept,
+            "gmax": gmax,
+            "seconds": seconds,
+        })
+
+    def run_end(self, algorithm, cut, passes, runtime_seconds, stats) -> None:
+        """Write the run's final summary and flush the file."""
+        self._emit({
+            "event": "run_end",
+            "run": self._run,
+            "algorithm": algorithm,
+            "cut": cut,
+            "passes": passes,
+            "runtime_seconds": runtime_seconds,
+            "stats": {k: _jsonable(v) for k, v in stats.items()},
+        })
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (if this recorder opened it)."""
+        if self._fh is not None and self._owns_fh:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceRecorder":
+        """Context-manager entry: the recorder itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the trace file."""
+        self.close()
+
+
+def resolve_recorder(recorder: Optional[Recorder]) -> Optional[Recorder]:
+    """The engines' gate: an *enabled* recorder, or ``None``.
+
+    Collapses both "no recorder" and "disabled recorder" (e.g.
+    :class:`NullRecorder`) to ``None`` so hot loops guard on a single
+    identity check.
+    """
+    if recorder is not None and recorder.enabled:
+        return recorder
+    return None

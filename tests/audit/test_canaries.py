@@ -43,10 +43,10 @@ def test_fm_broken_delta_rule_is_caught(monkeypatch, graph):
 
     original = fm._apply_delta
 
-    def lossy(containers, partition, node, delta):
+    def lossy(containers, partition, node, delta, counters=None):
         if delta > 0:
             return  # "forgot" the critical-net +cost rule
-        original(containers, partition, node, delta)
+        original(containers, partition, node, delta, counters)
 
     monkeypatch.setattr(fm, "_apply_delta", lossy)
     _expect_violation(FMPartitioner("tree"), graph, "fm-gain")

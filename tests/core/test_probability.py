@@ -64,6 +64,45 @@ class TestSigmoidMap:
         with pytest.raises(ValueError):
             SigmoidProbabilityMap(0.1, 0.9, 2, 1)
 
+    def test_continuous_at_thresholds(self):
+        """Regression: the raw logistic only reaches sigma(+-4) ~ 0.982 /
+        0.018 at glo/gup, so the clamped map used to jump ~1.8% of the
+        probability range there.  The renormalized map must approach pmin
+        and pmax continuously."""
+        f = SigmoidProbabilityMap(0.4, 0.95, -1.0, 1.0)
+        eps = 1e-9
+        assert f(1.0 - eps) == pytest.approx(0.95, abs=1e-6)
+        assert f(-1.0 + eps) == pytest.approx(0.4, abs=1e-6)
+
+    def test_exact_midpoint(self):
+        """Renormalization is symmetric: the midpoint is exact, not approximate."""
+        f = SigmoidProbabilityMap(0.4, 0.95, -1.0, 1.0)
+        assert f(0.0) == pytest.approx((0.4 + 0.95) / 2, abs=1e-12)
+
+    @given(
+        st.floats(0.0, 0.45),
+        st.floats(0.55, 1.0),
+        st.floats(-10.0, -0.1),
+        st.floats(0.1, 10.0),
+        st.floats(-12.0, 12.0),
+        st.floats(0.0, 1.0),
+    )
+    def test_continuity_and_monotonicity_everywhere(
+        self, pmin, pmax, glo, gup, g, step
+    ):
+        """Property: both maps are monotone in g and (locally) continuous —
+        nearby gains map to nearby probabilities, including across the
+        glo/gup thresholds."""
+        for map_cls in (LinearProbabilityMap, SigmoidProbabilityMap):
+            f = map_cls(pmin, pmax, glo, gup)
+            assert pmin <= f(g) <= pmax
+            assert f(g) <= f(g + step) + 1e-12
+            # Lipschitz-style continuity bound: the renormalized sigmoid's
+            # steepest slope is scale/4/span of the range; the linear map's
+            # is its slope.  Both are <= ~2.2 * (pmax-pmin)/(gup-glo).
+            lip = 2.2 * (pmax - pmin) / (gup - glo)
+            assert abs(f(g + step) - f(g)) <= lip * step + 1e-9
+
 
 class TestFactory:
     def test_linear_selected(self):

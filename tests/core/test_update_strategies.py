@@ -1,12 +1,22 @@
 """Tests for the two Sec. 3.4 update strategies (recompute vs cached)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import PropConfig, PropPartitioner
+from repro.core.engine import run_prop
 from repro.core.gains import ProbabilisticGainEngine
 from repro.hypergraph import hierarchical_circuit
 from repro.multirun import run_many
-from repro.partition import Partition, cut_cost, random_balanced_sides
+from repro.partition import (
+    BalanceConstraint,
+    Partition,
+    cut_cost,
+    random_balanced_sides,
+)
+from repro.telemetry import MemoryRecorder
+from repro.testing import strategies
 
 
 class TestConfig:
@@ -116,3 +126,42 @@ class TestCachedStrategyEndToEnd:
             PropConfig(update_strategy="cached")
         ).partition(weighted, seed=1)
         result.verify(weighted)
+
+
+class TestCachedRecomputeParity:
+    """Hypothesis: with in-pass probability re-derivation disabled the two
+    update strategies are trajectory-identical (see
+    ``repro.audit.differential.differential_prop_strategies``): the cached
+    Eqn. 5/6 contribution deltas must reproduce the recomputed gains
+    exactly, so the move sequences and final cuts must match move-for-move.
+    This drives ``_update_neighbors_cached`` / ``_update_top_ranked_cached``
+    against the recompute path on random instances via the telemetry
+    per-move event stream."""
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_identical_move_sequences_and_cuts(self, data):
+        graph, sides = data.draw(
+            strategies.graphs_with_sides(
+                min_nodes=4, max_nodes=14, balanced=True
+            )
+        )
+        balance = BalanceConstraint.fifty_fifty(graph)
+        trajectories = {}
+        for strategy in ("recompute", "cached"):
+            rec = MemoryRecorder()
+            config = PropConfig(
+                update_strategy=strategy,
+                update_neighbor_probabilities=False,
+                max_passes=4,
+            )
+            result = run_prop(
+                graph, sides, balance, config=config, seed=0, recorder=rec
+            )
+            trajectories[strategy] = (
+                [(m.pass_index, m.node, m.from_side, m.immediate_gain)
+                 for m in rec.moves],
+                result.cut,
+                result.sides,
+            )
+        assert trajectories["recompute"] == trajectories["cached"]

@@ -12,7 +12,7 @@ def brute_force_best_prefix(gains):
     running = 0.0
     for k, g in enumerate(gains, start=1):
         running += g
-        if running > best_sum + 1e-12:
+        if running > best_sum:
             best_sum, best_p = running, k
     if not gains:
         return 0, 0.0
@@ -66,6 +66,29 @@ class TestBasics:
             j.record(node, 0, g)
         assert j.prefix_sums() == [1.0, -1.0, 3.0]
 
+    def test_tiny_fractional_improvement_is_kept(self):
+        # Regression: weighted (fractional) net costs can produce a later
+        # prefix that is strictly better by less than 1e-12 — e.g. the
+        # float residue (0.1 + 0.2) - 0.3 ~ 5.6e-17.  The old absolute
+        # tolerance discarded it; the exact comparison must keep it.
+        residue = (0.1 + 0.2) - 0.3
+        assert 0 < residue < 1e-12
+        j = PassJournal()
+        j.record(0, 0, 0.3)
+        j.record(1, 1, residue)
+        p, gmax = j.best_prefix()
+        assert p == 2
+        assert gmax == 0.3 + residue
+        assert len(j.kept_moves()) == 2
+
+    def test_exact_tie_still_prefers_shorter_prefix(self):
+        # Exactly equal prefix sums (0.5, 0.0, 0.5) must still resolve to
+        # the earliest prefix under the exact comparison.
+        j = PassJournal()
+        for node, g in enumerate([0.5, -0.5, 0.5]):
+            j.record(node, 0, g)
+        assert j.best_prefix() == (1, 0.5)
+
     def test_records_metadata(self):
         j = PassJournal()
         j.record(7, 1, -2.5)
@@ -80,6 +103,20 @@ class TestProperties:
         j = PassJournal()
         for node, g in enumerate(gains):
             j.record(node, node % 2, float(g))
+        assert j.best_prefix() == brute_force_best_prefix(gains)
+
+    @given(
+        st.lists(
+            st.floats(-2.0, 2.0, allow_nan=False, allow_infinity=False)
+        )
+    )
+    @settings(max_examples=80)
+    def test_matches_brute_force_fractional(self, gains):
+        # Weighted nets yield non-integer gains; the exact comparison must
+        # agree with the reference on arbitrary floats too.
+        j = PassJournal()
+        for node, g in enumerate(gains):
+            j.record(node, node % 2, g)
         assert j.best_prefix() == brute_force_best_prefix(gains)
 
     @given(st.lists(st.integers(-5, 5)))

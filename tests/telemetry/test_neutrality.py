@@ -1,0 +1,88 @@
+"""Behavior-neutrality: recording must never change moves or cuts."""
+
+import pytest
+
+from repro.baselines import FMPartitioner, LAPartitioner
+from repro.core import PropPartitioner
+from repro.hypergraph import make_benchmark
+from repro.telemetry import MemoryRecorder, NullRecorder, TraceRecorder
+
+PARTITIONERS = [
+    pytest.param(PropPartitioner, id="prop"),
+    pytest.param(lambda: FMPartitioner("bucket"), id="fm-bucket"),
+    pytest.param(lambda: FMPartitioner("tree"), id="fm-tree"),
+    pytest.param(lambda: LAPartitioner(2), id="la-2"),
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_benchmark("t5", scale=0.05)
+
+
+@pytest.mark.parametrize("make", PARTITIONERS)
+class TestBitIdentical:
+    def test_memory_recorder_neutral(self, make, graph):
+        bare = make().partition(graph, seed=7)
+        rec = MemoryRecorder()
+        recorded = make().partition(graph, seed=7, recorder=rec)
+        assert recorded.cut == bare.cut
+        assert recorded.sides == bare.sides
+        assert recorded.pass_cuts == bare.pass_cuts
+
+    def test_trace_recorder_neutral(self, make, graph, tmp_path):
+        bare = make().partition(graph, seed=7)
+        with TraceRecorder(tmp_path / "t.jsonl") as rec:
+            recorded = make().partition(graph, seed=7, recorder=rec)
+        assert recorded.cut == bare.cut
+        assert recorded.sides == bare.sides
+
+    def test_null_recorder_neutral(self, make, graph):
+        bare = make().partition(graph, seed=7)
+        nulled = make().partition(graph, seed=7, recorder=NullRecorder())
+        assert nulled.cut == bare.cut
+        assert nulled.sides == bare.sides
+
+    def test_trace_trajectory_matches_pass_cuts(self, make, graph):
+        rec = MemoryRecorder()
+        result = make().partition(graph, seed=7, recorder=rec)
+        assert rec.pass_cuts() == result.pass_cuts
+
+    def test_move_count_matches_stats(self, make, graph):
+        rec = MemoryRecorder()
+        result = make().partition(graph, seed=7, recorder=rec)
+        assert len(rec.moves) == int(result.stats["tentative_moves"])
+
+
+class TestEventStream:
+    def test_pass_events_cover_every_pass(self, graph):
+        rec = MemoryRecorder()
+        result = PropPartitioner().partition(graph, seed=3, recorder=rec)
+        assert [p.pass_index for p in rec.passes] == list(range(result.passes))
+
+    def test_run_event_carries_final_cut(self, graph):
+        rec = MemoryRecorder()
+        result = PropPartitioner().partition(graph, seed=3, recorder=rec)
+        record = rec.results[0]
+        assert record["algorithm"] == "PROP"
+        assert record["cut"] == result.cut
+        assert record["passes"] == result.passes
+        assert (
+            record["stats"]["tentative_moves"]
+            == result.stats["tentative_moves"]
+        )
+
+    def test_selection_key_is_vector_for_la(self, graph):
+        rec = MemoryRecorder()
+        LAPartitioner(2).partition(graph, seed=3, recorder=rec)
+        assert all(
+            isinstance(m.selection_key, tuple) and len(m.selection_key) == 2
+            for m in rec.moves
+        )
+
+    def test_counters_nonempty_for_all_engines(self, graph):
+        for make in (PropPartitioner, lambda: FMPartitioner("bucket"),
+                     lambda: LAPartitioner(2)):
+            rec = MemoryRecorder()
+            make().partition(graph, seed=3, recorder=rec)
+            assert rec.counter_totals.get("moves", 0) > 0

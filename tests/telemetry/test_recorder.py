@@ -1,0 +1,151 @@
+"""Unit tests for the telemetry recorder implementations."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MemoryRecorder,
+    NullRecorder,
+    PassCounters,
+    Recorder,
+    TraceRecorder,
+    resolve_recorder,
+)
+
+
+class TestResolve:
+    def test_none_resolves_to_none(self):
+        assert resolve_recorder(None) is None
+
+    def test_disabled_resolves_to_none(self):
+        assert resolve_recorder(NullRecorder()) is None
+
+    def test_enabled_passes_through(self):
+        rec = MemoryRecorder()
+        assert resolve_recorder(rec) is rec
+
+
+class TestBaseRecorder:
+    def test_every_hook_is_a_noop(self):
+        rec = Recorder()
+        rec.run_start("PROP", 0, 10, 12)
+        rec.pass_start(0)
+        rec.span(0, "move_loop", 0.5)
+        rec.move(0, 0, 3, 1, 2.0, 1.0)
+        rec.counters(0, {"moves": 1})
+        rec.pass_end(0, 5.0, 10, 4, 2.0, 0.5)
+        rec.run_end("PROP", 5.0, 1, 0.5, {})
+        rec.close()
+        assert rec.enabled
+
+    def test_null_recorder_is_disabled(self):
+        assert not NullRecorder().enabled
+
+
+class TestPassCounters:
+    def test_as_dict_drops_zero_counters(self):
+        counters = PassCounters()
+        counters.moves = 3
+        counters.topk_updates = 7
+        assert counters.as_dict() == {"moves": 3, "topk_updates": 7}
+
+    def test_fresh_counters_are_empty(self):
+        assert PassCounters().as_dict() == {}
+
+
+class TestMemoryRecorder:
+    def _record_one_run(self, rec):
+        rec.run_start("PROP", 1, 4, 5)
+        rec.pass_start(0)
+        rec.move(0, 0, 2, 1, 1.5, 1.0)
+        rec.move(0, 1, 3, 0, 0.5, -1.0)
+        rec.span(0, "move_loop", 0.25)
+        rec.counters(0, {"moves": 2})
+        rec.pass_end(0, 7.0, 2, 1, 1.0, 0.3)
+        rec.run_end("PROP", 7.0, 1, 0.3, {"tentative_moves": 2.0})
+
+    def test_accumulates_events(self):
+        rec = MemoryRecorder()
+        self._record_one_run(rec)
+        assert len(rec.runs) == 1
+        assert [m.node for m in rec.moves] == [2, 3]
+        assert rec.spans[0].name == "move_loop"
+        assert rec.counter_totals == {"moves": 2}
+        assert rec.pass_cuts() == [7.0]
+        assert rec.results[0]["cut"] == 7.0
+
+    def test_counters_sum_across_passes(self):
+        rec = MemoryRecorder()
+        rec.counters(0, {"moves": 2, "topk_updates": 1})
+        rec.counters(1, {"moves": 3})
+        assert rec.counter_totals == {"moves": 5, "topk_updates": 1}
+
+
+class TestTraceRecorder:
+    def test_writes_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as rec:
+            rec.run_start("FM-bucket", 0, 4, 5)
+            rec.move(0, 0, 1, 0, 2.0, 2.0)
+            rec.run_end("FM-bucket", 3.0, 1, 0.1, {})
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["event"] for l in lines] == ["run_start", "move", "run_end"]
+        assert all(l["run"] == 0 for l in lines)
+
+    def test_run_ordinal_increments(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as rec:
+            rec.run_start("PROP", 0, 4, 5)
+            rec.run_end("PROP", 3.0, 1, 0.1, {})
+            rec.run_start("PROP", 1, 4, 5)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["run"] for l in lines] == [0, 0, 1]
+
+    def test_tuple_selection_key_serialized_as_list(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as rec:
+            rec.run_start("LA-2", 0, 4, 5)
+            rec.move(0, 0, 1, 0, (2.0, -1.0), 2.0)
+        move = json.loads(path.read_text().splitlines()[1])
+        assert move["selection"] == [2.0, -1.0]
+
+    def test_open_file_is_not_closed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w") as fh:
+            rec = TraceRecorder(fh)
+            rec.run_start("PROP", 0, 4, 5)
+            rec.close()
+            assert not fh.closed
+
+    def test_lazy_open_never_touches_disk_when_unused(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        rec = TraceRecorder(path)
+        rec.close()
+        assert not path.exists()
+
+
+class TestCustomRecorder:
+    def test_subclass_overriding_one_hook_works(self):
+        hits = []
+
+        class OnlyMoves(Recorder):
+            """Test double capturing just the per-move stream."""
+
+            def move(self, pass_index, move_index, node, from_side,
+                     selection_key, immediate_gain):
+                """Capture the node id of each move."""
+                hits.append(node)
+
+        from repro.core import PropPartitioner
+        from repro.hypergraph import make_benchmark
+
+        graph = make_benchmark("t5", scale=0.04)
+        PropPartitioner().partition(graph, seed=0, recorder=OnlyMoves())
+        assert hits  # the hook fired at least once per tentative move
+
+
+@pytest.mark.parametrize("cls", [NullRecorder, MemoryRecorder])
+def test_recorders_expose_enabled(cls):
+    """Every concrete recorder advertises its enabled state."""
+    assert isinstance(cls().enabled, bool)

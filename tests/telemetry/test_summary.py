@@ -1,0 +1,110 @@
+"""Tests for trace/journal summarization and the trace CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import PropPartitioner
+from repro.hypergraph import make_benchmark
+from repro.telemetry import (
+    TraceRecorder,
+    summarize_path,
+    summarize_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "prop.jsonl"
+    graph = make_benchmark("t5", scale=0.05)
+    with TraceRecorder(path) as rec:
+        for seed in (0, 1):
+            PropPartitioner().partition(graph, seed=seed, recorder=rec)
+    return path
+
+
+class TestTraceSummary:
+    def test_counts_runs_and_cuts(self, trace_path):
+        summary = summarize_trace(trace_path)
+        assert summary.runs == 2
+        trace = summary.algorithms["PROP"]
+        assert trace.runs == 2
+        assert len(trace.cuts) == 2
+        assert trace.best_cut == min(trace.cuts)
+
+    def test_phase_seconds_present(self, trace_path):
+        trace = summarize_trace(trace_path).algorithms["PROP"]
+        assert trace.phase_seconds.get("move_loop_seconds", 0.0) > 0.0
+
+    def test_counters_aggregated(self, trace_path):
+        trace = summarize_trace(trace_path).algorithms["PROP"]
+        assert trace.counters.get("moves", 0) > 0
+
+    def test_format_text_mentions_algorithm(self, trace_path):
+        text = summarize_trace(trace_path).format_text()
+        assert "PROP" in text
+        assert "move_loop_seconds" in text
+
+    def test_tolerates_garbled_lines(self, trace_path, tmp_path):
+        noisy = tmp_path / "noisy.jsonl"
+        noisy.write_text(
+            trace_path.read_text() + "{torn line\n\n[1, 2]\n"
+        )
+        assert summarize_trace(noisy).runs == 2
+
+
+class TestSniffing:
+    def test_trace_dialect_detected(self, trace_path):
+        summary = summarize_path(trace_path)
+        assert "PROP" in summary.format_text()
+
+    def test_unknown_dialect_raises(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text(json.dumps({"neither": "dialect"}) + "\n")
+        with pytest.raises(ValueError):
+            summarize_path(bogus)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises((OSError, ValueError)):
+            summarize_path(tmp_path / "missing.jsonl")
+
+    def test_journal_dialect_detected(self, tmp_path):
+        from repro.engine import Engine, EngineConfig, WorkUnit
+
+        graph = make_benchmark("t5", scale=0.04)
+        engine = Engine(
+            EngineConfig(workers=0, cache_dir=str(tmp_path), use_cache=False)
+        )
+        units = [
+            WorkUnit(graph=graph, partitioner=PropPartitioner(), seed=s)
+            for s in (0, 1)
+        ]
+        engine.run(units, run_id="tele-test")
+        from repro.engine import journal_path
+
+        path = journal_path(engine.journal_root(), "tele-test")
+        summary = summarize_path(path)
+        text = summary.format_text()
+        assert "tele-test" in text
+        assert summary.units_recorded == 2
+
+
+class TestCli:
+    def test_trace_summarize_exit_zero(self, trace_path, capsys):
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "PROP" in out
+
+    def test_trace_summarize_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+
+    def test_run_with_trace_flag(self, tmp_path, capsys):
+        out_path = tmp_path / "cli.jsonl"
+        code = main([
+            "--generate", "t5", "--scale", "0.04", "-a", "prop",
+            "--runs", "2", "--trace", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+        assert summarize_path(out_path).runs == 2
