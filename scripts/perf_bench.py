@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Kernel micro-benchmark: scalar vs numpy backends on Table-1-sized circuits.
+
+Measures the three costs that dominate PROP runtime on each backend:
+
+* ``all_gains``        — one vectorized/scalar gain bootstrap (Eqns. 3/4
+                         for every node);
+* ``refine_iteration`` — one probability-refresh + gain-recompute cycle
+                         (Fig. 2 step 4, the per-iteration refinement cost);
+* ``full_pass``        — a complete seeded ``run_prop`` (bootstrap,
+                         refinement, move loop, rollback).
+
+Three generator circuits sized like the paper's Table 1 small / medium /
+large rows (balu / s9234 / industry2) are used.  Results are written as
+JSON — by default to ``BENCH_kernels.json`` at the repo root, which is
+committed as the tracked baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_bench.py            # full run
+    PYTHONPATH=src python scripts/perf_bench.py --smoke    # CI-sized run
+    PYTHONPATH=src python scripts/perf_bench.py --check    # gate speedup
+
+``--check`` exits non-zero when the numpy backend is slower than the
+python backend for ``all_gains`` on the large instance — the regression
+gate CI runs on every push (in ``--smoke`` mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+import repro
+from repro.core import PropConfig
+from repro.core.engine import run_prop
+from repro.core.probability import make_probability_fn
+from repro.hypergraph import make_benchmark
+from repro.kernels import make_gain_engine, numpy_available
+from repro.partition import BalanceConstraint, Partition, random_balanced_sides
+
+#: (size class, generator name) — node/net/pin counts track the paper's
+#: Table 1 small / medium / large rows.
+CIRCUITS = [
+    ("small", "balu"),       #   801 nodes /   735 nets /  2697 pins
+    ("medium", "s9234"),     #  5866 nodes /  5844 nets / 14065 pins
+    ("large", "industry2"),  # 12637 nodes / 13419 nets / 48404 pins
+]
+
+SEED = 42
+BACKENDS = ("python", "numpy")
+
+
+def _best_of(fn: Callable[[], None], reps: int) -> float:
+    """Minimum wall time over ``reps`` calls (noise-robust point estimate)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _fresh_engine(graph, sides, kernel):
+    engine = make_gain_engine(Partition(graph, list(sides)), kernel)
+    engine.fill(0.5)
+    return engine
+
+
+def bench_circuit(name: str, reps: int, full_pass: bool) -> Dict:
+    graph = make_benchmark(name, scale=1.0)
+    sides = random_balanced_sides(graph, SEED)
+    balance = BalanceConstraint.fifty_fifty(graph)
+    prob_fn = make_probability_fn(PropConfig())
+    out: Dict = {
+        "num_nodes": graph.num_nodes,
+        "num_nets": graph.num_nets,
+        "num_pins": graph.num_pins,
+        "timings": {},
+    }
+    cuts = {}
+    for backend in BACKENDS:
+        timings: Dict[str, float] = {}
+
+        engine = _fresh_engine(graph, sides, backend)
+        timings["all_gains"] = _best_of(engine.all_gains, reps)
+
+        def refine_iteration(engine=engine, prob_fn=prob_fn):
+            gains = engine.all_gains()
+            for v, g in enumerate(gains):
+                engine.set_probability(v, prob_fn(g))
+
+        timings["refine_iteration"] = _best_of(refine_iteration, reps)
+
+        if full_pass:
+            config = PropConfig(kernel=backend, max_passes=1)
+
+            def one_pass(config=config):
+                result = run_prop(graph, sides, balance, config, seed=SEED)
+                cuts[backend] = result.cut
+
+            timings["full_pass"] = _best_of(one_pass, max(1, reps // 2))
+        out["timings"][backend] = timings
+
+    if full_pass and len(cuts) == 2 and cuts["python"] != cuts["numpy"]:
+        raise SystemExit(
+            f"{name}: backend cuts diverged ({cuts}) — kernels are broken"
+        )
+
+    out["speedup"] = {
+        bench: out["timings"]["python"][bench] / out["timings"]["numpy"][bench]
+        for bench in out["timings"]["python"]
+        if out["timings"]["numpy"].get(bench)
+    }
+    return out
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_kernels.json",
+        ),
+        help="JSON output path (default: BENCH_kernels.json at repo root)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run: single rep, skip full_pass on medium/large",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless numpy beats python for all_gains on the "
+             "large instance",
+    )
+    args = parser.parse_args(argv)
+
+    if not numpy_available():
+        print("numpy not importable; nothing to benchmark", file=sys.stderr)
+        return 0 if not args.check else 1
+
+    reps = 1 if args.smoke else 5
+    report = {
+        "version": repro.__version__,
+        "seed": SEED,
+        "reps": reps,
+        "smoke": args.smoke,
+        "python": sys.version.split()[0],
+        "circuits": {},
+    }
+    for size, name in CIRCUITS:
+        full_pass = not (args.smoke and size != "small")
+        t0 = time.perf_counter()
+        result = bench_circuit(name, reps, full_pass)
+        result["size"] = size
+        report["circuits"][name] = result
+        speedups = ", ".join(
+            f"{b}={s:.1f}x" for b, s in sorted(result["speedup"].items())
+        )
+        print(
+            f"{name:10s} ({size}, {result['num_pins']} pins) "
+            f"[{time.perf_counter() - t0:.1f}s]: {speedups}"
+        )
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        large = report["circuits"][CIRCUITS[-1][1]]
+        speedup = large["speedup"]["all_gains"]
+        if speedup < 1.0:
+            print(
+                f"FAIL: numpy all_gains slower than python on the large "
+                f"instance (speedup {speedup:.2f}x < 1.0x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"check OK: large all_gains speedup {speedup:.1f}x >= 1.0x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -19,6 +19,7 @@ Subpackages:
 * ``repro.datastructures`` — AVL tree, FM gain buckets, pass journal
 * ``repro.partition``    — partition state, balance, metrics
 * ``repro.core``         — PROP itself (the paper's contribution)
+* ``repro.kernels``      — vectorized gain kernels (numpy backend, CSR view)
 * ``repro.baselines``    — FM, LA, KL, EIG1, MELO, WINDOW, PARABOLI
 * ``repro.multirun``     — best-of-N run protocol
 * ``repro.engine``       — parallel work-unit execution engine + result cache
@@ -77,7 +78,7 @@ from .telemetry import (
 
 #: Participates in every engine cache key: bumping it invalidates the
 #: on-disk result cache (see repro.engine.cache).
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .engine import Engine, EngineConfig, WorkUnit  # noqa: E402 - engine cache keys need __version__ defined first
 from .faults import FaultPlan, FaultSpec, injected_faults  # noqa: E402

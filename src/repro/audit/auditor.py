@@ -379,6 +379,47 @@ class PassAuditor:
                     move_index=self._move_index,
                 )
 
+    def check_prop_kernel(self, partition, engine) -> None:
+        """The numpy backend's per-net product cache matches brute force.
+
+        No-op for engines without a product cache (the python backend).
+        Every *valid* cache entry must equal the sequential left-to-right
+        product of its side's pin probabilities **exactly** — the kernels
+        promise bit-identity, so any tolerance here would hide the very
+        drift the differential contract forbids.
+        """
+        snapshot = getattr(engine, "product_cache_snapshot", None)
+        if snapshot is None:
+            return
+        t0 = time.perf_counter()
+        try:
+            self._check_prop_kernel(partition, engine, snapshot)
+        finally:
+            self.seconds += time.perf_counter() - t0
+
+    def _check_prop_kernel(self, partition, engine, snapshot) -> None:
+        if not self.config.check_gains:
+            return
+        graph = self.graph
+        p = engine.p
+        for net_id, prod0, prod1 in snapshot():
+            ref0 = 1.0
+            ref1 = 1.0
+            for v in graph.net(net_id):
+                if partition.side(v) == 0:
+                    ref0 *= p[v]
+                else:
+                    ref1 *= p[v]
+            self.checks_run += 1
+            if prod0 != ref0 or prod1 != ref1:
+                raise self._violation(
+                    "kernel-product-cache",
+                    (ref0, ref1),
+                    (prod0, prod1),
+                    move_index=self._move_index,
+                    detail=f"net {net_id} cached side products drifted",
+                )
+
     def _check_probabilities(self, partition, engine) -> None:
         for v in range(self.graph.num_nodes):
             p = engine.p[v]

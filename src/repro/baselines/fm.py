@@ -26,6 +26,7 @@ from ..datastructures import (
     TreeGainContainer,
 )
 from ..hypergraph import Hypergraph
+from ..kernels import resolve_kernel
 from ..partition import (
     BalanceConstraint,
     BipartitionResult,
@@ -177,12 +178,15 @@ def _run_pass(
     auditor: Optional[PassAuditor] = None,
     rec: Optional[Recorder] = None,
     phase: Optional[dict] = None,
+    csr=None,
 ) -> PassJournal:
     """One tentative-move FM pass; locks are left set.
 
     ``rec`` must already be resolved (enabled or ``None``); ``phase`` is
     the run-level phase-seconds accumulator, updated whether or not a
-    recorder is attached.
+    recorder is attached.  ``csr`` (a :class:`repro.kernels.CsrView`, or
+    ``None`` for the scalar path) switches the Eqn.-1 gain bootstrap to
+    the vectorized kernel — bit-identical values either way.
     """
     graph = partition.graph
     if auditor is not None:
@@ -190,11 +194,20 @@ def _run_pass(
     counters = PassCounters() if rec is not None else None
 
     t0 = time.perf_counter()
-    for v in range(graph.num_nodes):
-        gain = partition.immediate_gain(v)
-        if isinstance(containers[0], BucketGainContainer):
-            gain = int(gain)
-        containers[partition.side(v)].insert(v, gain)
+    bucket = isinstance(containers[0], BucketGainContainer)
+    if csr is not None:
+        from ..kernels.numpy_backend import fm_initial_gains
+
+        for v, gain in enumerate(fm_initial_gains(csr, partition)):
+            containers[partition.side(v)].insert(
+                v, int(gain) if bucket else gain
+            )
+    else:
+        for v in range(graph.num_nodes):
+            gain = partition.immediate_gain(v)
+            if bucket:
+                gain = int(gain)
+            containers[partition.side(v)].insert(v, gain)
     t1 = time.perf_counter()
 
     journal = PassJournal()
@@ -241,6 +254,7 @@ def run_fm(
     observer: Optional[MoveObserver] = None,
     audit: Optional[AuditConfig] = None,
     recorder: Optional[Recorder] = None,
+    kernel: Optional[str] = None,
 ) -> BipartitionResult:
     """Run FM from an explicit initial partition.
 
@@ -253,10 +267,20 @@ def run_fm(
 
     ``recorder`` attaches a :class:`repro.telemetry.Recorder` (spans,
     per-move events, counters); recording never changes moves or cuts.
+
+    ``kernel`` selects the gain-bootstrap backend (see
+    :mod:`repro.kernels`; ``None`` means ``"auto"``).  The backends are
+    bit-identical, so moves and cuts never depend on this.
     """
     algorithm = f"FM-{container}"
     start = time.perf_counter()
     partition = Partition(graph, initial_sides)
+    kernel_name = resolve_kernel(kernel)
+    csr = None
+    if kernel_name == "numpy":
+        from ..kernels.csr import CsrView
+
+        csr = CsrView(graph)
     audit = resolve_audit(audit)
     auditor = (
         PassAuditor(graph, balance, audit, algorithm=algorithm, seed=seed)
@@ -282,7 +306,7 @@ def run_fm(
         journal = _run_pass(
             partition, balance, containers,
             observer=observer, pass_index=passes, auditor=auditor,
-            rec=rec, phase=phase,
+            rec=rec, phase=phase, csr=csr,
         )
         total_moves += len(journal)
         p, gmax = journal.best_prefix()
@@ -307,6 +331,9 @@ def run_fm(
     elapsed = time.perf_counter() - start
     stats = {"tentative_moves": float(total_moves)}
     stats.update(phase)
+    stats["kernel_numpy"] = 1.0 if csr is not None else 0.0
+    if csr is not None:
+        stats["csr_build_seconds"] = csr.build_seconds
     if auditor is not None:
         stats.update(auditor.summary())
         elapsed -= auditor.seconds
@@ -335,12 +362,24 @@ class FMPartitioner:
     supports_telemetry = True
 
     def __init__(
-        self, container: str = "bucket", max_passes: int = DEFAULT_MAX_PASSES
+        self,
+        container: str = "bucket",
+        max_passes: int = DEFAULT_MAX_PASSES,
+        kernel: str = "auto",
     ) -> None:
         if container not in ("bucket", "tree"):
             raise ValueError(f"unknown container {container!r}")
         self.container = container
         self.max_passes = max_passes
+        # Underscore-prefixed: the gain kernel cannot change results, so
+        # it must stay out of the experiment-cache fingerprint (which
+        # hashes only public attributes — see repro.engine.units).
+        self._kernel = kernel
+
+    @property
+    def kernel(self) -> str:
+        """Configured gain-kernel backend (see :mod:`repro.kernels`)."""
+        return self._kernel
 
     @property
     def name(self) -> str:
@@ -369,6 +408,7 @@ class FMPartitioner:
             seed=seed,
             audit=audit,
             recorder=recorder,
+            kernel=self._kernel,
         )
         result.verify(graph)
         return result

@@ -28,6 +28,7 @@ from typing import Callable, Optional, Sequence, Tuple
 from ..audit import AuditConfig, PassAuditor, resolve_audit
 from ..datastructures import PassJournal, TreeGainContainer
 from ..hypergraph import Hypergraph
+from ..kernels import resolve_kernel
 from ..partition import (
     BalanceConstraint,
     BipartitionResult,
@@ -102,12 +103,16 @@ def _run_pass(
     auditor: Optional[PassAuditor] = None,
     rec: Optional[Recorder] = None,
     phase: Optional[dict] = None,
+    csr=None,
 ) -> PassJournal:
     """One tentative-move LA-k pass; locks are left set.
 
     ``rec`` must already be resolved (enabled or ``None``); ``phase`` is
     the run-level phase-seconds accumulator, updated whether or not a
-    recorder is attached.
+    recorder is attached.  ``csr`` (a :class:`repro.kernels.CsrView`, or
+    ``None`` for the scalar path) switches the vector bootstrap to the
+    vectorized kernel — bit-identical values either way (passes always
+    start unlocked, the kernel's precondition).
     """
     graph = partition.graph
     if auditor is not None:
@@ -116,8 +121,16 @@ def _run_pass(
 
     t0 = time.perf_counter()
     containers = (TreeGainContainer(), TreeGainContainer())
-    for v in range(graph.num_nodes):
-        containers[partition.side(v)].insert(v, gain_vector(partition, v, k))
+    if csr is not None:
+        from ..kernels.numpy_backend import la_initial_vectors
+
+        for v, vec in enumerate(la_initial_vectors(csr, partition, k)):
+            containers[partition.side(v)].insert(v, vec)
+    else:
+        for v in range(graph.num_nodes):
+            containers[partition.side(v)].insert(
+                v, gain_vector(partition, v, k)
+            )
     t1 = time.perf_counter()
 
     journal = PassJournal()
@@ -177,6 +190,7 @@ def run_la(
     observer: Optional[MoveObserver] = None,
     audit: Optional[AuditConfig] = None,
     recorder: Optional[Recorder] = None,
+    kernel: Optional[str] = None,
 ) -> BipartitionResult:
     """Run LA-k from an explicit initial partition.
 
@@ -191,12 +205,22 @@ def run_la(
     ``recorder`` attaches a :class:`repro.telemetry.Recorder` (spans,
     per-move events with the gain *vector* as the selection key, and
     counters); recording never changes moves or cuts.
+
+    ``kernel`` selects the vector-bootstrap backend (see
+    :mod:`repro.kernels`; ``None`` means ``"auto"``).  The backends are
+    bit-identical, so moves and cuts never depend on this.
     """
     if k < 1:
         raise ValueError(f"lookahead k must be >= 1, got {k}")
     algorithm = f"LA-{k}"
     start = time.perf_counter()
     partition = Partition(graph, initial_sides)
+    kernel_name = resolve_kernel(kernel)
+    csr = None
+    if kernel_name == "numpy":
+        from ..kernels.csr import CsrView
+
+        csr = CsrView(graph)
     audit = resolve_audit(audit)
     auditor = (
         PassAuditor(graph, balance, audit, algorithm=algorithm, seed=seed)
@@ -221,7 +245,7 @@ def run_la(
         journal = _run_pass(
             partition, balance, k,
             observer=observer, pass_index=passes, auditor=auditor,
-            rec=rec, phase=phase,
+            rec=rec, phase=phase, csr=csr,
         )
         total_moves += len(journal)
         p, gmax = journal.best_prefix()
@@ -246,6 +270,9 @@ def run_la(
     elapsed = time.perf_counter() - start
     stats = {"tentative_moves": float(total_moves)}
     stats.update(phase)
+    stats["kernel_numpy"] = 1.0 if csr is not None else 0.0
+    if csr is not None:
+        stats["csr_build_seconds"] = csr.build_seconds
     if auditor is not None:
         stats.update(auditor.summary())
         elapsed -= auditor.seconds
@@ -273,11 +300,25 @@ class LAPartitioner:
     #: LA accepts a per-call ``recorder`` (see :mod:`repro.telemetry`).
     supports_telemetry = True
 
-    def __init__(self, k: int = 2, max_passes: int = DEFAULT_MAX_PASSES) -> None:
+    def __init__(
+        self,
+        k: int = 2,
+        max_passes: int = DEFAULT_MAX_PASSES,
+        kernel: str = "auto",
+    ) -> None:
         if k < 1:
             raise ValueError(f"lookahead k must be >= 1, got {k}")
         self.k = k
         self.max_passes = max_passes
+        # Underscore-prefixed: the gain kernel cannot change results, so
+        # it must stay out of the experiment-cache fingerprint (which
+        # hashes only public attributes — see repro.engine.units).
+        self._kernel = kernel
+
+    @property
+    def kernel(self) -> str:
+        """Configured gain-kernel backend (see :mod:`repro.kernels`)."""
+        return self._kernel
 
     @property
     def name(self) -> str:
@@ -306,6 +347,7 @@ class LAPartitioner:
             seed=seed,
             audit=audit,
             recorder=recorder,
+            kernel=self._kernel,
         )
         result.verify(graph)
         return result

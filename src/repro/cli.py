@@ -53,23 +53,25 @@ from .baselines import (
     RandomPartitioner,
     WindowPartitioner,
 )
-from .core import PropPartitioner
+from .core import PropConfig, PropPartitioner
+from .kernels import KERNEL_CHOICES
 from .hypergraph import BENCHMARK_NAMES, Hypergraph, compute_stats, make_benchmark
 from .hypergraph import io_ as netlist_io
 from .multirun import run_many
 from .partition import BalanceConstraint, balance_ratio
 
 
-def _make_partitioner(name: str):
+def _make_partitioner(name: str, kernel: Optional[str] = None):
     key = name.lower()
+    kern = kernel if kernel is not None else "auto"
     if key == "prop":
-        return PropPartitioner()
+        return PropPartitioner(PropConfig(kernel=kern))
     if key in ("fm", "fm-bucket"):
-        return FMPartitioner("bucket")
+        return FMPartitioner("bucket", kernel=kern)
     if key == "fm-tree":
-        return FMPartitioner("tree")
+        return FMPartitioner("tree", kernel=kern)
     if key.startswith("la-"):
-        return LAPartitioner(int(key.split("-", 1)[1]))
+        return LAPartitioner(int(key.split("-", 1)[1]), kernel=kern)
     if key == "kl":
         return KLPartitioner()
     if key == "eig1":
@@ -89,7 +91,7 @@ def _make_partitioner(name: str):
     if key in ("prop-cl", "two-phase"):
         from .core import TwoPhasePropPartitioner
 
-        return TwoPhasePropPartitioner()
+        return TwoPhasePropPartitioner(PropConfig(kernel=kern))
     if key == "sa":
         from .baselines import AnnealingPartitioner
 
@@ -158,6 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs", type=int, default=1, help="runs per algorithm (best kept)"
     )
     parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="gain-kernel backend for PROP/FM/LA (default auto: numpy "
+        "when available, also REPRO_KERNEL). Backends are bit-identical "
+        "— same moves and cuts — so this only affects runtime",
+    )
     parser.add_argument(
         "--trace",
         default=None,
@@ -418,7 +428,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in args.algorithm:
         if interrupted:
             break
-        partitioner = _make_partitioner(name)
+        partitioner = _make_partitioner(name, args.kernel)
         outcome = run_many(
             partitioner, graph, runs=args.runs, balance=balance,
             base_seed=args.seed, circuit_name=source, engine=engine,
@@ -471,7 +481,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _mode_partitioner(args):
     """First algorithm named on the command line drives the k-way/place/
     FPGA modes (they take a single 2-way engine)."""
-    return _make_partitioner(args.algorithm[0])
+    return _make_partitioner(args.algorithm[0], getattr(args, "kernel", None))
 
 
 def _run_kway_mode(graph: Hypergraph, args) -> int:
@@ -715,6 +725,12 @@ def _build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--balance", default="50-50", help="balance criterion")
     parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="gain-kernel backend (default auto; see prop-partition --help)",
+    )
     _add_engine_flags(parser)
     return parser
 
@@ -751,7 +767,7 @@ def _run_bench_mode(argv: List[str]) -> int:
     for circuit_name, graph in circuits.items():
         balance = _make_balance(graph, args.balance)
         for algo_name in args.algorithm:
-            partitioner = _make_partitioner(algo_name)
+            partitioner = _make_partitioner(algo_name, args.kernel)
             runs = effective_runs(partitioner, args.runs)
             cells.append({"circuit": circuit_name, "partitioner": partitioner,
                           "runs": runs})

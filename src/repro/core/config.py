@@ -20,6 +20,13 @@ INIT_METHODS = ("pinit", "deterministic")
 #: sigmoid is provided for the ablation benches).
 PROBABILITY_FUNCTIONS = ("linear", "sigmoid")
 
+#: Gain-kernel backends (see :mod:`repro.kernels`): "auto" picks numpy
+#: when importable (deferring to the ``REPRO_KERNEL`` environment
+#: variable first), "python"/"numpy" force a backend.  The backends are
+#: bit-identical — same moves, same cuts — so this knob is runtime-only
+#: and excluded from experiment-cache fingerprints.
+KERNELS = ("auto", "python", "numpy")
+
 #: In-pass neighbor-update strategies (Sec. 3.4):
 #: "recompute" — recompute each affected neighbor's full gain from current
 #: probabilities; "cached" — the paper's Eqn. 5/6 scheme: keep per-(node,
@@ -69,6 +76,10 @@ class PropConfig:
     min_pass_gain:
         A pass must improve the cut by more than this to continue
         (guards against infinite loops with tiny float net costs).
+    kernel:
+        Gain-kernel backend — see :data:`KERNELS`.  Result-neutral: both
+        backends produce bit-identical moves and cuts, so this field does
+        not participate in experiment-cache fingerprints.
     """
 
     pinit: float = 0.95
@@ -84,6 +95,12 @@ class PropConfig:
     update_strategy: str = "recompute"
     max_passes: int = 100
     min_pass_gain: float = 1e-9
+    kernel: str = "auto"
+
+    #: Fields that cannot affect results and are therefore skipped by the
+    #: experiment-cache fingerprint (see :mod:`repro.engine.units`).  Not
+    #: a dataclass field (no annotation) — a class-level constant.
+    _RESULT_NEUTRAL_FIELDS = frozenset({"kernel"})
 
     def __post_init__(self) -> None:
         if not 0.0 < self.pmin <= self.pmax <= 1.0:
@@ -109,6 +126,10 @@ class PropConfig:
                 f"unknown update_strategy {self.update_strategy!r}; "
                 f"choose from {UPDATE_STRATEGIES}"
             )
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose from {KERNELS}"
+            )
         if self.refinement_iterations < 0:
             raise ValueError("refinement_iterations must be >= 0")
         if self.top_update_count < 0:
@@ -133,6 +154,7 @@ class PropConfig:
             "refinement_iterations": self.refinement_iterations,
             "top_update_count": self.top_update_count,
             "update_strategy": self.update_strategy,
+            "kernel": self.kernel,
         }
 
 

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..audit import AuditConfig, PassAuditor, resolve_audit
 from ..datastructures import PassJournal, TreeGainContainer
 from ..hypergraph import Hypergraph
+from ..kernels import make_gain_engine, resolve_kernel
 from ..partition import BalanceConstraint, BipartitionResult, Partition
 from ..telemetry import PassCounters, Recorder, resolve_recorder
 from .config import PropConfig
@@ -67,7 +68,10 @@ def run_prop(
     start = time.perf_counter()
 
     partition = Partition(graph, initial_sides)
-    engine = ProbabilisticGainEngine(partition)
+    # Backend selection (repro.kernels): both backends are bit-identical,
+    # so the choice affects runtime only — never moves or cuts.
+    kernel = resolve_kernel(config.kernel)
+    engine = make_gain_engine(partition, kernel)
     prob_fn = make_probability_fn(config)
     audit = resolve_audit(audit)
     auditor = (
@@ -123,6 +127,13 @@ def run_prop(
     elapsed = time.perf_counter() - start
     stats = {"tentative_moves": float(total_moves)}
     stats.update(phase)
+    stats["kernel_numpy"] = 1.0 if engine.kernel_name == "numpy" else 0.0
+    stats["underflow_recomputes"] = float(engine.underflow_recomputes)
+    csr = getattr(engine, "csr", None)
+    if csr is not None:
+        stats["csr_build_seconds"] = csr.build_seconds
+        stats["product_cache_hits"] = float(engine.product_cache_hits)
+        stats["product_cache_misses"] = float(engine.product_cache_misses)
     if auditor is not None:
         stats.update(auditor.summary())
         elapsed -= auditor.seconds
@@ -235,7 +246,7 @@ def _run_pass(
     t2 = time.perf_counter()
 
     cached = config.update_strategy == "cached"
-    contribs = engine.all_contributions() if cached else None
+    contribs = engine.new_contribution_state() if cached else None
 
     containers = (TreeGainContainer(), TreeGainContainer())
     for v in range(graph.num_nodes):
@@ -266,6 +277,7 @@ def _run_pass(
         ):
             auditor.check_containers(partition, containers)
             auditor.check_prop_gains(partition, engine)
+            auditor.check_prop_kernel(partition, engine)
 
         if cached:
             _update_neighbors_cached(
@@ -346,23 +358,15 @@ def _update_neighbors_cached(
     node's nets are recomputed; each neighbor's total gain is adjusted by
     the contribution delta.  Staleness from second-order probability
     changes is repaired by the top-k step, exactly as in the recompute
-    strategy."""
-    graph = partition.graph
-    deltas = {}
-    for net_id in graph.node_nets(moved):
-        if counters is not None:
-            counters.cache_net_recomputes += 1
-        for nbr, new_c in engine.net_pin_contributions(net_id).items():
-            entry = contribs[nbr]
-            old_c = entry.get(net_id, 0.0)
-            if new_c != old_c:
-                entry[net_id] = new_c
-                deltas[nbr] = deltas.get(nbr, 0.0) + (new_c - old_c)
-                if counters is not None:
-                    counters.cache_entry_deltas += 1
-            else:
-                deltas.setdefault(nbr, 0.0)
-    for nbr, delta in deltas.items():
+    strategy.
+
+    The contribution cache ``contribs`` is opaque to this function: the
+    engine created it (:meth:`~ProbabilisticGainEngine.new_contribution_state`)
+    and is the only code that reads or writes it — the numpy backend uses
+    a flat array plus incremental per-net products where the python
+    backend keeps per-node dicts.
+    """
+    for nbr, delta in engine.contribution_move_deltas(moved, contribs, counters):
         if counters is not None:
             counters.neighbor_updates += 1
         container = containers[partition.side(nbr)]
@@ -391,12 +395,9 @@ def _update_top_ranked_cached(
         return
     for side in (0, 1):
         for node, stale in containers[side].top(k):
-            entry = engine.contributions_for(node)
-            gain = sum(entry.values())
-            contribs[node] = entry
+            gain = engine.refresh_contributions(node, contribs, counters)
             if counters is not None:
                 counters.topk_updates += 1
-                counters.cache_net_recomputes += len(entry)
             if config.update_neighbor_probabilities:
                 engine.set_probability(node, prob_fn(gain))
             if gain != stale:

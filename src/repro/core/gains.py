@@ -25,9 +25,20 @@ The total gain of ``u`` is the sum over its nets: ``g(u) = Σ g_nt(u)``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..partition import Partition
+
+#: Underflow guard for the ``prod_mine / p(u)`` conditional-product recovery
+#: (Eqns. 3/5): dividing is exact to 1/2 ulp only while the full product is a
+#: *normal* float.  Below ``sys.float_info.min`` (≈2.2e-308) the product has
+#: already lost mantissa bits to gradual underflow — e.g. a 780-pin net at
+#: ``pmin = 0.4`` — and the quotient can be pure noise, so the engines fall
+#: back to the exact sequential recompute instead.  A product of exactly 0.0
+#: also takes the recompute branch, which short-circuits in O(1) when the
+#: zero is structural (a locked pin on the side).
+DIV_SAFE_MIN = sys.float_info.min
 
 
 class ProbabilisticGainEngine:
@@ -44,7 +55,11 @@ class ProbabilisticGainEngine:
     ``probability_refreshes`` counter.
     """
 
-    __slots__ = ("partition", "p", "probability_writes")
+    __slots__ = ("partition", "p", "probability_writes", "underflow_recomputes")
+
+    #: Backend identifier reported in run stats; the numpy subclass
+    #: (:class:`repro.kernels.NumpyGainEngine`) overrides this.
+    kernel_name = "python"
 
     def __init__(
         self,
@@ -66,6 +81,9 @@ class ProbabilisticGainEngine:
                 self.p[v] = 0.0
         #: Running count of probability-vector refreshes (telemetry).
         self.probability_writes = 0
+        #: How often a side product underflowed below :data:`DIV_SAFE_MIN`
+        #: and forced the exact recompute branch (run-level stat).
+        self.underflow_recomputes = 0
 
     # ------------------------------------------------------------------
     # Probability maintenance
@@ -131,15 +149,15 @@ class ProbabilisticGainEngine:
         part = self.partition
         graph = part.graph
         p = self.p
-        side_of = part.side
-        s = side_of(node)
+        sides = part.sides_view()
+        s = sides[node]
         prod_a = 1.0
         prod_b = 1.0
         has_other = False
         for v in graph.net(net_id):
             if v == node:
                 continue
-            if side_of(v) == s:
+            if sides[v] == s:
                 prod_a *= p[v]
             else:
                 has_other = True
@@ -153,33 +171,40 @@ class ProbabilisticGainEngine:
         """Gain contribution of ``net_id`` to each of its *free* pins.
 
         One O(q) scan computes both side products; each pin's conditional
-        product divides its own probability back out (exact, since free
-        probabilities are >= pmin > 0 and locked pins contribute the 0
-        factor independently).  This is the cached-update strategy's inner
-        primitive — the realization of the paper's Eqns. (5)/(6) update.
+        product divides its own probability back out, which is exact to
+        1/2 ulp while the product is a normal float (free probabilities
+        are >= pmin > 0 and locked pins contribute the 0 factor
+        independently).  Products below :data:`DIV_SAFE_MIN` — gradual
+        underflow on high-degree nets — take the exact recompute branch
+        instead of the lossy division.  This is the cached-update
+        strategy's inner primitive — the realization of the paper's
+        Eqns. (5)/(6) update.
         """
         part = self.partition
         graph = part.graph
         p = self.p
-        side_of = part.side
+        sides = part.sides_view()
+        locked = part.locked_view()
         prod = [1.0, 1.0]
         counts = [0, 0]
         pins = graph.net(net_id)
         for v in pins:
-            s = side_of(v)
+            s = sides[v]
             prod[s] *= p[v]
             counts[s] += 1
         cost = graph.net_cost(net_id)
         out: Dict[int, float] = {}
         for v in pins:
-            if part.is_locked(v):
+            if locked[v]:
                 continue
-            s = side_of(v)
+            s = sides[v]
             pv = p[v]
             prod_mine = prod[s]
-            if pv > 0.0:
+            if pv > 0.0 and prod_mine >= DIV_SAFE_MIN:
                 prod_a = prod_mine / pv
-            else:  # pragma: no cover - free pins have p >= pmin > 0
+            else:
+                if 0.0 < prod_mine < DIV_SAFE_MIN:
+                    self.underflow_recomputes += 1
                 prod_a = self.net_clearing_probability(net_id, s, exclude=v)
             if counts[1 - s] > 0:
                 out[v] = cost * (prod_a - prod[1 - s])
@@ -204,13 +229,18 @@ class ProbabilisticGainEngine:
         part = self.partition
         graph = part.graph
         p = self.p
+        sides = part.sides_view()
+        locked = part.locked_view()
+        net_costs = graph.net_costs
+        counts0 = part.counts_view(0)
+        counts1 = part.counts_view(1)
 
         prod0 = [1.0] * graph.num_nets
         prod1 = [1.0] * graph.num_nets
         for net_id, pins in enumerate(graph.nets):
             a = b = 1.0
             for v in pins:
-                if part.side(v) == 0:
+                if sides[v] == 0:
                     a *= p[v]
                 else:
                     b *= p[v]
@@ -218,22 +248,24 @@ class ProbabilisticGainEngine:
 
         contribs: List[Dict[int, float]] = [dict() for _ in range(graph.num_nodes)]
         for node in range(graph.num_nodes):
-            if part.is_locked(node):
+            if locked[node]:
                 continue
-            s = part.side(node)
+            s = sides[node]
             pu = p[node]
             entry = contribs[node]
             for net_id in graph.node_nets(node):
-                cost = graph.net_cost(net_id)
+                cost = net_costs[net_id]
                 if s == 0:
                     prod_mine, prod_other = prod0[net_id], prod1[net_id]
-                    other_count = part.count(net_id, 1)
+                    other_count = counts1[net_id]
                 else:
                     prod_mine, prod_other = prod1[net_id], prod0[net_id]
-                    other_count = part.count(net_id, 0)
-                if pu > 0.0 and prod_mine > 0.0:
+                    other_count = counts0[net_id]
+                if pu > 0.0 and prod_mine >= DIV_SAFE_MIN:
                     prod_a = prod_mine / pu
                 else:
+                    if 0.0 < prod_mine < DIV_SAFE_MIN:
+                        self.underflow_recomputes += 1
                     prod_a = self.net_clearing_probability(
                         net_id, s, exclude=node
                     )
@@ -242,6 +274,62 @@ class ProbabilisticGainEngine:
                 else:
                     entry[net_id] = cost * (prod_a - 1.0)
         return contribs
+
+    # ------------------------------------------------------------------
+    # Cached-update strategy state (Sec. 3.4, Eqns. 5/6)
+    # ------------------------------------------------------------------
+    # The pass engine treats the contribution cache as an opaque value
+    # produced by :meth:`new_contribution_state` and threaded back through
+    # :meth:`contribution_move_deltas` / :meth:`refresh_contributions`.
+    # This backend keeps a per-node dict {net_id: contribution}; the numpy
+    # backend (:mod:`repro.kernels`) overrides all three with a flat
+    # per-pin array plus an incrementally maintained per-net product cache.
+
+    def new_contribution_state(self):
+        """Fresh cached-strategy state for a pass (bootstrap, Eqn. 5/6)."""
+        return self.all_contributions()
+
+    def contribution_move_deltas(
+        self, moved: int, contribs, counters=None
+    ) -> List[Tuple[int, float]]:
+        """Refresh the contributions of ``moved``'s nets; return gain deltas.
+
+        Recomputes the per-pin contributions of every net of the
+        just-locked ``moved`` node, folds them into ``contribs``, and
+        returns ``(neighbor, gain_delta)`` pairs in first-touch order —
+        including zero-delta neighbors, whose probabilities the engine
+        still re-derives (their container gain may be stale relative to
+        the stored probability).
+        """
+        graph = self.partition.graph
+        deltas: Dict[int, float] = {}
+        for net_id in graph.node_nets(moved):
+            if counters is not None:
+                counters.cache_net_recomputes += 1
+            for nbr, new_c in self.net_pin_contributions(net_id).items():
+                entry = contribs[nbr]
+                old_c = entry.get(net_id, 0.0)
+                if new_c != old_c:
+                    entry[net_id] = new_c
+                    deltas[nbr] = deltas.get(nbr, 0.0) + (new_c - old_c)
+                    if counters is not None:
+                        counters.cache_entry_deltas += 1
+                else:
+                    deltas.setdefault(nbr, 0.0)
+        return list(deltas.items())
+
+    def refresh_contributions(self, node: int, contribs, counters=None) -> float:
+        """Full per-net recompute for a top-ranked node; returns its gain.
+
+        Keeps the node's cache entry coherent (the top-k step of the
+        cached strategy) and returns the fresh total gain.
+        """
+        entry = self.contributions_for(node)
+        gain = sum(entry.values())
+        contribs[node] = entry
+        if counters is not None:
+            counters.cache_net_recomputes += len(entry)
+        return gain
 
     def node_gain(self, node: int) -> float:
         """Total probabilistic gain ``g(u) = Σ_nets g_nt(u)``.
@@ -254,23 +342,25 @@ class ProbabilisticGainEngine:
         part = self.partition
         graph = part.graph
         p = self.p
-        side_of = part.side
-        s = side_of(node)
+        sides = part.sides_view()
+        net_of = graph.net
+        net_costs = graph.net_costs
+        s = sides[node]
         total = 0.0
         for net_id in graph.node_nets(node):
             prod_a = 1.0
             prod_b = 1.0
             has_other = False
-            for v in graph.net(net_id):
+            for v in net_of(net_id):
                 if v == node:
                     continue
                 pv = p[v]
-                if side_of(v) == s:
+                if sides[v] == s:
                     prod_a *= pv
                 else:
                     has_other = True
                     prod_b *= pv
-            cost = graph.net_cost(net_id)
+            cost = net_costs[net_id]
             if has_other:
                 total += cost * (prod_a - prod_b)
             else:
@@ -290,45 +380,53 @@ class ProbabilisticGainEngine:
         graph = part.graph
         p = self.p
         num_nets = graph.num_nets
+        sides = part.sides_view()
+        locked = part.locked_view()
+        net_costs = graph.net_costs
+        counts0 = part.counts_view(0)
+        counts1 = part.counts_view(1)
+        locked0 = part.locked_counts_view(0)
+        locked1 = part.locked_counts_view(1)
 
         # Per-net, per-side clearing probabilities (no exclusions).
         prod0 = [1.0] * num_nets
         prod1 = [1.0] * num_nets
         for net_id, pins in enumerate(graph.nets):
-            if part.net_locked_in(net_id, 0):
-                prod0[net_id] = 0.0
-            if part.net_locked_in(net_id, 1):
-                prod1[net_id] = 0.0
-            a = prod0[net_id]
-            b = prod1[net_id]
+            a = 0.0 if locked0[net_id] else 1.0
+            b = 0.0 if locked1[net_id] else 1.0
             if a or b:
                 for v in pins:
-                    if part.side(v) == 0:
+                    if sides[v] == 0:
                         a *= p[v]
                     else:
                         b *= p[v]
                 prod0[net_id], prod1[net_id] = a, b
+            else:
+                prod0[net_id] = prod1[net_id] = 0.0
 
         gains = [0.0] * graph.num_nodes
         for node in range(graph.num_nodes):
-            if part.is_locked(node):
+            if locked[node]:
                 continue
-            s = part.side(node)
+            s = sides[node]
             pu = p[node]
             total = 0.0
             for net_id in graph.node_nets(node):
-                cost = graph.net_cost(net_id)
+                cost = net_costs[net_id]
                 if s == 0:
                     prod_mine, prod_other = prod0[net_id], prod1[net_id]
-                    other_count = part.count(net_id, 1)
+                    other_count = counts1[net_id]
                 else:
                     prod_mine, prod_other = prod1[net_id], prod0[net_id]
-                    other_count = part.count(net_id, 0)
-                if pu > 0.0 and prod_mine > 0.0:
+                    other_count = counts0[net_id]
+                if pu > 0.0 and prod_mine >= DIV_SAFE_MIN:
                     prod_a = prod_mine / pu
                 else:
-                    # pu == 0 cannot happen for a free node during
-                    # refinement, but recompute exactly if it does.
+                    # Structural zeros (a locked pin on the side) resolve
+                    # in O(1) inside the recompute; genuine underflow —
+                    # 0 < product < DIV_SAFE_MIN — recomputes exactly.
+                    if 0.0 < prod_mine < DIV_SAFE_MIN:
+                        self.underflow_recomputes += 1
                     prod_a = self.net_clearing_probability(
                         net_id, s, exclude=node
                     )

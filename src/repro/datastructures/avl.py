@@ -81,6 +81,8 @@ def _rebalance(node: _AVLNode) -> _AVLNode:
 class AVLTree:
     """Ordered map on comparable keys, balanced as an AVL tree."""
 
+    __slots__ = ("_root", "_size")
+
     def __init__(self) -> None:
         self._root: Optional[_AVLNode] = None
         self._size = 0

@@ -27,6 +27,8 @@ from .bucket_list import BucketList
 class GainContainer(ABC):
     """Ordered collection of (node, gain) pairs with updates."""
 
+    __slots__ = ()
+
     @abstractmethod
     def insert(self, node: int, gain: Any) -> None:
         """Add ``node`` with ``gain`` (node must be absent)."""
@@ -79,6 +81,8 @@ class GainContainer(ABC):
 class TreeGainContainer(GainContainer):
     """AVL-tree gain container; the paper's choice for PROP (Sec. 3.5)."""
 
+    __slots__ = ("_tree", "_gains")
+
     def __init__(self) -> None:
         self._tree = AVLTree()
         self._gains: Dict[int, Any] = {}
@@ -125,6 +129,8 @@ class TreeGainContainer(GainContainer):
 
 class BucketGainContainer(GainContainer):
     """FM bucket-array gain container; integer gains in a bounded range."""
+
+    __slots__ = ("_buckets",)
 
     def __init__(self, capacity: int, max_gain: int) -> None:
         self._buckets = BucketList(capacity, max_gain)

@@ -16,6 +16,10 @@ from typing import List, Sequence, Tuple
 class MoveRecord:
     """One tentative move inside a pass."""
 
+    # Manual __slots__ (not dataclass(slots=True), which needs 3.10): one
+    # record per tentative move, so a pass allocates n of these.
+    __slots__ = ("node", "from_side", "immediate_gain")
+
     node: int
     from_side: int
     immediate_gain: float
@@ -23,6 +27,8 @@ class MoveRecord:
 
 class PassJournal:
     """Accumulates tentative moves and finds the best rollback prefix."""
+
+    __slots__ = ("_moves",)
 
     def __init__(self) -> None:
         self._moves: List[MoveRecord] = []

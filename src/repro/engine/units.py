@@ -101,11 +101,20 @@ def hypergraph_fingerprint(graph: Hypergraph) -> str:
 
 
 def _canonical_value(value: Any) -> Any:
-    """Reduce a config attribute to a stable, repr-able structure."""
+    """Reduce a config attribute to a stable, repr-able structure.
+
+    Dataclass configs may declare a ``_RESULT_NEUTRAL_FIELDS`` frozenset
+    of field names that cannot affect results (e.g. ``PropConfig.kernel``,
+    a pure runtime-backend switch); those are excluded so switching them
+    does not invalidate cached results — the same policy as the audit
+    config, which never enters the key at all.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        neutral = getattr(type(value), "_RESULT_NEUTRAL_FIELDS", frozenset())
         return {
             f.name: _canonical_value(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if f.name not in neutral
         }
     if isinstance(value, (list, tuple)):
         return [_canonical_value(v) for v in value]

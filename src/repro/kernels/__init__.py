@@ -1,0 +1,118 @@
+"""Gain-kernel backend selection for the partitioning hot paths.
+
+Two interchangeable backends compute the per-net side products and node
+gains that dominate PROP/FM/LA runtime:
+
+* ``"python"`` — the scalar loops in :mod:`repro.core.gains` and the
+  baseline modules (always available; the reference implementation);
+* ``"numpy"`` — :class:`NumpyGainEngine` over a CSR-packed hypergraph
+  view (:class:`CsrView`), bit-identical to the scalar path (same moves,
+  same cuts — see :mod:`repro.kernels.numpy_backend` for the contract).
+
+Selection precedence: an explicit backend name (``PropConfig.kernel``,
+``run_fm(kernel=...)``, CLI ``--kernel``) wins; ``"auto"`` defers to the
+``REPRO_KERNEL`` environment variable; failing that, numpy is used when
+importable and the scalar path otherwise.  Requesting numpy when it is
+not importable warns and falls back cleanly — the backends are
+result-identical, so a fallback changes runtime only.
+
+The backend choice is deliberately excluded from experiment-cache
+fingerprints (it cannot change results), so cached runs stay valid when
+switching kernels; see :mod:`repro.engine.units`.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional, Tuple
+
+#: Accepted values for ``PropConfig.kernel`` / ``--kernel`` / ``REPRO_KERNEL``.
+KERNEL_CHOICES: Tuple[str, ...] = ("auto", "python", "numpy")
+
+#: Environment variable consulted when the configured kernel is ``"auto"``.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend can be imported."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``kernel`` is ``"auto"``/``None`` (consult ``REPRO_KERNEL``, then
+    availability), ``"python"``, or ``"numpy"``.  Always returns
+    ``"python"`` or ``"numpy"``; never raises on an unavailable backend
+    (warns and falls back instead), but rejects unknown *explicit* names.
+    """
+    if kernel is None:
+        kernel = "auto"
+    if kernel not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown kernel {kernel!r} (choices: {', '.join(KERNEL_CHOICES)})"
+        )
+    if kernel == "auto":
+        env = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
+        if env in ("python", "numpy"):
+            kernel = env
+        elif env and env != "auto":
+            warnings.warn(
+                f"ignoring unknown {KERNEL_ENV_VAR}={env!r} "
+                f"(choices: {', '.join(KERNEL_CHOICES)})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    if kernel == "numpy" and not numpy_available():
+        warnings.warn(
+            "numpy kernel requested but numpy is not importable; "
+            "falling back to the python backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "python"
+    if kernel == "auto":
+        return "numpy" if numpy_available() else "python"
+    return kernel
+
+
+def make_gain_engine(partition, kernel: str):
+    """Construct the gain engine for a *resolved* backend name."""
+    if kernel == "numpy":
+        from .numpy_backend import NumpyGainEngine
+
+        return NumpyGainEngine(partition)
+    from ..core.gains import ProbabilisticGainEngine
+
+    return ProbabilisticGainEngine(partition)
+
+
+def __getattr__(name: str):
+    # Lazy re-exports so `import repro.kernels` works without numpy.
+    if name in ("NumpyGainEngine", "fm_initial_gains", "la_initial_vectors"):
+        from . import numpy_backend
+
+        return getattr(numpy_backend, name)
+    if name == "CsrView":
+        from .csr import CsrView
+
+        return CsrView
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "KERNEL_CHOICES",
+    "KERNEL_ENV_VAR",
+    "CsrView",
+    "NumpyGainEngine",
+    "fm_initial_gains",
+    "la_initial_vectors",
+    "make_gain_engine",
+    "numpy_available",
+    "resolve_kernel",
+]

@@ -1,0 +1,131 @@
+"""CSR-packed hypergraph view backing the vectorized kernels.
+
+:class:`repro.hypergraph.Hypergraph` stores nets as tuples-of-tuples —
+ideal for the scalar engines, but every vectorized operation would pay a
+Python-level gather.  :class:`CsrView` packs the same incidence structure
+into contiguous arrays once per run (``run_prop`` / ``run_fm`` /
+``run_la`` build it at engine construction):
+
+* **net-major** — ``pin_node[j]`` lists every net's pins back to back
+  (``net_offset[e] .. net_offset[e+1]`` is net ``e``'s slice, pins in the
+  hypergraph's pin order), with ``pin_net[j]`` the owning net id;
+* **node-major** — one entry per (node, net) incidence in
+  ``graph.node_nets`` order: ``nm_net[i]`` / ``nm_owner[i]`` with
+  ``node_offset[v] .. node_offset[v+1]`` the slice of node ``v``;
+* **cross-links** — ``netpin_to_nodepin[j]`` maps the net-major pin ``j``
+  to its node-major index, so the incremental move engine can address the
+  flat contribution cache from a net scan.
+
+Pin order is load-bearing: the kernels promise bit-identical results to
+the scalar loops, which accumulate per-net products in net-pin order and
+per-node sums in ``node_nets`` order.  Both layouts preserve exactly
+those orders (see :mod:`repro.kernels.numpy_backend`).
+
+This module imports numpy at load time; it is only imported once
+:func:`repro.kernels.resolve_kernel` has established numpy is available.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import accumulate
+
+import numpy as np
+
+from ..hypergraph import Hypergraph
+
+
+class CsrView:
+    """Immutable contiguous-array view of one hypergraph."""
+
+    __slots__ = (
+        "num_nodes",
+        "num_nets",
+        "num_pins",
+        "pin_node",
+        "pin_net",
+        "net_offset",
+        "net_cost",
+        "net_size",
+        "nm_net",
+        "nm_cost",
+        "nm_flip",
+        "nm_owner",
+        "node_offset",
+        "netpin_to_nodepin",
+        "net_offset_list",
+        "node_offset_list",
+        "netpin_to_nodepin_list",
+        "build_seconds",
+    )
+
+    def __init__(self, graph: Hypergraph) -> None:
+        t0 = time.perf_counter()
+        nets = graph.nets
+        n = graph.num_nodes
+        e = graph.num_nets
+        m = graph.num_pins
+        self.num_nodes = n
+        self.num_nets = e
+        self.num_pins = m
+
+        pin_node = [0] * m
+        pin_net = [0] * m
+        sizes = [0] * e
+        j = 0
+        for net_id, pins in enumerate(nets):
+            sizes[net_id] = len(pins)
+            for v in pins:
+                pin_node[j] = v
+                pin_net[j] = net_id
+                j += 1
+        net_offset = [0] + list(accumulate(sizes))
+
+        degrees = [graph.node_degree(v) for v in range(n)]
+        node_offset = [0] + list(accumulate(degrees))
+        nm_net = [0] * m
+        nm_owner = [0] * m
+        i = 0
+        for v in range(n):
+            for net_id in graph.node_nets(v):
+                nm_net[i] = net_id
+                nm_owner[i] = v
+                i += 1
+
+        # Net-major pin j -> node-major index.  ``node_nets`` lists a
+        # node's nets in ascending net id (construction order), and the
+        # net-major sweep below visits nets in the same ascending order,
+        # so a per-node cursor lands each pin on its node-major slot.
+        cursor = node_offset[:-1].copy() if n else []
+        mapping = [0] * m
+        j = 0
+        for pins in nets:
+            for v in pins:
+                mapping[j] = cursor[v]
+                cursor[v] += 1
+                j += 1
+
+        self.pin_node = np.asarray(pin_node, dtype=np.intp)
+        self.pin_net = np.asarray(pin_net, dtype=np.intp)
+        self.net_offset = np.asarray(net_offset, dtype=np.intp)
+        self.net_cost = np.asarray(graph.net_costs, dtype=np.float64)
+        # Pin counts as float64: exact for any realistic net (< 2^53 pins)
+        # and directly usable as bincount weights / comparison operands.
+        self.net_size = np.asarray(sizes, dtype=np.float64)
+        self.nm_net = np.asarray(nm_net, dtype=np.intp)
+        # Per-incidence net cost, pre-gathered once (static per graph).
+        self.nm_cost = self.net_cost[self.nm_net]
+        # Flat-index helper for the (2, num_nets) side stacks used by the
+        # numpy engine: with ``flat = s*E + net`` the other side's slot is
+        # ``nm_flip - flat`` because their sum is always ``E + 2*net``.
+        self.nm_flip = self.nm_net * 2 + e
+        self.nm_owner = np.asarray(nm_owner, dtype=np.intp)
+        self.node_offset = np.asarray(node_offset, dtype=np.intp)
+        self.netpin_to_nodepin = np.asarray(mapping, dtype=np.intp)
+        # Plain-list twins for the scalar move loop (element access on a
+        # Python list is ~3x cheaper than on an ndarray and returns plain
+        # ints, keeping numpy scalar types out of the hot path).
+        self.net_offset_list = net_offset
+        self.node_offset_list = node_offset
+        self.netpin_to_nodepin_list = mapping
+        self.build_seconds = time.perf_counter() - t0

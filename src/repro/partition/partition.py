@@ -131,6 +131,31 @@ class Partition:
         return [v for v, s in enumerate(self._side) if s == side]
 
     # ------------------------------------------------------------------
+    # Borrowed views (hot-path accessors)
+    # ------------------------------------------------------------------
+    # The gain engines and the repro.kernels CSR packer index these arrays
+    # millions of times per pass; going through ``side()``/``count()`` per
+    # element costs a method call each.  The views return the *internal*
+    # lists: treat them as read-only, and do not hold them across moves if
+    # element identity matters (they are mutated in place).
+
+    def sides_view(self) -> List[int]:
+        """Borrowed read-only view of the node → side list."""
+        return self._side
+
+    def counts_view(self, side: int) -> List[int]:
+        """Borrowed read-only view of per-net pin counts on ``side``."""
+        return self._counts0 if side == 0 else self._counts1
+
+    def locked_view(self) -> List[bool]:
+        """Borrowed read-only view of the per-node lock flags."""
+        return self._locked
+
+    def locked_counts_view(self, side: int) -> List[int]:
+        """Borrowed read-only view of per-net locked-pin counts on ``side``."""
+        return self._locked0 if side == 0 else self._locked1
+
+    # ------------------------------------------------------------------
     # Locks
     # ------------------------------------------------------------------
     def is_locked(self, node: int) -> bool:

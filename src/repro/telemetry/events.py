@@ -114,6 +114,8 @@ class PassCounters:
         "probability_refreshes",
         "cache_net_recomputes",
         "cache_entry_deltas",
+        "product_cache_hits",
+        "product_cache_misses",
     )
 
     def __init__(self) -> None:
@@ -124,6 +126,12 @@ class PassCounters:
         self.probability_refreshes = 0
         self.cache_net_recomputes = 0
         self.cache_entry_deltas = 0
+        # Incremental numpy engine only (always 0 on the python backend,
+        # hence dropped from traces by the as_dict zero filter): nets
+        # whose cached side products were reused vs. rescanned during
+        # cached-strategy move updates.
+        self.product_cache_hits = 0
+        self.product_cache_misses = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Non-zero counters as a plain dict (compact trace lines)."""

@@ -1,0 +1,339 @@
+"""Bit-parity of the numpy gain kernels against the scalar reference.
+
+The vectorized backend's contract is *exact* equivalence — every gain,
+contribution, and counter equals the scalar value bit for bit, because
+the AVL containers break ties on ``(gain, node)`` and a one-ulp drift
+changes move order.  So every assertion here is ``==``, never
+``pytest.approx``.
+"""
+
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.core.gains import DIV_SAFE_MIN, ProbabilisticGainEngine
+from repro.hypergraph import Hypergraph
+from repro.kernels import make_gain_engine, resolve_kernel
+from repro.kernels.numpy_backend import (
+    NumpyGainEngine,
+    fm_initial_gains,
+    la_initial_vectors,
+)
+from repro.partition import BalanceConstraint, Partition, random_balanced_sides
+from repro.testing import random_instance, weighted_instance
+from repro.testing import strategies as st_repro
+
+
+def _engine_pair(graph, sides, probabilities):
+    scalar = ProbabilisticGainEngine(Partition(graph, list(sides)), probabilities)
+    vector = NumpyGainEngine(Partition(graph, list(sides)), probabilities)
+    return scalar, vector
+
+
+@st.composite
+def _parity_cases(draw):
+    graph = draw(st_repro.hypergraphs(min_nodes=2, max_nodes=14, costed=True))
+    sides = draw(st_repro.sides_for(graph))
+    probs = draw(st_repro.probability_vectors(graph.num_nodes))
+    return graph, sides, probs
+
+
+@settings(max_examples=60, deadline=None)
+@given(_parity_cases())
+def test_all_gains_bit_identical(case):
+    graph, sides, probs = case
+    scalar, vector = _engine_pair(graph, sides, probs)
+    sg = scalar.all_gains()
+    vg = vector.all_gains()
+    assert sg == vg
+    assert all(type(x) is float for x in vg)
+    assert scalar.underflow_recomputes == vector.underflow_recomputes
+
+
+@settings(max_examples=40, deadline=None)
+@given(_parity_cases())
+def test_all_contributions_bit_identical(case):
+    graph, sides, probs = case
+    scalar, vector = _engine_pair(graph, sides, probs)
+    assert scalar.all_contributions() == vector.all_contributions()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_parity_cases())
+def test_contribution_state_matches_scalar_dicts(case):
+    """The numpy flat state holds the same values as the scalar dicts."""
+    graph, sides, probs = case
+    scalar, vector = _engine_pair(graph, sides, probs)
+    dicts = scalar.all_contributions()
+    flat = vector.new_contribution_state()
+    csr = vector.csr
+    for v in range(graph.num_nodes):
+        start = csr.node_offset_list[v]
+        for i, net_id in enumerate(graph.node_nets(v)):
+            assert flat[start + i] == dicts[v][net_id]
+            assert type(flat[start + i]) is float
+
+
+@pytest.mark.parametrize("seed", [1, 5, 9, 33])
+def test_net_gain_and_pin_contributions_agree(seed):
+    """Backends agree bit-for-bit; the divide trick stays within 1/2 ulp.
+
+    ``net_pin_contributions`` divides a pin's own probability back out of
+    the shared side product, which is allowed to differ from the direct
+    ``net_gain`` product by one rounding — but both *backends* take the
+    identical divide, so their outputs are still exactly equal.
+    """
+    graph = weighted_instance(seed, max_nodes=16)
+    sides = random_balanced_sides(graph, seed)
+    import random
+
+    rng = random.Random(seed)
+    probs = [rng.uniform(0.01, 0.99) for _ in range(graph.num_nodes)]
+    scalar, vector = _engine_pair(graph, sides, probs)
+    for net_id in range(graph.num_nets):
+        contribs = scalar.net_pin_contributions(net_id)
+        for v, c in contribs.items():
+            assert c == pytest.approx(
+                scalar.net_gain(v, net_id), rel=1e-12, abs=1e-12
+            )
+    assert scalar.all_gains() == vector.all_gains()
+
+
+class TestUnderflowGuard:
+    """Satellite: pmin-scale probabilities on a high-degree net.
+
+    160 pins at p = 0.01 drive the side product to 1e-320 — a subnormal
+    below ``DIV_SAFE_MIN`` where the divide-back-out trick loses the low
+    bits.  The guard must switch to the exact recompute branch, count the
+    event, and still match ``net_gain`` exactly — on both backends.
+    """
+
+    DEGREE = 160
+    P = 0.01
+
+    def _build(self):
+        n = self.DEGREE + 2
+        nets = [list(range(self.DEGREE)), [0, n - 2, n - 1]]
+        graph = Hypergraph(nets, num_nodes=n)
+        sides = [0] * self.DEGREE + [1, 1]
+        probs = [self.P] * n
+        return graph, sides, probs
+
+    def test_product_is_subnormal(self):
+        prod = 1.0
+        for _ in range(self.DEGREE - 1):
+            prod *= self.P
+        assert 0.0 < prod < DIV_SAFE_MIN  # the regime under test
+
+    def test_recompute_branch_exact_scalar(self):
+        graph, sides, probs = self._build()
+        engine = ProbabilisticGainEngine(Partition(graph, sides), probs)
+        before = engine.underflow_recomputes
+        contribs = engine.net_pin_contributions(0)
+        assert engine.underflow_recomputes > before
+        for v, c in contribs.items():
+            assert c == engine.net_gain(v, 0)
+
+    def test_backends_agree_under_underflow(self):
+        graph, sides, probs = self._build()
+        scalar, vector = _engine_pair(graph, sides, probs)
+        assert scalar.all_gains() == vector.all_gains()
+        assert scalar.underflow_recomputes == vector.underflow_recomputes
+        assert scalar.underflow_recomputes > 0
+        assert scalar.all_contributions() == vector.all_contributions()
+
+    def test_zero_probability_not_counted_as_underflow(self):
+        """p = 0 products are structural zeros, not underflow events."""
+        graph, sides, probs = self._build()
+        probs = [0.0] * len(probs)
+        scalar, vector = _engine_pair(graph, sides, probs)
+        assert scalar.all_gains() == vector.all_gains()
+        assert scalar.underflow_recomputes == 0
+        assert vector.underflow_recomputes == 0
+
+
+class TestInitialGainKernels:
+    @pytest.mark.parametrize("seed", [2, 11, 40])
+    def test_fm_initial_gains_match_immediate_gain(self, seed):
+        graph = weighted_instance(seed, max_nodes=18)
+        partition = Partition(graph, random_balanced_sides(graph, seed))
+        from repro.kernels.csr import CsrView
+
+        gains = fm_initial_gains(CsrView(graph), partition)
+        assert gains == [
+            partition.immediate_gain(v) for v in range(graph.num_nodes)
+        ]
+        assert all(type(g) is float for g in gains)
+
+    @pytest.mark.parametrize("seed", [2, 11, 40])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_la_initial_vectors_match_gain_vector(self, seed, k):
+        from repro.baselines.la import gain_vector
+        from repro.kernels.csr import CsrView
+
+        graph = weighted_instance(seed, max_nodes=18)
+        partition = Partition(graph, random_balanced_sides(graph, seed))
+        vectors = la_initial_vectors(CsrView(graph), partition, k)
+        assert vectors == [
+            gain_vector(partition, v, k) for v in range(graph.num_nodes)
+        ]
+
+    def test_la_initial_vectors_reject_locked_partitions(self):
+        from repro.kernels.csr import CsrView
+
+        graph = random_instance(3)
+        partition = Partition(graph, random_balanced_sides(graph, 3))
+        partition.lock(0)
+        with pytest.raises(ValueError):
+            la_initial_vectors(CsrView(graph), partition, 2)
+
+
+class TestIncrementalCache:
+    def test_move_deltas_match_scalar_and_count_misses(self):
+        """Under the just-locked contract, deltas are bit-equal and the
+        moved node's nets (invalidated by ``on_lock``) all rescan."""
+        from repro.telemetry.events import PassCounters
+
+        graph = weighted_instance(7, max_nodes=16)
+        sides = random_balanced_sides(graph, 7)
+        scalar, vector = _engine_pair(
+            graph, sides, [0.5] * graph.num_nodes
+        )
+        contribs_s = scalar.new_contribution_state()
+        contribs_v = vector.new_contribution_state()
+        assert vector.product_cache_misses == 0
+
+        moved = 0
+        scalar.partition.move_and_lock(moved)
+        scalar.on_lock(moved)
+        vector.partition.move_and_lock(moved)
+        vector.on_lock(moved)
+        cs, cv = PassCounters(), PassCounters()
+        ds = scalar.contribution_move_deltas(moved, contribs_s, cs)
+        dv = vector.contribution_move_deltas(moved, contribs_v, cv)
+        assert ds == dv
+        assert vector.product_cache_hits == 0
+        assert vector.product_cache_misses == len(graph.node_nets(moved))
+        assert cs.cache_net_recomputes == cv.cache_net_recomputes
+        assert cs.cache_entry_deltas == cv.cache_entry_deltas
+
+    def test_second_delta_pass_hits_cache(self):
+        """Re-reading the same nets with no invalidation in between reuses
+        the cached products and produces the same (all-zero) deltas."""
+        graph = weighted_instance(7, max_nodes=16)
+        sides = random_balanced_sides(graph, 7)
+        scalar, vector = _engine_pair(
+            graph, sides, [0.5] * graph.num_nodes
+        )
+        contribs_s = scalar.new_contribution_state()
+        contribs_v = vector.new_contribution_state()
+        moved = 0
+        for eng in (scalar, vector):
+            eng.partition.move_and_lock(moved)
+            eng.on_lock(moved)
+        scalar.contribution_move_deltas(moved, contribs_s)
+        vector.contribution_move_deltas(moved, contribs_v)
+
+        ds = scalar.contribution_move_deltas(moved, contribs_s)
+        dv = vector.contribution_move_deltas(moved, contribs_v)
+        assert ds == dv
+        assert all(delta == 0.0 for _, delta in dv)
+        assert vector.product_cache_hits == len(graph.node_nets(moved))
+
+    def test_set_probability_invalidates_cache(self):
+        graph = weighted_instance(7, max_nodes=16)
+        sides = random_balanced_sides(graph, 7)
+        vector = NumpyGainEngine(
+            Partition(graph, list(sides)), [0.5] * graph.num_nodes
+        )
+        vector.new_contribution_state()
+        touched = 0
+        vector.set_probability(touched, 0.25)
+        valid_nets = {net for net, _, _ in vector.product_cache_snapshot()}
+        for net_id in graph.node_nets(touched):
+            assert net_id not in valid_nets
+
+
+class TestResolution:
+    def test_explicit_names_pass_through(self):
+        assert resolve_kernel("python") == "python"
+        assert resolve_kernel("numpy") == "numpy"  # numpy importable here
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_kernel("fortran")
+
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel("auto") == "numpy"
+        assert resolve_kernel(None) == "numpy"
+
+    def test_env_var_steers_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert resolve_kernel("auto") == "python"
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert resolve_kernel("auto") == "numpy"
+
+    def test_env_var_does_not_override_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert resolve_kernel("python") == "python"
+
+    def test_unknown_env_value_warns_and_falls_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "cuda")
+        with pytest.warns(RuntimeWarning):
+            assert resolve_kernel("auto") in ("python", "numpy")
+
+    def test_numpy_unavailable_falls_back(self, monkeypatch):
+        import repro.kernels as kernels
+
+        monkeypatch.setattr(kernels, "numpy_available", lambda: False)
+        with pytest.warns(RuntimeWarning):
+            assert kernels.resolve_kernel("numpy") == "python"
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert kernels.resolve_kernel("auto") == "python"
+
+    def test_make_gain_engine_backends(self):
+        graph = random_instance(1)
+        partition = Partition(graph, random_balanced_sides(graph, 1))
+        assert make_gain_engine(partition, "python").kernel_name == "python"
+        assert make_gain_engine(partition, "numpy").kernel_name == "numpy"
+
+
+class TestFingerprintNeutrality:
+    """Backend choice must not change experiment-cache identities."""
+
+    def test_prop_config_fingerprint_ignores_kernel(self):
+        from repro.core import PropConfig, PropPartitioner
+        from repro.engine.units import partitioner_fingerprint
+
+        fps = {
+            partitioner_fingerprint(
+                PropPartitioner(PropConfig(kernel=k))
+            )
+            for k in ("auto", "python", "numpy")
+        }
+        assert len(fps) == 1
+
+    def test_fm_la_fingerprints_ignore_kernel(self):
+        from repro.baselines import FMPartitioner, LAPartitioner
+        from repro.engine.units import partitioner_fingerprint
+
+        fm = {
+            partitioner_fingerprint(FMPartitioner("bucket", kernel=k))
+            for k in ("auto", "python", "numpy")
+        }
+        la = {
+            partitioner_fingerprint(LAPartitioner(2, kernel=k))
+            for k in ("auto", "python", "numpy")
+        }
+        assert len(fm) == 1
+        assert len(la) == 1
+
+    def test_kernel_field_still_in_describe(self):
+        from repro.core import PropConfig
+
+        assert PropConfig(kernel="python").describe()["kernel"] == "python"
