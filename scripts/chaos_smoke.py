@@ -16,8 +16,10 @@ Two modes:
 
 parent (default)
     Spawns the child, waits until the journal holds a few completed
-    units, sends SIGTERM, then resumes the same run in-process and
-    checks the two properties above.  Exits 0 on success, 1 on failure.
+    units, sends SIGTERM (or SIGKILL with ``--signal kill`` — no drain,
+    no flush beyond the per-unit fsync), then resumes the same run
+    in-process and checks the two properties above.  Exits 0 on
+    success, 1 on failure.
 
 Used by the ``chaos`` CI job (see .github/workflows/tests.yml) and the
 subprocess test in tests/engine/test_kill_resume.py.
@@ -25,6 +27,7 @@ subprocess test in tests/engine/test_kill_resume.py.
 
 import argparse
 import json
+import os
 import signal
 import subprocess
 import sys
@@ -75,10 +78,14 @@ def journalled_units(path: Path) -> int:
     return count
 
 
-def parent(cache_dir: str) -> int:
+def parent(cache_dir: str, kill_signal: str = "term") -> int:
     path = journal_path(Path(cache_dir), RUN_ID)
+    # Own process group: SIGKILL must take out the pool workers too, or
+    # the orphans keep inherited stdout/stderr pipes open and a
+    # capturing caller (pytest) blocks on EOF long after we exit.
     proc = subprocess.Popen(
         [sys.executable, __file__, "--child", "--cache-dir", cache_dir],
+        start_new_session=True,
     )
     deadline = time.monotonic() + 60.0
     while journalled_units(path) < 3:
@@ -92,11 +99,22 @@ def parent(cache_dir: str) -> int:
             return 1
         time.sleep(0.05)
 
-    proc.send_signal(signal.SIGTERM)
+    if kill_signal == "kill":
+        # The whole group at once — the closest userspace analogue of a
+        # machine crash (no process gets any chance to drain).
+        os.killpg(proc.pid, signal.SIGKILL)
+    else:
+        proc.send_signal(signal.SIGTERM)
     rc = proc.wait(timeout=60)
     seen = journalled_units(path)
     print(f"child exited rc={rc} with {seen} unit(s) journalled")
-    if rc not in (0, 130):
+    if kill_signal == "kill":
+        # SIGKILL gives no drain: the child dies mid-write if unlucky,
+        # which is exactly the torn-line tolerance resume must absorb.
+        if rc not in (0, -signal.SIGKILL):
+            print(f"FAIL: unexpected child exit code {rc}")
+            return 1
+    elif rc not in (0, 130):
         print(f"FAIL: unexpected child exit code {rc}")
         return 1
     if rc == 0:
@@ -140,15 +158,19 @@ def main(argv=None) -> int:
                         help="run the killable batch (internal)")
     parser.add_argument("--cache-dir", default=None,
                         help="journal root (default: fresh temp dir)")
+    parser.add_argument("--signal", choices=("term", "kill"), default="term",
+                        help="signal to kill the child with: term "
+                        "(graceful drain, default) or kill (SIGKILL, "
+                        "no drain — relies purely on per-unit fsync)")
     args = parser.parse_args(argv)
     if args.child:
         if not args.cache_dir:
             parser.error("--child requires --cache-dir")
         return child(args.cache_dir)
     if args.cache_dir:
-        return parent(args.cache_dir)
+        return parent(args.cache_dir, args.signal)
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
-        return parent(tmp)
+        return parent(tmp, args.signal)
 
 
 if __name__ == "__main__":

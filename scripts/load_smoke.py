@@ -1,0 +1,292 @@
+#!/usr/bin/env python
+"""Service load smoke: thousands of jobs, a SIGKILL mid-load, zero loss.
+
+The end-to-end proof of the service's durability contract, run by the
+``service`` CI lane and usable locally::
+
+    python scripts/load_smoke.py                  # 1000 jobs, full check
+    python scripts/load_smoke.py --smoke --check  # CI: 200 jobs
+
+What it does:
+
+1. starts ``python -m repro serve`` as a real subprocess, with a
+   chaos plan armed via ``REPRO_FAULTS`` (transient execution faults +
+   slow cache I/O — the inline-execution fault kinds);
+2. submits ``--jobs`` small partitioning jobs concurrently (seeded
+   ``many_small`` generator specs across four tenants);
+3. when ~25% of jobs are done, **SIGKILLs** the server — no drain, no
+   goodbye — and restarts it against the same cache directory;
+4. waits for every acknowledged job to finish, then asserts
+
+   * **zero lost work** — every job the server acknowledged before the
+     kill reaches ``done`` (recovery replays the jobs journal; in-
+     flight jobs resume from their run journals with no recomputation);
+   * **bit-identical cuts** (``--check``) — each job's cut equals a
+     serial in-process reference computed from the same spec, i.e.
+     faults, concurrency, the kill and the restart changed nothing.
+
+Exits 0 on success, 1 on any violation, 2 on environment failures.
+"""
+
+import argparse
+import asyncio
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.workers import execute_unit  # noqa: E402
+from repro.service import ServiceClient, ServiceError, parse_job_spec  # noqa: E402
+from repro.service.schemas import build_units  # noqa: E402
+
+#: Inline-capable fault kinds only: crash/hang are pool-only by design,
+#: and the *server* kill below is the real crash under test.
+DEFAULT_FAULTS = "seed=3,transient:0.12,slow_io:0.2,io_delay=0.002"
+
+TENANTS = ("alpha", "beta", "gamma", "delta")
+
+
+def job_payload(index: int, args) -> dict:
+    """The i-th job spec (deterministic; the reference recomputes it)."""
+    return {
+        "generate": {
+            "kind": "many_small",
+            "size_range": [args.size_lo, args.size_hi],
+            "seed": args.seed,
+            "index": index,
+        },
+        "algorithm": "fm",
+        "runs": 1,
+        "seed": 10_000 + index,
+        "tenant": TENANTS[index % len(TENANTS)],
+        "tag": f"load-{index}",
+    }
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_server(port: int, cache_dir: str, faults: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    else:
+        env.pop("REPRO_FAULTS", None)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port), "--cache-dir", cache_dir,
+            "--job-workers", "8",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+async def wait_healthy(client: ServiceClient, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            await client.health()
+            return
+        except (OSError, ServiceError, asyncio.TimeoutError):
+            if time.monotonic() > deadline:
+                raise RuntimeError("server never became healthy")
+            await asyncio.sleep(0.1)
+
+
+async def submit_all(client: ServiceClient, args) -> list:
+    """Submit every job; retries ride out transient connection races."""
+    sem = asyncio.Semaphore(48)
+    acked = [None] * args.jobs
+
+    async def one(i: int) -> None:
+        async with sem:
+            for attempt in range(60):
+                try:
+                    response = await client.submit(job_payload(i, args))
+                    acked[i] = response["job_id"]
+                    return
+                except ServiceError:
+                    raise  # 4xx: a bug, not a race
+                except (OSError, asyncio.TimeoutError):
+                    await asyncio.sleep(0.1 + 0.05 * attempt)
+            raise RuntimeError(f"job {i} never acknowledged")
+
+    await asyncio.gather(*(one(i) for i in range(args.jobs)))
+    return acked
+
+
+async def poll_stats(client: ServiceClient) -> dict:
+    try:
+        return await client.stats()
+    except (OSError, ServiceError, asyncio.TimeoutError):
+        return {}
+
+
+async def wait_all_terminal(
+    client: ServiceClient, expected: int, timeout: float
+) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        stats = await poll_stats(client)
+        jobs = stats.get("jobs", {})
+        terminal = (
+            jobs.get("done", 0) + jobs.get("failed", 0)
+            + jobs.get("cancelled", 0)
+        )
+        if terminal >= expected and jobs.get("running", 0) == 0:
+            return
+        if time.monotonic() > deadline:
+            raise RuntimeError(
+                f"jobs never finished: {jobs} after {timeout}s"
+            )
+        await asyncio.sleep(0.2)
+
+
+def reference_cut(index: int, args) -> float:
+    """Serial in-process reference: same spec, no service, no cache."""
+    spec = parse_job_spec(job_payload(index, args))
+    unit = build_units(spec).units[0]
+    return execute_unit(0, unit, 0).result.cut
+
+
+async def drive(args, cache_dir: str) -> int:
+    port = args.port or free_port()
+    client = ServiceClient(port=port, timeout=15.0)
+    server = start_server(port, cache_dir, args.faults)
+    killed_at = -1
+    try:
+        await wait_healthy(client)
+        t0 = time.monotonic()
+        print(f"submitting {args.jobs} jobs to port {port} "
+              f"(faults: {args.faults or 'none'})")
+        acked = await submit_all(client, args)
+        print(f"all {args.jobs} jobs acknowledged "
+              f"in {time.monotonic() - t0:.1f}s")
+
+        # Kill the server once a quarter of the jobs are done.
+        threshold = max(1, args.jobs // 4)
+        kill_deadline = time.monotonic() + args.timeout
+        while True:
+            stats = await poll_stats(client)
+            done = stats.get("jobs", {}).get("done", 0)
+            if done >= threshold:
+                killed_at = done
+                break
+            if time.monotonic() > kill_deadline:
+                print("FAIL: kill threshold never reached")
+                return 1
+            await asyncio.sleep(0.02)
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+        print(f"SIGKILLed server at {killed_at}/{args.jobs} done; "
+              "restarting on the same cache dir")
+
+        server = start_server(port, cache_dir, args.faults)
+        await wait_healthy(client)
+        stats = await poll_stats(client)
+        print(f"recovered {stats.get('recovered_jobs', '?')} job(s) "
+              f"from the jobs journal")
+
+        await wait_all_terminal(client, args.jobs, timeout=args.timeout)
+        print(f"all jobs terminal in {time.monotonic() - t0:.1f}s total")
+
+        # Zero lost work: every acknowledged job exists and is done.
+        listing = await client.jobs()
+        by_id = {j["job_id"]: j for j in listing["jobs"]}
+        failures = 0
+        for i, job_id in enumerate(acked):
+            status = by_id.get(job_id)
+            if status is None:
+                print(f"FAIL: job {i} ({job_id}) lost across restart")
+                failures += 1
+            elif status["state"] != "done":
+                print(f"FAIL: job {i} ({job_id}) is {status['state']}")
+                failures += 1
+        if failures:
+            print(f"FAIL: {failures} job(s) lost or not done")
+            return 1
+        print(f"zero lost work: {args.jobs}/{args.jobs} acknowledged "
+              "jobs are done")
+
+        if args.check:
+            print("checking cuts against the serial reference...")
+            sem = asyncio.Semaphore(32)
+
+            async def fetch_cut(job_id: str) -> float:
+                async with sem:
+                    result = await client.result(job_id)
+                    return result["cuts"][0]
+
+            cuts = await asyncio.gather(*(fetch_cut(j) for j in acked))
+            mismatches = 0
+            for i, cut in enumerate(cuts):
+                expected = await asyncio.to_thread(reference_cut, i, args)
+                if cut != expected:
+                    print(f"FAIL: job {i} cut {cut} != reference {expected}")
+                    mismatches += 1
+            if mismatches:
+                print(f"FAIL: {mismatches} cut mismatch(es)")
+                return 1
+            print(f"bit-identical cuts: {len(cuts)}/{len(cuts)} match "
+                  "the serial reference")
+        print("OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGKILL)
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="jobs to submit (default 1000; 200 with --smoke)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (200 jobs unless --jobs is given)")
+    parser.add_argument("--check", action="store_true",
+                        help="also verify every cut against a serial "
+                        "in-process reference run (doubles compute)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="server port (default: pick a free one)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache/journal root (default: fresh temp dir)")
+    parser.add_argument("--faults", default=DEFAULT_FAULTS,
+                        help=f"REPRO_FAULTS plan for the server "
+                        f"(default {DEFAULT_FAULTS!r}; '' disables)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="many_small batch seed (default 7)")
+    parser.add_argument("--size-lo", type=int, default=8)
+    parser.add_argument("--size-hi", type=int, default=20)
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="overall completion budget in seconds")
+    args = parser.parse_args(argv)
+    if args.jobs is None:
+        args.jobs = 200 if args.smoke else 1000
+
+    if args.cache_dir:
+        return asyncio.run(drive(args, args.cache_dir))
+    with tempfile.TemporaryDirectory(prefix="load-smoke-") as tmp:
+        return asyncio.run(drive(args, tmp))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,10 @@ Record a telemetry trace and summarize it afterwards::
 
     prop-partition --generate t5 --scale 0.05 -a prop --trace prop.jsonl
     python -m repro trace summarize prop.jsonl
+
+Run the partitioning service (HTTP job API; see docs/service.md)::
+
+    python -m repro serve --port 8642
 """
 
 from __future__ import annotations
@@ -376,6 +380,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_cache_mode(argv[1:])
     if argv and argv[0] == "trace":
         return _run_trace_mode(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve_mode(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -622,14 +628,23 @@ def _build_cache_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify only: report corrupt records without deleting them",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="verify only: emit a machine-readable JSON report instead "
+        "of text (exit code unchanged: 0 clean, 1 corruption found)",
+    )
     return parser
 
 
 def _run_cache_mode(argv: List[str]) -> int:
     """``prop-partition cache verify|clear`` — cache maintenance.
 
-    ``verify`` exits non-zero when corrupt records were found, so CI
-    can use it as an integrity gate.
+    ``verify`` exit codes are part of the contract (CI and the service
+    startup integrity check rely on them): **0** — every record clean;
+    **1** — corrupt records found (and removed unless ``--keep``).
+    ``--json`` reports ``{"root", "scanned", "ok", "corrupt", "removed",
+    "runs"}`` on stdout with nothing else.
     """
     from .engine import ResultCache, default_cache_dir, list_runs
 
@@ -639,10 +654,20 @@ def _run_cache_mode(argv: List[str]) -> int:
     cache = ResultCache(root=root)
     if args.action == "verify":
         report = cache.verify(remove=not args.keep)
-        print(f"{root}: {report.summary()}")
         runs = list_runs(root)
-        if runs:
-            print(f"{len(runs)} run journal(s): {', '.join(runs[-5:])}")
+        if args.json:
+            print(json.dumps({
+                "root": str(root),
+                "scanned": report.scanned,
+                "ok": report.ok,
+                "corrupt": report.corrupt,
+                "removed": report.removed,
+                "runs": runs,
+            }, sort_keys=True))
+        else:
+            print(f"{root}: {report.summary()}")
+            if runs:
+                print(f"{len(runs)} run journal(s): {', '.join(runs[-5:])}")
         return 1 if report.corrupt else 0
     removed = cache.clear()
     print(f"{root}: removed {removed} record(s)")
@@ -694,6 +719,100 @@ def _run_trace_mode(argv: List[str]) -> int:
             print(f"{path}: {exc}")
             status = 1
     return status
+
+
+# ---------------------------------------------------------------------------
+# serve subcommand
+# ---------------------------------------------------------------------------
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prop-partition serve",
+        description="run the partitioning service: HTTP/JSON job API "
+        "over the engine's cache, journals and telemetry "
+        "(see docs/service.md)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (default 8642; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache + journal directory (default .repro_cache/, or "
+        "REPRO_ENGINE_CACHE when set); restarting against the same "
+        "directory resumes interrupted jobs",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache (journals stay on)",
+    )
+    parser.add_argument(
+        "--job-workers", type=int, default=8, metavar="N",
+        help="concurrent job executions (default 8)",
+    )
+    parser.add_argument(
+        "--engine-workers", type=_nonneg_int, default=0, metavar="N",
+        help="process-pool size per job's engine batch "
+        "(default 0: in-process units; raise for few large jobs)",
+    )
+    parser.add_argument(
+        "--timeout", type=_pos_float, default=None, metavar="S",
+        help="per-unit wall-clock budget in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--tenant-weight",
+        action="append",
+        default=[],
+        metavar="TENANT=W",
+        help="fair-queue weight for a tenant (repeatable; others get 1.0)",
+    )
+    parser.add_argument(
+        "--no-integrity-check", action="store_true",
+        help="skip the cache verification scan on startup",
+    )
+    return parser
+
+
+def _run_serve_mode(argv: List[str]) -> int:
+    """``prop-partition serve`` — run the HTTP partitioning service."""
+    import asyncio
+
+    from .service import ServiceConfig, run_service
+
+    parser = _build_serve_parser()
+    args = parser.parse_args(argv)
+    weights: Dict[str, float] = {}
+    for item in args.tenant_weight:
+        tenant, sep, raw = item.partition("=")
+        try:
+            weight = float(raw)
+            if not sep or not tenant or weight <= 0:
+                raise ValueError
+        except ValueError:
+            parser.error(
+                f"bad --tenant-weight {item!r} (want TENANT=POSITIVE_NUMBER)"
+            )
+        weights[tenant] = weight
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        engine_workers=args.engine_workers,
+        job_workers=args.job_workers,
+        unit_timeout=args.timeout,
+        tenant_weights=weights,
+        integrity_check=not args.no_integrity_check,
+    )
+    try:
+        asyncio.run(run_service(config))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+    return 0
 
 
 # ---------------------------------------------------------------------------

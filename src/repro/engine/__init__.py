@@ -58,7 +58,7 @@ from .records import (
     encode_result,
     record_checksum,
 )
-from .signals import SignalGuard
+from .signals import CancelToken, SignalGuard
 from .units import (
     WorkUnit,
     balance_fingerprint,
@@ -95,6 +95,7 @@ __all__ = [
     "list_runs",
     "validate_run_id",
     "SignalGuard",
+    "CancelToken",
     "RECORD_FORMAT",
     "encode_result",
     "decode_result",

@@ -48,7 +48,7 @@ from ..partition import BipartitionResult
 from .cache import ResultCache, default_cache_dir
 from .journal import RunJournal, journal_path
 from .records import decode_result, encode_result
-from .signals import INERT_GUARD, SignalGuard
+from .signals import INERT_GUARD, CancelToken, GuardWithCancel, SignalGuard
 from .units import WorkUnit, unit_key
 from .workers import execute_unit
 
@@ -119,6 +119,12 @@ class EngineConfig:
     progress:
         Default progress callback (see :class:`ProgressEvent`); the
         per-call argument of :meth:`Engine.run` takes precedence.
+    recorder:
+        Optional telemetry recorder attached to *in-process* unit
+        executions (recorders are not picklable, so pooled workers run
+        unrecorded — their phase timings still persist via result
+        stats).  This is the hook the service layer uses to feed
+        server-sent trace events from single-process jobs.
     """
 
     workers: Optional[int] = None
@@ -133,6 +139,7 @@ class EngineConfig:
     handle_signals: Optional[bool] = None
     version: Optional[str] = None
     progress: Optional[Callable[["ProgressEvent"], None]] = None
+    recorder: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:
@@ -303,6 +310,7 @@ class Engine:
         progress: Optional[Callable[[ProgressEvent], None]] = None,
         run_id: Optional[str] = None,
         resume: bool = False,
+        cancel: Optional[CancelToken] = None,
     ) -> List[UnitResult]:
         """Execute every unit; results come back in input order.
 
@@ -314,9 +322,10 @@ class Engine:
         failures retry with deterministic backoff; permanent ones
         follow ``on_error``.  Absent an interrupt, the batch always
         completes with exactly one result per unit.  After a drain
-        (first SIGINT/SIGTERM), :attr:`interrupted` is ``True`` and the
-        returned list covers only the completed prefix of work — all of
-        it journalled when ``run_id`` was given, ready for resume.
+        (first SIGINT/SIGTERM, or ``cancel.cancel()`` from any thread),
+        :attr:`interrupted` is ``True`` and the returned list covers
+        only the completed prefix of work — all of it journalled when
+        ``run_id`` was given, ready for resume.
         """
         units = list(units)
         total = len(units)
@@ -373,6 +382,8 @@ class Engine:
             if handle_signals is None:
                 handle_signals = journal is not None
             guard = SignalGuard() if handle_signals else INERT_GUARD
+            if cancel is not None:
+                guard = GuardWithCancel(guard, cancel)
 
             with guard:
                 for i, outcome_result, seconds, source, error in self._execute(
@@ -514,7 +525,9 @@ class Engine:
         while True:
             attempt = attempts.get(index, 0)
             try:
-                outcome = execute_unit(index, unit, attempt)
+                outcome = execute_unit(
+                    index, unit, attempt, recorder=self.config.recorder
+                )
             except Exception as exc:
                 attempts[index] = attempt + 1
                 if (

@@ -46,6 +46,61 @@ class _InertGuard:
 INERT_GUARD = _InertGuard()
 
 
+class CancelToken:
+    """Thread-safe cooperative cancellation of one :meth:`Engine.run`.
+
+    The programmatic twin of the first SIGINT/SIGTERM: flipping the
+    token drains the batch — in-flight work finishes and is journalled,
+    queued work is shed, :attr:`Engine.interrupted` is set — so a
+    cancelled journalled run resumes later with zero recomputation.
+    Built for callers driving the engine from another thread (the
+    service layer cancels jobs this way); ``cancel()`` may be called
+    from any thread, any number of times.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request a drain; idempotent and thread-safe."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+
+class GuardWithCancel:
+    """Compose a signal guard with a :class:`CancelToken`.
+
+    Presents the guard interface the engine loops poll (``draining``)
+    while delegating handler installation to the wrapped guard — the
+    engine drains when *either* a signal or the token fires.
+    """
+
+    def __init__(self, inner, token: CancelToken) -> None:
+        self._inner = inner
+        self._token = token
+
+    @property
+    def draining(self) -> bool:
+        return self._inner.draining or self._token.cancelled
+
+    @property
+    def signals_seen(self) -> int:
+        return self._inner.signals_seen
+
+    def __enter__(self) -> "GuardWithCancel":
+        self._inner.__enter__()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return self._inner.__exit__(*exc_info)
+
+
 class SignalGuard:
     """Install drain-then-stop handlers for the duration of a batch."""
 

@@ -26,13 +26,23 @@ class WorkerOutcome:
     seconds: float
 
 
-def execute_unit(index: int, unit: WorkUnit, attempt: int = 0) -> WorkerOutcome:
+def execute_unit(
+    index: int,
+    unit: WorkUnit,
+    attempt: int = 0,
+    recorder: object = None,
+) -> WorkerOutcome:
     """Run one work unit to completion (in a worker or in-process).
 
     ``attempt`` is the unit's retry ordinal (0 on first execution); the
     engine threads it through so the fault injector can arm faults per
     attempt — a transient fault with ``times=1`` fails attempt 0 and
     lets attempt 1 succeed, deterministically.
+
+    ``recorder`` attaches a telemetry recorder to the run when the
+    partitioner supports one (in-process callers only — recorders do
+    not pickle, so the pool path never passes one).  Recording is
+    observational: a recorded run makes bit-identical moves.
 
     The run is timed here, next to the actual compute, so recorded
     per-run seconds exclude scheduling/pickling overhead.
@@ -46,6 +56,10 @@ def execute_unit(index: int, unit: WorkUnit, attempt: int = 0) -> WorkerOutcome:
         unit.partitioner, "supports_audit", False
     ):
         kwargs["audit"] = unit.audit
+    if recorder is not None and getattr(
+        unit.partitioner, "supports_telemetry", False
+    ):
+        kwargs["recorder"] = recorder
     result = unit.partitioner.partition(
         unit.graph, balance=unit.balance, seed=unit.seed, **kwargs
     )

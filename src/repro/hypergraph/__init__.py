@@ -16,8 +16,10 @@ from .generators import (
     benchmark_suite,
     hierarchical_circuit,
     make_benchmark,
+    many_small,
     planted_bisection,
     random_hypergraph,
+    small_instance,
 )
 from .hypergraph import Hypergraph, HypergraphError, clique_edges
 from .stats import HypergraphStats, compute_stats, exact_average_neighbors
@@ -60,6 +62,8 @@ __all__ = [
     "planted_bisection",
     "hierarchical_circuit",
     "make_benchmark",
+    "many_small",
+    "small_instance",
     "benchmark_suite",
     "BENCHMARK_NAMES",
     "TABLE1_CHARACTERISTICS",

@@ -273,3 +273,54 @@ def benchmark_suite(
     if names is None:
         names = BENCHMARK_NAMES
     return {name: make_benchmark(name, scale=scale) for name in names}
+
+
+# ---------------------------------------------------------------------------
+# Batch instances: many independent small circuits from one seed.
+# ---------------------------------------------------------------------------
+def small_instance(
+    size_range: Tuple[int, int],
+    seed: int,
+    index: int,
+) -> Hypergraph:
+    """Instance ``index`` of the seeded :func:`many_small` batch.
+
+    Each instance is a self-contained :func:`hierarchical_circuit` whose
+    node count is drawn uniformly from ``size_range`` by an RNG derived
+    from ``(seed, index)`` alone — instance ``i`` is identical whether
+    the batch is built whole or one circuit at a time, which is what
+    lets a service job or a pool worker materialize exactly the circuit
+    it needs without generating its predecessors.
+    """
+    lo, hi = size_range
+    if lo < 6:
+        raise ValueError(f"size_range lower bound must be >= 6, got {lo}")
+    if hi < lo:
+        raise ValueError(f"bad size_range ({lo}, {hi}): upper < lower")
+    # Distinct odd multiplier decorrelates adjacent (seed, index) pairs.
+    rng = random.Random((seed * 1_000_003 + index) & 0x7FFFFFFF)
+    n = rng.randint(lo, hi)
+    e = max(6, round(n * 1.25))
+    m = max(2 * e + e // 2, round(e * 2.7))
+    return hierarchical_circuit(
+        n, e, m, seed=rng.randrange(2**31), leaf_size=6
+    )
+
+
+def many_small(
+    n_circuits: int,
+    size_range: Tuple[int, int] = (8, 24),
+    seed: int = 0,
+) -> List[Hypergraph]:
+    """A seeded batch of ``n_circuits`` independent small circuits.
+
+    The workload generator for load tests and multi-instance ensemble
+    studies: thousands of cheap, structurally varied instances from one
+    ``(n_circuits, size_range, seed)`` triple.  Prefix-stable —
+    ``many_small(1000, r, s)[i] == many_small(i + 1, r, s)[i]`` — so
+    distributed consumers can address circuits by index (see
+    :func:`small_instance`).
+    """
+    if n_circuits < 0:
+        raise ValueError(f"n_circuits must be >= 0, got {n_circuits}")
+    return [small_instance(size_range, seed, i) for i in range(n_circuits)]

@@ -62,7 +62,18 @@ def _fmt_weight(w: float) -> str:
 
 def read_hgr(path: PathLike) -> Hypergraph:
     """Read an hMETIS ``.hgr`` file."""
-    raw_lines = Path(path).read_text().splitlines()
+    return parse_hgr_text(Path(path).read_text(), origin=str(path))
+
+
+def parse_hgr_text(text: str, origin: str = "<hgr>") -> Hypergraph:
+    """Parse hMETIS ``.hgr`` content from a string.
+
+    The in-memory twin of :func:`read_hgr`, for netlists that never
+    touch disk — e.g. hypergraphs submitted inline over the service
+    API.  ``origin`` labels error messages in place of a file path.
+    """
+    path = origin
+    raw_lines = text.splitlines()
     lines = [ln.strip() for ln in raw_lines]
     lines = [ln for ln in lines if ln and not ln.startswith("%")]
     if not lines:

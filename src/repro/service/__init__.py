@@ -1,0 +1,58 @@
+"""Partitioning-as-a-service: async job engine + HTTP API.
+
+Everything below is built *on top of* the execution stack, never beside
+it: jobs execute through :class:`repro.engine.Engine`, so the
+content-addressed result cache, per-run journals, retry/backoff and
+fault handling apply to service traffic verbatim — and crash recovery
+falls out of journal replay rather than a second durability mechanism.
+
+Layers (each importable and testable without the ones above it):
+
+* :mod:`~repro.service.schemas` — job wire format, validation, and the
+  spec → :class:`~repro.engine.WorkUnit` translation;
+* :mod:`~repro.service.jobs` — job lifecycle model;
+* :mod:`~repro.service.queue` — priority + weighted-fair async queue;
+* :mod:`~repro.service.recovery` — sealed jobs journal + restart replay;
+* :mod:`~repro.service.sse` — per-job event bus + SSE framing;
+* :mod:`~repro.service.app` — the orchestrator (workers + engine);
+* :mod:`~repro.service.api` — stdlib asyncio HTTP/JSON transport;
+* :mod:`~repro.service.client` — asyncio client (tests, load driver).
+
+Entry points: ``repro serve`` (CLI), :func:`run_service` (embedding),
+``scripts/load_smoke.py`` (the kill-and-restart load proof).  See
+``docs/service.md``.
+"""
+
+from .api import ServiceServer, run_service
+from .app import JobNotFound, PartitionService, ServiceConfig
+from .client import ServiceClient, ServiceError
+from .jobs import JOB_STATES, TERMINAL_STATES, Job
+from .queue import FairQueue, QueueClosed
+from .recovery import RecoveredState, ServiceJournal, jobs_journal_path, recover
+from .schemas import JobSpec, SchemaError, build_units, parse_job_spec
+from .sse import EventBus, format_sse
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobSpec",
+    "JobNotFound",
+    "SchemaError",
+    "parse_job_spec",
+    "build_units",
+    "FairQueue",
+    "QueueClosed",
+    "EventBus",
+    "format_sse",
+    "ServiceJournal",
+    "RecoveredState",
+    "recover",
+    "jobs_journal_path",
+    "PartitionService",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceClient",
+    "ServiceError",
+    "run_service",
+]

@@ -1,0 +1,354 @@
+"""HTTP/JSON transport over :class:`~repro.service.app.PartitionService`.
+
+Dependency-light by design: the repo's runtime deps are numpy/scipy
+only, so this is a small HTTP/1.1 server on raw ``asyncio.start_server``
+— request-line + header parsing, Content-Length bodies, one request per
+connection (``Connection: close``).  That subset is all the API needs
+and keeps every byte on the wire inspectable in tests.
+
+Routes (all JSON unless noted):
+
+=======  ==============================  =======================================
+Method   Path                            Meaning
+=======  ==============================  =======================================
+GET      ``/healthz``                    liveness + version
+GET      ``/v1/stats``                   queue/jobs/journal/integrity counters
+POST     ``/v1/jobs``                    submit a job spec -> 202 + job status
+GET      ``/v1/jobs``                    list jobs (``?state=``, ``?tenant=``)
+GET      ``/v1/jobs/{id}``               job status (``?spec=1`` embeds spec)
+GET      ``/v1/jobs/{id}/result``        terminal result (409 while running)
+POST     ``/v1/jobs/{id}/cancel``        cooperative cancel (idempotent)
+GET      ``/v1/jobs/{id}/events``        SSE stream (``text/event-stream``)
+=======  ==============================  =======================================
+
+Error bodies are ``{"error": {"message", "field"?}}``; 400 for schema
+violations, 404 unknown job/route, 409 result-not-ready, 413 oversized
+body, 405 wrong method.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .app import JobNotFound, PartitionService, ServiceConfig
+from .schemas import SchemaError
+
+log = logging.getLogger("repro.service.api")
+
+MAX_HEADER_BYTES = 64 * 1024
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP framing; connection is answered 400 and closed."""
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def _response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra: str = "",
+) -> bytes:
+    reason = {
+        200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+        405: "Method Not Allowed", 409: "Conflict",
+        413: "Payload Too Large", 500: "Internal Server Error",
+    }.get(status, "OK")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        f"{extra}"
+        "\r\n"
+    ).encode() + body
+
+
+def _error_body(message: str, field: str = "") -> bytes:
+    error: Dict[str, Any] = {"message": message}
+    if field:
+        error["field"] = field
+    return _json_bytes({"error": error})
+
+
+class ServiceServer:
+    """The asyncio socket server bound to one :class:`PartitionService`."""
+
+    def __init__(
+        self,
+        service: PartitionService,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> None:
+        self.service = service
+        self.host = host if host is not None else service.config.host
+        self.port = port if port is not None else service.config.port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (useful after binding port 0)."""
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Start the service core (recovery replay) then bind the socket."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        log.info("listening on %s:%d", self.host, self.bound_port)
+
+    async def stop(self) -> None:
+        """Close the socket, then stop the service core."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        """Serve requests until cancelled (after :meth:`start`)."""
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, headers = await self._read_head(reader)
+                body = await self._read_body(reader, headers)
+            except _BadRequest as exc:
+                writer.write(_response(400, _error_body(str(exc))))
+                return
+            except (
+                asyncio.IncompleteReadError, ConnectionError, LimitOverrunError
+            ):
+                return
+            await self._dispatch(method, path, body, writer)
+        except ConnectionError:  # client went away mid-response
+            pass
+        except Exception:  # noqa: BLE001 - server must not die per-request
+            log.exception("request handling failed")
+            try:
+                writer.write(_response(500, _error_body("internal error")))
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+            writer.close()
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str]]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > MAX_HEADER_BYTES:
+            raise _BadRequest("headers too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadRequest(f"bad request line {lines[0]!r}")
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _BadRequest(f"bad header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        return parts[0].upper(), parts[1], headers
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: Dict[str, str]
+    ) -> bytes:
+        raw = headers.get("content-length", "0")
+        try:
+            length = int(raw)
+        except ValueError:
+            raise _BadRequest(f"bad Content-Length {raw!r}") from None
+        if length < 0:
+            raise _BadRequest("negative Content-Length")
+        if length > self.service.config.max_body_bytes:
+            raise _BadRequest(
+                f"body exceeds {self.service.config.max_body_bytes} bytes"
+            )
+        if length == 0:
+            return b""
+        return await reader.readexactly(length)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+
+        if path == "/healthz":
+            from .. import __version__
+
+            writer.write(self._json(200, {
+                "status": "ok", "version": __version__,
+            }))
+            return
+        if path == "/v1/stats":
+            writer.write(self._json(200, await self.service.stats()))
+            return
+        if path == "/v1/jobs":
+            if method == "POST":
+                await self._submit(body, writer)
+            elif method == "GET":
+                jobs = self.service.list_jobs(
+                    state=query.get("state"), tenant=query.get("tenant")
+                )
+                writer.write(self._json(200, {
+                    "jobs": [j.status_payload() for j in jobs],
+                    "count": len(jobs),
+                }))
+            else:
+                writer.write(_response(405, _error_body("use GET or POST")))
+            return
+
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, action = rest.partition("/")
+            try:
+                await self._job_route(method, job_id, action, query, writer)
+            except JobNotFound:
+                writer.write(_response(
+                    404, _error_body(f"no such job {job_id!r}")
+                ))
+            return
+
+        writer.write(_response(404, _error_body(f"no route {path!r}")))
+
+    async def _submit(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (UnicodeDecodeError, ValueError):
+            writer.write(_response(
+                400, _error_body("request body is not valid JSON")
+            ))
+            return
+        try:
+            job = await self.service.submit(payload)
+        except SchemaError as exc:
+            writer.write(_response(
+                400, _error_body(str(exc), field=exc.field)
+            ))
+            return
+        writer.write(self._json(202, job.status_payload()))
+
+    async def _job_route(
+        self,
+        method: str,
+        job_id: str,
+        action: str,
+        query: Dict[str, str],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if action == "" and method == "GET":
+            job = self.service.get_job(job_id)
+            writer.write(self._json(200, job.status_payload(
+                include_spec=query.get("spec") in ("1", "true")
+            )))
+        elif action == "result" and method == "GET":
+            job = self.service.get_job(job_id)
+            if not job.terminal:
+                writer.write(_response(409, _error_body(
+                    f"job is {job.state}; result available once terminal"
+                )))
+                return
+            if job.results is None:
+                # Recovered job: results live in its run journal.
+                await asyncio.to_thread(self.service.ensure_results, job)
+            writer.write(self._json(200, job.result_payload()))
+        elif action == "cancel" and method == "POST":
+            job = await self.service.cancel(job_id)
+            writer.write(self._json(200, job.status_payload()))
+        elif action == "events" and method == "GET":
+            await self._stream_events(job_id, writer)
+        else:
+            writer.write(_response(
+                405 if action in ("", "result", "cancel", "events") else 404,
+                _error_body(f"no route for {method} on {action or 'job'!r}"),
+            ))
+
+    async def _stream_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        self.service.get_job(job_id)  # 404 before committing to a stream
+        assert self.service.bus is not None
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        async for frame in self.service.bus.stream(
+            job_id, heartbeat=self.service.config.sse_heartbeat
+        ):
+            writer.write(frame)
+            await writer.drain()
+
+    @staticmethod
+    def _json(status: int, payload: Any) -> bytes:
+        return _response(status, _json_bytes(payload))
+
+
+# `asyncio` exposes LimitOverrunError at module scope only in some
+# versions; fall back to ValueError (its base) where absent.
+LimitOverrunError = getattr(asyncio, "LimitOverrunError", ValueError)
+
+
+async def run_service(config: ServiceConfig) -> None:
+    """Run the server until SIGINT/SIGTERM (the ``repro serve`` body).
+
+    First signal: stop accepting, cancel running engines cooperatively
+    (journals flush), exit.  Queued and interrupted jobs are re-run
+    from their journals on the next start — crash-consistency is the
+    same whether the stop was graceful or a SIGKILL.
+    """
+    service = PartitionService(config)
+    server = ServiceServer(service)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    print(
+        f"repro service listening on http://{server.host}:{server.bound_port}"
+        f" (cache: {config.resolved_cache_dir()})",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        await server.stop()

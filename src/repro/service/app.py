@@ -1,0 +1,453 @@
+"""The service orchestrator: queue + workers + engine + durability.
+
+:class:`PartitionService` is the transport-free core of the service —
+the HTTP layer (:mod:`repro.service.api`) is a thin veneer over its
+``submit`` / ``get_job`` / ``cancel`` / ``stats`` methods, which makes
+the whole lifecycle unit-testable without sockets.
+
+Execution model: one asyncio event loop owns the queue, the SSE bus
+and all bookkeeping; ``job_workers`` worker *tasks* pull jobs from the
+:class:`~repro.service.queue.FairQueue` and run each job's engine batch
+in a thread (``asyncio.to_thread``) — the engine is synchronous and
+each small job is CPU-bound for milliseconds, so threads per job (not
+per unit) keeps the loop responsive while the GIL arbitrates the rest.
+Setting ``engine_workers > 1`` additionally fans each job's units out
+to a process pool, reusing the engine's pool fault handling verbatim.
+
+Durability invariants (what the load smoke's kill-and-restart proves):
+
+* a job is journalled (``kind: job``) *before* submit returns its id —
+  an acknowledged job survives any later crash;
+* every unit an engine completes is journalled by the engine before the
+  next is started — a killed job resumes with completed units served
+  from its run journal, not recomputed;
+* every state transition is journalled after the in-memory transition
+  commits — replay lands each job in its last acknowledged state, and
+  jobs that died mid-``running`` come back ``queued`` + ``recovered``.
+
+Determinism: per-job seeds come from the spec (explicit or
+content-derived), unit seeds follow :func:`repro.engine.seed_stream`,
+and the engine folds results in unit order — so cuts are bit-identical
+to a serial in-process reference run regardless of worker counts,
+restarts, or injected faults.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..engine import Engine, EngineConfig, ProgressEvent
+from ..engine.cache import ResultCache, default_cache_dir
+from ..telemetry import CallbackRecorder
+from .jobs import JOB_STATES, Job, job_id_for
+from .queue import FairQueue, QueueClosed
+from .recovery import ServiceJournal, jobs_journal_path, recover
+from .schemas import JobSpec, SchemaError, build_graph, build_units, parse_job_spec
+from .sse import EventBus
+
+log = logging.getLogger("repro.service")
+
+#: Telemetry events forwarded to SSE (moves excluded: too chatty).
+TRACE_EVENTS = ("run_start", "pass_end", "run_end")
+
+
+class JobNotFound(KeyError):
+    """No job with the requested id."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service knobs (HTTP binding + execution + durability).
+
+    ``engine_workers=0`` (in-process units) is the right default for
+    swarms of small jobs: job-level concurrency comes from
+    ``job_workers`` threads, and process pools per tiny job would cost
+    more in fork overhead than they buy.  Raise it for services fed few
+    large jobs.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    #: Process-pool size per engine batch (0/1 = in-process units).
+    engine_workers: int = 0
+    #: Concurrent job executions (worker tasks, each running one job).
+    job_workers: int = 8
+    #: Tenant -> weight for the fair queue (absent tenants weigh 1.0).
+    tenant_weights: Dict[str, float] = field(default_factory=dict)
+    #: Largest accepted request body (inline netlists can be big).
+    max_body_bytes: int = 32 * 1024 * 1024
+    #: Verify the result cache on startup, dropping corrupt entries.
+    integrity_check: bool = True
+    #: Per-unit wall-clock budget, or None for unbounded.
+    unit_timeout: Optional[float] = None
+    #: Seconds of SSE silence before a heartbeat comment.
+    sse_heartbeat: float = 15.0
+
+    def resolved_cache_dir(self) -> str:
+        """The effective cache root (explicit or the engine default)."""
+        return self.cache_dir or default_cache_dir()
+
+
+class PartitionService:
+    """Transport-free service core: accept, schedule, execute, recover.
+
+    Lifecycle::
+
+        service = PartitionService(ServiceConfig())
+        await service.start()      # recovery replay + worker tasks
+        ...
+        await service.stop()       # drain-free stop; jobs resume next start
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.jobs: Dict[str, Job] = {}
+        self.queue = FairQueue(self.config.tenant_weights)
+        self.journal = ServiceJournal(
+            jobs_journal_path(self.config.resolved_cache_dir())
+        )
+        self.bus: Optional[EventBus] = None
+        self.integrity: Optional[Dict[str, Any]] = None
+        self.recovered_jobs = 0
+        self._seq = 0
+        self._workers: List[asyncio.Task] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Replay the journals, then start the worker tasks."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        loop = asyncio.get_running_loop()
+        self.bus = EventBus(loop)
+
+        if self.config.integrity_check and self.config.use_cache:
+            self.integrity = await asyncio.to_thread(self._verify_cache)
+
+        state = await asyncio.to_thread(recover, self.config.resolved_cache_dir())
+        self._seq = state.max_seq + 1
+        for job in state.finished:
+            self.jobs[job.job_id] = job
+            self.bus.publish(job.job_id, "state", self._state_payload(job))
+        for job in state.pending:
+            self.jobs[job.job_id] = job
+            self.bus.publish(job.job_id, "state", self._state_payload(job))
+            await self.queue.put(job, cost=float(job.spec.runs))
+        self.recovered_jobs = state.total
+        if state.total:
+            log.info(
+                "recovered %d job(s): %d to re-run, %d finished",
+                state.total, len(state.pending), len(state.finished),
+            )
+
+        for n in range(max(1, self.config.job_workers)):
+            self._workers.append(
+                asyncio.create_task(self._worker(), name=f"job-worker-{n}")
+            )
+
+    def _verify_cache(self) -> Dict[str, Any]:
+        """Startup cache scrub; corrupt entries are removed, not fatal."""
+        cache = ResultCache(root=self.config.resolved_cache_dir())
+        report = cache.verify(remove=True)
+        if report.corrupt:
+            log.warning("cache verify: %s", report.summary())
+        return {
+            "scanned": report.scanned,
+            "ok": report.ok,
+            "corrupt": report.corrupt,
+            "removed": report.removed,
+        }
+
+    async def stop(self) -> None:
+        """Stop accepting and executing; queued jobs persist for restart.
+
+        Running engine batches are cancelled cooperatively (their
+        completed units are already journalled) — this is the same path
+        a SIGTERM takes, and recovery owns whatever is left.
+        """
+        await self.queue.close()
+        for job in self.jobs.values():
+            if job.state == "running":
+                job.cancel_token.cancel()
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers.clear()
+        self.journal.close()
+
+    # ------------------------------------------------------------------
+    # Client-facing operations (called from the event loop)
+    # ------------------------------------------------------------------
+    async def submit(self, payload: Any) -> Job:
+        """Validate, journal and enqueue one submission.
+
+        Raises :exc:`SchemaError` on a bad payload (the HTTP layer maps
+        it to 400).  The job record hits the journal before this
+        returns, so an acknowledged submission is durable.
+        """
+        spec = parse_job_spec(payload)
+        if "hgr" in spec.graph:
+            # Parse inline netlists at the door: a malformed graph must
+            # 400 at submit, not fail a queued job minutes later.
+            await asyncio.to_thread(build_graph, spec)
+        seq = self._seq
+        self._seq += 1
+        job = Job(job_id=job_id_for(seq, spec), spec=spec)
+        if job.job_id in self.jobs:
+            # Same spec resubmitted never collides: seq differs. A true
+            # duplicate id means a journal/seq inconsistency — refuse.
+            raise SchemaError(f"job id collision for {job.job_id}")
+        self.jobs[job.job_id] = job
+        await asyncio.to_thread(self.journal.append_job, job, seq)
+        await asyncio.to_thread(self.journal.append_state, job.job_id, "queued")
+        self._publish_state(job)
+        await self.queue.put(job, cost=float(spec.runs))
+        return job
+
+    def get_job(self, job_id: str) -> Job:
+        """The job with ``job_id``, or raise :exc:`JobNotFound`."""
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise JobNotFound(job_id) from None
+
+    def list_jobs(
+        self, state: Optional[str] = None, tenant: Optional[str] = None
+    ) -> List[Job]:
+        """Jobs filtered by state and/or tenant, in submission order."""
+        out = []
+        for job in self.jobs.values():
+            if state is not None and job.state != state:
+                continue
+            if tenant is not None and job.spec.tenant != tenant:
+                continue
+            out.append(job)
+        return out
+
+    async def cancel(self, job_id: str) -> Job:
+        """Cancel a job in any non-terminal state (idempotent).
+
+        Queued jobs are withdrawn immediately; running jobs get their
+        token fired and reach ``cancelled`` once the engine drains.
+        """
+        job = self.get_job(job_id)
+        if job.terminal:
+            return job
+        removed = await self.queue.remove(job_id)
+        job.cancel_token.cancel()
+        if removed is not None:
+            await self._finish(job, "cancelled")
+        return job
+
+    async def stats(self) -> Dict[str, Any]:
+        """The ``/v1/stats`` payload."""
+        by_state = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            by_state[job.state] += 1
+        payload: Dict[str, Any] = {
+            "jobs": by_state,
+            "total_jobs": len(self.jobs),
+            "queue": await self.queue.snapshot(),
+            "recovered_jobs": self.recovered_jobs,
+            "journal": {
+                "appended": self.journal.appended,
+                "errors": self.journal.errors,
+            },
+            "workers": {
+                "job_workers": len(self._workers),
+                "engine_workers": self.config.engine_workers,
+            },
+        }
+        if self.integrity is not None:
+            payload["cache_integrity"] = self.integrity
+        return payload
+
+    def ensure_results(self, job: Job) -> bool:
+        """Rehydrate a recovered ``done`` job's results from its run journal.
+
+        Recovery restores job *states* from the jobs journal; the unit
+        results themselves already live in the engine's per-run journal
+        (fsynced before the job could reach ``done``), so a restarted
+        server serves results without recomputing anything.  Returns
+        whether ``job.results`` is populated afterwards.
+        """
+        if job.results is not None:
+            return True
+        if job.state != "done":
+            return False
+        from ..engine.journal import iter_journal_records, journal_path
+        from ..engine.records import decode_result
+
+        path = journal_path(
+            self.config.resolved_cache_dir(), job.run_id
+        )
+        base = job.spec.effective_seed()
+        rows: Dict[int, Dict[str, Any]] = {}
+        for record in iter_journal_records(path):
+            if record.get("type") != "unit":
+                continue
+            seed = record.get("seed")
+            if not isinstance(seed, int):
+                continue
+            index = seed - base
+            if not 0 <= index < job.spec.runs:
+                continue
+            try:
+                result = decode_result(record)
+            except (ValueError, KeyError, TypeError):
+                continue
+            rows[index] = {
+                "seed": seed,
+                "index": index,
+                "seconds": round(float(record.get("seconds", 0.0)), 6),
+                "source": "journal",
+                "cached": True,
+                "cut": result.cut,
+                "passes": result.passes,
+            }
+        if len(rows) == job.spec.runs:
+            job.results = [rows[i] for i in range(job.spec.runs)]
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Execution (worker tasks + engine threads)
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        """One worker task: pull, execute, settle — forever."""
+        while True:
+            try:
+                job = await self.queue.get()
+            except QueueClosed:
+                return
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        if job.cancel_token.cancelled:
+            await self._finish(job, "cancelled")
+            return
+        if not job.transition("running"):
+            return  # lost a race with cancel
+        await asyncio.to_thread(self.journal.append_state, job.job_id, "running")
+        self._publish_state(job)
+        try:
+            results, interrupted = await asyncio.to_thread(self._execute, job)
+        except asyncio.CancelledError:
+            # Service stopping: leave the job for recovery (journal
+            # still says "running" -> replays as queued+recovered).
+            job.cancel_token.cancel()
+            raise
+        except Exception as exc:  # noqa: BLE001 - job must settle
+            log.exception("job %s failed", job.job_id)
+            job.error = f"{type(exc).__name__}: {exc}"
+            await self._finish(job, "failed")
+            return
+        job.results = results
+        if interrupted:
+            await self._finish(job, "cancelled")
+        elif any(r.get("error") for r in results):
+            job.error = next(r["error"] for r in results if r.get("error"))
+            await self._finish(job, "failed")
+        else:
+            await self._finish(job, "done")
+
+    def _execute(self, job: Job):
+        """Run one job's engine batch (worker thread).
+
+        Always journalled (``run_id=job.run_id``) and always
+        ``resume=True`` — a fresh job's journal is empty so resume is a
+        no-op, and a recovered job's journal serves every unit that
+        finished before the crash.
+        """
+        assert self.bus is not None
+        material = build_units(job.spec, tag=job.spec.tag or job.job_id)
+        bus = self.bus
+
+        def on_trace(event: str, payload: Dict[str, Any]) -> None:
+            bus.publish_threadsafe(
+                job.job_id, "trace", dict(payload, event=event)
+            )
+
+        def on_progress(event: ProgressEvent) -> None:
+            snapshot = {
+                "done": event.done,
+                "total": event.total,
+                "elapsed_seconds": round(event.elapsed_seconds, 6),
+                "throughput": round(event.throughput, 3),
+                "eta_seconds": round(event.eta_seconds, 3),
+                "latest_cut": (
+                    event.latest.result.cut if event.latest.ok else None
+                ),
+                "latest_source": event.latest.source,
+            }
+            job.progress.update(snapshot)
+            bus.publish_threadsafe(job.job_id, "progress", snapshot)
+
+        engine = Engine(
+            EngineConfig(
+                workers=self.config.engine_workers,
+                cache_dir=self.config.resolved_cache_dir(),
+                use_cache=self.config.use_cache,
+                on_error="collect",
+                handle_signals=False,
+                timeout=self.config.unit_timeout,
+                recorder=CallbackRecorder(on_trace, events=TRACE_EVENTS),
+            )
+        )
+        unit_results = engine.run(
+            material.units,
+            progress=on_progress,
+            run_id=job.run_id,
+            resume=True,
+            cancel=job.cancel_token,
+        )
+        results = [self._encode_unit(r) for r in unit_results]
+        return results, engine.interrupted
+
+    @staticmethod
+    def _encode_unit(unit_result) -> Dict[str, Any]:
+        """One unit's JSON-ready result row."""
+        row: Dict[str, Any] = {
+            "seed": unit_result.unit.seed,
+            "index": unit_result.index,
+            "seconds": round(unit_result.seconds, 6),
+            "source": unit_result.source,
+            "cached": unit_result.cached,
+        }
+        if unit_result.ok:
+            row["cut"] = unit_result.result.cut
+            row["passes"] = unit_result.result.passes
+        else:
+            row["cut"] = None
+            row["error"] = (
+                f"{unit_result.error.exc_type}: {unit_result.error.message}"
+            )
+        return row
+
+    # ------------------------------------------------------------------
+    # Settling + events
+    # ------------------------------------------------------------------
+    async def _finish(self, job: Job, state: str) -> None:
+        if not job.transition(state):
+            return
+        await asyncio.to_thread(self.journal.append_state, job.job_id, state)
+        self._publish_state(job)
+
+    def _state_payload(self, job: Job) -> Dict[str, Any]:
+        return job.status_payload()
+
+    def _publish_state(self, job: Job) -> None:
+        if self.bus is not None:
+            self.bus.publish(job.job_id, "state", self._state_payload(job))

@@ -1,0 +1,206 @@
+"""Minimal asyncio client for the service API.
+
+The same no-new-dependencies constraint as the server: raw sockets,
+HTTP/1.1 with ``Connection: close``, JSON bodies.  Used by the test
+suite, ``scripts/load_smoke.py`` and ``examples/partition_service.py``;
+it is also a faithful wire-level reference for clients in any language
+(nothing below relies on Python-side shortcuts).
+
+:class:`ServiceClient` is stateless per call — every request opens a
+fresh connection, so thousands of concurrent requests multiplex on the
+event loop without connection-pool bookkeeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, Optional, Tuple
+
+
+class ServiceError(Exception):
+    """Non-2xx API response."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload
+        if isinstance(payload, dict):
+            message = payload.get("error", {}).get("message", payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """JSON client for one server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    async def _request(
+        self, method: str, path: str, body: Optional[Any] = None
+    ) -> Tuple[int, Any]:
+        payload = b"" if body is None else json.dumps(body).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+        try:
+            writer.write(head + payload)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(-1), self.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+        status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+        try:
+            status = int(status_line.split()[1])
+        except (IndexError, ValueError):
+            raise ServiceError(0, f"bad response {status_line!r}") from None
+        try:
+            decoded = json.loads(body_blob.decode() or "null")
+        except ValueError:
+            decoded = body_blob.decode(errors="replace")
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return status, decoded
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    async def health(self) -> Dict[str, Any]:
+        """``GET /healthz`` — liveness and version."""
+        return (await self._request("GET", "/healthz"))[1]
+
+    async def stats(self) -> Dict[str, Any]:
+        """``GET /v1/stats`` — jobs/queue/journal counters."""
+        return (await self._request("GET", "/v1/stats"))[1]
+
+    async def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a job spec; returns the 202 status payload."""
+        return (await self._request("POST", "/v1/jobs", spec))[1]
+
+    async def job(
+        self, job_id: str, include_spec: bool = False
+    ) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}`` — one job's status payload."""
+        suffix = "?spec=1" if include_spec else ""
+        return (await self._request("GET", f"/v1/jobs/{job_id}{suffix}"))[1]
+
+    async def jobs(
+        self, state: Optional[str] = None, tenant: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """``GET /v1/jobs`` — list jobs, optionally filtered."""
+        query = "&".join(
+            f"{k}={v}"
+            for k, v in (("state", state), ("tenant", tenant))
+            if v is not None
+        )
+        path = "/v1/jobs" + (f"?{query}" if query else "")
+        return (await self._request("GET", path))[1]
+
+    async def result(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}/result`` — raises 409 until terminal."""
+        return (await self._request("GET", f"/v1/jobs/{job_id}/result"))[1]
+
+    async def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``POST /v1/jobs/{id}/cancel`` — idempotent cancel."""
+        return (await self._request("POST", f"/v1/jobs/{job_id}/cancel"))[1]
+
+    async def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll_seconds: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its result payload."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            status = await self.job(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return await self.result(job_id)
+            if loop.time() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            await asyncio.sleep(poll_seconds)
+
+    async def events(
+        self, job_id: str, timeout: float = 60.0
+    ) -> AsyncIterator[Tuple[str, Any]]:
+        """Stream SSE events as ``(event, payload)`` until terminal state.
+
+        A faithful (if minimal) EventSource parser: accumulates
+        ``event:``/``data:`` fields, dispatches on blank line, ignores
+        ``:`` comment heartbeats.
+        """
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+        try:
+            writer.write(
+                f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Accept: text/event-stream\r\n"
+                "Connection: close\r\n\r\n".encode()
+            )
+            await writer.drain()
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), self.timeout
+            )
+            status = int(head.split(b" ", 2)[1])
+            if status >= 400:
+                body = await reader.read(-1)
+                try:
+                    decoded = json.loads(body.decode() or "null")
+                except ValueError:
+                    decoded = body.decode(errors="replace")
+                raise ServiceError(status, decoded)
+            event_name = ""
+            data_lines = []
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout)
+                if not line:
+                    return
+                text = line.decode().rstrip("\r\n")
+                if not text:
+                    if data_lines:
+                        yield (
+                            event_name or "message",
+                            json.loads("\n".join(data_lines)),
+                        )
+                    event_name = ""
+                    data_lines = []
+                    continue
+                if text.startswith(":"):
+                    continue  # heartbeat comment
+                field_name, _, value = text.partition(":")
+                value = value.lstrip(" ")
+                if field_name == "event":
+                    event_name = value
+                elif field_name == "data":
+                    data_lines.append(value)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass

@@ -1,0 +1,149 @@
+"""The job model: states, identity, and status snapshots.
+
+A :class:`Job` is one accepted submission flowing through the service::
+
+    queued ──> running ──> done
+        │          │  └──> failed
+        └──────────┴─────> cancelled
+
+``done``/``failed``/``cancelled`` are terminal.  Cancellation is
+cooperative: a queued job is simply removed; a running job has its
+:class:`~repro.engine.CancelToken` fired, the engine drains in-flight
+units (journalling every completed one), and the job lands in
+``cancelled`` with partial results preserved — resubmitting the same
+spec resumes from the journal with zero recomputation.
+
+Job ids are deterministic given submission order (``j<seq>-<digest>``)
+so the recovery replay reconstructs the exact same ids, and double as
+engine run ids (they satisfy :func:`repro.engine.validate_run_id`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine import CancelToken
+from .schemas import JobSpec
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES: Tuple[str, ...] = (
+    "queued", "running", "done", "failed", "cancelled"
+)
+
+#: States a job never leaves.
+TERMINAL_STATES: Tuple[str, ...] = ("done", "failed", "cancelled")
+
+
+def job_id_for(seq: int, spec: JobSpec) -> str:
+    """Deterministic job id: submission ordinal + content digest prefix.
+
+    Depends only on ``(seq, spec)`` so journal replay after a crash
+    regenerates identical ids, and clients can correlate a resubmitted
+    spec by its digest half.
+    """
+    return f"j{seq:06d}-{spec.fingerprint()[:12]}"
+
+
+@dataclass
+class Job:
+    """One submission's full lifecycle state.
+
+    Mutable fields are only written while holding the owning service's
+    lock; ``cancel_token`` is the one cross-thread channel (fired from
+    the event loop, observed by the engine thread).
+    """
+
+    job_id: str
+    spec: JobSpec
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    results: Optional[List[Dict[str, Any]]] = None
+    progress: Dict[str, Any] = field(default_factory=dict)
+    cancel_token: CancelToken = field(default_factory=CancelToken)
+    #: Set when the job was restored from the jobs journal on restart;
+    #: its engine run resumes from the run journal instead of starting
+    #: fresh.
+    recovered: bool = False
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def run_id(self) -> str:
+        """The engine run id: one run journal per job."""
+        return f"job-{self.job_id}"
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, state: str) -> bool:
+        """Move to ``state``; returns False if already terminal.
+
+        The single funnel for state changes keeps the journal, the
+        event bus and the in-memory map from ever disagreeing about a
+        race (e.g. cancel landing just as the worker finishes).
+        """
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        with self._lock:
+            if self.state in TERMINAL_STATES:
+                return False
+            self.state = state
+            now = time.time()
+            if state == "running" and self.started_at is None:
+                self.started_at = now
+            if state in TERMINAL_STATES:
+                self.finished_at = now
+            return True
+
+    def status_payload(self, include_spec: bool = False) -> Dict[str, Any]:
+        """The JSON-ready status object served by the HTTP API."""
+        with self._lock:
+            payload: Dict[str, Any] = {
+                "job_id": self.job_id,
+                "state": self.state,
+                "tenant": self.spec.tenant,
+                "priority": self.spec.priority,
+                "tag": self.spec.tag,
+                "runs": self.spec.runs,
+                "seed": self.spec.effective_seed(),
+                "run_id": self.run_id,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "recovered": self.recovered,
+            }
+            if self.progress:
+                payload["progress"] = dict(self.progress)
+            if self.error is not None:
+                payload["error"] = self.error
+            if self.results is not None:
+                payload["best_cut"] = min(
+                    (r["cut"] for r in self.results), default=None
+                )
+            if include_spec:
+                payload["spec"] = self.spec.payload()
+            return payload
+
+    def result_payload(self) -> Dict[str, Any]:
+        """The JSON-ready result object (terminal jobs only)."""
+        with self._lock:
+            if self.state not in TERMINAL_STATES:
+                raise ValueError(f"job {self.job_id} is {self.state}")
+            payload = {
+                "job_id": self.job_id,
+                "state": self.state,
+                "results": self.results or [],
+            }
+            if self.error is not None:
+                payload["error"] = self.error
+            if self.results:
+                cuts = [r["cut"] for r in self.results]
+                payload["best_cut"] = min(cuts)
+                payload["cuts"] = cuts
+            return payload

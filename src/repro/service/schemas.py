@@ -1,0 +1,398 @@
+"""Job specifications: the service's wire schema and its validation.
+
+A job submission is one JSON object describing
+
+* **a hypergraph** — either inline hMETIS text (``"hgr"``) or a seeded
+  generator spec (``"generate"``), never both, and
+* **a partitioning request** — algorithm, run count, base seed, balance
+  criterion — plus scheduling metadata (tenant, priority, tag).
+
+:func:`parse_job_spec` turns an untrusted payload into a frozen,
+fully-validated :class:`JobSpec` (raising :exc:`SchemaError` with the
+offending field otherwise); :func:`build_units` turns a spec into the
+hypergraph, balance constraint and :class:`~repro.engine.WorkUnit` list
+the execution engine consumes — the same units, fingerprints and cache
+keys a CLI run of the identical request would produce.
+
+Determinism: a spec without an explicit seed derives one from the
+sha256 of its canonical payload (:meth:`JobSpec.effective_seed`), so
+resubmitting the byte-identical job yields bit-identical cuts — and
+identical experiment-cache keys, which is what makes repeat submissions
+nearly free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine import WorkUnit, seed_stream
+from ..hypergraph import (
+    BENCHMARK_NAMES,
+    Hypergraph,
+    make_benchmark,
+    random_hypergraph,
+    small_instance,
+)
+from ..hypergraph.io_ import parse_hgr_text
+from ..multirun import Partitioner
+from ..partition import BalanceConstraint
+
+#: Generator spec kinds accepted in ``{"generate": {"kind": ...}}``.
+GENERATOR_KINDS = ("benchmark", "many_small", "random")
+
+#: Hard ceiling on runs per job (a job is one engine batch).
+MAX_RUNS = 10_000
+
+#: Hard ceiling on inline hgr text, in characters (~64 MB of netlist
+#: would be journalled with the job; the HTTP layer enforces its own
+#: body cap first).
+MAX_HGR_CHARS = 16_000_000
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}\Z")
+_BALANCE_RE = re.compile(r"^\d{1,2}(\.\d+)?-\d{1,2}(\.\d+)?\Z")
+
+
+class SchemaError(ValueError):
+    """An invalid job payload; ``field`` names the offending key."""
+
+    def __init__(self, message: str, field: str = "") -> None:
+        super().__init__(message)
+        self.field = field
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated job submission (construct via :func:`parse_job_spec`).
+
+    ``graph`` is exactly one of ``{"hgr": <text>}`` or
+    ``{"generate": {...}}`` — see :func:`build_graph` for the generator
+    grammar.
+    """
+
+    graph: Dict[str, Any]
+    algorithm: str = "fm"
+    runs: int = 1
+    seed: Optional[int] = None
+    balance: str = "50-50"
+    tenant: str = "default"
+    priority: int = 0
+    tag: str = ""
+
+    def payload(self) -> Dict[str, Any]:
+        """The canonical *wire-format* JSON form.
+
+        Round-trips: ``parse_job_spec(spec.payload()) == spec`` — the
+        jobs journal stores exactly this, so recovery replays through
+        the same validator as live submissions.
+        """
+        out: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "runs": self.runs,
+            "seed": self.seed,
+            "balance": self.balance,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "tag": self.tag,
+        }
+        out.update(self.graph)  # exactly one of "hgr" / "generate"
+        return out
+
+    def fingerprint(self) -> str:
+        """sha256 over the canonical payload with the seed field blanked.
+
+        Seed-independent so :meth:`effective_seed` can be derived from
+        it without self-reference; also the stable content identity
+        used in generated job ids.
+        """
+        payload = dict(self.payload(), seed=None)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def effective_seed(self) -> int:
+        """The explicit seed, else one derived from the job content.
+
+        Content-derived seeds make unseeded submissions deterministic:
+        the same payload always partitions identically, on any server.
+        """
+        if self.seed is not None:
+            return self.seed
+        return int(self.fingerprint()[:8], 16)
+
+
+def _require(payload: Dict[str, Any], key: str, types, default=None):
+    value = payload.get(key, default)
+    if value is None and default is None:
+        return default
+    if not isinstance(value, types) or isinstance(value, bool):
+        names = (
+            types.__name__
+            if isinstance(types, type)
+            else "/".join(t.__name__ for t in types)
+        )
+        raise SchemaError(f"{key!r} must be {names}", field=key)
+    return value
+
+
+def parse_job_spec(payload: Any) -> JobSpec:
+    """Validate an untrusted payload into a :class:`JobSpec`.
+
+    Every constraint that can be checked without building the graph is
+    checked here — unknown algorithm names, malformed balance specs and
+    generator grammar errors are all rejected at submission time, so a
+    queued job can only fail for execution-time reasons.
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError("job payload must be a JSON object")
+    unknown = set(payload) - {
+        "hgr", "generate", "algorithm", "runs", "seed", "balance",
+        "tenant", "priority", "tag",
+    }
+    if unknown:
+        raise SchemaError(
+            f"unknown field(s): {', '.join(sorted(unknown))}",
+            field=sorted(unknown)[0],
+        )
+
+    hgr = payload.get("hgr")
+    generate = payload.get("generate")
+    if (hgr is None) == (generate is None):
+        raise SchemaError(
+            "provide exactly one of 'hgr' (inline netlist text) or "
+            "'generate' (generator spec)",
+            field="hgr",
+        )
+    if hgr is not None:
+        if not isinstance(hgr, str) or not hgr.strip():
+            raise SchemaError("'hgr' must be non-empty hMETIS text",
+                              field="hgr")
+        if len(hgr) > MAX_HGR_CHARS:
+            raise SchemaError(
+                f"'hgr' exceeds {MAX_HGR_CHARS} characters", field="hgr"
+            )
+        graph_spec: Dict[str, Any] = {"hgr": hgr}
+    else:
+        graph_spec = {"generate": _validated_generator(generate)}
+
+    algorithm = _require(payload, "algorithm", str, "fm")
+    _validate_algorithm(algorithm)
+
+    runs = _require(payload, "runs", int, 1)
+    if not 1 <= runs <= MAX_RUNS:
+        raise SchemaError(f"'runs' must be in 1..{MAX_RUNS}", field="runs")
+
+    seed = payload.get("seed")
+    if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+        raise SchemaError("'seed' must be an integer", field="seed")
+
+    balance = _require(payload, "balance", str, "50-50")
+    if not _BALANCE_RE.match(balance):
+        raise SchemaError(
+            f"bad balance spec {balance!r} (want e.g. '50-50' or '45-55')",
+            field="balance",
+        )
+    lo_pct, hi_pct = (float(part) for part in balance.split("-"))
+    if not (0.0 < lo_pct <= 50.0 <= hi_pct < 100.0):
+        raise SchemaError(
+            f"balance {balance!r} must satisfy 0 < lo <= 50 <= hi < 100",
+            field="balance",
+        )
+
+    tenant = _require(payload, "tenant", str, "default")
+    if not _TENANT_RE.match(tenant):
+        raise SchemaError(
+            "'tenant' must match [A-Za-z0-9._-]{1,64}", field="tenant"
+        )
+
+    priority = _require(payload, "priority", int, 0)
+    if abs(priority) > 1_000_000:
+        raise SchemaError("'priority' out of range", field="priority")
+
+    tag = _require(payload, "tag", str, "")
+    if len(tag) > 256:
+        raise SchemaError("'tag' exceeds 256 characters", field="tag")
+
+    return JobSpec(
+        graph=graph_spec,
+        algorithm=algorithm,
+        runs=runs,
+        seed=seed,
+        balance=balance,
+        tenant=tenant,
+        priority=priority,
+        tag=tag,
+    )
+
+
+def _validate_algorithm(name: str) -> None:
+    """Reject unknown algorithm names at submission time."""
+    import argparse
+
+    from ..cli import _make_partitioner
+
+    try:
+        _make_partitioner(name)
+    except (argparse.ArgumentTypeError, ValueError, IndexError) as exc:
+        raise SchemaError(str(exc), field="algorithm") from None
+
+
+def _validated_generator(spec: Any) -> Dict[str, Any]:
+    """Normalize and validate a ``"generate"`` spec."""
+    if not isinstance(spec, dict):
+        raise SchemaError("'generate' must be an object", field="generate")
+    kind = spec.get("kind")
+    if kind not in GENERATOR_KINDS:
+        raise SchemaError(
+            f"generate.kind must be one of {', '.join(GENERATOR_KINDS)}",
+            field="generate",
+        )
+    if kind == "benchmark":
+        name = spec.get("name")
+        if name not in BENCHMARK_NAMES:
+            raise SchemaError(
+                f"generate.name must be a Table-1 circuit "
+                f"({', '.join(BENCHMARK_NAMES)})",
+                field="generate",
+            )
+        scale = spec.get("scale", 1.0)
+        if not isinstance(scale, (int, float)) or not 0.0 < scale <= 1.0:
+            raise SchemaError("generate.scale must be in (0, 1]",
+                              field="generate")
+        out: Dict[str, Any] = {"kind": kind, "name": name,
+                               "scale": float(scale)}
+        if spec.get("seed") is not None:
+            out["seed"] = _generator_int(spec, "seed")
+        return out
+    if kind == "many_small":
+        lo, hi = _size_range(spec.get("size_range", [8, 24]))
+        index = _generator_int(spec, "index", default=0)
+        if index < 0:
+            raise SchemaError("generate.index must be >= 0",
+                              field="generate")
+        return {
+            "kind": kind,
+            "size_range": [lo, hi],
+            "seed": _generator_int(spec, "seed", default=0),
+            "index": index,
+        }
+    # kind == "random"
+    nodes = _generator_int(spec, "nodes", default=64)
+    nets = _generator_int(spec, "nets", default=96)
+    if not 2 <= nodes <= 1_000_000 or not 1 <= nets <= 4_000_000:
+        raise SchemaError("generate.nodes/nets out of range",
+                          field="generate")
+    return {
+        "kind": kind,
+        "nodes": nodes,
+        "nets": nets,
+        "seed": _generator_int(spec, "seed", default=0),
+    }
+
+
+def _generator_int(spec: Dict[str, Any], key: str, default=None) -> int:
+    value = spec.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SchemaError(f"generate.{key} must be an integer",
+                          field="generate")
+    return value
+
+
+def _size_range(value: Any) -> Tuple[int, int]:
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or any(isinstance(v, bool) or not isinstance(v, int) for v in value)
+    ):
+        raise SchemaError(
+            "generate.size_range must be [lo, hi] integers",
+            field="generate",
+        )
+    lo, hi = value
+    if lo < 6 or hi < lo or hi > 10_000:
+        raise SchemaError(
+            "generate.size_range must satisfy 6 <= lo <= hi <= 10000",
+            field="generate",
+        )
+    return lo, hi
+
+
+# ---------------------------------------------------------------------------
+# Spec -> executable material
+# ---------------------------------------------------------------------------
+def build_graph(spec: JobSpec) -> Hypergraph:
+    """Materialize the hypergraph a spec describes.
+
+    Raises :exc:`SchemaError` for inline hgr text that fails to parse
+    (the one validation that genuinely needs the full parser).
+    """
+    hgr = spec.graph.get("hgr")
+    if hgr is not None:
+        from ..hypergraph import HypergraphError
+
+        try:
+            return parse_hgr_text(hgr, origin="<inline hgr>")
+        except (HypergraphError, ValueError) as exc:
+            raise SchemaError(f"bad hgr payload: {exc}", field="hgr") from None
+    gen = spec.graph["generate"]
+    kind = gen["kind"]
+    if kind == "benchmark":
+        return make_benchmark(
+            gen["name"], scale=gen["scale"], seed=gen.get("seed")
+        )
+    if kind == "many_small":
+        lo, hi = gen["size_range"]
+        return small_instance((lo, hi), gen["seed"], gen["index"])
+    return random_hypergraph(gen["nodes"], gen["nets"], seed=gen["seed"])
+
+
+def build_partitioner(spec: JobSpec) -> Partitioner:
+    """The partitioner instance for a spec's algorithm name."""
+    from ..cli import _make_partitioner
+
+    return _make_partitioner(spec.algorithm)
+
+
+def build_balance(spec: JobSpec, graph: Hypergraph) -> BalanceConstraint:
+    """The balance constraint for a spec, bound to ``graph``."""
+    from ..cli import _make_balance
+
+    return _make_balance(graph, spec.balance)
+
+
+@dataclass(frozen=True)
+class JobMaterial:
+    """Everything a job execution needs, built once from its spec."""
+
+    graph: Hypergraph
+    partitioner: Partitioner
+    balance: BalanceConstraint
+    units: List[WorkUnit] = field(default_factory=list)
+
+
+def build_units(spec: JobSpec, tag: str = "") -> JobMaterial:
+    """Turn a validated spec into engine work units.
+
+    Seeds follow :func:`repro.engine.seed_stream` from the spec's
+    effective seed, exactly as the CLI and ``run_many`` derive them —
+    so a service job, a CLI run and a library call of the same request
+    share cache keys and produce bit-identical cuts.
+    """
+    graph = build_graph(spec)
+    partitioner = build_partitioner(spec)
+    balance = build_balance(spec, graph)
+    units = [
+        WorkUnit(
+            graph=graph,
+            partitioner=partitioner,
+            seed=seed,
+            balance=balance,
+            tag=tag or spec.tag,
+        )
+        for seed in seed_stream(spec.effective_seed(), spec.runs)
+    ]
+    return JobMaterial(
+        graph=graph, partitioner=partitioner, balance=balance, units=units
+    )

@@ -1,0 +1,151 @@
+"""Per-job event bus and Server-Sent-Events framing.
+
+The execution path runs in worker threads (the engine is synchronous);
+SSE subscribers live on the event loop.  :class:`EventBus` bridges the
+two: publishers call :meth:`EventBus.publish` (loop) or
+:meth:`EventBus.publish_threadsafe` (any thread, routed through
+``loop.call_soon_threadsafe``), and each subscriber owns a bounded
+:class:`asyncio.Queue` drained by its HTTP connection.
+
+Delivery semantics, chosen for a *monitoring* channel (the journal is
+the durable record — this never is):
+
+* **late joiners** immediately receive the job's most recent event of
+  each type (``state`` first), so a client that connects after the job
+  finished still sees its terminal state rather than hanging;
+* **slow consumers** lose oldest events first (drop-oldest on a full
+  queue) — progress is a sampled signal and the latest value wins;
+* a terminal ``state`` event closes the stream (`None` sentinel).
+
+Wire format follows the WHATWG EventSource spec: ``event:`` +
+``data:`` lines, blank-line terminated, with ``:heartbeat`` comment
+lines keeping idle connections alive through proxies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Dict, List, Optional, Tuple
+
+from .jobs import TERMINAL_STATES
+
+#: Event types published per job, in replay order for late joiners.
+EVENT_TYPES: Tuple[str, ...] = ("state", "progress", "trace")
+
+#: Per-subscriber buffer; beyond this, oldest events are dropped.
+SUBSCRIBER_BUFFER = 256
+
+
+def format_sse(event: str, payload: Dict[str, object]) -> bytes:
+    """One SSE frame: ``event:`` + single-line ``data:`` JSON."""
+    data = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return f"event: {event}\ndata: {data}\n\n".encode()
+
+
+HEARTBEAT_FRAME = b":heartbeat\n\n"
+
+
+class EventBus:
+    """Fan-out of job events to SSE subscribers (one loop, many threads)."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+        # job_id -> {event_type: last payload}; replayed to late joiners.
+        self._last: Dict[str, Dict[str, Dict[str, object]]] = {}
+        self._terminal: Dict[str, bool] = {}
+
+    # -- publishing ---------------------------------------------------------
+    def publish(self, job_id: str, event: str, payload: Dict[str, object]) -> None:
+        """Publish from the event loop thread."""
+        if event not in EVENT_TYPES:
+            raise ValueError(f"unknown event type {event!r}")
+        self._last.setdefault(job_id, {})[event] = payload
+        terminal = (
+            event == "state" and payload.get("state") in TERMINAL_STATES
+        )
+        if terminal:
+            self._terminal[job_id] = True
+        for queue in self._subscribers.get(job_id, []):
+            self._offer(queue, (event, payload))
+            if terminal:
+                self._offer(queue, None)
+        if terminal:
+            self._subscribers.pop(job_id, None)
+
+    def publish_threadsafe(
+        self, job_id: str, event: str, payload: Dict[str, object]
+    ) -> None:
+        """Publish from any thread (the engine worker path)."""
+        self._loop.call_soon_threadsafe(self.publish, job_id, event, payload)
+
+    @staticmethod
+    def _offer(queue: asyncio.Queue, item) -> None:
+        """Drop-oldest enqueue: a stalled reader never blocks a publisher."""
+        while True:
+            try:
+                queue.put_nowait(item)
+                return
+            except asyncio.QueueFull:
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - tiny race
+                    pass
+
+    # -- subscribing --------------------------------------------------------
+    def subscribe(self, job_id: str) -> asyncio.Queue:
+        """A queue pre-loaded with the job's latest event of each type."""
+        queue: asyncio.Queue = asyncio.Queue(maxsize=SUBSCRIBER_BUFFER)
+        last = self._last.get(job_id, {})
+        for event in EVENT_TYPES:
+            if event in last:
+                self._offer(queue, (event, last[event]))
+        if self._terminal.get(job_id):
+            self._offer(queue, None)
+        else:
+            self._subscribers.setdefault(job_id, []).append(queue)
+        return queue
+
+    def unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        """Detach one subscriber queue (no-op if already gone)."""
+        subscribers = self._subscribers.get(job_id)
+        if subscribers is None:
+            return
+        try:
+            subscribers.remove(queue)
+        except ValueError:
+            pass
+        if not subscribers:
+            self._subscribers.pop(job_id, None)
+
+    def forget(self, job_id: str) -> None:
+        """Drop replay state for a job (used when evicting history)."""
+        self._last.pop(job_id, None)
+        self._terminal.pop(job_id, None)
+
+    async def stream(
+        self, job_id: str, heartbeat: float = 15.0
+    ) -> AsyncIterator[bytes]:
+        """Yield SSE frames for a job until its terminal event.
+
+        Emits ``:heartbeat`` comments after ``heartbeat`` seconds of
+        silence.  Unsubscribes on exit however the generator ends
+        (client disconnect included).
+        """
+        queue = self.subscribe(job_id)
+        try:
+            while True:
+                try:
+                    item = await asyncio.wait_for(
+                        queue.get(), timeout=heartbeat
+                    )
+                except asyncio.TimeoutError:
+                    yield HEARTBEAT_FRAME
+                    continue
+                if item is None:
+                    return
+                event, payload = item
+                yield format_sse(event, payload)
+        finally:
+            self.unsubscribe(job_id, queue)

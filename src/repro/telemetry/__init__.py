@@ -35,6 +35,7 @@ from .events import (
 )
 from .recorder import (
     NULL_RECORDER,
+    CallbackRecorder,
     MemoryRecorder,
     NullRecorder,
     Recorder,
@@ -63,6 +64,7 @@ __all__ = [
     "NULL_RECORDER",
     "MemoryRecorder",
     "TraceRecorder",
+    "CallbackRecorder",
     "resolve_recorder",
     "AlgorithmTrace",
     "TraceSummary",

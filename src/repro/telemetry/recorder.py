@@ -334,6 +334,95 @@ class TraceRecorder(Recorder):
         self.close()
 
 
+class CallbackRecorder(Recorder):
+    """Forwards each event to a callback as ``(event, payload)`` pairs.
+
+    The push-stream twin of :class:`TraceRecorder`: payloads are the
+    same JSON-ready dicts a trace line would carry (minus the file),
+    delivered synchronously to ``callback(event_name, payload)`` as the
+    engines emit them.  This is the bridge between pass-engine
+    telemetry and live consumers — the service layer's server-sent
+    event feed (:mod:`repro.service.sse`) is built on it.
+
+    Parameters
+    ----------
+    callback:
+        Called once per event.  Exceptions propagate to the engine —
+        callbacks that talk to unreliable sinks should guard themselves.
+    events:
+        Optional allow-list of event names (``run_start``, ``pass_start``,
+        ``span``, ``move``, ``counters``, ``pass_end``, ``run_end``).
+        ``None`` forwards everything.  Per-move events dominate volume;
+        streaming consumers usually exclude them.
+    """
+
+    def __init__(
+        self,
+        callback,
+        events: Optional[Any] = None,
+    ) -> None:
+        self._callback = callback
+        self._events = None if events is None else frozenset(events)
+        self._run = -1
+
+    def _emit(self, event: str, payload: Dict[str, Any]) -> None:
+        if self._events is None or event in self._events:
+            self._callback(event, payload)
+
+    def run_start(self, algorithm, seed, num_nodes, num_nets) -> None:
+        """Forward the run header (advances the run ordinal)."""
+        self._run += 1
+        self._emit("run_start", {
+            "run": self._run, "algorithm": algorithm, "seed": seed,
+            "nodes": num_nodes, "nets": num_nets,
+        })
+
+    def pass_start(self, pass_index) -> None:
+        """Forward the start of a pass."""
+        self._emit("pass_start", {"run": self._run, "pass": pass_index})
+
+    def span(self, pass_index, name, seconds) -> None:
+        """Forward one completed phase span."""
+        self._emit("span", {
+            "run": self._run, "pass": pass_index, "name": name,
+            "seconds": seconds,
+        })
+
+    def move(
+        self, pass_index, move_index, node, from_side, selection_key,
+        immediate_gain,
+    ) -> None:
+        """Forward one tentative-move event."""
+        self._emit("move", {
+            "run": self._run, "pass": pass_index, "index": move_index,
+            "node": node, "side": from_side,
+            "selection": _jsonable(selection_key),
+            "immediate": immediate_gain,
+        })
+
+    def counters(self, pass_index, counts) -> None:
+        """Forward the pass's operation counters."""
+        self._emit("counters", {
+            "run": self._run, "pass": pass_index,
+            "counts": {k: int(v) for k, v in counts.items()},
+        })
+
+    def pass_end(self, pass_index, cut, moves, kept, gmax, seconds) -> None:
+        """Forward the end-of-pass summary."""
+        self._emit("pass_end", {
+            "run": self._run, "pass": pass_index, "cut": cut,
+            "moves": moves, "kept": kept, "gmax": gmax, "seconds": seconds,
+        })
+
+    def run_end(self, algorithm, cut, passes, runtime_seconds, stats) -> None:
+        """Forward the run's final summary."""
+        self._emit("run_end", {
+            "run": self._run, "algorithm": algorithm, "cut": cut,
+            "passes": passes, "runtime_seconds": runtime_seconds,
+            "stats": {k: _jsonable(v) for k, v in stats.items()},
+        })
+
+
 def resolve_recorder(recorder: Optional[Recorder]) -> Optional[Recorder]:
     """The engines' gate: an *enabled* recorder, or ``None``.
 

@@ -167,3 +167,67 @@ class TestEngineResume:
         engine.run(_units(2), run_id="bbb")
         assert set(list_runs(engine.journal_root())) == {"aaa", "bbb"}
         assert list_runs(tmp_path / "nonexistent") == []
+
+
+class TestReplayEdgeCases:
+    """Crash-window shapes recovery must absorb: duplicate appends and
+    torn tails, composed with a live resume (the service restart path)."""
+
+    def test_duplicate_unit_records_replay_idempotently(self, tmp_path):
+        first = _engine(tmp_path)
+        units = _units()
+        baseline = first.run(units, run_id="dup")
+        # At-least-once journalling: re-append every unit line verbatim
+        # (a crash between fsync and ack produces exactly this).
+        path = journal_path(first.journal_root(), "dup")
+        lines = path.read_text().splitlines()
+        unit_lines = [l for l in lines if json.loads(l)["type"] == "unit"]
+        with open(path, "a") as fh:
+            for line in unit_lines:
+                fh.write(line + "\n")
+
+        second = _engine(tmp_path)
+        resumed = second.run(units, run_id="dup", resume=True)
+        assert second.stats.journal_hits == 4
+        assert second.stats.executed == 0
+        assert [r.result.cut for r in resumed] == [
+            r.result.cut for r in baseline
+        ]
+
+    def test_conflicting_duplicate_latest_record_wins(self, tmp_path):
+        engine, units = _engine(tmp_path), _units(1)
+        engine.run(units, run_id="conflict")
+        path = journal_path(engine.journal_root(), "conflict")
+        record = json.loads(path.read_text().splitlines()[1])
+        from repro.engine.records import seal
+
+        record.pop("checksum", None)
+        record["seconds"] = 123.0  # a legitimately re-sealed rewrite
+        with open(path, "a") as fh:
+            fh.write(json.dumps(seal(record), sort_keys=True) + "\n")
+        records = engine.open_journal("conflict").load()
+        assert len(records) == 1
+        assert next(iter(records.values()))["seconds"] == 123.0
+
+    def test_torn_final_line_then_resume_completes(self, tmp_path):
+        first = _engine(tmp_path)
+        units = _units()
+        baseline = first.run(units, run_id="torn")
+        path = journal_path(first.journal_root(), "torn")
+        lines = path.read_text().splitlines()
+        # Keep header + 2 whole units, then a torn third: the crash hit
+        # mid-write.  The torn unit must be recomputed, not trusted.
+        torn = lines[3][: len(lines[3]) // 2]
+        path.write_text("\n".join(lines[:3] + [torn]) + "\n")
+
+        second = _engine(tmp_path)
+        resumed = second.run(units, run_id="torn", resume=True)
+        assert second.stats.journal_hits == 2
+        assert second.stats.executed == 2
+        assert [r.result.cut for r in resumed] == [
+            r.result.cut for r in baseline
+        ]
+        # The journal is whole again and a third resume serves all four.
+        third = _engine(tmp_path)
+        third.run(units, run_id="torn", resume=True)
+        assert third.stats.journal_hits == 4

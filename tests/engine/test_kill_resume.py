@@ -29,3 +29,18 @@ def test_sigterm_then_resume_is_bit_identical(tmp_path):
         f"{proc.stdout}\n{proc.stderr}"
     )
     assert "final cuts bit-identical" in proc.stdout
+
+
+def test_sigkill_then_resume_is_bit_identical(tmp_path):
+    """SIGKILL allows no drain at all — the journal's per-unit fsync
+    alone must carry the resume (the torn final line is tolerated)."""
+    proc = subprocess.run(
+        [sys.executable, str(SMOKE), "--cache-dir", str(tmp_path),
+         "--signal", "kill"],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert proc.returncode == 0, (
+        f"chaos smoke (kill) failed (rc {proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    assert "final cuts bit-identical" in proc.stdout

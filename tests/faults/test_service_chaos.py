@@ -1,0 +1,117 @@
+"""Chaos at the service layer: pool crashes under a running service.
+
+The service defaults to inline units (``engine_workers=0``) where
+crash/hang faults cannot fire, so this suite explicitly runs jobs over
+a process pool (``engine_workers=2``) with a crash plan armed — the
+honest pool-crash coverage for partitioning-as-a-service.  The engine's
+self-healing (broken pool -> inline fallback) must keep every job's
+cuts bit-identical to an undisturbed reference run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.service import PartitionService, ServiceConfig
+from repro.service.schemas import build_units, parse_job_spec
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
+
+PAYLOAD = {
+    "generate": {
+        "kind": "many_small", "size_range": [8, 14], "seed": 21, "index": 0,
+    },
+    "algorithm": "fm",
+    "runs": 4,
+    "seed": 4242,
+}
+
+
+async def _wait_terminal(service, job_id, timeout=120.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        job = service.get_job(job_id)
+        if job.terminal:
+            return job
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError(f"job {job_id} still {job.state}")
+        await asyncio.sleep(0.02)
+
+
+def _run_job_under_service(tmp_path) -> list:
+    async def main():
+        service = PartitionService(ServiceConfig(
+            cache_dir=str(tmp_path / "cache"),
+            use_cache=False,
+            engine_workers=2,
+            job_workers=1,
+            integrity_check=False,
+        ))
+        await service.start()
+        try:
+            job = await service.submit(dict(PAYLOAD))
+            done = await _wait_terminal(service, job.job_id)
+            assert done.state == "done", done.error
+            return [r["cut"] for r in done.results]
+        finally:
+            await service.stop()
+    return asyncio.run(main())
+
+
+def test_pool_crashes_leave_service_results_bit_identical(
+    monkeypatch, tmp_path
+):
+    """Reference first (no faults), then the same job through a service
+    whose pool workers crash: cuts must match exactly."""
+    spec = parse_job_spec(dict(PAYLOAD))
+    engine = Engine(EngineConfig(workers=0, use_cache=False))
+    reference = [r.result.cut for r in engine.run(build_units(spec).units)]
+
+    monkeypatch.setenv("REPRO_FAULTS", "crash:1")
+    cuts = _run_job_under_service(tmp_path)
+    assert cuts == reference
+
+
+def test_partial_crash_rate_under_service(monkeypatch, tmp_path):
+    spec = parse_job_spec(dict(PAYLOAD))
+    engine = Engine(EngineConfig(workers=0, use_cache=False))
+    reference = [r.result.cut for r in engine.run(build_units(spec).units)]
+
+    monkeypatch.setenv("REPRO_FAULTS", "seed=5,crash:0.5")
+    cuts = _run_job_under_service(tmp_path)
+    assert cuts == reference
+
+
+def test_transient_inline_faults_under_service(monkeypatch, tmp_path):
+    """Inline-capable kinds (the load smoke's plan) through the service
+    core: transient retries and slow IO never change a cut."""
+    spec = parse_job_spec(dict(PAYLOAD))
+    engine = Engine(EngineConfig(workers=0, use_cache=False))
+    reference = [r.result.cut for r in engine.run(build_units(spec).units)]
+
+    monkeypatch.setenv(
+        "REPRO_FAULTS", "seed=3,transient:0.3,slow_io:0.3,io_delay=0.002"
+    )
+
+    async def main():
+        service = PartitionService(ServiceConfig(
+            cache_dir=str(tmp_path / "cache"),
+            use_cache=False,
+            engine_workers=0,
+            job_workers=1,
+            integrity_check=False,
+        ))
+        await service.start()
+        try:
+            job = await service.submit(dict(PAYLOAD))
+            done = await _wait_terminal(service, job.job_id)
+            assert done.state == "done", done.error
+            return [r["cut"] for r in done.results]
+        finally:
+            await service.stop()
+
+    assert asyncio.run(main()) == reference

@@ -9,8 +9,10 @@ from repro.hypergraph import (
     compute_stats,
     hierarchical_circuit,
     make_benchmark,
+    many_small,
     planted_bisection,
     random_hypergraph,
+    small_instance,
 )
 from repro.partition import cut_cost
 
@@ -152,3 +154,53 @@ class TestBenchmarkSuite:
 
     def test_full_suite_has_16_circuits(self):
         assert len(BENCHMARK_NAMES) == 16
+
+
+class TestManySmall:
+    def test_batch_counts_and_sizes(self):
+        batch = many_small(10, size_range=(8, 20), seed=3)
+        assert len(batch) == 10
+        for hg in batch:
+            assert 8 <= hg.num_nodes
+            assert hg.num_nets >= 6
+
+    def test_deterministic(self):
+        assert many_small(5, (8, 16), seed=11) == many_small(5, (8, 16), seed=11)
+
+    def test_seeds_vary_the_batch(self):
+        assert many_small(5, (8, 16), seed=1) != many_small(5, (8, 16), seed=2)
+
+    def test_prefix_stable(self):
+        """Instance i never depends on how many circuits were requested."""
+        long = many_small(12, (8, 16), seed=4)
+        short = many_small(5, (8, 16), seed=4)
+        assert long[:5] == short
+
+    def test_index_addressable(self):
+        """small_instance(r, s, i) == many_small(...)[i] — a consumer can
+        materialize exactly the circuit it needs."""
+        batch = many_small(6, (8, 16), seed=9)
+        for i, hg in enumerate(batch):
+            assert small_instance((8, 16), 9, i) == hg
+
+    def test_adjacent_indices_decorrelated(self):
+        batch = many_small(8, (8, 40), seed=0)
+        assert len({hg.num_nodes for hg in batch}) > 1
+
+    def test_instances_are_partitionable(self):
+        from repro.baselines import FMPartitioner
+
+        hg = small_instance((10, 14), 2, 0)
+        result = FMPartitioner("bucket").partition(hg, seed=0)
+        assert cut_cost(hg, result.sides) == result.cut
+
+    def test_empty_batch(self):
+        assert many_small(0, (8, 16), seed=0) == []
+
+    @pytest.mark.parametrize(
+        "n, size_range",
+        [(-1, (8, 16)), (3, (4, 16)), (3, (16, 8))],
+    )
+    def test_validation(self, n, size_range):
+        with pytest.raises(ValueError):
+            many_small(n, size_range, seed=0)

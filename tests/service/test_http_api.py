@@ -1,0 +1,274 @@
+"""HTTP API end-to-end: real sockets on an ephemeral port.
+
+Each test boots a :class:`ServiceServer` on port 0 and drives it with
+:class:`ServiceClient` (and raw sockets where the wire bytes matter).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import (
+    PartitionService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceServer,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def payload(index: int = 0, runs: int = 2, **overrides):
+    spec = {
+        "generate": {
+            "kind": "many_small", "size_range": [8, 14],
+            "seed": 9, "index": index,
+        },
+        "algorithm": "fm",
+        "runs": runs,
+        "seed": 2000 + index,
+    }
+    spec.update(overrides)
+    return spec
+
+
+def with_server(tmp_path, body, **config_overrides):
+    """Run ``body(client, server)`` against a live server on port 0."""
+    async def main():
+        defaults = dict(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            job_workers=2,
+            integrity_check=False,
+        )
+        defaults.update(config_overrides)
+        server = ServiceServer(PartitionService(ServiceConfig(**defaults)))
+        await server.start()
+        client = ServiceClient(port=server.bound_port)
+        try:
+            return await body(client, server)
+        finally:
+            await server.stop()
+    return asyncio.run(main())
+
+
+def test_healthz_reports_version(tmp_path):
+    from repro import __version__
+
+    async def body(client, server):
+        return await client.health()
+    health = with_server(tmp_path, body)
+    assert health == {"status": "ok", "version": __version__}
+
+
+def test_submit_poll_result_roundtrip(tmp_path):
+    async def body(client, server):
+        accepted = await client.submit(payload())
+        assert accepted["state"] == "queued"
+        assert accepted["run_id"] == f"job-{accepted['job_id']}"
+        result = await client.wait(accepted["job_id"])
+        status = await client.job(accepted["job_id"], include_spec=True)
+        return accepted, result, status
+    accepted, result, status = with_server(tmp_path, body)
+    assert result["state"] == "done"
+    assert len(result["results"]) == 2
+    assert result["best_cut"] == min(result["cuts"])
+    assert status["spec"]["runs"] == 2
+    assert status["spec"]["algorithm"] == "fm"
+
+
+def test_result_conflicts_while_not_terminal(tmp_path):
+    async def body(client, server):
+        # No workers pull jobs if we stall the lone worker first.
+        blocker = await client.submit(payload(index=0, runs=500))
+        queued = await client.submit(payload(index=1, runs=1))
+        try:
+            await client.result(queued["job_id"])
+        except ServiceError as exc:
+            status = exc.status
+        else:
+            status = None
+        await client.cancel(blocker["job_id"])
+        await client.cancel(queued["job_id"])
+        return status
+    assert with_server(tmp_path, body, job_workers=1) == 409
+
+
+def test_cancel_is_idempotent_over_http(tmp_path):
+    async def body(client, server):
+        job = await client.submit(payload(runs=300))
+        first = await client.cancel(job["job_id"])
+        second = await client.cancel(job["job_id"])
+        final = await client.wait(job["job_id"])
+        return first, second, final
+    first, second, final = with_server(tmp_path, body, job_workers=1)
+    assert final["state"] == "cancelled"
+    assert second["state"] in ("queued", "running", "cancelled")
+
+
+def test_schema_error_maps_to_400_with_field(tmp_path):
+    async def body(client, server):
+        errors = {}
+        for name, bad in {
+            "runs": payload(runs=0),
+            "tenant": payload(tenant="no spaces!"),
+            "algorithm": payload(algorithm="simulated-bogosort"),
+        }.items():
+            try:
+                await client.submit(bad)
+            except ServiceError as exc:
+                errors[name] = (exc.status, exc.payload["error"].get("field"))
+        return errors
+    errors = with_server(tmp_path, body)
+    assert errors == {
+        "runs": (400, "runs"),
+        "tenant": (400, "tenant"),
+        "algorithm": (400, "algorithm"),
+    }
+
+
+def test_invalid_json_body_is_400(tmp_path):
+    async def body(client, server):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.bound_port
+        )
+        raw = b"{not json"
+        writer.write(
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: " + str(len(raw)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n" + raw
+        )
+        await writer.drain()
+        response = await reader.read(-1)
+        writer.close()
+        return response
+    response = with_server(tmp_path, body)
+    assert response.startswith(b"HTTP/1.1 400 ")
+    assert b"not valid JSON" in response
+
+
+def test_unknown_job_and_route_are_404(tmp_path):
+    async def body(client, server):
+        statuses = {}
+        for name, call in {
+            "job": client.job("j999999-cafecafecafe"),
+            "result": client.result("j999999-cafecafecafe"),
+            "route": client._request("GET", "/v1/nope"),
+        }.items():
+            try:
+                await call
+            except ServiceError as exc:
+                statuses[name] = exc.status
+        return statuses
+    statuses = with_server(tmp_path, body)
+    assert statuses == {"job": 404, "result": 404, "route": 404}
+
+
+def test_wrong_method_is_405(tmp_path):
+    async def body(client, server):
+        try:
+            await client._request("DELETE", "/v1/jobs")
+        except ServiceError as exc:
+            return exc.status
+    assert with_server(tmp_path, body) == 405
+
+
+def test_oversized_body_is_rejected(tmp_path):
+    async def body(client, server):
+        try:
+            await client._request(
+                "POST", "/v1/jobs", {"hgr": "x" * 4096}
+            )
+        except ServiceError as exc:
+            return exc.status
+    # max_body_bytes tiny: the request dies at framing, before JSON.
+    assert with_server(tmp_path, body, max_body_bytes=1024) == 400
+
+
+def test_list_jobs_filtering_over_http(tmp_path):
+    async def body(client, server):
+        a = await client.submit(payload(index=0, tenant="acme"))
+        b = await client.submit(payload(index=1, tenant="zeta"))
+        await client.wait(a["job_id"])
+        await client.wait(b["job_id"])
+        listing = await client.jobs()
+        acme = await client.jobs(tenant="acme")
+        done = await client.jobs(state="done")
+        return listing, acme, done
+    listing, acme, done = with_server(tmp_path, body)
+    assert listing["count"] == 2
+    assert acme["count"] == 1 and acme["jobs"][0]["tenant"] == "acme"
+    assert done["count"] == 2
+
+
+def test_sse_stream_over_http(tmp_path):
+    async def body(client, server):
+        job = await client.submit(payload(runs=2))
+        events = []
+        async for name, data in client.events(job["job_id"]):
+            events.append((name, data))
+            if name == "state" and data["state"] in (
+                "done", "failed", "cancelled"
+            ):
+                break
+        return events
+    events = with_server(tmp_path, body)
+    names = {name for name, _ in events}
+    assert "state" in names
+    final = [d for n, d in events if n == "state"][-1]
+    assert final["state"] == "done"
+    # Progress frames carry the engine's counters end-to-end.
+    progress = [d for n, d in events if n == "progress"]
+    if progress:  # may race to done before any progress frame lands
+        assert progress[-1]["total"] == 2
+
+
+def test_sse_unknown_job_is_404(tmp_path):
+    async def body(client, server):
+        try:
+            async for _ in client.events("j424242-missingcafe"):
+                pass
+        except ServiceError as exc:
+            return exc.status
+    assert with_server(tmp_path, body) == 404
+
+
+def test_sse_late_join_on_done_job_replays_and_closes(tmp_path):
+    async def body(client, server):
+        job = await client.submit(payload(runs=1))
+        await client.wait(job["job_id"])
+        events = []
+        async for name, data in client.events(job["job_id"]):
+            events.append((name, data))
+        return events  # stream must close itself after replay
+    events = with_server(tmp_path, body)
+    states = [d["state"] for n, d in events if n == "state"]
+    assert states == ["done"]
+
+
+def test_garbage_request_line_is_400(tmp_path):
+    async def body(client, server):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.bound_port
+        )
+        writer.write(b"COMPLETE NONSENSE\r\n\r\n")
+        await writer.drain()
+        response = await reader.read(-1)
+        writer.close()
+        return response
+    assert with_server(tmp_path, body).startswith(b"HTTP/1.1 400 ")
+
+
+def test_stats_over_http(tmp_path):
+    async def body(client, server):
+        job = await client.submit(payload())
+        await client.wait(job["job_id"])
+        return await client.stats()
+    stats = with_server(tmp_path, body)
+    assert stats["jobs"]["done"] == 1
+    assert stats["workers"]["job_workers"] == 2

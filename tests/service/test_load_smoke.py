@@ -1,0 +1,37 @@
+"""Subprocess run of the kill-and-restart load smoke (small scale).
+
+The full acceptance run (1000 jobs) lives in ``scripts/load_smoke.py``
+and the CI service lane; this keeps a scaled-down version of the same
+crash-consistency proof inside the test suite.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+pytestmark = [pytest.mark.slow, pytest.mark.chaos]
+
+
+def test_load_smoke_survives_sigkill(tmp_path):
+    proc = subprocess.run(
+        [
+            sys.executable, str(REPO / "scripts" / "load_smoke.py"),
+            "--jobs", "30", "--check",
+            "--cache-dir", str(tmp_path / "cache"),
+        ],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"load smoke failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "zero lost work" in proc.stdout
+    assert "bit-identical" in proc.stdout

@@ -1,0 +1,132 @@
+"""EventBus semantics and SSE wire framing."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.sse import (
+    HEARTBEAT_FRAME,
+    SUBSCRIBER_BUFFER,
+    EventBus,
+    format_sse,
+)
+
+
+def test_format_sse_frames():
+    frame = format_sse("state", {"state": "done", "job_id": "j1"})
+    assert frame.startswith(b"event: state\n")
+    assert frame.endswith(b"\n\n")
+    data_line = frame.decode().splitlines()[1]
+    assert data_line.startswith("data: ")
+    assert json.loads(data_line[len("data: "):]) == {
+        "state": "done", "job_id": "j1",
+    }
+
+
+def test_subscriber_receives_live_events():
+    async def main():
+        bus = EventBus(asyncio.get_running_loop())
+        queue = bus.subscribe("j1")
+        bus.publish("j1", "progress", {"done": 1})
+        bus.publish("j1", "state", {"state": "running"})
+        return [await queue.get(), await queue.get()]
+    items = asyncio.run(main())
+    assert items[0] == ("progress", {"done": 1})
+    assert items[1] == ("state", {"state": "running"})
+
+
+def test_late_joiner_gets_latest_of_each_type_then_terminal():
+    async def main():
+        bus = EventBus(asyncio.get_running_loop())
+        bus.publish("j1", "state", {"state": "running"})
+        bus.publish("j1", "progress", {"done": 1})
+        bus.publish("j1", "progress", {"done": 2})
+        bus.publish("j1", "state", {"state": "done"})
+        queue = bus.subscribe("j1")
+        items = []
+        while True:
+            item = await asyncio.wait_for(queue.get(), timeout=5)
+            if item is None:
+                break
+            items.append(item)
+        return items
+    items = asyncio.run(main())
+    # Latest state + latest progress only, then the stream closes.
+    assert ("state", {"state": "done"}) in items
+    assert ("progress", {"done": 2}) in items
+    assert ("progress", {"done": 1}) not in items
+
+
+def test_terminal_state_closes_live_subscribers():
+    async def main():
+        bus = EventBus(asyncio.get_running_loop())
+        queue = bus.subscribe("j1")
+        bus.publish("j1", "state", {"state": "cancelled"})
+        first = await queue.get()
+        sentinel = await queue.get()
+        return first, sentinel
+    first, sentinel = asyncio.run(main())
+    assert first == ("state", {"state": "cancelled"})
+    assert sentinel is None
+
+
+def test_slow_consumer_drops_oldest():
+    async def main():
+        bus = EventBus(asyncio.get_running_loop())
+        queue = bus.subscribe("j1")
+        for i in range(SUBSCRIBER_BUFFER + 50):
+            bus.publish("j1", "progress", {"done": i})
+        # Oldest events fell off; the newest survived.
+        items = []
+        while not queue.empty():
+            items.append(queue.get_nowait())
+        return items
+    items = asyncio.run(main())
+    assert len(items) == SUBSCRIBER_BUFFER
+    assert items[-1] == ("progress", {"done": SUBSCRIBER_BUFFER + 49})
+    assert items[0][1]["done"] == 50
+
+
+def test_publish_threadsafe_crosses_threads():
+    async def main():
+        bus = EventBus(asyncio.get_running_loop())
+        queue = bus.subscribe("j1")
+        await asyncio.to_thread(
+            bus.publish_threadsafe, "j1", "trace", {"event": "run_start"}
+        )
+        return await asyncio.wait_for(queue.get(), timeout=5)
+    assert asyncio.run(main()) == ("trace", {"event": "run_start"})
+
+
+def test_stream_yields_frames_and_heartbeats():
+    async def main():
+        bus = EventBus(asyncio.get_running_loop())
+        frames = []
+
+        async def consume():
+            async for frame in bus.stream("j1", heartbeat=0.05):
+                frames.append(frame)
+
+        task = asyncio.create_task(consume())
+        await asyncio.sleep(0.12)  # force at least one heartbeat
+        bus.publish("j1", "state", {"state": "done"})
+        await asyncio.wait_for(task, timeout=5)
+        return frames
+    frames = asyncio.run(main())
+    assert HEARTBEAT_FRAME in frames
+    assert any(b"event: state" in f for f in frames)
+
+
+def test_unsubscribe_and_forget():
+    async def main():
+        bus = EventBus(asyncio.get_running_loop())
+        queue = bus.subscribe("j1")
+        bus.unsubscribe("j1", queue)
+        bus.publish("j1", "progress", {"done": 1})
+        bus.forget("j1")
+        fresh = bus.subscribe("j1")
+        return queue.qsize(), fresh.qsize()
+    old_size, fresh_size = asyncio.run(main())
+    assert old_size == 0  # unsubscribed before publishing
+    assert fresh_size == 0  # forget dropped the replay state

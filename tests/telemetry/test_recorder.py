@@ -149,3 +149,65 @@ class TestCustomRecorder:
 def test_recorders_expose_enabled(cls):
     """Every concrete recorder advertises its enabled state."""
     assert isinstance(cls().enabled, bool)
+
+
+class TestCallbackRecorder:
+    """The push-stream recorder feeding the service's SSE bridge."""
+
+    def _drive(self, recorder):
+        recorder.run_start("fm", 7, 20, 30)
+        recorder.pass_start(0)
+        recorder.move(0, 0, 3, 0, (1.0, 2), -1.0)
+        recorder.counters(0, {"gain_updates": 5})
+        recorder.pass_end(0, 4.0, 10, 6, 2.0, 0.01)
+        recorder.run_end("fm", 4.0, 1, 0.02, {"k": (1, 2)})
+
+    def test_forwards_every_event_in_order(self):
+        from repro.telemetry import CallbackRecorder
+
+        seen = []
+        self._drive(CallbackRecorder(lambda e, p: seen.append((e, p))))
+        assert [e for e, _ in seen] == [
+            "run_start", "pass_start", "move", "counters",
+            "pass_end", "run_end",
+        ]
+        assert seen[0][1] == {
+            "run": 0, "algorithm": "fm", "seed": 7, "nodes": 20, "nets": 30,
+        }
+        assert seen[-1][1]["cut"] == 4.0
+
+    def test_event_allowlist_filters(self):
+        from repro.telemetry import CallbackRecorder
+
+        seen = []
+        recorder = CallbackRecorder(
+            lambda e, p: seen.append(e),
+            events=("run_start", "run_end"),
+        )
+        self._drive(recorder)
+        assert seen == ["run_start", "run_end"]
+
+    def test_payloads_are_json_ready(self):
+        from repro.telemetry import CallbackRecorder
+
+        payloads = []
+        self._drive(CallbackRecorder(lambda e, p: payloads.append(p)))
+        for payload in payloads:
+            json.dumps(payload)  # must not raise
+
+    def test_run_ordinal_advances_per_run_start(self):
+        from repro.telemetry import CallbackRecorder
+
+        runs = []
+        recorder = CallbackRecorder(
+            lambda e, p: runs.append(p["run"]), events=("run_start",)
+        )
+        recorder.run_start("fm", 1, 2, 3)
+        recorder.run_start("fm", 2, 2, 3)
+        assert runs == [0, 1]
+
+    def test_is_enabled(self):
+        from repro.telemetry import CallbackRecorder, resolve_recorder
+
+        recorder = CallbackRecorder(lambda e, p: None)
+        assert resolve_recorder(recorder) is recorder

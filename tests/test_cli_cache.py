@@ -114,3 +114,57 @@ class TestRunIdResumeFlow:
         out = capsys.readouterr().out
         assert "journalling run " in out
         assert "resume with --resume" in out
+
+
+class TestCacheVerifyJson:
+    """`cache verify --json`: machine-readable report, same exit codes."""
+
+    def _verify_json(self, tmp_path, capsys, *extra):
+        rc = main([
+            "cache", "verify", "--json",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        ])
+        out = capsys.readouterr().out
+        return rc, json.loads(out)
+
+    def test_clean_store_emits_report_and_exit_0(self, tmp_path, capsys):
+        assert main(_partition_args(tmp_path, "--run-id", "r1")) == 0
+        capsys.readouterr()
+        rc, report = self._verify_json(tmp_path, capsys)
+        assert rc == 0
+        assert report["scanned"] == report["ok"] > 0
+        assert report["corrupt"] == report["removed"] == 0
+        assert report["runs"] == ["r1"]
+        assert report["root"] == str(tmp_path / "cache")
+
+    def test_corruption_reported_and_exit_1(self, tmp_path, capsys):
+        assert main(_partition_args(tmp_path)) == 0
+        [first, *_] = sorted(_record_paths(tmp_path))
+        record = json.loads(first.read_text())
+        record["cut"] = -1.0
+        first.write_text(json.dumps(record))
+        capsys.readouterr()
+        rc, report = self._verify_json(tmp_path, capsys)
+        assert rc == 1
+        assert report["corrupt"] == report["removed"] == 1
+        assert not first.exists()
+
+    def test_keep_reports_without_removing(self, tmp_path, capsys):
+        assert main(_partition_args(tmp_path)) == 0
+        [first, *_] = sorted(_record_paths(tmp_path))
+        record = json.loads(first.read_text())
+        record["cut"] = -1.0
+        first.write_text(json.dumps(record))
+        capsys.readouterr()
+        rc, report = self._verify_json(tmp_path, capsys, "--keep")
+        assert rc == 1
+        assert report["corrupt"] == 1 and report["removed"] == 0
+        assert first.exists()
+
+    def test_json_output_is_the_only_stdout(self, tmp_path, capsys):
+        """Pipelines depend on stdout being exactly one JSON object."""
+        assert main(["cache", "verify", "--json",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["scanned"] == 0
+        assert out.count("\n") == 1
