@@ -24,7 +24,7 @@ Entry points: ``repro serve`` (CLI), :func:`run_service` (embedding),
 """
 
 from .api import ServiceServer, run_service
-from .app import JobNotFound, PartitionService, ServiceConfig
+from .app import JobNotFound, PartitionService, ServiceConfig, ServiceStopping
 from .client import ServiceClient, ServiceError
 from .jobs import JOB_STATES, TERMINAL_STATES, Job
 from .queue import FairQueue, QueueClosed
@@ -51,6 +51,7 @@ __all__ = [
     "jobs_journal_path",
     "PartitionService",
     "ServiceConfig",
+    "ServiceStopping",
     "ServiceServer",
     "ServiceClient",
     "ServiceError",

@@ -35,7 +35,7 @@ import signal
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from .app import JobNotFound, PartitionService, ServiceConfig
+from .app import JobNotFound, PartitionService, ServiceConfig, ServiceStopping
 from .schemas import SchemaError
 
 log = logging.getLogger("repro.service.api")
@@ -61,6 +61,7 @@ def _response(
         200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
         405: "Method Not Allowed", 409: "Conflict",
         413: "Payload Too Large", 500: "Internal Server Error",
+        503: "Service Unavailable",
     }.get(status, "OK")
     return (
         f"HTTP/1.1 {status} {reason}\r\n"
@@ -108,12 +109,20 @@ class ServiceServer:
         log.info("listening on %s:%d", self.host, self.bound_port)
 
     async def stop(self) -> None:
-        """Close the socket, then stop the service core."""
+        """Stop accepting, stop the core, then wait out connections.
+
+        The service core must stop *before* ``wait_closed()``: on
+        Python 3.12.1+ that call waits for in-flight handlers, and an
+        open SSE stream for a non-terminal job only ends when the core's
+        shutdown closes the event bus — waiting first would hang
+        indefinitely while any SSE client stays connected.
+        """
         if self._server is not None:
             self._server.close()
+        await self.service.stop()
+        if self._server is not None:
             await self._server.wait_closed()
             self._server = None
-        await self.service.stop()
 
     async def serve_forever(self) -> None:
         """Serve requests until cancelled (after :meth:`start`)."""
@@ -259,6 +268,9 @@ class ServiceServer:
             writer.write(_response(
                 400, _error_body(str(exc), field=exc.field)
             ))
+            return
+        except ServiceStopping as exc:
+            writer.write(_response(503, _error_body(str(exc))))
             return
         writer.write(self._json(202, job.status_payload()))
 

@@ -58,6 +58,10 @@ class JobNotFound(KeyError):
     """No job with the requested id."""
 
 
+class ServiceStopping(RuntimeError):
+    """Submission rejected: the service is shutting down (HTTP 503)."""
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Service knobs (HTTP binding + execution + durability).
@@ -87,6 +91,10 @@ class ServiceConfig:
     unit_timeout: Optional[float] = None
     #: Seconds of SSE silence before a heartbeat comment.
     sse_heartbeat: float = 15.0
+    #: Terminal jobs kept in memory; the oldest-finished beyond this are
+    #: evicted (status/result then 404, but their journals remain — a
+    #: long-lived service no longer grows without bound).  0 = unlimited.
+    max_job_history: int = 10000
 
     def resolved_cache_dir(self) -> str:
         """The effective cache root (explicit or the engine default)."""
@@ -185,6 +193,11 @@ class PartitionService:
             except asyncio.CancelledError:
                 pass
         self._workers.clear()
+        if self.bus is not None:
+            # End every open SSE stream: jobs that will never reach a
+            # terminal state in this process must not hold connection
+            # handlers (and the HTTP server's wait_closed) open forever.
+            self.bus.close()
         self.journal.close()
 
     # ------------------------------------------------------------------
@@ -194,9 +207,12 @@ class PartitionService:
         """Validate, journal and enqueue one submission.
 
         Raises :exc:`SchemaError` on a bad payload (the HTTP layer maps
-        it to 400).  The job record hits the journal before this
-        returns, so an acknowledged submission is durable.
+        it to 400) and :exc:`ServiceStopping` once shutdown has begun
+        (503).  The job record hits the journal before this returns, so
+        an acknowledged submission is durable.
         """
+        if self.queue.closed:
+            raise ServiceStopping("service is shutting down")
         spec = parse_job_spec(payload)
         if "hgr" in spec.graph:
             # Parse inline netlists at the door: a malformed graph must
@@ -213,7 +229,16 @@ class PartitionService:
         await asyncio.to_thread(self.journal.append_job, job, seq)
         await asyncio.to_thread(self.journal.append_state, job.job_id, "queued")
         self._publish_state(job)
-        await self.queue.put(job, cost=float(spec.runs))
+        try:
+            await self.queue.put(job, cost=float(spec.runs))
+        except QueueClosed:
+            # Shutdown raced the journal append: the job is already
+            # durable, so it is accepted-for-restart — recovery re-runs
+            # it on the next start — rather than a late 5xx.
+            log.info(
+                "job %s accepted during shutdown; runs on next start",
+                job.job_id,
+            )
         return job
 
     def get_job(self, job_id: str) -> Job:
@@ -326,13 +351,32 @@ class PartitionService:
     # Execution (worker tasks + engine threads)
     # ------------------------------------------------------------------
     async def _worker(self) -> None:
-        """One worker task: pull, execute, settle — forever."""
+        """One worker task: pull, execute, settle — forever.
+
+        Nothing a single job does may kill the worker: an exception
+        escaping the settle path (e.g. a payload encoding bug) is
+        logged, the job is force-failed, and the worker keeps pulling —
+        otherwise one bad job would permanently shrink the pool.
+        """
         while True:
             try:
                 job = await self.queue.get()
             except QueueClosed:
                 return
-            await self._run_job(job)
+            try:
+                await self._run_job(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - pool must survive any job
+                log.exception(
+                    "job %s escaped settling; failing it and continuing",
+                    job.job_id,
+                )
+                job.error = job.error or "internal error while settling job"
+                try:
+                    await self._finish(job, "failed")
+                except Exception:  # noqa: BLE001 - last-ditch settle
+                    log.exception("failsafe settle of job %s failed", job.job_id)
 
     async def _run_job(self, job: Job) -> None:
         if job.cancel_token.cancelled:
@@ -444,6 +488,28 @@ class PartitionService:
             return
         await asyncio.to_thread(self.journal.append_state, job.job_id, state)
         self._publish_state(job)
+        self._evict_history()
+
+    def _evict_history(self) -> None:
+        """Bound in-memory job history to ``max_job_history`` terminals.
+
+        Oldest-finished terminal jobs are dropped from ``self.jobs`` and
+        the event bus replay cache; their results stay durable in the
+        run journals, so this trades 404s on ancient job ids for a flat
+        memory profile under sustained traffic.
+        """
+        cap = self.config.max_job_history
+        if cap <= 0:
+            return
+        terminal = [j for j in self.jobs.values() if j.terminal]
+        excess = len(terminal) - cap
+        if excess <= 0:
+            return
+        terminal.sort(key=lambda j: j.finished_at or 0.0)
+        for job in terminal[:excess]:
+            self.jobs.pop(job.job_id, None)
+            if self.bus is not None:
+                self.bus.forget(job.job_id)
 
     def _state_payload(self, job: Job) -> Dict[str, Any]:
         return job.status_payload()

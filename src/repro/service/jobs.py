@@ -123,8 +123,15 @@ class Job:
             if self.error is not None:
                 payload["error"] = self.error
             if self.results is not None:
+                # Error rows (on_error="collect") carry cut=None; a
+                # failed job with some successful units still reports
+                # its best successful cut.
                 payload["best_cut"] = min(
-                    (r["cut"] for r in self.results), default=None
+                    (
+                        r["cut"] for r in self.results
+                        if r.get("cut") is not None
+                    ),
+                    default=None,
                 )
             if include_spec:
                 payload["spec"] = self.spec.payload()
@@ -143,7 +150,14 @@ class Job:
             if self.error is not None:
                 payload["error"] = self.error
             if self.results:
-                cuts = [r["cut"] for r in self.results]
-                payload["best_cut"] = min(cuts)
-                payload["cuts"] = cuts
+                # Only successful units contribute cuts; error rows
+                # (cut=None) stay visible in ``results`` but must not
+                # poison the aggregate of a partially-failed job.
+                cuts = [
+                    r["cut"] for r in self.results
+                    if r.get("cut") is not None
+                ]
+                if cuts:
+                    payload["best_cut"] = min(cuts)
+                    payload["cuts"] = cuts
             return payload

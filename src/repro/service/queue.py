@@ -63,6 +63,11 @@ class FairQueue:
         """``tenant``'s configured service weight (1.0 if unset)."""
         return self._weights.get(tenant, 1.0)
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (puts/gets now raise)."""
+        return self._closed
+
     async def put(self, job: Job, cost: float = 1.0) -> None:
         """Enqueue ``job``; ``cost`` is its service demand (e.g. runs)."""
         if cost <= 0:

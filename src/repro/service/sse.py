@@ -55,6 +55,7 @@ class EventBus:
         # job_id -> {event_type: last payload}; replayed to late joiners.
         self._last: Dict[str, Dict[str, Dict[str, object]]] = {}
         self._terminal: Dict[str, bool] = {}
+        self._closed = False
 
     # -- publishing ---------------------------------------------------------
     def publish(self, job_id: str, event: str, payload: Dict[str, object]) -> None:
@@ -101,7 +102,7 @@ class EventBus:
         for event in EVENT_TYPES:
             if event in last:
                 self._offer(queue, (event, last[event]))
-        if self._terminal.get(job_id):
+        if self._terminal.get(job_id) or self._closed:
             self._offer(queue, None)
         else:
             self._subscribers.setdefault(job_id, []).append(queue)
@@ -123,6 +124,20 @@ class EventBus:
         """Drop replay state for a job (used when evicting history)."""
         self._last.pop(job_id, None)
         self._terminal.pop(job_id, None)
+
+    def close(self) -> None:
+        """End every open stream and refuse to hold new subscribers.
+
+        Called by the service on shutdown so SSE connections for
+        non-terminal jobs finish instead of pinning the server's
+        ``wait_closed()`` forever; late subscribers get an immediately
+        closed stream (after any replay).
+        """
+        self._closed = True
+        for queues in self._subscribers.values():
+            for queue in queues:
+                self._offer(queue, None)
+        self._subscribers.clear()
 
     async def stream(
         self, job_id: str, heartbeat: float = 15.0

@@ -17,6 +17,7 @@ from repro.service import (
     PartitionService,
     SchemaError,
     ServiceConfig,
+    ServiceStopping,
 )
 from repro.service.schemas import build_units, parse_job_spec
 
@@ -280,6 +281,98 @@ def test_failed_execution_settles_job_as_failed(tmp_path, monkeypatch):
             done = await wait_terminal(service, job.job_id)
             assert done.state == "failed"
             assert "PermanentFaultError" in done.error
+        finally:
+            await service.stop()
+    asyncio.run(main())
+
+
+def test_failed_job_with_mixed_units_keeps_worker_alive(tmp_path, monkeypatch):
+    """Regression: error rows carry ``cut=None``.  A failed multi-run
+    job must aggregate only successful cuts in its payloads, and
+    settling it must never raise out of the worker task — that used to
+    TypeError in ``min()`` and permanently shrink the worker pool."""
+    monkeypatch.setenv("REPRO_FAULTS", "seed=1,permanent:0.5")
+
+    async def main():
+        service = PartitionService(
+            service_config(tmp_path, use_cache=False, job_workers=1)
+        )
+        await service.start()
+        try:
+            # seed 1000 + permanent:0.5 under plan seed 1: units fail
+            # deterministically as [err, ok, ok, err] — a genuine mix.
+            job = await service.submit(payload(runs=4))
+            done = await wait_terminal(service, job.job_id)
+            assert done.state == "failed"
+            oks = [r for r in done.results if r.get("cut") is not None]
+            errs = [r for r in done.results if r.get("error")]
+            assert oks and errs
+            status = done.status_payload()
+            assert status["best_cut"] == min(r["cut"] for r in oks)
+            result = done.result_payload()
+            assert result["best_cut"] == min(r["cut"] for r in oks)
+            assert result["cuts"] == [r["cut"] for r in oks]
+            assert "PermanentFaultError" in result["error"]
+            # The lone worker survived settling: a clean job still runs.
+            monkeypatch.delenv("REPRO_FAULTS")
+            clean = await service.submit(payload(index=1, runs=2))
+            finished = await wait_terminal(service, clean.job_id)
+            assert finished.state == "done"
+        finally:
+            await service.stop()
+    asyncio.run(main())
+
+
+def test_all_failed_job_payloads_omit_cuts(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "seed=1,permanent:1")
+
+    async def main():
+        service = PartitionService(service_config(tmp_path, use_cache=False))
+        await service.start()
+        try:
+            job = await service.submit(payload(runs=2))
+            done = await wait_terminal(service, job.job_id)
+            assert done.state == "failed"
+            assert done.status_payload()["best_cut"] is None
+            result = done.result_payload()
+            assert "best_cut" not in result and "cuts" not in result
+            assert len(result["results"]) == 2
+        finally:
+            await service.stop()
+    asyncio.run(main())
+
+
+def test_submit_rejected_once_stopping(tmp_path):
+    async def main():
+        service = PartitionService(service_config(tmp_path))
+        await service.start()
+        job = await service.submit(payload())
+        await wait_terminal(service, job.job_id)
+        await service.stop()
+        with pytest.raises(ServiceStopping):
+            await service.submit(payload(index=1))
+    asyncio.run(main())
+
+
+def test_terminal_job_history_is_bounded(tmp_path):
+    async def main():
+        service = PartitionService(
+            service_config(tmp_path, max_job_history=2)
+        )
+        await service.start()
+        try:
+            ids = []
+            for i in range(4):
+                job = await service.submit(payload(index=i, runs=1))
+                await wait_terminal(service, job.job_id)
+                ids.append(job.job_id)
+            assert list(service.jobs) == ids[-2:]
+            for old in ids[:2]:
+                with pytest.raises(JobNotFound):
+                    service.get_job(old)
+                # Bus replay state is forgotten with the job.
+                assert old not in service.bus._last
+                assert old not in service.bus._terminal
         finally:
             await service.stop()
     asyncio.run(main())

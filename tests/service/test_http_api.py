@@ -272,3 +272,41 @@ def test_stats_over_http(tmp_path):
     stats = with_server(tmp_path, body)
     assert stats["jobs"]["done"] == 1
     assert stats["workers"]["job_workers"] == 2
+
+def test_stop_with_open_sse_stream_does_not_hang(tmp_path):
+    """Regression: ``wait_closed()`` on 3.12.1+ waits for in-flight
+    handlers, so shutdown used to hang while an SSE client watched a
+    still-running job.  Stop must end the stream and return."""
+    async def main():
+        server = ServiceServer(PartitionService(ServiceConfig(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            job_workers=1,
+            integrity_check=False,
+        )))
+        await server.start()
+        client = ServiceClient(port=server.bound_port)
+        job = await client.submit(payload(runs=500))
+        attached = asyncio.Event()
+
+        async def consume():
+            async for _name, _data in client.events(job["job_id"]):
+                attached.set()
+
+        consumer = asyncio.create_task(consume())
+        await asyncio.wait_for(attached.wait(), timeout=30)
+        await asyncio.wait_for(server.stop(), timeout=60)
+        await asyncio.wait_for(consumer, timeout=10)
+    asyncio.run(main())
+
+
+def test_submit_during_shutdown_is_503(tmp_path):
+    async def body(client, server):
+        await server.service.queue.close()  # shutdown has begun
+        try:
+            await client.submit(payload())
+        except ServiceError as exc:
+            return exc.status, exc.payload["error"]["message"]
+    status, message = with_server(tmp_path, body)
+    assert status == 503
+    assert "shutting down" in message

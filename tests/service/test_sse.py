@@ -130,3 +130,18 @@ def test_unsubscribe_and_forget():
     old_size, fresh_size = asyncio.run(main())
     assert old_size == 0  # unsubscribed before publishing
     assert fresh_size == 0  # forget dropped the replay state
+
+def test_close_ends_open_streams_and_new_subscribers():
+    async def main():
+        bus = EventBus(asyncio.get_running_loop())
+        open_queue = bus.subscribe("j-running")  # job never goes terminal
+        bus.publish("j-running", "state", {"state": "running"})
+        assert await open_queue.get() == ("state", {"state": "running"})
+        bus.close()
+        # Existing subscriber is released with the close sentinel...
+        assert await asyncio.wait_for(open_queue.get(), timeout=5) is None
+        # ...and a late subscriber still gets replay, then the sentinel.
+        late = bus.subscribe("j-running")
+        assert await late.get() == ("state", {"state": "running"})
+        assert await asyncio.wait_for(late.get(), timeout=5) is None
+    asyncio.run(main())
