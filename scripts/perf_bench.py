@@ -24,6 +24,15 @@ Usage::
 ``--check`` exits non-zero when the numpy backend is slower than the
 python backend for ``all_gains`` on the large instance — the regression
 gate CI runs on every push (in ``--smoke`` mode).
+
+``--subround`` switches to the sub-round engine benchmark instead:
+``full_pass`` with ``kernel="subround"`` at several worker counts
+against the sequential scalar baseline, on industry2 and a 10× synthetic
+instance (built directly with ``hierarchical_circuit`` — the named
+benchmark generators cap ``scale`` at 1.0).  Results go to
+``BENCH_subround.json``; cuts are asserted identical across worker
+counts (the invariance contract), and ``--check`` gates a ``full_pass``
+speedup ≥ 1.5× at 4 workers on every circuit benched.
 """
 
 from __future__ import annotations
@@ -43,7 +52,7 @@ import repro
 from repro.core import PropConfig
 from repro.core.engine import run_prop
 from repro.core.probability import make_probability_fn
-from repro.hypergraph import make_benchmark
+from repro.hypergraph import hierarchical_circuit, make_benchmark
 from repro.kernels import make_gain_engine, numpy_available
 from repro.partition import BalanceConstraint, Partition, random_balanced_sides
 
@@ -57,6 +66,20 @@ CIRCUITS = [
 
 SEED = 42
 BACKENDS = ("python", "numpy")
+
+#: Worker counts measured by the sub-round benchmark; the 4-worker row
+#: is the one ``--check`` gates.
+SUBROUND_WORKERS = (0, 2, 4)
+SUBROUND_GATE_WORKERS = 4
+SUBROUND_GATE_SPEEDUP = 1.5
+
+#: Sub-round benchmark circuits: industry2 (the paper's Table 1 large
+#: row) and a 10x synthetic instance built directly with
+#: ``hierarchical_circuit`` (``make_benchmark`` caps ``scale`` at 1.0).
+SUBROUND_CIRCUITS = [
+    ("industry2", lambda: make_benchmark("industry2", scale=1.0)),
+    ("synth10x", lambda: hierarchical_circuit(126370, 134190, 484040, seed=7)),
+]
 
 
 def _best_of(fn: Callable[[], None], reps: int) -> float:
@@ -123,30 +146,161 @@ def bench_circuit(name: str, reps: int, full_pass: bool) -> Dict:
     return out
 
 
+def bench_subround_circuit(name: str, graph, reps: int) -> Dict:
+    """Sub-round ``full_pass`` at each worker count vs the scalar pass.
+
+    Every sub-round run must produce the same cut at every worker count
+    (the invariance contract); a divergence aborts the benchmark.  The
+    scalar baseline is ``kernel="python"`` — the sequential algorithm
+    the sub-round engine replaces, which is what a speedup here means.
+    """
+    sides = random_balanced_sides(graph, SEED)
+    balance = BalanceConstraint.fifty_fifty(graph)
+    out: Dict = {
+        "num_nodes": graph.num_nodes,
+        "num_nets": graph.num_nets,
+        "num_pins": graph.num_pins,
+        "timings": {},
+        "cuts": {},
+    }
+
+    config = PropConfig(kernel="python", max_passes=1)
+
+    def scalar_pass():
+        out["cuts"]["python"] = run_prop(
+            graph, sides, balance, config, seed=SEED
+        ).cut
+
+    out["timings"]["python"] = _best_of(scalar_pass, reps)
+
+    stats = {}
+    for workers in SUBROUND_WORKERS:
+        key = f"subround_w{workers}"
+        config = PropConfig(
+            kernel="subround", max_passes=1, subround_workers=workers
+        )
+
+        def subround_pass(key=key, config=config):
+            result = run_prop(graph, sides, balance, config, seed=SEED)
+            out["cuts"][key] = result.cut
+            stats[key] = result.stats
+
+        out["timings"][key] = _best_of(subround_pass, reps)
+
+    cuts = {k: v for k, v in out["cuts"].items() if k.startswith("subround")}
+    if len(set(cuts.values())) != 1:
+        raise SystemExit(
+            f"{name}: sub-round cuts diverged across worker counts "
+            f"({cuts}) — the determinism contract is broken"
+        )
+    out["speedup"] = {
+        key: out["timings"]["python"] / out["timings"][key]
+        for key in out["timings"]
+        if key.startswith("subround") and out["timings"][key]
+    }
+    last = stats[f"subround_w{SUBROUND_WORKERS[-1]}"]
+    out["telemetry"] = {
+        "subrounds": last["subrounds"],
+        "subround_batch_max": last["subround_batch_max"],
+        "subround_workers": last["subround_workers"],
+        "subround_shm_fallbacks": last["subround_shm_fallbacks"],
+        "shm_attach_seconds": last["shm_attach_seconds"],
+    }
+    return out
+
+
+def run_subround(args) -> int:
+    reps = 1 if args.smoke else 3
+    report = {
+        "version": repro.__version__,
+        "seed": SEED,
+        "reps": reps,
+        "smoke": args.smoke,
+        "python": sys.version.split()[0],
+        "workers": list(SUBROUND_WORKERS),
+        "circuits": {},
+    }
+    circuits = SUBROUND_CIRCUITS[:1] if args.smoke else SUBROUND_CIRCUITS
+    for name, build in circuits:
+        graph = build()
+        t0 = time.perf_counter()
+        result = bench_subround_circuit(name, graph, reps)
+        report["circuits"][name] = result
+        speedups = ", ".join(
+            f"{k}={s:.2f}x" for k, s in sorted(result["speedup"].items())
+        )
+        print(
+            f"{name:10s} ({result['num_pins']} pins) "
+            f"[{time.perf_counter() - t0:.1f}s]: {speedups}"
+        )
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        key = f"subround_w{SUBROUND_GATE_WORKERS}"
+        failed = False
+        for name, result in report["circuits"].items():
+            speedup = result["speedup"][key]
+            if speedup < SUBROUND_GATE_SPEEDUP:
+                print(
+                    f"FAIL: {name} full_pass speedup at "
+                    f"{SUBROUND_GATE_WORKERS} workers is {speedup:.2f}x "
+                    f"< {SUBROUND_GATE_SPEEDUP}x",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    f"check OK: {name} full_pass {speedup:.2f}x >= "
+                    f"{SUBROUND_GATE_SPEEDUP}x at {SUBROUND_GATE_WORKERS} "
+                    "workers"
+                )
+        if failed:
+            return 1
+    return 0
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default=os.path.join(
-            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-            "BENCH_kernels.json",
-        ),
-        help="JSON output path (default: BENCH_kernels.json at repo root)",
+        default=None,
+        help="JSON output path (default: BENCH_kernels.json or, with "
+             "--subround, BENCH_subround.json at the repo root)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="CI-sized run: single rep, skip full_pass on medium/large",
+        help="CI-sized run: single rep, skip full_pass on medium/large "
+             "(with --subround: industry2 only)",
     )
     parser.add_argument(
         "--check", action="store_true",
         help="exit 1 unless numpy beats python for all_gains on the "
-             "large instance",
+             "large instance (with --subround: unless subround full_pass "
+             f"is >= {SUBROUND_GATE_SPEEDUP}x at {SUBROUND_GATE_WORKERS} "
+             "workers)",
+    )
+    parser.add_argument(
+        "--subround", action="store_true",
+        help="benchmark the sub-round engine at several worker counts "
+             "instead of the scalar-vs-numpy kernels",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_subround.json" if args.subround else "BENCH_kernels.json",
+        )
 
     if not numpy_available():
         print("numpy not importable; nothing to benchmark", file=sys.stderr)
         return 0 if not args.check else 1
+
+    if args.subround:
+        return run_subround(args)
 
     reps = 1 if args.smoke else 5
     report = {

@@ -180,6 +180,106 @@ class PassAuditor:
                 "rollback-cut", kept_cut, partition.cut_cost
             )
 
+    def after_batch(
+        self, partition, nodes: Sequence[int], gains: Sequence[float]
+    ) -> bool:
+        """Account for one applied sub-round batch; deep-check on the
+        ``every`` cadence.
+
+        The sub-round engines commit moves in batches, so the per-move
+        :meth:`after_move` hook (whose structure check compares the
+        running journal cut against the *current* partition) cannot run
+        mid-batch — the partition is only consistent at batch
+        boundaries.  This hook advances the same counters by the whole
+        batch and deep-checks the post-batch state whenever the batch
+        crossed an ``every`` boundary.  Returns True when it audited.
+        """
+        t0 = time.perf_counter()
+        try:
+            self.moves_seen += len(nodes)
+            before = self._move_index
+            self._move_index += len(nodes)
+            for g in gains:
+                self._running_cut -= g
+            if before // self.config.every == self._move_index // self.config.every:
+                return False
+            self.moves_audited += 1
+            if self.config.check_structure:
+                self._check_structure(partition, node=None)
+            if self.config.check_balance and self._started_balanced:
+                self._check_balance(partition, nodes[-1] if nodes else None)
+            return True
+        finally:
+            self.seconds += time.perf_counter() - t0
+
+    def check_subround_batch(
+        self, partition, pre_sides: Sequence[int], batch: Sequence[int],
+        gains: Sequence[float],
+    ) -> None:
+        """Independent scalar replay of one sub-round batch.
+
+        The sub-round kernel commits a whole batch with precomputed
+        gains (:meth:`repro.partition.Partition.apply_batch`), justified
+        by net-disjointness.  This check re-derives everything the
+        shortcut relies on: the batch shares no net between its nodes,
+        and a one-move-at-a-time replay from the pre-batch sides
+        (``reference.replay_moves``) realizes exactly the reported gains
+        and lands exactly on the engine's post-batch state and cut.
+        Called once per batch, after the engine's ``after_move`` calls.
+        """
+        if not self.config.check_gains:
+            return
+        t0 = time.perf_counter()
+        try:
+            self._check_subround_batch(partition, pre_sides, batch, gains)
+        finally:
+            self.seconds += time.perf_counter() - t0
+
+    def _check_subround_batch(
+        self, partition, pre_sides, batch, gains
+    ) -> None:
+        tol = self.config.tolerance
+        seen_nets = set()
+        for v in batch:
+            for net_id in self.graph.node_nets(v):
+                self.checks_run += 1
+                if net_id in seen_nets:
+                    raise self._violation(
+                        "subround-net-disjoint",
+                        f"net {net_id} claimed by one batch move",
+                        f"also touched by node {v}",
+                        node=v,
+                    )
+                seen_nets.add(net_id)
+        final_sides, final_cut, ref_gains = reference.replay_moves(
+            self.graph, list(pre_sides), list(batch)
+        )
+        for i, v in enumerate(batch):
+            self.checks_run += 1
+            if abs(gains[i] - ref_gains[i]) > tol:
+                raise self._violation(
+                    "subround-batch-gain", ref_gains[i], gains[i], node=v
+                )
+        actual_sides = partition.sides
+        self.checks_run += 1
+        if final_sides != actual_sides:
+            diff = [
+                v
+                for v in range(self.graph.num_nodes)
+                if final_sides[v] != actual_sides[v]
+            ]
+            raise self._violation(
+                "subround-batch-state",
+                "batched state equals scalar replay",
+                f"nodes {diff[:10]} differ",
+                detail=f"batch of {len(batch)} moves",
+            )
+        self.checks_run += 1
+        if abs(final_cut - partition.cut_cost) > tol:
+            raise self._violation(
+                "subround-batch-cut", final_cut, partition.cut_cost
+            )
+
     # ------------------------------------------------------------------
     # Structure / balance
     # ------------------------------------------------------------------

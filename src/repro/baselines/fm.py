@@ -255,6 +255,7 @@ def run_fm(
     audit: Optional[AuditConfig] = None,
     recorder: Optional[Recorder] = None,
     kernel: Optional[str] = None,
+    subround_workers: int = 0,
 ) -> BipartitionResult:
     """Run FM from an explicit initial partition.
 
@@ -268,14 +269,24 @@ def run_fm(
     ``recorder`` attaches a :class:`repro.telemetry.Recorder` (spans,
     per-move events, counters); recording never changes moves or cuts.
 
-    ``kernel`` selects the gain-bootstrap backend (see
-    :mod:`repro.kernels`; ``None`` means ``"auto"``).  The backends are
-    bit-identical, so moves and cuts never depend on this.
+    ``kernel`` selects the gain backend (see :mod:`repro.kernels`;
+    ``None`` means ``"auto"``).  The python/numpy backends are
+    bit-identical, so moves and cuts never depend on choosing between
+    them; ``"subround"`` switches the pass loop to deterministic batched
+    sub-rounds (:mod:`repro.kernels.subround`) — worker-count-invariant,
+    but a different move interleaving than the sequential loop.
+    ``subround_workers`` fans that kernel's sweeps over shared-memory
+    workers (0/1 = inline); it never affects results.
     """
     algorithm = f"FM-{container}"
     start = time.perf_counter()
     partition = Partition(graph, initial_sides)
-    kernel_name = resolve_kernel(kernel)
+    kernel_name = resolve_kernel(kernel, num_pins=graph.num_pins)
+    if kernel_name == "subround":
+        return _run_fm_subround(
+            graph, partition, balance, algorithm, container, max_passes,
+            seed, observer, audit, recorder, subround_workers, start,
+        )
     csr = None
     if kernel_name == "numpy":
         from ..kernels.csr import CsrView
@@ -352,6 +363,110 @@ def run_fm(
     return result
 
 
+def _run_fm_subround(
+    graph: Hypergraph,
+    partition: Partition,
+    balance: BalanceConstraint,
+    algorithm: str,
+    container: str,
+    max_passes: int,
+    seed: Optional[int],
+    observer: Optional[MoveObserver],
+    audit: Optional[AuditConfig],
+    recorder: Optional[Recorder],
+    subround_workers: int,
+    start: float,
+) -> BipartitionResult:
+    """The ``kernel="subround"`` FM run loop.
+
+    ``container`` is validated for API parity but unused — sub-rounds
+    select moves by one vectorized sweep per round, not from a gain
+    container.  ``finally`` guarantees the worker pool's shared segments
+    are unlinked even when a pass raises.
+    """
+    if container not in ("bucket", "tree"):
+        raise ValueError(
+            f"unknown container {container!r} (want 'bucket' or 'tree')"
+        )
+    from ..kernels.subround import SubroundFMEngine
+
+    engine = SubroundFMEngine(partition, seed, workers=subround_workers)
+    audit = resolve_audit(audit)
+    auditor = (
+        PassAuditor(graph, balance, audit, algorithm=algorithm, seed=seed)
+        if audit is not None
+        else None
+    )
+    rec = resolve_recorder(recorder)
+    phase = {
+        "bootstrap_seconds": 0.0,
+        "refine_seconds": 0.0,
+        "gain_init_seconds": 0.0,
+        "move_loop_seconds": 0.0,
+        "rollback_seconds": 0.0,
+    }
+    if rec is not None:
+        rec.run_start(algorithm, seed, graph.num_nodes, graph.num_nets)
+    passes = 0
+    total_moves = 0
+    pass_cuts = []
+    try:
+        while passes < max_passes:
+            pass_start = time.perf_counter()
+            if rec is not None:
+                rec.pass_start(passes)
+            counters = PassCounters() if rec is not None else None
+            journal = engine.run_pass(
+                balance, passes, observer=observer, auditor=auditor,
+                rec=rec, phase=phase, counters=counters,
+            )
+            total_moves += len(journal)
+            p, gmax = journal.best_prefix()
+            rollback_start = time.perf_counter()
+            partition.unlock_all()
+            for record in reversed(journal.rolled_back_moves()):
+                partition.move(record.node)
+            rollback_seconds = time.perf_counter() - rollback_start
+            phase["rollback_seconds"] += rollback_seconds
+            pass_cuts.append(partition.cut_cost)
+            if auditor is not None:
+                auditor.after_rollback(partition, journal)
+            if rec is not None:
+                rec.span(passes, "rollback", rollback_seconds)
+                rec.pass_end(
+                    passes, partition.cut_cost, len(journal), p, gmax,
+                    time.perf_counter() - pass_start,
+                )
+            passes += 1
+            if gmax <= 1e-9 or p == 0:
+                break
+    finally:
+        engine.close()
+    elapsed = time.perf_counter() - start
+    stats = {"tentative_moves": float(total_moves)}
+    stats.update(phase)
+    stats["kernel_numpy"] = 0.0
+    stats["kernel_subround"] = 1.0
+    stats["csr_build_seconds"] = engine.csr.build_seconds
+    stats.update(engine.run_stats())
+    if auditor is not None:
+        stats.update(auditor.summary())
+        elapsed -= auditor.seconds
+    result = BipartitionResult(
+        sides=partition.sides,
+        cut=partition.cut_cost,
+        algorithm=algorithm,
+        seed=seed,
+        passes=passes,
+        runtime_seconds=elapsed,
+        stats=stats,
+        pass_cuts=pass_cuts,
+    )
+    if rec is not None:
+        rec.run_end(algorithm, result.cut, passes, elapsed, stats)
+    return result
+
+
 class FMPartitioner:
     """Fidducia–Mattheyses partitioner (bucket or tree gain container)."""
 
@@ -366,15 +481,22 @@ class FMPartitioner:
         container: str = "bucket",
         max_passes: int = DEFAULT_MAX_PASSES,
         kernel: str = "auto",
+        subround_workers: int = 0,
     ) -> None:
         if container not in ("bucket", "tree"):
             raise ValueError(f"unknown container {container!r}")
         self.container = container
         self.max_passes = max_passes
-        # Underscore-prefixed: the gain kernel cannot change results, so
-        # it must stay out of the experiment-cache fingerprint (which
-        # hashes only public attributes — see repro.engine.units).
+        # Underscore-prefixed: the sequential gain kernels cannot change
+        # results, so they must stay out of the experiment-cache
+        # fingerprint (which hashes only public attributes — see
+        # repro.engine.units).  The subround kernel *does* change move
+        # interleaving, so selecting it sets a public family marker that
+        # keys its runs separately.
         self._kernel = kernel
+        self._subround_workers = subround_workers
+        if kernel == "subround":
+            self.kernel_family = "subround"
 
     @property
     def kernel(self) -> str:
@@ -409,6 +531,7 @@ class FMPartitioner:
             audit=audit,
             recorder=recorder,
             kernel=self._kernel,
+            subround_workers=self._subround_workers,
         )
         result.verify(graph)
         return result

@@ -208,14 +208,27 @@ def run_la(
 
     ``kernel`` selects the vector-bootstrap backend (see
     :mod:`repro.kernels`; ``None`` means ``"auto"``).  The backends are
-    bit-identical, so moves and cuts never depend on this.
+    bit-identical, so moves and cuts never depend on this.  LA has no
+    sub-round pass engine (the lookahead vectors have no batched
+    formulation yet); requesting ``"subround"`` warns and runs the
+    sequential numpy path.
     """
     if k < 1:
         raise ValueError(f"lookahead k must be >= 1, got {k}")
     algorithm = f"LA-{k}"
     start = time.perf_counter()
     partition = Partition(graph, initial_sides)
-    kernel_name = resolve_kernel(kernel)
+    kernel_name = resolve_kernel(kernel, num_pins=graph.num_pins)
+    if kernel_name == "subround":
+        import warnings
+
+        warnings.warn(
+            "LA has no subround pass engine; using the sequential "
+            "numpy backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        kernel_name = resolve_kernel("numpy")
     csr = None
     if kernel_name == "numpy":
         from ..kernels.csr import CsrView

@@ -65,15 +65,23 @@ from .multirun import run_many
 from .partition import BalanceConstraint, balance_ratio
 
 
-def _make_partitioner(name: str, kernel: Optional[str] = None):
+def _make_partitioner(
+    name: str, kernel: Optional[str] = None, subround_workers: int = 0
+):
     key = name.lower()
     kern = kernel if kernel is not None else "auto"
     if key == "prop":
-        return PropPartitioner(PropConfig(kernel=kern))
+        return PropPartitioner(
+            PropConfig(kernel=kern, subround_workers=subround_workers)
+        )
     if key in ("fm", "fm-bucket"):
-        return FMPartitioner("bucket", kernel=kern)
+        return FMPartitioner(
+            "bucket", kernel=kern, subround_workers=subround_workers
+        )
     if key == "fm-tree":
-        return FMPartitioner("tree", kernel=kern)
+        return FMPartitioner(
+            "tree", kernel=kern, subround_workers=subround_workers
+        )
     if key.startswith("la-"):
         return LAPartitioner(int(key.split("-", 1)[1]), kernel=kern)
     if key == "kl":
@@ -169,8 +177,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=KERNEL_CHOICES,
         default="auto",
         help="gain-kernel backend for PROP/FM/LA (default auto: numpy "
-        "when available, also REPRO_KERNEL). Backends are bit-identical "
-        "— same moves and cuts — so this only affects runtime",
+        "when available and the instance is large enough, also "
+        "REPRO_KERNEL). python/numpy are bit-identical — same moves and "
+        "cuts — so choosing between them only affects runtime; subround "
+        "runs deterministic batched sub-round passes (different move "
+        "interleaving, worker-count-invariant results)",
+    )
+    parser.add_argument(
+        "--subround-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shared-memory workers for --kernel subround (default 0: "
+        "inline sweeps). Never changes results, only wall-clock",
     )
     parser.add_argument(
         "--trace",
@@ -434,7 +453,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in args.algorithm:
         if interrupted:
             break
-        partitioner = _make_partitioner(name, args.kernel)
+        partitioner = _make_partitioner(
+            name, args.kernel, getattr(args, "subround_workers", 0)
+        )
         outcome = run_many(
             partitioner, graph, runs=args.runs, balance=balance,
             base_seed=args.seed, circuit_name=source, engine=engine,
@@ -487,7 +508,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _mode_partitioner(args):
     """First algorithm named on the command line drives the k-way/place/
     FPGA modes (they take a single 2-way engine)."""
-    return _make_partitioner(args.algorithm[0], getattr(args, "kernel", None))
+    return _make_partitioner(
+        args.algorithm[0],
+        getattr(args, "kernel", None),
+        getattr(args, "subround_workers", 0),
+    )
 
 
 def _run_kway_mode(graph: Hypergraph, args) -> int:
@@ -850,6 +875,13 @@ def _build_bench_parser() -> argparse.ArgumentParser:
         default="auto",
         help="gain-kernel backend (default auto; see prop-partition --help)",
     )
+    parser.add_argument(
+        "--subround-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shared-memory workers for --kernel subround (default 0)",
+    )
     _add_engine_flags(parser)
     return parser
 
@@ -886,7 +918,9 @@ def _run_bench_mode(argv: List[str]) -> int:
     for circuit_name, graph in circuits.items():
         balance = _make_balance(graph, args.balance)
         for algo_name in args.algorithm:
-            partitioner = _make_partitioner(algo_name, args.kernel)
+            partitioner = _make_partitioner(
+                algo_name, args.kernel, getattr(args, "subround_workers", 0)
+            )
             runs = effective_runs(partitioner, args.runs)
             cells.append({"circuit": circuit_name, "partitioner": partitioner,
                           "runs": runs})

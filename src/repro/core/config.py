@@ -21,11 +21,16 @@ INIT_METHODS = ("pinit", "deterministic")
 PROBABILITY_FUNCTIONS = ("linear", "sigmoid")
 
 #: Gain-kernel backends (see :mod:`repro.kernels`): "auto" picks numpy
-#: when importable (deferring to the ``REPRO_KERNEL`` environment
-#: variable first), "python"/"numpy" force a backend.  The backends are
-#: bit-identical — same moves, same cuts — so this knob is runtime-only
-#: and excluded from experiment-cache fingerprints.
-KERNELS = ("auto", "python", "numpy")
+#: when importable and the instance is large enough (deferring to the
+#: ``REPRO_KERNEL`` environment variable first), "python"/"numpy" force
+#: a backend.  Those two are bit-identical — same moves, same cuts — so
+#: the switch is runtime-only and excluded from experiment-cache
+#: fingerprints.  "subround" (never auto-selected) replaces the pass
+#: loop with deterministic batched sub-rounds
+#: (:mod:`repro.kernels.subround`); it changes move interleaving and
+#: hence results, so it *does* enter fingerprints, via
+#: :meth:`PropConfig.fingerprint_extra`.
+KERNELS = ("auto", "python", "numpy", "subround")
 
 #: In-pass neighbor-update strategies (Sec. 3.4):
 #: "recompute" — recompute each affected neighbor's full gain from current
@@ -77,9 +82,21 @@ class PropConfig:
         A pass must improve the cut by more than this to continue
         (guards against infinite loops with tiny float net costs).
     kernel:
-        Gain-kernel backend — see :data:`KERNELS`.  Result-neutral: both
-        backends produce bit-identical moves and cuts, so this field does
-        not participate in experiment-cache fingerprints.
+        Gain-kernel backend — see :data:`KERNELS`.  The sequential
+        backends are result-neutral (bit-identical moves and cuts); the
+        ``"subround"`` backend is not, and is fingerprinted via
+        :meth:`fingerprint_extra`.
+    subround_workers:
+        Shared-memory workers for the ``"subround"`` kernel (0/1 = run
+        the sweeps inline).  Never affects results — the sub-round
+        kernels are chunk-invariant — only wall-clock; ignored by the
+        other kernels.
+    subround_batch_fraction:
+        Fraction of the remaining free nodes one sub-round may move (at
+        least one node always moves).  Affects results when
+        ``kernel="subround"`` (smaller batches track the sequential
+        algorithm more closely); fingerprinted via
+        :meth:`fingerprint_extra` in exactly that case.
     """
 
     pinit: float = 0.95
@@ -96,11 +113,19 @@ class PropConfig:
     max_passes: int = 100
     min_pass_gain: float = 1e-9
     kernel: str = "auto"
+    subround_workers: int = 0
+    subround_batch_fraction: float = 0.1
 
     #: Fields that cannot affect results and are therefore skipped by the
     #: experiment-cache fingerprint (see :mod:`repro.engine.units`).  Not
     #: a dataclass field (no annotation) — a class-level constant.
-    _RESULT_NEUTRAL_FIELDS = frozenset({"kernel"})
+    #: ``subround_batch_fraction`` is listed here so python/numpy runs
+    #: stay kernel-neutral; when the subround kernel is selected (the
+    #: only case where it matters) :meth:`fingerprint_extra` puts it
+    #: back into the key.
+    _RESULT_NEUTRAL_FIELDS = frozenset(
+        {"kernel", "subround_workers", "subround_batch_fraction"}
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 < self.pmin <= self.pmax <= 1.0:
@@ -136,6 +161,29 @@ class PropConfig:
             raise ValueError("top_update_count must be >= 0")
         if self.max_passes < 1:
             raise ValueError("max_passes must be >= 1")
+        if self.subround_workers < 0:
+            raise ValueError("subround_workers must be >= 0")
+        if not 0.0 < self.subround_batch_fraction <= 1.0:
+            raise ValueError(
+                "subround_batch_fraction must be in (0, 1], got "
+                f"{self.subround_batch_fraction}"
+            )
+
+    def fingerprint_extra(self) -> Dict[str, Any]:
+        """Extra experiment-cache key material (see :mod:`repro.engine.units`).
+
+        The sub-round kernel is a different algorithm, so runs under it
+        must not share cache entries with sequential runs: the family
+        marker and the batch fraction (which shapes its move order)
+        enter the key.  For the sequential kernels this returns ``{}``,
+        keeping the kernel switch fingerprint-neutral as before.
+        """
+        if self.kernel == "subround":
+            return {
+                "kernel_family": "subround",
+                "subround_batch_fraction": self.subround_batch_fraction,
+            }
+        return {}
 
     def with_overrides(self, **kwargs: Any) -> "PropConfig":
         """A copy with the given fields replaced (re-validated)."""
@@ -155,6 +203,8 @@ class PropConfig:
             "top_update_count": self.top_update_count,
             "update_strategy": self.update_strategy,
             "kernel": self.kernel,
+            "subround_workers": self.subround_workers,
+            "subround_batch_fraction": self.subround_batch_fraction,
         }
 
 

@@ -68,9 +68,16 @@ def run_prop(
     start = time.perf_counter()
 
     partition = Partition(graph, initial_sides)
-    # Backend selection (repro.kernels): both backends are bit-identical,
-    # so the choice affects runtime only — never moves or cuts.
-    kernel = resolve_kernel(config.kernel)
+    # Backend selection (repro.kernels): the sequential backends are
+    # bit-identical, so that choice affects runtime only — never moves
+    # or cuts.  The subround kernel replaces the whole pass loop and is
+    # only ever selected explicitly.
+    kernel = resolve_kernel(config.kernel, num_pins=graph.num_pins)
+    if kernel == "subround":
+        return _run_prop_subround(
+            graph, partition, balance, config, seed, observer, audit,
+            recorder, start,
+        )
     engine = make_gain_engine(partition, kernel)
     prob_fn = make_probability_fn(config)
     audit = resolve_audit(audit)
@@ -134,6 +141,107 @@ def run_prop(
         stats["csr_build_seconds"] = csr.build_seconds
         stats["product_cache_hits"] = float(engine.product_cache_hits)
         stats["product_cache_misses"] = float(engine.product_cache_misses)
+    if auditor is not None:
+        stats.update(auditor.summary())
+        elapsed -= auditor.seconds
+    result = BipartitionResult(
+        sides=partition.sides,
+        cut=partition.cut_cost,
+        algorithm="PROP",
+        seed=seed,
+        passes=passes,
+        runtime_seconds=elapsed,
+        stats=stats,
+        pass_cuts=pass_cuts,
+    )
+    if rec is not None:
+        rec.run_end("PROP", result.cut, passes, elapsed, stats)
+    return result
+
+
+def _run_prop_subround(
+    graph: Hypergraph,
+    partition: Partition,
+    balance: BalanceConstraint,
+    config: PropConfig,
+    seed: Optional[int],
+    observer: Optional[MoveObserver],
+    audit: Optional[AuditConfig],
+    recorder,
+    start: float,
+) -> BipartitionResult:
+    """The ``kernel="subround"`` run loop (see :mod:`repro.kernels.subround`).
+
+    Same pass/rollback/stop protocol as the sequential loop; only the
+    inside of a pass differs (batched sub-rounds instead of one move at
+    a time).  The engine owns a shared-memory worker pool when
+    ``config.subround_workers >= 2``; ``finally`` guarantees its
+    segments are unlinked even when a pass raises.
+    """
+    from ..kernels.subround import SubroundPropEngine
+
+    engine = SubroundPropEngine(partition, config, seed)
+    audit = resolve_audit(audit)
+    auditor = (
+        PassAuditor(graph, balance, audit, algorithm="PROP", seed=seed)
+        if audit is not None
+        else None
+    )
+    rec = resolve_recorder(recorder)
+    phase = {
+        "bootstrap_seconds": 0.0,
+        "refine_seconds": 0.0,
+        "gain_init_seconds": 0.0,
+        "move_loop_seconds": 0.0,
+        "rollback_seconds": 0.0,
+    }
+    if rec is not None:
+        rec.run_start("PROP", seed, graph.num_nodes, graph.num_nets)
+
+    passes = 0
+    total_moves = 0
+    pass_cuts = []
+    try:
+        while passes < config.max_passes:
+            pass_start = time.perf_counter()
+            if rec is not None:
+                rec.pass_start(passes)
+            counters = PassCounters() if rec is not None else None
+            journal = engine.run_pass(
+                balance, passes, observer=observer, auditor=auditor,
+                rec=rec, phase=phase, counters=counters,
+            )
+            total_moves += len(journal)
+            p, gmax = journal.best_prefix()
+            rollback_start = time.perf_counter()
+            partition.unlock_all()
+            for record in reversed(journal.rolled_back_moves()):
+                partition.move(record.node)
+            rollback_seconds = time.perf_counter() - rollback_start
+            phase["rollback_seconds"] += rollback_seconds
+            pass_cuts.append(partition.cut_cost)
+            if auditor is not None:
+                auditor.after_rollback(partition, journal)
+            if rec is not None:
+                rec.span(passes, "rollback", rollback_seconds)
+                rec.pass_end(
+                    passes, partition.cut_cost, len(journal), p, gmax,
+                    time.perf_counter() - pass_start,
+                )
+            passes += 1
+            if gmax <= config.min_pass_gain or p == 0:
+                break
+    finally:
+        engine.close()
+
+    elapsed = time.perf_counter() - start
+    stats = {"tentative_moves": float(total_moves)}
+    stats.update(phase)
+    stats["kernel_numpy"] = 0.0
+    stats["kernel_subround"] = 1.0
+    stats["underflow_recomputes"] = float(engine.underflow_recomputes)
+    stats["csr_build_seconds"] = engine.csr.build_seconds
+    stats.update(engine.run_stats())
     if auditor is not None:
         stats.update(auditor.summary())
         elapsed -= auditor.seconds

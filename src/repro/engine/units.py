@@ -108,14 +108,26 @@ def _canonical_value(value: Any) -> Any:
     a pure runtime-backend switch); those are excluded so switching them
     does not invalidate cached results — the same policy as the audit
     config, which never enters the key at all.
+
+    A config may additionally define a ``fingerprint_extra()`` method
+    returning key material that is *conditionally* result-relevant —
+    e.g. ``PropConfig`` re-inserts the neutral-by-default batch fraction
+    exactly when the result-changing subround kernel is selected.  The
+    extra entries are merged under ``~``-prefixed keys (field names
+    never start with ``~``, so they cannot collide or spoof a field).
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         neutral = getattr(type(value), "_RESULT_NEUTRAL_FIELDS", frozenset())
-        return {
+        out = {
             f.name: _canonical_value(getattr(value, f.name))
             for f in dataclasses.fields(value)
             if f.name not in neutral
         }
+        extra = getattr(value, "fingerprint_extra", None)
+        if callable(extra):
+            for key, val in sorted(extra().items()):
+                out[f"~{key}"] = _canonical_value(val)
+        return out
     if isinstance(value, (list, tuple)):
         return [_canonical_value(v) for v in value]
     if isinstance(value, dict):

@@ -105,6 +105,23 @@ class FaultInjector:
                 f"injected permanent fault (unit {target})"
             )
 
+    def on_subround_worker(self, worker_id: int, round_id: int) -> None:
+        """Crash/hang a sub-round shared-memory worker (children only).
+
+        Called by the :mod:`repro.engine.shm` worker loop before each
+        command.  Reuses the ``crash``/``hang`` kinds with target key
+        ``shm|worker|round`` — like :meth:`on_unit_start`, the faults
+        fire only inside child processes so the coordinator (and the
+        inline fallback it degrades to) is always fault-free.
+        """
+        if multiprocessing.parent_process() is None:
+            return
+        key = f"shm|{worker_id}|{round_id}"
+        if self._fires("crash", key):
+            os._exit(CRASH_EXIT_CODE)
+        if self._fires("hang", key):
+            time.sleep(self.plan.hang_seconds)
+
     # ------------------------------------------------------------------
     # Engine site
     # ------------------------------------------------------------------

@@ -1,24 +1,35 @@
 """Gain-kernel backend selection for the partitioning hot paths.
 
-Two interchangeable backends compute the per-net side products and node
-gains that dominate PROP/FM/LA runtime:
+Three backends compute the per-net side products and node gains that
+dominate PROP/FM/LA runtime:
 
 * ``"python"`` — the scalar loops in :mod:`repro.core.gains` and the
   baseline modules (always available; the reference implementation);
 * ``"numpy"`` — :class:`NumpyGainEngine` over a CSR-packed hypergraph
   view (:class:`CsrView`), bit-identical to the scalar path (same moves,
-  same cuts — see :mod:`repro.kernels.numpy_backend` for the contract).
+  same cuts — see :mod:`repro.kernels.numpy_backend` for the contract);
+* ``"subround"`` — the batched sub-round pass engines of
+  :mod:`repro.kernels.subround`: vectorized gains plus net-disjoint
+  batch moves, optionally fanned out over shared-memory workers
+  (:mod:`repro.engine.shm`).  Deterministic for any worker count, but a
+  *different algorithm* from the sequential backends — cuts are
+  comparable, not identical.
 
 Selection precedence: an explicit backend name (``PropConfig.kernel``,
 ``run_fm(kernel=...)``, CLI ``--kernel``) wins; ``"auto"`` defers to the
 ``REPRO_KERNEL`` environment variable; failing that, numpy is used when
-importable and the scalar path otherwise.  Requesting numpy when it is
-not importable warns and falls back cleanly — the backends are
-result-identical, so a fallback changes runtime only.
+importable and the instance is large enough
+(:data:`AUTO_SCALAR_CUTOFF_PINS` — ``BENCH_kernels.json`` shows the
+scalar path wins end-to-end below ~4k pins, e.g. balu full_pass 0.92x),
+the scalar path otherwise.  Requesting numpy/subround when numpy is not
+importable warns and falls back cleanly.
 
-The backend choice is deliberately excluded from experiment-cache
-fingerprints (it cannot change results), so cached runs stay valid when
-switching kernels; see :mod:`repro.engine.units`.
+``"auto"`` and ``REPRO_KERNEL`` never select ``"subround"``: the
+sequential backends are result-identical (so the choice is excluded from
+experiment-cache fingerprints — see :mod:`repro.engine.units`), and an
+ambient environment variable silently changing *results* would poison
+that cache.  Sub-round runs must be requested explicitly, and carry a
+``kernel_family`` fingerprint marker.
 """
 
 from __future__ import annotations
@@ -27,11 +38,19 @@ import os
 import warnings
 from typing import Optional, Tuple
 
-#: Accepted values for ``PropConfig.kernel`` / ``--kernel`` / ``REPRO_KERNEL``.
-KERNEL_CHOICES: Tuple[str, ...] = ("auto", "python", "numpy")
+#: Accepted values for ``PropConfig.kernel`` / ``--kernel`` / ``REPRO_KERNEL``
+#: (the env var accepts only the result-identical subset, see above).
+KERNEL_CHOICES: Tuple[str, ...] = ("auto", "python", "numpy", "subround")
 
 #: Environment variable consulted when the configured kernel is ``"auto"``.
 KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Below this many pins, ``"auto"`` resolves to the scalar backend even
+#: when numpy is importable: the vectorized kernels' per-call constants
+#: exceed their savings on tiny instances (BENCH_kernels.json: balu at
+#: 2697 pins runs full_pass at 0.92x under numpy, industry2 at 48404
+#: pins at 1.06x).  Explicit ``"numpy"`` requests are always honored.
+AUTO_SCALAR_CUTOFF_PINS = 4096
 
 
 def numpy_available() -> bool:
@@ -43,13 +62,20 @@ def numpy_available() -> bool:
     return True
 
 
-def resolve_kernel(kernel: Optional[str] = None) -> str:
+def resolve_kernel(
+    kernel: Optional[str] = None, num_pins: Optional[int] = None
+) -> str:
     """Resolve a backend request to a concrete backend name.
 
     ``kernel`` is ``"auto"``/``None`` (consult ``REPRO_KERNEL``, then
-    availability), ``"python"``, or ``"numpy"``.  Always returns
-    ``"python"`` or ``"numpy"``; never raises on an unavailable backend
-    (warns and falls back instead), but rejects unknown *explicit* names.
+    availability and — when ``num_pins`` is given — the
+    :data:`AUTO_SCALAR_CUTOFF_PINS` instance-size cutoff), ``"python"``,
+    ``"numpy"``, or ``"subround"``.  Returns a concrete name; never
+    raises on an unavailable backend (warns and falls back instead), but
+    rejects unknown *explicit* names.
+
+    ``num_pins`` only influences ``"auto"`` resolution: explicit
+    requests and ``REPRO_KERNEL`` selections are honored at any size.
     """
     if kernel is None:
         kernel = "auto"
@@ -57,32 +83,51 @@ def resolve_kernel(kernel: Optional[str] = None) -> str:
         raise ValueError(
             f"unknown kernel {kernel!r} (choices: {', '.join(KERNEL_CHOICES)})"
         )
-    if kernel == "auto":
+    auto = kernel == "auto"
+    if auto:
         env = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
         if env in ("python", "numpy"):
             kernel = env
+            auto = False
         elif env and env != "auto":
+            # "subround" lands here deliberately: it changes results, so
+            # an ambient env var must not be able to select it (cached
+            # runs would silently stop matching their fingerprints).
             warnings.warn(
-                f"ignoring unknown {KERNEL_ENV_VAR}={env!r} "
-                f"(choices: {', '.join(KERNEL_CHOICES)})",
+                f"ignoring {KERNEL_ENV_VAR}={env!r} (the environment "
+                "variable accepts only auto/python/numpy)",
                 RuntimeWarning,
                 stacklevel=2,
             )
-    if kernel == "numpy" and not numpy_available():
+    if kernel in ("numpy", "subround") and not numpy_available():
         warnings.warn(
-            "numpy kernel requested but numpy is not importable; "
+            f"{kernel} kernel requested but numpy is not importable; "
             "falling back to the python backend",
             RuntimeWarning,
             stacklevel=2,
         )
         return "python"
-    if kernel == "auto":
-        return "numpy" if numpy_available() else "python"
+    if auto:
+        if not numpy_available():
+            return "python"
+        if num_pins is not None and num_pins < AUTO_SCALAR_CUTOFF_PINS:
+            return "python"
+        return "numpy"
     return kernel
 
 
 def make_gain_engine(partition, kernel: str):
-    """Construct the gain engine for a *resolved* backend name."""
+    """Construct the gain engine for a *resolved* backend name.
+
+    The sub-round backend has no per-move gain engine — its pass loop
+    *is* the engine (see :class:`repro.kernels.subround.SubroundPropEngine`);
+    callers branch before reaching here.
+    """
+    if kernel == "subround":
+        raise ValueError(
+            "the subround kernel replaces the pass loop; "
+            "construct a SubroundPropEngine/SubroundFMEngine instead"
+        )
     if kernel == "numpy":
         from .numpy_backend import NumpyGainEngine
 
@@ -106,6 +151,7 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "AUTO_SCALAR_CUTOFF_PINS",
     "KERNEL_CHOICES",
     "KERNEL_ENV_VAR",
     "CsrView",

@@ -1,0 +1,947 @@
+"""Deterministic sub-round parallel refinement on the CSR view.
+
+The sequential pass loops (PROP in :mod:`repro.core.engine`, FM in
+:mod:`repro.baselines.fm`) move one node at a time and pay per-move
+container maintenance and neighbor-gain updates — the cost that
+``BENCH_kernels.json`` shows dominating ``full_pass`` even after the
+numpy kernels made ``all_gains`` ~4.6x faster.  The ``"subround"``
+kernel restructures a pass along the synchronous sub-round scheme of
+*Deterministic Parallel Hypergraph Partitioning* (Gottesbüren et al.):
+
+1. **gains** — all node gains are computed vectorized on the
+   :class:`~repro.kernels.csr.CsrView` (probabilistic Eqns. 3/4 for
+   PROP, Eqn. 1 for FM);
+2. **select** — a batch of best-gain, balance-feasible, **net-disjoint**
+   moves is chosen by one deterministic greedy sweep over the candidates
+   in ``(-gain, tie_key(seed, node))`` order;
+3. **apply** — the whole batch is committed at once:
+   :meth:`repro.partition.Partition.apply_batch` flips every node with
+   precomputed immediate gains (exact, because net-disjointness means no
+   batch move can change another's gain), and the next sub-round's
+   vectorized gain sweep doubles as the wholesale side-product /
+   contribution refresh that the sequential loop performs move by move.
+
+**Determinism contract.**  Results are a pure function of
+``(graph, initial sides, config, seed)`` — *never* of the worker count.
+Every kernel here computes per-net products and per-node gains strictly
+within range chunks (a net's product never crosses a chunk boundary, a
+node's gain sum never crosses one either), so any chunking — one inline
+sweep, or N workers over ``multiprocessing.shared_memory`` (see
+:mod:`repro.engine.shm`) — produces bit-identical floats.  Tie-breaking
+is keyed on a seeded splitmix64 hash of the node id, computed once by
+the coordinator.  The worker-count-invariance matrix in
+``tests/kernels/test_subround_determinism.py`` enforces this.
+
+**Audit contract.**  Each batch is net-disjoint and sequentially
+balance-feasible in journal order, so replaying it one node at a time
+with the scalar :meth:`Partition.move_and_lock` reaches the identical
+state with identical per-move gains.
+:meth:`repro.audit.PassAuditor.check_subround_batch` performs exactly
+that replay, and the pass journal feeds the existing
+``after_rollback`` full-pass replay unchanged.
+
+Note the sub-round kernel is a **different algorithm** from the
+sequential ``python``/``numpy`` backends (same family, different move
+interleaving): cuts are comparable but not identical.  It therefore
+participates in experiment-cache fingerprints (see
+``PropConfig.fingerprint_extra`` / :mod:`repro.engine.units`), unlike
+the bit-identical backend switch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.gains import DIV_SAFE_MIN
+from ..datastructures import PassJournal
+from ..partition import BalanceConstraint, Partition
+from .csr import CsrView
+
+__all__ = [
+    "DEFAULT_BATCH_FRACTION",
+    "SubroundFMEngine",
+    "SubroundPropEngine",
+    "batch_immediate_gains",
+    "fm_gains_range",
+    "gather_segments",
+    "prop_gains_range",
+    "prop_gains_subset",
+    "prop_products_range",
+    "prop_products_subset",
+    "select_batch",
+    "tie_break_keys",
+    "vectorized_probability_map",
+]
+
+#: Fraction of the remaining free nodes a sub-round may move (at least
+#: one).  Smaller fractions track the sequential algorithm more closely
+#: (fresher gains per move) at the price of more sub-rounds per pass.
+DEFAULT_BATCH_FRACTION = 0.1
+
+
+# ----------------------------------------------------------------------
+# Deterministic tie-breaking
+# ----------------------------------------------------------------------
+def tie_break_keys(num_nodes: int, seed: int) -> np.ndarray:
+    """Seed-keyed splitmix64 hash per node (uint64, collision-free).
+
+    splitmix64 is a bijection on uint64, so distinct nodes always get
+    distinct keys — the ``(-gain, key)`` sort order is a strict total
+    order, identical for every worker count and platform (numpy uint64
+    arithmetic wraps mod 2^64 everywhere).
+    """
+    with np.errstate(over="ignore"):
+        z = np.arange(num_nodes, dtype=np.uint64)
+        z = z + np.uint64((seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF)
+        z = z + np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
+
+
+# ----------------------------------------------------------------------
+# Range kernels — pure functions over plain arrays, shared by the inline
+# path and the shared-memory workers (repro.engine.shm).  Every output
+# element is computed entirely within its chunk, which is what makes the
+# results invariant under chunking (= worker count).
+# ----------------------------------------------------------------------
+def prop_products_range(
+    elo: int,
+    ehi: int,
+    p: np.ndarray,
+    sides: np.ndarray,
+    pin_node: np.ndarray,
+    pin_net: np.ndarray,
+    net_offset: np.ndarray,
+    net_size: np.ndarray,
+    prod0_out: np.ndarray,
+    prod1_out: np.ndarray,
+    count1_out: np.ndarray,
+) -> None:
+    """Per-net side clearing-products and side-1 pin counts for nets
+    ``[elo, ehi)``, written into the output arrays' matching slices.
+
+    ``np.multiply.at`` applies factors sequentially in pin order (the
+    property the numpy backend's bit-identity rests on), and each net's
+    pins lie wholly inside the chunk's pin slice, so the products are
+    independent of how nets are split across chunks.
+    """
+    j0 = int(net_offset[elo])
+    j1 = int(net_offset[ehi])
+    pn = pin_node[j0:j1]
+    ps = sides[pn]
+    pp = p[pn]
+    f0 = np.where(ps == 0, pp, 1.0)
+    f1 = np.where(ps == 1, pp, 1.0)
+    idx = pin_net[j0:j1] - elo
+    width = ehi - elo
+    prod0 = np.ones(width, dtype=np.float64)
+    prod1 = np.ones(width, dtype=np.float64)
+    np.multiply.at(prod0, idx, f0)
+    np.multiply.at(prod1, idx, f1)
+    prod0_out[elo:ehi] = prod0
+    prod1_out[elo:ehi] = prod1
+    count1_out[elo:ehi] = np.bincount(
+        idx, weights=ps.astype(np.float64), minlength=width
+    )
+
+
+def prop_gains_range(
+    vlo: int,
+    vhi: int,
+    p: np.ndarray,
+    sides: np.ndarray,
+    locked: np.ndarray,
+    prod0: np.ndarray,
+    prod1: np.ndarray,
+    count1: np.ndarray,
+    net_size: np.ndarray,
+    nm_net: np.ndarray,
+    nm_owner: np.ndarray,
+    nm_cost: np.ndarray,
+    node_offset: np.ndarray,
+    pin_node: np.ndarray,
+    net_offset: np.ndarray,
+    gains_out: np.ndarray,
+) -> int:
+    """Probabilistic gains (Eqns. 3/4) for nodes ``[vlo, vhi)``.
+
+    Writes into ``gains_out[vlo:vhi]`` and returns the number of
+    underflow recomputes (side product below :data:`DIV_SAFE_MIN`) —
+    a deterministic count, identical under any chunking.  Locked nodes
+    get a garbage (finite) value; callers must mask them.
+    """
+    a = int(node_offset[vlo])
+    b = int(node_offset[vhi])
+    own = nm_owner[a:b]
+    net = nm_net[a:b]
+    s = sides[own].astype(np.intp)
+    pm = np.where(s == 0, prod0[net], prod1[net])
+    po = np.where(s == 0, prod1[net], prod0[net])
+    oc = np.where(s == 0, count1[net], net_size[net] - count1[net])
+    pu = p[own]
+    ok = (pu > 0.0) & (pm >= DIV_SAFE_MIN)
+    prod_a = np.zeros(b - a, dtype=np.float64)
+    np.divide(pm, pu, out=prod_a, where=ok)
+    underflows = 0
+    if not ok.all():
+        for i in np.nonzero(~ok & ~locked[own])[0]:
+            pm_i = float(pm[i])
+            if 0.0 < pm_i < DIV_SAFE_MIN:
+                underflows += 1
+            # Exact recompute of the clearing product excluding the
+            # owner — same pin order and early-zero exit as the scalar
+            # net_clearing_probability.
+            e = int(net[i])
+            sv = int(s[i])
+            ex = int(own[i])
+            prod = 1.0
+            for v in pin_node[int(net_offset[e]):int(net_offset[e + 1])]:
+                v = int(v)
+                if v != ex and sides[v] == sv:
+                    prod *= p[v]
+                    if prod == 0.0:
+                        break
+            prod_a[i] = prod
+    ot = np.where(oc > 0.0, po, 1.0)
+    contrib = nm_cost[a:b] * (prod_a - ot)
+    gains_out[vlo:vhi] = np.bincount(
+        own - vlo, weights=contrib, minlength=vhi - vlo
+    )
+    return underflows
+
+
+def fm_gains_range(
+    vlo: int,
+    vhi: int,
+    sides: np.ndarray,
+    counts0: np.ndarray,
+    counts1: np.ndarray,
+    nm_net: np.ndarray,
+    nm_owner: np.ndarray,
+    nm_cost: np.ndarray,
+    node_offset: np.ndarray,
+    gains_out: np.ndarray,
+) -> int:
+    """FM Eqn. (1) immediate gains for nodes ``[vlo, vhi)``.
+
+    Returns 0 (signature-compatible with the PROP gains kernel so the
+    shared-memory workers can dispatch either).
+    """
+    a = int(node_offset[vlo])
+    b = int(node_offset[vhi])
+    own = nm_owner[a:b]
+    net = nm_net[a:b]
+    is0 = sides[own] == 0
+    mine = np.where(is0, counts0[net], counts1[net])
+    theirs = np.where(is0, counts1[net], counts0[net])
+    cost = nm_cost[a:b]
+    term = np.where(
+        theirs == 0,
+        np.where(mine > 1, -cost, 0.0),
+        np.where(mine == 1, cost, 0.0),
+    )
+    gains_out[vlo:vhi] = np.bincount(
+        own - vlo, weights=term, minlength=vhi - vlo
+    )
+    return 0
+
+
+def gather_segments(
+    ids: np.ndarray, offsets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flattened CSR indices for the segments ``ids``, in segment order.
+
+    Returns ``(j, slot)``: ``j`` indexes the CSR value arrays so that
+    segment ``ids[k]``'s elements appear contiguously and in their
+    original CSR order, and ``slot[i] == k`` names the (compact) segment
+    each flattened element belongs to.  This is what lets the subset
+    kernels below accumulate per-segment results with ``np.multiply.at``
+    / ``np.bincount`` in exactly the element order the full-range
+    kernels use — the property their bit-identity rests on.
+    """
+    ids = np.asarray(ids, dtype=np.intp)
+    starts = offsets[ids]
+    sizes = offsets[ids + 1] - starts
+    total = int(sizes.sum())
+    slot = np.repeat(np.arange(ids.size, dtype=np.intp), sizes)
+    prev = np.cumsum(sizes) - sizes
+    j = (
+        np.arange(total, dtype=np.intp)
+        + np.repeat(starts - prev, sizes)
+    )
+    return j, slot
+
+
+def prop_products_subset(
+    nets: np.ndarray,
+    p: np.ndarray,
+    sides: np.ndarray,
+    pin_node: np.ndarray,
+    net_offset: np.ndarray,
+    prod0_out: np.ndarray,
+    prod1_out: np.ndarray,
+    count1_out: np.ndarray,
+) -> None:
+    """Per-net side clearing-products for an arbitrary net subset.
+
+    Writes the same values :func:`prop_products_range` would write for
+    those nets, bit for bit: each net's factors are multiplied in CSR
+    pin order into its own compact slot, so the subset shape cannot
+    change any product.
+    """
+    if len(nets) == 0:
+        return
+    j, slot = gather_segments(nets, net_offset)
+    pn = pin_node[j]
+    ps = sides[pn]
+    pp = p[pn]
+    f0 = np.where(ps == 0, pp, 1.0)
+    f1 = np.where(ps == 1, pp, 1.0)
+    width = len(nets)
+    prod0 = np.ones(width, dtype=np.float64)
+    prod1 = np.ones(width, dtype=np.float64)
+    np.multiply.at(prod0, slot, f0)
+    np.multiply.at(prod1, slot, f1)
+    prod0_out[nets] = prod0
+    prod1_out[nets] = prod1
+    count1_out[nets] = np.bincount(
+        slot, weights=ps.astype(np.float64), minlength=width
+    )
+
+
+def prop_gains_subset(
+    nodes: np.ndarray,
+    p: np.ndarray,
+    sides: np.ndarray,
+    locked: np.ndarray,
+    prod0: np.ndarray,
+    prod1: np.ndarray,
+    count1: np.ndarray,
+    net_size: np.ndarray,
+    nm_net: np.ndarray,
+    nm_owner: np.ndarray,
+    nm_cost: np.ndarray,
+    node_offset: np.ndarray,
+    pin_node: np.ndarray,
+    net_offset: np.ndarray,
+    gains_out: np.ndarray,
+) -> int:
+    """Probabilistic gains (Eqns. 3/4) for an arbitrary node subset.
+
+    The subset analogue of :func:`prop_gains_range` — identical pin
+    factors, identical underflow handling, per-node sums accumulated in
+    the same pin order — so ``gains_out[v]`` for ``v`` in ``nodes`` is
+    bit-identical to a full recompute.  Returns the underflow-recompute
+    count for these nodes.
+    """
+    if len(nodes) == 0:
+        return 0
+    j, slot = gather_segments(nodes, node_offset)
+    own = nm_owner[j]
+    net = nm_net[j]
+    s = sides[own].astype(np.intp)
+    pm = np.where(s == 0, prod0[net], prod1[net])
+    po = np.where(s == 0, prod1[net], prod0[net])
+    oc = np.where(s == 0, count1[net], net_size[net] - count1[net])
+    pu = p[own]
+    ok = (pu > 0.0) & (pm >= DIV_SAFE_MIN)
+    prod_a = np.zeros(j.size, dtype=np.float64)
+    np.divide(pm, pu, out=prod_a, where=ok)
+    underflows = 0
+    if not ok.all():
+        for i in np.nonzero(~ok & ~locked[own])[0]:
+            pm_i = float(pm[i])
+            if 0.0 < pm_i < DIV_SAFE_MIN:
+                underflows += 1
+            e = int(net[i])
+            sv = int(s[i])
+            ex = int(own[i])
+            prod = 1.0
+            for v in pin_node[int(net_offset[e]):int(net_offset[e + 1])]:
+                v = int(v)
+                if v != ex and sides[v] == sv:
+                    prod *= p[v]
+                    if prod == 0.0:
+                        break
+            prod_a[i] = prod
+    ot = np.where(oc > 0.0, po, 1.0)
+    contrib = nm_cost[j] * (prod_a - ot)
+    gains_out[nodes] = np.bincount(
+        slot, weights=contrib, minlength=len(nodes)
+    )
+    return underflows
+
+
+def split_ranges(total: int, parts: int) -> List[Tuple[int, int]]:
+    """``parts`` contiguous ``[lo, hi)`` ranges covering ``[0, total)``.
+
+    Deterministic given ``(total, parts)``; some ranges may be empty
+    when ``parts > total``.  Chunk boundaries never affect kernel
+    results (see module docstring) — this is a load-split, not a
+    semantic split.
+    """
+    base, extra = divmod(total, parts)
+    ranges = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+# ----------------------------------------------------------------------
+# Probability maps, vectorized
+# ----------------------------------------------------------------------
+def vectorized_probability_map(config):
+    """Array-in/array-out version of :mod:`repro.core.probability`.
+
+    Elementwise float operations only, so the map is deterministic for
+    any input chunking; it is *not* required to match the scalar map
+    bit for bit (the sub-round kernel is its own algorithm), only to be
+    a clamped monotone map with the same ``pmin/pmax/glo/gup`` shape.
+    """
+    pmin, pmax = config.pmin, config.pmax
+    glo, gup = config.glo, config.gup
+    if config.probability_function == "linear":
+        slope = (pmax - pmin) / (gup - glo)
+
+        def linear(gains: np.ndarray) -> np.ndarray:
+            p = pmin + slope * (gains - glo)
+            return np.clip(p, pmin, pmax)
+
+        return linear
+
+    mid = (glo + gup) / 2.0
+    scale = 8.0 / (gup - glo)
+    lo = 1.0 / (1.0 + np.exp(4.0))
+    span = 1.0 / (1.0 + np.exp(-4.0)) - lo
+
+    def sigmoid(gains: np.ndarray) -> np.ndarray:
+        sigma = 1.0 / (1.0 + np.exp(-scale * (gains - mid)))
+        t = (sigma - lo) / span
+        p = pmin + (pmax - pmin) * t
+        out = np.clip(p, pmin, pmax)
+        out[gains >= gup] = pmax
+        out[gains <= glo] = pmin
+        return out
+
+    return sigmoid
+
+
+# ----------------------------------------------------------------------
+# Batch selection and application
+# ----------------------------------------------------------------------
+def select_batch(
+    gains: np.ndarray,
+    free_idx: np.ndarray,
+    tie: np.ndarray,
+    csr: CsrView,
+    node_weights: Sequence[float],
+    sides: Sequence[int],
+    side_weights: Tuple[float, float],
+    balance: BalanceConstraint,
+    claimed: np.ndarray,
+    cap: int,
+) -> Tuple[List[int], int, int]:
+    """One deterministic greedy sweep: best-gain, feasible, net-disjoint.
+
+    Candidates are visited in ``(-gain, tie_key)`` order (a strict total
+    order — see :func:`tie_break_keys`); a candidate is rejected when a
+    net of an already-accepted move touches it (net conflict) or when
+    moving it would violate ``balance`` given the moves accepted so far
+    (sequential feasibility — the exact trajectory a one-at-a-time
+    replay of the batch sees).  The sweep stops at ``cap`` accepted
+    moves or when the candidate list is exhausted, so a feasible move
+    anywhere in the order is always found (the FM both-sides rule,
+    generalized).
+
+    Returns ``(batch, net_conflicts, balance_rejects)``; ``claimed`` is
+    an ``(num_nets,)`` bool scratch, cleared on entry.
+    """
+    claimed.fill(False)
+    order = free_idx[np.lexsort((tie[free_idx], -gains[free_idx]))]
+    node_offset = csr.node_offset_list
+    nm_net = csr.nm_net
+    w0, w1 = side_weights
+    batch: List[int] = []
+    conflicts = 0
+    balance_rejects = 0
+    for v in order.tolist():
+        nets = nm_net[node_offset[v]:node_offset[v + 1]]
+        if claimed[nets].any():
+            conflicts += 1
+            continue
+        s = sides[v]
+        w = node_weights[v]
+        if not balance.move_allowed((w0, w1), s, w):
+            balance_rejects += 1
+            continue
+        claimed[nets] = True
+        batch.append(v)
+        if s == 0:
+            w0 -= w
+            w1 += w
+        else:
+            w1 -= w
+            w0 += w
+        if len(batch) >= cap:
+            break
+    return batch, conflicts, balance_rejects
+
+
+def batch_immediate_gains(
+    batch: Sequence[int],
+    csr: CsrView,
+    sides: Sequence[int],
+    counts0: np.ndarray,
+    counts1: np.ndarray,
+) -> np.ndarray:
+    """Pre-move FM immediate gains for a net-disjoint batch, vectorized.
+
+    Because the batch is net-disjoint, no batch move changes another
+    batch node's nets — so these pre-batch values equal what a
+    sequential one-at-a-time application would realize move by move,
+    bit for bit (the per-node ``±cost`` additions run in the same
+    node-major net order as :meth:`Partition.move`, via the sequential
+    accumulation of ``np.bincount``).
+    """
+    node_offset = csr.node_offset_list
+    starts = [node_offset[v] for v in batch]
+    ends = [node_offset[v + 1] for v in batch]
+    lens = np.asarray(ends, dtype=np.intp) - np.asarray(starts, dtype=np.intp)
+    inc = np.concatenate(
+        [np.arange(s, e, dtype=np.intp) for s, e in zip(starts, ends)]
+    ) if batch else np.empty(0, dtype=np.intp)
+    pos = np.repeat(np.arange(len(batch), dtype=np.intp), lens)
+    net = csr.nm_net[inc]
+    cost = csr.nm_cost[inc]
+    s = np.repeat(
+        np.asarray([sides[v] for v in batch], dtype=np.intp), lens
+    )
+    is0 = s == 0
+    mine = np.where(is0, counts0[net], counts1[net])
+    theirs = np.where(is0, counts1[net], counts0[net])
+    term = np.where(
+        theirs == 0,
+        np.where(mine > 1, -cost, 0.0),
+        np.where(mine == 1, cost, 0.0),
+    )
+    return np.bincount(pos, weights=term, minlength=len(batch))
+
+
+# ----------------------------------------------------------------------
+# Pass engines
+# ----------------------------------------------------------------------
+class _SubroundEngineBase:
+    """Shared machinery of the PROP and FM sub-round pass engines.
+
+    One engine instance serves one run (it owns the CSR view, the
+    optional shared-memory worker pool, and the run-level telemetry);
+    the run loop calls :meth:`run_pass` per pass and :meth:`close` in a
+    ``finally``.
+    """
+
+    kernel_name = "subround"
+    algorithm = "subround"
+
+    def __init__(
+        self,
+        partition: Partition,
+        seed: Optional[int],
+        workers: int = 0,
+        batch_fraction: float = DEFAULT_BATCH_FRACTION,
+    ) -> None:
+        if not 0.0 < batch_fraction <= 1.0:
+            raise ValueError(
+                f"batch_fraction must be in (0, 1], got {batch_fraction}"
+            )
+        self.partition = partition
+        self.csr = CsrView(partition.graph)
+        self.seed = seed if seed is not None else 0
+        self.requested_workers = max(0, int(workers))
+        self.batch_fraction = batch_fraction
+        self.tie = tie_break_keys(partition.graph.num_nodes, self.seed)
+        # Run-level telemetry (surfaced in BipartitionResult.stats).
+        self.subrounds = 0
+        self.conflicts = 0
+        self.balance_rejects = 0
+        self.batch_max = 0
+        self.underflow_recomputes = 0
+        self.probability_writes = 0
+        self.shm_fallbacks = 0
+        self.shm_attach_seconds = 0.0
+        self.workers_attached = 0
+        # Scratch reused across sub-rounds.
+        E = self.csr.num_nets
+        n = self.csr.num_nodes
+        self._claimed = np.zeros(E, dtype=bool)
+        self._prod0 = np.empty(E, dtype=np.float64)
+        self._prod1 = np.empty(E, dtype=np.float64)
+        self._count1 = np.empty(E, dtype=np.float64)
+        self._gains = np.zeros(n, dtype=np.float64)
+        self._sides = np.empty(n, dtype=np.int8)
+        self._locked = np.empty(n, dtype=bool)
+        self._pool = None
+        self._pool_tried = False
+
+    # -- worker pool --------------------------------------------------
+    def _ensure_pool(self):
+        """Start the shared-memory pool lazily; inline on any failure."""
+        if self._pool is not None or self._pool_tried:
+            return self._pool
+        self._pool_tried = True
+        if self.requested_workers < 2:
+            return None
+        from ..engine.shm import SubroundPool, pool_supported
+
+        if not pool_supported():
+            self.shm_fallbacks += 1
+            return None
+        try:
+            self._pool = SubroundPool(self.csr, self.requested_workers)
+            self.shm_attach_seconds += self._pool.attach_seconds
+            self.workers_attached = self._pool.workers
+        except Exception:
+            self.shm_fallbacks += 1
+            self._pool = None
+        return self._pool
+
+    def _pool_failed(self) -> None:
+        """Tear the pool down after a worker failure; inline from here on."""
+        self.shm_fallbacks += 1
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down and unlink its shared segments."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    @property
+    def effective_workers(self) -> int:
+        """Workers that attached over the run (0 = ran fully inline)."""
+        return self.workers_attached
+
+    # -- state mirrors ------------------------------------------------
+    def _refresh_mirrors(self) -> None:
+        part = self.partition
+        np.copyto(
+            self._sides, np.asarray(part.sides_view(), dtype=np.int8)
+        )
+        np.copyto(
+            self._locked, np.asarray(part.locked_view(), dtype=bool)
+        )
+
+    # -- the pass -----------------------------------------------------
+    def run_pass(
+        self,
+        balance: BalanceConstraint,
+        pass_index: int,
+        observer=None,
+        auditor=None,
+        rec=None,
+        phase=None,
+        counters=None,
+    ) -> PassJournal:
+        """One tentative-move pass as a sequence of sub-rounds.
+
+        Mirrors the sequential ``_run_pass`` contract: locks are left
+        set, the journal records every tentative move with its realized
+        immediate gain, and the caller performs the best-prefix
+        rollback.
+        """
+        part = self.partition
+        graph = part.graph
+        if auditor is not None:
+            auditor.start_pass(part)
+
+        t0 = time.perf_counter()
+        self._refresh_mirrors()
+        self._bootstrap()
+        t1 = time.perf_counter()
+        gains = self._refine()
+        t2 = time.perf_counter()
+
+        journal = PassJournal()
+        node_weights = graph.node_weights
+        while True:
+            free_idx = np.flatnonzero(~self._locked)
+            if free_idx.size == 0:
+                break
+            cap = max(1, int(free_idx.size * self.batch_fraction))
+            batch, conflicts, brejects = select_batch(
+                gains, free_idx, self.tie, self.csr, node_weights,
+                part.sides_view(), part.side_weights, balance,
+                self._claimed, cap,
+            )
+            self.conflicts += conflicts
+            self.balance_rejects += brejects
+            if not batch:
+                break
+            self.subrounds += 1
+            self.batch_max = max(self.batch_max, len(batch))
+            if counters is not None:
+                counters.subrounds += 1
+                counters.subround_batch_nodes += len(batch)
+                counters.subround_conflicts += conflicts
+                counters.subround_balance_rejects += brejects
+
+            counts0 = np.asarray(part.counts_view(0), dtype=np.int64)
+            counts1 = np.asarray(part.counts_view(1), dtype=np.int64)
+            imm = batch_immediate_gains(
+                batch, self.csr, part.sides_view(), counts0, counts1
+            ).tolist()
+            pre_sides = part.sides if auditor is not None else None
+            from_sides = [part.side(v) for v in batch]
+            part.apply_batch(batch, imm)
+            self._on_batch_applied(batch)
+
+            for j, v in enumerate(batch):
+                journal.record(v, from_sides[j], imm[j])
+                if rec is not None:
+                    rec.move(
+                        pass_index, len(journal) - 1, v, from_sides[j],
+                        float(gains[v]), imm[j],
+                    )
+                    counters.moves += 1
+                if observer is not None:
+                    observer(pass_index, v, float(gains[v]), imm[j])
+            if auditor is not None:
+                auditor.after_batch(part, batch, imm)
+                auditor.check_subround_batch(part, pre_sides, batch, imm)
+
+            gains = self._next_gains(gains)
+        t3 = time.perf_counter()
+        if phase is not None:
+            phase["bootstrap_seconds"] += t1 - t0
+            phase["refine_seconds"] += t2 - t1
+            phase["move_loop_seconds"] += t3 - t2
+        if rec is not None:
+            rec.span(pass_index, "bootstrap", t1 - t0)
+            rec.span(pass_index, "refine", t2 - t1)
+            rec.span(pass_index, "move_loop", t3 - t2)
+            rec.counters(pass_index, counters.as_dict())
+        return journal
+
+    def run_stats(self) -> dict:
+        """Sub-round telemetry for ``BipartitionResult.stats``."""
+        return {
+            "subrounds": float(self.subrounds),
+            "subround_conflicts": float(self.conflicts),
+            "subround_balance_rejects": float(self.balance_rejects),
+            "subround_batch_max": float(self.batch_max),
+            "subround_workers": float(self.effective_workers),
+            "subround_shm_fallbacks": float(self.shm_fallbacks),
+            "shm_attach_seconds": self.shm_attach_seconds,
+        }
+
+    # -- hooks implemented by the PROP / FM specializations -----------
+    def _bootstrap(self) -> None:
+        raise NotImplementedError
+
+    def _refine(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _next_gains(self, gains: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _on_batch_applied(self, batch: Sequence[int]) -> None:
+        for v in batch:
+            self._locked[v] = True
+            self._sides[v] ^= 1
+
+
+class SubroundPropEngine(_SubroundEngineBase):
+    """PROP pass engine with sub-round batched moves.
+
+    Keeps the paper's probability machinery: bootstrap (``pinit`` or
+    deterministic FM gains), ``refinement_iterations`` gain↔probability
+    cycles at pass start, and — when
+    ``config.update_neighbor_probabilities`` is on — a probability
+    refresh for the *neighbors of the applied batch* after every
+    sub-round (the batched analogue of the per-move neighbor updates of
+    Sec. 3.4).  The locality of that refresh is also what makes the
+    inter-sub-round update incremental: only nets whose pins changed
+    probability or side need new products, and only nodes on those nets
+    need new gains — every other gain is mathematically unchanged, so
+    the subset recompute is exact, not approximate.
+    """
+
+    algorithm = "PROP"
+
+    def __init__(
+        self,
+        partition: Partition,
+        config,
+        seed: Optional[int],
+    ) -> None:
+        super().__init__(
+            partition, seed,
+            workers=config.subround_workers,
+            batch_fraction=config.subround_batch_fraction,
+        )
+        self.config = config
+        self.prob_map = vectorized_probability_map(config)
+        self.p = np.zeros(partition.graph.num_nodes, dtype=np.float64)
+        self._last_batch: Optional[np.ndarray] = None
+
+    # -- gains --------------------------------------------------------
+    def _compute_gains(self) -> np.ndarray:
+        pool = self._ensure_pool()
+        if pool is not None:
+            try:
+                underflows = pool.prop_gains(
+                    self.p, self._sides, self._locked,
+                    self._prod0, self._prod1, self._count1, self._gains,
+                )
+                self.underflow_recomputes += underflows
+                return self._gains
+            except Exception:
+                self._pool_failed()
+        csr = self.csr
+        prop_products_range(
+            0, csr.num_nets, self.p, self._sides,
+            csr.pin_node, csr.pin_net, csr.net_offset, csr.net_size,
+            self._prod0, self._prod1, self._count1,
+        )
+        self.underflow_recomputes += prop_gains_range(
+            0, csr.num_nodes, self.p, self._sides, self._locked,
+            self._prod0, self._prod1, self._count1, csr.net_size,
+            csr.nm_net, csr.nm_owner, csr.nm_cost, csr.node_offset,
+            csr.pin_node, csr.net_offset, self._gains,
+        )
+        return self._gains
+
+    def _set_free_probabilities(self, values: np.ndarray) -> None:
+        free = ~self._locked
+        self.p[free] = values[free]
+        self.p[self._locked] = 0.0
+        self.probability_writes += 1
+
+    def _bootstrap(self) -> None:
+        config = self.config
+        if config.init_method == "pinit":
+            self._set_free_probabilities(
+                np.full(self.p.shape, config.pinit)
+            )
+            return
+        csr = self.csr
+        part = self.partition
+        counts0 = np.asarray(part.counts_view(0), dtype=np.int64)
+        counts1 = np.asarray(part.counts_view(1), dtype=np.int64)
+        fm_gains_range(
+            0, csr.num_nodes, self._sides, counts0, counts1,
+            csr.nm_net, csr.nm_owner, csr.nm_cost, csr.node_offset,
+            self._gains,
+        )
+        self._set_free_probabilities(self.prob_map(self._gains))
+
+    def _refine(self) -> np.ndarray:
+        gains = self._compute_gains()
+        for _ in range(self.config.refinement_iterations):
+            self._set_free_probabilities(self.prob_map(gains))
+            gains = self._compute_gains()
+        return gains.copy()
+
+    def _next_gains(self, gains: np.ndarray) -> np.ndarray:
+        csr = self.csr
+        batch = self._last_batch
+        if batch is None or batch.size == 0:
+            return self._compute_gains().copy()
+        if self.config.update_neighbor_probabilities:
+            bj, _ = gather_segments(batch, csr.node_offset)
+            pj, _ = gather_segments(
+                np.unique(csr.nm_net[bj]), csr.net_offset
+            )
+            neighbors = np.unique(csr.pin_node[pj])
+            refresh = neighbors[~self._locked[neighbors]]
+            if refresh.size:
+                self.p[refresh] = self.prob_map(gains[refresh])
+                self.probability_writes += 1
+            changed = np.union1d(batch, refresh)
+        else:
+            changed = batch
+        cj, _ = gather_segments(changed, csr.node_offset)
+        nets = np.unique(csr.nm_net[cj])
+        prop_products_subset(
+            nets, self.p, self._sides, csr.pin_node, csr.net_offset,
+            self._prod0, self._prod1, self._count1,
+        )
+        uj, _ = gather_segments(nets, csr.net_offset)
+        touched = np.unique(csr.pin_node[uj])
+        if touched.size >= csr.num_nodes:
+            # Everything is affected anyway: take the full sweep, which
+            # the worker pool parallelizes.  Same values either way.
+            return self._compute_gains().copy()
+        self.underflow_recomputes += prop_gains_subset(
+            touched, self.p, self._sides, self._locked,
+            self._prod0, self._prod1, self._count1, csr.net_size,
+            csr.nm_net, csr.nm_owner, csr.nm_cost, csr.node_offset,
+            csr.pin_node, csr.net_offset, self._gains,
+        )
+        return self._gains.copy()
+
+    def _on_batch_applied(self, batch: Sequence[int]) -> None:
+        super()._on_batch_applied(batch)
+        arr = np.asarray(batch, dtype=np.intp)
+        self.p[arr] = 0.0
+        self._last_batch = arr
+
+
+class SubroundFMEngine(_SubroundEngineBase):
+    """FM pass engine with sub-round batched moves.
+
+    Selection gains are the exact Eqn. (1) immediate gains, recomputed
+    vectorized per sub-round (no containers, no delta rules); batches
+    are net-disjoint so applied gains equal selection gains.
+    """
+
+    algorithm = "FM"
+
+    def __init__(
+        self,
+        partition: Partition,
+        seed: Optional[int],
+        workers: int = 0,
+        batch_fraction: float = DEFAULT_BATCH_FRACTION,
+    ) -> None:
+        super().__init__(
+            partition, seed, workers=workers, batch_fraction=batch_fraction
+        )
+
+    def _compute_gains(self) -> np.ndarray:
+        part = self.partition
+        counts0 = np.asarray(part.counts_view(0), dtype=np.int64)
+        counts1 = np.asarray(part.counts_view(1), dtype=np.int64)
+        pool = self._ensure_pool()
+        if pool is not None:
+            try:
+                pool.fm_gains(
+                    self._sides, self._locked, counts0, counts1, self._gains
+                )
+                return self._gains
+            except Exception:
+                self._pool_failed()
+        csr = self.csr
+        fm_gains_range(
+            0, csr.num_nodes, self._sides, counts0, counts1,
+            csr.nm_net, csr.nm_owner, csr.nm_cost, csr.node_offset,
+            self._gains,
+        )
+        return self._gains
+
+    def _bootstrap(self) -> None:
+        pass
+
+    def _refine(self) -> np.ndarray:
+        return self._compute_gains().copy()
+
+    def _next_gains(self, gains: np.ndarray) -> np.ndarray:
+        return self._compute_gains().copy()

@@ -242,6 +242,44 @@ class Partition:
         self.lock(node)
         return gain
 
+    def apply_batch(
+        self, nodes: Sequence[int], gains: Sequence[float]
+    ) -> None:
+        """Commit one sub-round batch: move and lock every node at once.
+
+        ``gains[i]`` must be the immediate gain of ``nodes[i]`` *at batch
+        selection time* — exact for a net-disjoint batch, where no batch
+        move touches another batch node's nets (see
+        :mod:`repro.kernels.subround`).  The cut is updated per move by
+        the caller-supplied gain (same subtraction order a sequential
+        replay performs, keeping the float trajectory identical), while
+        pin counts, locked counts, weights and locks are maintained
+        incrementally exactly as :meth:`move_and_lock` would.
+        """
+        if len(nodes) != len(gains):
+            raise ValueError(
+                f"batch has {len(nodes)} nodes but {len(gains)} gains"
+            )
+        graph = self.graph
+        for i, node in enumerate(nodes):
+            if self._locked[node]:
+                raise ValueError(f"cannot move locked node {node}")
+            s = self._side[node]
+            mine = self._counts0 if s == 0 else self._counts1
+            theirs = self._counts1 if s == 0 else self._counts0
+            locked_to = self._locked1 if s == 0 else self._locked0
+            for net_id in graph.node_nets(node):
+                mine[net_id] -= 1
+                theirs[net_id] += 1
+                locked_to[net_id] += 1
+            self._side[node] = 1 - s
+            self._locked[node] = True
+            self._num_locked += 1
+            w = graph.node_weight(node)
+            self._side_weights[s] -= w
+            self._side_weights[1 - s] += w
+            self._cut_cost -= gains[i]
+
     def undo_moves(self, nodes: Iterable[int]) -> None:
         """Move each node in ``nodes`` back (they must be unlocked).
 

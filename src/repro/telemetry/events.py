@@ -116,6 +116,10 @@ class PassCounters:
         "cache_entry_deltas",
         "product_cache_hits",
         "product_cache_misses",
+        "subrounds",
+        "subround_batch_nodes",
+        "subround_conflicts",
+        "subround_balance_rejects",
     )
 
     def __init__(self) -> None:
@@ -132,6 +136,13 @@ class PassCounters:
         # cached-strategy move updates.
         self.product_cache_hits = 0
         self.product_cache_misses = 0
+        # Subround kernel only (repro.kernels.subround): batches applied,
+        # nodes moved in them, and candidates rejected during selection
+        # for net conflicts / balance.
+        self.subrounds = 0
+        self.subround_batch_nodes = 0
+        self.subround_conflicts = 0
+        self.subround_balance_rejects = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Non-zero counters as a plain dict (compact trace lines)."""

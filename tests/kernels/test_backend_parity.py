@@ -337,3 +337,124 @@ class TestFingerprintNeutrality:
         from repro.core import PropConfig
 
         assert PropConfig(kernel="python").describe()["kernel"] == "python"
+
+
+class TestAutoCutoff:
+    """The instance-size cutoff behind auto-kernel selection.
+
+    BENCH_kernels.json showed the vectorized backend *losing* on small
+    circuits (balu full_pass 0.92x): below a few thousand pins the numpy
+    call overhead exceeds the work.  ``resolve_kernel`` therefore takes
+    the instance size into account for ``auto`` — and only for ``auto``;
+    explicit requests and ``REPRO_KERNEL`` stay honored at any size.
+    """
+
+    def test_auto_below_cutoff_prefers_scalar(self, monkeypatch):
+        from repro.kernels import AUTO_SCALAR_CUTOFF_PINS
+
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel(
+            "auto", num_pins=AUTO_SCALAR_CUTOFF_PINS - 1
+        ) == "python"
+        assert resolve_kernel(
+            "auto", num_pins=AUTO_SCALAR_CUTOFF_PINS
+        ) == "numpy"
+        # No size information -> preserve the old availability-only rule.
+        assert resolve_kernel("auto") == "numpy"
+
+    def test_balu_sits_below_the_cutoff(self, monkeypatch):
+        """The motivating case: balu (2697 pins) resolves to scalar."""
+        from repro.hypergraph import make_benchmark
+        from repro.kernels import AUTO_SCALAR_CUTOFF_PINS
+
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        balu = make_benchmark("balu")
+        assert balu.num_pins < AUTO_SCALAR_CUTOFF_PINS
+        assert resolve_kernel("auto", num_pins=balu.num_pins) == "python"
+
+    def test_explicit_numpy_honored_below_cutoff(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel("numpy", num_pins=10) == "numpy"
+        assert resolve_kernel("subround", num_pins=10) == "subround"
+
+    def test_env_override_honored_below_cutoff(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert resolve_kernel("auto", num_pins=10) == "numpy"
+
+    def test_env_cannot_select_subround(self, monkeypatch):
+        """``REPRO_KERNEL=subround`` must warn and fall through: the
+        sub-round engine changes results, so an ambient variable could
+        poison cached fingerprints if it were honored here."""
+        monkeypatch.setenv("REPRO_KERNEL", "subround")
+        with pytest.warns(RuntimeWarning):
+            assert resolve_kernel("auto") in ("python", "numpy")
+
+    def test_small_auto_run_uses_scalar_end_to_end(self, monkeypatch):
+        from repro.core import PropConfig
+        from repro.core.engine import run_prop
+        from repro.partition import BalanceConstraint
+
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        graph = random_instance(3)  # far below the cutoff
+        sides = random_balanced_sides(graph, 3)
+        balance = BalanceConstraint.fifty_fifty(graph)
+        result = run_prop(
+            graph, sides, balance, PropConfig(kernel="auto"), seed=3
+        )
+        assert result.stats["kernel_numpy"] == 0.0
+
+
+class TestSubroundFingerprint:
+    """kernel="subround" changes results, so it must change identities."""
+
+    def test_subround_prop_fingerprint_differs(self):
+        from repro.core import PropConfig, PropPartitioner
+        from repro.engine.units import partitioner_fingerprint
+
+        base = partitioner_fingerprint(PropPartitioner(PropConfig()))
+        sub = partitioner_fingerprint(
+            PropPartitioner(PropConfig(kernel="subround"))
+        )
+        assert base != sub
+
+    def test_subround_worker_count_is_fingerprint_neutral(self):
+        """Workers only change *how fast*, never *what* — by the
+        invariance matrix — so they must not split the cache."""
+        from repro.core import PropConfig, PropPartitioner
+        from repro.engine.units import partitioner_fingerprint
+
+        fps = {
+            partitioner_fingerprint(
+                PropPartitioner(
+                    PropConfig(kernel="subround", subround_workers=w)
+                )
+            )
+            for w in (0, 2, 4)
+        }
+        assert len(fps) == 1
+
+    def test_batch_fraction_is_result_relevant(self):
+        from repro.core import PropConfig, PropPartitioner
+        from repro.engine.units import partitioner_fingerprint
+
+        a = partitioner_fingerprint(
+            PropPartitioner(PropConfig(kernel="subround"))
+        )
+        b = partitioner_fingerprint(
+            PropPartitioner(
+                PropConfig(
+                    kernel="subround", subround_batch_fraction=0.25
+                )
+            )
+        )
+        assert a != b
+
+    def test_subround_fm_fingerprint_differs(self):
+        from repro.baselines import FMPartitioner
+        from repro.engine.units import partitioner_fingerprint
+
+        base = partitioner_fingerprint(FMPartitioner("bucket"))
+        sub = partitioner_fingerprint(
+            FMPartitioner("bucket", kernel="subround")
+        )
+        assert base != sub

@@ -1,0 +1,159 @@
+"""Worker-count invariance of the sub-round engine: N workers, one answer.
+
+The sub-round kernel's headline contract is that parallelism is an
+implementation detail: running the same instance with 0 (inline), 2, 4,
+or ``cpu_count`` shared-memory workers produces the *byte-identical*
+move sequence, final sides, cut, and per-pass cut trajectory.  The
+design makes this cheap to promise — products and gains are computed
+over contiguous ranges whose per-element results do not depend on the
+range split, and batch selection happens in the coordinator from the
+full gain vector — but the promise only stays true while nobody adds a
+reduction whose order depends on the split.  This matrix is the fence.
+
+These tests are deliberately unmarked so they run in the tier-1 lane.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.baselines.fm import run_fm
+from repro.core import PropConfig
+from repro.core.engine import run_prop
+from repro.engine.shm import pool_supported
+from repro.partition import BalanceConstraint, random_balanced_sides
+from repro.testing.golden import CIRCUITS, CORPUS_SEED, build_circuit
+
+#: Worker counts exercised by the matrix.  0 is the inline (no-pool)
+#: engine — the reference every pooled run must reproduce.
+WORKER_MATRIX = sorted({0, 1, 2, 4, multiprocessing.cpu_count()})
+
+_CIRCUIT_NAMES = sorted(CIRCUITS)
+
+
+def _corpus_case(name):
+    graph = build_circuit(CIRCUITS[name])
+    sides = random_balanced_sides(graph, seed=CORPUS_SEED)
+    balance = BalanceConstraint.fifty_fifty(graph)
+    return graph, sides, balance
+
+
+def _prop_subround(graph, sides, balance, workers):
+    moves = []
+    result = run_prop(
+        graph, sides, balance,
+        PropConfig(kernel="subround", subround_workers=workers),
+        seed=CORPUS_SEED,
+        observer=lambda p, n, sg, ig: moves.append((p, n, sg, ig)),
+    )
+    return moves, result
+
+
+def _fm_subround(graph, sides, balance, workers):
+    moves = []
+    result = run_fm(
+        graph, sides, balance,
+        seed=CORPUS_SEED,
+        kernel="subround",
+        subround_workers=workers,
+        observer=lambda p, n, sg, ig: moves.append((p, n, sg, ig)),
+    )
+    return moves, result
+
+
+def _assert_same_run(reference, candidate, workers):
+    ref_moves, ref_result = reference
+    moves, result = candidate
+    assert moves == ref_moves, (
+        f"move sequence diverged at workers={workers}"
+    )
+    assert result.cut == ref_result.cut
+    assert result.sides == ref_result.sides
+    assert result.pass_cuts == ref_result.pass_cuts
+    assert result.passes == ref_result.passes
+    # Deterministic (non-timing) sub-round telemetry is part of the
+    # contract too: the same batches form regardless of worker count.
+    for stat in ("subrounds", "subround_batch_max", "underflow_recomputes"):
+        if stat in ref_result.stats:  # FM runs carry no underflow stat
+            assert result.stats[stat] == ref_result.stats[stat]
+
+
+def _assert_pool_engaged(result, workers):
+    """A pooled run must actually have attached, not silently fallen back."""
+    if workers >= 2 and pool_supported():
+        assert result.stats["subround_shm_fallbacks"] == 0.0
+        assert result.stats["subround_workers"] == float(workers)
+    else:
+        assert result.stats["subround_workers"] == 0.0
+
+
+@pytest.mark.parametrize("circuit", _CIRCUIT_NAMES)
+def test_prop_worker_count_invariance(circuit):
+    graph, sides, balance = _corpus_case(circuit)
+    reference = _prop_subround(graph, sides, balance, 0)
+    assert reference[1].stats["kernel_subround"] == 1.0
+    for workers in WORKER_MATRIX[1:]:
+        candidate = _prop_subround(graph, sides, balance, workers)
+        _assert_same_run(reference, candidate, workers)
+        _assert_pool_engaged(candidate[1], workers)
+
+
+@pytest.mark.parametrize("circuit", _CIRCUIT_NAMES)
+def test_fm_worker_count_invariance(circuit):
+    graph, sides, balance = _corpus_case(circuit)
+    reference = _fm_subround(graph, sides, balance, 0)
+    assert reference[1].stats["kernel_subround"] == 1.0
+    for workers in WORKER_MATRIX[1:]:
+        candidate = _fm_subround(graph, sides, balance, workers)
+        _assert_same_run(reference, candidate, workers)
+        _assert_pool_engaged(candidate[1], workers)
+
+
+def test_prop_subround_is_seed_deterministic():
+    """Same seed twice → identical everything; the tie keys are seeded."""
+    graph, sides, balance = _corpus_case("hier150")
+    a = _prop_subround(graph, sides, balance, 0)
+    b = _prop_subround(graph, sides, balance, 0)
+    _assert_same_run(a, b, 0)
+
+
+def test_prop_subround_seed_changes_tie_breaks():
+    """Different seeds may legitimately produce different runs, because
+    the tie-break keys derive from the seed.  This pin documents that the
+    seed is actually *wired through* — if both seeds produced identical
+    move sequences on a circuit with ties, the keys would be dead code.
+    """
+    graph, sides, balance = _corpus_case("hier150")
+    moves_a, _ = _prop_subround(graph, sides, balance, 0)
+    moves_b = []
+    run_prop(
+        graph, sides, balance,
+        PropConfig(kernel="subround"),
+        seed=CORPUS_SEED + 1,
+        observer=lambda p, n, sg, ig: moves_b.append((p, n, sg, ig)),
+    )
+    # Both runs are valid; equality of full traces across different seeds
+    # on this instance would be astronomically unlikely unless the seed
+    # were ignored.
+    assert moves_a != moves_b
+
+
+def test_pooled_run_leaves_no_shm_segments():
+    """/dev/shm must hold no repro-created segments after a pooled run."""
+    if not pool_supported():
+        pytest.skip("shared-memory pool unsupported in this context")
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        pytest.skip("no /dev/shm on this platform")
+    before = set(os.listdir(shm_dir))
+    graph, sides, balance = _corpus_case("hier150")
+    _, result = _prop_subround(graph, sides, balance, 2)
+    assert result.stats["subround_workers"] == 2.0
+    leaked = {
+        name for name in set(os.listdir(shm_dir)) - before
+        if name.startswith("psm_")
+    }
+    assert leaked == set()
