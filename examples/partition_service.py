@@ -77,7 +77,7 @@ async def run_batch(cache_dir: str) -> list:
         async for event, data in client.events(job_ids[0]):
             if event == "state":
                 print(f"  state -> {data['state']}")
-                if data["state"] in ("done", "failed", "cancelled"):
+                if data["state"] in ("done", "failed", "cancelled", "deadline"):
                     break
             elif event == "progress":
                 print(f"  progress {data['done']}/{data['total']}")

@@ -6,6 +6,7 @@ The end-to-end proof of the service's durability contract, run by the
 
     python scripts/load_smoke.py                  # 1000 jobs, full check
     python scripts/load_smoke.py --smoke --check  # CI: 200 jobs
+    python scripts/load_smoke.py --smoke --check --overload  # guard proof
 
 What it does:
 
@@ -24,6 +25,16 @@ What it does:
    * **bit-identical cuts** (``--check``) — each job's cut equals a
      serial in-process reference computed from the same spec, i.e.
      faults, concurrency, the kill and the restart changed nothing.
+
+``--overload`` instead drives the **guard** contract (repro.guard; see
+``docs/guard.md``): the server gets a queue bound of half the submitted
+jobs plus slow-I/O faults, so roughly half the submissions are shed
+with **429 + Retry-After** — never a 5xx, never a crash.  The run then
+asserts ``accepted + shed == submitted``, SIGKILLs mid-drain and proves
+zero lost *accepted* work with bit-identical cuts, deadlines a poison
+spec ``quarantine_after`` times until the breaker trips **exactly
+once** (the next submit 409s and the diagnostics bundle is readable),
+and checks peak RSS stayed under the watchdog's high-water mark.
 
 Exits 0 on success, 1 on any violation, 2 on environment failures.
 """
@@ -49,6 +60,15 @@ from repro.service.schemas import build_units  # noqa: E402
 #: Inline-capable fault kinds only: crash/hang are pool-only by design,
 #: and the *server* kill below is the real crash under test.
 DEFAULT_FAULTS = "seed=3,transient:0.12,slow_io:0.2,io_delay=0.002"
+
+#: Overload mode wants jobs slow enough that the queue actually fills:
+#: near-certain slow cache I/O makes drain (2 workers) much slower than
+#: the 48-way concurrent submission, forcing real 429 shedding.
+OVERLOAD_FAULTS = "seed=3,slow_io:0.95,io_delay=0.05"
+
+#: Overload high-water mark (MiB): generous enough that the watchdog
+#: never sheds in a healthy run, so peak-RSS-under-mark is a real check.
+OVERLOAD_HIGH_WATER_MB = 4096
 
 TENANTS = ("alpha", "beta", "gamma", "delta")
 
@@ -76,7 +96,9 @@ def free_port() -> int:
         return sock.getsockname()[1]
 
 
-def start_server(port: int, cache_dir: str, faults: str) -> subprocess.Popen:
+def start_server(
+    port: int, cache_dir: str, faults: str, extra: tuple = ()
+) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
         "PYTHONPATH", ""
@@ -89,7 +111,7 @@ def start_server(port: int, cache_dir: str, faults: str) -> subprocess.Popen:
         [
             sys.executable, "-m", "repro", "serve",
             "--port", str(port), "--cache-dir", cache_dir,
-            "--job-workers", "8",
+            *(extra or ("--job-workers", "8")),
         ],
         env=env,
         stdout=subprocess.DEVNULL,
@@ -147,7 +169,7 @@ async def wait_all_terminal(
         jobs = stats.get("jobs", {})
         terminal = (
             jobs.get("done", 0) + jobs.get("failed", 0)
-            + jobs.get("cancelled", 0)
+            + jobs.get("cancelled", 0) + jobs.get("deadline", 0)
         )
         if terminal >= expected and jobs.get("running", 0) == 0:
             return
@@ -256,6 +278,232 @@ async def drive(args, cache_dir: str) -> int:
                 pass
 
 
+def poison_payload(args) -> dict:
+    """A spec that can never finish: six units behind slow cache I/O
+    against a sub-millisecond deadline.  Deterministic and identical on
+    every submission, so its (seed-blanked) fingerprint — the breaker
+    key — is stable."""
+    return {
+        "generate": {
+            "kind": "many_small",
+            "size_range": [args.size_lo, args.size_hi],
+            "seed": args.seed,
+            "index": 999_999,
+        },
+        "algorithm": "fm",
+        "runs": 6,
+        "seed": 424242,
+        "deadline_seconds": 0.0005,
+        "tenant": "poison",
+        "tag": "poison",
+    }
+
+
+async def wait_job_state(
+    client: ServiceClient, job_id: str, timeout: float = 120.0
+) -> str:
+    deadline = time.monotonic() + timeout
+    while True:
+        status = await client.job(job_id)
+        if status["state"] in ("done", "failed", "cancelled", "deadline"):
+            return status["state"]
+        if time.monotonic() > deadline:
+            raise RuntimeError(
+                f"job {job_id} still {status['state']} after {timeout}s"
+            )
+        await asyncio.sleep(0.05)
+
+
+async def submit_overload(client: ServiceClient, args):
+    """Submit every job once, no 429 retries; classify the outcomes.
+
+    Returns ``(acked, shed, violations)``: acked maps index -> job_id
+    for accepted jobs, shed counts 429s, violations counts anything
+    else the server did wrong (a 5xx under overload is the bug this
+    mode exists to catch).
+    """
+    sem = asyncio.Semaphore(48)
+    acked: dict = {}
+    shed = 0
+    violations = 0
+    lock = asyncio.Lock()
+
+    async def one(i: int) -> None:
+        nonlocal shed, violations
+        async with sem:
+            for attempt in range(60):
+                try:
+                    response = await client.submit(job_payload(i, args))
+                    acked[i] = response["job_id"]
+                    return
+                except ServiceError as exc:
+                    async with lock:
+                        if exc.status == 429:
+                            shed += 1
+                            if exc.retry_after is None:
+                                print(f"FAIL: 429 for job {i} carried "
+                                      "no Retry-After")
+                                violations += 1
+                        else:
+                            print(f"FAIL: job {i} got HTTP {exc.status} "
+                                  f"under overload: {exc}")
+                            violations += 1
+                    return
+                except (OSError, asyncio.TimeoutError):
+                    await asyncio.sleep(0.1 + 0.05 * attempt)
+            async with lock:
+                print(f"FAIL: job {i} never acknowledged or shed")
+                violations += 1
+
+    await asyncio.gather(*(one(i) for i in range(args.jobs)))
+    return acked, shed, violations
+
+
+async def drive_overload(args, cache_dir: str) -> int:
+    """The guard-layer proof: shed cleanly, lose nothing, quarantine once."""
+    port = args.port or free_port()
+    depth = max(4, args.jobs // 2)
+    server_args = (
+        "--job-workers", "2",
+        "--max-queue-depth", str(depth),
+        "--quarantine-after", "3",
+        "--memory-high-water-mb", str(OVERLOAD_HIGH_WATER_MB),
+    )
+    client = ServiceClient(port=port, timeout=15.0)
+    server = start_server(port, cache_dir, args.faults, extra=server_args)
+    try:
+        await wait_healthy(client)
+        t0 = time.monotonic()
+        print(f"overload: submitting {args.jobs} jobs against queue "
+              f"depth {depth} on port {port} (faults: {args.faults!r})")
+        acked, shed, violations = await submit_overload(client, args)
+        accepted = len(acked)
+        print(f"accepted {accepted}, shed {shed} "
+              f"in {time.monotonic() - t0:.1f}s")
+        if accepted + shed + violations != args.jobs:
+            print(f"FAIL: accepted {accepted} + shed {shed} != "
+                  f"submitted {args.jobs}")
+            return 1
+        if violations:
+            print(f"FAIL: {violations} non-429 submission failure(s)")
+            return 1
+        if shed == 0:
+            print("FAIL: overload never shed a job — queue bound inert?")
+            return 1
+
+        # Server-side ledger must agree with the client's 429 count.
+        stats = await poll_stats(client)
+        guard = stats.get("guard", {})
+        counted = guard.get("counters", {}).get("shed_queue_depth", -1)
+        if counted != shed:
+            print(f"FAIL: server counted {counted} queue-depth sheds, "
+                  f"client saw {shed}")
+            return 1
+
+        # Kill mid-drain; accepted work must still all complete.
+        threshold = max(1, accepted // 4)
+        kill_deadline = time.monotonic() + args.timeout
+        while True:
+            stats = await poll_stats(client)
+            done = stats.get("jobs", {}).get("done", 0)
+            if done >= threshold:
+                break
+            if time.monotonic() > kill_deadline:
+                print("FAIL: kill threshold never reached")
+                return 1
+            await asyncio.sleep(0.02)
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+        print(f"SIGKILLed server at {done}/{accepted} done; restarting")
+        server = start_server(port, cache_dir, args.faults, extra=server_args)
+        await wait_healthy(client)
+
+        await wait_all_terminal(client, accepted, timeout=args.timeout)
+        listing = await client.jobs()
+        by_id = {j["job_id"]: j for j in listing["jobs"]}
+        failures = 0
+        for i, job_id in sorted(acked.items()):
+            status = by_id.get(job_id)
+            if status is None:
+                print(f"FAIL: accepted job {i} ({job_id}) lost")
+                failures += 1
+            elif status["state"] != "done":
+                print(f"FAIL: accepted job {i} is {status['state']}")
+                failures += 1
+        if failures:
+            return 1
+        print(f"zero lost accepted work: {accepted}/{accepted} done "
+              "across the SIGKILL restart")
+
+        if args.check:
+            print("checking accepted cuts against the serial reference...")
+            mismatches = 0
+            for i, job_id in sorted(acked.items()):
+                result = await client.result(job_id)
+                expected = await asyncio.to_thread(reference_cut, i, args)
+                if result["cuts"][0] != expected:
+                    print(f"FAIL: job {i} cut {result['cuts'][0]} != "
+                          f"reference {expected}")
+                    mismatches += 1
+            if mismatches:
+                return 1
+            print(f"bit-identical cuts: {accepted}/{accepted}")
+
+        # Poison phase: three deadline blowouts trip the breaker; the
+        # fourth submission must 409, exactly one fingerprint ends up
+        # quarantined, and its diagnostics bundle is readable.
+        print("poison phase: deadlining one spec to quarantine...")
+        for round_no in range(3):
+            response = await client.submit(poison_payload(args), retries=8)
+            state = await wait_job_state(client, response["job_id"])
+            if state != "deadline":
+                print(f"FAIL: poison round {round_no} ended {state!r}, "
+                      "expected 'deadline'")
+                return 1
+        try:
+            await client.submit(poison_payload(args), retries=8)
+        except ServiceError as exc:
+            if exc.status != 409:
+                print(f"FAIL: post-trip submit got {exc.status}, not 409")
+                return 1
+        else:
+            print("FAIL: post-trip submit was accepted, not 409")
+            return 1
+        listing = await client.quarantine()
+        if listing["count"] != 1:
+            print(f"FAIL: {listing['count']} quarantined fingerprints, "
+                  "expected exactly 1")
+            return 1
+        fingerprint = listing["quarantined"][0]["fingerprint"]
+        bundle = await client.quarantine_bundle(fingerprint)
+        diag = (bundle.get("bundle") or {}).get("diagnostics", {})
+        if diag.get("spec", {}).get("tag") != "poison":
+            print(f"FAIL: quarantine bundle unreadable or wrong spec: "
+                  f"{bundle}")
+            return 1
+        print(f"poison quarantined exactly once: {fingerprint[:12]} "
+              "(bundle readable)")
+
+        stats = await poll_stats(client)
+        memory = stats.get("guard", {}).get("memory", {})
+        peak = memory.get("peak_rss_bytes", 0)
+        mark = memory.get("high_water_bytes", 0)
+        if not peak or not mark or peak >= mark:
+            print(f"FAIL: peak RSS {peak} not under high water {mark}")
+            return 1
+        print(f"peak RSS {peak / 1e6:.0f}MB under the "
+              f"{mark / 1e6:.0f}MB high-water mark")
+        print("OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGKILL)
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=None,
@@ -265,6 +513,11 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="also verify every cut against a serial "
                         "in-process reference run (doubles compute)")
+    parser.add_argument("--overload", action="store_true",
+                        help="guard-layer mode: bounded queue at half the "
+                        "job count, assert clean 429 shedding, zero lost "
+                        "accepted work across a SIGKILL, poison-job "
+                        "quarantine, and bounded RSS")
     parser.add_argument("--port", type=int, default=0,
                         help="server port (default: pick a free one)")
     parser.add_argument("--cache-dir", default=None,
@@ -281,11 +534,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is None:
         args.jobs = 200 if args.smoke else 1000
+    if args.overload and args.faults == DEFAULT_FAULTS:
+        args.faults = OVERLOAD_FAULTS
 
+    runner = drive_overload if args.overload else drive
     if args.cache_dir:
-        return asyncio.run(drive(args, args.cache_dir))
+        return asyncio.run(runner(args, args.cache_dir))
     with tempfile.TemporaryDirectory(prefix="load-smoke-") as tmp:
-        return asyncio.run(drive(args, tmp))
+        return asyncio.run(runner(args, tmp))
 
 
 if __name__ == "__main__":

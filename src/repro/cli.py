@@ -36,6 +36,12 @@ Record a telemetry trace and summarize it afterwards::
 Run the partitioning service (HTTP job API; see docs/service.md)::
 
     python -m repro serve --port 8642
+
+Inspect or release quarantined poison jobs (see docs/guard.md)::
+
+    python -m repro quarantine list
+    python -m repro quarantine show <fingerprint>
+    python -m repro quarantine release <fingerprint>
 """
 
 from __future__ import annotations
@@ -401,6 +407,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace_mode(argv[1:])
     if argv and argv[0] == "serve":
         return _run_serve_mode(argv[1:])
+    if argv and argv[0] == "quarantine":
+        return _run_quarantine_mode(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -799,6 +807,40 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "--no-integrity-check", action="store_true",
         help="skip the cache verification scan on startup",
     )
+    guard = parser.add_argument_group(
+        "resource governance (repro.guard; see docs/guard.md)"
+    )
+    guard.add_argument(
+        "--max-queue-depth", type=_nonneg_int, default=0, metavar="N",
+        help="max queued jobs before submissions shed with 429 "
+        "(default 0: unbounded)",
+    )
+    guard.add_argument(
+        "--tenant-inflight", type=_nonneg_int, default=0, metavar="N",
+        help="per-tenant in-flight (queued+running) job cap "
+        "(default 0: uncapped)",
+    )
+    guard.add_argument(
+        "--deadline", type=_pos_float, default=None, metavar="S",
+        help="default per-job wall-clock deadline in seconds, for specs "
+        "without deadline_seconds (default: none)",
+    )
+    guard.add_argument(
+        "--quarantine-after", type=_nonneg_int, default=3, metavar="N",
+        help="consecutive failures before a spec fingerprint is "
+        "quarantined (default 3; 0 disables)",
+    )
+    guard.add_argument(
+        "--memory-high-water-mb", type=_pos_float, default=None,
+        metavar="MB",
+        help="shed new admissions while service RSS exceeds this "
+        "(default: no memory watchdog)",
+    )
+    guard.add_argument(
+        "--worker-rlimit-mb", type=_pos_float, default=None, metavar="MB",
+        help="RLIMIT_AS soft cap applied inside pool/shm workers "
+        "(default: uncapped)",
+    )
     return parser
 
 
@@ -832,11 +874,119 @@ def _run_serve_mode(argv: List[str]) -> int:
         unit_timeout=args.timeout,
         tenant_weights=weights,
         integrity_check=not args.no_integrity_check,
+        max_queue_depth=args.max_queue_depth,
+        default_tenant_inflight=args.tenant_inflight,
+        default_job_deadline=args.deadline,
+        quarantine_after=args.quarantine_after,
+        memory_high_water_mb=args.memory_high_water_mb,
+        worker_rlimit_mb=args.worker_rlimit_mb,
     )
     try:
         asyncio.run(run_service(config))
     except KeyboardInterrupt:  # pragma: no cover - direct ^C race
         pass
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# quarantine subcommand
+# ---------------------------------------------------------------------------
+def _build_quarantine_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prop-partition quarantine",
+        description="inspect or release quarantined poison-job spec "
+        "fingerprints (the service's per-fingerprint circuit breaker; "
+        "see docs/guard.md)",
+    )
+    parser.add_argument(
+        "action",
+        choices=["list", "show", "release"],
+        help="list: quarantined fingerprints; show: one entry's "
+        "diagnostics bundle; release: forgive a fingerprint (a running "
+        "service picks the release up on its next restart — use "
+        "DELETE /v1/quarantine/<fp> to release live)",
+    )
+    parser.add_argument(
+        "fingerprint",
+        nargs="?",
+        default=None,
+        metavar="FINGERPRINT",
+        help="spec fingerprint (full sha256 or unique prefix; "
+        "required for show/release)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default .repro_cache/, or "
+        "REPRO_ENGINE_CACHE when set)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+    return parser
+
+
+def _run_quarantine_mode(argv: List[str]) -> int:
+    """``prop-partition quarantine list|show|release`` — breaker admin.
+
+    Exit codes: **0** success; **1** unknown/ambiguous fingerprint or
+    missing argument.  Operates directly on the quarantine journal under
+    ``<cache>/service/quarantine/`` — no running service needed.
+    """
+    from .engine import default_cache_dir
+    from .guard import QuarantineRegistry, quarantine_dir
+
+    parser = _build_quarantine_parser()
+    args = parser.parse_args(argv)
+    root = args.cache_dir or default_cache_dir()
+    registry = QuarantineRegistry(quarantine_dir(root))
+    entries = registry.entries()
+
+    if args.action == "list":
+        if args.json:
+            print(json.dumps(
+                {"quarantined": entries, "count": len(entries)},
+                sort_keys=True,
+            ))
+        elif not entries:
+            print(f"{root}: no quarantined fingerprints")
+        else:
+            for entry in entries:
+                print(
+                    f"{entry['fingerprint']}  strikes={entry['strikes']}  "
+                    f"last={entry['last_reason']}  job={entry['last_job_id']}"
+                )
+        return 0
+
+    if not args.fingerprint:
+        parser.error(f"{args.action} requires a FINGERPRINT argument")
+    matches = [
+        e for e in entries
+        if e["fingerprint"].startswith(args.fingerprint)
+    ]
+    if len(matches) != 1:
+        kind = "ambiguous" if matches else "unknown"
+        print(f"{kind} fingerprint {args.fingerprint!r} "
+              f"({len(matches)} match(es) of {len(entries)} quarantined)")
+        return 1
+    fingerprint = matches[0]["fingerprint"]
+
+    if args.action == "show":
+        bundle = registry.load_bundle(fingerprint) or {
+            "entry": matches[0], "bundle": None,
+        }
+        print(json.dumps(bundle, indent=None if args.json else 2,
+                         sort_keys=True))
+        return 0
+
+    # release
+    registry.release(fingerprint)
+    if args.json:
+        print(json.dumps({"released": fingerprint}, sort_keys=True))
+    else:
+        print(f"released {fingerprint}")
     return 0
 
 

@@ -48,6 +48,7 @@ from .engine import (
     ProgressEvent,
     UnitError,
     UnitResult,
+    backoff_delay,
     default_workers,
 )
 from .journal import RunJournal, journal_path, list_runs, validate_run_id
@@ -67,7 +68,7 @@ from .units import (
     seed_stream,
     unit_key,
 )
-from .workers import WorkerOutcome, execute_unit
+from .workers import WorkerOutcome, execute_unit, pool_worker_init
 
 __all__ = [
     "Engine",
@@ -80,6 +81,8 @@ __all__ = [
     "WorkUnit",
     "WorkerOutcome",
     "execute_unit",
+    "pool_worker_init",
+    "backoff_delay",
     "seed_stream",
     "unit_key",
     "hypergraph_fingerprint",

@@ -50,10 +50,28 @@ from .journal import RunJournal, journal_path
 from .records import decode_result, encode_result
 from .signals import INERT_GUARD, CancelToken, GuardWithCancel, SignalGuard
 from .units import WorkUnit, unit_key
-from .workers import execute_unit
+from .workers import execute_unit, pool_worker_init
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_ENGINE_WORKERS"
+
+
+def backoff_delay(
+    attempt: int, key: str, base: float = 0.05, maximum: float = 2.0
+) -> float:
+    """Deterministic exponential-backoff delay for retry attempt ``k``.
+
+    ``min(maximum, base * 2**k)`` scaled by a jitter in ``[0.5, 1.0)``
+    derived from ``(key, attempt)`` — reproducible across processes and
+    runs, unlike ``random.random()`` jitter.  Shared by the engine's
+    transient-retry loop and the service client's 429 retry path so
+    both back off identically.
+    """
+    if base <= 0:
+        return 0.0
+    delay = min(maximum, base * (2.0 ** attempt))
+    jitter = deterministic_fraction(f"backoff|{key}|{attempt}")
+    return delay * (0.5 + 0.5 * jitter)
 
 #: Valid per-unit failure policies.
 ON_ERROR_POLICIES = ("raise", "collect")
@@ -549,12 +567,14 @@ class Engine:
         attempt)`` — reproducible across processes and runs, unlike
         ``random.random()`` jitter.
         """
-        base = self.config.backoff_base
-        if base <= 0:
-            return
-        delay = min(self.config.backoff_max, base * (2.0 ** attempt))
-        jitter = deterministic_fraction(f"backoff|{key}|{attempt}")
-        time.sleep(delay * (0.5 + 0.5 * jitter))
+        delay = backoff_delay(
+            attempt,
+            key,
+            base=self.config.backoff_base,
+            maximum=self.config.backoff_max,
+        )
+        if delay > 0:
+            time.sleep(delay)
 
     def _pool_round(
         self,
@@ -591,7 +611,10 @@ class Engine:
         try:
             if injector is not None:
                 injector.on_pool_create()
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                initializer=pool_worker_init,
+            )
         except (OSError, ValueError, ImportError):
             self.stats.pool_failures += 1
             return list(pending), errors

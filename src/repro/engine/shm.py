@@ -136,6 +136,12 @@ def _worker_main(conn, shm_name, layout, worker_id, net_range, node_range):
     """
     t0 = time.perf_counter()
     try:
+        from .workers import pool_worker_init
+
+        pool_worker_init()
+    except Exception:
+        pass  # resource governance is best-effort; serve commands anyway
+    try:
         shm = shared_memory.SharedMemory(name=shm_name)
     except Exception as exc:  # segment vanished before we attached
         try:

@@ -17,6 +17,32 @@ from ..partition import BipartitionResult
 from .units import WorkUnit
 
 
+def pool_worker_init() -> None:
+    """Process-pool worker initializer: apply resource governance.
+
+    Runs once per spawned worker, before any unit.  Applies the
+    env-configured ``RLIMIT_AS`` soft cap (see
+    :mod:`repro.guard.memory`) so a pathological instance dies with
+    ``MemoryError`` inside the worker instead of summoning the host
+    OOM-killer, and enables ``faulthandler`` so a hard worker crash
+    leaves a traceback on stderr for the quarantine diagnostics.
+    Never raises — a governance failure must not break the pool.
+    """
+    try:
+        from ..guard.memory import apply_worker_rlimit
+
+        apply_worker_rlimit()
+    except Exception:  # noqa: BLE001 - governance is best-effort
+        pass
+    try:
+        import faulthandler
+
+        if not faulthandler.is_enabled():
+            faulthandler.enable()
+    except Exception:  # noqa: BLE001
+        pass
+
+
 @dataclass(frozen=True)
 class WorkerOutcome:
     """What a worker sends back: the run plus bookkeeping."""

@@ -1,0 +1,40 @@
+"""repro.guard — overload protection and resource governance.
+
+The guard layer sits between the service's HTTP surface and the
+engine: admission control with load shedding (:mod:`~repro.guard.admission`),
+memory governance via worker rlimits and an RSS watchdog
+(:mod:`~repro.guard.memory`), and a poison-job circuit breaker
+(:mod:`~repro.guard.quarantine`).  See ``docs/guard.md``.
+"""
+
+from .admission import AdmissionController, OverloadedError, ServiceTimeTracker
+from .memory import (
+    RLIMIT_ENV,
+    RssWatchdog,
+    apply_worker_rlimit,
+    current_rss_bytes,
+    worker_rlimit_bytes,
+)
+from .quarantine import (
+    QUARANTINE_SUBDIR,
+    STRIKE_REASONS,
+    QuarantinedError,
+    QuarantineRegistry,
+    quarantine_dir,
+)
+
+__all__ = [
+    "AdmissionController",
+    "OverloadedError",
+    "ServiceTimeTracker",
+    "RLIMIT_ENV",
+    "RssWatchdog",
+    "apply_worker_rlimit",
+    "current_rss_bytes",
+    "worker_rlimit_bytes",
+    "QUARANTINE_SUBDIR",
+    "STRIKE_REASONS",
+    "QuarantinedError",
+    "QuarantineRegistry",
+    "quarantine_dir",
+]

@@ -1,0 +1,226 @@
+"""Admission control: bounded intake, per-tenant caps, Retry-After.
+
+:class:`AdmissionController` is the single gate every submission passes
+through before it may touch the queue.  It enforces three independent
+limits — queue depth, per-tenant in-flight count, and the RSS
+watchdog's shed flag — and rejects with :class:`OverloadedError`
+carrying a ``Retry-After`` estimate derived from observed job service
+times, so clients back off proportionally to the actual drain rate
+instead of guessing.
+
+The controller is deliberately synchronous and lock-guarded: it is
+called from the asyncio submit path *and* mutated from worker threads
+(service-time samples), and a plain mutex keeps the accounting exact
+without event-loop entanglement.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Mapping, Optional
+
+
+class OverloadedError(Exception):
+    """A submission was shed; ``reason`` names the exhausted limit.
+
+    ``reason`` is one of ``"queue_depth"``, ``"tenant_inflight"``, or
+    ``"memory"``; ``retry_after`` is the suggested wait in whole
+    seconds (the HTTP ``Retry-After`` header value).
+    """
+
+    def __init__(self, reason: str, retry_after: int, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class ServiceTimeTracker:
+    """Sliding window of observed job service times (seconds)."""
+
+    def __init__(self, window: int = 64, default_seconds: float = 1.0) -> None:
+        self.default_seconds = default_seconds
+        self._samples: Deque[float] = deque(maxlen=max(1, window))
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Record one completed job's service time; negatives ignored."""
+        if seconds < 0.0:
+            return
+        with self._lock:
+            self._samples.append(float(seconds))
+
+    def mean_seconds(self) -> float:
+        """Mean of the window, or ``default_seconds`` when empty."""
+        with self._lock:
+            if not self._samples:
+                return self.default_seconds
+            return sum(self._samples) / len(self._samples)
+
+
+class AdmissionController:
+    """Gatekeeper for new submissions.
+
+    ``max_queue_depth`` bounds jobs sitting in the fair queue (0 =
+    unbounded).  ``tenant_caps`` maps tenant name → max in-flight
+    (queued + running) jobs; ``default_tenant_cap`` applies to tenants
+    not in the map (0 = uncapped).  ``memory_shedding`` is a zero-arg
+    callable consulted last (typically ``RssWatchdog.check_now``).
+
+    Recovery re-admission after a crash bypasses the controller
+    entirely — jobs that were already accepted are never shed — so the
+    service calls :meth:`note_admitted` for them to keep the in-flight
+    accounting truthful even when counts exceed the caps.
+    """
+
+    REASONS = ("queue_depth", "tenant_inflight", "memory")
+
+    def __init__(
+        self,
+        max_queue_depth: int = 0,
+        tenant_caps: Optional[Mapping[str, int]] = None,
+        default_tenant_cap: int = 0,
+        job_workers: int = 1,
+        min_retry_after: int = 1,
+        max_retry_after: int = 60,
+        service_times: Optional[ServiceTimeTracker] = None,
+        memory_shedding=None,
+    ) -> None:
+        self.max_queue_depth = max(0, int(max_queue_depth))
+        self.tenant_caps = dict(tenant_caps or {})
+        self.default_tenant_cap = max(0, int(default_tenant_cap))
+        self.job_workers = max(1, int(job_workers))
+        self.min_retry_after = max(0, int(min_retry_after))
+        self.max_retry_after = max(self.min_retry_after, int(max_retry_after))
+        self.service_times = service_times or ServiceTimeTracker()
+        self._memory_shedding = memory_shedding
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._inflight: Dict[str, int] = {}
+        self.shed_counts: Dict[str, int] = {r: 0 for r in self.REASONS}
+
+    # -- accounting -------------------------------------------------
+
+    def tenant_cap(self, tenant: str) -> int:
+        """The in-flight cap for ``tenant`` (0 = uncapped)."""
+        return self.tenant_caps.get(tenant, self.default_tenant_cap)
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    def inflight(self, tenant: str) -> int:
+        """Jobs currently queued or running for ``tenant``."""
+        with self._lock:
+            return self._inflight.get(tenant, 0)
+
+    def note_admitted(self, tenant: str) -> None:
+        """Record an accepted job (queued, tenant in flight)."""
+        with self._lock:
+            self._queued += 1
+            self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+
+    def note_started(self) -> None:
+        """A job left the queue for a worker."""
+        with self._lock:
+            self._queued = max(0, self._queued - 1)
+
+    def note_requeued(self) -> None:
+        """A dequeued job went back to the queue (not currently used
+        by the service, but keeps the accounting API symmetric)."""
+        with self._lock:
+            self._queued += 1
+
+    def note_finished(self, tenant: str, was_queued: bool = False) -> None:
+        """A job reached a terminal state; drop its in-flight slot.
+
+        ``was_queued`` is true when the job never left the queue
+        (cancelled while queued), so the queue count drops too.
+        """
+        with self._lock:
+            if was_queued:
+                self._queued = max(0, self._queued - 1)
+            count = self._inflight.get(tenant, 0) - 1
+            if count <= 0:
+                self._inflight.pop(tenant, None)
+            else:
+                self._inflight[tenant] = count
+
+    # -- admission --------------------------------------------------
+
+    def retry_after_seconds(self) -> int:
+        """Expected seconds until queue headroom, clamped to bounds.
+
+        Estimate: mean observed service time × (queued jobs + 1),
+        spread across the worker pool — i.e. roughly how long until the
+        backlog drains one slot.
+        """
+        with self._lock:
+            depth = self._queued
+        mean = self.service_times.mean_seconds()
+        estimate = mean * (depth + 1) / self.job_workers
+        clamped = max(self.min_retry_after, min(self.max_retry_after, estimate))
+        return max(1, int(round(clamped)))
+
+    def memory_shedding(self) -> bool:
+        """Whether the memory hook says to shed; hook failures never
+        shed (a broken watchdog must not take the service down)."""
+        if self._memory_shedding is None:
+            return False
+        try:
+            return bool(self._memory_shedding())
+        except Exception:  # noqa: BLE001 - watchdog failure must not shed
+            return False
+
+    def admit(self, tenant: str) -> None:
+        """Raise :class:`OverloadedError` unless ``tenant`` may submit.
+
+        On success the job is recorded as admitted (queued + in
+        flight); callers must pair every successful ``admit`` with a
+        later :meth:`note_started` / :meth:`note_finished`.
+        """
+        retry_after = self.retry_after_seconds()
+        with self._lock:
+            if self.max_queue_depth and self._queued >= self.max_queue_depth:
+                self.shed_counts["queue_depth"] += 1
+                raise OverloadedError(
+                    "queue_depth",
+                    retry_after,
+                    f"queue full ({self._queued}/{self.max_queue_depth} jobs)",
+                )
+            cap = self.tenant_caps.get(tenant, self.default_tenant_cap)
+            held = self._inflight.get(tenant, 0)
+            if cap and held >= cap:
+                self.shed_counts["tenant_inflight"] += 1
+                raise OverloadedError(
+                    "tenant_inflight",
+                    retry_after,
+                    f"tenant {tenant!r} at in-flight cap ({held}/{cap})",
+                )
+        # Memory check outside the lock: check_now() reads /proc.
+        if self.memory_shedding():
+            with self._lock:
+                self.shed_counts["memory"] += 1
+            raise OverloadedError(
+                "memory",
+                retry_after,
+                "service above memory high-water mark",
+            )
+        with self._lock:
+            self._queued += 1
+            self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+
+    # -- introspection ---------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Current counts + shed totals, for ``/v1/stats``."""
+        with self._lock:
+            return {
+                "queued": self._queued,
+                "max_queue_depth": self.max_queue_depth,
+                "inflight": dict(self._inflight),
+                "shed": dict(self.shed_counts),
+                "mean_service_seconds": round(
+                    self.service_times.mean_seconds(), 6
+                ),
+            }

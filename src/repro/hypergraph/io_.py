@@ -81,8 +81,11 @@ def parse_hgr_text(text: str, origin: str = "<hgr>") -> Hypergraph:
     header = lines[0].split()
     if len(header) not in (2, 3):
         raise HypergraphError(f"{path}: bad header {lines[0]!r}")
-    num_nets, num_nodes = int(header[0]), int(header[1])
-    fmt = int(header[2]) if len(header) == 3 else 0
+    try:
+        num_nets, num_nodes = int(header[0]), int(header[1])
+        fmt = int(header[2]) if len(header) == 3 else 0
+    except ValueError:
+        raise HypergraphError(f"{path}: bad header {lines[0]!r}") from None
     if fmt not in (0, 1, 10, 11):
         raise HypergraphError(f"{path}: unsupported fmt {fmt}")
     has_net_w = fmt in (1, 11)
@@ -99,17 +102,27 @@ def parse_hgr_text(text: str, origin: str = "<hgr>") -> Hypergraph:
     net_costs: List[float] = []
     for ln in body[:num_nets]:
         fields = ln.split()
-        if has_net_w:
-            net_costs.append(float(fields[0]))
-            fields = fields[1:]
-        pins = [int(f) - 1 for f in fields]
+        try:
+            if has_net_w:
+                net_costs.append(float(fields[0]))
+                fields = fields[1:]
+            pins = [int(f) - 1 for f in fields]
+        except ValueError:
+            raise HypergraphError(
+                f"{path}: bad net line {ln!r}"
+            ) from None
         if any(p < 0 or p >= num_nodes for p in pins):
             raise HypergraphError(f"{path}: pin out of range in line {ln!r}")
         nets.append(pins)
 
     node_weights: Optional[List[float]] = None
     if has_node_w:
-        node_weights = [float(ln.split()[0]) for ln in body[num_nets:]]
+        try:
+            node_weights = [float(ln.split()[0]) for ln in body[num_nets:]]
+        except ValueError:
+            raise HypergraphError(
+                f"{path}: bad node-weight line"
+            ) from None
 
     return Hypergraph(
         nets,

@@ -18,19 +18,25 @@ Layers (each importable and testable without the ones above it):
 * :mod:`~repro.service.api` — stdlib asyncio HTTP/JSON transport;
 * :mod:`~repro.service.client` — asyncio client (tests, load driver).
 
+Resource governance (admission control / 429 shedding, per-job
+deadlines, memory high-water marks, poison-job quarantine) lives in
+:mod:`repro.guard` and is threaded through the orchestrator — see
+``docs/guard.md``.
+
 Entry points: ``repro serve`` (CLI), :func:`run_service` (embedding),
 ``scripts/load_smoke.py`` (the kill-and-restart load proof).  See
 ``docs/service.md``.
 """
 
+from ..guard import OverloadedError, QuarantinedError
 from .api import ServiceServer, run_service
 from .app import JobNotFound, PartitionService, ServiceConfig, ServiceStopping
 from .client import ServiceClient, ServiceError
 from .jobs import JOB_STATES, TERMINAL_STATES, Job
-from .queue import FairQueue, QueueClosed
+from .queue import FairQueue, QueueClosed, QueueFull
 from .recovery import RecoveredState, ServiceJournal, jobs_journal_path, recover
 from .schemas import JobSpec, SchemaError, build_units, parse_job_spec
-from .sse import EventBus, format_sse
+from .sse import EventBus, SubscriberQueue, format_sse
 
 __all__ = [
     "JOB_STATES",
@@ -43,8 +49,12 @@ __all__ = [
     "build_units",
     "FairQueue",
     "QueueClosed",
+    "QueueFull",
     "EventBus",
+    "SubscriberQueue",
     "format_sse",
+    "OverloadedError",
+    "QuarantinedError",
     "ServiceJournal",
     "RecoveredState",
     "recover",

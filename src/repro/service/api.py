@@ -12,6 +12,7 @@ Routes (all JSON unless noted):
 Method   Path                            Meaning
 =======  ==============================  =======================================
 GET      ``/healthz``                    liveness + version
+GET      ``/readyz``                     readiness probe (503 while degraded)
 GET      ``/v1/stats``                   queue/jobs/journal/integrity counters
 POST     ``/v1/jobs``                    submit a job spec -> 202 + job status
 GET      ``/v1/jobs``                    list jobs (``?state=``, ``?tenant=``)
@@ -19,11 +20,15 @@ GET      ``/v1/jobs/{id}``               job status (``?spec=1`` embeds spec)
 GET      ``/v1/jobs/{id}/result``        terminal result (409 while running)
 POST     ``/v1/jobs/{id}/cancel``        cooperative cancel (idempotent)
 GET      ``/v1/jobs/{id}/events``        SSE stream (``text/event-stream``)
+GET      ``/v1/quarantine``              quarantined spec fingerprints
+GET      ``/v1/quarantine/{fp}``         one quarantine diagnostics bundle
+DELETE   ``/v1/quarantine/{fp}``         release a quarantined fingerprint
 =======  ==============================  =======================================
 
 Error bodies are ``{"error": {"message", "field"?}}``; 400 for schema
-violations, 404 unknown job/route, 409 result-not-ready, 413 oversized
-body, 405 wrong method.
+violations, 404 unknown job/route, 409 result-not-ready or quarantined
+spec, 413 oversized body, 405 wrong method, 429 + ``Retry-After`` when
+admission control sheds the submission (see ``docs/guard.md``).
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ import signal
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ..guard import OverloadedError, QuarantinedError
 from .app import JobNotFound, PartitionService, ServiceConfig, ServiceStopping
 from .schemas import SchemaError
 
@@ -60,8 +66,8 @@ def _response(
     reason = {
         200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
         405: "Method Not Allowed", 409: "Conflict",
-        413: "Payload Too Large", 500: "Internal Server Error",
-        503: "Service Unavailable",
+        413: "Payload Too Large", 429: "Too Many Requests",
+        500: "Internal Server Error", 503: "Service Unavailable",
     }.get(status, "OK")
     return (
         f"HTTP/1.1 {status} {reason}\r\n"
@@ -221,8 +227,22 @@ class ServiceServer:
                 "status": "ok", "version": __version__,
             }))
             return
+        if path == "/readyz":
+            payload = self.service.readiness()
+            if payload["ready"]:
+                writer.write(self._json(200, payload))
+            else:
+                writer.write(_response(
+                    503,
+                    _json_bytes(payload),
+                    extra=f"Retry-After: {payload.get('retry_after', 1)}\r\n",
+                ))
+            return
         if path == "/v1/stats":
             writer.write(self._json(200, await self.service.stats()))
+            return
+        if path == "/v1/quarantine" or path.startswith("/v1/quarantine/"):
+            await self._quarantine_route(method, path, writer)
             return
         if path == "/v1/jobs":
             if method == "POST":
@@ -269,10 +289,73 @@ class ServiceServer:
                 400, _error_body(str(exc), field=exc.field)
             ))
             return
+        except QuarantinedError as exc:
+            body_payload: Dict[str, Any] = {
+                "error": {
+                    "message": str(exc),
+                    "quarantined": True,
+                    "fingerprint": exc.fingerprint,
+                }
+            }
+            writer.write(_response(409, _json_bytes(body_payload)))
+            return
+        except OverloadedError as exc:
+            body_payload = {
+                "error": {
+                    "message": str(exc),
+                    "reason": exc.reason,
+                    "retry_after": exc.retry_after,
+                }
+            }
+            writer.write(_response(
+                429,
+                _json_bytes(body_payload),
+                extra=f"Retry-After: {exc.retry_after}\r\n",
+            ))
+            return
         except ServiceStopping as exc:
             writer.write(_response(503, _error_body(str(exc))))
             return
         writer.write(self._json(202, job.status_payload()))
+
+    async def _quarantine_route(
+        self, method: str, path: str, writer: asyncio.StreamWriter
+    ) -> None:
+        registry = self.service.quarantine
+        rest = path[len("/v1/quarantine"):].lstrip("/")
+        if not rest:
+            if method != "GET":
+                writer.write(_response(405, _error_body("use GET")))
+                return
+            entries = registry.entries()
+            writer.write(self._json(200, {
+                "quarantined": entries, "count": len(entries),
+            }))
+            return
+        fingerprint = rest
+        if method == "GET":
+            entry = registry.is_quarantined(fingerprint)
+            if entry is None:
+                writer.write(_response(404, _error_body(
+                    f"fingerprint {fingerprint!r} is not quarantined"
+                )))
+                return
+            bundle = await asyncio.to_thread(registry.load_bundle, fingerprint)
+            writer.write(self._json(200, {
+                "entry": entry, "bundle": bundle,
+            }))
+        elif method == "DELETE":
+            released = await asyncio.to_thread(registry.release, fingerprint)
+            if not released:
+                writer.write(_response(404, _error_body(
+                    f"fingerprint {fingerprint!r} is not quarantined"
+                )))
+                return
+            writer.write(self._json(200, {
+                "released": fingerprint,
+            }))
+        else:
+            writer.write(_response(405, _error_body("use GET or DELETE")))
 
     async def _job_route(
         self,

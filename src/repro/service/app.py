@@ -36,14 +36,24 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..engine import Engine, EngineConfig, ProgressEvent
 from ..engine.cache import ResultCache, default_cache_dir
-from ..telemetry import CallbackRecorder
+from ..guard import (
+    RLIMIT_ENV,
+    AdmissionController,
+    OverloadedError,
+    QuarantinedError,
+    QuarantineRegistry,
+    RssWatchdog,
+    quarantine_dir,
+)
+from ..telemetry import GUARD_COUNTER_KEYS, CallbackRecorder
 from .jobs import JOB_STATES, Job, job_id_for
-from .queue import FairQueue, QueueClosed
+from .queue import FairQueue, QueueClosed, QueueFull
 from .recovery import ServiceJournal, jobs_journal_path, recover
 from .schemas import JobSpec, SchemaError, build_graph, build_units, parse_job_spec
 from .sse import EventBus
@@ -95,6 +105,31 @@ class ServiceConfig:
     #: evicted (status/result then 404, but their journals remain — a
     #: long-lived service no longer grows without bound).  0 = unlimited.
     max_job_history: int = 10000
+    # -- guard layer (repro.guard; see docs/guard.md) ------------------
+    #: Max queued (admitted, not yet running) jobs; 0 = unbounded.
+    #: Beyond it, submissions shed with HTTP 429 + Retry-After.
+    max_queue_depth: int = 0
+    #: Tenant -> max in-flight (queued + running) jobs.
+    tenant_inflight_caps: Dict[str, int] = field(default_factory=dict)
+    #: In-flight cap for tenants absent from the map; 0 = uncapped.
+    default_tenant_inflight: int = 0
+    #: Wall-clock budget (seconds from execution start) for jobs whose
+    #: spec carries no ``deadline_seconds``; None = unbounded.
+    default_job_deadline: Optional[float] = None
+    #: Consecutive failed/deadline/crash outcomes before a spec
+    #: fingerprint is quarantined.  0 disables the breaker.
+    quarantine_after: int = 3
+    #: Shed new admissions while service RSS exceeds this (MiB);
+    #: None disables the watchdog.
+    memory_high_water_mb: Optional[float] = None
+    #: RSS watchdog poll interval, seconds.
+    memory_poll_seconds: float = 0.5
+    #: ``RLIMIT_AS`` soft cap (MiB) applied inside pool/shm workers via
+    #: the REPRO_WORKER_RLIMIT_MB env; None leaves workers uncapped.
+    worker_rlimit_mb: Optional[float] = None
+    #: Clamp for the computed Retry-After header, seconds.
+    min_retry_after: int = 1
+    max_retry_after: int = 60
 
     def resolved_cache_dir(self) -> str:
         """The effective cache root (explicit or the engine default)."""
@@ -115,10 +150,39 @@ class PartitionService:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         self.jobs: Dict[str, Job] = {}
-        self.queue = FairQueue(self.config.tenant_weights)
+        self.queue = FairQueue(
+            self.config.tenant_weights,
+            max_depth=self.config.max_queue_depth,
+        )
         self.journal = ServiceJournal(
             jobs_journal_path(self.config.resolved_cache_dir())
         )
+        self.watchdog: Optional[RssWatchdog] = None
+        if self.config.memory_high_water_mb is not None:
+            self.watchdog = RssWatchdog(
+                high_water_bytes=int(
+                    self.config.memory_high_water_mb * 1024 * 1024
+                ),
+                poll_seconds=self.config.memory_poll_seconds,
+            )
+        self.admission = AdmissionController(
+            max_queue_depth=self.config.max_queue_depth,
+            tenant_caps=self.config.tenant_inflight_caps,
+            default_tenant_cap=self.config.default_tenant_inflight,
+            job_workers=max(1, self.config.job_workers),
+            min_retry_after=self.config.min_retry_after,
+            max_retry_after=self.config.max_retry_after,
+            memory_shedding=(
+                self.watchdog.check_now if self.watchdog is not None else None
+            ),
+        )
+        self.quarantine = QuarantineRegistry(
+            quarantine_dir(self.config.resolved_cache_dir()),
+            quarantine_after=max(1, self.config.quarantine_after),
+        )
+        self.guard_counters: Dict[str, int] = {
+            key: 0 for key in GUARD_COUNTER_KEYS
+        }
         self.bus: Optional[EventBus] = None
         self.integrity: Optional[Dict[str, Any]] = None
         self.recovered_jobs = 0
@@ -137,6 +201,14 @@ class PartitionService:
         loop = asyncio.get_running_loop()
         self.bus = EventBus(loop)
 
+        if self.config.worker_rlimit_mb is not None:
+            # Environment is the one channel that reaches every pool
+            # and shm worker (same mechanism as REPRO_FAULTS); applied
+            # by pool_worker_init in each child.
+            os.environ[RLIMIT_ENV] = f"{self.config.worker_rlimit_mb:g}"
+        if self.watchdog is not None:
+            self.watchdog.start()
+
         if self.config.integrity_check and self.config.use_cache:
             self.integrity = await asyncio.to_thread(self._verify_cache)
 
@@ -145,10 +217,39 @@ class PartitionService:
         for job in state.finished:
             self.jobs[job.job_id] = job
             self.bus.publish(job.job_id, "state", self._state_payload(job))
+
+        # A job running at the moment of a crash is the prime poison
+        # suspect: strike its fingerprint before deciding to re-run it.
+        crashed = set(state.running_at_crash)
         for job in state.pending:
             self.jobs[job.job_id] = job
+            job.deadline_seconds = (
+                job.spec.deadline_seconds
+                if job.spec.deadline_seconds is not None
+                else self.config.default_job_deadline
+            )
+            if job.job_id in crashed and self.config.quarantine_after > 0:
+                await asyncio.to_thread(
+                    self._record_strike, job, "crash_recovery",
+                    "process died while this job was running",
+                )
+            if self.quarantine.is_quarantined(job.spec.fingerprint()):
+                # Quarantined during this replay (or a prior run):
+                # settle instead of re-running the poison.
+                job.error = (
+                    f"quarantined: fingerprint {job.spec.fingerprint()[:12]} "
+                    f"tripped the poison-job breaker"
+                )
+                self.bus.publish(
+                    job.job_id, "state", self._state_payload(job)
+                )
+                await self._finish(job, "failed", count_strike=False)
+                continue
             self.bus.publish(job.job_id, "state", self._state_payload(job))
-            await self.queue.put(job, cost=float(job.spec.runs))
+            self.admission.note_admitted(job.spec.tenant)
+            # force=True: these jobs were admitted before the restart
+            # and must never be shed by the depth bound.
+            await self.queue.put(job, cost=float(job.spec.runs), force=True)
         self.recovered_jobs = state.total
         if state.total:
             log.info(
@@ -198,6 +299,8 @@ class PartitionService:
             # terminal state in this process must not hold connection
             # handlers (and the HTTP server's wait_closed) open forever.
             self.bus.close()
+        if self.watchdog is not None:
+            self.watchdog.stop()
         self.journal.close()
 
     # ------------------------------------------------------------------
@@ -207,30 +310,53 @@ class PartitionService:
         """Validate, journal and enqueue one submission.
 
         Raises :exc:`SchemaError` on a bad payload (the HTTP layer maps
-        it to 400) and :exc:`ServiceStopping` once shutdown has begun
-        (503).  The job record hits the journal before this returns, so
-        an acknowledged submission is durable.
+        it to 400), :exc:`QuarantinedError` for a quarantined spec
+        fingerprint (409), :exc:`OverloadedError` when admission limits
+        shed the submission (429 + Retry-After) and
+        :exc:`ServiceStopping` once shutdown has begun (503).  The job
+        record hits the journal before this returns, so an acknowledged
+        submission is durable.
         """
         if self.queue.closed:
             raise ServiceStopping("service is shutting down")
         spec = parse_job_spec(payload)
-        if "hgr" in spec.graph:
-            # Parse inline netlists at the door: a malformed graph must
-            # 400 at submit, not fail a queued job minutes later.
-            await asyncio.to_thread(build_graph, spec)
-        seq = self._seq
-        self._seq += 1
-        job = Job(job_id=job_id_for(seq, spec), spec=spec)
-        if job.job_id in self.jobs:
-            # Same spec resubmitted never collides: seq differs. A true
-            # duplicate id means a journal/seq inconsistency — refuse.
-            raise SchemaError(f"job id collision for {job.job_id}")
+        if self.config.quarantine_after > 0:
+            self.quarantine.check(spec.fingerprint())
+        # Admission *before* the (possibly expensive) inline parse:
+        # shedding must stay cheap under overload.  admit() reserves the
+        # job's queue + tenant slots, so any later rejection on this
+        # path must release them.
+        self.admission.admit(spec.tenant)
+        try:
+            if "hgr" in spec.graph:
+                # Parse inline netlists at the door: a malformed graph
+                # must 400 at submit, not fail a queued job minutes
+                # later.
+                await asyncio.to_thread(build_graph, spec)
+            seq = self._seq
+            self._seq += 1
+            job = Job(job_id=job_id_for(seq, spec), spec=spec)
+            if job.job_id in self.jobs:
+                # Same spec resubmitted never collides: seq differs. A
+                # true duplicate id means a journal/seq inconsistency —
+                # refuse.
+                raise SchemaError(f"job id collision for {job.job_id}")
+        except BaseException:
+            self.admission.note_finished(spec.tenant, was_queued=True)
+            raise
+        job.deadline_seconds = (
+            spec.deadline_seconds
+            if spec.deadline_seconds is not None
+            else self.config.default_job_deadline
+        )
         self.jobs[job.job_id] = job
         await asyncio.to_thread(self.journal.append_job, job, seq)
         await asyncio.to_thread(self.journal.append_state, job.job_id, "queued")
         self._publish_state(job)
         try:
-            await self.queue.put(job, cost=float(spec.runs))
+            # force=True: the admission controller already holds the
+            # depth bound; the queue's own check would double-count.
+            await self.queue.put(job, cost=float(spec.runs), force=True)
         except QueueClosed:
             # Shutdown raced the journal append: the job is already
             # durable, so it is accepted-for-restart — recovery re-runs
@@ -273,7 +399,7 @@ class PartitionService:
         removed = await self.queue.remove(job_id)
         job.cancel_token.cancel()
         if removed is not None:
-            await self._finish(job, "cancelled")
+            await self._finish(job, "cancelled", was_queued=True)
         return job
 
     async def stats(self) -> Dict[str, Any]:
@@ -294,9 +420,70 @@ class PartitionService:
                 "job_workers": len(self._workers),
                 "engine_workers": self.config.engine_workers,
             },
+            "guard": self.guard_stats(),
         }
         if self.integrity is not None:
             payload["cache_integrity"] = self.integrity
+        return payload
+
+    def guard_stats(self) -> Dict[str, Any]:
+        """The guard section of ``/v1/stats`` (admission + memory +
+        quarantine), keyed by :data:`repro.telemetry.GUARD_COUNTER_KEYS`
+        vocabulary for the counters."""
+        admission = self.admission.snapshot()
+        counters = dict(self.guard_counters)
+        for reason, count in admission["shed"].items():
+            counters[f"shed_{reason}"] = count
+        payload: Dict[str, Any] = {
+            "counters": counters,
+            "admission": admission,
+            "quarantine": self.quarantine.snapshot(),
+            "retry_after_seconds": self.admission.retry_after_seconds(),
+        }
+        if self.watchdog is not None:
+            payload["memory"] = {
+                "rss_bytes": self.watchdog.last_rss,
+                "peak_rss_bytes": self.watchdog.peak_rss,
+                "high_water_bytes": self.watchdog.high_water_bytes,
+                "shedding": self.watchdog.shedding,
+            }
+        return payload
+
+    def readiness(self) -> Dict[str, Any]:
+        """The ``/readyz`` payload: can this process accept work *now*?
+
+        Distinct from liveness (``/healthz``, which only proves the
+        loop is serving): readiness degrades whenever a new submission
+        would be shed or could not be made durable — queue at depth,
+        memory above high water, jobs journal unwritable, or the cache
+        integrity scrub still pending.  Load balancers should route
+        away from a degraded instance; it is still alive and draining.
+        """
+        checks: Dict[str, bool] = {}
+        checks["started"] = self._started and not self.queue.closed
+        checks["queue_headroom"] = (
+            self.config.max_queue_depth == 0
+            or self.admission.queued < self.config.max_queue_depth
+        )
+        checks["memory"] = not (
+            self.watchdog is not None and self.watchdog.check_now()
+        )
+        journal_dir = self.journal.path.parent
+        checks["journal_writable"] = (
+            self.journal.errors == 0
+            and (not journal_dir.exists() or os.access(journal_dir, os.W_OK))
+        )
+        checks["cache_verified"] = (
+            not (self.config.integrity_check and self.config.use_cache)
+            or self.integrity is not None
+        )
+        ready = all(checks.values())
+        payload: Dict[str, Any] = {
+            "ready": ready,
+            "checks": checks,
+        }
+        if not ready:
+            payload["retry_after"] = self.admission.retry_after_seconds()
         return payload
 
     def ensure_results(self, job: Job) -> bool:
@@ -379,6 +566,7 @@ class PartitionService:
                     log.exception("failsafe settle of job %s failed", job.job_id)
 
     async def _run_job(self, job: Job) -> None:
+        self.admission.note_started()
         if job.cancel_token.cancelled:
             await self._finish(job, "cancelled")
             return
@@ -386,6 +574,22 @@ class PartitionService:
             return  # lost a race with cancel
         await asyncio.to_thread(self.journal.append_state, job.job_id, "running")
         self._publish_state(job)
+
+        # Cooperative deadline: when the budget expires the engine is
+        # told to drain (cancel token) and the settle below lands the
+        # job in the deterministic "deadline" terminal state.  The hard
+        # backstop is the engine's per-unit timeout (see _execute).
+        deadline_handle: Optional[asyncio.TimerHandle] = None
+        if job.deadline_seconds is not None:
+
+            def _expire() -> None:
+                if not job.terminal:
+                    job.deadline_expired = True
+                    job.cancel_token.cancel()
+
+            deadline_handle = asyncio.get_running_loop().call_later(
+                job.deadline_seconds, _expire
+            )
         try:
             results, interrupted = await asyncio.to_thread(self._execute, job)
         except asyncio.CancelledError:
@@ -398,8 +602,21 @@ class PartitionService:
             job.error = f"{type(exc).__name__}: {exc}"
             await self._finish(job, "failed")
             return
+        finally:
+            if deadline_handle is not None:
+                deadline_handle.cancel()
         job.results = results
-        if interrupted:
+        # "deadline" only when the expiry actually interrupted the
+        # engine: a timer firing in the instant after the last unit
+        # completed must not reclassify a finished job.
+        if job.deadline_expired and interrupted:
+            job.error = (
+                f"deadline of {job.deadline_seconds:g}s exceeded; "
+                f"{sum(1 for r in results if r.get('cut') is not None)}"
+                f"/{job.spec.runs} units completed"
+            )
+            await self._finish(job, "deadline")
+        elif interrupted:
             await self._finish(job, "cancelled")
         elif any(r.get("error") for r in results):
             job.error = next(r["error"] for r in results if r.get("error"))
@@ -439,6 +656,13 @@ class PartitionService:
             job.progress.update(snapshot)
             bus.publish_threadsafe(job.job_id, "progress", snapshot)
 
+        # The job deadline doubles as a hard per-unit budget: no single
+        # unit may outlive the job's whole allowance, so even a hung
+        # pool worker cannot stall past roughly one deadline.
+        timeouts = [
+            t for t in (self.config.unit_timeout, job.deadline_seconds)
+            if t is not None
+        ]
         engine = Engine(
             EngineConfig(
                 workers=self.config.engine_workers,
@@ -446,7 +670,7 @@ class PartitionService:
                 use_cache=self.config.use_cache,
                 on_error="collect",
                 handle_signals=False,
-                timeout=self.config.unit_timeout,
+                timeout=min(timeouts) if timeouts else None,
                 recorder=CallbackRecorder(on_trace, events=TRACE_EVENTS),
             )
         )
@@ -483,12 +707,73 @@ class PartitionService:
     # ------------------------------------------------------------------
     # Settling + events
     # ------------------------------------------------------------------
-    async def _finish(self, job: Job, state: str) -> None:
+    async def _finish(
+        self,
+        job: Job,
+        state: str,
+        was_queued: bool = False,
+        count_strike: bool = True,
+    ) -> None:
         if not job.transition(state):
             return
+        self.admission.note_finished(job.spec.tenant, was_queued=was_queued)
+        if state == "deadline":
+            self.guard_counters["deadline_expired"] += 1
+        if job.started_at is not None and job.finished_at is not None:
+            self.admission.service_times.observe(
+                job.finished_at - job.started_at
+            )
+        if count_strike and self.config.quarantine_after > 0:
+            if state == "done":
+                await asyncio.to_thread(
+                    self.quarantine.record_success, job.spec.fingerprint()
+                )
+            elif state in ("failed", "deadline"):
+                await asyncio.to_thread(
+                    self._record_strike, job, state, job.error or ""
+                )
         await asyncio.to_thread(self.journal.append_state, job.job_id, state)
         self._publish_state(job)
         self._evict_history()
+
+    def _record_strike(self, job: Job, reason: str, detail: str) -> None:
+        """One quarantine strike for ``job``'s fingerprint (any thread).
+
+        The diagnostics dict becomes the bundle if this strike trips
+        the breaker: everything needed to reproduce and debug the
+        poison offline — the spec payload, its effective seed, the
+        error, the last progress snapshot, and the guard counters at
+        trip time.
+        """
+        failed_units = [
+            row for row in (job.results or []) if row.get("error")
+        ][:8]
+        diagnostics = {
+            "spec": job.spec.payload(),
+            "effective_seed": job.spec.effective_seed(),
+            "run_id": job.run_id,
+            "error": job.error,
+            "failed_units": failed_units,
+            "progress": dict(job.progress),
+            "guard_counters": dict(self.guard_counters),
+            "shed_counts": dict(self.admission.shed_counts),
+        }
+        entry = self.quarantine.record_strike(
+            job.spec.fingerprint(),
+            reason,
+            job_id=job.job_id,
+            detail=detail[:2000],
+            diagnostics=diagnostics,
+        )
+        if entry is not None:
+            self.guard_counters["quarantine_trips"] += 1
+            log.warning(
+                "quarantined spec fingerprint %s after %d consecutive "
+                "failures (bundle: %s)",
+                job.spec.fingerprint()[:12],
+                entry["strikes"],
+                entry["bundle"],
+            )
 
     def _evict_history(self) -> None:
         """Bound in-memory job history to ``max_job_history`` terminals.

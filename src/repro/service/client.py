@@ -19,15 +19,24 @@ from typing import Any, AsyncIterator, Dict, Optional, Tuple
 
 
 class ServiceError(Exception):
-    """Non-2xx API response."""
+    """Non-2xx API response.
 
-    def __init__(self, status: int, payload: Any) -> None:
+    ``retry_after`` carries the server's ``Retry-After`` header in
+    seconds when present (429 load shedding, 503 degraded readiness) —
+    ``None`` otherwise.
+    """
+
+    def __init__(
+        self, status: int, payload: Any,
+        retry_after: Optional[int] = None,
+    ) -> None:
         message = payload
         if isinstance(payload, dict):
             message = payload.get("error", {}).get("message", payload)
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -69,17 +78,26 @@ class ServiceClient:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
         header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
-        status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+        header_lines = header_blob.decode("latin-1").split("\r\n")
+        status_line = header_lines[0]
         try:
             status = int(status_line.split()[1])
         except (IndexError, ValueError):
             raise ServiceError(0, f"bad response {status_line!r}") from None
+        retry_after: Optional[int] = None
+        for line in header_lines[1:]:
+            name, sep, value = line.partition(":")
+            if sep and name.strip().lower() == "retry-after":
+                try:
+                    retry_after = int(value.strip())
+                except ValueError:
+                    pass
         try:
             decoded = json.loads(body_blob.decode() or "null")
         except ValueError:
             decoded = body_blob.decode(errors="replace")
         if status >= 400:
-            raise ServiceError(status, decoded)
+            raise ServiceError(status, decoded, retry_after=retry_after)
         return status, decoded
 
     # ------------------------------------------------------------------
@@ -93,9 +111,44 @@ class ServiceClient:
         """``GET /v1/stats`` — jobs/queue/journal counters."""
         return (await self._request("GET", "/v1/stats"))[1]
 
-    async def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
-        """Submit a job spec; returns the 202 status payload."""
-        return (await self._request("POST", "/v1/jobs", spec))[1]
+    async def readyz(self) -> Dict[str, Any]:
+        """``GET /readyz`` — raises :class:`ServiceError` 503 while the
+        service is degraded (``retry_after`` set from the header)."""
+        return (await self._request("GET", "/readyz"))[1]
+
+    async def submit(
+        self,
+        spec: Dict[str, Any],
+        retries: int = 0,
+        max_backoff: float = 2.0,
+    ) -> Dict[str, Any]:
+        """Submit a job spec; returns the 202 status payload.
+
+        ``retries`` re-attempts a 429-shed submission up to N times,
+        honoring the server's ``Retry-After`` capped at ``max_backoff``
+        seconds and combined with the engine's deterministic
+        exponential backoff (:func:`repro.engine.backoff_delay`, keyed
+        on the spec content) — a thousand shed clients spread their
+        retries instead of thundering back in lockstep.  Only 429 is
+        retried: 4xx schema errors and 409 quarantine are permanent.
+        """
+        from ..engine import backoff_delay
+
+        attempt = 0
+        while True:
+            try:
+                return (await self._request("POST", "/v1/jobs", spec))[1]
+            except ServiceError as exc:
+                if exc.status != 429 or attempt >= retries:
+                    raise
+                key = json.dumps(spec, sort_keys=True)
+                delay = backoff_delay(
+                    attempt, key, base=0.05, maximum=max_backoff
+                )
+                if exc.retry_after is not None:
+                    delay = min(float(exc.retry_after), max_backoff) + delay
+                await asyncio.sleep(delay)
+                attempt += 1
 
     async def job(
         self, job_id: str, include_spec: bool = False
@@ -124,6 +177,22 @@ class ServiceClient:
         """``POST /v1/jobs/{id}/cancel`` — idempotent cancel."""
         return (await self._request("POST", f"/v1/jobs/{job_id}/cancel"))[1]
 
+    async def quarantine(self) -> Dict[str, Any]:
+        """``GET /v1/quarantine`` — quarantined spec fingerprints."""
+        return (await self._request("GET", "/v1/quarantine"))[1]
+
+    async def quarantine_bundle(self, fingerprint: str) -> Dict[str, Any]:
+        """``GET /v1/quarantine/{fp}`` — entry + diagnostics bundle."""
+        return (
+            await self._request("GET", f"/v1/quarantine/{fingerprint}")
+        )[1]
+
+    async def quarantine_release(self, fingerprint: str) -> Dict[str, Any]:
+        """``DELETE /v1/quarantine/{fp}`` — forgive a fingerprint."""
+        return (
+            await self._request("DELETE", f"/v1/quarantine/{fingerprint}")
+        )[1]
+
     async def wait(
         self,
         job_id: str,
@@ -135,7 +204,7 @@ class ServiceClient:
         deadline = loop.time() + timeout
         while True:
             status = await self.job(job_id)
-            if status["state"] in ("done", "failed", "cancelled"):
+            if status["state"] in ("done", "failed", "cancelled", "deadline"):
                 return await self.result(job_id)
             if loop.time() >= deadline:
                 raise TimeoutError(

@@ -3,7 +3,8 @@
 A :class:`Job` is one accepted submission flowing through the service::
 
     queued ──> running ──> done
-        │          │  └──> failed
+        │          │  ├──> failed
+        │          │  └──> deadline
         └──────────┴─────> cancelled
 
 ``done``/``failed``/``cancelled`` are terminal.  Cancellation is
@@ -28,13 +29,17 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..engine import CancelToken
 from .schemas import JobSpec
 
-#: Every state a job can be in, in lifecycle order.
+#: Every state a job can be in, in lifecycle order.  ``deadline`` is
+#: the terminal state of a job whose wall-clock budget expired
+#: (``deadline_seconds`` / ``ServiceConfig.default_job_deadline``):
+#: like ``cancelled``, completed units stay journalled and partial
+#: results are preserved.
 JOB_STATES: Tuple[str, ...] = (
-    "queued", "running", "done", "failed", "cancelled"
+    "queued", "running", "done", "failed", "cancelled", "deadline"
 )
 
 #: States a job never leaves.
-TERMINAL_STATES: Tuple[str, ...] = ("done", "failed", "cancelled")
+TERMINAL_STATES: Tuple[str, ...] = ("done", "failed", "cancelled", "deadline")
 
 
 def job_id_for(seq: int, spec: JobSpec) -> str:
@@ -70,6 +75,13 @@ class Job:
     #: its engine run resumes from the run journal instead of starting
     #: fresh.
     recovered: bool = False
+    #: Effective wall-clock budget (seconds from execution start), from
+    #: the spec's ``deadline_seconds`` or the service default; ``None``
+    #: means unbounded.
+    deadline_seconds: Optional[float] = None
+    #: Flipped by the service's deadline timer; the worker settles the
+    #: job into the ``deadline`` state instead of ``cancelled``.
+    deadline_expired: bool = False
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
@@ -118,6 +130,8 @@ class Job:
                 "finished_at": self.finished_at,
                 "recovered": self.recovered,
             }
+            if self.deadline_seconds is not None:
+                payload["deadline_seconds"] = self.deadline_seconds
             if self.progress:
                 payload["progress"] = dict(self.progress)
             if self.error is not None:

@@ -36,17 +36,35 @@ class QueueClosed(Exception):
     """Raised by :meth:`FairQueue.get` after :meth:`FairQueue.close`."""
 
 
-class FairQueue:
-    """Priority + weighted-fair job queue (single-event-loop use)."""
+class QueueFull(Exception):
+    """Raised by :meth:`FairQueue.put` when ``max_depth`` is reached."""
 
-    def __init__(self, weights: Optional[Dict[str, float]] = None) -> None:
+
+class FairQueue:
+    """Priority + weighted-fair job queue (single-event-loop use).
+
+    ``max_depth`` bounds the number of queued jobs (0 = unbounded);
+    a full queue rejects with :exc:`QueueFull` rather than blocking,
+    because backpressure belongs at the HTTP admission layer (429),
+    not inside the scheduler.  Recovery replay enqueues with
+    ``force=True`` — already-accepted jobs are never shed.
+    """
+
+    def __init__(
+        self,
+        weights: Optional[Dict[str, float]] = None,
+        max_depth: int = 0,
+    ) -> None:
         if weights:
             for tenant, w in weights.items():
                 if not w > 0:
                     raise ValueError(
                         f"tenant {tenant!r} weight must be > 0, got {w}"
                     )
+        if max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth}")
         self._weights = dict(weights or {})
+        self.max_depth = int(max_depth)
         self._cond = asyncio.Condition()
         # heap entries: (-priority, virtual_finish, seq, job_id)
         self._heap: List[Tuple[int, float, int, str]] = []
@@ -68,13 +86,25 @@ class FairQueue:
         """Whether :meth:`close` has run (puts/gets now raise)."""
         return self._closed
 
-    async def put(self, job: Job, cost: float = 1.0) -> None:
-        """Enqueue ``job``; ``cost`` is its service demand (e.g. runs)."""
+    async def put(self, job: Job, cost: float = 1.0, force: bool = False) -> None:
+        """Enqueue ``job``; ``cost`` is its service demand (e.g. runs).
+
+        ``force=True`` bypasses the depth bound — used only by crash
+        recovery, whose jobs were admitted before the restart.
+        """
         if cost <= 0:
             raise ValueError(f"cost must be > 0, got {cost}")
         async with self._cond:
             if self._closed:
                 raise QueueClosed("queue is closed")
+            if (
+                not force
+                and self.max_depth
+                and len(self._jobs) >= self.max_depth
+            ):
+                raise QueueFull(
+                    f"queue at max depth ({len(self._jobs)}/{self.max_depth})"
+                )
             if job.job_id in self._jobs:
                 raise ValueError(f"job {job.job_id} already queued")
             tenant = job.spec.tenant
@@ -129,6 +159,7 @@ class FairQueue:
                 per_tenant[tenant] = per_tenant.get(tenant, 0) + 1
             return {
                 "depth": len(self._jobs),
+                "max_depth": self.max_depth,
                 "virtual_time": self._vtime,
                 "per_tenant": per_tenant,
                 "weights": {

@@ -113,6 +113,12 @@ class RecoveredState:
         self.max_seq: int = -1
         #: Records skipped as unparseable/stale (surfaced in stats).
         self.skipped: int = 0
+        #: Job ids whose last journalled state was ``running`` — they
+        #: were mid-flight when the previous process died.  The guard
+        #: layer counts these as quarantine strikes against their spec
+        #: fingerprints (a spec that keeps being "the job running at
+        #: every crash" is the prime poison suspect).
+        self.running_at_crash: List[str] = []
 
     @property
     def total(self) -> int:
@@ -168,12 +174,17 @@ def recover(cache_dir) -> RecoveredState:
     for job_id in order:
         final = last_state.get(job_id, "queued")
         job = Job(job_id=job_id, spec=specs[job_id])
+        # Spec-carried deadlines survive the replay (config-default
+        # deadlines are reapplied by the service for pending jobs).
+        job.deadline_seconds = specs[job_id].deadline_seconds
         if final in TERMINAL_STATES:
             job.state = final
             state.finished.append(job)
         else:
             job.recovered = True
             state.pending.append(job)
+            if final == "running":
+                state.running_at_crash.append(job_id)
     return state
 
 

@@ -52,6 +52,18 @@ MAX_RUNS = 10_000
 #: body cap first).
 MAX_HGR_CHARS = 16_000_000
 
+#: Hard ceilings on the node/net counts an inline hgr header may
+#: declare.  Checked *before* the full parse: a tiny body declaring
+#: ``999999999`` nodes would otherwise reach the ``Hypergraph``
+#: constructor, whose per-node allocations turn a 20-byte request into
+#: a ``MemoryError`` (an HTTP 500 where a 400 is owed).  Matches the
+#: ``random`` generator's caps.
+MAX_INLINE_NODES = 1_000_000
+MAX_INLINE_NETS = 4_000_000
+
+#: Hard ceiling on a job's wall-clock deadline, in seconds (one day).
+MAX_DEADLINE_SECONDS = 86_400.0
+
 _TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}\Z")
 _BALANCE_RE = re.compile(r"^\d{1,2}(\.\d+)?-\d{1,2}(\.\d+)?\Z")
 
@@ -81,13 +93,19 @@ class JobSpec:
     tenant: str = "default"
     priority: int = 0
     tag: str = ""
+    #: Per-job wall-clock budget in seconds (from execution start);
+    #: ``None`` defers to ``ServiceConfig.default_job_deadline``.
+    deadline_seconds: Optional[float] = None
 
     def payload(self) -> Dict[str, Any]:
         """The canonical *wire-format* JSON form.
 
         Round-trips: ``parse_job_spec(spec.payload()) == spec`` — the
         jobs journal stores exactly this, so recovery replays through
-        the same validator as live submissions.
+        the same validator as live submissions.  ``deadline_seconds``
+        is only emitted when set, so specs without a deadline keep the
+        exact payload (and fingerprint/derived seed) they had before
+        the field existed.
         """
         out: Dict[str, Any] = {
             "algorithm": self.algorithm,
@@ -98,6 +116,8 @@ class JobSpec:
             "priority": self.priority,
             "tag": self.tag,
         }
+        if self.deadline_seconds is not None:
+            out["deadline_seconds"] = self.deadline_seconds
         out.update(self.graph)  # exactly one of "hgr" / "generate"
         return out
 
@@ -149,7 +169,7 @@ def parse_job_spec(payload: Any) -> JobSpec:
         raise SchemaError("job payload must be a JSON object")
     unknown = set(payload) - {
         "hgr", "generate", "algorithm", "runs", "seed", "balance",
-        "tenant", "priority", "tag",
+        "tenant", "priority", "tag", "deadline_seconds",
     }
     if unknown:
         raise SchemaError(
@@ -173,6 +193,7 @@ def parse_job_spec(payload: Any) -> JobSpec:
             raise SchemaError(
                 f"'hgr' exceeds {MAX_HGR_CHARS} characters", field="hgr"
             )
+        _check_hgr_header(hgr)
         graph_spec: Dict[str, Any] = {"hgr": hgr}
     else:
         graph_spec = {"generate": _validated_generator(generate)}
@@ -215,6 +236,19 @@ def parse_job_spec(payload: Any) -> JobSpec:
     if len(tag) > 256:
         raise SchemaError("'tag' exceeds 256 characters", field="tag")
 
+    deadline = payload.get("deadline_seconds")
+    if deadline is not None:
+        if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+            raise SchemaError(
+                "'deadline_seconds' must be a number", field="deadline_seconds"
+            )
+        if not 0.0 < deadline <= MAX_DEADLINE_SECONDS:
+            raise SchemaError(
+                f"'deadline_seconds' must be in (0, {MAX_DEADLINE_SECONDS:g}]",
+                field="deadline_seconds",
+            )
+        deadline = float(deadline)
+
     return JobSpec(
         graph=graph_spec,
         algorithm=algorithm,
@@ -224,7 +258,42 @@ def parse_job_spec(payload: Any) -> JobSpec:
         tenant=tenant,
         priority=priority,
         tag=tag,
+        deadline_seconds=deadline,
     )
+
+
+def _check_hgr_header(text: str) -> None:
+    """Reject inline hgr whose header declares absurd counts.
+
+    Mirrors the first steps of :func:`parse_hgr_text` (skip blank and
+    ``%`` comment lines, split the header) but stops at the counts —
+    full parsing happens later in :func:`build_graph`.  Headers that
+    fail to parse here are left for the real parser to diagnose.
+    """
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("%"):
+            continue
+        fields = line.split()
+        if len(fields) not in (2, 3):
+            return  # the real parser owns this diagnostic
+        try:
+            num_nets, num_nodes = int(fields[0]), int(fields[1])
+        except ValueError:
+            return
+        if num_nodes > MAX_INLINE_NODES:
+            raise SchemaError(
+                f"'hgr' header declares {num_nodes} nodes "
+                f"(max {MAX_INLINE_NODES})",
+                field="hgr",
+            )
+        if num_nets > MAX_INLINE_NETS:
+            raise SchemaError(
+                f"'hgr' header declares {num_nets} nets "
+                f"(max {MAX_INLINE_NETS})",
+                field="hgr",
+            )
+        return
 
 
 def _validate_algorithm(name: str) -> None:

@@ -37,6 +37,22 @@ EVENT_TYPES: Tuple[str, ...] = ("state", "progress", "trace")
 SUBSCRIBER_BUFFER = 256
 
 
+class SubscriberQueue(asyncio.Queue):
+    """A bounded subscriber queue that counts drop-oldest evictions.
+
+    Slow consumers silently losing events is the one SSE failure mode a
+    client cannot detect from the stream itself, so the count is
+    surfaced back into the stream as an explicit ``overflow`` marker
+    event (see :meth:`EventBus.stream`) the next time the consumer
+    catches up.
+    """
+
+    def __init__(self, maxsize: int = 0) -> None:
+        super().__init__(maxsize=maxsize)
+        #: Events evicted from this queue because the reader stalled.
+        self.dropped = 0
+
+
 def format_sse(event: str, payload: Dict[str, object]) -> bytes:
     """One SSE frame: ``event:`` + single-line ``data:`` JSON."""
     data = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -90,14 +106,22 @@ class EventBus:
                 return
             except asyncio.QueueFull:
                 try:
-                    queue.get_nowait()
+                    evicted = queue.get_nowait()
                 except asyncio.QueueEmpty:  # pragma: no cover - tiny race
-                    pass
+                    continue
+                # The None sentinel ends the stream; dropping it would
+                # leave the consumer hanging forever — put it back (the
+                # pop above guaranteed room) and drop the new item.
+                if evicted is None:
+                    queue.put_nowait(None)
+                    return
+                if isinstance(queue, SubscriberQueue):
+                    queue.dropped += 1
 
     # -- subscribing --------------------------------------------------------
     def subscribe(self, job_id: str) -> asyncio.Queue:
         """A queue pre-loaded with the job's latest event of each type."""
-        queue: asyncio.Queue = asyncio.Queue(maxsize=SUBSCRIBER_BUFFER)
+        queue: SubscriberQueue = SubscriberQueue(maxsize=SUBSCRIBER_BUFFER)
         last = self._last.get(job_id, {})
         for event in EVENT_TYPES:
             if event in last:
@@ -145,10 +169,15 @@ class EventBus:
         """Yield SSE frames for a job until its terminal event.
 
         Emits ``:heartbeat`` comments after ``heartbeat`` seconds of
-        silence.  Unsubscribes on exit however the generator ends
-        (client disconnect included).
+        silence.  A consumer that stalled long enough to lose events
+        (drop-oldest at ``SUBSCRIBER_BUFFER``) receives an explicit
+        ``overflow`` marker event carrying the number of events lost
+        since the last marker, before the next regular event — loss is
+        visible in-band, never silent.  Unsubscribes on exit however
+        the generator ends (client disconnect included).
         """
         queue = self.subscribe(job_id)
+        reported_drops = 0
         try:
             while True:
                 try:
@@ -158,6 +187,14 @@ class EventBus:
                 except asyncio.TimeoutError:
                     yield HEARTBEAT_FRAME
                     continue
+                dropped = getattr(queue, "dropped", 0)
+                if dropped > reported_drops:
+                    yield format_sse(
+                        "overflow",
+                        {"dropped": dropped - reported_drops,
+                         "total_dropped": dropped},
+                    )
+                    reported_drops = dropped
                 if item is None:
                     return
                 event, payload = item

@@ -26,6 +26,7 @@ See ``docs/observability.md`` for the trace schema and CLI usage
 """
 
 from .events import (
+    GUARD_COUNTER_KEYS,
     MoveEvent,
     PassCounters,
     PassEvent,
@@ -54,6 +55,7 @@ from .summary import (
 
 __all__ = [
     "PHASE_STAT_KEYS",
+    "GUARD_COUNTER_KEYS",
     "MoveEvent",
     "SpanEvent",
     "PassEvent",

@@ -42,6 +42,18 @@ PHASE_STAT_KEYS = (
     "audit_seconds",
 )
 
+#: Guard-layer counters surfaced by the service's ``/v1/stats`` payload
+#: (``guard`` section) and recorded into quarantine diagnostics bundles.
+#: ``shed_*`` counts 429 rejections by exhausted limit; the rest count
+#: deadline expiries and quarantine breaker trips.
+GUARD_COUNTER_KEYS = (
+    "shed_queue_depth",
+    "shed_tenant_inflight",
+    "shed_memory",
+    "deadline_expired",
+    "quarantine_trips",
+)
+
 
 def collect_phase_seconds(stats: Mapping[str, Any]) -> Dict[str, float]:
     """The per-phase timing entries of one result's ``stats`` dict.

@@ -1,0 +1,128 @@
+"""AdmissionController: bounds, accounting, Retry-After estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.guard import AdmissionController, OverloadedError, ServiceTimeTracker
+
+
+def test_unbounded_controller_admits_everything():
+    ctrl = AdmissionController()
+    for n in range(100):
+        ctrl.admit(f"tenant-{n % 3}")
+    assert ctrl.queued == 100
+
+
+def test_queue_depth_bound_sheds_with_reason():
+    ctrl = AdmissionController(max_queue_depth=2)
+    ctrl.admit("a")
+    ctrl.admit("b")
+    with pytest.raises(OverloadedError) as excinfo:
+        ctrl.admit("c")
+    assert excinfo.value.reason == "queue_depth"
+    assert excinfo.value.retry_after >= 1
+    assert ctrl.shed_counts["queue_depth"] == 1
+    assert ctrl.queued == 2  # the shed submission reserved nothing
+
+
+def test_note_started_frees_queue_headroom():
+    ctrl = AdmissionController(max_queue_depth=1)
+    ctrl.admit("a")
+    with pytest.raises(OverloadedError):
+        ctrl.admit("a")
+    ctrl.note_started()  # a worker picked the job up
+    ctrl.admit("a")  # headroom is back
+    assert ctrl.queued == 1
+    assert ctrl.inflight("a") == 2  # both jobs still in flight
+
+
+def test_tenant_cap_is_per_tenant():
+    ctrl = AdmissionController(tenant_caps={"a": 1})
+    ctrl.admit("a")
+    with pytest.raises(OverloadedError) as excinfo:
+        ctrl.admit("a")
+    assert excinfo.value.reason == "tenant_inflight"
+    ctrl.admit("b")  # other tenants are uncapped
+    ctrl.note_finished("a")
+    ctrl.admit("a")  # a's slot came back
+
+
+def test_default_tenant_cap_applies_to_unlisted_tenants():
+    ctrl = AdmissionController(tenant_caps={"vip": 10}, default_tenant_cap=1)
+    ctrl.admit("anon")
+    with pytest.raises(OverloadedError):
+        ctrl.admit("anon")
+    ctrl.admit("vip")
+    ctrl.admit("vip")
+
+
+def test_note_finished_was_queued_frees_both_counts():
+    ctrl = AdmissionController(max_queue_depth=1, default_tenant_cap=1)
+    ctrl.admit("a")
+    ctrl.note_finished("a", was_queued=True)  # cancelled while queued
+    assert ctrl.queued == 0
+    assert ctrl.inflight("a") == 0
+    ctrl.admit("a")
+
+
+def test_memory_shedding_hook():
+    shedding = {"on": True}
+    ctrl = AdmissionController(memory_shedding=lambda: shedding["on"])
+    with pytest.raises(OverloadedError) as excinfo:
+        ctrl.admit("a")
+    assert excinfo.value.reason == "memory"
+    assert ctrl.shed_counts["memory"] == 1
+    shedding["on"] = False
+    ctrl.admit("a")
+
+
+def test_broken_memory_hook_never_sheds():
+    def boom():
+        raise RuntimeError("watchdog exploded")
+
+    ctrl = AdmissionController(memory_shedding=boom)
+    ctrl.admit("a")  # a broken watchdog must not reject traffic
+
+
+def test_retry_after_scales_with_backlog_and_workers():
+    tracker = ServiceTimeTracker()
+    for _ in range(4):
+        tracker.observe(2.0)
+    ctrl = AdmissionController(job_workers=2, service_times=tracker)
+    for _ in range(3):
+        ctrl.note_admitted("a")
+    # mean 2s * (3 queued + 1) / 2 workers = 4s
+    assert ctrl.retry_after_seconds() == 4
+
+
+def test_retry_after_clamped_to_bounds():
+    tracker = ServiceTimeTracker()
+    tracker.observe(10_000.0)
+    ctrl = AdmissionController(
+        service_times=tracker, min_retry_after=1, max_retry_after=60
+    )
+    assert ctrl.retry_after_seconds() == 60
+    assert AdmissionController().retry_after_seconds() == 1
+
+
+def test_service_time_tracker_window_and_defaults():
+    tracker = ServiceTimeTracker(window=2, default_seconds=7.0)
+    assert tracker.mean_seconds() == 7.0  # no samples yet
+    tracker.observe(-1.0)  # ignored
+    assert tracker.mean_seconds() == 7.0
+    tracker.observe(1.0)
+    tracker.observe(2.0)
+    tracker.observe(3.0)  # evicts the 1.0 sample
+    assert tracker.mean_seconds() == pytest.approx(2.5)
+
+
+def test_snapshot_shape():
+    ctrl = AdmissionController(max_queue_depth=5)
+    ctrl.admit("a")
+    snapshot = ctrl.snapshot()
+    assert snapshot["queued"] == 1
+    assert snapshot["max_queue_depth"] == 5
+    assert snapshot["inflight"] == {"a": 1}
+    assert set(snapshot["shed"]) == set(AdmissionController.REASONS)
+    assert snapshot["mean_service_seconds"] == 1.0

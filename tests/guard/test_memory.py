@@ -1,0 +1,102 @@
+"""Memory governance: rlimit env plumbing and the RSS watchdog."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.guard import (
+    RLIMIT_ENV,
+    RssWatchdog,
+    current_rss_bytes,
+    worker_rlimit_bytes,
+)
+
+
+class TestWorkerRlimit:
+    def test_unset_means_uncapped(self, monkeypatch):
+        monkeypatch.delenv(RLIMIT_ENV, raising=False)
+        assert worker_rlimit_bytes() is None
+
+    def test_mib_to_bytes(self, monkeypatch):
+        monkeypatch.setenv(RLIMIT_ENV, "256")
+        assert worker_rlimit_bytes() == 256 * 1024 * 1024
+        monkeypatch.setenv(RLIMIT_ENV, "0.5")
+        assert worker_rlimit_bytes() == 512 * 1024
+
+    @pytest.mark.parametrize("bad", ["", "abc", "-5", "0"])
+    def test_bad_values_mean_uncapped(self, monkeypatch, bad):
+        monkeypatch.setenv(RLIMIT_ENV, bad)
+        assert worker_rlimit_bytes() is None
+
+    def test_apply_sets_soft_rlimit_in_child_process(self):
+        # A real child process, exactly like a pool worker: apply the
+        # cap there so this test process's address space is untouched.
+        code = (
+            "import os, resource\n"
+            f"os.environ[{RLIMIT_ENV!r}] = '512'\n"
+            "from repro.guard import apply_worker_rlimit\n"
+            "assert apply_worker_rlimit() is True\n"
+            "soft, _ = resource.getrlimit(resource.RLIMIT_AS)\n"
+            "assert soft == 512 * 1024 * 1024, soft\n"
+            "print('capped')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "capped"
+
+    def test_apply_without_env_is_a_noop(self, monkeypatch):
+        from repro.guard import apply_worker_rlimit
+
+        monkeypatch.delenv(RLIMIT_ENV, raising=False)
+        assert apply_worker_rlimit() is False
+
+
+class TestRssWatchdog:
+    def test_rss_is_readable(self):
+        rss = current_rss_bytes()
+        assert rss is not None and rss > 0
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            RssWatchdog(high_water_bytes=0)
+        with pytest.raises(ValueError):
+            RssWatchdog(high_water_bytes=1, resume_fraction=0.0)
+
+    def test_sheds_above_high_water(self):
+        watchdog = RssWatchdog(high_water_bytes=1)  # any RSS exceeds 1B
+        assert watchdog.check_now() is True
+        assert watchdog.shedding is True
+        assert watchdog.last_rss > 0
+        assert watchdog.peak_rss >= watchdog.last_rss
+
+    def test_never_sheds_below_high_water(self):
+        watchdog = RssWatchdog(high_water_bytes=1 << 60)
+        assert watchdog.check_now() is False
+        assert watchdog.shedding is False
+
+    def test_hysteresis_resume_below_fraction(self):
+        changes = []
+        watchdog = RssWatchdog(
+            high_water_bytes=1,
+            on_change=lambda shedding, rss: changes.append(shedding),
+        )
+        assert watchdog.check_now() is True
+        # Raise the mark well above RSS: the flag must clear (and only
+        # because RSS < mark * resume_fraction).
+        watchdog.high_water_bytes = (watchdog.last_rss * 10)
+        assert watchdog.check_now() is False
+        assert changes == [True, False]
+
+    def test_start_stop_idempotent(self):
+        watchdog = RssWatchdog(high_water_bytes=1 << 60, poll_seconds=0.05)
+        watchdog.start()
+        watchdog.start()
+        watchdog.stop()
+        watchdog.stop()
+        assert watchdog._thread is None

@@ -1,0 +1,176 @@
+"""ServiceClient 429 handling: Retry-After + deterministic backoff.
+
+Drives a real saturated server (queue depth 1, one gated worker) so
+the 429s here are produced by the actual admission path, not mocks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.engine import backoff_delay
+from repro.service import (
+    PartitionService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceServer,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def payload(index: int = 0, **overrides):
+    spec = {
+        "generate": {
+            "kind": "many_small", "size_range": [8, 14],
+            "seed": 9, "index": index,
+        },
+        "algorithm": "fm",
+        "runs": 1,
+        "seed": 3000 + index,
+    }
+    spec.update(overrides)
+    return spec
+
+
+def gate_execution(monkeypatch, gate: threading.Event):
+    def _execute(self, job):
+        gate.wait(timeout=30)
+        return [{
+            "seed": job.spec.effective_seed(), "index": 0, "seconds": 0.0,
+            "source": "computed", "cached": False, "cut": 1.0, "passes": 1,
+        }], False
+
+    monkeypatch.setattr(PartitionService, "_execute", _execute)
+
+
+def saturated_server(tmp_path):
+    return ServiceServer(PartitionService(ServiceConfig(
+        port=0,
+        cache_dir=str(tmp_path / "cache"),
+        job_workers=1,
+        max_queue_depth=1,
+        integrity_check=False,
+        quarantine_after=0,
+    )))
+
+
+async def saturate(client, service):
+    """Fill the single worker + the single queue slot."""
+    await client.submit(payload(index=0))
+    # Wait until the worker picked job 0 up, freeing the depth slot...
+    for _ in range(1000):
+        if service.admission.queued == 0:
+            break
+        await asyncio.sleep(0.01)
+    await client.submit(payload(index=1))  # ...and refill it.
+
+
+def test_429_carries_retry_after_and_is_not_retried_by_default(tmp_path, monkeypatch):
+    gate = threading.Event()
+    gate_execution(monkeypatch, gate)
+
+    async def main():
+        server = saturated_server(tmp_path)
+        await server.start()
+        client = ServiceClient(port=server.bound_port)
+        try:
+            await saturate(client, server.service)
+            with pytest.raises(ServiceError) as excinfo:
+                await client.submit(payload(index=2))
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after >= 1
+            body = excinfo.value.payload["error"]
+            assert body["reason"] == "queue_depth"
+            assert body["retry_after"] == excinfo.value.retry_after
+        finally:
+            gate.set()
+            await server.stop()
+    asyncio.run(main())
+
+
+def test_submit_retries_ride_out_saturation(tmp_path, monkeypatch):
+    """A retrying submit blocks through the 429s and lands once the
+    backlog drains — no lost request, no manual polling."""
+    gate = threading.Event()
+    gate_execution(monkeypatch, gate)
+
+    async def main():
+        server = saturated_server(tmp_path)
+        await server.start()
+        client = ServiceClient(port=server.bound_port)
+        try:
+            await saturate(client, server.service)
+
+            async def release_soon():
+                await asyncio.sleep(0.3)
+                gate.set()
+
+            releaser = asyncio.create_task(release_soon())
+            accepted = await client.submit(
+                payload(index=2), retries=8, max_backoff=0.2
+            )
+            await releaser
+            assert accepted["state"] == "queued"
+            result = await client.wait(accepted["job_id"])
+            assert result["state"] == "done"
+            # The server really did shed before accepting.
+            stats = await client.stats()
+            assert stats["guard"]["counters"]["shed_queue_depth"] >= 1
+        finally:
+            gate.set()
+            await server.stop()
+    asyncio.run(main())
+
+
+def test_retries_exhausted_reraises_the_429(tmp_path, monkeypatch):
+    gate = threading.Event()
+    gate_execution(monkeypatch, gate)
+
+    async def main():
+        server = saturated_server(tmp_path)
+        await server.start()
+        client = ServiceClient(port=server.bound_port)
+        try:
+            await saturate(client, server.service)
+            with pytest.raises(ServiceError) as excinfo:
+                await client.submit(
+                    payload(index=2), retries=1, max_backoff=0.05
+                )
+            assert excinfo.value.status == 429
+        finally:
+            gate.set()
+            await server.stop()
+    asyncio.run(main())
+
+
+def test_schema_errors_are_never_retried(tmp_path, monkeypatch):
+    """Only 429 is retryable; a 400 with retries set must fail fast."""
+    async def main():
+        server = saturated_server(tmp_path)
+        await server.start()
+        client = ServiceClient(port=server.bound_port)
+        try:
+            before = asyncio.get_running_loop().time()
+            with pytest.raises(ServiceError) as excinfo:
+                await client.submit({"algorithm": "fm"}, retries=5)
+            elapsed = asyncio.get_running_loop().time() - before
+            assert excinfo.value.status == 400
+            assert elapsed < 1.0  # no backoff sleeps happened
+        finally:
+            await server.stop()
+    asyncio.run(main())
+
+
+def test_backoff_delay_is_deterministic_and_bounded():
+    delays = [backoff_delay(a, key="spec-x", maximum=2.0) for a in range(8)]
+    again = [backoff_delay(a, key="spec-x", maximum=2.0) for a in range(8)]
+    assert delays == again  # same key + attempt -> same delay
+    assert all(0.0 < d <= 2.0 for d in delays)
+    # A different key jitters differently: retry storms decorrelate.
+    other = [backoff_delay(a, key="spec-y", maximum=2.0) for a in range(8)]
+    assert other != delays

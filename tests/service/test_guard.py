@@ -1,0 +1,369 @@
+"""Guard layer through the service: shedding, deadlines, quarantine.
+
+These drive the transport-free :class:`PartitionService` so the tests
+stay deterministic: execution is gated on events (no timing races) and
+quarantine trips are counted exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.guard import OverloadedError, QuarantinedError
+from repro.service import PartitionService, ServiceConfig
+from repro.service.jobs import Job, job_id_for
+from repro.service.recovery import ServiceJournal, jobs_journal_path
+from repro.service.schemas import parse_job_spec
+
+pytestmark = pytest.mark.slow
+
+
+def payload(index: int = 0, runs: int = 2, **overrides):
+    spec = {
+        "generate": {
+            "kind": "many_small", "size_range": [8, 14],
+            "seed": 5, "index": index,
+        },
+        "algorithm": "fm",
+        "runs": runs,
+        "seed": 1000 + index,
+    }
+    spec.update(overrides)
+    return spec
+
+
+def service_config(tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        cache_dir=str(tmp_path / "cache"),
+        job_workers=2,
+        integrity_check=False,
+        quarantine_after=0,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+async def wait_terminal(service, job_id, timeout=30.0):
+    """Wait until the terminal state is *published* (the publish happens
+    after the journal append, so a stop() right after this cannot race
+    the terminal state out of the journal)."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        job = service.get_job(job_id)
+        published = service.bus._last.get(job_id, {}).get("state", {})
+        if job.terminal and published.get("state") == job.state:
+            return job
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError(f"job {job_id} still {job.state}")
+        await asyncio.sleep(0.01)
+
+
+async def wait_for(predicate, timeout=10.0, message="condition"):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError(f"{message} never became true")
+        await asyncio.sleep(0.01)
+
+
+def gate_execution(monkeypatch, gate: threading.Event):
+    """Replace engine execution with a wait on ``gate`` (deterministic
+    long-running jobs without timing assumptions)."""
+
+    def _execute(self, job):
+        gate.wait(timeout=30)
+        base = job.spec.effective_seed()
+        rows = [
+            {
+                "seed": base + i, "index": i, "seconds": 0.0,
+                "source": "computed", "cached": False,
+                "cut": 1.0, "passes": 1,
+            }
+            for i in range(job.spec.runs)
+        ]
+        return rows, False
+
+    monkeypatch.setattr(PartitionService, "_execute", _execute)
+
+
+def test_queue_depth_sheds_and_readyz_flips(tmp_path, monkeypatch):
+    """/readyz degrades while the queue is at depth, recovers on drain."""
+    gate = threading.Event()
+    gate_execution(monkeypatch, gate)
+
+    async def main():
+        service = PartitionService(
+            service_config(tmp_path, max_queue_depth=1, job_workers=1)
+        )
+        await service.start()
+        try:
+            assert service.readiness()["ready"] is True
+            first = await service.submit(payload(index=0))
+            # Wait for the worker to pull it so the depth slot frees.
+            await wait_for(lambda: service.admission.queued == 0)
+            second = await service.submit(payload(index=1))
+
+            ready = service.readiness()
+            assert ready["ready"] is False
+            assert ready["checks"]["queue_headroom"] is False
+            assert ready["retry_after"] >= 1
+
+            with pytest.raises(OverloadedError) as excinfo:
+                await service.submit(payload(index=2))
+            assert excinfo.value.reason == "queue_depth"
+            assert excinfo.value.retry_after >= 1
+            stats = await service.stats()
+            assert stats["guard"]["counters"]["shed_queue_depth"] == 1
+
+            gate.set()
+            await wait_terminal(service, first.job_id)
+            await wait_terminal(service, second.job_id)
+            assert service.readiness()["ready"] is True
+            # Shed jobs never existed: only the two accepted ran.
+            assert stats["total_jobs"] == 2
+        finally:
+            await service.stop()
+    asyncio.run(main())
+
+
+def test_tenant_inflight_cap(tmp_path, monkeypatch):
+    gate = threading.Event()
+    gate_execution(monkeypatch, gate)
+
+    async def main():
+        service = PartitionService(
+            service_config(tmp_path, default_tenant_inflight=1)
+        )
+        await service.start()
+        try:
+            job = await service.submit(payload(index=0, tenant="a"))
+            with pytest.raises(OverloadedError) as excinfo:
+                await service.submit(payload(index=1, tenant="a"))
+            assert excinfo.value.reason == "tenant_inflight"
+            other = await service.submit(payload(index=2, tenant="b"))
+            gate.set()
+            await wait_terminal(service, job.job_id)
+            await wait_terminal(service, other.job_id)
+            # a's slot is back once its job finished.
+            await service.submit(payload(index=3, tenant="a"))
+        finally:
+            await service.stop()
+    asyncio.run(main())
+
+
+def test_memory_shedding_blocks_new_admissions(tmp_path):
+    async def main():
+        # 1 KiB high water: any real process is above it immediately.
+        service = PartitionService(
+            service_config(tmp_path, memory_high_water_mb=0.001)
+        )
+        await service.start()
+        try:
+            with pytest.raises(OverloadedError) as excinfo:
+                await service.submit(payload())
+            assert excinfo.value.reason == "memory"
+            ready = service.readiness()
+            assert ready["ready"] is False
+            assert ready["checks"]["memory"] is False
+            memory = (await service.stats())["guard"]["memory"]
+            assert memory["shedding"] is True
+            assert memory["peak_rss_bytes"] > memory["high_water_bytes"]
+        finally:
+            await service.stop()
+    asyncio.run(main())
+
+
+def test_deadline_settles_as_deadline_state(tmp_path, monkeypatch):
+    """Expiry mid-run drains the engine into the ``deadline`` state."""
+
+    def _execute(self, job):
+        # Cooperative engine stand-in: run until the cancel token fires.
+        for _ in range(3000):
+            if job.cancel_token.cancelled:
+                return [], True
+            threading.Event().wait(0.01)
+        raise AssertionError("cancel token never fired")
+
+    monkeypatch.setattr(PartitionService, "_execute", _execute)
+
+    async def main():
+        service = PartitionService(service_config(tmp_path, job_workers=1))
+        await service.start()
+        try:
+            job = await service.submit(
+                payload(runs=2, deadline_seconds=0.05)
+            )
+            done = await wait_terminal(service, job.job_id)
+            assert done.state == "deadline"
+            assert done.deadline_expired is True
+            assert "deadline of 0.05s exceeded" in done.error
+            assert "0/2 units completed" in done.error
+            stats = await service.stats()
+            assert stats["guard"]["counters"]["deadline_expired"] == 1
+            assert stats["jobs"]["deadline"] == 1
+            return done.status_payload()
+        finally:
+            await service.stop()
+    payload_before = asyncio.run(main())
+
+    # The terminal state recovers bit-identically — twice, to prove the
+    # replay itself is deterministic.
+    async def recovered_payload():
+        service = PartitionService(service_config(tmp_path, job_workers=1))
+        await service.start()
+        try:
+            job = service.get_job(payload_before["job_id"])
+            assert job.state == "deadline"
+            return job.status_payload()
+        finally:
+            await service.stop()
+    first = asyncio.run(recovered_payload())
+    second = asyncio.run(recovered_payload())
+    # submitted_at is the replay's wall clock; everything journalled
+    # must replay bit-identically.
+    first.pop("submitted_at")
+    second.pop("submitted_at")
+    assert first == second
+    assert first["state"] == "deadline"
+    assert first["deadline_seconds"] == 0.05
+
+
+def test_default_job_deadline_from_config(tmp_path, monkeypatch):
+    def _execute(self, job):
+        for _ in range(3000):
+            if job.cancel_token.cancelled:
+                return [], True
+            threading.Event().wait(0.01)
+        raise AssertionError("cancel token never fired")
+
+    monkeypatch.setattr(PartitionService, "_execute", _execute)
+
+    async def main():
+        service = PartitionService(
+            service_config(tmp_path, default_job_deadline=0.05)
+        )
+        await service.start()
+        try:
+            job = await service.submit(payload())  # no spec deadline
+            assert job.deadline_seconds == 0.05
+            done = await wait_terminal(service, job.job_id)
+            assert done.state == "deadline"
+        finally:
+            await service.stop()
+    asyncio.run(main())
+
+
+def test_completed_job_is_never_reclassified_as_deadline(tmp_path):
+    """A generous deadline on a fast job stays ``done``."""
+    async def main():
+        service = PartitionService(service_config(tmp_path))
+        await service.start()
+        try:
+            job = await service.submit(
+                payload(runs=1, deadline_seconds=3600.0)
+            )
+            done = await wait_terminal(service, job.job_id)
+            assert done.state == "done"
+            assert done.deadline_expired is False
+        finally:
+            await service.stop()
+    asyncio.run(main())
+
+
+def test_quarantine_trips_at_exactly_quarantine_after(tmp_path, monkeypatch):
+    """Two consecutive failures trip (quarantine_after=2); a success in
+    between resets the count; the third submission 409s up front."""
+    monkeypatch.setenv("REPRO_FAULTS", "seed=1,permanent:1")
+
+    async def run_one(service, index=0):
+        job = await service.submit(payload(index=index, runs=1))
+        return await wait_terminal(service, job.job_id)
+
+    async def main():
+        service = PartitionService(service_config(
+            tmp_path, use_cache=False, quarantine_after=2, job_workers=1,
+        ))
+        await service.start()
+        try:
+            fingerprint = parse_job_spec(payload(runs=1)).fingerprint()
+            assert (await run_one(service)).state == "failed"
+            assert service.quarantine.strikes(fingerprint) == 1
+
+            # A success for the same fingerprint resets the count.
+            monkeypatch.delenv("REPRO_FAULTS")
+            assert (await run_one(service)).state == "done"
+            assert service.quarantine.strikes(fingerprint) == 0
+
+            monkeypatch.setenv("REPRO_FAULTS", "seed=1,permanent:1")
+            assert (await run_one(service)).state == "failed"
+            assert service.quarantine.is_quarantined(fingerprint) is None
+            assert (await run_one(service)).state == "failed"
+            entry = service.quarantine.is_quarantined(fingerprint)
+            assert entry is not None and entry["strikes"] == 2
+
+            with pytest.raises(QuarantinedError) as excinfo:
+                await service.submit(payload(runs=1))
+            assert excinfo.value.fingerprint == fingerprint
+            stats = await service.stats()
+            assert stats["guard"]["counters"]["quarantine_trips"] == 1
+            assert stats["guard"]["quarantine"]["quarantined"] == 1
+
+            bundle = service.quarantine.load_bundle(fingerprint)
+            assert bundle["diagnostics"]["spec"]["runs"] == 1
+            assert "PermanentFaultError" in bundle["diagnostics"]["error"]
+        finally:
+            await service.stop()
+    asyncio.run(main())
+
+
+def test_crash_recovery_strike_can_quarantine_on_replay(tmp_path):
+    """A job journalled ``running`` at crash time strikes its
+    fingerprint on the next start; at quarantine_after=1 that trips the
+    breaker and the job settles ``failed`` instead of re-running."""
+    cache_dir = str(tmp_path / "cache")
+    spec = parse_job_spec(payload(runs=1))
+    job = Job(job_id=job_id_for(0, spec), spec=spec)
+    journal = ServiceJournal(jobs_journal_path(cache_dir))
+    journal.append_job(job, 0)
+    journal.append_state(job.job_id, "queued")
+    journal.append_state(job.job_id, "running")  # ...then SIGKILL
+    journal.close()
+
+    async def main():
+        service = PartitionService(ServiceConfig(
+            cache_dir=cache_dir, integrity_check=False, quarantine_after=1,
+        ))
+        await service.start()
+        try:
+            recovered = await wait_terminal(service, job.job_id)
+            assert recovered.state == "failed"
+            assert "quarantined" in recovered.error
+            entry = service.quarantine.is_quarantined(spec.fingerprint())
+            assert entry is not None
+            assert entry["last_reason"] == "crash_recovery"
+        finally:
+            await service.stop()
+    asyncio.run(main())
+
+
+def test_quarantine_zero_disables_the_breaker(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "seed=1,permanent:1")
+
+    async def main():
+        service = PartitionService(service_config(
+            tmp_path, use_cache=False, quarantine_after=0, job_workers=1,
+        ))
+        await service.start()
+        try:
+            for index in range(3):
+                job = await service.submit(payload(runs=1))
+                done = await wait_terminal(service, job.job_id)
+                assert done.state == "failed"
+            fingerprint = parse_job_spec(payload(runs=1)).fingerprint()
+            assert service.quarantine.strikes(fingerprint) == 0
+        finally:
+            await service.stop()
+    asyncio.run(main())

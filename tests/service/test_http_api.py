@@ -213,7 +213,7 @@ def test_sse_stream_over_http(tmp_path):
         async for name, data in client.events(job["job_id"]):
             events.append((name, data))
             if name == "state" and data["state"] in (
-                "done", "failed", "cancelled"
+                "done", "failed", "cancelled", "deadline"
             ):
                 break
         return events

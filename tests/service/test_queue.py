@@ -148,3 +148,35 @@ def test_snapshot_reports_depth_and_tenants():
     assert snap["per_tenant"] == {"vip": 1, "std": 1}
     assert snap["weights"]["vip"] == 2.0
     assert snap["weights"]["std"] == 1.0
+
+
+def test_max_depth_bounds_puts():
+    from repro.service import QueueFull
+
+    async def main():
+        queue = FairQueue(max_depth=1)
+        await queue.put(make_job("j1"))
+        with pytest.raises(QueueFull):
+            await queue.put(make_job("j2"))
+        # Recovery re-admission bypasses the bound explicitly.
+        await queue.put(make_job("j2"), force=True)
+        assert (await queue.snapshot())["max_depth"] == 1
+        # Draining frees headroom.
+        await queue.get()
+        await queue.get()
+        await queue.put(make_job("j3"))
+    asyncio.run(main())
+
+
+def test_zero_max_depth_is_unbounded():
+    async def main():
+        queue = FairQueue()
+        for n in range(500):
+            await queue.put(make_job(f"j{n}"))
+        assert (await queue.snapshot())["depth"] == 500
+    asyncio.run(main())
+
+
+def test_negative_max_depth_rejected():
+    with pytest.raises(ValueError):
+        FairQueue(max_depth=-1)

@@ -153,3 +153,68 @@ def test_jobspec_direct_construction_defaults():
                                        "nets": 20, "seed": 0}})
     assert spec.balance == "50-50"
     assert spec.effective_seed() == int(spec.fingerprint()[:8], 16)
+
+
+class TestDeadlineSeconds:
+    def test_parsed_and_preserved(self):
+        spec = parse_job_spec(generate_payload(deadline_seconds=2.5))
+        assert spec.deadline_seconds == 2.5
+        assert spec.payload()["deadline_seconds"] == 2.5
+
+    def test_integer_coerced_to_float(self):
+        spec = parse_job_spec(generate_payload(deadline_seconds=30))
+        assert spec.deadline_seconds == 30.0
+
+    def test_absent_deadline_is_omitted_from_payload(self):
+        """No ``deadline_seconds: null`` key: specs submitted before the
+        field existed keep their exact fingerprints and derived seeds."""
+        spec = parse_job_spec(generate_payload())
+        assert spec.deadline_seconds is None
+        assert "deadline_seconds" not in spec.payload()
+
+    def test_deadline_changes_the_fingerprint(self):
+        plain = parse_job_spec(generate_payload())
+        bounded = parse_job_spec(generate_payload(deadline_seconds=5.0))
+        assert plain.fingerprint() != bounded.fingerprint()
+
+    @pytest.mark.parametrize(
+        "bad", [0, -1, 1e9, "soon", True, float("nan")]
+    )
+    def test_bad_deadlines_rejected(self, bad):
+        with pytest.raises(SchemaError) as excinfo:
+            parse_job_spec(generate_payload(deadline_seconds=bad))
+        assert excinfo.value.field == "deadline_seconds"
+
+
+class TestHgrHeaderCaps:
+    def hgr_payload(self, hgr):
+        return {"hgr": hgr, "algorithm": "fm", "runs": 1, "seed": 1}
+
+    def test_oversized_node_count_rejected_from_header(self):
+        with pytest.raises(SchemaError) as excinfo:
+            parse_job_spec(self.hgr_payload("1 999999999\n1 2\n"))
+        assert excinfo.value.field == "hgr"
+        assert "999999999 nodes" in str(excinfo.value)
+
+    def test_oversized_net_count_rejected_from_header(self):
+        with pytest.raises(SchemaError) as excinfo:
+            parse_job_spec(self.hgr_payload("999999999 4\n1 2\n"))
+        assert excinfo.value.field == "hgr"
+        assert "999999999 nets" in str(excinfo.value)
+
+    def test_reasonable_header_passes_the_precheck(self):
+        spec = parse_job_spec(self.hgr_payload("2 4\n1 2\n3 4\n"))
+        assert build_graph(spec).num_nodes == 4
+
+    def test_comments_and_blanks_skipped_before_header(self):
+        spec = parse_job_spec(
+            self.hgr_payload("% comment\n\n2 4\n1 2\n3 4\n")
+        )
+        assert build_graph(spec).num_nodes == 4
+
+    def test_malformed_header_deferred_to_the_real_parser(self):
+        """The precheck only rejects what it can prove is oversized;
+        everything else stays the parser's job (full error context)."""
+        with pytest.raises(SchemaError) as excinfo:
+            build_graph(parse_job_spec(self.hgr_payload("junk header\n")))
+        assert "bad hgr payload" in str(excinfo.value)

@@ -145,3 +145,59 @@ def test_close_ends_open_streams_and_new_subscribers():
         assert await late.get() == ("state", {"state": "running"})
         assert await asyncio.wait_for(late.get(), timeout=5) is None
     asyncio.run(main())
+
+
+def test_overflow_marker_surfaces_dropped_events():
+    """A consumer that stalls past SUBSCRIBER_BUFFER sees an explicit
+    ``overflow`` event carrying the loss count — never silent gaps."""
+    async def main():
+        bus = EventBus(asyncio.get_running_loop())
+        frames = []
+
+        async def consume():
+            async for frame in bus.stream("j1", heartbeat=60.0):
+                frames.append(frame)
+
+        consumer = asyncio.create_task(consume())
+        await asyncio.sleep(0)  # let the consumer subscribe...
+        # ...then flood without ever yielding to it: a never-draining
+        # reader at publish time.
+        for i in range(SUBSCRIBER_BUFFER + 50):
+            bus.publish("j1", "progress", {"done": i})
+        bus.publish("j1", "state", {"state": "done"})
+        await asyncio.wait_for(consumer, timeout=10)
+        return frames
+    frames = asyncio.run(main())
+    text = b"".join(frames).decode()
+    assert "event: overflow" in text
+    overflow_line = next(
+        line for i, line in enumerate(text.splitlines())
+        if text.splitlines()[i - 1] == "event: overflow"
+    )
+    marker = json.loads(overflow_line[len("data: "):])
+    # 51 publishes beyond the buffer, one slot reclaimed for the
+    # sentinel's terminal event: 52 drops, all accounted for.
+    assert marker["dropped"] == marker["total_dropped"]
+    assert marker["dropped"] >= 50
+    # The marker precedes the surviving events; the stream still ends
+    # with the terminal state.
+    assert text.index("event: overflow") < text.index('"state":"done"')
+
+
+def test_overflow_marker_counts_multiple_stalls():
+    """Markers report deltas: a second stall yields a second marker
+    with the incremental count and a running total."""
+    async def main():
+        bus = EventBus(asyncio.get_running_loop())
+        queue = bus.subscribe("j1")
+        for i in range(SUBSCRIBER_BUFFER + 10):
+            bus.publish("j1", "progress", {"done": i})
+        assert queue.dropped == 10
+        # Drain a little, stall again.
+        for _ in range(20):
+            queue.get_nowait()
+        for i in range(30):
+            bus.publish("j1", "progress", {"done": 1000 + i})
+        assert queue.dropped == 20
+        return queue.dropped
+    assert asyncio.run(main()) == 20

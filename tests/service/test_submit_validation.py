@@ -1,0 +1,165 @@
+"""Submission hardening over HTTP: bad netlists, bad bodies, bad limits.
+
+Regression coverage for the admission-path promise that every malformed
+submission 400s at the door with a labelled origin — never a 500, never
+a queued job that fails minutes later.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import (
+    PartitionService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceServer,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def with_server(tmp_path, body, **config_overrides):
+    async def main():
+        defaults = dict(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            job_workers=1,
+            integrity_check=False,
+        )
+        defaults.update(config_overrides)
+        server = ServiceServer(PartitionService(ServiceConfig(**defaults)))
+        await server.start()
+        client = ServiceClient(port=server.bound_port)
+        try:
+            return await body(client, server)
+        finally:
+            await server.stop()
+    return asyncio.run(main())
+
+
+async def raw_post(port: int, body: bytes) -> tuple:
+    """POST raw bytes to /v1/jobs; returns (status, decoded payload)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            (
+                "POST /v1/jobs HTTP/1.1\r\n"
+                f"Host: 127.0.0.1:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode() + body
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), 15)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(payload.decode(errors="replace") or "null")
+
+
+def hgr_payload(hgr: str) -> dict:
+    return {"hgr": hgr, "algorithm": "fm", "runs": 1, "seed": 1}
+
+
+def test_malformed_hgr_is_400_with_origin_label(tmp_path):
+    async def body(client, server):
+        with pytest.raises(ServiceError) as excinfo:
+            # Header promises 2 nets; the second net line is garbage.
+            await client.submit(hgr_payload("2 4\n1 2\nnot a net\n"))
+        return excinfo.value
+    error = with_server(tmp_path, body)
+    assert error.status == 400
+    message = error.payload["error"]["message"]
+    assert "bad hgr payload" in message
+    assert "<inline hgr>" in message  # the parser names the origin
+    assert error.payload["error"]["field"] == "hgr"
+
+
+def test_truncated_hgr_is_400_not_queued(tmp_path):
+    async def body(client, server):
+        with pytest.raises(ServiceError) as excinfo:
+            await client.submit(hgr_payload("5 9\n1 2\n"))  # 4 nets short
+        stats = await client.stats()
+        return excinfo.value, stats
+    error, stats = with_server(tmp_path, body)
+    assert error.status == 400
+    assert stats["total_jobs"] == 0  # rejected at the door
+
+
+def test_oversized_header_counts_rejected_before_parsing(tmp_path):
+    """A tiny body declaring a billion nodes must be refused from the
+    header alone (the inline-parse path would otherwise try to build
+    it)."""
+    async def body(client, server):
+        results = []
+        for hgr in ("1 999999999\n1 2\n", "999999999 4\n1 2\n"):
+            with pytest.raises(ServiceError) as excinfo:
+                await client.submit(hgr_payload(hgr))
+            results.append(excinfo.value)
+        return results
+    nodes_error, nets_error = with_server(tmp_path, body)
+    assert nodes_error.status == 400
+    assert "999999999 nodes" in nodes_error.payload["error"]["message"]
+    assert "max" in nodes_error.payload["error"]["message"]
+    assert nets_error.status == 400
+    assert "999999999 nets" in nets_error.payload["error"]["message"]
+
+
+def test_non_utf8_body_is_400_not_500(tmp_path):
+    async def body(client, server):
+        return await raw_post(
+            server.bound_port, b'\xff\xfe{"algorithm": "fm"}'
+        )
+    status, payload = with_server(tmp_path, body)
+    assert status == 400
+    assert "not valid JSON" in payload["error"]["message"]
+
+
+def test_truncated_json_body_is_400(tmp_path):
+    async def body(client, server):
+        return await raw_post(server.bound_port, b'{"hgr": "2 4')
+    status, payload = with_server(tmp_path, body)
+    assert status == 400
+
+
+def test_bad_deadline_seconds_is_400_with_field(tmp_path):
+    async def body(client, server):
+        errors = []
+        for bad in (0, -1, "soon", 1e9):
+            spec = {
+                "generate": {
+                    "kind": "many_small", "size_range": [8, 14],
+                    "seed": 1, "index": 0,
+                },
+                "deadline_seconds": bad,
+            }
+            with pytest.raises(ServiceError) as excinfo:
+                await client.submit(spec)
+            errors.append(excinfo.value)
+        return errors
+    errors = with_server(tmp_path, body)
+    for error in errors:
+        assert error.status == 400
+        assert error.payload["error"]["field"] == "deadline_seconds"
+
+
+def test_valid_hgr_with_comments_and_blank_lines_accepted(tmp_path):
+    """The header precheck must skip ``%`` comments and blanks, not
+    reject netlists that use them."""
+    hgr = "% a comment\n\n2 4\n1 2\n3 4\n"
+    async def body(client, server):
+        accepted = await client.submit(hgr_payload(hgr))
+        return await client.wait(accepted["job_id"])
+    result = with_server(tmp_path, body)
+    assert result["state"] == "done"
