@@ -52,7 +52,10 @@ def main() -> None:
     print("\nrestarts needed to land within 5% of own best:")
     for name, outcome in outcomes.items():
         target = min(outcome.cuts) * 1.05
-        print(f"  {name:<10s} {runs_to_reach(outcome.cuts, target)} runs")
+        needed = runs_to_reach(outcome.cuts, target)
+        # None means the target was never reached within the budget.
+        label = "never (budget exhausted)" if needed is None else f"{needed} runs"
+        print(f"  {name:<10s} {label}")
 
 if __name__ == "__main__":
     main()

@@ -8,11 +8,17 @@ from .comparison import (
 )
 from .scaling import PowerLawFit, fit_power_law
 from .prediction import (
+    PORTFOLIO_ALGORITHMS,
+    InstanceFeatures,
     MoveSample,
+    PortfolioModel,
+    PortfolioObservation,
     PredictionReport,
     analyze_prediction,
     collect_move_samples,
     gain_prediction_report,
+    instance_features,
+    train_portfolio,
 )
 from .distribution import (
     CutDistribution,
@@ -20,6 +26,17 @@ from .distribution import (
     convergence_trace,
     cut_distribution,
     runs_to_reach,
+)
+from .ensembles import (
+    EmpiricalCDF,
+    EnsembleResult,
+    RestartPolicy,
+    StopDecision,
+    WeibullTailFit,
+    empirical_cdf,
+    ensemble_solve,
+    fit_weibull_tail,
+    probability_of_improvement,
 )
 
 __all__ = [
@@ -39,4 +56,19 @@ __all__ = [
     "PredictionReport",
     "fit_power_law",
     "PowerLawFit",
+    "EmpiricalCDF",
+    "empirical_cdf",
+    "WeibullTailFit",
+    "fit_weibull_tail",
+    "probability_of_improvement",
+    "RestartPolicy",
+    "StopDecision",
+    "EnsembleResult",
+    "ensemble_solve",
+    "PORTFOLIO_ALGORITHMS",
+    "InstanceFeatures",
+    "instance_features",
+    "PortfolioObservation",
+    "PortfolioModel",
+    "train_portfolio",
 ]

@@ -42,6 +42,12 @@ Inspect or release quarantined poison jobs (see docs/guard.md)::
     python -m repro quarantine list
     python -m repro quarantine show <fingerprint>
     python -m repro quarantine release <fingerprint>
+
+Budgeted ensemble solving with adaptive restarts (see docs/analysis.md)::
+
+    python -m repro ensemble fit --output portfolio.json
+    python -m repro ensemble solve mydesign.hgr --budget 40
+    python -m repro ensemble solve mydesign.hgr --model portfolio.json
 """
 
 from __future__ import annotations
@@ -409,6 +415,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve_mode(argv[1:])
     if argv and argv[0] == "quarantine":
         return _run_quarantine_mode(argv[1:])
+    if argv and argv[0] == "ensemble":
+        return _run_ensemble_mode(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -987,6 +995,209 @@ def _run_quarantine_mode(argv: List[str]) -> int:
         print(json.dumps({"released": fingerprint}, sort_keys=True))
     else:
         print(f"released {fingerprint}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# ensemble subcommand
+# ---------------------------------------------------------------------------
+def _build_ensemble_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prop-partition ensemble",
+        description="budgeted best-of-N with adaptive restarts and "
+        "portfolio algorithm selection (see docs/analysis.md)",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    fit = sub.add_parser(
+        "fit",
+        help="sweep the corpus and fit a portfolio model",
+        description="run every portfolio algorithm over the golden "
+        "corpus circuits and save a per-instance algorithm selector",
+    )
+    fit.add_argument(
+        "-o", "--output", default="portfolio.json", metavar="PATH",
+        help="model file to write (default portfolio.json)",
+    )
+    fit.add_argument(
+        "--algorithms", nargs="+", default=None, metavar="ALGO",
+        help="algorithms to sweep (default: the standard portfolio)",
+    )
+    fit.add_argument(
+        "--runs", type=_pos_int, default=8,
+        help="restarts per (circuit, algorithm) cell (default 8)",
+    )
+    fit.add_argument("--seed", type=int, default=0, help="base seed")
+    _add_engine_flags(fit)
+
+    solve = sub.add_parser(
+        "solve",
+        help="partition one netlist under an adaptive restart budget",
+        description="best-of-N that stops spending restarts once "
+        "P(improvement) x remaining budget drops below --threshold",
+    )
+    solve.add_argument(
+        "netlist", nargs="?",
+        help="netlist file (.hgr / .net / .json); omit with --generate",
+    )
+    solve.add_argument(
+        "--generate", metavar="NAME", choices=BENCHMARK_NAMES,
+        help="generate a synthetic Table-1 circuit instead of a file",
+    )
+    solve.add_argument(
+        "--scale", type=float, default=1.0,
+        help="down-scale factor for --generate (default 1.0)",
+    )
+    solve.add_argument(
+        "-a", "--algorithm", default=None,
+        help="force one algorithm (default: prop, or the --model choice)",
+    )
+    solve.add_argument(
+        "--model", default=None, metavar="PATH",
+        help="portfolio model from 'ensemble fit'; picks the algorithm "
+        "per instance (overridden by -a)",
+    )
+    solve.add_argument(
+        "--budget", type=_pos_int, default=20, metavar="N",
+        help="restart budget in runs (default 20)",
+    )
+    solve.add_argument(
+        "--budget-seconds", type=_pos_float, default=None, metavar="S",
+        help="optional run-time budget (best-effort; unit budgets are "
+        "the deterministic contract)",
+    )
+    solve.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="stop when P(improve) x remaining runs < this (default "
+        "0.5; <= 0 disables early stopping)",
+    )
+    solve.add_argument(
+        "--min-runs", type=_pos_int, default=4, metavar="N",
+        help="never stop before this many runs (default 4)",
+    )
+    solve.add_argument(
+        "--target", type=float, default=None,
+        help="stop as soon as the incumbent reaches this cut",
+    )
+    solve.add_argument(
+        "--balance", default="50-50",
+        help="balance criterion (default 50-50)",
+    )
+    solve.add_argument("--seed", type=int, default=0, help="base seed")
+    solve.add_argument(
+        "--kernel", choices=KERNEL_CHOICES, default="auto",
+        help="gain-kernel backend (default auto)",
+    )
+    _add_engine_flags(solve)
+    return parser
+
+
+def _run_ensemble_mode(argv: List[str]) -> int:
+    """``prop-partition ensemble fit|solve`` — adaptive restart driver.
+
+    ``fit`` sweeps the golden corpus and writes a portfolio model;
+    ``solve`` partitions one instance under a restart budget, stopping
+    early when further restarts are no longer worth their cost.  Exit
+    codes: **0** success; **130** interrupted (resume with ``--resume``).
+    """
+    parser = _build_ensemble_parser()
+    args = parser.parse_args(argv)
+    if args.action == "fit":
+        return _run_ensemble_fit(args)
+    return _run_ensemble_solve(parser, args)
+
+
+def _run_ensemble_fit(args) -> int:
+    from .analysis import PORTFOLIO_ALGORITHMS, train_portfolio
+    from .testing.golden import CIRCUITS, build_circuit
+
+    circuits = {
+        name: build_circuit(spec) for name, spec in CIRCUITS.items()
+    }
+    algorithms = tuple(args.algorithms or PORTFOLIO_ALGORITHMS)
+    engine = _engine_from_args(args)
+    print(
+        f"fitting portfolio: {len(circuits)} circuit(s) x "
+        f"{len(algorithms)} algorithm(s) x {args.runs} run(s)"
+    )
+    model = train_portfolio(
+        circuits, algorithms=algorithms, runs=args.runs,
+        base_seed=args.seed, engine=engine,
+    )
+    model.save(args.output)
+    by_circuit: Dict[str, List[str]] = {}
+    for obs in model.observations:
+        by_circuit.setdefault(obs.circuit, []).append(
+            f"{obs.algorithm}={obs.normalized_cut:.3f}"
+        )
+    for circuit in sorted(by_circuit):
+        print(f"{circuit:>10s}: {'  '.join(sorted(by_circuit[circuit]))}")
+    if engine is not None:
+        print(_engine_summary(engine))
+    print(f"wrote {args.output} ({len(model.observations)} observation(s))")
+    return 0
+
+
+def _run_ensemble_solve(parser: argparse.ArgumentParser, args) -> int:
+    from .analysis import RestartPolicy, ensemble_solve
+
+    if args.generate:
+        graph = make_benchmark(args.generate, scale=args.scale)
+        source = f"generated:{args.generate}@{args.scale}"
+    elif args.netlist:
+        graph = netlist_io.read(args.netlist)
+        source = args.netlist
+    else:
+        parser.error("provide a netlist file or --generate NAME")
+        return 2  # unreachable; parser.error raises
+
+    algorithm = args.algorithm
+    if algorithm is None and args.model is not None:
+        from .analysis import PortfolioModel
+
+        model = PortfolioModel.load(args.model)
+        for name, score in model.rank(graph):
+            print(f"portfolio: {name:>8s} predicted {score:.3f}")
+        algorithm = model.select(graph)
+        print(f"portfolio selected: {algorithm}")
+    if algorithm is None:
+        algorithm = "prop"
+
+    partitioner = _make_partitioner(algorithm, args.kernel)
+    balance = _make_balance(graph, args.balance)
+    policy = RestartPolicy(
+        budget=args.budget,
+        threshold=args.threshold,
+        min_runs=args.min_runs,
+        target=args.target,
+        max_seconds=args.budget_seconds,
+    )
+    engine = _engine_from_args(args)
+    run_id, resume = (None, False)
+    if engine is not None:
+        run_id, resume = _run_id_from_args(args)
+        verb = "resuming" if resume else "journalling"
+        print(f"{verb} run {run_id} (resume with --resume {run_id})")
+
+    result = ensemble_solve(
+        partitioner, graph, policy, balance=balance, base_seed=args.seed,
+        circuit_name=source, engine=engine, run_id=run_id, resume=resume,
+    )
+    print(result.summary())
+    for failed in result.outcome.errors:
+        error = failed.error
+        print(
+            f"run seed {failed.unit.seed} FAILED after "
+            f"{error.attempts} attempt(s): {error.exc_type}: {error.message}"
+        )
+    if engine is not None:
+        print(_engine_summary(engine))
+    if result.outcome.interrupted:
+        print(
+            f"interrupted — partial results journalled; finish with "
+            f"--resume {run_id}"
+        )
+        return 130
     return 0
 
 

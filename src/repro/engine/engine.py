@@ -283,7 +283,8 @@ class Engine:
         engine.run(units, run_id="sweep-7", resume=True)  # skips completed
 
     The engine is stateless between :meth:`run` calls apart from
-    :attr:`stats`, :attr:`interrupted` and the on-disk cache/journal;
+    :attr:`stats`, :attr:`interrupted`, :attr:`stopped_early` and the
+    on-disk cache/journal;
     pools are created per call and torn down afterwards, so an Engine
     can be kept around for the whole life of a program (or a test
     session) without leaking processes.
@@ -293,6 +294,7 @@ class Engine:
         self.config = config or EngineConfig()
         self.stats = EngineStats()
         self.interrupted = False
+        self.stopped_early = False
         if self.config.version is not None:
             self._version = self.config.version
         else:
@@ -329,6 +331,7 @@ class Engine:
         run_id: Optional[str] = None,
         resume: bool = False,
         cancel: Optional[CancelToken] = None,
+        stop_check: Optional[Callable[[UnitResult], bool]] = None,
     ) -> List[UnitResult]:
         """Execute every unit; results come back in input order.
 
@@ -344,12 +347,29 @@ class Engine:
         :attr:`interrupted` is ``True`` and the returned list covers
         only the completed prefix of work — all of it journalled when
         ``run_id`` was given, ready for resume.
+
+        ``stop_check`` is the streaming early-stop hook (the adaptive
+        restart policies of :mod:`repro.analysis.ensembles` ride on
+        it).  It is called once per completed unit *in unit order* —
+        regardless of completion order, worker count, or whether the
+        unit came from the pool, the cache or a resume journal — so a
+        decision function of the result prefix sees exactly the same
+        sequence on every execution strategy.  Returning ``True``
+        drains the batch like a cancel (in-flight work finishes and is
+        journalled, queued work is shed) except that
+        :attr:`stopped_early` is set instead of :attr:`interrupted`:
+        an early-stopped batch is a *decision*, not an interruption.
+        Completed units past the stopping prefix (pool stragglers) are
+        still returned and journalled; callers enforcing a
+        deterministic stop fold only the prefix.
         """
         units = list(units)
         total = len(units)
         callback = progress or self.config.progress
         done = 0
         self.interrupted = False
+        self.stopped_early = False
+        stop_token = CancelToken() if stop_check is not None else None
 
         journal: Optional[RunJournal] = None
         journal_records: Dict[str, dict] = {}
@@ -383,6 +403,26 @@ class Engine:
         results: List[Optional[UnitResult]] = [None] * total
         keys: List[Optional[str]] = [None] * total
         pending: List[int] = []
+        prefix_next = 0  # first unit index not yet shown to stop_check
+
+        def deliver_prefix() -> None:
+            # Feed ``stop_check`` the contiguous completed prefix, one
+            # unit at a time in unit order — completion order (pool
+            # races, cache hits) never leaks into the decision sequence.
+            nonlocal prefix_next
+            if stop_check is None or stop_token is None:
+                return
+            while (
+                not stop_token.cancelled
+                and prefix_next < total
+                and results[prefix_next] is not None
+            ):
+                delivered = results[prefix_next]
+                prefix_next += 1
+                if stop_check(delivered):
+                    self.stopped_early = True
+                    stop_token.cancel()
+
         try:
             for i, unit in enumerate(units):
                 if need_keys:
@@ -393,6 +433,7 @@ class Engine:
                 if served is not None:
                     results[i] = served
                     emit(served)
+                    deliver_prefix()
                     continue
                 pending.append(i)
 
@@ -402,6 +443,9 @@ class Engine:
             guard = SignalGuard() if handle_signals else INERT_GUARD
             if cancel is not None:
                 guard = GuardWithCancel(guard, cancel)
+            external_guard = guard  # signal/cancel drains only
+            if stop_token is not None:
+                guard = GuardWithCancel(guard, stop_token)
 
             with guard:
                 for i, outcome_result, seconds, source, error in self._execute(
@@ -415,6 +459,7 @@ class Engine:
                             error=error,
                         )
                         emit(results[i])
+                        deliver_prefix()
                         continue
                     self.stats.executed += 1
                     if source == "pool":
@@ -431,7 +476,10 @@ class Engine:
                         seconds=seconds, cached=False, source=source,
                     )
                     emit(results[i])
-                if guard.draining:
+                    deliver_prefix()
+                # A drain caused only by the early-stop token is a
+                # successful policy decision, not an interruption.
+                if external_guard.draining:
                     self.interrupted = True
         finally:
             if journal is not None:

@@ -124,22 +124,63 @@ class ComparisonTable:
             if a != self.reference
         }
 
+    def effective_runs(self) -> Dict[str, int]:
+        """Completed (successful) runs per algorithm over all circuits.
+
+        Under adaptive restart policies or error-collecting engines this
+        can be fewer than the budgeted counts — the "effective runs
+        used" row of the rendered table.
+        """
+        out = {a: 0 for a in self.algorithms}
+        for row in self.rows.values():
+            for a in self.algorithms:
+                out[a] += len(row[a].cuts)
+        return out
+
     def format_text(self) -> str:
-        """Fixed-width text rendering (same layout idea as the paper)."""
+        """Fixed-width text rendering (same layout idea as the paper).
+
+        Cells read ``best (mean±stddev)`` — the paper reports only the
+        best of N, but the error bar is what says whether a column's
+        lead is real run-to-run or one lucky restart — plus a final
+        "runs used" row (see :meth:`effective_runs`).
+        """
+        from ..analysis.distribution import cut_distribution
+
         algs = self.algorithms
-        width = max(10, max(len(a) for a in algs) + 2)
+        cells: Dict[str, Dict[str, str]] = {}
+        for circuit, row in self.rows.items():
+            cells[circuit] = {}
+            for a in algs:
+                result = row[a]
+                if result.cuts:
+                    d = cut_distribution(result.cuts)
+                    cells[circuit][a] = (
+                        f"{d.best:.0f} ({d.mean:.1f}±{d.stddev:.1f})"
+                    )
+                else:
+                    cells[circuit][a] = "-"
+        width = max(
+            [10, max(len(a) for a in algs) + 2]
+            + [len(c) + 2 for row in cells.values() for c in row.values()]
+        )
         header = "circuit".ljust(12) + "".join(a.rjust(width) for a in algs)
         lines = [self.title, header, "-" * len(header)]
         for circuit in self.rows:
-            cells = "".join(
-                f"{self.rows[circuit][a].best_cut:>{width}.0f}" for a in algs
+            lines.append(
+                circuit.ljust(12)
+                + "".join(cells[circuit][a].rjust(width) for a in algs)
             )
-            lines.append(circuit.ljust(12) + cells)
         totals = self.totals()
         lines.append("-" * len(header))
         lines.append(
             "TOTAL".ljust(12)
             + "".join(f"{totals[a]:>{width}.0f}" for a in algs)
+        )
+        used = self.effective_runs()
+        lines.append(
+            "runs used".ljust(12)
+            + "".join(f"{used[a]:>{width}d}" for a in algs)
         )
         imps = self.improvements()
         lines.append(

@@ -26,6 +26,7 @@ from ..partition import BalanceConstraint, BipartitionResult
 from ..telemetry import collect_phase_seconds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses us)
+    from ..analysis.ensembles import RestartPolicy
     from ..audit import AuditConfig
     from ..engine import Engine
     from ..telemetry import Recorder
@@ -76,6 +77,10 @@ class MultiRunResult:
     run_seconds: List[float] = field(default_factory=list)
     errors: List[object] = field(default_factory=list)
     interrupted: bool = False
+    #: Why an adaptive restart policy ended the batch (``"converged"``,
+    #: ``"target_reached"``, ``"budget_exhausted"``, ``"time_exhausted"``);
+    #: ``None`` when no policy was attached or it never fired.
+    stop_reason: Optional[str] = None
     #: Per-phase seconds summed over all runs (see
     #: :data:`repro.telemetry.PHASE_STAT_KEYS`); empty for results that
     #: predate phase timing.
@@ -107,18 +112,32 @@ class MultiRunResult:
         return max(self.cuts)
 
     @property
+    def completed_attempts(self) -> int:
+        """Runs that ran to completion, successfully or not.
+
+        Successful runs contribute a cut; failed runs (error-collecting
+        engine) contribute an ``errors`` entry.  Both consumed wall
+        clock, so this is the denominator for timing fallbacks.
+        """
+        return len(self.cuts) + len(self.errors)
+
+    @property
     def seconds_per_run(self) -> float:
         """Mean seconds of one partitioning run.
 
         Prefers the per-run timings (pure partitioner compute); falls
-        back to ``total_seconds / N`` for results built before per-run
-        timing existed (e.g. deserialized records).
+        back to ``total_seconds / completed_attempts`` for results built
+        before per-run timing existed (e.g. deserialized records).  The
+        fallback divides by *all* completed attempts — ``total_seconds``
+        includes the time spent in failed, error-collected runs, so
+        dividing by successful runs alone would overstate per-run cost
+        exactly when the engine collected errors.
         """
         if not self.cuts:
             raise ValueError("no runs recorded")
         if self.run_seconds:
             return sum(self.run_seconds) / len(self.run_seconds)
-        return self.total_seconds / len(self.cuts)
+        return self.total_seconds / self.completed_attempts
 
     def replay(self, i: int) -> BipartitionResult:
         """Re-run run ``i`` (same seed, graph, balance) in isolation.
@@ -174,6 +193,7 @@ def run_many(
     run_id: Optional[str] = None,
     resume: bool = False,
     recorder: Optional["Recorder"] = None,
+    policy: Optional["RestartPolicy"] = None,
 ) -> MultiRunResult:
     """Run ``partitioner`` ``runs`` times with seeds base_seed..base_seed+runs-1.
 
@@ -206,6 +226,20 @@ def run_many(
     Partitioners without telemetry support likewise warn and run
     unrecorded.  Either way :attr:`MultiRunResult.phase_seconds`
     aggregates per-phase timings across the batch.
+
+    ``policy`` attaches an adaptive restart policy (anything with a
+    ``decide(cuts, elapsed_seconds)`` method returning a decision with
+    ``stop``/``reason`` attributes — see
+    :class:`repro.analysis.ensembles.RestartPolicy`).  The policy is
+    consulted after every successful run on the cut prefix *in seed
+    order*; when it says stop, no further runs are folded and
+    :attr:`MultiRunResult.stop_reason` records why.  On the engine path
+    the policy doubles as the engine's streaming ``stop_check`` (so
+    unscheduled runs are actually shed), but the returned cuts are
+    re-folded seed-by-seed with the policy re-evaluated on each prefix —
+    pool stragglers that completed past the stopping point are
+    discarded, making the incumbent and the stop decision bit-identical
+    across worker counts, cache states and ``resume``.
     """
     runs = effective_runs(partitioner, runs)
     if audit is not None and not getattr(partitioner, "supports_audit", False):
@@ -263,12 +297,54 @@ def run_many(
             )
             for seed in seed_stream(base_seed, runs)
         ]
-        for unit_result in engine.run(units, run_id=run_id, resume=resume):
-            if unit_result.error is not None:
-                result.errors.append(unit_result)
-                continue
-            _record(result, unit_result.unit.seed, unit_result.result,
-                    unit_result.seconds)
+        stop_check = None
+        if policy is not None:
+            # Streaming hint for the engine: stop scheduling once the
+            # policy would stop on the in-order prefix.  This only sheds
+            # compute — the authoritative decision is re-derived below.
+            seen_cuts: List[float] = []
+            seen_seconds = [0.0]
+
+            def stop_check(unit_result: object) -> bool:
+                if unit_result.error is not None:
+                    return False
+                seen_cuts.append(unit_result.result.cut)
+                seen_seconds[0] += unit_result.seconds
+                return policy.decide(seen_cuts, seen_seconds[0]).stop
+
+        unit_results = engine.run(
+            units, run_id=run_id, resume=resume, stop_check=stop_check
+        )
+        if policy is None:
+            for unit_result in unit_results:
+                if unit_result.error is not None:
+                    result.errors.append(unit_result)
+                    continue
+                _record(result, unit_result.unit.seed, unit_result.result,
+                        unit_result.seconds)
+        else:
+            # Authoritative fold: walk the contiguous completed prefix
+            # in seed order, re-evaluating the policy after every
+            # successful run.  Stragglers past the stopping point (or
+            # past a drain gap) never enter the aggregate, so the
+            # incumbent and stop decision are independent of completion
+            # order.
+            by_index = {u.index: u for u in unit_results}
+            for idx in range(len(units)):
+                unit_result = by_index.get(idx)
+                if unit_result is None:
+                    break  # drained before this unit completed
+                if unit_result.error is not None:
+                    result.errors.append(unit_result)
+                    continue
+                _record(result, unit_result.unit.seed, unit_result.result,
+                        unit_result.seconds)
+                decision = policy.decide(
+                    result.cuts, sum(result.run_seconds)
+                )
+                if decision.stop:
+                    result.stop_reason = decision.reason
+                    break
         result.interrupted = engine.interrupted
     else:
         kwargs = {} if audit is None else {"audit": audit}
@@ -281,6 +357,13 @@ def run_many(
                 graph, balance=balance, seed=seed, **kwargs
             )
             _record(result, seed, one, time.perf_counter() - run_start)
+            if policy is not None:
+                decision = policy.decide(
+                    result.cuts, sum(result.run_seconds)
+                )
+                if decision.stop:
+                    result.stop_reason = decision.reason
+                    break
     result.total_seconds = time.perf_counter() - start
     return result
 

@@ -26,6 +26,7 @@ See ``docs/observability.md`` for the trace schema and CLI usage
 """
 
 from .events import (
+    ENSEMBLE_COUNTER_KEYS,
     GUARD_COUNTER_KEYS,
     MoveEvent,
     PassCounters,
@@ -56,6 +57,7 @@ from .summary import (
 __all__ = [
     "PHASE_STAT_KEYS",
     "GUARD_COUNTER_KEYS",
+    "ENSEMBLE_COUNTER_KEYS",
     "MoveEvent",
     "SpanEvent",
     "PassEvent",

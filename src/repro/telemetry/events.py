@@ -54,6 +54,23 @@ GUARD_COUNTER_KEYS = (
     "quarantine_trips",
 )
 
+#: Ensemble-layer counters emitted by
+#: :func:`repro.analysis.ensembles.ensemble_solve` through the standard
+#: ``Recorder.counters`` hook (pass index ``-1``: batch scope).
+#: ``ensemble_runs_used``/``ensemble_runs_saved`` account the restart
+#: budget; exactly one ``ensemble_stop_<reason>`` key (reason as in
+#: :data:`repro.analysis.ensembles.STOP_REASONS`, plus ``interrupted``)
+#: increments per batch.
+ENSEMBLE_COUNTER_KEYS = (
+    "ensemble_runs_used",
+    "ensemble_runs_saved",
+    "ensemble_stop_converged",
+    "ensemble_stop_target_reached",
+    "ensemble_stop_budget_exhausted",
+    "ensemble_stop_time_exhausted",
+    "ensemble_stop_interrupted",
+)
+
 
 def collect_phase_seconds(stats: Mapping[str, Any]) -> Dict[str, float]:
     """The per-phase timing entries of one result's ``stats`` dict.

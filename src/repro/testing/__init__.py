@@ -23,7 +23,7 @@ from .instances import (
     random_instance,
     weighted_instance,
 )
-from .partitioners import EchoPartitioner, SleepyPartitioner
+from .partitioners import EchoPartitioner, FlakyPartitioner, SleepyPartitioner
 
 __all__ = [
     "GRID_SEEDS",
@@ -33,4 +33,5 @@ __all__ = [
     "weighted_instance",
     "SleepyPartitioner",
     "EchoPartitioner",
+    "FlakyPartitioner",
 ]

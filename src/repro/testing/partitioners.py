@@ -56,3 +56,38 @@ class EchoPartitioner(SleepyPartitioner):
 
     def __init__(self) -> None:
         super().__init__(delay=0.0)
+
+
+class FlakyPartitioner(SleepyPartitioner):
+    """Fails permanently on a fixed seed set, echoes otherwise.
+
+    The deterministic stand-in for a partitioner that dies on specific
+    inputs: seeds in ``failing_seeds`` raise ``RuntimeError`` (permanent
+    — never retried by the engine), every other seed behaves like
+    :class:`EchoPartitioner`.  Drive it under an error-collecting engine
+    to test mixed success/failure batches.
+    """
+
+    name = "FLAKY"
+
+    def __init__(
+        self, failing_seeds: Sequence[int] = (), delay: float = 0.0
+    ) -> None:
+        super().__init__(delay=delay)
+        self.failing_seeds = tuple(failing_seeds)
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        balance: Optional[BalanceConstraint] = None,
+        initial_sides: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> BipartitionResult:
+        """Raise on a failing seed, else return ``cut == seed``."""
+        if seed in self.failing_seeds:
+            if self.delay:
+                time.sleep(self.delay)
+            raise RuntimeError(f"flaky failure on seed {seed}")
+        return super().partition(
+            graph, balance=balance, initial_sides=initial_sides, seed=seed
+        )

@@ -1,5 +1,7 @@
 """Tests for run-distribution analysis."""
 
+import math
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -20,6 +22,15 @@ class TestCutDistribution:
         assert d.worst == 40
         assert d.mean == 25
         assert d.median == 25
+
+    def test_sample_stddev(self):
+        # Sample estimator (÷ n−1): var([10,20,30,40]) = 500/3.
+        d = cut_distribution([10, 20, 30, 40])
+        assert d.stddev == pytest.approx(math.sqrt(500 / 3))
+        # Two-point population: sample stddev is |a-b| / sqrt(2).
+        assert cut_distribution([10, 20]).stddev == pytest.approx(
+            10 / math.sqrt(2)
+        )
 
     def test_odd_median(self):
         assert cut_distribution([1, 5, 9]).median == 5
@@ -70,8 +81,14 @@ class TestRunsToReach:
     def test_immediately(self):
         assert runs_to_reach([10, 50], target=15) == 1
 
-    def test_never(self):
-        assert runs_to_reach([30, 25], target=5) == 0
+    def test_never_is_none(self):
+        # None (not a falsy 0 one off from the smallest real answer 1):
+        # ``if runs_to_reach(...)`` must not conflate "reached on run 1"
+        # with "never reached".
+        assert runs_to_reach([30, 25], target=5) is None
+
+    def test_reached_is_truthy(self):
+        assert runs_to_reach([10], target=10) == 1
 
 
 class TestAsciiHistogram:

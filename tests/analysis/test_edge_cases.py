@@ -1,0 +1,98 @@
+"""Degenerate-input behavior across the analysis layer.
+
+Pins the edge cases the ISSUE-9 fix sweep touched: all-tie paired
+comparisons, single-value histograms, zero-count histogram bins, and
+the explicit rejection paths of the power-law fit.
+"""
+
+import pytest
+
+from repro.analysis import ascii_histogram, fit_power_law, head_to_head
+
+
+class TestHeadToHeadTies:
+    def test_all_ties_is_maximally_indecisive(self):
+        result = head_to_head([10.0, 20.0, 30.0], [10.0, 20.0, 30.0])
+        assert result.wins == 0
+        assert result.losses == 0
+        assert result.ties == 3
+        # No decisive pairs: the sign test cannot reject anything.
+        assert result.sign_test_p == 1.0
+        assert not result.decisive
+        # Wilcoxon is undefined on zero non-tie differences.
+        assert result.wilcoxon_p is None
+        assert result.mean_improvement_percent == 0.0
+
+    def test_few_decisive_pairs_skip_wilcoxon(self):
+        # 4 non-tie differences: below the 5-diff floor for Wilcoxon.
+        a = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]
+        b = [11.0, 19.0, 31.0, 39.0, 50.0, 60.0]
+        result = head_to_head(a, b)
+        assert result.wins == 2 and result.losses == 2
+        assert result.wilcoxon_p is None
+        assert result.sign_test_p == 1.0
+
+    def test_all_zero_cuts_do_not_divide_by_zero(self):
+        result = head_to_head([0.0, 0.0], [0.0, 0.0])
+        assert result.mean_improvement_percent == 0.0
+        assert result.sign_test_p == 1.0
+
+
+class TestAsciiHistogramDegenerate:
+    def test_equal_min_max_single_bar(self):
+        out = ascii_histogram([42.0] * 7)
+        assert out.count("\n") == 0
+        assert "all equal" in out
+        assert "7 runs" in out
+        assert "#" in out
+
+    def test_zero_count_bins_render_empty(self):
+        # Two far-apart clusters leave interior bins empty; those lines
+        # must render without bars or counts instead of crashing.
+        cuts = [1.0, 1.0, 1.0, 100.0]
+        out = ascii_histogram(cuts, bins=4, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        empty = [ln for ln in lines if "#" not in ln]
+        assert len(empty) == 2
+        for ln in empty:
+            assert ln.rstrip().endswith("|")
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0, 2.0], bins=0)
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0, 2.0], width=0)
+
+
+class TestFitPowerLawDegenerate:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 2 points"):
+            fit_power_law([10.0], [1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            fit_power_law([1.0, 2.0], [1.0])
+
+    def test_non_positive_data(self):
+        with pytest.raises(ValueError, match="positive data"):
+            fit_power_law([0.0, 2.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="positive data"):
+            fit_power_law([1.0, 2.0], [-1.0, 2.0])
+
+    def test_identical_xs_degenerate_regression(self):
+        with pytest.raises(ValueError, match="two distinct x values"):
+            fit_power_law([5.0, 5.0, 5.0], [1.0, 2.0, 3.0])
+
+    def test_exact_law_recovered(self):
+        # Sanity guard alongside the rejections: y = 2 x^1.5 exactly.
+        xs = [10.0, 20.0, 40.0, 80.0]
+        ys = [2.0 * x ** 1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5)
+        assert fit.coefficient == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)

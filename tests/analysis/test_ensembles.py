@@ -1,0 +1,340 @@
+"""Tests for ensemble solving: tail fits, restart policies, determinism."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import (
+    EmpiricalCDF,
+    RestartPolicy,
+    empirical_cdf,
+    ensemble_solve,
+    fit_weibull_tail,
+    probability_of_improvement,
+)
+from repro.core import PropPartitioner
+from repro.multirun import run_many
+from repro.testing.golden import CIRCUITS, build_circuit
+
+
+def _weibull_sample(n, location, scale, shape, seed=7):
+    """Deterministic synthetic draws from a 3-parameter Weibull."""
+    rng = random.Random(seed)
+    return [
+        location + scale * (-math.log(1.0 - rng.random())) ** (1.0 / shape)
+        for _ in range(n)
+    ]
+
+
+class TestEmpiricalCDF:
+    def test_basic(self):
+        cdf = empirical_cdf([3, 1, 2, 2])
+        assert cdf(0) == 0.0
+        assert cdf(1) == 0.25
+        assert cdf(2) == 0.75
+        assert cdf(3) == 1.0
+        assert cdf(100) == 1.0
+
+    def test_quantile(self):
+        cdf = empirical_cdf([10, 20, 30, 40])
+        assert cdf.quantile(0.0) == 10
+        assert cdf.quantile(0.25) == 10
+        assert cdf.quantile(0.5) == 20
+        assert cdf.quantile(1.0) == 40
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_resolution(self):
+        assert empirical_cdf([10, 12, 17]).resolution == 2
+        assert empirical_cdf([5, 5, 5]).resolution == 1.0  # no gaps
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(values=())
+
+
+class TestWeibullTailFit:
+    def test_recovers_synthetic_parameters(self):
+        sample = _weibull_sample(40, location=100, scale=20, shape=1.5)
+        fit = fit_weibull_tail(sample)
+        assert fit is not None
+        # Grid-based location estimation: generous but meaningful bounds.
+        assert 95 <= fit.location <= min(sample)
+        assert 0.8 <= fit.shape <= 2.5
+        assert fit.r_squared > 0.9
+        assert fit.sample_size == 40
+
+    def test_cdf_zero_below_location(self):
+        fit = fit_weibull_tail(_weibull_sample(30, 50, 10, 1.2))
+        assert fit.cdf(fit.location) == 0.0
+        assert fit.cdf(fit.location - 5) == 0.0
+        assert 0.0 < fit.cdf(fit.location + 5) < 1.0
+
+    def test_confidence_band_brackets(self):
+        sample = _weibull_sample(30, 100, 20, 1.5)
+        fit = fit_weibull_tail(sample)
+        lo, hi = fit.confidence_band(min(sample))
+        assert lo == fit.location
+        assert lo <= hi <= min(sample)
+
+    def test_degenerate_inputs_return_none(self):
+        assert fit_weibull_tail([]) is None
+        assert fit_weibull_tail([1, 2]) is None          # too few
+        assert fit_weibull_tail([5] * 10) is None        # no spread
+        assert fit_weibull_tail([1, 2, 3, 4]) is None    # below minimum
+
+    def test_deterministic(self):
+        sample = _weibull_sample(25, 80, 15, 2.0)
+        assert fit_weibull_tail(sample) == fit_weibull_tail(sample)
+
+
+class TestProbabilityOfImprovement:
+    def test_empty_population_certain(self):
+        assert probability_of_improvement([]) == 1.0
+
+    def test_bounded_by_rank_statistic(self):
+        sample = _weibull_sample(20, 100, 20, 1.5)
+        p = probability_of_improvement(sample)
+        assert 0.0 <= p <= 1.0 / (len(sample) + 1)
+
+    def test_all_ties_doubly_unlikely(self):
+        # No tail fit possible; the fallback squares the rank bound.
+        cuts = [30.0] * 9
+        assert probability_of_improvement(cuts) == pytest.approx(
+            (1 / 10) * (1 / 10)
+        )
+
+    def test_concentration_shrinks_probability(self):
+        # A population concentrated at its best should report a smaller
+        # improvement probability than a dispersed one of the same size.
+        concentrated = [30.0, 30.0, 30.0, 31.0, 30.0, 30.0, 31.0, 30.0]
+        dispersed = [30.0, 45.0, 38.0, 52.0, 33.0, 47.0, 41.0, 36.0]
+        assert probability_of_improvement(concentrated) < (
+            probability_of_improvement(dispersed)
+        )
+
+
+class TestRestartPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RestartPolicy(budget=0)
+        with pytest.raises(ValueError):
+            RestartPolicy(budget=5, min_runs=0)
+        with pytest.raises(ValueError):
+            RestartPolicy(budget=5, max_seconds=0)
+
+    def test_empty_prefix_continues(self):
+        decision = RestartPolicy(budget=10).decide([])
+        assert not decision.stop
+        assert decision.p_beat == 1.0
+
+    def test_target_reached_wins(self):
+        policy = RestartPolicy(budget=10, target=25.0)
+        decision = policy.decide([30.0, 24.0])
+        assert decision.stop and decision.reason == "target_reached"
+
+    def test_budget_exhausted(self):
+        policy = RestartPolicy(budget=3)
+        decision = policy.decide([30.0, 28.0, 29.0])
+        assert decision.stop and decision.reason == "budget_exhausted"
+
+    def test_time_exhausted(self):
+        policy = RestartPolicy(budget=100, max_seconds=5.0)
+        decision = policy.decide([30.0, 28.0], elapsed_seconds=6.0)
+        assert decision.stop and decision.reason == "time_exhausted"
+
+    def test_min_runs_floor(self):
+        policy = RestartPolicy(budget=100, threshold=1e9, min_runs=4)
+        # Threshold absurdly high: would converge instantly — but the
+        # floor keeps it running below min_runs.
+        decision = policy.decide([30.0, 30.0, 30.0])
+        assert not decision.stop and decision.reason == "continue"
+
+    def test_converged(self):
+        policy = RestartPolicy(budget=20, threshold=0.5, min_runs=4)
+        decision = policy.decide([30.0] * 8)
+        assert decision.stop and decision.reason == "converged"
+        assert decision.expected_better_runs < 0.5
+
+    def test_zero_threshold_reproduces_fixed_budget(self):
+        policy = RestartPolicy(budget=6, threshold=0.0, min_runs=1)
+        for n in range(1, 6):
+            assert not policy.decide([30.0] * n).stop
+        assert policy.decide([30.0] * 6).reason == "budget_exhausted"
+
+    def test_decisions_are_pure(self):
+        policy = RestartPolicy(budget=20)
+        cuts = _weibull_sample(8, 30, 5, 1.5)
+        assert policy.decide(cuts) == policy.decide(cuts)
+
+
+class TestEnsembleSolve:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return build_circuit(CIRCUITS["hier150"])
+
+    def test_repeat_invocations_identical(self, circuit):
+        policy = RestartPolicy(budget=12, threshold=0.5, min_runs=4)
+        a = ensemble_solve(PropPartitioner(), circuit, policy, base_seed=0)
+        b = ensemble_solve(PropPartitioner(), circuit, policy, base_seed=0)
+        assert a.outcome.cuts == b.outcome.cuts
+        assert a.best_cut == b.best_cut
+        assert a.stop_reason == b.stop_reason
+        assert a.runs_used == b.runs_used
+        assert a.decision == b.decision
+
+    def test_engine_matches_sequential(self, circuit):
+        from repro.engine import Engine, EngineConfig
+
+        policy = RestartPolicy(budget=12, threshold=0.5, min_runs=4)
+        seq = ensemble_solve(PropPartitioner(), circuit, policy, base_seed=0)
+        for workers in (0, 2):
+            engine = Engine(EngineConfig(workers=workers, use_cache=False))
+            eng = ensemble_solve(
+                PropPartitioner(), circuit, policy, base_seed=0,
+                engine=engine,
+            )
+            assert eng.outcome.cuts == seq.outcome.cuts
+            assert eng.best_cut == seq.best_cut
+            assert eng.stop_reason == seq.stop_reason
+            assert eng.runs_used == seq.runs_used
+
+    def test_early_stop_is_not_an_interrupt(self, circuit):
+        from repro.engine import Engine, EngineConfig
+
+        engine = Engine(EngineConfig(workers=0, use_cache=False))
+        policy = RestartPolicy(budget=12, threshold=0.5, min_runs=4)
+        result = ensemble_solve(
+            PropPartitioner(), circuit, policy, base_seed=0, engine=engine
+        )
+        assert result.runs_saved > 0
+        assert engine.stopped_early
+        assert not engine.interrupted
+        assert not result.outcome.interrupted
+
+    def test_resume_reproduces_stop_decision(self, circuit, tmp_path):
+        from repro.engine import Engine, EngineConfig
+
+        policy = RestartPolicy(budget=12, threshold=0.5, min_runs=4)
+        config = EngineConfig(
+            workers=0, cache_dir=str(tmp_path), use_cache=False
+        )
+        first = ensemble_solve(
+            PropPartitioner(), circuit, policy, base_seed=0,
+            engine=Engine(config), run_id="ens-resume",
+        )
+        resumed_engine = Engine(config)
+        second = ensemble_solve(
+            PropPartitioner(), circuit, policy, base_seed=0,
+            engine=resumed_engine, run_id="ens-resume", resume=True,
+        )
+        assert second.outcome.cuts == first.outcome.cuts
+        assert second.best_cut == first.best_cut
+        assert second.stop_reason == first.stop_reason
+        assert second.runs_used == first.runs_used
+        # Every fold-relevant run came from the journal, none recomputed.
+        assert resumed_engine.stats.journal_hits >= first.runs_used
+        assert resumed_engine.stats.executed == 0
+
+    def test_policy_saves_runs_on_corpus(self):
+        """Acceptance: on >= 2 corpus instances the policy reaches the
+        known best-of-20 cut using measurably fewer runs."""
+        budget = 20
+        policy = RestartPolicy(budget=budget, threshold=0.5, min_runs=4)
+        saved_somewhere = 0
+        for name in ("hier150", "t6@0.05"):
+            graph = build_circuit(CIRCUITS[name])
+            full = run_many(
+                PropPartitioner(), graph, runs=budget, base_seed=0
+            )
+            result = ensemble_solve(
+                PropPartitioner(), graph, policy, base_seed=0
+            )
+            assert result.best_cut == full.best_cut, name
+            assert result.runs_used < budget, name
+            assert result.runs_saved > 0, name
+            saved_somewhere += 1
+        assert saved_somewhere == 2
+
+    def test_telemetry_counters(self, circuit):
+        from repro.telemetry import MemoryRecorder
+
+        recorder = MemoryRecorder()
+        policy = RestartPolicy(budget=12, threshold=0.5, min_runs=4)
+        result = ensemble_solve(
+            PropPartitioner(), circuit, policy, base_seed=0,
+            recorder=recorder,
+        )
+        totals = recorder.counter_totals
+        assert totals["ensemble_runs_used"] == result.runs_used
+        assert totals["ensemble_runs_saved"] == result.runs_saved
+        assert totals[f"ensemble_stop_{result.stop_reason}"] == 1
+
+    def test_budget_exhausted_when_stopping_disabled(self, circuit):
+        policy = RestartPolicy(budget=5, threshold=0.0, min_runs=1)
+        result = ensemble_solve(
+            PropPartitioner(), circuit, policy, base_seed=0
+        )
+        assert result.runs_used == 5
+        assert result.runs_saved == 0
+        assert result.stop_reason == "budget_exhausted"
+
+    def test_target_short_circuits(self, circuit):
+        # Any cut reaches a huge target on run 1 (min_runs floor ignored
+        # for target hits).
+        policy = RestartPolicy(budget=10, target=1e9, min_runs=4)
+        result = ensemble_solve(
+            PropPartitioner(), circuit, policy, base_seed=0
+        )
+        assert result.stop_reason == "target_reached"
+        assert result.runs_used == 1
+
+
+class TestRunManyPolicyPath:
+    def test_sequential_policy_stops_and_records_reason(self):
+        from repro.testing import EchoPartitioner
+
+        graph = build_circuit(CIRCUITS["rand101"])
+        policy = RestartPolicy(budget=10, target=2.0, min_runs=1)
+        # EchoPartitioner: cut == seed, so target 2.0 is hit on seed<=2.
+        outcome = run_many(
+            EchoPartitioner(), graph, runs=10, base_seed=0, policy=policy
+        )
+        assert outcome.stop_reason == "target_reached"
+        assert outcome.cuts == [0.0]
+
+    def test_engine_policy_discards_stragglers(self):
+        from repro.engine import Engine, EngineConfig
+        from repro.testing import EchoPartitioner
+
+        graph = build_circuit(CIRCUITS["rand101"])
+        policy = RestartPolicy(budget=10, target=3.0, min_runs=1)
+        engine = Engine(EngineConfig(workers=2, use_cache=False))
+        outcome = run_many(
+            EchoPartitioner(), graph, runs=10, base_seed=0,
+            engine=engine, policy=policy,
+        )
+        # Deterministic fold: exactly the seed-order prefix up to the
+        # first target hit, regardless of pool completion order.
+        assert outcome.cuts == [0.0]
+        assert outcome.stop_reason == "target_reached"
+
+    def test_errors_fold_without_policy_decision(self):
+        from repro.engine import Engine, EngineConfig
+        from repro.testing import FlakyPartitioner
+
+        graph = build_circuit(CIRCUITS["rand101"])
+        policy = RestartPolicy(budget=6, target=2.0, min_runs=1)
+        engine = Engine(
+            EngineConfig(workers=0, use_cache=False, on_error="collect")
+        )
+        outcome = run_many(
+            FlakyPartitioner(failing_seeds=(0, 1)), graph, runs=6,
+            base_seed=0, engine=engine, policy=policy,
+        )
+        # Seeds 0,1 fail (collected, no stop decision for them); seed 2
+        # echoes cut 2.0 and hits the target.
+        assert len(outcome.errors) == 2
+        assert outcome.cuts == [2.0]
+        assert outcome.stop_reason == "target_reached"

@@ -80,3 +80,165 @@ class TestAnalysis:
         report = analyze_prediction(samples)
         assert report.spearman_rho is None  # too few / constant
         assert report.negative_immediate_fraction == 0.0
+
+    def test_spearman_attribute_exercised(self):
+        """Regression: the rho path must use an attribute that exists on
+        the declared scipy floor (>= 1.7: ``.correlation``, not the
+        1.9-only ``.statistic``) — and produce the right value."""
+        # 8 first-pass samples, perfectly rank-correlated.
+        samples = [
+            MoveSample(0, i, float(i), float(2 * i)) for i in range(8)
+        ]
+        report = analyze_prediction(samples)
+        assert report.spearman_rho == pytest.approx(1.0)
+        # And anti-correlated for good measure.
+        inverted = [
+            MoveSample(0, i, float(i), float(-i)) for i in range(8)
+        ]
+        assert analyze_prediction(inverted).spearman_rho == pytest.approx(
+            -1.0
+        )
+
+
+class TestPortfolio:
+    """Per-instance algorithm selection (the k-NN portfolio model)."""
+
+    @staticmethod
+    def _observation(circuit, algorithm, cut, nodes=100):
+        from repro.analysis import InstanceFeatures, PortfolioObservation
+
+        features = InstanceFeatures(
+            nodes=nodes,
+            nets=nodes,
+            pins=3 * nodes,
+            mean_net_size=3.0,
+            mean_degree=3.0,
+            degree_variance=1.0,
+        )
+        return PortfolioObservation(
+            circuit=circuit,
+            algorithm=algorithm,
+            features=features,
+            normalized_cut=cut,
+        )
+
+    def _model(self):
+        from repro.analysis import PortfolioModel
+
+        obs = [
+            self._observation("small", "fm", 0.30, nodes=50),
+            self._observation("small", "prop", 0.20, nodes=50),
+            self._observation("big", "fm", 0.10, nodes=5000),
+            self._observation("big", "prop", 0.25, nodes=5000),
+        ]
+        return PortfolioModel(observations=obs, k=1)
+
+    def test_instance_features(self, circuit):
+        from repro.analysis import instance_features
+
+        features = instance_features(circuit)
+        assert features.nodes == circuit.num_nodes
+        assert features.nets == circuit.num_nets
+        assert features.pins == circuit.num_pins
+        assert features.mean_net_size == pytest.approx(
+            circuit.num_pins / circuit.num_nets
+        )
+        assert len(features.vector()) == 6
+        assert instance_features(circuit) == instance_features(circuit)
+
+    def test_nearest_neighbor_drives_selection(self):
+        from repro.analysis import instance_features
+        from repro.hypergraph import hierarchical_circuit
+
+        model = self._model()
+        tiny = hierarchical_circuit(40, 44, 160, seed=2)
+        # Log-scaled size features: the geometric midpoint of the 50-
+        # and 5000-node training circuits is 500 nodes, so 2000 nodes
+        # lands firmly on the "big" side.
+        huge = hierarchical_circuit(2000, 2200, 8000, seed=2)
+        # Nearest to "small" (prop wins there), nearest to "big" (fm).
+        assert model.select(tiny) == "prop"
+        assert model.select(huge) == "fm"
+        ranked = model.rank(tiny)
+        assert [name for name, _ in ranked] == ["prop", "fm"]
+        assert ranked[0][1] <= ranked[1][1]
+
+    def test_ties_break_by_name(self):
+        from repro.analysis import PortfolioModel
+
+        obs = [
+            self._observation("c", "zeta", 0.5),
+            self._observation("c", "alpha", 0.5),
+        ]
+        model = PortfolioModel(observations=obs, k=1)
+        from repro.hypergraph import hierarchical_circuit
+
+        graph = hierarchical_circuit(40, 44, 160, seed=2)
+        assert model.select(graph) == "alpha"
+
+    def test_json_round_trip_is_byte_stable(self, tmp_path):
+        from repro.analysis import PortfolioModel
+
+        model = self._model()
+        text = model.to_json()
+        clone = PortfolioModel.from_json(text)
+        assert clone.to_json() == text
+        path = tmp_path / "model.json"
+        model.save(str(path))
+        assert PortfolioModel.load(str(path)).to_json() == text
+
+    def test_empty_model_rejected(self):
+        from repro.analysis import PortfolioModel
+
+        with pytest.raises(ValueError):
+            PortfolioModel(observations=[])
+
+    def test_train_portfolio_skips_inapplicable_algorithms(self, monkeypatch):
+        import repro.multirun as multirun
+        from repro.analysis import train_portfolio
+        from repro.hypergraph import hierarchical_circuit
+
+        # An algorithm whose cells blow up at run time (e.g. a spectral
+        # ordering with no balanced split point) must become missing
+        # cells, not abort the sweep.
+        real_run_many = multirun.run_many
+
+        def flaky_run_many(partitioner, *pos, **kw):
+            if partitioner.name.startswith("FM"):
+                raise ValueError("no balanced split point")
+            return real_run_many(partitioner, *pos, **kw)
+
+        monkeypatch.setattr(multirun, "run_many", flaky_run_many)
+        circuits = {
+            "a": hierarchical_circuit(40, 44, 160, seed=2),
+            "b": hierarchical_circuit(60, 66, 240, seed=3),
+        }
+        model = train_portfolio(circuits, algorithms=("prop", "fm"), runs=2)
+        algorithms = {o.algorithm for o in model.observations}
+        assert algorithms == {"prop"}
+        assert {o.circuit for o in model.observations} == {"a", "b"}
+
+    def test_train_portfolio_unknown_algorithm_raises(self):
+        from repro.analysis import train_portfolio
+        from repro.hypergraph import hierarchical_circuit
+
+        circuits = {"a": hierarchical_circuit(40, 44, 160, seed=2)}
+        with pytest.raises(Exception):
+            train_portfolio(circuits, algorithms=("tpyo",), runs=1)
+
+    def test_train_portfolio_deterministic(self):
+        from repro.analysis import train_portfolio
+        from repro.hypergraph import hierarchical_circuit
+
+        circuits = {"a": hierarchical_circuit(40, 44, 160, seed=2)}
+        first = train_portfolio(circuits, algorithms=("prop", "fm"), runs=2)
+        second = train_portfolio(circuits, algorithms=("prop", "fm"), runs=2)
+
+        def essence(model):
+            # Everything but the wall-clock seconds_per_run field.
+            return [
+                (o.circuit, o.algorithm, o.features, o.normalized_cut)
+                for o in model.observations
+            ]
+
+        assert essence(first) == essence(second)

@@ -1,0 +1,146 @@
+"""Engine streaming early-stop hook (``stop_check``).
+
+The contract under test: ``stop_check`` sees completed units one at a
+time **in unit order** (never completion order), a ``True`` verdict
+drains the batch as a successful policy decision (``stopped_early`` set,
+``interrupted`` NOT set), and the results list still folds in unit
+order with stragglers simply absent.
+"""
+
+from repro.engine import Engine, EngineConfig, WorkUnit
+from repro.testing import EchoPartitioner, FlakyPartitioner
+
+
+def _inline_engine(**kwargs):
+    kwargs.setdefault("workers", 0)
+    kwargs.setdefault("use_cache", False)
+    return Engine(EngineConfig(**kwargs))
+
+
+def _units(graph, n, partitioner=None):
+    partitioner = partitioner or EchoPartitioner()
+    return [WorkUnit(graph, partitioner, seed=s) for s in range(n)]
+
+
+class TestInlineEarlyStop:
+    def test_stops_on_exact_prefix(self, tiny_graph):
+        engine = _inline_engine()
+        seen = []
+
+        def stop_check(unit_result):
+            seen.append(unit_result.result.cut)
+            return unit_result.result.cut >= 3.0
+
+        results = engine.run(_units(tiny_graph, 8), stop_check=stop_check)
+        # EchoPartitioner: cut == seed, so the callback saw exactly the
+        # seed-order prefix up to and including the stop trigger.
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+        assert engine.stopped_early
+        assert not engine.interrupted
+        # Inline execution checks the guard per unit: nothing past the
+        # stop point ran.
+        completed = [r for r in results if r is not None]
+        assert [r.result.cut for r in completed] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_no_stop_check_unchanged(self, tiny_graph):
+        engine = _inline_engine()
+        results = engine.run(_units(tiny_graph, 5))
+        assert [r.result.cut for r in results] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert not engine.stopped_early
+        assert not engine.interrupted
+
+    def test_never_stopping_callback_runs_everything(self, tiny_graph):
+        engine = _inline_engine()
+        seen = []
+
+        def stop_check(unit_result):
+            seen.append(unit_result.index)
+            return False
+
+        results = engine.run(_units(tiny_graph, 6), stop_check=stop_check)
+        assert seen == list(range(6))
+        assert not engine.stopped_early
+        assert len([r for r in results if r is not None]) == 6
+
+    def test_flag_resets_between_runs(self, tiny_graph):
+        engine = _inline_engine()
+        engine.run(_units(tiny_graph, 4), stop_check=lambda r: True)
+        assert engine.stopped_early
+        engine.run(_units(tiny_graph, 4))
+        assert not engine.stopped_early
+
+    def test_error_units_reach_callback(self, tiny_graph):
+        engine = _inline_engine(on_error="collect")
+        seen = []
+
+        def stop_check(unit_result):
+            seen.append(
+                "error" if unit_result.error is not None
+                else unit_result.result.cut
+            )
+            return (
+                unit_result.error is None
+                and unit_result.result.cut >= 3.0
+            )
+
+        flaky = FlakyPartitioner(failing_seeds=(1,))
+        results = engine.run(
+            _units(tiny_graph, 8, flaky), stop_check=stop_check
+        )
+        assert seen == [0.0, "error", 2.0, 3.0]
+        assert engine.stopped_early
+        errors = [r for r in results if r is not None and r.error]
+        assert len(errors) == 1
+
+
+class TestPooledEarlyStop:
+    def test_pool_decisions_use_unit_order(self, tiny_graph):
+        # Pool completion order races, but the callback sequence and the
+        # folded prefix must match the inline run bit-for-bit.
+        inline_seen, pool_seen = [], []
+
+        def make_check(log):
+            def stop_check(unit_result):
+                log.append(unit_result.result.cut)
+                return unit_result.result.cut >= 4.0
+            return stop_check
+
+        inline = _inline_engine()
+        inline.run(_units(tiny_graph, 10), stop_check=make_check(inline_seen))
+
+        pooled = _inline_engine(workers=2)
+        results = pooled.run(
+            _units(tiny_graph, 10), stop_check=make_check(pool_seen)
+        )
+        assert pool_seen == inline_seen == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert pooled.stopped_early
+        assert not pooled.interrupted
+        # The decided prefix is always present; stragglers (pool units
+        # already in flight when the stop fired) may or may not be.
+        cuts = {
+            r.index: r.result.cut for r in results if r is not None
+        }
+        assert all(cuts[i] == float(i) for i in range(5))
+
+    def test_journal_serves_respect_stop(self, tiny_graph, tmp_path):
+        # First run journals everything; the resumed run must stop on
+        # served results without executing anything.
+        config = dict(cache_dir=str(tmp_path), use_cache=False)
+        first = _inline_engine(**config)
+        first.run(_units(tiny_graph, 6), run_id="early-stop")
+
+        second = _inline_engine(**config)
+        seen = []
+
+        def stop_check(unit_result):
+            seen.append(unit_result.result.cut)
+            return unit_result.result.cut >= 2.0
+
+        second.run(
+            _units(tiny_graph, 6), run_id="early-stop", resume=True,
+            stop_check=stop_check,
+        )
+        assert seen == [0.0, 1.0, 2.0]
+        assert second.stopped_early
+        assert second.stats.executed == 0
+        assert second.stats.journal_hits >= 3

@@ -95,6 +95,40 @@ class TestRunMany:
         assert outcome.algorithm == "FM-bucket"
 
 
+class TestSecondsPerRunFallback:
+    def test_fallback_divides_by_completed_attempts(self, tiny_graph):
+        """Regression: ``total_seconds`` includes time spent in failed,
+        error-collected runs, so the no-``run_seconds`` fallback must
+        divide by all completed attempts, not successes alone."""
+        from repro.engine import Engine, EngineConfig
+        from repro.testing import FlakyPartitioner
+
+        engine = Engine(
+            EngineConfig(workers=0, use_cache=False, on_error="collect")
+        )
+        outcome = run_many(
+            FlakyPartitioner(failing_seeds=(1, 3)),
+            tiny_graph,
+            runs=4,
+            engine=engine,
+        )
+        assert len(outcome.cuts) == 2
+        assert len(outcome.errors) == 2
+        assert outcome.completed_attempts == 4
+        # Simulate a deserialized record that predates per-run timing.
+        outcome.run_seconds = []
+        outcome.total_seconds = 8.0
+        assert outcome.seconds_per_run == pytest.approx(2.0)
+
+    def test_fallback_without_errors_unchanged(self):
+        from repro.multirun import MultiRunResult
+
+        legacy = MultiRunResult(algorithm="X", circuit="c", runs=2)
+        legacy.cuts = [3.0, 4.0]
+        legacy.total_seconds = 6.0
+        assert legacy.seconds_per_run == pytest.approx(3.0)
+
+
 class TestPaperProtocol:
     def test_run_counts_match_section4(self):
         """FM20/40/100, LA-2 (20 or 40), LA-3 (20), PROP (20)."""

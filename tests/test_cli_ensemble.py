@@ -1,0 +1,103 @@
+"""CLI coverage for ``prop-partition ensemble fit|solve``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.hypergraph import hierarchical_circuit
+from repro.hypergraph import io_ as nio
+
+
+@pytest.fixture
+def netlist_file(tmp_path):
+    graph = hierarchical_circuit(80, 88, 320, seed=1)
+    path = tmp_path / "circuit.hgr"
+    nio.write_hgr(graph, path)
+    return str(path)
+
+
+class TestEnsembleSolve:
+    def test_solve_generated_circuit(self, capsys):
+        rc = main([
+            "ensemble", "solve", "--generate", "t6", "--scale", "0.05",
+            "--budget", "12", "--seed", "0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best cut" in out
+        assert "budgeted runs" in out
+        assert "stop:" in out
+
+    def test_solve_netlist_file(self, netlist_file, capsys):
+        rc = main([
+            "ensemble", "solve", netlist_file, "--budget", "8",
+            "-a", "fm",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FM" in out
+
+    def test_solve_target_stops_immediately(self, capsys):
+        rc = main([
+            "ensemble", "solve", "--generate", "t6", "--scale", "0.05",
+            "--budget", "10", "--target", "1e9",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stop: target_reached" in out
+        assert "after 1 of 10" in out
+
+    def test_solve_zero_threshold_spends_full_budget(self, capsys):
+        rc = main([
+            "ensemble", "solve", "--generate", "t6", "--scale", "0.05",
+            "--budget", "5", "--threshold", "0", "--min-runs", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "after 5 of 5 budgeted runs (0 saved)" in out
+        assert "stop: budget_exhausted" in out
+
+    def test_solve_requires_an_instance(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["ensemble", "solve"])
+        assert exc.value.code == 2
+
+    def test_solve_deterministic_across_invocations(self, capsys):
+        argv = [
+            "ensemble", "solve", "--generate", "t6", "--scale", "0.05",
+            "--budget", "12", "--seed", "3",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestEnsembleFitAndModel:
+    def test_fit_writes_model_and_solve_consumes_it(self, tmp_path, capsys):
+        model_path = str(tmp_path / "portfolio.json")
+        rc = main([
+            "ensemble", "fit", "-o", model_path, "--runs", "2",
+            "--algorithms", "prop", "fm",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wrote" in out
+
+        with open(model_path) as fh:
+            payload = json.load(fh)
+        circuits = {obs["circuit"] for obs in payload["observations"]}
+        algorithms = {obs["algorithm"] for obs in payload["observations"]}
+        assert algorithms == {"prop", "fm"}
+        assert len(circuits) >= 2
+
+        rc = main([
+            "ensemble", "solve", "--generate", "t6", "--scale", "0.05",
+            "--budget", "8", "--model", model_path,
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "portfolio selected:" in out
+        assert "best cut" in out
