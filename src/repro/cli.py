@@ -78,7 +78,12 @@ from .partition import BalanceConstraint, balance_ratio
 
 
 def _make_partitioner(
-    name: str, kernel: Optional[str] = None, subround_workers: int = 0
+    name: str,
+    kernel: Optional[str] = None,
+    subround_workers: int = 0,
+    coarsest_nodes: int = 80,
+    coarsest_runs: int = 8,
+    rating: str = "heavy-edge",
 ):
     key = name.lower()
     kern = kernel if kernel is not None else "auto"
@@ -111,7 +116,17 @@ def _make_partitioner(
     if key in ("ml", "ml-prop", "multilevel"):
         from .multilevel import MultilevelPartitioner
 
-        return MultilevelPartitioner()
+        return MultilevelPartitioner(
+            coarsest_nodes=coarsest_nodes, coarsest_runs=coarsest_runs
+        )
+    if key in ("nlevel", "nl", "nlevel-prop"):
+        from .multilevel import NLevelPartitioner
+
+        return NLevelPartitioner(
+            coarsest_nodes=coarsest_nodes,
+            coarsest_runs=coarsest_runs,
+            rating=rating,
+        )
     if key in ("prop-cl", "two-phase"):
         from .core import TwoPhasePropPartitioner
 
@@ -171,8 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["prop"],
         help=(
-            "one or more of: prop, prop-cl, ml-prop, fm, fm-tree, la-K, "
-            "kl, sa, eig1, melo, window, paraboli, random (default: prop)"
+            "one or more of: prop, prop-cl, ml-prop, nlevel, fm, fm-tree, "
+            "la-K, kl, sa, eig1, melo, window, paraboli, random "
+            "(default: prop)"
         ),
     )
     parser.add_argument(
@@ -202,6 +218,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shared-memory workers for --kernel subround (default 0: "
         "inline sweeps). Never changes results, only wall-clock",
+    )
+    parser.add_argument(
+        "--coarsest-nodes",
+        type=int,
+        default=80,
+        metavar="N",
+        help="multilevel engines (ml-prop, nlevel): stop coarsening at "
+        "N nodes (default 80)",
+    )
+    parser.add_argument(
+        "--coarsest-runs",
+        type=int,
+        default=8,
+        metavar="N",
+        help="multilevel engines: random starts on the coarsest graph, "
+        "best kept (default 8)",
+    )
+    parser.add_argument(
+        "--rating",
+        choices=("heavy-edge", "uniform"),
+        default="heavy-edge",
+        help="nlevel: pair-rating function for priority-queue "
+        "contraction (default heavy-edge)",
     )
     parser.add_argument(
         "--trace",
@@ -470,7 +509,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if interrupted:
             break
         partitioner = _make_partitioner(
-            name, args.kernel, getattr(args, "subround_workers", 0)
+            name, args.kernel, getattr(args, "subround_workers", 0),
+            coarsest_nodes=getattr(args, "coarsest_nodes", 80),
+            coarsest_runs=getattr(args, "coarsest_runs", 8),
+            rating=getattr(args, "rating", "heavy-edge"),
         )
         outcome = run_many(
             partitioner, graph, runs=args.runs, balance=balance,
@@ -528,6 +570,9 @@ def _mode_partitioner(args):
         args.algorithm[0],
         getattr(args, "kernel", None),
         getattr(args, "subround_workers", 0),
+        coarsest_nodes=getattr(args, "coarsest_nodes", 80),
+        coarsest_runs=getattr(args, "coarsest_runs", 8),
+        rating=getattr(args, "rating", "heavy-edge"),
     )
 
 

@@ -1,4 +1,4 @@
-"""Core data structures: AVL tree, FM gain buckets, pass journal."""
+"""Core data structures: AVL tree, FM gain buckets, heap, pass journal."""
 
 from .avl import AVLTree
 from .bucket_list import BucketList
@@ -7,10 +7,12 @@ from .gain_container import (
     GainContainer,
     TreeGainContainer,
 )
+from .heap import AddressablePriorityQueue
 from .prefix import MoveRecord, PassJournal
 
 __all__ = [
     "AVLTree",
+    "AddressablePriorityQueue",
     "BucketList",
     "GainContainer",
     "TreeGainContainer",

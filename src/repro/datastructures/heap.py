@@ -1,0 +1,87 @@
+"""Addressable max-priority queue with float priorities.
+
+The FM gain containers (:mod:`repro.datastructures.bucket_list`) need
+bounded *integer* gains; the n-level coarsening engine
+(:mod:`repro.multilevel.nlevel`) rates vertex pairs with *float*
+heavy-edge scores that have no useful bound.  This queue fills that gap:
+a binary heap with lazy deletion, addressable by item, whose pop order
+is a **pure function of its current contents** — entries are compared as
+``(-priority, item)`` tuples, a strict total order, so two queues
+holding the same ``{item: (priority, payload)}`` mapping pop the same
+sequence regardless of the order the entries were pushed or updated in.
+That property is what makes a resumed coarsening (rebuild the queue from
+replayed state) bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class AddressablePriorityQueue:
+    """Max-priority queue over hashable items with O(log n) updates.
+
+    ``push`` inserts or re-prioritizes an item; stale heap entries are
+    skipped on ``pop`` by checking them against the live ``{item:
+    (priority, payload)}`` map (lazy deletion — the standard heapq
+    idiom).  Ties on priority break toward the *smallest* item, so pop
+    order is deterministic for any insertion history.
+    """
+
+    __slots__ = ("_heap", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, Any, Any]] = []
+        self._live: Dict[Any, Tuple[float, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._live
+
+    def priority(self, item: Any) -> float:
+        """Current priority of ``item`` (KeyError when absent)."""
+        return self._live[item][0]
+
+    def payload(self, item: Any) -> Any:
+        """Current payload of ``item`` (KeyError when absent)."""
+        return self._live[item][1]
+
+    def push(self, item: Any, priority: float, payload: Any = None) -> None:
+        """Insert ``item`` or update its priority/payload."""
+        current = self._live.get(item)
+        if current is not None and current == (priority, payload):
+            return  # identical entry already live; skip the heap churn
+        self._live[item] = (priority, payload)
+        heapq.heappush(self._heap, (-priority, item, payload))
+
+    def discard(self, item: Any) -> None:
+        """Remove ``item`` if present (its heap entries go stale)."""
+        self._live.pop(item, None)
+
+    def pop(self) -> Optional[Tuple[Any, float, Any]]:
+        """Remove and return ``(item, priority, payload)`` of the max
+        entry, or None when empty.  Skips stale entries."""
+        heap = self._heap
+        live = self._live
+        while heap:
+            neg, item, payload = heapq.heappop(heap)
+            current = live.get(item)
+            if current is not None and current == (-neg, payload):
+                del live[item]
+                return item, -neg, payload
+        return None
+
+    def peek(self) -> Optional[Tuple[Any, float, Any]]:
+        """The max entry without removing it, or None when empty."""
+        heap = self._heap
+        live = self._live
+        while heap:
+            neg, item, payload = heap[0]
+            current = live.get(item)
+            if current is not None and current == (-neg, payload):
+                return item, -neg, payload
+            heapq.heappop(heap)
+        return None

@@ -134,6 +134,24 @@ def _canonical_value(value: Any) -> Any:
         return {str(k): _canonical_value(v) for k, v in sorted(value.items())}
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if callable(getattr(value, "partition", None)) and not isinstance(
+        value, type
+    ):
+        # Nested partitioner (e.g. a multilevel engine's ``refiner``).
+        # The generic repr fallback below would embed the object's memory
+        # address, giving every process a fresh fingerprint for the same
+        # configuration — cached results could never be served.  Expand
+        # it structurally instead, the same way the top-level
+        # partitioner_fingerprint does.
+        return {
+            "~class": (
+                f"{type(value).__module__}.{type(value).__qualname__}"
+            ),
+            **{
+                str(k): _canonical_value(v)
+                for k, v in sorted(_public_state(value).items())
+            },
+        }
     return repr(value)
 
 

@@ -15,6 +15,7 @@ from .generators import (
     TABLE1_CHARACTERISTICS,
     benchmark_suite,
     hierarchical_circuit,
+    large_circuit,
     make_benchmark,
     many_small,
     planted_bisection,
@@ -61,6 +62,7 @@ __all__ = [
     "random_hypergraph",
     "planted_bisection",
     "hierarchical_circuit",
+    "large_circuit",
     "make_benchmark",
     "many_small",
     "small_instance",

@@ -276,6 +276,135 @@ def benchmark_suite(
 
 
 # ---------------------------------------------------------------------------
+# Scale family: 100k-1M node circuits (vectorized, version-stable PRNG).
+# ---------------------------------------------------------------------------
+_SM64_GAMMA = 0x9E3779B97F4A7C15
+_SM64_MIX1 = 0xBF58476D1CE4E5B9
+_SM64_MIX2 = 0x94D049BB133111EB
+
+
+def _splitmix64_array(x):
+    """Vectorized splitmix64 finalizer over a uint64 numpy array.
+
+    The same constants the subround kernels use for tie-break hashing
+    (:func:`repro.kernels.subround.tie_break_keys`).  Chosen over
+    ``np.random.Generator`` deliberately: NEP 19 does not guarantee
+    Generator streams are stable across numpy versions, while these
+    fixed-width integer ops are reproducible forever — a hard
+    requirement for golden-corpus instances.
+    """
+    import numpy as np
+
+    z = (x + np.uint64(_SM64_GAMMA)) * np.uint64(1)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_SM64_MIX1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_SM64_MIX2)
+    return z ^ (z >> np.uint64(31))
+
+
+def _hash_stream(seed: int, stream: int, count: int):
+    """``count`` deterministic uint64 hashes for one (seed, stream)."""
+    import numpy as np
+
+    base = np.uint64((seed & 0xFFFFFFFF) * 0x1_0000_0001 + stream * 0x9E37)
+    idx = np.arange(count, dtype=np.uint64)
+    return _splitmix64_array(idx * np.uint64(0xD1B54A32D192ED03) + base)
+
+
+def large_circuit(
+    num_nodes: int,
+    seed: int = 0,
+    local_nets_per_node: float = 0.4,
+    hub_nets: int = 8,
+) -> Hypergraph:
+    """A sparse 100k-1M-node circuit, generated in vectorized numpy.
+
+    The scale workload for the n-level coarsening engine
+    (:mod:`repro.multilevel.nlevel`): structure is circuit-like but
+    bounded-degree, so coarsening regions stay small.
+
+    * a **scan chain** — ``n - 1`` two-pin nets threading a seeded
+      permutation of all nodes (connected, no isolated nodes);
+    * **local nets** — ``local_nets_per_node * n`` nets of 3-9 pins,
+      each confined to a small window of the permutation (placement
+      locality), pins placed by stratified offsets so they are distinct
+      by construction;
+    * a few **hub nets** of 80-400 pins (clock/reset-like), which
+      exercise the coarsener's large-net skip and the benches' pad-heavy
+      paths.
+
+    Deterministic for a given ``(num_nodes, seed, ...)`` on every
+    platform and numpy version: all randomness is splitmix64 over
+    fixed-width integers (see :func:`_splitmix64_array`), never a numpy
+    Generator stream.  Generation is O(pins) vectorized; the Hypergraph
+    constructor's per-pin validation dominates at the 1M end.
+    """
+    import numpy as np
+
+    if num_nodes < 64:
+        raise ValueError("large_circuit needs at least 64 nodes")
+    if local_nets_per_node < 0:
+        raise ValueError("local_nets_per_node must be >= 0")
+    if hub_nets < 0:
+        raise ValueError("hub_nets must be >= 0")
+    n = num_nodes
+
+    # Seeded permutation: argsort of per-node hashes (ties impossible in
+    # practice; argsort is stable, so even a collision is deterministic).
+    perm = np.argsort(_hash_stream(seed, 1, n), kind="stable").astype(np.int64)
+
+    nets: List[List[int]] = []
+
+    # Scan chain along the permutation.
+    chain = np.stack([perm[:-1], perm[1:]], axis=1)
+    nets.extend(chain.tolist())
+
+    # Local nets: windows over the permutation, stratified distinct pins.
+    num_local = int(round(local_nets_per_node * n))
+    if num_local > 0:
+        h_size = _hash_stream(seed, 2, num_local)
+        h_start = _hash_stream(seed, 3, num_local)
+        h_frac = _hash_stream(seed, 4, num_local)
+        # 3..9 pins, biased toward small nets (product of two 3-bit dice).
+        a = (h_size >> np.uint64(8)) & np.uint64(7)
+        b = (h_size >> np.uint64(16)) & np.uint64(7)
+        sizes = (3 + (a * b) // np.uint64(8)).astype(np.int64)
+        windows = np.minimum(4 * sizes + 8, n)
+        starts = (h_start % (n - windows + 1).astype(np.uint64)).astype(np.int64)
+        u = (h_frac >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+        total = int(sizes.sum())
+        net_of_pin = np.repeat(np.arange(num_local), sizes)
+        first_pin = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        k = np.arange(total, dtype=np.int64) - first_pin[net_of_pin]
+        # floor(W*(k+u)/s) is strictly increasing in k while W >= s, so
+        # the offsets (hence the pins) are distinct by construction.
+        offs = np.floor(
+            windows[net_of_pin] * (k + u[net_of_pin]) / sizes[net_of_pin]
+        ).astype(np.int64)
+        positions = starts[net_of_pin] + offs
+        local_pins = perm[positions]
+        splits = np.cumsum(sizes)[:-1]
+        nets.extend(part.tolist() for part in np.split(local_pins, splits))
+
+    # Hub nets: high-fanout, stratified over the whole permutation.
+    if hub_nets > 0:
+        h_hub = _hash_stream(seed, 5, hub_nets)
+        h_hubu = _hash_stream(seed, 6, hub_nets)
+        for j in range(hub_nets):
+            size = int(80 + h_hub[j] % np.uint64(321))
+            size = min(size, n // 4)
+            if size < 2:
+                continue
+            uj = float(h_hubu[j] >> np.uint64(11)) / float(1 << 53)
+            offs = np.floor(
+                n * (np.arange(size, dtype=np.int64) + uj) / size
+            ).astype(np.int64)
+            nets.append(perm[offs].tolist())
+
+    return Hypergraph(nets, num_nodes=n)
+
+
+# ---------------------------------------------------------------------------
 # Batch instances: many independent small circuits from one seed.
 # ---------------------------------------------------------------------------
 def small_instance(

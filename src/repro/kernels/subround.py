@@ -66,6 +66,7 @@ __all__ = [
     "SubroundPropEngine",
     "batch_immediate_gains",
     "fm_gains_range",
+    "fm_gains_subset",
     "gather_segments",
     "prop_gains_range",
     "prop_gains_subset",
@@ -274,6 +275,44 @@ def gather_segments(
         + np.repeat(starts - prev, sizes)
     )
     return j, slot
+
+
+def fm_gains_subset(
+    nodes: np.ndarray,
+    sides: np.ndarray,
+    counts0: np.ndarray,
+    counts1: np.ndarray,
+    nm_net: np.ndarray,
+    nm_owner: np.ndarray,
+    nm_cost: np.ndarray,
+    node_offset: np.ndarray,
+    gains_out: np.ndarray,
+) -> int:
+    """FM Eqn. (1) immediate gains for an arbitrary node subset.
+
+    The subset analogue of :func:`fm_gains_range`: per-node terms are
+    accumulated in the same CSR pin order via the compact ``slot``
+    labels, so ``gains_out[v]`` for ``v`` in ``nodes`` is bit-identical
+    to a full recompute.  Returns 0 (matching the range kernel).
+    """
+    if len(nodes) == 0:
+        return 0
+    j, slot = gather_segments(nodes, node_offset)
+    own = nm_owner[j]
+    net = nm_net[j]
+    is0 = sides[own] == 0
+    mine = np.where(is0, counts0[net], counts1[net])
+    theirs = np.where(is0, counts1[net], counts0[net])
+    cost = nm_cost[j]
+    term = np.where(
+        theirs == 0,
+        np.where(mine > 1, -cost, 0.0),
+        np.where(mine == 1, cost, 0.0),
+    )
+    gains_out[nodes] = np.bincount(
+        slot, weights=term, minlength=len(nodes)
+    )
+    return 0
 
 
 def prop_products_subset(
@@ -898,9 +937,13 @@ class SubroundPropEngine(_SubroundEngineBase):
 class SubroundFMEngine(_SubroundEngineBase):
     """FM pass engine with sub-round batched moves.
 
-    Selection gains are the exact Eqn. (1) immediate gains, recomputed
-    vectorized per sub-round (no containers, no delta rules); batches
-    are net-disjoint so applied gains equal selection gains.
+    Selection gains are the exact Eqn. (1) immediate gains; batches are
+    net-disjoint so applied gains equal selection gains.  Between
+    sub-rounds only the pins of nets attached to the applied batch are
+    recomputed (:func:`fm_gains_subset`) — a batch changes pin counts
+    only on its own nets and sides only on its own nodes, so every
+    other node's Eqn. (1) sum is mathematically unchanged and the
+    subset update is exact, not approximate.
     """
 
     algorithm = "FM"
@@ -915,6 +958,7 @@ class SubroundFMEngine(_SubroundEngineBase):
         super().__init__(
             partition, seed, workers=workers, batch_fraction=batch_fraction
         )
+        self._last_batch: Optional[np.ndarray] = None
 
     def _compute_gains(self) -> np.ndarray:
         part = self.partition
@@ -938,10 +982,34 @@ class SubroundFMEngine(_SubroundEngineBase):
         return self._gains
 
     def _bootstrap(self) -> None:
-        pass
+        self._last_batch = None
 
     def _refine(self) -> np.ndarray:
         return self._compute_gains().copy()
 
     def _next_gains(self, gains: np.ndarray) -> np.ndarray:
-        return self._compute_gains().copy()
+        csr = self.csr
+        batch = self._last_batch
+        if batch is None or batch.size == 0:
+            return self._compute_gains().copy()
+        bj, _ = gather_segments(batch, csr.node_offset)
+        nets = np.unique(csr.nm_net[bj])
+        uj, _ = gather_segments(nets, csr.net_offset)
+        touched = np.unique(csr.pin_node[uj])
+        if touched.size >= csr.num_nodes:
+            # Everything is affected anyway: take the full sweep, which
+            # the worker pool parallelizes.  Same values either way.
+            return self._compute_gains().copy()
+        part = self.partition
+        counts0 = np.asarray(part.counts_view(0), dtype=np.int64)
+        counts1 = np.asarray(part.counts_view(1), dtype=np.int64)
+        fm_gains_subset(
+            touched, self._sides, counts0, counts1,
+            csr.nm_net, csr.nm_owner, csr.nm_cost, csr.node_offset,
+            self._gains,
+        )
+        return self._gains.copy()
+
+    def _on_batch_applied(self, batch: Sequence[int]) -> None:
+        super()._on_batch_applied(batch)
+        self._last_batch = np.asarray(batch, dtype=np.intp)

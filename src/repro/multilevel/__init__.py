@@ -1,4 +1,16 @@
-"""Multilevel (V-cycle) partitioning: heavy-edge coarsening + refinement."""
+"""Multilevel partitioning: V-cycle and n-level engines.
+
+Two coarsening paradigms share this package:
+
+* the classic **V-cycle** (:class:`MultilevelPartitioner`) — whole
+  matching levels via :func:`heavy_edge_matching`, full-graph refinement
+  at every level;
+* the **n-level** engine (:class:`NLevelPartitioner`) — one-pair-at-a-
+  time priority-queue contraction (:func:`nlevel_coarsen`) with
+  journal-resumable hierarchies and refinement localized around each
+  uncontraction batch.  The scalable choice for 100k+-node instances
+  (see docs/multilevel.md).
+"""
 
 from .coarsen import (
     coarsen_once,
@@ -6,10 +18,27 @@ from .coarsen import (
     connectivity_weights,
     heavy_edge_matching,
 )
+from .nlevel import (
+    CoarseningJournal,
+    DynamicHypergraph,
+    Memento,
+    NLevelCoarsener,
+    coarsening_fingerprint,
+    nlevel_coarsen,
+)
+from .uncoarsen import NLevelPartitioner, UncoarsenState
 from .vcycle import MultilevelPartitioner
 
 __all__ = [
     "MultilevelPartitioner",
+    "NLevelPartitioner",
+    "UncoarsenState",
+    "CoarseningJournal",
+    "DynamicHypergraph",
+    "Memento",
+    "NLevelCoarsener",
+    "coarsening_fingerprint",
+    "nlevel_coarsen",
     "coarsen_once",
     "coarsen_to",
     "heavy_edge_matching",

@@ -25,6 +25,10 @@ from ..hypergraph.transforms import Contraction
 #: expand; they are skipped during affinity computation (standard practice).
 DEFAULT_MAX_NET_SIZE = 40
 
+#: Pins inspected per oversized net by the stranded-node fallback (both
+#: here and in the n-level rescue scan, :mod:`repro.multilevel.nlevel`).
+DEFAULT_SAMPLE_PINS = 16
+
 
 def connectivity_weights(
     graph: Hypergraph, max_net_size: int = DEFAULT_MAX_NET_SIZE
@@ -90,6 +94,43 @@ def heavy_edge_matching(
             match[best_v] = u
         else:
             match[u] = u  # singleton
+
+    # Stranded-node fallback: a node whose every net exceeds max_net_size
+    # has an empty affinity map, so the loop above can never match it and
+    # coarsening stalls at min_reduction on pad-heavy circuits.  Pair such
+    # nodes with another stranded singleton sampled from their smallest
+    # net (restricted to stranded partners, so circuits without stranded
+    # nodes — the entire golden corpus — are bit-for-bit unaffected).
+    for u in order:
+        if match[u] != u or affinity[u]:
+            continue
+        best_net = -1
+        best_q = -1
+        for net_id in graph.node_nets(u):
+            q = graph.net_size(net_id)
+            if q < 2:
+                continue
+            if best_q < 0 or q < best_q or (q == best_q and net_id < best_net):
+                best_q = q
+                best_net = net_id
+        if best_net < 0:
+            continue  # isolated node: nothing to pair with
+        wu = graph.node_weight(u)
+        sampled = 0
+        for v in graph.net(best_net):
+            if v == u:
+                continue
+            sampled += 1
+            if sampled > DEFAULT_SAMPLE_PINS:
+                break
+            if (
+                match[v] == v
+                and not affinity[v]
+                and wu + graph.node_weight(v) <= max_cluster_weight
+            ):
+                match[u] = v
+                match[v] = u
+                break
 
     cluster_of = [-1] * n
     next_id = 0

@@ -1,0 +1,681 @@
+"""n-level coarsening: one-pair-at-a-time contraction under a PQ rating.
+
+The V-cycle coarsener (:mod:`repro.multilevel.coarsen`) builds whole
+matching levels at once and pays O(q²) per net for its clique affinity.
+This module implements the *n-level* alternative of Henne, Sanders,
+Schlag et al. (*n-Level Hypergraph Partitioning*, see PAPERS.md):
+
+* :class:`DynamicHypergraph` — a mutable pin/incidence structure
+  supporting KaHyPar-style single-pair contraction in O(deg(v)) dict
+  operations, with a :class:`Memento` per contraction so the exact
+  pre-contraction state can be restored during uncoarsening;
+* :class:`NLevelCoarsener` — heavy-edge ratings maintained in an
+  :class:`~repro.datastructures.AddressablePriorityQueue`, contracting
+  the best-rated pair one at a time down to a target node count, with a
+  rescue scan that pairs nodes whose every net is oversized (sampled-pin
+  fallback) instead of stranding them;
+* :class:`CoarseningJournal` — the contraction sequence serialized
+  through the sha256-sealed JSONL machinery of
+  :mod:`repro.engine.journal`, so a partially coarsened million-node
+  instance resumes with zero rating recomputation for journaled pairs.
+
+Determinism contract (docs/multilevel.md): coarsening is a pure function
+of ``(graph, target_nodes, rating, max_net_size, max_cluster_weight,
+sample_pins)`` — no seeds, no wall-clock, no iteration over
+unordered containers.  After every contraction the ratings of the entire
+affected neighborhood are recomputed *eagerly*, so the queue never holds
+a stale entry and its pop order — total order on ``(-rating, node)`` —
+depends only on the current dynamic graph, never on update history.
+That is what makes a journal-resumed coarsening bit-identical to an
+uninterrupted one: replay reapplies the journaled pairs mechanically,
+the queue is rebuilt from the resulting state, and the continuation
+makes exactly the moves the original run would have made.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Tuple
+
+from ..datastructures import AddressablePriorityQueue
+from ..engine.journal import iter_journal_records
+from ..engine.records import seal
+from ..engine.units import hypergraph_fingerprint
+from ..hypergraph import Hypergraph
+from .coarsen import DEFAULT_MAX_NET_SIZE, DEFAULT_SAMPLE_PINS
+
+#: ``kind`` field of a coarsening-journal header record.
+JOURNAL_KIND = "nlevel-coarsen"
+
+#: Contraction pairs per sealed journal record.  Each record is one
+#: line-atomic append (write+flush+fsync), so a crash loses at most the
+#: unflushed tail of one batch — which resume simply re-derives.
+DEFAULT_JOURNAL_BATCH = 4096
+
+
+class Memento:
+    """Everything needed to undo one contraction ``v -> u`` exactly.
+
+    ``shrunk`` lists nets that contained both endpoints (v was removed,
+    the net got smaller); ``replaced`` nets that contained only v (v's
+    slot was taken over by u, size unchanged); ``pruned`` holds
+    ``(net, last_pin)`` for shrunk nets that collapsed to a single pin
+    and were detached from that pin's incidence list (a 1-pin net can
+    never be cut, so refinement must not iterate it).  ``uw`` is u's
+    weight *before* the contraction — restored by assignment, not
+    subtraction, so float weights round-trip bit-exactly.
+    """
+
+    __slots__ = ("u", "v", "uw", "shrunk", "replaced", "pruned")
+
+    def __init__(self, u: int, v: int, uw: float) -> None:
+        self.u = u
+        self.v = v
+        self.uw = uw
+        self.shrunk: List[int] = []
+        self.replaced: List[int] = []
+        self.pruned: List[Tuple[int, int]] = []
+
+
+class DynamicHypergraph:
+    """Mutable incidence structure for single-pair contraction.
+
+    Pins and per-node net lists are stored as dicts-used-as-ordered-sets:
+    O(1) membership, insertion and deletion with deterministic
+    (insertion-order) iteration — so replaying the same contraction
+    sequence reconstructs byte-identical iteration orders, which the
+    determinism contract relies on for float accumulation.
+
+    Invariants: ``pins[net]`` contains only alive nodes; ``net in
+    nets_of[x]`` iff ``x in pins[net]``, except for dead nodes (whose
+    ``nets_of`` is left frozen at contraction time for the undo) and
+    pruned nets (detached from their last pin until uncontracted).
+    """
+
+    __slots__ = (
+        "pins",
+        "nets_of",
+        "net_cost",
+        "node_weight",
+        "alive",
+        "alive_count",
+        "num_nets",
+    )
+
+    def __init__(self, graph: Hypergraph) -> None:
+        self.pins: List[Dict[int, None]] = [
+            dict.fromkeys(net) for net in graph.nets
+        ]
+        self.nets_of: List[Dict[int, None]] = [
+            dict.fromkeys(graph.node_nets(u)) for u in range(graph.num_nodes)
+        ]
+        self.net_cost: List[float] = list(graph.net_costs)
+        self.node_weight: List[float] = list(graph.node_weights)
+        self.alive: List[bool] = [True] * graph.num_nodes
+        self.alive_count: int = graph.num_nodes
+        self.num_nets: int = graph.num_nets
+
+    @property
+    def num_nodes(self) -> int:
+        """Size of the *original* node id space (dead ids included)."""
+        return len(self.alive)
+
+    def contract(self, u: int, v: int) -> Memento:
+        """Merge ``v`` into ``u`` (KaHyPar-style), returning the undo
+        record.  O(deg(v)) dict operations."""
+        m = Memento(u, v, self.node_weight[u])
+        pins = self.pins
+        for net in self.nets_of[v]:
+            net_pins = pins[net]
+            if u in net_pins:
+                del net_pins[v]
+                if len(net_pins) == 1:
+                    last = next(iter(net_pins))
+                    del self.nets_of[last][net]
+                    m.pruned.append((net, last))
+                else:
+                    m.shrunk.append(net)
+            else:
+                del net_pins[v]
+                net_pins[u] = None
+                self.nets_of[u][net] = None
+                m.replaced.append(net)
+        self.node_weight[u] += self.node_weight[v]
+        self.alive[v] = False
+        self.alive_count -= 1
+        return m
+
+    def uncontract(self, m: Memento) -> None:
+        """Exact inverse of :meth:`contract`.  Mementos must be undone
+        in LIFO order (later contractions may touch the same nets)."""
+        u, v = m.u, m.v
+        pins = self.pins
+        for net in m.replaced:
+            net_pins = pins[net]
+            del net_pins[u]
+            net_pins[v] = None
+            del self.nets_of[u][net]
+        for net in m.shrunk:
+            pins[net][v] = None
+        for net, last in m.pruned:
+            pins[net][v] = None
+            self.nets_of[last][net] = None
+        self.node_weight[u] = m.uw
+        self.alive[v] = True
+        self.alive_count += 1
+
+    def snapshot(self) -> Tuple[Hypergraph, List[int]]:
+        """The current coarse graph as an immutable Hypergraph.
+
+        Returns ``(coarse, reps)`` where ``reps[i]`` is the original node
+        id of compact coarse node ``i``.  Nets with fewer than two alive
+        pins are dropped (they can never be cut)."""
+        reps = [u for u in range(len(self.alive)) if self.alive[u]]
+        compact = {u: i for i, u in enumerate(reps)}
+        nets: List[List[int]] = []
+        costs: List[float] = []
+        for net in range(self.num_nets):
+            net_pins = self.pins[net]
+            if len(net_pins) < 2:
+                continue
+            nets.append([compact[x] for x in net_pins])
+            costs.append(self.net_cost[net])
+        coarse = Hypergraph(
+            nets,
+            num_nodes=len(reps),
+            net_costs=costs,
+            node_weights=[self.node_weight[u] for u in reps],
+        )
+        return coarse, reps
+
+
+def coarsening_fingerprint(
+    graph: Hypergraph,
+    target_nodes: int,
+    rating: str,
+    max_net_size: int,
+    max_cluster_weight: float,
+    sample_pins: int,
+) -> str:
+    """Journal binding: netlist content hash + every coarsening knob.
+
+    The seed is deliberately absent — n-level coarsening is
+    seed-independent, so one journal serves every seed of a config."""
+    h = hashlib.sha256()
+    h.update(hypergraph_fingerprint(graph).encode())
+    h.update(
+        f"|{JOURNAL_KIND}-v1|{target_nodes}|{rating}|{max_net_size}"
+        f"|{max_cluster_weight!r}|{sample_pins}".encode()
+    )
+    return h.hexdigest()
+
+
+class CoarseningJournal:
+    """Sealed JSONL log of the contraction sequence.
+
+    Same crash-safety discipline as :class:`repro.engine.journal.RunJournal`:
+    each record is one newline-terminated ``write`` + flush + fsync, torn
+    or checksum-failing lines are skipped on read, and all I/O errors are
+    swallowed into :attr:`errors` (journalling is best-effort and must
+    never abort the coarsening it protects).  The header binds the file
+    to a :func:`coarsening_fingerprint`; a mismatch on replay means the
+    journal belongs to a different graph/config and is ignored.
+    """
+
+    def __init__(
+        self,
+        path,
+        fingerprint: str,
+        batch_pairs: int = DEFAULT_JOURNAL_BATCH,
+    ) -> None:
+        if batch_pairs < 1:
+            raise ValueError("batch_pairs must be >= 1")
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.batch_pairs = batch_pairs
+        self.errors = 0
+        self.appended_pairs = 0
+        self._buffer: List[List[int]] = []
+        self._fh: Optional[IO[str]] = None
+        # Cumulative pair index of the next record to write.  Replay
+        # sets it to the intact-prefix length, so appended records chain
+        # onto the prefix even when the file has a corrupt middle.
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def replay_pairs(self) -> List[Tuple[int, int]]:
+        """The journaled contraction pairs — longest intact prefix.
+
+        Empty when the file is missing or its header does not match this
+        journal's fingerprint (different graph or different knobs).
+        Every record carries the cumulative pair index it starts at
+        (``seq``); a record that does not chain onto the pairs read so
+        far (its predecessor was torn or corrupt) ends the trusted
+        prefix — replaying across a gap would silently reorder the
+        contraction sequence."""
+        pairs: List[Tuple[int, int]] = []
+        saw_header = False
+        for record in iter_journal_records(self.path):
+            rtype = record.get("type")
+            if not saw_header:
+                if (
+                    rtype != "header"
+                    or record.get("kind") != JOURNAL_KIND
+                    or record.get("fingerprint") != self.fingerprint
+                ):
+                    return []
+                saw_header = True
+                continue
+            if rtype != "contractions":
+                continue
+            if record.get("seq") != len(pairs):
+                break
+            for pair in record.get("pairs", ()):
+                pairs.append((int(pair[0]), int(pair[1])))
+        self._seq = len(pairs)
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _write_line(self, record: dict) -> None:
+        try:
+            line = json.dumps(seal(record)) + "\n"
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                torn_tail = False
+                try:
+                    if self.path.stat().st_size > 0:
+                        with open(self.path, "rb") as probe:
+                            probe.seek(-1, os.SEEK_END)
+                            torn_tail = probe.read(1) != b"\n"
+                except OSError:
+                    torn_tail = False
+                self._fh = open(self.path, "a")
+                if torn_tail:
+                    # A crash mid-write left a torn final line.  Close it
+                    # out so appended records stand on their own lines;
+                    # the fragment then fails its checksum and is skipped
+                    # on replay instead of corrupting our first record.
+                    self._fh.write("\n")
+            self._fh.write(line)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except (OSError, TypeError, ValueError):
+            self.errors += 1
+
+    def ensure_header(self) -> None:
+        """Write the fingerprint header when starting a fresh file."""
+        try:
+            exists = self.path.exists() and self.path.stat().st_size > 0
+        except OSError:
+            exists = False
+        if exists:
+            return
+        self._write_line({
+            "type": "header",
+            "kind": JOURNAL_KIND,
+            "fingerprint": self.fingerprint,
+        })
+
+    def append(self, u: int, v: int) -> None:
+        """Buffer one contraction; flushes a sealed record per batch."""
+        self._buffer.append([u, v])
+        if len(self._buffer) >= self.batch_pairs:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the buffered pairs as one sealed record."""
+        if not self._buffer:
+            return
+        self._write_line({
+            "type": "contractions",
+            "seq": self._seq,
+            "pairs": self._buffer,
+        })
+        self._seq += len(self._buffer)
+        self.appended_pairs += len(self._buffer)
+        self._buffer = []
+
+    def close(self) -> None:
+        """Flush the tail batch and release the file handle."""
+        self.flush()
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                self.errors += 1
+            self._fh = None
+
+
+class NLevelCoarsener:
+    """Priority-queue driven one-pair-at-a-time coarsening.
+
+    Ratings follow the heavy-edge rule of the V-cycle coarsener —
+    ``r(u, v) = Σ c(net)/(|net|-1)`` over shared nets of size at most
+    ``max_net_size`` (``rating="uniform"`` drops the ``1/(|net|-1)``
+    factor) — but are computed per *node* (best feasible partner), not
+    per O(q²) clique edge.  The pair ``(u, best(u))`` with the highest
+    rating is contracted; ties break toward the smaller node id at both
+    levels, so the sequence is fully deterministic.
+    """
+
+    def __init__(
+        self,
+        dyn: DynamicHypergraph,
+        target_nodes: int,
+        rating: str = "heavy-edge",
+        max_net_size: int = DEFAULT_MAX_NET_SIZE,
+        max_cluster_weight: float = float("inf"),
+        sample_pins: int = DEFAULT_SAMPLE_PINS,
+        journal: Optional[CoarseningJournal] = None,
+        mementos: Optional[List[Memento]] = None,
+    ) -> None:
+        if target_nodes < 2:
+            raise ValueError("target_nodes must be >= 2")
+        if rating not in ("heavy-edge", "uniform"):
+            raise ValueError(f"unknown rating {rating!r}")
+        if sample_pins < 1:
+            raise ValueError("sample_pins must be >= 1")
+        self.dyn = dyn
+        self.target_nodes = target_nodes
+        self.rating = rating
+        self.max_net_size = max_net_size
+        self.max_cluster_weight = max_cluster_weight
+        self.sample_pins = sample_pins
+        self.journal = journal
+        self.mementos: List[Memento] = mementos if mementos is not None else []
+        self.pq = AddressablePriorityQueue()
+        # Reverse partner index: _targets[p] = nodes whose queued best
+        # partner is p.  Only the *set* per partner matters (each member
+        # is rerated independently from pure graph state), so its
+        # history-dependent iteration order cannot leak into results.
+        self._targets: Dict[int, Dict[int, None]] = {}
+        self.contractions = 0
+        self.ratings_updated = 0
+        self.rescued_nodes = 0
+
+    # ------------------------------------------------------------------
+    # Rating
+    # ------------------------------------------------------------------
+    def _best_partner(self, u: int) -> Optional[Tuple[float, int]]:
+        """Highest-rated weight-feasible partner of ``u`` over its small
+        nets, or None.  Ties break toward the smaller partner id."""
+        dyn = self.dyn
+        pins = dyn.pins
+        net_cost = dyn.net_cost
+        heavy = self.rating == "heavy-edge"
+        max_q = self.max_net_size
+        wu = dyn.node_weight[u]
+        affinity: Dict[int, float] = {}
+        get = affinity.get
+        for net in dyn.nets_of[u]:
+            net_pins = pins[net]
+            q = len(net_pins)
+            if q < 2 or q > max_q:
+                continue
+            w = net_cost[net] / (q - 1) if heavy else net_cost[net]
+            for v in net_pins:
+                if v != u:
+                    affinity[v] = get(v, 0.0) + w
+        best_v = -1
+        best_r = 0.0
+        node_weight = dyn.node_weight
+        cap = self.max_cluster_weight
+        for v, r in affinity.items():
+            if wu + node_weight[v] > cap:
+                continue
+            if r > best_r or (r == best_r and (best_v < 0 or v < best_v)):
+                best_r = r
+                best_v = v
+        if best_v < 0:
+            return None
+        return best_r, best_v
+
+    def _update_node(self, u: int) -> None:
+        best = self._best_partner(u)
+        old = self.pq.payload(u) if u in self.pq else None
+        if best is None:
+            if old is not None:
+                self._targets[old].pop(u, None)
+            self.pq.discard(u)
+        else:
+            rating, partner = best
+            if old != partner:
+                if old is not None:
+                    self._targets[old].pop(u, None)
+                self._targets.setdefault(partner, {})[u] = None
+            self.pq.push(u, rating, partner)
+        self.ratings_updated += 1
+
+    def _update_region(self, m: Memento) -> None:
+        """Eagerly rerate the exact affected set of contraction ``m``.
+
+        Sufficiency: a rating term changes only through a net whose size
+        or membership changed — those are precisely the memento's nets,
+        and net sizes never grow, so an oversized net stays rating-inert
+        unless it shrank into range (again a memento net).  Feasibility
+        only worsens (weights only grow, and only ``u``'s grew), so a
+        node's cached best can be invalidated only when that best *is*
+        ``u`` (now heavier) or ``v`` (now dead) — the reverse-index
+        sets.  Everything else keeps a valid, unchanged entry.
+        """
+        dyn = self.dyn
+        pins = dyn.pins
+        max_q = self.max_net_size
+        affected: Dict[int, None] = {m.u: None}
+        for net_list in (m.shrunk, m.replaced):
+            for net in net_list:
+                net_pins = pins[net]
+                q = len(net_pins)
+                if 2 <= q <= max_q:
+                    affected.update(dict.fromkeys(net_pins))
+        node_weight = dyn.node_weight
+        cap = self.max_cluster_weight
+        stale = self._targets.get(m.u)
+        if stale:
+            # Nodes whose cached best is u keep a valid entry unless the
+            # pair outgrew the cap (their rating toward u via unmodified
+            # nets is unchanged; modified-net pins are covered above).
+            wu = node_weight[m.u]
+            for w in stale:
+                if wu + node_weight[w] > cap:
+                    affected[w] = None
+        stale = self._targets.get(m.v)
+        if stale:
+            affected.update(dict.fromkeys(stale))
+        alive = dyn.alive
+        for w in affected:
+            if alive[w]:
+                self._update_node(w)
+        self._targets.pop(m.v, None)
+
+    # ------------------------------------------------------------------
+    # Contraction loop
+    # ------------------------------------------------------------------
+    def _contract(self, u: int, v: int) -> None:
+        m = self.dyn.contract(u, v)
+        self.mementos.append(m)
+        self.contractions += 1
+        old = self.pq.payload(v) if v in self.pq else None
+        if old is not None:
+            self._targets[old].pop(v, None)
+        self.pq.discard(v)
+        if self.journal is not None:
+            self.journal.append(u, v)
+        self._update_region(m)
+
+    def _rebuild_queue(self) -> None:
+        """Rate every alive node from scratch (startup and resume)."""
+        self.pq = AddressablePriorityQueue()
+        self._targets = {}
+        dyn = self.dyn
+        for u in range(len(dyn.alive)):
+            if dyn.alive[u]:
+                self._update_node(u)
+
+    def _fallback_partner(self, u: int) -> Optional[int]:
+        """Rescue partner for a node the rating cannot match: the first
+        weight-feasible pin among the first ``sample_pins`` of its
+        smallest net (pad-heavy nodes whose every net is oversized), or
+        the nearest alive node by id when ``u`` is isolated."""
+        dyn = self.dyn
+        wu = dyn.node_weight[u]
+        best_net = -1
+        best_q = -1
+        for net in dyn.nets_of[u]:
+            q = len(dyn.pins[net])
+            if q < 2:
+                continue
+            if best_q < 0 or q < best_q or (q == best_q and net < best_net):
+                best_q = q
+                best_net = net
+        if best_net >= 0:
+            sampled = 0
+            for v in dyn.pins[best_net]:
+                if v == u:
+                    continue
+                sampled += 1
+                if sampled > self.sample_pins:
+                    break
+                if wu + dyn.node_weight[v] <= self.max_cluster_weight:
+                    return v
+            return None
+        n = len(dyn.alive)
+        for step in range(1, n):
+            v = (u + step) % n
+            if dyn.alive[v] and wu + dyn.node_weight[v] <= self.max_cluster_weight:
+                return v
+        return None
+
+    def _rescue_round(self) -> bool:
+        """One fallback contraction when the queue is dry.
+
+        Scans alive nodes from id 0 — a pure function of the current
+        graph (no cursor state), so a resumed run rescues the same pair
+        an uninterrupted one would."""
+        dyn = self.dyn
+        for u in range(len(dyn.alive)):
+            if not dyn.alive[u]:
+                continue
+            v = self._fallback_partner(u)
+            if v is None:
+                continue
+            self._contract(u, v)
+            self.rescued_nodes += 1
+            return True
+        return False
+
+    def coarsen(self) -> List[Memento]:
+        """Contract down to ``target_nodes`` (or until nothing can
+        contract).  Returns the accumulated memento stack."""
+        dyn = self.dyn
+        if dyn.alive_count <= self.target_nodes:
+            # Already coarse enough (e.g. resumed from a complete
+            # journal): zero rating work.
+            return self.mementos
+        self._rebuild_queue()
+        while dyn.alive_count > self.target_nodes:
+            entry = self.pq.pop()
+            if entry is None:
+                if not self._rescue_round():
+                    break
+                continue
+            u, _rating, v = entry
+            if (
+                not dyn.alive[v]
+                or dyn.node_weight[u] + dyn.node_weight[v]
+                > self.max_cluster_weight
+            ):
+                # Unreachable under eager updates; rerate from pure
+                # state so even a missed case cannot break determinism.
+                self._update_node(u)
+                continue
+            self._contract(u, v)
+        if self.journal is not None:
+            self.journal.flush()
+        return self.mementos
+
+
+def nlevel_coarsen(
+    graph: Hypergraph,
+    target_nodes: int,
+    rating: str = "heavy-edge",
+    max_net_size: int = DEFAULT_MAX_NET_SIZE,
+    max_cluster_weight: Optional[float] = None,
+    sample_pins: int = DEFAULT_SAMPLE_PINS,
+    journal_path=None,
+    journal_batch: int = DEFAULT_JOURNAL_BATCH,
+) -> Tuple[DynamicHypergraph, List[Memento], Dict[str, float]]:
+    """Coarsen ``graph`` to about ``target_nodes`` alive nodes.
+
+    When ``journal_path`` is given, a matching journal's pairs are
+    replayed mechanically (no rating work) before the priority queue
+    takes over, and every new contraction is appended to it.
+
+    Returns ``(dyn, mementos, stats)``; ``mementos`` is the full
+    hierarchy (replayed + fresh) in contraction order.
+    """
+    if max_cluster_weight is None:
+        # The V-cycle recomputes its 4x-average cap per level, so by the
+        # coarsest level the cap is ~4x(total/target).  n-level has no
+        # levels; use that final cap directly, else the fixed-cap floor
+        # of n/4 alive nodes makes the target unreachable.
+        max_cluster_weight = (
+            4.0 * graph.total_node_weight / max(target_nodes, 1)
+        )
+    start = time.perf_counter()
+    dyn = DynamicHypergraph(graph)
+    mementos: List[Memento] = []
+    journal: Optional[CoarseningJournal] = None
+    replayed = 0
+    if journal_path is not None:
+        fingerprint = coarsening_fingerprint(
+            graph, target_nodes, rating, max_net_size,
+            max_cluster_weight, sample_pins,
+        )
+        journal = CoarseningJournal(
+            journal_path, fingerprint, batch_pairs=journal_batch
+        )
+        n = dyn.num_nodes
+        for u, v in journal.replay_pairs():
+            if dyn.alive_count <= target_nodes:
+                break
+            if (
+                u == v
+                or not 0 <= u < n
+                or not 0 <= v < n
+                or not dyn.alive[u]
+                or not dyn.alive[v]
+            ):
+                break  # journal diverged from this graph; stop trusting it
+            mementos.append(dyn.contract(u, v))
+            replayed += 1
+        journal.ensure_header()
+    coarsener = NLevelCoarsener(
+        dyn,
+        target_nodes=target_nodes,
+        rating=rating,
+        max_net_size=max_net_size,
+        max_cluster_weight=max_cluster_weight,
+        sample_pins=sample_pins,
+        journal=journal,
+        mementos=mementos,
+    )
+    coarsener.coarsen()
+    if journal is not None:
+        journal.close()
+    stats: Dict[str, float] = {
+        "coarsen_seconds": time.perf_counter() - start,
+        "contractions": float(coarsener.contractions),
+        "ratings_updated": float(coarsener.ratings_updated),
+        "rescued_nodes": float(coarsener.rescued_nodes),
+        "journal_replayed": float(replayed),
+    }
+    return dyn, mementos, stats

@@ -1,0 +1,544 @@
+"""Localized uncoarsening and the n-level partitioner.
+
+The V-cycle projects the partition one whole level up and re-runs the
+refiner over the *entire* level graph — at a million nodes that is
+twenty full-graph refinement passes.  The n-level engine instead
+uncontracts the memento stack in exponentially growing batches and
+refines only the *region* around each batch: the uncontracted pairs plus
+the pins of their small nets.  One full-graph refinement (the configured
+PROP/FM engine, with its CSR + numpy gain machinery built exactly once)
+finishes the job at the finest level.
+
+Cut and balance bookkeeping stay exact throughout: uncontracting a pair
+``(u, v)`` gives ``v`` the side of ``u``, which changes neither any
+net's cut state nor either side's weight (proof in docs/multilevel.md),
+so the incremental per-net side counts carried across batches never
+drift from the true partition state.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import PropPartitioner
+from ..datastructures import AddressablePriorityQueue
+from ..hypergraph import Hypergraph
+from ..partition import (
+    BalanceConstraint,
+    BipartitionResult,
+    cut_cost,
+    random_balanced_sides,
+)
+from ..telemetry.recorder import Recorder, resolve_recorder
+from .coarsen import DEFAULT_MAX_NET_SIZE
+from .nlevel import (
+    DEFAULT_SAMPLE_PINS,
+    DynamicHypergraph,
+    Memento,
+    nlevel_coarsen,
+)
+
+
+def _slackened(balance: BalanceConstraint, max_w: float) -> BalanceConstraint:
+    """Bounds slackened by one max-weight super-node (V-cycle convention:
+    coarse-level moves must stay feasible despite contracted weights)."""
+    return BalanceConstraint(
+        lo=max(0.0, balance.lo - max_w),
+        hi=min(balance.total, balance.hi + max_w),
+        total=balance.total,
+    )
+
+
+class UncoarsenState:
+    """Exact incremental partition state over a :class:`DynamicHypergraph`.
+
+    Tracks sides (in original node ids), per-net side counts, side
+    weights and the cut while mementos are undone and region-local FM
+    moves are applied.  Per-net counts are maintained for every
+    *attached* net; pruned (detached single-pin) nets go stale while
+    detached and have their counts rebuilt directly at uncontraction,
+    when their full pin set — two nodes on one side — is known exactly.
+    """
+
+    def __init__(
+        self,
+        dyn: DynamicHypergraph,
+        sides: List[int],
+        balance: BalanceConstraint,
+        max_net_size: int = DEFAULT_MAX_NET_SIZE,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.dyn = dyn
+        self.sides = sides
+        self.balance = balance
+        self.max_net_size = max_net_size
+        self.recorder = recorder
+        self.c0: List[int] = [0] * dyn.num_nets
+        self.c1: List[int] = [0] * dyn.num_nets
+        self.cut = 0.0
+        self.side_weights: List[float] = [0.0, 0.0]
+        for net in range(dyn.num_nets):
+            for x in dyn.pins[net]:
+                if sides[x] == 0:
+                    self.c0[net] += 1
+                else:
+                    self.c1[net] += 1
+            if (
+                len(dyn.pins[net]) >= 2
+                and self.c0[net] > 0
+                and self.c1[net] > 0
+            ):
+                self.cut += dyn.net_cost[net]
+        for u in range(dyn.num_nodes):
+            if dyn.alive[u]:
+                self.side_weights[sides[u]] += dyn.node_weight[u]
+        self.uncontract_batches = 0
+        self.region_moves = 0
+        self.rebalance_moves = 0
+        self.local_refine_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Exact incremental moves (Eqn. 1 gains from the side counts)
+    # ------------------------------------------------------------------
+    def _gain(self, x: int) -> float:
+        dyn = self.dyn
+        s = self.sides[x]
+        g = 0.0
+        for net in dyn.nets_of[x]:
+            if len(dyn.pins[net]) < 2:
+                continue
+            same = self.c0[net] if s == 0 else self.c1[net]
+            other = self.c1[net] if s == 0 else self.c0[net]
+            cost = dyn.net_cost[net]
+            if same == 1:
+                g += cost
+            if other == 0:
+                g -= cost
+        return g
+
+    def _apply_move(self, x: int) -> float:
+        """Flip ``x`` to the other side; returns the exact cut gain."""
+        delta = self._gain(x)
+        s = self.sides[x]
+        if s == 0:
+            for net in self.dyn.nets_of[x]:
+                self.c0[net] -= 1
+                self.c1[net] += 1
+        else:
+            for net in self.dyn.nets_of[x]:
+                self.c1[net] -= 1
+                self.c0[net] += 1
+        w = self.dyn.node_weight[x]
+        self.side_weights[s] -= w
+        self.side_weights[1 - s] += w
+        self.sides[x] = 1 - s
+        self.cut -= delta
+        return delta
+
+    # ------------------------------------------------------------------
+    # Uncontraction
+    # ------------------------------------------------------------------
+    def _undo(self, m: Memento) -> None:
+        """Undo one contraction and fold ``v`` into the partition state.
+
+        ``v`` takes the side of ``u``: shrunk nets gain one pin on an
+        already-populated side, replaced nets swap ``u`` for the
+        same-side ``v``, and revived pruned nets hold exactly
+        ``{u, v}`` on one side — none of which changes the cut or the
+        side weights.
+        """
+        self.dyn.uncontract(m)
+        s = self.sides[m.u]
+        self.sides[m.v] = s
+        if s == 0:
+            for net in m.shrunk:
+                self.c0[net] += 1
+            for net, _last in m.pruned:
+                self.c0[net], self.c1[net] = 2, 0
+        else:
+            for net in m.shrunk:
+                self.c1[net] += 1
+            for net, _last in m.pruned:
+                self.c0[net], self.c1[net] = 0, 2
+        # replaced nets: v inherits u's side, so their counts are already
+        # correct; pin identity is all that changed.
+
+    def _region(self, batch: Sequence[Memento]) -> Dict[int, None]:
+        """Refinement region: the batch's endpoints plus all pins of
+        their small nets (insertion-ordered, hence deterministic)."""
+        dyn = self.dyn
+        region: Dict[int, None] = {}
+        for m in batch:
+            region[m.u] = None
+            region[m.v] = None
+        for x in list(region):
+            for net in dyn.nets_of[x]:
+                net_pins = dyn.pins[net]
+                if 2 <= len(net_pins) <= self.max_net_size:
+                    region.update(dict.fromkeys(net_pins))
+        return region
+
+    def _refine_region(self, region: Dict[int, None]) -> int:
+        """One best-gain FM pass restricted to ``region``, with
+        best-prefix rollback.  Balance bounds are slackened by the
+        heaviest region node so coarse super-nodes stay movable."""
+        if len(region) < 2:
+            return 0
+        dyn = self.dyn
+        max_w = max(dyn.node_weight[x] for x in region)
+        bounds = _slackened(self.balance, max_w)
+        pq = AddressablePriorityQueue()
+        for x in region:
+            pq.push(x, self._gain(x))
+        moves: List[int] = []
+        cum = 0.0
+        best = 0.0
+        best_k = 0
+        while True:
+            entry = pq.pop()
+            if entry is None:
+                break
+            x, _gain, _ = entry
+            if not bounds.move_allowed(
+                self.side_weights, self.sides[x], dyn.node_weight[x]
+            ):
+                continue  # locked out this pass (balance reject)
+            cum += self._apply_move(x)
+            moves.append(x)
+            if cum > best + 1e-12:
+                best = cum
+                best_k = len(moves)
+            # Rerate the moved node's small-net neighbors still in play.
+            for net in dyn.nets_of[x]:
+                net_pins = dyn.pins[net]
+                if not 2 <= len(net_pins) <= self.max_net_size:
+                    continue
+                for y in net_pins:
+                    if y in pq:
+                        pq.push(y, self._gain(y))
+        for x in reversed(moves[best_k:]):
+            self._apply_move(x)
+        kept = best_k
+        self.region_moves += kept
+        return kept
+
+    def rebalance(self, bounds: Optional[BalanceConstraint] = None) -> int:
+        """Greedy repair when the partition violates ``bounds`` (the true
+        balance bounds by default) — possible because the coarsest
+        partition is only feasible under bounds slackened by the heaviest
+        super-node, and no refiner recovers from an infeasible start.
+        Flips best-gain nodes off the overweight side until both sides
+        are inside the bounds; each node flips at most once, so
+        termination is guaranteed.  Called with progressively tighter
+        bounds at every stage-refine boundary, so the correction is
+        Runs once at the finest level, before the final refine, so the
+        repair happens at single-node granularity (forcing it earlier,
+        at super-node granularity, measurably hurts the final cut) and
+        the final refiner starts from a feasible partition.
+        Returns the number of moves made."""
+        bal = self.balance if bounds is None else bounds
+        if bal.is_satisfied(self.side_weights):
+            return 0
+        dyn = self.dyn
+        heavy = 0 if self.side_weights[0] > bal.hi else 1
+        pq = AddressablePriorityQueue()
+        for u in range(dyn.num_nodes):
+            if dyn.alive[u] and self.sides[u] == heavy:
+                pq.push(u, self._gain(u))
+        moved = 0
+        while self.side_weights[heavy] > bal.hi + 1e-9:
+            entry = pq.pop()
+            if entry is None:
+                break  # degenerate weights: no repairing move exists
+            x, _gain, _ = entry
+            if self.side_weights[heavy] - dyn.node_weight[x] < bal.lo - 1e-9:
+                continue  # would overshoot the heavy side below lo
+            self._apply_move(x)
+            moved += 1
+            for net in dyn.nets_of[x]:
+                net_pins = dyn.pins[net]
+                if not 2 <= len(net_pins) <= self.max_net_size:
+                    continue
+                for y in net_pins:
+                    if y in pq:
+                        pq.push(y, self._gain(y))
+        self.rebalance_moves += moved
+        return moved
+
+    def uncoarsen(self, mementos: List[Memento], refine: bool = True) -> None:
+        """Undo the whole memento stack in exponentially growing batches
+        (1, 2, 4, ...), locally refining around each batch."""
+        i = len(mementos)
+        size = 1
+        while i > 0:
+            b = min(size, i)
+            batch = mementos[i - b:i]
+            i -= b
+            for m in reversed(batch):
+                self._undo(m)
+            if refine:
+                t0 = time.perf_counter()
+                self._refine_region(self._region(batch))
+                dt = time.perf_counter() - t0
+                self.local_refine_seconds += dt
+                if self.recorder is not None:
+                    self.recorder.span(
+                        self.uncontract_batches, "local_refine", dt
+                    )
+            self.uncontract_batches += 1
+            size *= 2
+
+
+class NLevelPartitioner:
+    """n-level bisection: PQ coarsening + localized uncoarsening.
+
+    Drop-in peer of :class:`~repro.multilevel.vcycle.MultilevelPartitioner`
+    (same constructor shape, same harness protocol) built on
+    :func:`~repro.multilevel.nlevel.nlevel_coarsen`.  ``coarsen_journal``
+    (a path) enables resumable coarsening through a sealed JSONL journal;
+    ``final_refine=False`` skips the finest-level full-graph refinement
+    (bench instrumentation only).
+    """
+
+    name = "NLEVEL"
+    supports_telemetry = True
+
+    def __init__(
+        self,
+        refiner=None,
+        coarsest_nodes: int = 80,
+        coarsest_runs: int = 8,
+        rating: str = "heavy-edge",
+        max_net_size: int = DEFAULT_MAX_NET_SIZE,
+        sample_pins: int = DEFAULT_SAMPLE_PINS,
+        coarsen_journal=None,
+        journal_batch: Optional[int] = None,
+        final_refine: bool = True,
+        refine_growth: Optional[float] = 8.0,
+    ) -> None:
+        if coarsest_nodes < 2:
+            raise ValueError("coarsest_nodes must be >= 2")
+        if coarsest_runs < 1:
+            raise ValueError("coarsest_runs must be >= 1")
+        if rating not in ("heavy-edge", "uniform"):
+            raise ValueError(f"unknown rating {rating!r}")
+        if refine_growth is not None and refine_growth <= 1.0:
+            raise ValueError("refine_growth must be > 1.0 (or None)")
+        self.refiner = refiner if refiner is not None else PropPartitioner()
+        self.coarsest_nodes = coarsest_nodes
+        self.coarsest_runs = coarsest_runs
+        self.rating = rating
+        self.max_net_size = max_net_size
+        self.sample_pins = sample_pins
+        self.coarsen_journal = (
+            None if coarsen_journal is None else str(coarsen_journal)
+        )
+        self.journal_batch = journal_batch
+        self.final_refine = final_refine
+        #: Interleaved full refinement: every time the alive node count
+        #: grows past ``refine_growth``x its size at the previous full
+        #: refinement, pause uncoarsening and run the refiner on a
+        #: snapshot of the whole intermediate graph.  This recovers the
+        #: V-cycle's refine-at-every-level quality at a geometric (not
+        #: per-level) cost; None disables it (purely local refinement).
+        self.refine_growth = (
+            None if refine_growth is None else float(refine_growth)
+        )
+
+    def _stage_boundaries(
+        self, total: int, coarse_nodes: int
+    ) -> List[int]:
+        """Memento indices at which to pause for a full stage refine.
+
+        Walking the stack from the coarsest end, a boundary is placed
+        whenever the alive count reaches ``refine_growth``x its value at
+        the previous boundary.  Index 0 (the fully uncontracted graph)
+        is excluded — the final full refinement covers it.
+        """
+        if self.refine_growth is None:
+            return []
+        bounds: List[int] = []
+        alive = max(coarse_nodes, 1)
+        nxt = alive * self.refine_growth
+        for i in range(total - 1, -1, -1):
+            alive += 1
+            if alive >= nxt and i > 0:
+                bounds.append(i)
+                nxt = alive * self.refine_growth
+        return bounds
+
+    def _stage_refine(
+        self,
+        state: UncoarsenState,
+        balance: BalanceConstraint,
+        seed: int,
+    ) -> None:
+        """Refine the whole intermediate graph and fold the improved
+        sides back into the exact incremental partition state."""
+        coarse, reps = state.dyn.snapshot()
+        if coarse.num_nodes < 2:
+            return
+        init = [state.sides[u] for u in reps]
+        max_w = max(coarse.node_weights)
+        res = self.refiner.partition(
+            coarse,
+            balance=_slackened(balance, max_w),
+            initial_sides=init,
+            seed=seed,
+        )
+        if res.cut > state.cut + 1e-9:
+            return  # refiner never worsens; guard stays for safety
+        for i, u in enumerate(reps):
+            if res.sides[i] != state.sides[u]:
+                state._apply_move(u)
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        balance: Optional[BalanceConstraint] = None,
+        initial_sides: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> BipartitionResult:
+        """n-level bisection of ``graph``.
+
+        ``initial_sides`` (when given) skips the hierarchy and runs the
+        refiner directly — interface compatibility with the harness.
+        """
+        if balance is None:
+            balance = BalanceConstraint.fifty_fifty(graph)
+        base_seed = 0 if seed is None else seed
+        start = time.perf_counter()
+
+        if initial_sides is not None:
+            result = self.refiner.partition(
+                graph, balance=balance, initial_sides=initial_sides, seed=seed
+            )
+            result.algorithm = self.name
+            return result
+        if graph.num_nodes == 0:
+            return BipartitionResult(sides=[], cut=0.0, algorithm=self.name,
+                                     seed=seed)
+
+        rec = resolve_recorder(recorder)
+        if rec is not None:
+            rec.run_start(self.name, seed, graph.num_nodes, graph.num_nets)
+
+        journal_kwargs = {}
+        if self.journal_batch is not None:
+            journal_kwargs["journal_batch"] = self.journal_batch
+        dyn, mementos, cstats = nlevel_coarsen(
+            graph,
+            target_nodes=self.coarsest_nodes,
+            rating=self.rating,
+            max_net_size=self.max_net_size,
+            sample_pins=self.sample_pins,
+            journal_path=self.coarsen_journal,
+            **journal_kwargs,
+        )
+        if rec is not None:
+            rec.span(-1, "coarsen", cstats["coarsen_seconds"])
+
+        # Partition the coarsest graph from several random starts.
+        coarse, reps = dyn.snapshot()
+        max_w = max(coarse.node_weights) if coarse.num_nodes else 1.0
+        coarse_balance = _slackened(balance, max_w)
+        best_sides = None
+        best_cut = float("inf")
+        for i in range(self.coarsest_runs):
+            init = random_balanced_sides(coarse, base_seed + 17 * i)
+            res = self.refiner.partition(
+                coarse, balance=coarse_balance, initial_sides=init,
+                seed=base_seed + 17 * i,
+            )
+            if res.cut < best_cut:
+                best_cut = res.cut
+                best_sides = res.sides
+        assert best_sides is not None
+
+        sides = [0] * graph.num_nodes
+        for i, u in enumerate(reps):
+            sides[u] = best_sides[i]
+
+        t_un = time.perf_counter()
+        state = UncoarsenState(
+            dyn, sides, balance, max_net_size=self.max_net_size, recorder=rec
+        )
+        stage_refines = 0
+        stage_refine_seconds = 0.0
+        hi = len(mementos)
+        for lo in self._stage_boundaries(hi, coarse.num_nodes):
+            state.uncoarsen(mementos[lo:hi])
+            hi = lo
+            t_st = time.perf_counter()
+            self._stage_refine(
+                state, balance, base_seed + 7919 * (stage_refines + 1)
+            )
+            dt = time.perf_counter() - t_st
+            stage_refine_seconds += dt
+            stage_refines += 1
+            if rec is not None:
+                rec.span(-1, "stage_refine", dt)
+        state.uncoarsen(mementos[:hi])
+        state.rebalance()
+        uncoarsen_seconds = time.perf_counter() - t_un
+
+        passes = state.uncontract_batches
+        pass_cuts: List[float] = []
+        final_stats: Dict[str, float] = {}
+        if self.final_refine and mementos:
+            res = self.refiner.partition(
+                graph, balance=balance, initial_sides=state.sides,
+                seed=base_seed + 1,
+            )
+            sides = list(res.sides)
+            passes += res.passes
+            pass_cuts = list(res.pass_cuts)
+            final_stats = {
+                f"final_{k}": v
+                for k, v in res.stats.items()
+                if isinstance(v, (int, float))
+            }
+        else:
+            sides = state.sides
+
+        stats: Dict[str, float] = {
+            "coarsest_nodes": float(coarse.num_nodes),
+            "coarsen_seconds": cstats["coarsen_seconds"],
+            "contractions": cstats["contractions"],
+            "ratings_updated": cstats["ratings_updated"],
+            "rescued_nodes": cstats["rescued_nodes"],
+            "journal_replayed": cstats["journal_replayed"],
+            "uncoarsen_seconds": uncoarsen_seconds,
+            "local_refine_seconds": state.local_refine_seconds,
+            "stage_refines": float(stage_refines),
+            "stage_refine_seconds": stage_refine_seconds,
+            "uncontract_batches": float(state.uncontract_batches),
+            "region_moves": float(state.region_moves),
+            "rebalance_moves": float(state.rebalance_moves),
+        }
+        stats.update(final_stats)
+        result = BipartitionResult(
+            sides=sides,
+            cut=cut_cost(graph, sides),
+            algorithm=self.name,
+            seed=seed,
+            passes=passes,
+            runtime_seconds=time.perf_counter() - start,
+            stats=stats,
+            pass_cuts=pass_cuts,
+        )
+        result.verify(graph)
+        if rec is not None:
+            rec.counters(-1, {
+                "contractions": int(cstats["contractions"]),
+                "ratings_updated": int(cstats["ratings_updated"]),
+                "rescued_nodes": int(cstats["rescued_nodes"]),
+                "uncontract_batches": state.uncontract_batches,
+            })
+            rec.run_end(
+                self.name, result.cut, result.passes,
+                result.runtime_seconds, result.stats,
+            )
+        return result

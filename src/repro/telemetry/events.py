@@ -40,6 +40,12 @@ PHASE_STAT_KEYS = (
     "move_loop_seconds",
     "rollback_seconds",
     "audit_seconds",
+    # n-level engine phases (repro.multilevel.uncoarsen): PQ coarsening,
+    # batched region-local refinement, interleaved full stage refines.
+    "coarsen_seconds",
+    "uncoarsen_seconds",
+    "local_refine_seconds",
+    "stage_refine_seconds",
 )
 
 #: Guard-layer counters surfaced by the service's ``/v1/stats`` payload
@@ -149,6 +155,10 @@ class PassCounters:
         "subround_batch_nodes",
         "subround_conflicts",
         "subround_balance_rejects",
+        "contractions",
+        "ratings_updated",
+        "rescued_nodes",
+        "uncontract_batches",
     )
 
     def __init__(self) -> None:
@@ -172,6 +182,13 @@ class PassCounters:
         self.subround_batch_nodes = 0
         self.subround_conflicts = 0
         self.subround_balance_rejects = 0
+        # n-level coarsening/uncoarsening (repro.multilevel.nlevel /
+        # .uncoarsen): contracted pairs, PQ reratings, stranded nodes
+        # rescued by sampled-pin ratings, and uncontraction batches.
+        self.contractions = 0
+        self.ratings_updated = 0
+        self.rescued_nodes = 0
+        self.uncontract_batches = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Non-zero counters as a plain dict (compact trace lines)."""

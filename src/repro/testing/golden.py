@@ -22,11 +22,18 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from ..hypergraph import Hypergraph, hierarchical_circuit, make_benchmark
+from ..hypergraph import (
+    Hypergraph,
+    hierarchical_circuit,
+    large_circuit,
+    make_benchmark,
+)
 from .instances import circuit_fingerprint, random_instance
 
 #: Corpus circuits: name -> buildable spec (kind + kwargs).  Small enough
-#: that the whole corpus replays in a few seconds inside tier-1.
+#: that the whole corpus replays in a few seconds inside tier-1; generic
+#: sweeps (differential suites, portfolio training, ...) iterate this
+#: dict and rely on that.
 CIRCUITS: Dict[str, Dict[str, Any]] = {
     "hier150": {
         "kind": "hierarchical",
@@ -36,9 +43,23 @@ CIRCUITS: Dict[str, Dict[str, Any]] = {
     "rand101": {"kind": "random_instance", "seed": 101, "max_nodes": 12},
 }
 
+#: Large corpus circuits, kept OUT of :data:`CIRCUITS` so generic sweeps
+#: never pick them up.  Marked ``"gated": True``: their corpus rows
+#: replay only under ``REPRO_NLEVEL_CORPUS=1`` (the CI nlevel lane), and
+#: ``"algorithms"`` restricts which partitioners get a row.
+GATED_CIRCUITS: Dict[str, Dict[str, Any]] = {
+    "nlvl100k": {
+        "kind": "large", "num_nodes": 100_000, "seed": 7,
+        "algorithms": ["nlevel"], "gated": True,
+    },
+}
+
+#: Everything the corpus file itself covers (small + gated).
+ALL_CIRCUITS: Dict[str, Dict[str, Any]] = {**CIRCUITS, **GATED_CIRCUITS}
+
 #: Every partitioner the CLI can name, one corpus row per circuit.
 ALGORITHMS: List[str] = [
-    "prop", "prop-cl", "ml-prop",
+    "prop", "prop-cl", "ml-prop", "nlevel",
     "fm", "fm-tree", "la-2", "la-3",
     "kl", "sa", "window",
     "eig1", "melo", "paraboli", "random",
@@ -60,6 +81,8 @@ def build_circuit(spec: Dict[str, Any]) -> Hypergraph:
         return make_benchmark(spec["name"], scale=spec["scale"])
     if kind == "random_instance":
         return random_instance(spec["seed"], max_nodes=spec["max_nodes"])
+    if kind == "large":
+        return large_circuit(spec["num_nodes"], seed=spec["seed"])
     raise ValueError(f"unknown circuit kind {kind!r}")
 
 
@@ -69,13 +92,13 @@ def generate_corpus() -> Dict[str, Any]:
 
     circuits = {}
     entries = []
-    for circuit_name, spec in CIRCUITS.items():
+    for circuit_name, spec in ALL_CIRCUITS.items():
         graph = build_circuit(spec)
         circuits[circuit_name] = dict(
             spec, fingerprint=circuit_fingerprint(graph),
             num_nodes=graph.num_nodes, num_nets=graph.num_nets,
         )
-        for algo in ALGORITHMS:
+        for algo in spec.get("algorithms", ALGORITHMS):
             partitioner = _make_partitioner(algo)
             try:
                 result = partitioner.partition(graph, seed=CORPUS_SEED)

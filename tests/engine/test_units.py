@@ -72,6 +72,44 @@ class TestPartitionerFingerprint:
             partitioner_fingerprint(FMPartitioner("bucket"))
         )
 
+    def test_nested_partitioner_is_value_based(self):
+        """A multilevel engine's ``refiner`` attribute is itself a
+        partitioner object; its fingerprint must hash the configuration,
+        not the default repr (which embeds the memory address and would
+        defeat cross-process cache hits for every multilevel unit).
+        """
+        from repro.multilevel import MultilevelPartitioner, NLevelPartitioner
+
+        for klass in (MultilevelPartitioner, NLevelPartitioner):
+            assert partitioner_fingerprint(klass()) == (
+                partitioner_fingerprint(klass())
+            )
+
+    def test_nested_refiner_config_participates(self):
+        from repro.multilevel import MultilevelPartitioner
+
+        default = MultilevelPartitioner()
+        tuned = MultilevelPartitioner(
+            refiner=PropPartitioner(PropConfig(pinit=0.8))
+        )
+        assert partitioner_fingerprint(default) != (
+            partitioner_fingerprint(tuned)
+        )
+
+    def test_nlevel_knobs_participate(self):
+        from repro.multilevel import NLevelPartitioner
+
+        prints = {
+            partitioner_fingerprint(p)
+            for p in (
+                NLevelPartitioner(),
+                NLevelPartitioner(coarsest_nodes=120),
+                NLevelPartitioner(coarsest_runs=4),
+                NLevelPartitioner(rating="uniform"),
+            )
+        }
+        assert len(prints) == 4
+
 
 class TestUnitKey:
     def test_all_inputs_participate(self, tiny_graph):

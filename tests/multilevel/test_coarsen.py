@@ -77,6 +77,36 @@ class TestHeavyEdgeMatching:
     def test_empty_graph(self):
         assert heavy_edge_matching(Hypergraph([], num_nodes=0)) == []
 
+    def test_oversized_nets_do_not_strand(self):
+        """Regression: nodes whose every net exceeds ``max_net_size``
+        have empty affinity maps, so before the sampled-pin fallback the
+        matcher left them all as singletons and coarsening stalled at
+        min_reduction on pad-heavy circuits.  They must pair up."""
+        pins = list(range(12))
+        hg = Hypergraph([pins, pins[::-1]])
+        cluster_of = heavy_edge_matching(hg, seed=3, max_net_size=5)
+        k = max(cluster_of) + 1
+        assert k < hg.num_nodes, "all stranded nodes left singleton"
+        sizes = {}
+        for c in cluster_of:
+            sizes[c] = sizes.get(c, 0) + 1
+        assert max(sizes.values()) == 2
+
+    def test_stranded_fallback_respects_weight_cap(self):
+        pins = list(range(6))
+        hg = Hypergraph([pins], node_weights=[10.0] * 6)
+        cluster_of = heavy_edge_matching(
+            hg, seed=1, max_net_size=3, max_cluster_weight=15.0
+        )
+        assert len(set(cluster_of)) == 6  # cap forbids every pairing
+
+    def test_stranded_fallback_stable_with_seed(self):
+        pins = list(range(20))
+        hg = Hypergraph([pins, pins[::2] + pins[1::2]])
+        a = heavy_edge_matching(hg, seed=7, max_net_size=4)
+        b = heavy_edge_matching(hg, seed=7, max_net_size=4)
+        assert a == b
+
 
 class TestCoarsenHierarchy:
     def test_single_level_shrinks(self, circuit):

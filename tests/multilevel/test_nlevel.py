@@ -1,0 +1,478 @@
+"""n-level coarsening engine: round-trips, determinism, journal resume.
+
+Three contracts from docs/multilevel.md are fenced here:
+
+1. **Exact round-trip** — undoing the memento stack restores the
+   original hypergraph exactly: pin sets, incidence sets, bit-exact
+   float node weights.
+2. **Determinism** — coarsening is a pure function of (graph, knobs):
+   identical contraction sequences across repeated runs, and a
+   journal-resumed run reproduces the uninterrupted sequence even when
+   the journal lost its tail (kill-and-resume).
+3. **Exact incremental partition state** — :class:`UncoarsenState`'s
+   cut/side-weight bookkeeping never drifts from the ground truth
+   recomputed from scratch, with or without region refinement.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph, hierarchical_circuit
+from repro.multilevel import (
+    CoarseningJournal,
+    DynamicHypergraph,
+    MultilevelPartitioner,
+    NLevelPartitioner,
+    UncoarsenState,
+    coarsening_fingerprint,
+    nlevel_coarsen,
+)
+from repro.multilevel.uncoarsen import _slackened
+from repro.partition import (
+    BalanceConstraint,
+    cut_cost,
+    random_balanced_sides,
+)
+from repro.testing import strategies as st_repro
+
+
+@pytest.fixture
+def circuit():
+    return hierarchical_circuit(300, 320, 1150, seed=4)
+
+
+def _pairs(mementos):
+    return [(m.u, m.v) for m in mementos]
+
+
+# ---------------------------------------------------------------------------
+# DynamicHypergraph round-trip
+# ---------------------------------------------------------------------------
+class TestRoundTrip:
+    def _assert_restored(self, graph, dyn):
+        assert dyn.alive == [True] * graph.num_nodes
+        assert dyn.alive_count == graph.num_nodes
+        for w, orig in zip(dyn.node_weight, graph.node_weights):
+            assert w == orig  # bit-exact, not approx
+        for net in range(graph.num_nets):
+            assert set(dyn.pins[net]) == set(graph.net(net))
+        for u in range(graph.num_nodes):
+            assert set(dyn.nets_of[u]) == set(graph.node_nets(u))
+
+    def test_single_contract_uncontract(self):
+        graph = Hypergraph([[0, 1], [1, 2], [0, 2, 3]])
+        dyn = DynamicHypergraph(graph)
+        m = dyn.contract(0, 1)
+        assert not dyn.alive[1]
+        dyn.uncontract(m)
+        self._assert_restored(graph, dyn)
+
+    def test_full_stack_lifo_undo(self, circuit):
+        dyn, mementos, _ = nlevel_coarsen(circuit, target_nodes=16)
+        assert dyn.alive_count <= max(16, circuit.num_nodes)
+        for m in reversed(mementos):
+            dyn.uncontract(m)
+        self._assert_restored(circuit, dyn)
+
+    def test_pruned_single_pin_nets_revive(self):
+        # Contracting {0,1} prunes the 2-pin net to one pin; the net is
+        # detached from node 2's incidence and must reattach on undo.
+        graph = Hypergraph([[0, 2], [1, 2], [0, 1, 2]])
+        dyn = DynamicHypergraph(graph)
+        m = dyn.contract(0, 1)
+        assert 1 not in dyn.pins[1]
+        dyn.uncontract(m)
+        self._assert_restored(graph, dyn)
+
+    def test_weighted_round_trip_is_bit_exact(self):
+        graph = Hypergraph(
+            [[0, 1], [1, 2], [2, 3]],
+            node_weights=[0.1, 0.2, 0.30000000000000004, 7.25],
+        )
+        dyn = DynamicHypergraph(graph)
+        ms = [dyn.contract(0, 1), dyn.contract(2, 3), dyn.contract(0, 2)]
+        for m in reversed(ms):
+            dyn.uncontract(m)
+        self._assert_restored(graph, dyn)
+
+
+# ---------------------------------------------------------------------------
+# Coarsening determinism
+# ---------------------------------------------------------------------------
+class TestCoarseningDeterminism:
+    def test_repeat_runs_identical(self, circuit):
+        a = nlevel_coarsen(circuit, target_nodes=24)
+        b = nlevel_coarsen(circuit, target_nodes=24)
+        assert _pairs(a[1]) == _pairs(b[1])
+        ga, _ = a[0].snapshot()
+        gb, _ = b[0].snapshot()
+        assert ga.nets == gb.nets
+        assert ga.node_weights == gb.node_weights
+
+    def test_reaches_target(self, circuit):
+        dyn, _, stats = nlevel_coarsen(circuit, target_nodes=24)
+        assert dyn.alive_count <= 24
+        assert stats["contractions"] == circuit.num_nodes - dyn.alive_count
+
+    def test_weight_cap_respected(self, circuit):
+        target = 24
+        cap = 4.0 * circuit.total_node_weight / target
+        dyn, _, _ = nlevel_coarsen(circuit, target_nodes=target)
+        heaviest = max(
+            w for u, w in enumerate(dyn.node_weight) if dyn.alive[u]
+        )
+        assert heaviest <= cap
+
+    def test_oversized_nets_do_not_strand(self):
+        # Every net oversized: ratings are empty, so only the rescue
+        # scan (sampled-pin fallback) can make progress.
+        pins = list(range(30))
+        graph = Hypergraph([pins, pins[::-1], list(range(15, 30))])
+        dyn, _, stats = nlevel_coarsen(
+            graph, target_nodes=4, max_net_size=5
+        )
+        assert dyn.alive_count <= 4
+        assert stats["rescued_nodes"] > 0
+
+    def test_isolated_nodes_contract(self):
+        graph = Hypergraph([[0, 1]], num_nodes=6)  # 2..5 have no nets
+        dyn, _, _ = nlevel_coarsen(graph, target_nodes=2)
+        assert dyn.alive_count == 2
+
+
+# ---------------------------------------------------------------------------
+# Journal: resume, chaos, fingerprint binding
+# ---------------------------------------------------------------------------
+class TestJournalResume:
+    TARGET = 16
+
+    def _reference(self, circuit):
+        return _pairs(nlevel_coarsen(circuit, target_nodes=self.TARGET)[1])
+
+    def test_journaled_run_matches_unjournaled(self, circuit, tmp_path):
+        path = tmp_path / "coarsen.jsonl"
+        dyn, mementos, stats = nlevel_coarsen(
+            circuit, target_nodes=self.TARGET,
+            journal_path=path, journal_batch=8,
+        )
+        assert _pairs(mementos) == self._reference(circuit)
+        assert stats["journal_replayed"] == 0
+        assert path.exists()
+
+    def test_resume_from_complete_journal_is_pure_replay(
+        self, circuit, tmp_path
+    ):
+        path = tmp_path / "coarsen.jsonl"
+        nlevel_coarsen(
+            circuit, target_nodes=self.TARGET,
+            journal_path=path, journal_batch=8,
+        )
+        dyn, mementos, stats = nlevel_coarsen(
+            circuit, target_nodes=self.TARGET,
+            journal_path=path, journal_batch=8,
+        )
+        ref = self._reference(circuit)
+        assert _pairs(mementos) == ref
+        assert stats["journal_replayed"] == len(ref)
+        assert stats["contractions"] == 0.0  # replay did all the work
+
+    def test_complete_replay_of_reached_target_skips_rating(self, tmp_path):
+        # A chain reaches its target exactly, so a complete-journal
+        # resume must do zero rating recomputation, not just zero fresh
+        # contractions.
+        graph = Hypergraph([[i, i + 1] for i in range(63)])
+        path = tmp_path / "chain.jsonl"
+        dyn, _, _ = nlevel_coarsen(graph, target_nodes=16, journal_path=path)
+        assert dyn.alive_count == 16
+        _, mementos, stats = nlevel_coarsen(
+            graph, target_nodes=16, journal_path=path
+        )
+        assert stats["journal_replayed"] == len(mementos)
+        assert stats["ratings_updated"] == 0.0
+
+    @pytest.mark.parametrize("keep_fraction", [0.25, 0.6, 0.95])
+    def test_kill_and_resume_bit_identical(
+        self, circuit, tmp_path, keep_fraction
+    ):
+        """Chaos: lose the journal tail (crash mid-write), resume, and
+        demand the exact uninterrupted contraction sequence."""
+        path = tmp_path / "coarsen.jsonl"
+        nlevel_coarsen(
+            circuit, target_nodes=self.TARGET,
+            journal_path=path, journal_batch=4,
+        )
+        data = path.read_bytes()
+        path.write_bytes(data[: int(len(data) * keep_fraction)])
+
+        dyn, mementos, stats = nlevel_coarsen(
+            circuit, target_nodes=self.TARGET,
+            journal_path=path, journal_batch=4,
+        )
+        ref = self._reference(circuit)
+        assert _pairs(mementos) == ref
+        assert 0 < stats["journal_replayed"] <= len(ref)
+        # The resumed file must now replay the full sequence again.
+        _, again, stats2 = nlevel_coarsen(
+            circuit, target_nodes=self.TARGET,
+            journal_path=path, journal_batch=4,
+        )
+        assert _pairs(again) == ref
+        assert stats2["journal_replayed"] == len(ref)
+
+    def test_corrupt_record_stops_replay_safely(self, circuit, tmp_path):
+        path = tmp_path / "coarsen.jsonl"
+        nlevel_coarsen(
+            circuit, target_nodes=self.TARGET,
+            journal_path=path, journal_batch=4,
+        )
+        lines = path.read_text().splitlines(keepends=True)
+        # Flip a digit inside a mid-file record: its checksum fails, the
+        # record is skipped, and replay validity-checks catch the gap.
+        mid = len(lines) // 2
+        lines[mid] = lines[mid].replace("pairs", "pairz", 1)
+        path.write_text("".join(lines))
+        _, mementos, _ = nlevel_coarsen(
+            circuit, target_nodes=self.TARGET, journal_path=path
+        )
+        assert _pairs(mementos) == self._reference(circuit)
+
+    def test_foreign_journal_ignored(self, circuit, tmp_path):
+        other = hierarchical_circuit(200, 210, 760, seed=5)
+        path = tmp_path / "coarsen.jsonl"
+        nlevel_coarsen(other, target_nodes=self.TARGET, journal_path=path)
+        _, mementos, stats = nlevel_coarsen(
+            circuit, target_nodes=self.TARGET, journal_path=path
+        )
+        assert stats["journal_replayed"] == 0
+        assert _pairs(mementos) == self._reference(circuit)
+
+    def test_fingerprint_binds_graph_and_knobs(self, circuit):
+        other = hierarchical_circuit(200, 210, 760, seed=5)
+        base = coarsening_fingerprint(circuit, 16, "heavy-edge", 40, 8.0, 16)
+        assert base == coarsening_fingerprint(
+            circuit, 16, "heavy-edge", 40, 8.0, 16
+        )
+        variants = {
+            coarsening_fingerprint(other, 16, "heavy-edge", 40, 8.0, 16),
+            coarsening_fingerprint(circuit, 24, "heavy-edge", 40, 8.0, 16),
+            coarsening_fingerprint(circuit, 16, "uniform", 40, 8.0, 16),
+            coarsening_fingerprint(circuit, 16, "heavy-edge", 39, 8.0, 16),
+            coarsening_fingerprint(circuit, 16, "heavy-edge", 40, 9.0, 16),
+            coarsening_fingerprint(circuit, 16, "heavy-edge", 40, 8.0, 15),
+        }
+        assert base not in variants
+        assert len(variants) == 6
+
+    def test_journal_records_are_sealed(self, circuit, tmp_path):
+        path = tmp_path / "coarsen.jsonl"
+        nlevel_coarsen(
+            circuit, target_nodes=self.TARGET,
+            journal_path=path, journal_batch=8,
+        )
+        from repro.engine.records import checksum_ok
+
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert all(checksum_ok(rec) for rec in lines)
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            CoarseningJournal("x.jsonl", "fp", batch_pairs=0)
+
+
+# ---------------------------------------------------------------------------
+# NLevelPartitioner end to end
+# ---------------------------------------------------------------------------
+class TestNLevelPartitioner:
+    def test_deterministic_per_seed(self, circuit):
+        a = NLevelPartitioner().partition(circuit, seed=3)
+        b = NLevelPartitioner().partition(circuit, seed=3)
+        assert a.cut == b.cut
+        assert a.sides == b.sides
+
+    def test_result_verifies_and_is_balanced(self, circuit):
+        balance = BalanceConstraint.fifty_fifty(circuit)
+        res = NLevelPartitioner().partition(circuit, balance=balance, seed=1)
+        assert res.cut == cut_cost(circuit, res.sides)
+        w0 = sum(
+            circuit.node_weight(u)
+            for u in range(circuit.num_nodes) if res.sides[u] == 0
+        )
+        assert balance.is_satisfied([w0, circuit.total_node_weight - w0])
+
+    def test_quality_comparable_to_vcycle(self, circuit):
+        nl = NLevelPartitioner().partition(circuit, seed=3)
+        ml = MultilevelPartitioner().partition(circuit, seed=3)
+        assert nl.cut <= ml.cut * 1.5 + 4.0
+
+    def test_initial_sides_bypass(self, circuit):
+        balance = BalanceConstraint.fifty_fifty(circuit)
+        init = random_balanced_sides(circuit, seed=0)
+        res = NLevelPartitioner().partition(
+            circuit, balance=balance, initial_sides=init, seed=0
+        )
+        assert res.algorithm == "NLEVEL"
+        assert res.cut == cut_cost(circuit, res.sides)
+
+    def test_empty_graph(self):
+        res = NLevelPartitioner().partition(Hypergraph([], num_nodes=0))
+        assert res.sides == [] and res.cut == 0.0
+
+    def test_small_graph_no_hierarchy(self):
+        graph = Hypergraph([[0, 1], [1, 2], [2, 3]])
+        res = NLevelPartitioner(coarsest_nodes=80).partition(graph, seed=0)
+        assert res.cut == cut_cost(graph, res.sides)
+
+    def test_journal_resumed_partition_bit_identical(self, circuit, tmp_path):
+        path = tmp_path / "nl.jsonl"
+        fresh = NLevelPartitioner().partition(circuit, seed=5)
+        first = NLevelPartitioner(coarsen_journal=path).partition(
+            circuit, seed=5
+        )
+        resumed = NLevelPartitioner(coarsen_journal=path).partition(
+            circuit, seed=5
+        )
+        assert first.sides == fresh.sides
+        assert resumed.sides == fresh.sides
+        assert resumed.stats["journal_replayed"] > 0
+
+    def test_rebalance_repairs_coarse_slack(self):
+        # Aggressive coarsening leaves super-nodes so heavy that the
+        # coarsest partition is only feasible under slackened bounds;
+        # the projected fine partition must still be repaired into the
+        # *true* bounds before the final refine (regression: the engine
+        # used to return the infeasible projection unchanged).
+        graph = hierarchical_circuit(195, 192, 547, seed=0)
+        balance = BalanceConstraint.from_fractions(graph, 0.495, 0.505)
+        total = graph.total_node_weight
+        for seed in (0, 1):
+            res = NLevelPartitioner(
+                coarsest_nodes=60, coarsest_runs=4
+            ).partition(graph, balance=balance, seed=seed)
+            w1 = sum(
+                graph.node_weight(u)
+                for u in range(graph.num_nodes) if res.sides[u] == 1
+            )
+            assert balance.is_satisfied([total - w1, w1])
+            assert "rebalance_moves" in res.stats
+
+    def test_telemetry_counters_surface(self, circuit):
+        res = NLevelPartitioner().partition(circuit, seed=2)
+        for key in (
+            "coarsen_seconds", "local_refine_seconds", "contractions",
+            "ratings_updated", "uncontract_batches", "region_moves",
+        ):
+            assert key in res.stats
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            NLevelPartitioner(coarsest_nodes=1)
+        with pytest.raises(ValueError):
+            NLevelPartitioner(coarsest_runs=0)
+        with pytest.raises(ValueError):
+            NLevelPartitioner(rating="nope")
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis property suite
+# ---------------------------------------------------------------------------
+@st.composite
+def _graphs(draw):
+    return draw(st_repro.hypergraphs(
+        min_nodes=2, max_nodes=14, weighted=True, costed=True
+    ))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_graphs())
+def test_property_round_trip_restores_graph(graph):
+    dyn, mementos, _ = nlevel_coarsen(graph, target_nodes=2)
+    for m in reversed(mementos):
+        dyn.uncontract(m)
+    assert dyn.alive_count == graph.num_nodes
+    for w, orig in zip(dyn.node_weight, graph.node_weights):
+        assert w == orig
+    for net in range(graph.num_nets):
+        assert set(dyn.pins[net]) == set(graph.net(net))
+    for u in range(graph.num_nodes):
+        assert set(dyn.nets_of[u]) == set(graph.node_nets(u))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_graphs())
+def test_property_alive_weight_conserved(graph):
+    dyn, _, _ = nlevel_coarsen(graph, target_nodes=2)
+    alive_total = sum(
+        dyn.node_weight[u] for u in range(dyn.num_nodes) if dyn.alive[u]
+    )
+    assert alive_total == pytest.approx(graph.total_node_weight)
+    coarse, reps = dyn.snapshot()
+    assert coarse.num_nodes == dyn.alive_count
+    assert sorted(reps) == [
+        u for u in range(dyn.num_nodes) if dyn.alive[u]
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(_graphs(), st.integers(0, 2**16))
+def test_property_uncoarsen_state_stays_exact(graph, seed):
+    """Incremental cut/side-weight bookkeeping == recompute from scratch,
+    through full uncontraction with region refinement enabled."""
+    dyn, mementos, _ = nlevel_coarsen(graph, target_nodes=2)
+    coarse, reps = dyn.snapshot()
+    balance = BalanceConstraint.fifty_fifty(graph)
+    sides = [0] * graph.num_nodes
+    if coarse.num_nodes:
+        coarse_sides = random_balanced_sides(coarse, seed)
+        for i, u in enumerate(reps):
+            sides[u] = coarse_sides[i]
+    state = UncoarsenState(dyn, sides, balance)
+    state.uncoarsen(mementos, refine=True)
+    assert state.cut == pytest.approx(cut_cost(graph, state.sides))
+    w0 = sum(
+        graph.node_weight(u)
+        for u in range(graph.num_nodes) if state.sides[u] == 0
+    )
+    assert state.side_weights[0] == pytest.approx(w0)
+    assert state.side_weights[1] == pytest.approx(
+        graph.total_node_weight - w0
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_graphs(), st.integers(0, 2**16))
+def test_property_projection_without_refinement_preserves_cut(graph, seed):
+    """refine=False uncoarsening is pure projection: the fine cut equals
+    the coarse cut (uncontraction can never change a net's cut state)."""
+    dyn, mementos, _ = nlevel_coarsen(graph, target_nodes=2)
+    coarse, reps = dyn.snapshot()
+    balance = BalanceConstraint.fifty_fifty(graph)
+    sides = [0] * graph.num_nodes
+    coarse_cut = 0.0
+    if coarse.num_nodes:
+        coarse_sides = random_balanced_sides(coarse, seed)
+        for i, u in enumerate(reps):
+            sides[u] = coarse_sides[i]
+        coarse_cut = cut_cost(coarse, coarse_sides)
+    state = UncoarsenState(dyn, sides, balance)
+    assert state.cut == pytest.approx(coarse_cut)
+    state.uncoarsen(mementos, refine=False)
+    assert state.cut == pytest.approx(coarse_cut)
+    assert state.cut == pytest.approx(cut_cost(graph, state.sides))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_graphs())
+def test_property_coarsening_is_deterministic(graph):
+    a = nlevel_coarsen(graph, target_nodes=2)
+    b = nlevel_coarsen(graph, target_nodes=2)
+    assert _pairs(a[1]) == _pairs(b[1])
+
+
+def test_slackened_clamps_to_physical_bounds():
+    b = BalanceConstraint(lo=4.0, hi=6.0, total=10.0)
+    s = _slackened(b, 5.0)
+    assert s.lo == 0.0 and s.hi == 10.0 and s.total == 10.0

@@ -25,6 +25,13 @@ GOLDEN_GRAPH = dict(num_nodes=150, num_nets=160, num_pins=580, seed=13)
 CORPUS_PATH = os.path.join(os.path.dirname(__file__), "golden_corpus.json")
 CORPUS = load_corpus(CORPUS_PATH)
 
+#: Circuits too large for tier-1 replay; exercised only when the nlevel
+#: CI lane (or a developer) sets REPRO_NLEVEL_CORPUS=1.
+GATED_CIRCUITS = {
+    name for name, spec in CORPUS["circuits"].items() if spec.get("gated")
+}
+RUN_GATED = os.environ.get("REPRO_NLEVEL_CORPUS") == "1"
+
 
 @pytest.fixture(scope="module")
 def graph():
@@ -90,6 +97,8 @@ def corpus_circuits():
     """Each corpus circuit built once, fingerprint-checked on the way in."""
     built = {}
     for name, spec in CORPUS["circuits"].items():
+        if name in GATED_CIRCUITS and not RUN_GATED:
+            continue
         graph = build_circuit(spec)
         assert circuit_fingerprint(graph) == spec["fingerprint"], (
             f"circuit generator for {name!r} drifted: the corpus "
@@ -114,6 +123,8 @@ class TestGoldenCorpus:
         ids=[f"{e['circuit']}-{e['algorithm']}" for e in CORPUS["entries"]],
     )
     def test_corpus_entry(self, corpus_circuits, entry):
+        if entry["circuit"] in GATED_CIRCUITS and not RUN_GATED:
+            pytest.skip("gated circuit (set REPRO_NLEVEL_CORPUS=1)")
         graph = corpus_circuits[entry["circuit"]]
         partitioner = _make_partitioner(entry["algorithm"])
         result = partitioner.partition(graph, seed=entry["seed"])
